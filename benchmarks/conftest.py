@@ -1,0 +1,91 @@
+"""Shared machinery for the figure-reproduction benches.
+
+Every bench in this directory regenerates one table or figure of the
+paper (or an ablation of a design choice) and prints the same series the
+paper plots.  Timing is collected by pytest-benchmark around the full
+experiment, so ``pytest benchmarks/ --benchmark-only`` both reproduces
+and times each figure.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.evaluation.sweep import FigureResult, run_group_size_sweep
+
+#: Shared sweep grid (matches DESIGN.md: covers the paper's 0-50 axis).
+GROUP_SIZES = (2, 5, 10, 15, 20, 25, 30, 40, 50)
+
+#: Where figure benches archive their series as CSV.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def run_and_report(
+    dataset, benchmark, n_trials=2, tol=1.0, seed=20140331
+) -> FigureResult:
+    """Run one figure's sweep under the benchmark timer, print it, and
+    archive the series as CSV under ``benchmarks/results/``."""
+    result = benchmark.pedantic(
+        run_group_size_sweep,
+        kwargs={
+            "dataset": dataset,
+            "group_sizes": GROUP_SIZES,
+            "n_trials": n_trials,
+            "tol": tol,
+            "random_state": seed,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.accuracy_table())
+    print()
+    print(result.compatibility_table())
+    RESULTS_DIR.mkdir(exist_ok=True)
+    result.save_csv(RESULTS_DIR / f"{dataset.name}.csv")
+    return result
+
+
+def assert_paper_shape(result: FigureResult, baseline_slack: float = 0.12):
+    """Shape assertions shared by the four figure benches.
+
+    These encode the qualitative findings of §4, not absolute numbers:
+
+    * static condensation's accuracy tracks (or beats) the original-data
+      baseline across the whole sweep;
+    * dynamic condensation stays comparable for modest group sizes
+      (k >= 15, the regime the paper calls practically relevant);
+    * the covariance compatibility coefficient of static condensation
+      stays near 1 everywhere.
+    """
+    gap_static = (
+        result.series("accuracy_original")
+        - result.series("accuracy_static")
+    )
+    assert gap_static.max() <= baseline_slack, (
+        "static condensation lost more accuracy than the paper reports: "
+        f"max gap {gap_static.max():.3f}"
+    )
+    modest = result.group_sizes >= 15
+    gap_dynamic = (
+        result.series("accuracy_original")[modest]
+        - result.series("accuracy_dynamic")[modest]
+    )
+    assert gap_dynamic.max() <= baseline_slack + 0.05, (
+        "dynamic condensation at modest group sizes diverged from the "
+        f"baseline: max gap {gap_dynamic.max():.3f}"
+    )
+    assert result.series("mu_static").min() > 0.9, (
+        "static covariance compatibility fell below the paper's range"
+    )
+    assert result.series("mu_dynamic")[modest].min() > 0.9, (
+        "dynamic covariance compatibility at modest group sizes fell "
+        "below the paper's range"
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    """Deterministic generator for ad-hoc bench data."""
+    return np.random.default_rng(20140331)

@@ -1,0 +1,96 @@
+"""Ablation A1 — grouping strategy.
+
+The paper's ``CreateCondensedGroups`` seeds each group at a uniformly
+random record.  This bench compares that choice against two
+alternatives on the same data and privacy level:
+
+* MDAV seeding (condense the periphery first), the classic
+  microaggregation heuristic;
+* k-means-planned grouping (globally coordinated partition).
+
+Reported per strategy: SSE information loss, covariance compatibility
+of the generated data, and downstream 1-NN accuracy.
+"""
+
+import numpy as np
+
+from repro.core.condensation import (
+    condensation_information_loss,
+    create_condensed_groups,
+)
+from repro.core.condenser import ClasswiseCondenser
+from repro.core.generation import generate_anonymized_data
+from repro.datasets import load_pima
+from repro.evaluation.reporting import format_table
+from repro.metrics import covariance_compatibility
+from repro.neighbors import KNeighborsClassifier
+from repro.preprocessing import StandardScaler, train_test_split
+
+STRATEGIES = ("random", "mdav", "kmeans")
+K = 20
+
+
+def run_strategy_ablation():
+    dataset = load_pima()
+    train_x, test_x, train_y, test_y = train_test_split(
+        dataset.data, dataset.target, test_size=0.25,
+        stratify=dataset.target, random_state=0,
+    )
+    scaler = StandardScaler().fit(train_x)
+    train_x = scaler.transform(train_x)
+    test_x = scaler.transform(test_x)
+    rows = []
+    results = {}
+    for strategy in STRATEGIES:
+        losses, mus, accuracies = [], [], []
+        for seed in range(3):
+            model = create_condensed_groups(
+                train_x, K, strategy=strategy, random_state=seed
+            )
+            losses.append(
+                condensation_information_loss(train_x, model)
+            )
+            anonymized = generate_anonymized_data(
+                model, random_state=seed
+            )
+            mus.append(covariance_compatibility(train_x, anonymized))
+            condenser = ClasswiseCondenser(
+                K, strategy=strategy, random_state=seed
+            )
+            labelled, labels = condenser.fit_generate(train_x, train_y)
+            knn = KNeighborsClassifier(n_neighbors=1).fit(
+                labelled, labels
+            )
+            accuracies.append(knn.score(test_x, test_y))
+        results[strategy] = {
+            "loss": float(np.mean(losses)),
+            "mu": float(np.mean(mus)),
+            "accuracy": float(np.mean(accuracies)),
+        }
+        rows.append([
+            strategy,
+            f"{results[strategy]['loss']:.4f}",
+            f"{results[strategy]['mu']:.4f}",
+            f"{results[strategy]['accuracy']:.4f}",
+        ])
+    print()
+    print(format_table(
+        ["strategy", "info loss (SSE)", "mu", "1-NN accuracy"],
+        rows,
+        title=f"A1: grouping strategy ablation (pima twin, k={K})",
+    ))
+    return results
+
+
+def test_ablation_strategies(benchmark):
+    results = benchmark.pedantic(
+        run_strategy_ablation, rounds=1, iterations=1
+    )
+    # All strategies must preserve covariance structure well...
+    for strategy in STRATEGIES:
+        assert results[strategy]["mu"] > 0.9, strategy
+        assert results[strategy]["accuracy"] > 0.55, strategy
+    # ...and MDAV's periphery-first seeding should not lose more
+    # information than random seeding by a wide margin (they are close
+    # in practice; this guards against regressions, not a paper claim).
+    assert results["mdav"]["loss"] < results["random"]["loss"] + 0.1

@@ -1,0 +1,145 @@
+"""Ablation A3 — condensation versus the perturbation baseline.
+
+The paper's §1 argues condensation beats Agrawal-Srikant randomization
+because (a) anonymized records feed *any* algorithm and (b) correlations
+survive.  This bench makes the comparison quantitative: sweep the
+perturbation noise scale, and for each setting report the accuracy of
+the distribution-based classifier (the only classifier the perturbation
+pipeline supports) against condensation + 1-NN at increasing privacy
+levels k.
+"""
+
+import numpy as np
+
+from repro.baselines import NoiseModel, PerturbedDistributionClassifier
+from repro.core.condenser import ClasswiseCondenser
+from repro.datasets import load_ionosphere
+from repro.evaluation.reporting import format_table
+from repro.neighbors import KNeighborsClassifier
+from repro.preprocessing import StandardScaler, train_test_split
+
+NOISE_SCALES = (0.25, 0.5, 1.0, 2.0)
+GROUP_SIZES = (5, 15, 30, 50)
+
+
+def run_baseline_comparison():
+    dataset = load_ionosphere()
+    train_x, test_x, train_y, test_y = train_test_split(
+        dataset.data, dataset.target, test_size=0.25,
+        stratify=dataset.target, random_state=0,
+    )
+    scaler = StandardScaler().fit(train_x)
+    train_x = scaler.transform(train_x)
+    test_x = scaler.transform(test_x)
+
+    perturbation_rows = []
+    perturbation_accuracies = {}
+    for scale in NOISE_SCALES:
+        classifier = PerturbedDistributionClassifier(
+            NoiseModel("gaussian", scale=scale),
+            n_bins=60, max_iter=80, random_state=0,
+        ).fit(train_x, train_y)
+        accuracy = classifier.score(test_x, test_y)
+        perturbation_accuracies[scale] = accuracy
+        perturbation_rows.append([f"{scale:.2f}", f"{accuracy:.4f}"])
+
+    condensation_rows = []
+    condensation_accuracies = {}
+    for k in GROUP_SIZES:
+        condenser = ClasswiseCondenser(k, random_state=0)
+        anonymized, labels = condenser.fit_generate(train_x, train_y)
+        knn = KNeighborsClassifier(n_neighbors=1).fit(anonymized, labels)
+        accuracy = knn.score(test_x, test_y)
+        condensation_accuracies[k] = accuracy
+        condensation_rows.append([str(k), f"{accuracy:.4f}"])
+
+    print()
+    print(format_table(
+        ["noise scale (sigma)", "distribution-classifier accuracy"],
+        perturbation_rows,
+        title="A3a: perturbation baseline (ionosphere twin, standardized)",
+    ))
+    print()
+    print(format_table(
+        ["k", "condensation + 1-NN accuracy"],
+        condensation_rows,
+        title="A3b: condensation (same data)",
+    ))
+    return perturbation_accuracies, condensation_accuracies
+
+
+def make_correlation_classes(n_per_class=300, seed=0):
+    """Classes distinguished *only* by the sign of a correlation.
+
+    Identical per-attribute marginals, so the per-dimension
+    reconstruction pipeline has no signal — the paper's structural
+    argument in its sharpest form.
+    """
+    rng = np.random.default_rng(seed)
+    shared = rng.normal(size=n_per_class)
+    noise = 0.3
+    class_0 = np.column_stack([
+        shared + noise * rng.normal(size=n_per_class),
+        shared + noise * rng.normal(size=n_per_class),
+    ])
+    shared_1 = rng.normal(size=n_per_class)
+    class_1 = np.column_stack([
+        shared_1 + noise * rng.normal(size=n_per_class),
+        -shared_1 + noise * rng.normal(size=n_per_class),
+    ])
+    data = np.vstack([class_0, class_1])
+    labels = np.array([0] * n_per_class + [1] * n_per_class)
+    return data, labels
+
+
+def run_correlation_showdown():
+    data, labels = make_correlation_classes()
+    perturbation_classifier = PerturbedDistributionClassifier(
+        NoiseModel("gaussian", scale=0.3),
+        n_bins=60, max_iter=80, random_state=0,
+    ).fit(data, labels)
+    perturbation_accuracy = perturbation_classifier.score(data, labels)
+    condenser = ClasswiseCondenser(15, random_state=0)
+    anonymized, anonymized_labels = condenser.fit_generate(data, labels)
+    knn = KNeighborsClassifier(n_neighbors=1).fit(
+        anonymized, anonymized_labels
+    )
+    condensation_accuracy = knn.score(data, labels)
+    print()
+    print(format_table(
+        ["approach", "accuracy"],
+        [["perturbation + distribution classifier",
+          f"{perturbation_accuracy:.4f}"],
+         ["condensation (k=15) + 1-NN",
+          f"{condensation_accuracy:.4f}"]],
+        title=(
+            "A3c: correlation-only class structure "
+            "(identical marginals)"
+        ),
+    ))
+    return perturbation_accuracy, condensation_accuracy
+
+
+def test_baseline_perturbation(benchmark):
+    def run_all():
+        sweep = run_baseline_comparison()
+        showdown = run_correlation_showdown()
+        return sweep, showdown
+
+    (perturbation, condensation), showdown = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+    # Perturbation accuracy does not improve as the noise grows.
+    scales = sorted(perturbation)
+    assert perturbation[scales[0]] >= perturbation[scales[-1]] - 0.05
+    # Condensation is comparatively flat in k (its privacy dial) and
+    # stays usable at every privacy level.
+    spread = max(condensation.values()) - min(condensation.values())
+    assert spread < 0.15
+    assert min(condensation.values()) > 0.7
+    # The structural claim (§1): when class information lives in the
+    # inter-attribute correlations, the per-dimension perturbation
+    # pipeline collapses to chance while condensation retains it.
+    perturbation_accuracy, condensation_accuracy = showdown
+    assert perturbation_accuracy < 0.7
+    assert condensation_accuracy > perturbation_accuracy + 0.15

@@ -1,0 +1,117 @@
+"""Ablation A5 — fidelity of the statistics split (Fig. 3).
+
+Two questions the paper leaves qualitative:
+
+1. *Local fidelity* — when a group of 2k real records is split via the
+   uniform assumption, how far are the derived child statistics from the
+   statistics of the true half-groups?  Measured as the relative
+   centroid error against the true halves (split along the same axis).
+2. *Compounding* — streaming ever more points forces ever more splits;
+   does the global covariance compatibility of the generated data decay
+   with stream length?
+"""
+
+import numpy as np
+
+from repro.core.dynamic import DynamicGroupMaintainer, split_group_statistics
+from repro.core.generation import generate_anonymized_data
+from repro.core.statistics import GroupStatistics
+from repro.datasets.generators import random_covariance
+from repro.evaluation.reporting import format_table
+from repro.metrics import covariance_compatibility
+
+SPLIT_SIZES = (4, 10, 20, 50, 100)
+STREAM_LENGTHS = (200, 1000, 4000)
+
+
+def split_fidelity(k: int, n_trials: int = 20, d: int = 4) -> float:
+    """Mean relative centroid error of the split against true halves."""
+    errors = []
+    for seed in range(n_trials):
+        rng = np.random.default_rng(seed)
+        covariance = random_covariance(d, rng)
+        records = rng.multivariate_normal(
+            np.zeros(d), covariance, size=2 * k, method="cholesky"
+        )
+        group = GroupStatistics.from_records(records)
+        first, second = split_group_statistics(group, k=k)
+        # True halves along the same split axis.
+        __, eigenvectors = group.eigen_system()
+        projections = records @ eigenvectors[:, 0]
+        order = np.argsort(projections)
+        low = GroupStatistics.from_records(records[order[:k]])
+        high = GroupStatistics.from_records(records[order[k:]])
+        # Match children to halves by projection sign.
+        if (first.centroid @ eigenvectors[:, 0]) > (
+            second.centroid @ eigenvectors[:, 0]
+        ):
+            first, second = second, first
+        scale = float(np.linalg.norm(high.centroid - low.centroid)) or 1.0
+        error = (
+            np.linalg.norm(first.centroid - low.centroid)
+            + np.linalg.norm(second.centroid - high.centroid)
+        ) / (2.0 * scale)
+        errors.append(error)
+    return float(np.mean(errors))
+
+
+def stream_compounding(length: int, k: int = 10) -> tuple[float, int]:
+    """μ of generated vs streamed data after `length` arrivals."""
+    rng = np.random.default_rng(0)
+    covariance = random_covariance(5, rng)
+    data = rng.multivariate_normal(
+        np.ones(5), covariance, size=length + 5 * k, method="cholesky"
+    )
+    maintainer = DynamicGroupMaintainer(
+        k, initial_data=data[: 5 * k], random_state=0
+    )
+    maintainer.add_stream(data[5 * k:])
+    model = maintainer.to_model()
+    anonymized = generate_anonymized_data(model, random_state=0)
+    return covariance_compatibility(data, anonymized), maintainer.n_splits
+
+
+def run_dynamic_split_bench():
+    fidelity_rows = []
+    fidelities = {}
+    for k in SPLIT_SIZES:
+        error = split_fidelity(k)
+        fidelities[k] = error
+        fidelity_rows.append([str(2 * k), f"{error:.4f}"])
+    print()
+    print(format_table(
+        ["group size (2k)", "relative centroid error"],
+        fidelity_rows,
+        title="A5a: split fidelity vs group size",
+    ))
+    compounding_rows = []
+    compounding = {}
+    for length in STREAM_LENGTHS:
+        mu, n_splits = stream_compounding(length)
+        compounding[length] = (mu, n_splits)
+        compounding_rows.append(
+            [str(length), str(n_splits), f"{mu:.4f}"]
+        )
+    print()
+    print(format_table(
+        ["stream length", "splits", "mu"],
+        compounding_rows,
+        title="A5b: split compounding over stream length (k=10)",
+    ))
+    return fidelities, compounding
+
+
+def test_dynamic_split(benchmark):
+    fidelities, compounding = benchmark.pedantic(
+        run_dynamic_split_bench, rounds=1, iterations=1
+    )
+    # The paper's warning: the uniform assumption is least robust for
+    # very small groups.  Fidelity should improve (error shrink) from
+    # the smallest to the largest group size.
+    assert fidelities[SPLIT_SIZES[0]] > fidelities[SPLIT_SIZES[-1]]
+    # Split errors must not destroy global covariance structure even
+    # after thousands of stream arrivals.
+    for length, (mu, n_splits) in compounding.items():
+        assert mu > 0.9, (length, mu)
+    longest = compounding[STREAM_LENGTHS[-1]]
+    assert longest[1] > 50  # the long stream really did split a lot

@@ -1,0 +1,24 @@
+"""Figure 5 — Ionosphere: (a) classifier accuracy, (b) covariance
+compatibility, versus average condensed-group size.
+
+Paper's reported shape: static condensation's accuracy is at or above
+the original-data nearest-neighbour baseline for almost all group sizes
+(the noise-removal effect is "particularly pronounced" here); dynamic
+condensation is slightly below but comparable for modest groups; static
+μ > 0.98 throughout.
+"""
+
+from benchmarks.conftest import assert_paper_shape, run_and_report
+from repro.datasets import load_ionosphere
+
+
+def test_fig5_ionosphere(benchmark):
+    dataset = load_ionosphere()
+    result = run_and_report(dataset, benchmark, n_trials=2)
+    assert_paper_shape(result)
+    # Ionosphere-specific: the paper highlights that condensation often
+    # *beats* the baseline here.  Require the static curve to reach the
+    # baseline somewhere in the sweep.
+    best_static = result.series("accuracy_static").max()
+    baseline = result.series("accuracy_original").mean()
+    assert best_static >= baseline - 0.02

@@ -1,0 +1,17 @@
+"""Figure 6 — Ecoli: (a) classifier accuracy, (b) covariance
+compatibility, versus average condensed-group size.
+
+Ecoli is the paper's strongly class-imbalanced case (8 localization
+classes, two of them with 2 records) — per-class condensation must fall
+back to single-group statistics for the tiny classes, and the accuracy
+curves should still track the original-data baseline.
+"""
+
+from benchmarks.conftest import assert_paper_shape, run_and_report
+from repro.datasets import load_ecoli
+
+
+def test_fig6_ecoli(benchmark):
+    dataset = load_ecoli()
+    result = run_and_report(dataset, benchmark, n_trials=2)
+    assert_paper_shape(result)

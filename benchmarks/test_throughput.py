@@ -1,0 +1,70 @@
+"""Ablation A6 — throughput of the condensation engines.
+
+Wall-clock scaling of the two algorithms, measured with pytest-benchmark
+proper (multiple rounds): static condensation over n, and dynamic
+stream ingestion rate.  These are the numbers a deployment would size
+capacity with; the paper reports no timings, so there is no shape to
+match — only regressions to catch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.condensation import create_condensed_groups
+from repro.core.dynamic import DynamicGroupMaintainer
+from repro.core.generation import generate_anonymized_data
+
+
+def make_data(n, d=8, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, d))
+
+
+@pytest.mark.parametrize("n", [500, 2000])
+def test_static_condensation_throughput(benchmark, n):
+    data = make_data(n)
+    model = benchmark(
+        create_condensed_groups, data, 20, random_state=0
+    )
+    assert model.total_count == n
+
+
+@pytest.mark.parametrize("k", [5, 50])
+def test_dynamic_ingestion_throughput(benchmark, k):
+    base = make_data(500, seed=1)
+    stream = make_data(1000, seed=2)
+
+    def ingest():
+        maintainer = DynamicGroupMaintainer(
+            k, initial_data=base, random_state=0
+        )
+        maintainer.add_stream(stream)
+        return maintainer
+
+    maintainer = benchmark(ingest)
+    assert maintainer.n_absorbed == 1500
+
+
+def test_generation_throughput(benchmark):
+    data = make_data(2000)
+    model = create_condensed_groups(data, 20, random_state=0)
+    anonymized = benchmark(
+        generate_anonymized_data, model, random_state=0
+    )
+    assert anonymized.shape == data.shape
+
+
+def test_deletion_throughput(benchmark):
+    base = make_data(2000, seed=3)
+    deletions = base[:500]
+
+    def churn():
+        maintainer = DynamicGroupMaintainer(
+            20, initial_data=base, random_state=0
+        )
+        for record in deletions:
+            maintainer.remove(record)
+        return maintainer
+
+    maintainer = benchmark(churn)
+    assert maintainer.group_sizes().sum() == 1500
+    assert (maintainer.group_sizes() >= 20).all()

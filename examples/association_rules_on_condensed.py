@@ -1,0 +1,85 @@
+"""Scenario: market-style rule mining on an anonymized release.
+
+Run with::
+
+    python examples/association_rules_on_condensed.py
+
+The paper's §1 argues that perturbation-based privacy forced the field
+to invent *specialized* association-rule algorithms, while condensation
+feeds the standard ones.  This example demonstrates exactly that:
+textbook Apriori runs unmodified on a condensation-anonymized release
+of the Pima clinical twin, and most of the strong rules mined from the
+original data survive.
+"""
+
+from repro.core.condenser import StaticCondenser
+from repro.datasets import load_pima
+from repro.evaluation import format_table
+from repro.mining import (
+    EqualFrequencyDiscretizer,
+    association_rules,
+    rule_overlap,
+    transactions_from_bins,
+)
+
+MIN_SUPPORT = 0.08
+MIN_CONFIDENCE = 0.5
+K = 15
+
+
+def mine(data, names, discretizer):
+    transactions = transactions_from_bins(
+        discretizer.transform(data), names
+    )
+    return association_rules(
+        transactions,
+        min_support=MIN_SUPPORT,
+        min_confidence=MIN_CONFIDENCE,
+        max_length=3,
+    )
+
+
+def main():
+    dataset = load_pima()
+    discretizer = EqualFrequencyDiscretizer(n_bins=3).fit(dataset.data)
+
+    original_rules = mine(
+        dataset.data, dataset.feature_names, discretizer
+    )
+    anonymized = StaticCondenser(K, random_state=0).fit_generate(
+        dataset.data
+    )
+    release_rules = mine(
+        anonymized, dataset.feature_names, discretizer
+    )
+
+    overlap = rule_overlap(original_rules, release_rules)
+    print(f"rules from original data:   {len(original_rules)}")
+    print(f"rules from release (k={K}): {len(release_rules)}")
+    print(f"rule-set overlap (Jaccard): {overlap:.3f}")
+
+    print("\ntop rules mined from the anonymized release:")
+    rows = [
+        [", ".join(sorted(rule.antecedent)),
+         ", ".join(sorted(rule.consequent)),
+         f"{rule.support:.3f}",
+         f"{rule.confidence:.3f}",
+         f"{rule.lift:.2f}"]
+        for rule in release_rules[:8]
+    ]
+    print(format_table(
+        ["antecedent", "consequent", "support", "confidence", "lift"],
+        rows,
+    ))
+
+    survived = {
+        (rule.antecedent, rule.consequent) for rule in release_rules
+    }
+    strongest = original_rules[0]
+    key = (strongest.antecedent, strongest.consequent)
+    print(f"\nstrongest original rule {strongest}")
+    print(f"survives in the release: {key in survived}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Scenario: anonymizing a table with categorical attributes.
+
+Run with::
+
+    python examples/mixed_type_release.py
+
+Condensation operates on continuous vectors; real tables mix in
+categoricals.  The Abalone twin's ``sex`` attribute (male / female /
+infant) stands in: encode it as a one-hot block, condense, generate,
+and decode — generated blocks snap back to valid categories, and the
+release preserves both the category proportions and the
+category-conditional structure (infants are smaller).
+"""
+
+import numpy as np
+
+from repro.core.condenser import StaticCondenser
+from repro.datasets import load_abalone
+from repro.evaluation import format_table
+from repro.preprocessing import MixedTypeEncoder
+from repro.quality import utility_report
+
+SEX_NAMES = {0.0: "male", 1.0: "female", 2.0: "infant"}
+
+
+def sex_table(title, data):
+    rows = []
+    for code, name in SEX_NAMES.items():
+        members = data[data[:, 0] == code]
+        share = members.shape[0] / data.shape[0]
+        mean_length = members[:, 1].mean() if members.shape[0] else 0.0
+        rows.append([name, f"{share:.3f}", f"{mean_length:.3f}"])
+    return format_table(
+        ["sex", "share", "mean length"], rows, title=title
+    )
+
+
+def main():
+    dataset = load_abalone()
+    data = dataset.data
+
+    encoder = MixedTypeEncoder(categorical_columns=[0]).fit(data)
+    encoded = encoder.transform(data)
+    print(f"encoded {data.shape[1]} mixed columns into "
+          f"{encoder.n_output_columns} continuous columns")
+
+    anonymized = StaticCondenser(k=25, random_state=0).fit_generate(
+        encoded
+    )
+    release = encoder.inverse_transform(anonymized)
+
+    print()
+    print(sex_table("original cohort", data))
+    print()
+    print(sex_table("anonymized release (k=25)", release))
+
+    # Continuous-attribute fidelity of the release.
+    report = utility_report(data[:, 1:], release[:, 1:])
+    print()
+    for line in report.summary_lines():
+        print(line)
+
+    # Categories decoded from noisy one-hot blocks are always valid.
+    assert set(np.unique(release[:, 0]).tolist()) <= set(SEX_NAMES)
+    print("\nall released sex values are valid categories")
+
+
+if __name__ == "__main__":
+    main()

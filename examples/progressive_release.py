@@ -1,0 +1,71 @@
+"""Scenario: progressive releases from one stored model.
+
+Run with::
+
+    python examples/progressive_release.py
+
+A data custodian condenses once at a fine privacy level, stores only
+the group statistics (never the records), and later mints releases at
+progressively higher privacy levels by *coarsening* the stored model —
+merging groups — without ever touching the original data again.  Each
+rung of the ladder is red-teamed with the record-linkage attack and
+scored for utility.
+"""
+
+import numpy as np
+
+from repro.core.coarsen import coarsening_schedule
+from repro.core.condensation import create_condensed_groups
+from repro.core.generation import generate_anonymized_data
+from repro.datasets import load_ionosphere
+from repro.evaluation import format_table
+from repro.preprocessing import StandardScaler
+from repro.privacy import linkage_attack, privacy_report
+from repro.quality import utility_report
+
+
+def main():
+    dataset = load_ionosphere()
+    data = StandardScaler().fit_transform(dataset.data)
+
+    # --- Day 0: condense once at a fine level; store the model. -------
+    base = create_condensed_groups(data, k=5, random_state=0)
+    print(f"stored model: {base.n_groups} groups at k={base.k} "
+          f"({base.total_count} records condensed)")
+
+    # --- Later: mint a ladder of increasingly private releases. -------
+    ladder = coarsening_schedule(base, [10, 20, 40, 80])
+    rows = []
+    for level, model in sorted(ladder.items()):
+        release = generate_anonymized_data(model, random_state=level)
+        report = utility_report(data, release)
+        attack = linkage_attack(data, model, random_state=level)
+        privacy = privacy_report(model)
+        rows.append([
+            level,
+            model.n_groups,
+            privacy.achieved_k,
+            f"{report.mu:.4f}",
+            f"{report.max_ks:.4f}",
+            f"{attack.expected_record_disclosure:.4f}",
+        ])
+    print()
+    print(format_table(
+        ["k", "groups", "achieved k", "mu", "max marginal KS",
+         "re-id disclosure"],
+        rows,
+        title="progressive release ladder (coarsened from one k=5 model)",
+    ))
+
+    # Raw-data access after day 0: none.
+    finest = ladder[10]
+    lineage = finest.metadata["lineage"]
+    merged_counts = [len(entry) for entry in lineage]
+    print(f"\ncoarsening k=5 -> k=10 merged source groups in batches of "
+          f"{min(merged_counts)}-{max(merged_counts)}; every release "
+          "was generated from statistics alone")
+    assert np.all(finest.group_sizes >= 10)
+
+
+if __name__ == "__main__":
+    main()

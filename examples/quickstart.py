@@ -1,0 +1,71 @@
+"""Quickstart: condense a data set and mine the anonymized output.
+
+Run with::
+
+    python examples/quickstart.py
+
+Demonstrates the paper's core loop in ~40 lines: build condensed groups
+at indistinguishability level k, regenerate anonymized records, verify
+the covariance structure survived, and train an off-the-shelf
+classifier on the anonymized data.
+"""
+
+import numpy as np
+
+from repro import StaticCondenser, covariance_compatibility, privacy_report
+from repro.core.condenser import ClasswiseCondenser
+from repro.datasets import make_classification_mixture
+from repro.neighbors import KNeighborsClassifier
+from repro.preprocessing import train_test_split
+
+
+def main():
+    # A correlated two-class data set standing in for private records.
+    dataset = make_classification_mixture(
+        class_sizes=[300, 200], n_features=6, class_separation=2.5,
+        random_state=7,
+    )
+    train_x, test_x, train_y, test_y = train_test_split(
+        dataset.data, dataset.target, test_size=0.25,
+        stratify=dataset.target, random_state=7,
+    )
+
+    # --- 1. Condense: only group statistics survive this step. -------
+    condenser = StaticCondenser(k=20, random_state=7).fit(train_x)
+    model = condenser.model_
+    report = privacy_report(model)
+    print(f"condensed {model.total_count} records into "
+          f"{model.n_groups} groups (k={model.k})")
+    print(f"achieved indistinguishability: {report.achieved_k}, "
+          f"expected disclosure: {report.expected_disclosure:.4f}")
+
+    # --- 2. Generate: anonymized records with matching statistics. ---
+    anonymized = condenser.generate()
+    mu = covariance_compatibility(train_x, anonymized)
+    print(f"covariance compatibility mu = {mu:.4f} (1.0 = identical)")
+
+    # --- 3. Mine: any existing algorithm runs on the output. ---------
+    labelled, labels = ClasswiseCondenser(
+        k=20, random_state=7
+    ).fit_generate(train_x, train_y)
+    knn_condensed = KNeighborsClassifier(n_neighbors=1).fit(
+        labelled, labels
+    )
+    knn_original = KNeighborsClassifier(n_neighbors=1).fit(
+        train_x, train_y
+    )
+    print(f"1-NN accuracy on anonymized training data: "
+          f"{knn_condensed.score(test_x, test_y):.4f}")
+    print(f"1-NN accuracy on original training data:   "
+          f"{knn_original.score(test_x, test_y):.4f}")
+
+    # The anonymized records are synthetic - none leak from the input.
+    original_rows = {tuple(np.round(row, 8)) for row in train_x}
+    leaked = sum(
+        tuple(np.round(row, 8)) in original_rows for row in anonymized
+    )
+    print(f"original records present in the release: {leaked}")
+
+
+if __name__ == "__main__":
+    main()

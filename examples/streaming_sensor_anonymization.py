@@ -1,0 +1,72 @@
+"""Scenario: anonymizing a drifting sensor stream on the fly.
+
+Run with::
+
+    python examples/streaming_sensor_anonymization.py
+
+The dynamic setting of the paper's §3: records arrive one at a time and
+the server may keep only condensed group statistics, never raw points.
+A drifting Gaussian stream stands in for telemetry whose distribution
+moves over time (e.g. seasonal sensor readings) — the stress case for
+the group-splitting machinery, since drift keeps pushing new mass into
+the leading groups.
+"""
+
+import numpy as np
+
+from repro import DynamicCondenser, covariance_compatibility
+from repro.datasets.generators import random_covariance
+from repro.evaluation import format_table
+from repro.stream import DriftingGaussianStream
+
+
+def main():
+    rng = np.random.default_rng(3)
+    covariance = random_covariance(4, rng)
+    stream = DriftingGaussianStream(
+        mean=np.zeros(4),
+        covariance=covariance,
+        drift_per_step=0.002,
+        random_state=3,
+    )
+
+    # Bootstrap from a small static batch, then go fully streaming.
+    condenser = DynamicCondenser(k=25, random_state=3).fit(
+        stream.take(200)
+    )
+
+    rows = []
+    stream_history = np.empty((0, 4))
+    for checkpoint in range(1, 6):
+        batch = stream.take(1000)
+        stream_history = np.vstack([stream_history, batch])
+        condenser.partial_fit(batch)
+        model = condenser.model_
+        anonymized = condenser.generate()
+        mu = covariance_compatibility(stream_history, anonymized)
+        rows.append([
+            checkpoint * 1000,
+            model.n_groups,
+            condenser.n_splits,
+            f"{model.group_sizes.min()}-{model.group_sizes.max()}",
+            f"{mu:.4f}",
+        ])
+    print(format_table(
+        ["records streamed", "groups", "splits", "group size range",
+         "mu (stream vs anonymized)"],
+        rows,
+        title="dynamic condensation under distribution drift (k=25)",
+    ))
+
+    report_model = condenser.model_
+    print(f"\nfinal state: {report_model.n_groups} groups holding "
+          f"{report_model.total_count} records; every group within "
+          f"[k, 2k) = [25, 50): "
+          f"{bool((report_model.group_sizes >= 25).all())} / "
+          f"{bool((report_model.group_sizes < 50).all())}")
+    print("raw records retained by the server: 0 "
+          "(only group statistics)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot complete a
+PEP 660 editable install; this shim lets ``pip install -e . \
+--no-build-isolation --no-use-pep517`` (or ``python setup.py develop``)
+fall back to the classic setuptools path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""The perturbation baseline (Agrawal–Srikant randomization).
+
+The approach the condensation paper positions itself against (§1):
+additive noise at the client, iterative Bayes density reconstruction at
+the server, and a distribution-based classifier as the only kind of
+mining the reconstructed (per-dimension, correlation-free) aggregates
+support.
+"""
+
+from repro.baselines.distribution_classifier import (
+    PerturbedDistributionClassifier,
+)
+from repro.baselines.perturbation import AdditivePerturbation, NoiseModel
+from repro.baselines.reconstruction import (
+    ReconstructedDensity,
+    reconstruct_density,
+    reconstruct_marginals,
+)
+from repro.baselines.swapping import RankSwapper
+
+__all__ = [
+    "AdditivePerturbation",
+    "NoiseModel",
+    "RankSwapper",
+    "ReconstructedDensity",
+    "reconstruct_density",
+    "reconstruct_marginals",
+    "PerturbedDistributionClassifier",
+]

@@ -1,0 +1,117 @@
+"""Distribution-based classification over reconstructed marginals.
+
+The perturbation pipeline cannot hand a nearest-neighbour classifier
+actual records — only per-dimension aggregate distributions.  The
+closest classifier the approach supports is therefore a product-of-
+marginals Bayes rule: reconstruct ``f_X`` per class and per attribute
+from the perturbed training data, then score test records by
+
+    P(class | x) ∝ prior(class) · Π_j f_X^{class,j}(x_j).
+
+This is the distribution-based analogue of a single-attribute-split
+algorithm (the paper's [1] builds a decision tree the same way) and
+inherits the approach's defining weakness: attribute independence.
+The ablation bench compares it against condensation + k-NN at matched
+noise levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.perturbation import AdditivePerturbation, NoiseModel
+from repro.baselines.reconstruction import (
+    ReconstructedDensity,
+    reconstruct_marginals,
+)
+from repro.linalg.rng import check_random_state
+
+#: Density floor preventing log(0) for records outside a reconstructed
+#: distribution's support.
+_DENSITY_FLOOR = 1e-12
+
+
+class PerturbedDistributionClassifier:
+    """End-to-end perturbation baseline: perturb, reconstruct, classify.
+
+    Parameters
+    ----------
+    noise:
+        Shared noise model (defaults to unit Gaussian noise).
+    n_bins:
+        Grid resolution of the reconstructed marginals.
+    max_iter:
+        Iteration cap of the reconstruction fixed point.
+    random_state:
+        Seed or generator for the perturbation noise.
+    """
+
+    def __init__(self, noise: NoiseModel | None = None, n_bins: int = 100,
+                 max_iter: int = 300, random_state=None):
+        self.noise = noise if noise is not None else NoiseModel()
+        self.n_bins = int(n_bins)
+        self.max_iter = int(max_iter)
+        self._rng = check_random_state(random_state)
+        self.classes_ = None
+        self.class_prior_ = None
+        self.marginals_: dict = {}
+
+    def fit(self, data: np.ndarray, labels: np.ndarray):
+        """Perturb the training data and reconstruct per-class marginals.
+
+        The model never sees the raw ``data`` beyond this call — it
+        perturbs immediately and reconstructs from the perturbed copy,
+        faithfully simulating the client/server split of the
+        randomization approach.
+        """
+        data = np.asarray(data, dtype=float)
+        labels = np.asarray(labels)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        if labels.shape != (data.shape[0],):
+            raise ValueError(
+                f"labels must have shape ({data.shape[0]},), "
+                f"got {labels.shape}"
+            )
+        perturber = AdditivePerturbation(self.noise, random_state=self._rng)
+        perturbed = perturber.perturb(data)
+        self.classes_ = np.unique(labels)
+        self.class_prior_ = np.array(
+            [np.mean(labels == label) for label in self.classes_]
+        )
+        self.marginals_ = {}
+        for label in self.classes_:
+            members = perturbed[labels == label]
+            self.marginals_[label] = reconstruct_marginals(
+                members, self.noise, n_bins=self.n_bins,
+                max_iter=self.max_iter,
+            )
+        return self
+
+    def _log_posterior(self, data: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("classifier is not fitted; call fit() first")
+        data = np.atleast_2d(np.asarray(data, dtype=float))
+        scores = np.empty((data.shape[0], self.classes_.shape[0]))
+        for position, label in enumerate(self.classes_):
+            marginals: list[ReconstructedDensity] = self.marginals_[label]
+            log_likelihood = np.zeros(data.shape[0])
+            for column, marginal in enumerate(marginals):
+                densities = marginal.pdf(data[:, column])
+                log_likelihood += np.log(
+                    np.clip(densities, _DENSITY_FLOOR, None)
+                )
+            scores[:, position] = log_likelihood + np.log(
+                self.class_prior_[position]
+            )
+        return scores
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Maximum-posterior class per record."""
+        scores = self._log_posterior(data)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def score(self, data: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on a labelled set."""
+        labels = np.asarray(labels)
+        return float(np.mean(self.predict(data) == labels))

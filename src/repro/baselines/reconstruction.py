@@ -1,0 +1,169 @@
+"""Iterative Bayes reconstruction of a perturbed distribution.
+
+The server-side half of the Agrawal–Srikant baseline (the condensation
+paper's [1], with the convergence refinement of [2]): given perturbed
+observations ``w_i = x_i + y_i`` and the known noise density ``f_Y``,
+estimate the original density ``f_X`` by the fixed-point iteration
+
+    f_X^{t+1}(a) = (1/n) Σ_i  f_Y(w_i − a) · f_X^t(a)
+                              ─────────────────────────
+                              ∫ f_Y(w_i − z) · f_X^t(z) dz
+
+discretized on a regular grid.  Each dimension is reconstructed
+independently — the structural limitation the condensation paper
+criticizes and the ablation bench quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.perturbation import NoiseModel
+
+
+class ReconstructedDensity:
+    """A density estimate on a regular grid.
+
+    Attributes
+    ----------
+    grid:
+        Bin centres, shape ``(m,)``, evenly spaced.
+    density:
+        Estimated density values at the bin centres, integrating to 1.
+    """
+
+    def __init__(self, grid: np.ndarray, density: np.ndarray):
+        grid = np.asarray(grid, dtype=float)
+        density = np.asarray(density, dtype=float)
+        if grid.ndim != 1 or grid.shape != density.shape:
+            raise ValueError("grid and density must be equal-length vectors")
+        if grid.shape[0] < 2:
+            raise ValueError("need at least two grid points")
+        self.grid = grid
+        self.density = density
+        self.step = float(grid[1] - grid[0])
+
+    def pdf(self, values: np.ndarray) -> np.ndarray:
+        """Density at arbitrary points (nearest-bin lookup, 0 outside)."""
+        values = np.asarray(values, dtype=float)
+        positions = np.round((values - self.grid[0]) / self.step).astype(int)
+        inside = (positions >= 0) & (positions < self.grid.shape[0])
+        out = np.zeros(values.shape)
+        out[inside] = self.density[positions[inside]]
+        return out
+
+    def mean(self) -> float:
+        """Mean of the estimated distribution."""
+        return float(np.sum(self.grid * self.density) * self.step)
+
+    def variance(self) -> float:
+        """Variance of the estimated distribution."""
+        mean = self.mean()
+        return float(
+            np.sum((self.grid - mean) ** 2 * self.density) * self.step
+        )
+
+    def sample(self, rng, size: int) -> np.ndarray:
+        """Draw samples by inverse-CDF over the grid."""
+        probabilities = self.density * self.step
+        total = probabilities.sum()
+        if total <= 0:
+            raise ValueError("density integrates to zero; cannot sample")
+        probabilities = probabilities / total
+        choices = rng.choice(self.grid.shape[0], size=size, p=probabilities)
+        jitter = rng.uniform(-0.5, 0.5, size=size) * self.step
+        return self.grid[choices] + jitter
+
+
+def reconstruct_density(
+    perturbed: np.ndarray,
+    noise: NoiseModel,
+    n_bins: int = 100,
+    max_iter: int = 500,
+    tol: float = 1e-4,
+    grid_padding: float = 3.0,
+) -> ReconstructedDensity:
+    """Reconstruct one attribute's density from its perturbed values.
+
+    Parameters
+    ----------
+    perturbed:
+        Observed values ``w_i = x_i + y_i``, shape ``(n,)``.
+    noise:
+        The known noise model.
+    n_bins:
+        Grid resolution of the estimate.
+    max_iter:
+        Iteration cap for the fixed point.
+    tol:
+        Stop when the mean absolute change of the density estimate per
+        iteration drops below ``tol`` (relative to a uniform density).
+    grid_padding:
+        The grid spans the observed range extended by this many noise
+        standard deviations on each side, so the deconvolved mass fits.
+
+    Returns
+    -------
+    ReconstructedDensity
+    """
+    perturbed = np.asarray(perturbed, dtype=float)
+    if perturbed.ndim != 1 or perturbed.shape[0] == 0:
+        raise ValueError("perturbed must be a non-empty vector")
+    if n_bins < 2:
+        raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+    low = float(perturbed.min()) - grid_padding * noise.scale
+    high = float(perturbed.max()) + grid_padding * noise.scale
+    if high <= low:
+        high = low + 1.0
+    grid = np.linspace(low, high, n_bins)
+    step = grid[1] - grid[0]
+
+    # Noise kernel: kernel[i, j] = f_Y(w_i − a_j).
+    kernel = noise.density(perturbed[:, None] - grid[None, :])
+    density = np.full(n_bins, 1.0 / (high - low))
+    uniform_level = 1.0 / (high - low)
+    for __ in range(max_iter):
+        weighted = kernel * density[None, :]
+        normalizers = weighted.sum(axis=1) * step
+        # Observations falling where the current estimate has no mass
+        # contribute nothing this round (they re-enter as the estimate
+        # spreads).
+        valid = normalizers > 0
+        if not valid.any():
+            break
+        updated = (
+            weighted[valid] / normalizers[valid, None]
+        ).mean(axis=0)
+        total = updated.sum() * step
+        if total > 0:
+            updated = updated / total
+        change = float(np.abs(updated - density).mean())
+        density = updated
+        if change < tol * uniform_level:
+            break
+    return ReconstructedDensity(grid, density)
+
+
+def reconstruct_marginals(
+    perturbed: np.ndarray,
+    noise: NoiseModel,
+    n_bins: int = 100,
+    max_iter: int = 500,
+) -> list[ReconstructedDensity]:
+    """Reconstruct every attribute's marginal independently.
+
+    This is exactly what the perturbation pipeline can offer downstream
+    algorithms: per-dimension aggregate distributions, with the joint
+    structure lost.
+    """
+    perturbed = np.asarray(perturbed, dtype=float)
+    if perturbed.ndim != 2:
+        raise ValueError(
+            f"perturbed must be 2-D, got shape {perturbed.shape}"
+        )
+    return [
+        reconstruct_density(
+            perturbed[:, column], noise, n_bins=n_bins, max_iter=max_iter
+        )
+        for column in range(perturbed.shape[1])
+    ]

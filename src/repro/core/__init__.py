@@ -1,0 +1,57 @@
+"""The paper's contribution: condensation-based privacy preservation.
+
+Layered as:
+
+* :mod:`repro.core.statistics` — the ``(Fs, Sc, n)`` group representation
+  (§2, Observations 1–2) and the :class:`CondensedModel` container.
+* :mod:`repro.core.condensation` — static group creation (Fig. 1).
+* :mod:`repro.core.dynamic` — streaming maintenance with statistics
+  splitting (Figs. 2–4).
+* :mod:`repro.core.generation` — anonymized-data regeneration (§2.1).
+* :mod:`repro.core.strategies` — pluggable grouping strategies
+  (the paper's random seeding plus MDAV and k-means ablations).
+* :mod:`repro.core.condenser` — estimator-style public API.
+"""
+
+from repro.core.coarsen import coarsen_model, coarsening_schedule
+from repro.core.condensation import (
+    condensation_information_loss,
+    create_condensed_groups,
+)
+from repro.core.condenser import (
+    ClasswiseCondenser,
+    DynamicCondenser,
+    StaticCondenser,
+)
+from repro.core.dynamic import DynamicGroupMaintainer, split_group_statistics
+from repro.core.generation import (
+    generate_anonymized_data,
+    generate_group_records,
+)
+from repro.core.statistics import CondensedModel, GroupStatistics
+from repro.core.strategies import (
+    KMeansSeedStrategy,
+    MDAVStrategy,
+    RandomSeedStrategy,
+)
+from repro.core.validation import validate_model
+
+__all__ = [
+    "CondensedModel",
+    "GroupStatistics",
+    "coarsen_model",
+    "coarsening_schedule",
+    "create_condensed_groups",
+    "condensation_information_loss",
+    "split_group_statistics",
+    "DynamicGroupMaintainer",
+    "generate_anonymized_data",
+    "generate_group_records",
+    "StaticCondenser",
+    "DynamicCondenser",
+    "ClasswiseCondenser",
+    "RandomSeedStrategy",
+    "MDAVStrategy",
+    "KMeansSeedStrategy",
+    "validate_model",
+]

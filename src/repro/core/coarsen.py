@@ -1,0 +1,120 @@
+"""Coarsening: raise a model's privacy level without the raw data.
+
+A condensed model built at level ``k`` contains *only* group statistics
+— yet those statistics are additive, so groups can be merged to obtain
+a valid model at any higher level ``k' > k``.  This enables a workflow
+the paper's framework makes possible but does not spell out: condense
+once at a fine level on the trusted side, then publish progressively
+coarser (more private) releases later without ever touching the
+original records again.
+
+The merge policy is greedy nearest-centroid pairing: repeatedly merge
+the undersized group with the group whose centroid is closest,
+preserving locality the same way the static algorithm's leftover
+absorption does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.statistics import CondensedModel
+from repro.neighbors.brute import pairwise_distances
+
+
+def coarsen_model(model: CondensedModel, target_k: int) -> CondensedModel:
+    """Merge groups until every group holds at least ``target_k`` records.
+
+    Parameters
+    ----------
+    model:
+        A fitted condensed model (its groups are deep-copied; the input
+        is not modified).
+    target_k:
+        The desired indistinguishability level; must be at least the
+        model's current ``k``.
+
+    Returns
+    -------
+    CondensedModel
+        A model whose every group has at least ``target_k`` records
+        (a single group holding everything in the extreme).  Metadata
+        records the provenance: ``coarsened_from`` and a ``lineage``
+        list mapping each new group to the source-group indices it
+        absorbed.
+    """
+    if target_k < model.k:
+        raise ValueError(
+            f"target_k={target_k} is below the model's level {model.k}; "
+            "coarsening can only raise the privacy level"
+        )
+    if target_k > model.total_count:
+        raise ValueError(
+            f"target_k={target_k} exceeds the model's total of "
+            f"{model.total_count} condensed records"
+        )
+    groups = [group.copy() for group in model.groups]
+    lineage = [[index] for index in range(len(groups))]
+
+    while len(groups) > 1:
+        sizes = np.array([group.count for group in groups])
+        undersized = np.flatnonzero(sizes < target_k)
+        if undersized.size == 0:
+            break
+        # Merge the smallest undersized group into its nearest
+        # neighbour; smallest-first keeps merges balanced.
+        position = int(undersized[np.argmin(sizes[undersized])])
+        centroids = np.vstack([group.centroid for group in groups])
+        distances = pairwise_distances(
+            centroids[position][None, :], centroids, squared=True
+        )[0]
+        distances[position] = np.inf
+        neighbour = int(np.argmin(distances))
+        groups[neighbour].merge(groups[position])
+        lineage[neighbour].extend(lineage[position])
+        del groups[position]
+        del lineage[position]
+
+    coarsened = CondensedModel(groups=groups, k=target_k)
+    coarsened.metadata["coarsened_from"] = model.k
+    coarsened.metadata["lineage"] = [sorted(entry) for entry in lineage]
+    if "memberships" in model.metadata:
+        source = model.metadata["memberships"]
+        coarsened.metadata["memberships"] = [
+            np.concatenate([np.asarray(source[index]) for index in entry])
+            for entry in coarsened.metadata["lineage"]
+        ]
+    return coarsened
+
+
+def coarsening_schedule(
+    model: CondensedModel, levels
+) -> dict[int, CondensedModel]:
+    """Produce a ladder of progressively more private models.
+
+    Parameters
+    ----------
+    model:
+        The base condensed model.
+    levels:
+        Iterable of target levels; each must be >= the model's ``k``.
+        Levels are applied cumulatively from fine to coarse, so the
+        whole ladder costs one pass.
+
+    Returns
+    -------
+    dict
+        Level -> coarsened model (the base level maps to the input).
+    """
+    levels = sorted(set(int(level) for level in levels))
+    if levels and levels[0] < model.k:
+        raise ValueError(
+            f"all levels must be >= the model's k={model.k}, "
+            f"got {levels[0]}"
+        )
+    ladder = {}
+    current = model
+    for level in levels:
+        current = coarsen_model(current, level)
+        ladder[level] = current
+    return ladder

@@ -1,0 +1,318 @@
+"""Dynamic condensation (§3 of the paper).
+
+``DynamicGroupMaintenance`` (Fig. 2) relaxes the fixed group size to the
+band ``[k, 2k)``: each arriving stream point joins the group with the
+nearest centroid, and the moment a group reaches ``2k`` points its
+*statistics* are split into two size-``k`` children — the member records
+were never retained, so the split must work purely on ``(Fs, Sc, n)``.
+
+``SplitGroupStatistics`` (Fig. 3) does this under the locally-uniform
+assumption.  Writing ``C = P Λ Pᵀ`` with leading eigenpair ``(λ₁, e₁)``:
+
+* a uniform distribution with variance ``λ₁`` spans a range
+  ``a = sqrt(12 λ₁)`` along ``e₁``;
+* splitting that range at its midpoint yields two uniforms of half the
+  range, centred at ``± a/4`` from the parent centroid, each with
+  variance ``(a/2)²/12 = λ₁/4``;
+* all other eigenpairs are unchanged — the zero-correlation directions
+  survive the split.
+
+Each child's sums are then reassembled from its centroid and covariance
+via Equation 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.condensation import create_condensed_groups
+from repro.core.statistics import CondensedModel, GroupStatistics
+from repro.linalg.rng import check_random_state
+from repro.neighbors.brute import pairwise_distances
+
+
+def split_group_statistics(
+    group: GroupStatistics, k: int | None = None
+) -> tuple[GroupStatistics, GroupStatistics]:
+    """Split one group's statistics into two children (Fig. 3).
+
+    Parameters
+    ----------
+    group:
+        The group to split.  The paper splits exactly at ``n = 2k``; this
+        function accepts any group of at least two records and gives each
+        child half the parent's count (the extra record of an odd parent
+        goes to the first child).
+    k:
+        When given, asserts the paper's invariant ``n(M) == 2k`` and
+        produces two children of exactly ``k`` records.
+
+    Returns
+    -------
+    (GroupStatistics, GroupStatistics)
+        Children with identical covariance matrices (leading eigenvalue
+        divided by 4) and centroids displaced by ``± sqrt(12 λ₁)/4``
+        along the leading eigenvector.
+    """
+    if group.count < 2:
+        raise ValueError(
+            f"cannot split a group of {group.count} record(s)"
+        )
+    if k is not None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if group.count != 2 * k:
+            raise ValueError(
+                f"the paper splits at n = 2k; got n={group.count}, k={k}"
+            )
+        first_count, second_count = k, k
+    else:
+        first_count = (group.count + 1) // 2
+        second_count = group.count - first_count
+
+    eigenvalues, eigenvectors = group.eigen_system()
+    leading_eigenvalue = float(eigenvalues[0])
+    leading_vector = eigenvectors[:, 0]
+
+    # Child centroids: the parent's ± a/4 along e1 with a = sqrt(12 λ1).
+    offset = np.sqrt(12.0 * leading_eigenvalue) / 4.0
+    centroid = group.centroid
+    first_centroid = centroid + offset * leading_vector
+    second_centroid = centroid - offset * leading_vector
+
+    # Child covariance: same eigensystem, leading eigenvalue quartered.
+    child_eigenvalues = eigenvalues.copy()
+    child_eigenvalues[0] = leading_eigenvalue / 4.0
+    child_covariance = (
+        eigenvectors * child_eigenvalues
+    ) @ eigenvectors.T
+
+    first = GroupStatistics.from_moments(
+        first_centroid, child_covariance, first_count
+    )
+    second = GroupStatistics.from_moments(
+        second_centroid, child_covariance, second_count
+    )
+    return first, second
+
+
+class DynamicGroupMaintainer:
+    """Streaming condensation — ``DynamicGroupMaintenance`` (Fig. 2).
+
+    Parameters
+    ----------
+    k:
+        Indistinguishability level.  Groups hold between ``k`` and
+        ``2k − 1`` records; reaching ``2k`` triggers a statistics split.
+    initial_data:
+        Optional static database to bootstrap from; condensed with
+        :func:`repro.core.condensation.create_condensed_groups` exactly
+        as the paper prescribes.  When omitted the maintainer starts
+        from the first ``k`` stream points (buffered and condensed into
+        the founding group once ``k`` have arrived — before that no
+        statistics exist, preserving k-indistinguishability even during
+        warm-up).
+    strategy, random_state:
+        Passed through to the static bootstrap.
+
+    Notes
+    -----
+    The maintainer never stores stream records once they are absorbed
+    into a group — only the warm-up buffer (capped at ``k`` records,
+    which by definition are not yet published) and group statistics.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        initial_data: np.ndarray | None = None,
+        strategy="random",
+        random_state=None,
+    ):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self._rng = check_random_state(random_state)
+        self._groups: list[GroupStatistics] = []
+        self._centroids: np.ndarray | None = None
+        self._warmup: list[np.ndarray] = []
+        self.n_splits = 0
+        self.n_merges = 0
+        self.n_absorbed = 0
+        if initial_data is not None:
+            initial_data = np.asarray(initial_data, dtype=float)
+            model = create_condensed_groups(
+                initial_data, self.k, strategy=strategy,
+                random_state=self._rng,
+            )
+            self._groups = [group.copy() for group in model.groups]
+            self.n_absorbed = model.total_count
+            self._refresh_centroids()
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def add(self, record: np.ndarray) -> None:
+        """Route one stream record into the nearest group (Fig. 2).
+
+        Splits the receiving group if it reaches ``2k`` records.
+        """
+        record = np.asarray(record, dtype=float)
+        if record.ndim != 1:
+            raise ValueError(
+                f"record must be a vector, got shape {record.shape}"
+            )
+        if not self._groups:
+            self._warmup.append(record.copy())
+            if len(self._warmup) == self.k:
+                founding = GroupStatistics.from_records(
+                    np.vstack(self._warmup)
+                )
+                self._groups.append(founding)
+                self._warmup.clear()
+                self.n_absorbed += self.k
+                self._refresh_centroids()
+            return
+        if record.shape[0] != self._groups[0].n_features:
+            raise ValueError(
+                f"expected {self._groups[0].n_features} attributes, "
+                f"got {record.shape[0]}"
+            )
+        distances = pairwise_distances(
+            record[None, :], self._centroids, squared=True
+        )[0]
+        target = int(np.argmin(distances))
+        group = self._groups[target]
+        group.add(record)
+        self.n_absorbed += 1
+        if group.count >= 2 * self.k:
+            first, second = split_group_statistics(group, k=self.k)
+            self._groups[target] = first
+            self._groups.append(second)
+            self.n_splits += 1
+            self._refresh_centroids()
+        else:
+            self._centroids[target] = group.centroid
+
+    def add_stream(self, records) -> None:
+        """Ingest an iterable of records in arrival order."""
+        for record in records:
+            self.add(record)
+
+    def remove(self, record: np.ndarray) -> None:
+        """Process a deletion request (an extension of the paper's §3).
+
+        The maintainer holds no records, so a deletion can only be
+        honoured statistically: the record is subtracted from the sums
+        of the group whose centroid is nearest.  If that group falls
+        below ``k`` records it no longer meets the indistinguishability
+        level, so it is *merged* into its nearest surviving neighbour —
+        the dual of the splitting operation — and if the merged group
+        reaches ``2k`` it is immediately re-split.
+
+        Raises
+        ------
+        ValueError
+            If no groups exist yet, or the only remaining group would
+            be emptied.
+        """
+        record = np.asarray(record, dtype=float)
+        if record.ndim != 1:
+            raise ValueError(
+                f"record must be a vector, got shape {record.shape}"
+            )
+        if not self._groups:
+            raise ValueError("no groups yet; nothing to remove from")
+        if record.shape[0] != self._groups[0].n_features:
+            raise ValueError(
+                f"expected {self._groups[0].n_features} attributes, "
+                f"got {record.shape[0]}"
+            )
+        distances = pairwise_distances(
+            record[None, :], self._centroids, squared=True
+        )[0]
+        target = int(np.argmin(distances))
+        group = self._groups[target]
+        if len(self._groups) == 1 and group.count <= 1:
+            raise ValueError(
+                "cannot remove the last record of the last group"
+            )
+        group.remove(record)
+        # The removed record may not have been a literal member of this
+        # group; repair the implied covariance if it left the PSD cone.
+        group.ensure_psd()
+        self.n_absorbed -= 1
+        if group.count >= self.k or len(self._groups) == 1:
+            if group.count > 0:
+                self._centroids[target] = group.centroid
+                return
+        self._merge_undersized(target)
+
+    def _merge_undersized(self, target: int) -> None:
+        """Merge group ``target`` into its nearest neighbour group."""
+        group = self._groups.pop(target)
+        self._refresh_centroids()
+        if group.count == 0:
+            self.n_merges += 1
+            return
+        distances = pairwise_distances(
+            group.centroid[None, :], self._centroids, squared=True
+        )[0]
+        neighbour = int(np.argmin(distances))
+        merged = self._groups[neighbour]
+        merged.merge(group)
+        self.n_merges += 1
+        if merged.count >= 2 * self.k:
+            first, second = split_group_statistics(merged)
+            self._groups[neighbour] = first
+            self._groups.append(second)
+            self.n_splits += 1
+        self._refresh_centroids()
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def n_groups(self) -> int:
+        """Number of maintained groups."""
+        return len(self._groups)
+
+    @property
+    def n_pending(self) -> int:
+        """Records buffered during warm-up (before the first group)."""
+        return len(self._warmup)
+
+    def group_sizes(self) -> np.ndarray:
+        """Per-group record counts."""
+        return np.array([group.count for group in self._groups])
+
+    def to_model(self) -> CondensedModel:
+        """Snapshot the maintained statistics as a condensed model.
+
+        The snapshot deep-copies the group statistics, so continued
+        streaming does not mutate it.
+        """
+        if not self._groups:
+            raise ValueError(
+                "no groups yet: fewer than k records have arrived"
+            )
+        model = CondensedModel(
+            groups=[group.copy() for group in self._groups], k=self.k
+        )
+        model.metadata["n_splits"] = self.n_splits
+        model.metadata["n_merges"] = self.n_merges
+        model.metadata["n_absorbed"] = self.n_absorbed
+        return model
+
+    def _refresh_centroids(self) -> None:
+        self._centroids = np.vstack(
+            [group.centroid for group in self._groups]
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGroupMaintainer(k={self.k}, n_groups={self.n_groups}, "
+            f"n_absorbed={self.n_absorbed}, n_splits={self.n_splits})"
+        )

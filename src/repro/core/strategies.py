@@ -1,0 +1,162 @@
+"""Grouping strategies for static condensation.
+
+The paper's ``CreateCondensedGroups`` samples each group seed uniformly
+at random from the remaining records.  That choice is one point in a
+design space this module makes explicit so the ablation benches can
+measure what it costs or buys:
+
+* :class:`RandomSeedStrategy` — the paper's algorithm.
+* :class:`MDAVStrategy` — the classic microaggregation heuristic
+  (Maximum Distance to Average Vector): seed each group at the record
+  farthest from the current centroid of the remaining data, which tends
+  to condense the periphery first and produce tighter groups.
+* :class:`KMeansSeedStrategy` — partition the data with k-means into
+  ``⌊n/k⌋`` clusters, then rebalance so every group has at least ``k``
+  members.  This trades the paper's strict greedy locality for globally
+  coordinated groups.
+
+Strategies implement one of two hooks: ``pick_seed`` (iterative seeding,
+used by the paper's greedy loop) or ``plan`` (produce a full partition up
+front).  ``plan`` returning ``None`` means "use the greedy loop with my
+``pick_seed``".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neighbors.brute import pairwise_distances
+
+
+class RandomSeedStrategy:
+    """The paper's strategy: sample seeds uniformly at random."""
+
+    name = "random"
+
+    def plan(self, data, k, rng):
+        """No up-front partition; use the greedy loop."""
+        return None
+
+    def pick_seed(
+        self, data: np.ndarray, remaining: np.ndarray, rng
+    ) -> int:
+        """Position (into ``remaining``) of the next seed record."""
+        return int(rng.integers(0, remaining.shape[0]))
+
+
+class MDAVStrategy:
+    """Maximum-Distance-to-Average-Vector seeding (microaggregation)."""
+
+    name = "mdav"
+
+    def plan(self, data, k, rng):
+        """No up-front partition; use the greedy loop."""
+        return None
+
+    def pick_seed(
+        self, data: np.ndarray, remaining: np.ndarray, rng
+    ) -> int:
+        """Seed at the remaining record farthest from the remaining mean."""
+        records = data[remaining]
+        centroid = records.mean(axis=0)
+        distances = pairwise_distances(
+            centroid[None, :], records, squared=True
+        )[0]
+        return int(np.argmax(distances))
+
+
+class KMeansSeedStrategy:
+    """Plan groups with k-means, then rebalance to honour the minimum size.
+
+    Parameters
+    ----------
+    max_iter:
+        Lloyd iteration cap for the internal k-means run.
+    """
+
+    name = "kmeans"
+
+    def __init__(self, max_iter: int = 50):
+        if max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+        self.max_iter = int(max_iter)
+
+    def pick_seed(self, data, remaining, rng):
+        raise RuntimeError(
+            "KMeansSeedStrategy plans a full partition; pick_seed is unused"
+        )
+
+    def plan(self, data: np.ndarray, k: int, rng) -> list[np.ndarray]:
+        """Partition all records into groups of at least ``k``."""
+        # Import here to avoid a package-level cycle: mining.kmeans is a
+        # consumer of core in the public API, but only this optional
+        # strategy needs it inside core.
+        from repro.mining.kmeans import KMeans
+
+        n = data.shape[0]
+        n_groups = max(1, n // k)
+        model = KMeans(
+            n_clusters=n_groups, max_iter=self.max_iter, random_state=rng
+        ).fit(data)
+        assignments = model.labels_
+        parts = [
+            np.flatnonzero(assignments == cluster)
+            for cluster in range(n_groups)
+        ]
+        return _rebalance_partition(data, parts, k)
+
+
+def _rebalance_partition(
+    data: np.ndarray, parts: list[np.ndarray], k: int
+) -> list[np.ndarray]:
+    """Ensure every part has at least ``k`` members.
+
+    Undersized parts are dissolved, their records reassigned to the
+    nearest surviving part (by centroid).  If every part is undersized,
+    everything collapses into a single group.
+    """
+    survivors = [part for part in parts if part.shape[0] >= k]
+    orphans = [part for part in parts if 0 < part.shape[0] < k]
+    if not survivors:
+        merged = np.concatenate([part for part in parts if part.shape[0]])
+        return [np.sort(merged)]
+    if orphans:
+        centroids = np.vstack(
+            [data[part].mean(axis=0) for part in survivors]
+        )
+        merged = [list(part) for part in survivors]
+        for part in orphans:
+            distances = pairwise_distances(
+                data[part], centroids, squared=True
+            )
+            nearest = np.argmin(distances, axis=1)
+            for record_index, target in zip(part, nearest):
+                merged[target].append(int(record_index))
+        survivors = [np.array(sorted(part), dtype=np.int64)
+                     for part in merged]
+    return survivors
+
+
+_STRATEGIES = {
+    "random": RandomSeedStrategy,
+    "mdav": MDAVStrategy,
+    "kmeans": KMeansSeedStrategy,
+}
+
+
+def resolve_strategy(strategy):
+    """Normalize a strategy name or instance into a strategy object."""
+    if isinstance(strategy, str):
+        try:
+            return _STRATEGIES[strategy]()
+        except KeyError:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; "
+                f"expected one of {sorted(_STRATEGIES)}"
+            ) from None
+    if hasattr(strategy, "plan") and hasattr(strategy, "pick_seed"):
+        return strategy
+    raise TypeError(
+        "strategy must be a known name or an object with plan/pick_seed, "
+        f"got {type(strategy).__name__}"
+    )

@@ -1,0 +1,84 @@
+"""Validity checking for condensed models.
+
+A condensed model may arrive from outside the process — a JSON file, a
+network payload — and a malformed or tampered one can poison everything
+downstream (generation, coarsening, privacy accounting).  This module
+checks the structural invariants the rest of the library assumes and
+reports every violation found.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.statistics import CondensedModel
+
+
+def validate_model(
+    model: CondensedModel, strict: bool = False
+) -> list[str]:
+    """Check a condensed model's structural invariants.
+
+    Parameters
+    ----------
+    model:
+        The model to check.
+    strict:
+        When true, raise ``ValueError`` listing the problems instead of
+        returning them.
+
+    Returns
+    -------
+    list of str
+        Human-readable descriptions of every violation (empty when the
+        model is valid):
+
+        * non-finite entries in any group's sums;
+        * non-positive group counts;
+        * a group below the model's declared ``k``;
+        * an implied covariance with significantly negative eigenvalues
+          (beyond raw-sum round-off);
+        * second-order diagonal entries smaller than allowed by the
+          Cauchy-Schwarz bound ``Sc_jj >= Fs_j^2 / n``.
+    """
+    problems: list[str] = []
+    for index, group in enumerate(model.groups):
+        prefix = f"group {index}"
+        if group.count <= 0:
+            problems.append(f"{prefix}: non-positive count {group.count}")
+            continue
+        if not np.isfinite(group.first_order).all():
+            problems.append(f"{prefix}: non-finite first-order sums")
+            continue
+        if not np.isfinite(group.second_order).all():
+            problems.append(f"{prefix}: non-finite second-order sums")
+            continue
+        if group.count < model.k:
+            problems.append(
+                f"{prefix}: size {group.count} below the declared "
+                f"k={model.k}"
+            )
+        # Cauchy-Schwarz on each attribute: n * Sc_jj >= Fs_j^2.
+        lower_bound = group.first_order**2 / group.count
+        diagonal = np.diag(group.second_order)
+        scale = np.abs(diagonal).max() + 1.0
+        violation = lower_bound - diagonal
+        if (violation > 1e-6 * scale).any():
+            worst = int(np.argmax(violation))
+            problems.append(
+                f"{prefix}: second-order diagonal below the "
+                f"Cauchy-Schwarz bound at attribute {worst}"
+            )
+            continue
+        eigenvalues = np.linalg.eigvalsh(group.covariance)
+        eigen_scale = max(abs(float(eigenvalues[-1])), 1.0)
+        if eigenvalues[0] < -1e-6 * eigen_scale:
+            problems.append(
+                f"{prefix}: covariance has significantly negative "
+                f"eigenvalue {eigenvalues[0]:.3e}"
+            )
+    if strict and problems:
+        raise ValueError(
+            "invalid condensed model: " + "; ".join(problems)
+        )
+    return problems

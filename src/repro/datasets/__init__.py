@@ -1,0 +1,43 @@
+"""Data sets: UCI statistical twins and generic synthetic generators."""
+
+from repro.datasets.base import Dataset
+from repro.datasets.corruptions import (
+    add_attribute_noise,
+    flip_labels,
+    inject_outliers,
+)
+from repro.datasets.generators import (
+    make_classification_mixture,
+    make_correlated_blobs,
+    make_factor_regression,
+    make_stream_batches,
+    make_two_moons,
+    random_covariance,
+)
+from repro.datasets.twins import (
+    TWIN_LOADERS,
+    load_abalone,
+    load_ecoli,
+    load_ionosphere,
+    load_pima,
+    load_twin,
+)
+
+__all__ = [
+    "Dataset",
+    "add_attribute_noise",
+    "flip_labels",
+    "inject_outliers",
+    "make_classification_mixture",
+    "make_correlated_blobs",
+    "make_factor_regression",
+    "make_stream_batches",
+    "make_two_moons",
+    "random_covariance",
+    "TWIN_LOADERS",
+    "load_abalone",
+    "load_ecoli",
+    "load_ionosphere",
+    "load_pima",
+    "load_twin",
+]

@@ -1,0 +1,91 @@
+"""Dataset container shared by all loaders and generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """A labelled record array with metadata.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"ionosphere-twin"``).
+    data:
+        Record array of shape ``(n, d)``.
+    target:
+        Labels (classification) or continuous targets (regression),
+        shape ``(n,)``.
+    task:
+        ``"classification"`` or ``"regression"``.
+    feature_names:
+        One name per attribute.
+    description:
+        Provenance notes — for twins, what they substitute for and how.
+    """
+
+    name: str
+    data: np.ndarray
+    target: np.ndarray
+    task: str
+    feature_names: list[str] = field(default_factory=list)
+    description: str = ""
+
+    def __post_init__(self):
+        self.data = np.asarray(self.data, dtype=float)
+        self.target = np.asarray(self.target)
+        if self.data.ndim != 2:
+            raise ValueError(
+                f"data must be 2-D, got shape {self.data.shape}"
+            )
+        if self.target.shape != (self.data.shape[0],):
+            raise ValueError(
+                f"target must have shape ({self.data.shape[0]},), "
+                f"got {self.target.shape}"
+            )
+        if self.task not in ("classification", "regression"):
+            raise ValueError(
+                "task must be 'classification' or 'regression', "
+                f"got {self.task!r}"
+            )
+        if not self.feature_names:
+            self.feature_names = [
+                f"attr_{position}" for position in range(self.data.shape[1])
+            ]
+        elif len(self.feature_names) != self.data.shape[1]:
+            raise ValueError(
+                f"need {self.data.shape[1]} feature names, "
+                f"got {len(self.feature_names)}"
+            )
+
+    @property
+    def n_records(self) -> int:
+        """Number of records."""
+        return self.data.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Number of attributes."""
+        return self.data.shape[1]
+
+    @property
+    def classes(self) -> np.ndarray:
+        """Distinct labels (classification only)."""
+        if self.task != "classification":
+            raise ValueError(f"{self.name} is not a classification data set")
+        return np.unique(self.target)
+
+    def class_counts(self) -> dict:
+        """Label → record count (classification only)."""
+        labels, counts = np.unique(self.target, return_counts=True)
+        return dict(zip(labels.tolist(), counts.tolist()))
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(name={self.name!r}, n_records={self.n_records}, "
+            f"n_features={self.n_features}, task={self.task!r})"
+        )

@@ -1,0 +1,281 @@
+"""Generic synthetic data generators.
+
+Building blocks for the UCI statistical twins and for controlled
+experiments: correlated Gaussian blobs, class-structured mixtures, and
+factor-driven regression data whose covariance structure is tunable —
+the property condensation is supposed to preserve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.linalg.rng import check_random_state
+
+
+def random_covariance(
+    n_features: int,
+    rng,
+    effective_rank: int | None = None,
+    noise_floor: float = 0.05,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Draw a random, well-conditioned covariance matrix.
+
+    Built as ``A Aᵀ / r + noise_floor·I`` with a Gaussian factor matrix
+    ``A`` of rank ``effective_rank``, giving genuine inter-attribute
+    correlations (the structure the paper's perturbation critique is
+    about) without degenerate conditioning.
+    """
+    if n_features < 1:
+        raise ValueError(f"n_features must be >= 1, got {n_features}")
+    if effective_rank is None:
+        effective_rank = max(1, n_features // 2)
+    if not 1 <= effective_rank <= n_features:
+        raise ValueError(
+            f"effective_rank must be in [1, {n_features}], "
+            f"got {effective_rank}"
+        )
+    if noise_floor < 0:
+        raise ValueError(
+            f"noise_floor must be non-negative, got {noise_floor}"
+        )
+    factors = rng.standard_normal((n_features, effective_rank))
+    covariance = factors @ factors.T / effective_rank
+    covariance += noise_floor * np.eye(n_features)
+    return scale * covariance
+
+
+def make_correlated_blobs(
+    n_records: int,
+    n_features: int,
+    n_blobs: int = 3,
+    centre_spread: float = 4.0,
+    random_state=None,
+):
+    """Mixture of Gaussians with random correlated covariances.
+
+    Returns
+    -------
+    (data, blob_labels)
+        Records of shape ``(n_records, n_features)`` and the index of
+        the blob each record came from.
+    """
+    if n_records < n_blobs:
+        raise ValueError(
+            f"need at least one record per blob, got {n_records} records "
+            f"for {n_blobs} blobs"
+        )
+    rng = check_random_state(random_state)
+    centres = rng.normal(scale=centre_spread, size=(n_blobs, n_features))
+    covariances = [
+        random_covariance(n_features, rng) for __ in range(n_blobs)
+    ]
+    assignments = rng.integers(0, n_blobs, size=n_records)
+    # Guarantee no blob is empty.
+    assignments[:n_blobs] = np.arange(n_blobs)
+    data = np.empty((n_records, n_features))
+    for blob in range(n_blobs):
+        members = np.flatnonzero(assignments == blob)
+        data[members] = rng.multivariate_normal(
+            centres[blob], covariances[blob], size=members.shape[0],
+            method="cholesky",
+        )
+    return data, assignments
+
+
+def make_classification_mixture(
+    class_sizes,
+    n_features: int,
+    class_separation: float = 2.5,
+    clusters_per_class: int = 1,
+    noise_floor: float = 0.05,
+    random_state=None,
+) -> Dataset:
+    """Class-structured Gaussian mixture for classification experiments.
+
+    Parameters
+    ----------
+    class_sizes:
+        Record count per class (its length is the number of classes) —
+        class imbalance is expressed directly here.
+    n_features:
+        Dimensionality.
+    class_separation:
+        Scale of the class-mean spread relative to unit within-class
+        variance; larger separates the classes more cleanly.
+    clusters_per_class:
+        Sub-clusters per class, for multi-modal classes.
+    noise_floor:
+        Diagonal regularization of the random covariances.
+    random_state:
+        Seed or generator.
+
+    Returns
+    -------
+    Dataset
+        With integer labels ``0..len(class_sizes)-1``.
+    """
+    class_sizes = [int(size) for size in class_sizes]
+    if any(size < 1 for size in class_sizes):
+        raise ValueError(f"class sizes must be positive, got {class_sizes}")
+    if clusters_per_class < 1:
+        raise ValueError(
+            f"clusters_per_class must be >= 1, got {clusters_per_class}"
+        )
+    rng = check_random_state(random_state)
+    parts = []
+    labels = []
+    for label, size in enumerate(class_sizes):
+        cluster_centres = rng.normal(
+            scale=class_separation,
+            size=(clusters_per_class, n_features),
+        )
+        covariances = [
+            random_covariance(n_features, rng, noise_floor=noise_floor)
+            for __ in range(clusters_per_class)
+        ]
+        assignments = rng.integers(0, clusters_per_class, size=size)
+        records = np.empty((size, n_features))
+        for cluster in range(clusters_per_class):
+            members = np.flatnonzero(assignments == cluster)
+            if members.shape[0] == 0:
+                continue
+            records[members] = rng.multivariate_normal(
+                cluster_centres[cluster],
+                covariances[cluster],
+                size=members.shape[0],
+                method="cholesky",
+            )
+        parts.append(records)
+        labels.append(np.full(size, label, dtype=np.int64))
+    data = np.vstack(parts)
+    target = np.concatenate(labels)
+    permuted = rng.permutation(data.shape[0])
+    return Dataset(
+        name="classification-mixture",
+        data=data[permuted],
+        target=target[permuted],
+        task="classification",
+    )
+
+
+def make_factor_regression(
+    n_records: int,
+    n_features: int,
+    n_factors: int = 2,
+    noise: float = 0.1,
+    target_noise: float = 0.5,
+    random_state=None,
+) -> Dataset:
+    """Factor-model regression data with strong attribute correlations.
+
+    Latent factors drive both the attributes (through random loadings)
+    and the target (through random weights), producing the heavily
+    collinear measurement structure typical of physical data sets like
+    Abalone.
+    """
+    if n_factors < 1:
+        raise ValueError(f"n_factors must be >= 1, got {n_factors}")
+    if noise < 0 or target_noise < 0:
+        raise ValueError("noise levels must be non-negative")
+    rng = check_random_state(random_state)
+    factors = rng.standard_normal((n_records, n_factors))
+    loadings = rng.standard_normal((n_factors, n_features))
+    data = factors @ loadings + noise * rng.standard_normal(
+        (n_records, n_features)
+    )
+    weights = rng.standard_normal(n_factors)
+    target = factors @ weights + target_noise * rng.standard_normal(
+        n_records
+    )
+    return Dataset(
+        name="factor-regression",
+        data=data,
+        target=target,
+        task="regression",
+    )
+
+
+def make_two_moons(
+    n_records: int,
+    noise: float = 0.08,
+    random_state=None,
+) -> Dataset:
+    """Two interleaving half-circles — the classic non-convex shape.
+
+    Useful for exercising density-based methods (DBSCAN finds the two
+    moons where k-means cannot) and for showing that condensation's
+    locality-sensitive groups trace non-convex structure.
+
+    Parameters
+    ----------
+    n_records:
+        Total records; split as evenly as possible between the moons.
+    noise:
+        Standard deviation of isotropic Gaussian jitter.
+    random_state:
+        Seed or generator.
+    """
+    if n_records < 2:
+        raise ValueError(f"need at least 2 records, got {n_records}")
+    if noise < 0:
+        raise ValueError(f"noise must be non-negative, got {noise}")
+    rng = check_random_state(random_state)
+    n_upper = n_records // 2
+    n_lower = n_records - n_upper
+    upper_angles = rng.uniform(0.0, np.pi, size=n_upper)
+    lower_angles = rng.uniform(0.0, np.pi, size=n_lower)
+    upper = np.column_stack(
+        [np.cos(upper_angles), np.sin(upper_angles)]
+    )
+    lower = np.column_stack(
+        [1.0 - np.cos(lower_angles), 0.5 - np.sin(lower_angles)]
+    )
+    data = np.vstack([upper, lower])
+    data += noise * rng.standard_normal(data.shape)
+    target = np.concatenate([
+        np.zeros(n_upper, dtype=np.int64),
+        np.ones(n_lower, dtype=np.int64),
+    ])
+    permuted = rng.permutation(n_records)
+    return Dataset(
+        name="two-moons",
+        data=data[permuted],
+        target=target[permuted],
+        task="classification",
+        feature_names=["x", "y"],
+    )
+
+
+def make_stream_batches(
+    dataset: Dataset,
+    initial_fraction: float = 0.25,
+    random_state=None,
+):
+    """Split a data set into a static base and an arrival-ordered stream.
+
+    The paper's dynamic experiments assume a static database ``D`` plus
+    an incremental stream ``S``; this helper produces both from one
+    data set with a random arrival order.
+
+    Returns
+    -------
+    (base_data, base_target, stream_data, stream_target)
+    """
+    if not 0.0 < initial_fraction < 1.0:
+        raise ValueError(
+            f"initial_fraction must be in (0, 1), got {initial_fraction}"
+        )
+    rng = check_random_state(random_state)
+    order = rng.permutation(dataset.n_records)
+    cut = max(1, int(round(initial_fraction * dataset.n_records)))
+    cut = min(cut, dataset.n_records - 1)
+    base, stream = order[:cut], order[cut:]
+    return (
+        dataset.data[base],
+        dataset.target[base],
+        dataset.data[stream],
+        dataset.target[stream],
+    )

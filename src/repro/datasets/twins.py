@@ -1,0 +1,307 @@
+"""Statistical twins of the paper's four UCI data sets.
+
+The paper evaluates on Ionosphere, Ecoli, Pima Indian Diabetes and
+Abalone from the UCI repository.  This environment has no network
+access, so each loader below synthesizes a *statistical twin*: a seeded
+generative model matched to the original's published row count,
+dimensionality, class inventory and class proportions, with correlated
+attributes, bounded ranges and (for Pima) injected anomalies mirroring
+the qualitative traits the paper leans on in its discussion.
+
+What the twins preserve, and why it suffices: condensation interacts
+with a data set only through (a) local neighbourhood structure, (b) the
+per-group second-order statistics, and (c) class geometry for the
+classification protocol.  The twins reproduce all three at the
+original's scale, so the accuracy and covariance-compatibility curves
+retain the paper's qualitative shape even though absolute numbers
+differ from the UCI originals.
+
+All loaders are deterministic for a given ``random_state`` and default
+to fixed per-data-set seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.datasets.generators import random_covariance
+from repro.linalg.rng import check_random_state
+
+#: Default seeds, fixed so the benches reproduce bit-identical data.
+DEFAULT_SEEDS = {
+    "ionosphere": 1851,
+    "ecoli": 2204,
+    "pima": 3097,
+    "abalone": 4410,
+}
+
+
+def _mixture_class(
+    rng,
+    size: int,
+    n_features: int,
+    centres: np.ndarray,
+    covariances,
+) -> np.ndarray:
+    """Draw ``size`` records from an even mixture over given clusters."""
+    n_clusters = centres.shape[0]
+    assignments = rng.integers(0, n_clusters, size=size)
+    records = np.empty((size, n_features))
+    for cluster in range(n_clusters):
+        members = np.flatnonzero(assignments == cluster)
+        if members.shape[0] == 0:
+            continue
+        records[members] = rng.multivariate_normal(
+            centres[cluster], covariances[cluster],
+            size=members.shape[0], method="cholesky",
+        )
+    return records
+
+
+def load_ionosphere(random_state=None) -> Dataset:
+    """Twin of UCI Ionosphere: 351 radar returns, 34 attributes, 2 classes.
+
+    The original holds 225 "good" and 126 "bad" returns with pulse
+    attributes in ``[-1, 1]``.  The twin draws both classes from the
+    *same* two-cluster correlated covariance structure — classes differ
+    by a modest mean shift, with the "bad" class markedly more diffuse,
+    as in the original where bad returns scatter — and squashes through
+    ``tanh`` to reproduce the bounded range.  The shift magnitude is
+    calibrated so a 1-NN classifier on the original twin scores in the
+    high-0.8s, matching the UCI original.
+    """
+    rng = check_random_state(
+        DEFAULT_SEEDS["ionosphere"] if random_state is None else random_state
+    )
+    n_features = 34
+    base_centres = rng.normal(scale=0.6, size=(2, n_features))
+    shift_direction = rng.standard_normal(n_features)
+    shift_direction /= np.linalg.norm(shift_direction)
+    covariance = random_covariance(n_features, rng, effective_rank=6)
+    specs = [
+        # (label, size, mean shift along the direction, covariance scale)
+        (1, 225, 0.0, 0.35),   # good returns: tight, structured
+        (0, 126, 2.1, 1.10),   # bad returns: shifted, diffuse
+    ]
+    parts, labels = [], []
+    for label, size, shift, scale in specs:
+        centres = base_centres + shift * shift_direction
+        covariances = [scale * covariance] * 2
+        raw = _mixture_class(rng, size, n_features, centres, covariances)
+        parts.append(np.tanh(raw))
+        labels.append(np.full(size, label, dtype=np.int64))
+    data = np.vstack(parts)
+    target = np.concatenate(labels)
+    permuted = rng.permutation(data.shape[0])
+    return Dataset(
+        name="ionosphere-twin",
+        data=data[permuted],
+        target=target[permuted],
+        task="classification",
+        feature_names=[f"pulse_{position}" for position in range(n_features)],
+        description=(
+            "Seeded statistical twin of UCI Ionosphere (351x34, classes "
+            "225 good / 126 bad, attributes in [-1, 1]); substitutes for "
+            "the original, which is unavailable offline."
+        ),
+    )
+
+
+def load_ecoli(random_state=None) -> Dataset:
+    """Twin of UCI Ecoli: 336 proteins, 7 attributes, 8 localization sites.
+
+    Class counts follow the original's strong imbalance
+    (143/77/52/35/20/5/2/2).  Attributes are scores in ``[0, 1]``;
+    classes are single correlated Gaussian clusters squashed by a
+    logistic map.
+    """
+    rng = check_random_state(
+        DEFAULT_SEEDS["ecoli"] if random_state is None else random_state
+    )
+    n_features = 7
+    class_sizes = [143, 77, 52, 35, 20, 5, 2, 2]
+    class_names = ["cp", "im", "pp", "imU", "om", "omL", "imL", "imS"]
+    covariance = random_covariance(
+        n_features, rng, effective_rank=3, scale=0.55
+    )
+    parts, labels = [], []
+    for label, size in enumerate(class_sizes):
+        centre = rng.normal(scale=0.55, size=n_features)
+        raw = rng.multivariate_normal(
+            centre, covariance, size=size, method="cholesky"
+        )
+        parts.append(1.0 / (1.0 + np.exp(-raw)))
+        labels.append(np.full(size, label, dtype=np.int64))
+    data = np.vstack(parts)
+    target = np.concatenate(labels)
+    permuted = rng.permutation(data.shape[0])
+    feature_names = ["mcg", "gvh", "lip", "chg", "aac", "alm1", "alm2"]
+    dataset = Dataset(
+        name="ecoli-twin",
+        data=data[permuted],
+        target=target[permuted],
+        task="classification",
+        feature_names=feature_names,
+        description=(
+            "Seeded statistical twin of UCI Ecoli (336x7, 8 localization "
+            "classes with counts 143/77/52/35/20/5/2/2, scores in "
+            "[0, 1]); substitutes for the original, which is unavailable "
+            "offline."
+        ),
+    )
+    dataset.class_names = class_names
+    return dataset
+
+
+def load_pima(random_state=None) -> Dataset:
+    """Twin of UCI Pima Indian Diabetes: 768 patients, 8 attributes, 2 classes.
+
+    500 non-diabetic / 268 diabetic.  Attributes are positive clinical
+    measurements on very different scales (pregnancies ~0-17, glucose
+    ~120, insulin heavy-tailed, ...).  The twin draws per-class
+    correlated Gaussians on a latent scale, maps them affinely onto the
+    original attribute scales, clips at zero, and *injects anomalies* —
+    about 4% of records get implausible extreme values, mirroring the
+    anomaly-laden character the paper highlights when explaining why
+    condensation can beat the original data on Pima.
+    """
+    rng = check_random_state(
+        DEFAULT_SEEDS["pima"] if random_state is None else random_state
+    )
+    feature_names = [
+        "pregnancies", "glucose", "blood_pressure", "skin_thickness",
+        "insulin", "bmi", "pedigree", "age",
+    ]
+    n_features = len(feature_names)
+    attribute_scale = np.array([3.4, 32.0, 19.4, 16.0, 115.0, 7.9, 0.33,
+                                11.8])
+    # Class means follow the UCI originals, with the between-class gap
+    # shrunk toward the midpoint so the 1-NN baseline lands near the
+    # original data set's ~0.7 (the shared covariance model otherwise
+    # over-separates along its low-variance directions).
+    negative_mean = np.array([3.3, 110.0, 68.2, 19.7, 68.8, 30.3, 0.43,
+                              31.2])
+    positive_mean = np.array([4.9, 141.3, 70.8, 22.2, 100.3, 35.1, 0.55,
+                              37.1])
+    midpoint = (negative_mean + positive_mean) / 2.0
+    gap_shrink = 0.58
+    class_offsets = {
+        0: midpoint + gap_shrink * (negative_mean - midpoint),
+        1: midpoint + gap_shrink * (positive_mean - midpoint),
+    }
+    class_sizes = {0: 500, 1: 268}
+    covariance = random_covariance(
+        n_features, rng, effective_rank=4, scale=1.0
+    )
+    parts, labels = [], []
+    for label in (0, 1):
+        size = class_sizes[label]
+        latent = rng.multivariate_normal(
+            np.zeros(n_features), covariance, size=size, method="cholesky"
+        )
+        records = class_offsets[label] + latent * attribute_scale
+        parts.append(records)
+        labels.append(np.full(size, label, dtype=np.int64))
+    data = np.vstack(parts)
+    target = np.concatenate(labels)
+    np.clip(data, 0.0, None, out=data)
+    # Anomaly injection: ~4% of records get one attribute blown up to an
+    # implausible magnitude, the kind of noise condensation's local
+    # averaging removes.
+    n_anomalies = max(1, int(0.04 * data.shape[0]))
+    anomaly_rows = rng.choice(data.shape[0], size=n_anomalies, replace=False)
+    anomaly_columns = rng.integers(0, n_features, size=n_anomalies)
+    data[anomaly_rows, anomaly_columns] *= rng.uniform(
+        4.0, 8.0, size=n_anomalies
+    )
+    permuted = rng.permutation(data.shape[0])
+    return Dataset(
+        name="pima-twin",
+        data=data[permuted],
+        target=target[permuted],
+        task="classification",
+        feature_names=feature_names,
+        description=(
+            "Seeded statistical twin of UCI Pima Indian Diabetes (768x8, "
+            "500 negative / 268 positive, positive-valued clinical "
+            "attributes, ~4% injected anomalies); substitutes for the "
+            "original, which is unavailable offline."
+        ),
+    )
+
+
+def load_abalone(random_state=None) -> Dataset:
+    """Twin of UCI Abalone: 4177 specimens, 8 attributes, age regression.
+
+    The original's seven physical measurements are driven almost
+    entirely by overall animal size (pairwise correlations > 0.9) plus a
+    categorical sex attribute; the target is the ring count (age).  The
+    twin generates a latent size factor per specimen, derives the
+    measurements through positive loadings with small independent noise,
+    encodes sex as 0/1/2 (infants systematically smaller), and sets
+    ``rings = 3 + 12·size_quantile + noise`` rounded to integers — the
+    age structure the within-one-year protocol needs.
+    """
+    rng = check_random_state(
+        DEFAULT_SEEDS["abalone"] if random_state is None else random_state
+    )
+    n_records = 4177
+    feature_names = [
+        "sex", "length", "diameter", "height", "whole_weight",
+        "shucked_weight", "viscera_weight", "shell_weight",
+    ]
+    # Sex: 0=male, 1=female, 2=infant at the original's proportions.
+    sex = rng.choice(
+        [0, 1, 2], size=n_records, p=[0.366, 0.313, 0.321]
+    ).astype(float)
+    # Latent size in (0, 1): beta-shaped, infants skewed small.
+    size_factor = rng.beta(3.0, 2.2, size=n_records)
+    size_factor = np.where(
+        sex == 2, size_factor * rng.uniform(0.45, 0.8, size=n_records),
+        size_factor,
+    )
+    loadings = np.array([0.75, 0.60, 0.20, 2.2, 1.0, 0.5, 0.65])
+    exponents = np.array([1.0, 1.0, 1.0, 2.8, 2.8, 2.8, 2.6])
+    measurements = np.empty((n_records, loadings.shape[0]))
+    for column in range(loadings.shape[0]):
+        clean = loadings[column] * size_factor ** exponents[column]
+        noise = 1.0 + 0.06 * rng.standard_normal(n_records)
+        measurements[:, column] = np.clip(clean * noise, 1e-4, None)
+    data = np.column_stack([sex, measurements])
+    rings = 3.0 + 12.0 * size_factor + 2.3 * rng.standard_normal(n_records)
+    rings = np.clip(np.round(rings), 1, 29)
+    return Dataset(
+        name="abalone-twin",
+        data=data,
+        target=rings,
+        task="regression",
+        feature_names=feature_names,
+        description=(
+            "Seeded statistical twin of UCI Abalone (4177x8, sex encoded "
+            "0/1/2 plus 7 strongly correlated size-driven measurements, "
+            "integer ring counts 1-29 as the regression target); "
+            "substitutes for the original, which is unavailable offline."
+        ),
+    )
+
+
+#: Loader registry used by the evaluation harness and the benches.
+TWIN_LOADERS = {
+    "ionosphere": load_ionosphere,
+    "ecoli": load_ecoli,
+    "pima": load_pima,
+    "abalone": load_abalone,
+}
+
+
+def load_twin(name: str, random_state=None) -> Dataset:
+    """Load a twin by name (``ionosphere``, ``ecoli``, ``pima``,
+    ``abalone``)."""
+    try:
+        loader = TWIN_LOADERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown twin {name!r}; expected one of {sorted(TWIN_LOADERS)}"
+        ) from None
+    return loader(random_state=random_state)

@@ -1,0 +1,58 @@
+"""Experiment harness reproducing the paper's evaluation (§4)."""
+
+from repro.evaluation.protocol import (
+    ConditionResult,
+    FigurePoint,
+    baseline_condition,
+    classification_condition,
+    condense_dataset,
+    measure_compatibility,
+    regression_condition,
+    run_figure_point,
+)
+from repro.evaluation.crossval import (
+    CrossValidationResult,
+    cross_validated_accuracy,
+)
+from repro.evaluation.reporting import format_series, format_table
+from repro.evaluation.significance import (
+    PairedComparison,
+    bootstrap_mean_difference_ci,
+    compare_paired_scores,
+    paired_permutation_test,
+)
+from repro.evaluation.sweep import (
+    DEFAULT_GROUP_SIZES,
+    FigureResult,
+    run_group_size_sweep,
+)
+from repro.evaluation.tradeoff import (
+    TradeoffCurve,
+    TradeoffPoint,
+    tradeoff_curve,
+)
+
+__all__ = [
+    "ConditionResult",
+    "FigurePoint",
+    "baseline_condition",
+    "classification_condition",
+    "condense_dataset",
+    "measure_compatibility",
+    "regression_condition",
+    "run_figure_point",
+    "CrossValidationResult",
+    "cross_validated_accuracy",
+    "PairedComparison",
+    "bootstrap_mean_difference_ci",
+    "compare_paired_scores",
+    "paired_permutation_test",
+    "format_series",
+    "format_table",
+    "DEFAULT_GROUP_SIZES",
+    "FigureResult",
+    "run_group_size_sweep",
+    "TradeoffCurve",
+    "TradeoffPoint",
+    "tradeoff_curve",
+]

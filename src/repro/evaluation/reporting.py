@@ -1,0 +1,59 @@
+"""Plain-text reporting helpers shared by the benches and examples."""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title: str | None = None) -> str:
+    """Render an ASCII table with column alignment.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Sequence of rows; each cell is stringified.
+    title:
+        Optional heading line above the table.
+
+    Returns
+    -------
+    str
+        The formatted table, newline-joined.
+    """
+    headers = [str(header) for header in headers]
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are "
+                f"{len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[column]),
+            *(len(row[column]) for row in rendered_rows))
+        if rendered_rows else len(headers[column])
+        for column in range(len(headers))
+    ]
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(header.ljust(width)
+                   for header, width in zip(headers, widths))
+    )
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append(
+            " | ".join(cell.rjust(width)
+                       for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs, ys, precision: int = 4) -> str:
+    """One-line rendering of a named (x, y) series."""
+    pairs = ", ".join(
+        f"{x}:{y:.{precision}f}" for x, y in zip(xs, ys)
+    )
+    return f"{name}: {pairs}"

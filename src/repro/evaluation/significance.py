@@ -1,0 +1,143 @@
+"""Statistical significance helpers for experiment comparisons.
+
+The paper eyeballs curve differences; these utilities make "condensed
+is comparable to original" a testable statement: a paired permutation
+test for per-fold/per-trial score differences and a bootstrap
+confidence interval for a mean difference.  Implemented from scratch on
+numpy so the harness stays dependency-light.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.linalg.rng import check_random_state
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Result of a paired significance analysis.
+
+    Attributes
+    ----------
+    mean_difference:
+        Mean of ``a − b`` over the pairs.
+    p_value:
+        Two-sided paired permutation (sign-flip) p-value for the null
+        hypothesis that the pairing is symmetric around zero.
+    ci_low, ci_high:
+        Bootstrap percentile confidence interval for the mean
+        difference.
+    n_pairs:
+        Number of paired observations.
+    """
+
+    mean_difference: float
+    p_value: float
+    ci_low: float
+    ci_high: float
+    n_pairs: int
+
+    @property
+    def significant(self) -> bool:
+        """Whether the difference is significant at the 5% level."""
+        return self.p_value < 0.05
+
+
+def paired_permutation_test(
+    scores_a,
+    scores_b,
+    n_permutations: int = 10_000,
+    random_state=None,
+) -> float:
+    """Two-sided sign-flip permutation test on paired scores.
+
+    Under the null hypothesis the signs of the paired differences are
+    exchangeable; the p-value is the fraction of random sign
+    assignments whose mean difference is at least as extreme as the
+    observed one (with the add-one correction that keeps it positive).
+    """
+    differences = _paired_differences(scores_a, scores_b)
+    if n_permutations < 1:
+        raise ValueError(
+            f"n_permutations must be >= 1, got {n_permutations}"
+        )
+    rng = check_random_state(random_state)
+    observed = abs(float(differences.mean()))
+    if np.allclose(differences, 0.0):
+        return 1.0
+    signs = rng.choice(
+        [-1.0, 1.0], size=(n_permutations, differences.shape[0])
+    )
+    permuted_means = np.abs(
+        (signs * differences[None, :]).mean(axis=1)
+    )
+    exceeding = int(np.sum(permuted_means >= observed - 1e-15))
+    return (exceeding + 1) / (n_permutations + 1)
+
+
+def bootstrap_mean_difference_ci(
+    scores_a,
+    scores_b,
+    confidence: float = 0.95,
+    n_resamples: int = 10_000,
+    random_state=None,
+):
+    """Percentile bootstrap CI for the mean paired difference ``a − b``."""
+    differences = _paired_differences(scores_a, scores_b)
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    if n_resamples < 1:
+        raise ValueError(f"n_resamples must be >= 1, got {n_resamples}")
+    rng = check_random_state(random_state)
+    n = differences.shape[0]
+    indices = rng.integers(0, n, size=(n_resamples, n))
+    resampled_means = differences[indices].mean(axis=1)
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(resampled_means, [tail, 1.0 - tail])
+    return float(low), float(high)
+
+
+def compare_paired_scores(
+    scores_a,
+    scores_b,
+    confidence: float = 0.95,
+    n_permutations: int = 10_000,
+    n_resamples: int = 10_000,
+    random_state=None,
+) -> PairedComparison:
+    """Full paired analysis: mean difference, p-value and bootstrap CI."""
+    differences = _paired_differences(scores_a, scores_b)
+    rng = check_random_state(random_state)
+    p_value = paired_permutation_test(
+        scores_a, scores_b, n_permutations=n_permutations,
+        random_state=rng,
+    )
+    ci_low, ci_high = bootstrap_mean_difference_ci(
+        scores_a, scores_b, confidence=confidence,
+        n_resamples=n_resamples, random_state=rng,
+    )
+    return PairedComparison(
+        mean_difference=float(differences.mean()),
+        p_value=p_value,
+        ci_low=ci_low,
+        ci_high=ci_high,
+        n_pairs=differences.shape[0],
+    )
+
+
+def _paired_differences(scores_a, scores_b) -> np.ndarray:
+    scores_a = np.asarray(scores_a, dtype=float)
+    scores_b = np.asarray(scores_b, dtype=float)
+    if scores_a.shape != scores_b.shape or scores_a.ndim != 1:
+        raise ValueError(
+            "paired scores must be 1-D arrays of equal length, got "
+            f"{scores_a.shape} and {scores_b.shape}"
+        )
+    if scores_a.shape[0] < 2:
+        raise ValueError("need at least 2 pairs")
+    return scores_a - scores_b

@@ -1,0 +1,149 @@
+"""CSV import/export for record arrays and labelled data sets.
+
+A release pipeline needs to get data in and out of the library without
+pandas (not available in this environment): these helpers read and
+write simple headered CSV with numeric attributes and an optional
+target column, covering the Dataset container used across the library.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+
+
+def write_records(path, data: np.ndarray, feature_names=None) -> None:
+    """Write a record array as headered CSV.
+
+    Parameters
+    ----------
+    path:
+        Destination file path.
+    data:
+        Record array of shape ``(n, d)``.
+    feature_names:
+        Optional column names; defaults to ``attr_0..attr_{d-1}``.
+    """
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-D, got shape {data.shape}")
+    if feature_names is None:
+        feature_names = [f"attr_{column}" for column in
+                         range(data.shape[1])]
+    elif len(feature_names) != data.shape[1]:
+        raise ValueError(
+            f"need {data.shape[1]} feature names, got {len(feature_names)}"
+        )
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(feature_names)
+        writer.writerows(data.tolist())
+
+
+def read_records(path):
+    """Read a headered numeric CSV back into ``(data, feature_names)``."""
+    path = Path(path)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        rows = []
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}:{line_number}: expected {len(header)} "
+                    f"columns, got {len(row)}"
+                )
+            try:
+                rows.append([float(cell) for cell in row])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{line_number}: non-numeric cell"
+                ) from None
+    if not rows:
+        raise ValueError(f"{path} has a header but no data rows")
+    return np.array(rows), header
+
+
+def write_dataset(path, dataset: Dataset, target_column: str = "target"
+                  ) -> None:
+    """Write a labelled data set as CSV with a trailing target column."""
+    if target_column in dataset.feature_names:
+        raise ValueError(
+            f"target column name {target_column!r} collides with an "
+            "attribute name"
+        )
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(dataset.feature_names) + [target_column])
+        for record, target in zip(dataset.data, dataset.target):
+            writer.writerow(list(record) + [target])
+
+
+def read_dataset(path, name=None, task="classification",
+                 target_column: str = "target") -> Dataset:
+    """Read a labelled CSV (trailing target column) into a Dataset.
+
+    Classification targets are parsed as-is (strings stay strings when
+    non-numeric); regression targets must be numeric.
+    """
+    path = Path(path)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        if header[-1] != target_column:
+            raise ValueError(
+                f"{path}: expected trailing target column "
+                f"{target_column!r}, found {header[-1]!r}"
+            )
+        data_rows, target_values = [], []
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}:{line_number}: expected {len(header)} "
+                    f"columns, got {len(row)}"
+                )
+            try:
+                data_rows.append([float(cell) for cell in row[:-1]])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{line_number}: non-numeric attribute cell"
+                ) from None
+            target_values.append(row[-1])
+    if not data_rows:
+        raise ValueError(f"{path} has a header but no data rows")
+    if task == "regression":
+        try:
+            target = np.array([float(value) for value in target_values])
+        except ValueError:
+            raise ValueError(
+                f"{path}: regression targets must be numeric"
+            ) from None
+    else:
+        # Prefer numeric labels when every value parses as a number.
+        try:
+            target = np.array(
+                [int(float(value)) for value in target_values]
+            )
+        except ValueError:
+            target = np.array(target_values)
+    return Dataset(
+        name=name or path.stem,
+        data=np.array(data_rows),
+        target=target,
+        task=task,
+        feature_names=header[:-1],
+    )

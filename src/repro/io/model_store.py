@@ -1,0 +1,97 @@
+"""Persistence for condensed models.
+
+The paper's trust model lets the server persist only aggregate
+statistics.  A condensed model *is* that aggregate, so storing and
+reloading it is the natural deployment boundary: condense on the
+trusted side, ship the JSON, generate on the consumer side.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.statistics import CondensedModel
+
+#: Format marker so future revisions can migrate old files.
+FORMAT_VERSION = 1
+
+
+def save_model(path, model: CondensedModel, include_metadata=False
+               ) -> None:
+    """Serialize a condensed model to JSON.
+
+    Parameters
+    ----------
+    path:
+        Destination file.
+    model:
+        The condensed model.
+    include_metadata:
+        Whether to persist ``model.metadata``.  Off by default: static
+        condensation's metadata includes record-to-group memberships,
+        which reference the *original* records and must never ship with
+        a release.
+    """
+    payload = model.to_dict()
+    if not include_metadata:
+        payload["metadata"] = {}
+    else:
+        payload["metadata"] = _jsonable_metadata(payload["metadata"])
+    payload["format_version"] = FORMAT_VERSION
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_model(path, validate: bool = True) -> CondensedModel:
+    """Load a condensed model written by :func:`save_model`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    validate:
+        Check the structural invariants of the loaded model (finite
+        sums, positive counts, PSD covariances, ...) and raise on
+        violations — on by default because model files cross trust
+        boundaries.
+    """
+    path = Path(path)
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.pop("format_version", None)
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported model format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    model = CondensedModel.from_dict(payload)
+    if validate:
+        from repro.core.validation import validate_model
+
+        problems = validate_model(model)
+        if problems:
+            raise ValueError(
+                f"{path}: invalid condensed model: "
+                + "; ".join(problems)
+            )
+    return model
+
+
+def _jsonable_metadata(metadata: dict) -> dict:
+    """Convert numpy-bearing metadata values to JSON-compatible ones."""
+    converted = {}
+    for key, value in metadata.items():
+        if isinstance(value, np.ndarray):
+            converted[key] = value.tolist()
+        elif isinstance(value, list) and value and isinstance(
+            value[0], np.ndarray
+        ):
+            converted[key] = [entry.tolist() for entry in value]
+        elif isinstance(value, (np.integer, np.floating)):
+            converted[key] = value.item()
+        else:
+            converted[key] = value
+    return converted

@@ -1,0 +1,200 @@
+"""Streaming moment accumulators.
+
+Two implementations of the same contract — ingest records one (or many)
+at a time and expose the running mean and population covariance:
+
+* :class:`MomentAccumulator` keeps the paper's raw sums: the first-order
+  sums ``Fs`` and second-order product sums ``Sc``.  This is the exact
+  representation a condensed group stores, so the core package builds on
+  it directly.
+* :class:`WelfordAccumulator` keeps a numerically stable mean/co-moment
+  pair (Welford/Chan update).  It exists as an oracle: tests compare the
+  two to quantify cancellation error in the raw-sum representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.symmetric import covariance_from_sums, symmetrize
+
+
+class MomentAccumulator:
+    """Raw-sum accumulator of first and second order moments.
+
+    Maintains exactly the per-group state of the paper (§2): the vector of
+    attribute sums ``Fs``, the matrix of pairwise product sums ``Sc`` and
+    the record count ``n``.
+
+    Parameters
+    ----------
+    n_features:
+        Dimensionality ``d`` of the records.
+    """
+
+    def __init__(self, n_features: int):
+        if n_features <= 0:
+            raise ValueError(f"n_features must be positive, got {n_features}")
+        self.n_features = int(n_features)
+        self.first_order = np.zeros(self.n_features)
+        self.second_order = np.zeros((self.n_features, self.n_features))
+        self.count = 0
+
+    def add(self, record: np.ndarray) -> None:
+        """Ingest a single record of shape ``(d,)``."""
+        record = self._validate_record(record)
+        self.first_order += record
+        self.second_order += np.outer(record, record)
+        self.count += 1
+
+    def add_batch(self, records: np.ndarray) -> None:
+        """Ingest a batch of records of shape ``(m, d)``."""
+        records = np.asarray(records, dtype=float)
+        if records.ndim != 2 or records.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected shape (m, {self.n_features}), got {records.shape}"
+            )
+        if records.shape[0] == 0:
+            return
+        self.first_order += records.sum(axis=0)
+        self.second_order += records.T @ records
+        self.count += records.shape[0]
+
+    def remove(self, record: np.ndarray) -> None:
+        """Remove a previously ingested record (downdate)."""
+        record = self._validate_record(record)
+        if self.count <= 0:
+            raise ValueError("cannot remove from an empty accumulator")
+        self.first_order -= record
+        self.second_order -= np.outer(record, record)
+        self.count -= 1
+
+    def merge(self, other: "MomentAccumulator") -> None:
+        """Fold another accumulator's sums into this one."""
+        if other.n_features != self.n_features:
+            raise ValueError(
+                "cannot merge accumulators of different dimensionality: "
+                f"{self.n_features} vs {other.n_features}"
+            )
+        self.first_order += other.first_order
+        self.second_order += other.second_order
+        self.count += other.count
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Running mean (Observation 1).  Raises on an empty accumulator."""
+        if self.count == 0:
+            raise ValueError("mean of an empty accumulator is undefined")
+        return self.first_order / self.count
+
+    @property
+    def covariance(self) -> np.ndarray:
+        """Running population covariance (Observation 2)."""
+        return covariance_from_sums(
+            self.first_order, self.second_order, self.count
+        )
+
+    def copy(self) -> "MomentAccumulator":
+        """Deep copy of the accumulator state."""
+        clone = MomentAccumulator(self.n_features)
+        clone.first_order = self.first_order.copy()
+        clone.second_order = self.second_order.copy()
+        clone.count = self.count
+        return clone
+
+    def _validate_record(self, record: np.ndarray) -> np.ndarray:
+        record = np.asarray(record, dtype=float)
+        if record.shape != (self.n_features,):
+            raise ValueError(
+                f"expected shape ({self.n_features},), got {record.shape}"
+            )
+        return record
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"MomentAccumulator(n_features={self.n_features}, "
+            f"count={self.count})"
+        )
+
+
+class WelfordAccumulator:
+    """Numerically stable streaming mean / covariance (Welford-Chan).
+
+    Keeps the running mean and the co-moment matrix
+    ``M2 = Σ (x − mean)(x − mean)ᵀ`` so the population covariance is
+    ``M2 / n`` without the catastrophic cancellation the raw-sum form can
+    suffer when ``|mean| >> stddev``.
+    """
+
+    def __init__(self, n_features: int):
+        if n_features <= 0:
+            raise ValueError(f"n_features must be positive, got {n_features}")
+        self.n_features = int(n_features)
+        self._mean = np.zeros(self.n_features)
+        self._co_moment = np.zeros((self.n_features, self.n_features))
+        self.count = 0
+
+    def add(self, record: np.ndarray) -> None:
+        """Ingest a single record of shape ``(d,)``."""
+        record = np.asarray(record, dtype=float)
+        if record.shape != (self.n_features,):
+            raise ValueError(
+                f"expected shape ({self.n_features},), got {record.shape}"
+            )
+        self.count += 1
+        delta = record - self._mean
+        self._mean += delta / self.count
+        delta_after = record - self._mean
+        self._co_moment += np.outer(delta, delta_after)
+
+    def add_batch(self, records: np.ndarray) -> None:
+        """Ingest a batch by folding in its own moments (Chan's formula)."""
+        records = np.asarray(records, dtype=float)
+        if records.ndim != 2 or records.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected shape (m, {self.n_features}), got {records.shape}"
+            )
+        m = records.shape[0]
+        if m == 0:
+            return
+        batch_mean = records.mean(axis=0)
+        centered = records - batch_mean
+        batch_co_moment = centered.T @ centered
+        if self.count == 0:
+            self._mean = batch_mean
+            self._co_moment = batch_co_moment
+            self.count = m
+            return
+        delta = batch_mean - self._mean
+        total = self.count + m
+        self._co_moment += batch_co_moment + np.outer(delta, delta) * (
+            self.count * m / total
+        )
+        self._mean += delta * (m / total)
+        self.count = total
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Running mean.  Raises on an empty accumulator."""
+        if self.count == 0:
+            raise ValueError("mean of an empty accumulator is undefined")
+        return self._mean.copy()
+
+    @property
+    def covariance(self) -> np.ndarray:
+        """Running population covariance."""
+        if self.count == 0:
+            raise ValueError("covariance of an empty accumulator is undefined")
+        return symmetrize(self._co_moment / self.count)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"WelfordAccumulator(n_features={self.n_features}, "
+            f"count={self.count})"
+        )

@@ -1,0 +1,168 @@
+"""Symmetric-matrix helpers used throughout the condensation pipeline.
+
+The paper derives, for every condensed group, the eigendecomposition
+``C = P Λ Pᵀ`` of the group covariance matrix (Equation 1).  Group
+covariances computed from raw sums can pick up tiny asymmetries and
+negative eigenvalues from floating-point cancellation, especially for
+groups whose size is at or below the data dimensionality.  The helpers
+here centralize the symmetrization / clipping policy so the rest of the
+library can assume clean, PSD inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Relative tolerance used when clipping slightly negative eigenvalues.
+EIGENVALUE_CLIP_RTOL = 1e-10
+
+
+def symmetrize(matrix: np.ndarray) -> np.ndarray:
+    """Return the symmetric part ``(A + Aᵀ) / 2`` of a square matrix."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    return (matrix + matrix.T) / 2.0
+
+
+def sorted_eigh(matrix: np.ndarray, clip: bool = True):
+    """Eigendecompose a symmetric matrix, eigenvalues in decreasing order.
+
+    This is the decomposition the paper uses both for anonymized-data
+    generation (§2.1) and for the dynamic split (Fig. 3), where the
+    *largest* eigenvalue's eigenvector is the split axis — hence the
+    decreasing order convention.
+
+    Parameters
+    ----------
+    matrix:
+        Square symmetric matrix (symmetrized defensively before the
+        decomposition).
+    clip:
+        When true (default), eigenvalues that are negative by no more than
+        a small tolerance relative to the largest eigenvalue are clipped
+        to zero, matching the paper's positive-semidefinite assumption.
+        Genuinely negative eigenvalues (beyond tolerance) raise.
+
+    Returns
+    -------
+    eigenvalues : numpy.ndarray, shape (d,)
+        Decreasing, non-negative when ``clip`` is true.
+    eigenvectors : numpy.ndarray, shape (d, d)
+        Column ``i`` is the eigenvector for ``eigenvalues[i]``; the
+        columns form an orthonormal basis.
+
+    Raises
+    ------
+    ValueError
+        If the matrix has a significantly negative eigenvalue and
+        ``clip`` is true.
+    """
+    sym = symmetrize(matrix)
+    eigenvalues, eigenvectors = np.linalg.eigh(sym)
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = eigenvalues[order]
+    eigenvectors = eigenvectors[:, order]
+    if clip:
+        scale = max(abs(float(eigenvalues[0])), 1.0)
+        tolerance = EIGENVALUE_CLIP_RTOL * scale
+        if eigenvalues[-1] < -tolerance * 1e4:
+            raise ValueError(
+                "matrix is not positive semidefinite: smallest eigenvalue "
+                f"{eigenvalues[-1]:.3e} (tolerance {-tolerance * 1e4:.3e})"
+            )
+        eigenvalues = np.clip(eigenvalues, 0.0, None)
+    return eigenvalues, eigenvectors
+
+
+def is_positive_semidefinite(matrix: np.ndarray, rtol: float = 1e-8) -> bool:
+    """Check PSD-ness of a symmetric matrix up to a relative tolerance."""
+    sym = symmetrize(matrix)
+    eigenvalues = np.linalg.eigvalsh(sym)
+    scale = max(abs(float(eigenvalues[-1])), 1.0)
+    return bool(eigenvalues[0] >= -rtol * scale)
+
+
+def nearest_psd(matrix: np.ndarray) -> np.ndarray:
+    """Project a symmetric matrix onto the PSD cone.
+
+    Clips negative eigenvalues at zero and reassembles.  Used when
+    reconstructing covariance matrices from independently rounded sums.
+    """
+    eigenvalues, eigenvectors = sorted_eigh(matrix, clip=False)
+    eigenvalues = np.clip(eigenvalues, 0.0, None)
+    return symmetrize((eigenvectors * eigenvalues) @ eigenvectors.T)
+
+
+def covariance_from_sums(
+    first_order: np.ndarray, second_order: np.ndarray, count: float
+) -> np.ndarray:
+    """Covariance matrix from raw sums (the paper's Observation 2).
+
+    ``Cov_ij = Sc_ij / n − Fs_i · Fs_j / n²`` — the population covariance
+    of the group, derivable from exactly the statistics a condensed group
+    stores.
+
+    Parameters
+    ----------
+    first_order:
+        Vector of per-attribute sums ``Fs``, shape ``(d,)``.
+    second_order:
+        Matrix of pairwise product sums ``Sc``, shape ``(d, d)``.
+    count:
+        Number of records ``n`` contributing to the sums; must be
+        positive.
+
+    Returns
+    -------
+    numpy.ndarray, shape (d, d)
+        The symmetrized population covariance matrix.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    first_order = np.asarray(first_order, dtype=float)
+    second_order = np.asarray(second_order, dtype=float)
+    if first_order.ndim != 1:
+        raise ValueError("first_order must be a vector")
+    d = first_order.shape[0]
+    if second_order.shape != (d, d):
+        raise ValueError(
+            f"second_order must have shape {(d, d)}, got {second_order.shape}"
+        )
+    mean = first_order / count
+    covariance = second_order / count - np.outer(mean, mean)
+    return symmetrize(covariance)
+
+
+def sums_from_covariance(
+    mean: np.ndarray, covariance: np.ndarray, count: float
+):
+    """Invert :func:`covariance_from_sums` (Equation 3 of the paper).
+
+    Given a group's mean vector, covariance matrix and record count,
+    produce the raw sums ``(Fs, Sc)`` that a condensed group would store:
+    ``Fs = n·mean`` and ``Sc = n·(C + mean meanᵀ)``.  This is exactly the
+    reassembly step of ``SplitGroupStatistics``.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    mean = np.asarray(mean, dtype=float)
+    covariance = np.asarray(covariance, dtype=float)
+    first_order = count * mean
+    second_order = count * (symmetrize(covariance) + np.outer(mean, mean))
+    return first_order, second_order
+
+
+def correlation_from_covariance(covariance: np.ndarray) -> np.ndarray:
+    """Convert a covariance matrix to a correlation matrix.
+
+    Zero-variance attributes get zero correlation with everything (and
+    unit self-correlation), rather than NaNs.
+    """
+    covariance = symmetrize(covariance)
+    stddev = np.sqrt(np.clip(np.diag(covariance), 0.0, None))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        outer = np.outer(stddev, stddev)
+        correlation = np.where(outer > 0, covariance / outer, 0.0)
+    np.fill_diagonal(correlation, 1.0)
+    return correlation

@@ -1,0 +1,40 @@
+"""Evaluation metrics for the reproduction.
+
+Includes the paper-specific statistics — the covariance compatibility
+coefficient μ (§4) and the Abalone within-tolerance accuracy — alongside
+standard classification and regression metrics used by the harness.
+"""
+
+from repro.metrics.classification import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.metrics.compatibility import (
+    covariance_compatibility,
+    covariance_matrix,
+    mean_compatibility,
+)
+from repro.metrics.regression import (
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    tolerance_accuracy,
+)
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "f1_score",
+    "precision_score",
+    "recall_score",
+    "covariance_compatibility",
+    "covariance_matrix",
+    "mean_compatibility",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "r2_score",
+    "tolerance_accuracy",
+]

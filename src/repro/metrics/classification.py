@@ -1,0 +1,112 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate_pair(y_true: np.ndarray, y_pred: np.ndarray):
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ValueError(
+            "y_true and y_pred must be 1-D arrays of equal length, got "
+            f"{y_true.shape} and {y_pred.shape}"
+        )
+    if y_true.shape[0] == 0:
+        raise ValueError("metrics over empty label arrays are undefined")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly matching labels."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, labels=None
+) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = count of true class i predicted j.
+
+    Parameters
+    ----------
+    labels:
+        Optional explicit class ordering; defaults to the sorted union of
+        labels seen in either array.
+    """
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+    index = {label: position for position, label in enumerate(labels)}
+    matrix = np.zeros((labels.shape[0], labels.shape[0]), dtype=np.int64)
+    for true_label, pred_label in zip(y_true, y_pred):
+        matrix[index[true_label], index[pred_label]] += 1
+    return matrix
+
+
+def _per_class_counts(y_true: np.ndarray, y_pred: np.ndarray):
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    matrix = confusion_matrix(y_true, y_pred, labels=labels)
+    true_positive = np.diag(matrix).astype(float)
+    predicted = matrix.sum(axis=0).astype(float)
+    actual = matrix.sum(axis=1).astype(float)
+    return labels, true_positive, predicted, actual
+
+
+def _safe_divide(numerator: np.ndarray, denominator: np.ndarray):
+    out = np.zeros_like(numerator, dtype=float)
+    mask = denominator > 0
+    out[mask] = numerator[mask] / denominator[mask]
+    return out
+
+
+def precision_score(
+    y_true: np.ndarray, y_pred: np.ndarray, average: str = "macro"
+) -> float:
+    """Precision, macro- or micro-averaged across classes."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    __, true_positive, predicted, __ = _per_class_counts(y_true, y_pred)
+    if average == "micro":
+        total = float(predicted.sum())
+        return float(true_positive.sum() / total) if total else 0.0
+    if average == "macro":
+        return float(_safe_divide(true_positive, predicted).mean())
+    raise ValueError(f"average must be 'macro' or 'micro', got {average!r}")
+
+
+def recall_score(
+    y_true: np.ndarray, y_pred: np.ndarray, average: str = "macro"
+) -> float:
+    """Recall, macro- or micro-averaged across classes."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    __, true_positive, __, actual = _per_class_counts(y_true, y_pred)
+    if average == "micro":
+        total = float(actual.sum())
+        return float(true_positive.sum() / total) if total else 0.0
+    if average == "macro":
+        return float(_safe_divide(true_positive, actual).mean())
+    raise ValueError(f"average must be 'macro' or 'micro', got {average!r}")
+
+
+def f1_score(
+    y_true: np.ndarray, y_pred: np.ndarray, average: str = "macro"
+) -> float:
+    """Harmonic mean of per-class precision and recall, then averaged."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    __, true_positive, predicted, actual = _per_class_counts(y_true, y_pred)
+    if average == "micro":
+        precision = precision_score(y_true, y_pred, average="micro")
+        recall = recall_score(y_true, y_pred, average="micro")
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+    if average == "macro":
+        per_precision = _safe_divide(true_positive, predicted)
+        per_recall = _safe_divide(true_positive, actual)
+        denominator = per_precision + per_recall
+        per_f1 = _safe_divide(2 * per_precision * per_recall, denominator)
+        return float(per_f1.mean())
+    raise ValueError(f"average must be 'macro' or 'micro', got {average!r}")

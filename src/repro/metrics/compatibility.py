@@ -1,0 +1,124 @@
+"""Statistical compatibility between original and anonymized data.
+
+The paper's §4 measures how faithfully condensation preserves the
+covariance structure: for every attribute pair ``(i, j)`` take the entry
+``o_ij`` of the original data's covariance matrix and ``p_ij`` of the
+anonymized data's covariance matrix, then report the Pearson correlation
+μ between the paired entry collections.  μ = 1 means the two covariance
+matrices are perfectly linearly related; the paper reports μ > 0.98 for
+static condensation across group sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.symmetric import symmetrize
+
+
+def covariance_matrix(data: np.ndarray) -> np.ndarray:
+    """Population covariance matrix of a record array, shape ``(d, d)``."""
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-D, got shape {data.shape}")
+    if data.shape[0] == 0:
+        raise ValueError("covariance of an empty data set is undefined")
+    centered = data - data.mean(axis=0)
+    return symmetrize(centered.T @ centered / data.shape[0])
+
+
+def _pairwise_entries(matrix: np.ndarray) -> np.ndarray:
+    """Flatten the upper triangle (including diagonal) of a square matrix.
+
+    The covariance matrix is symmetric, so using each unordered pair once
+    avoids double-weighting the off-diagonal entries in the correlation.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    rows, cols = np.triu_indices(matrix.shape[0])
+    return matrix[rows, cols]
+
+
+def covariance_compatibility(
+    original: np.ndarray, anonymized: np.ndarray
+) -> float:
+    """Covariance compatibility coefficient μ between two data sets.
+
+    Parameters
+    ----------
+    original:
+        The original record array, shape ``(n, d)``.
+    anonymized:
+        The anonymized record array, shape ``(m, d)`` — row counts may
+        differ but dimensionality must match.
+
+    Returns
+    -------
+    float
+        Pearson correlation between the paired covariance entries, in
+        ``[-1, 1]``; 1 when the covariance structures are identical up to
+        a positive affine map, -1 for perfect negative correlation.
+
+    Notes
+    -----
+    When either entry collection is constant (zero variance, e.g. a
+    one-dimensional data set whose covariance "matrix" is a single
+    number) the Pearson correlation is undefined; this implementation
+    returns 1.0 if the two collections are elementwise equal within
+    floating tolerance and 0.0 otherwise, which keeps sweeps over
+    degenerate configurations well-behaved.
+    """
+    original = np.asarray(original, dtype=float)
+    anonymized = np.asarray(anonymized, dtype=float)
+    if original.ndim != 2 or anonymized.ndim != 2:
+        raise ValueError("both data sets must be 2-D record arrays")
+    if original.shape[1] != anonymized.shape[1]:
+        raise ValueError(
+            "dimensionality mismatch: "
+            f"{original.shape[1]} vs {anonymized.shape[1]}"
+        )
+    o_entries = _pairwise_entries(covariance_matrix(original))
+    p_entries = _pairwise_entries(covariance_matrix(anonymized))
+    return matrix_entry_correlation(o_entries, p_entries)
+
+
+def matrix_entry_correlation(
+    o_entries: np.ndarray, p_entries: np.ndarray
+) -> float:
+    """Pearson correlation between two paired entry collections."""
+    o_entries = np.asarray(o_entries, dtype=float)
+    p_entries = np.asarray(p_entries, dtype=float)
+    if o_entries.shape != p_entries.shape:
+        raise ValueError(
+            f"entry collections must align, got {o_entries.shape} "
+            f"vs {p_entries.shape}"
+        )
+    o_centered = o_entries - o_entries.mean()
+    p_centered = p_entries - p_entries.mean()
+    o_norm = float(np.sqrt(o_centered @ o_centered))
+    p_norm = float(np.sqrt(p_centered @ p_centered))
+    if o_norm == 0.0 or p_norm == 0.0:
+        return 1.0 if np.allclose(o_entries, p_entries) else 0.0
+    value = float(o_centered @ p_centered / (o_norm * p_norm))
+    return float(np.clip(value, -1.0, 1.0))
+
+
+def mean_compatibility(original: np.ndarray, anonymized: np.ndarray) -> float:
+    """Relative error between the mean vectors of two data sets.
+
+    A companion diagnostic to μ: condensation preserves first-order sums
+    exactly in aggregate, so this should be ~0 for static condensation.
+    Returned as ``||mean_o − mean_p|| / max(||mean_o||, 1)``.
+    """
+    original = np.asarray(original, dtype=float)
+    anonymized = np.asarray(anonymized, dtype=float)
+    if original.shape[1] != anonymized.shape[1]:
+        raise ValueError(
+            "dimensionality mismatch: "
+            f"{original.shape[1]} vs {anonymized.shape[1]}"
+        )
+    mean_o = original.mean(axis=0)
+    mean_p = anonymized.mean(axis=0)
+    scale = max(float(np.linalg.norm(mean_o)), 1.0)
+    return float(np.linalg.norm(mean_o - mean_p) / scale)

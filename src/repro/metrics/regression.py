@@ -1,0 +1,61 @@
+"""Regression metrics, including the paper's Abalone protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate_pair(y_true: np.ndarray, y_pred: np.ndarray):
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ValueError(
+            "y_true and y_pred must be 1-D arrays of equal length, got "
+            f"{y_true.shape} and {y_pred.shape}"
+        )
+    if y_true.shape[0] == 0:
+        raise ValueError("metrics over empty target arrays are undefined")
+    return y_true, y_pred
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean of squared residuals."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    residuals = y_true - y_pred
+    return float(np.mean(residuals * residuals))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean of absolute residuals."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination.
+
+    Returns 0.0 when the true targets are constant and the predictions
+    are imperfect (the usual convention that avoids dividing by zero),
+    and 1.0 when predictions match a constant target exactly.
+    """
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    residual = float(np.sum((y_true - y_pred) ** 2))
+    total = float(np.sum((y_true - y_true.mean()) ** 2))
+    if total == 0.0:
+        return 1.0 if residual == 0.0 else 0.0
+    return 1.0 - residual / total
+
+
+def tolerance_accuracy(
+    y_true: np.ndarray, y_pred: np.ndarray, tol: float = 1.0
+) -> float:
+    """Fraction of predictions within ``tol`` of the truth.
+
+    The paper's Abalone metric: "the percentage of the time that the age
+    was predicted within an accuracy of less than one year" — i.e. this
+    function with ``tol=1.0`` over predicted ages.
+    """
+    if tol < 0:
+        raise ValueError(f"tol must be non-negative, got {tol}")
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred) <= tol))

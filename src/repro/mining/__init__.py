@@ -1,0 +1,70 @@
+"""Off-the-shelf mining algorithms.
+
+The paper's headline advantage over the perturbation approach is that
+condensation produces *records*, so existing multi-dimensional mining
+algorithms run unchanged (§1, §2.3).  This package supplies that
+ecosystem of existing algorithms, built from scratch:
+
+* nearest-neighbour classification / regression live in
+  :mod:`repro.neighbors` (they double as a core substrate);
+* :class:`GaussianNaiveBayes` — a correlation-blind contrast;
+* :class:`DecisionTreeClassifier` — the multi-variate algorithm the
+  paper argues cannot be adapted to perturbation;
+* :class:`KMeans` — clustering;
+* :class:`LinearRegression` / :class:`RidgeRegression` — regression
+  models highly sensitive to covariance structure.
+"""
+
+from repro.mining.apriori import (
+    AssociationRule,
+    association_rules,
+    frequent_itemsets,
+    maximal_itemsets,
+    rule_overlap,
+)
+from repro.mining.condensed_direct import (
+    CentroidClassifier,
+    GroupMixtureClassifier,
+    GroupMixtureRegressor,
+)
+from repro.mining.dbscan import DBSCAN, NOISE
+from repro.mining.decision_tree import DecisionTreeClassifier
+from repro.mining.discretize import (
+    EqualFrequencyDiscretizer,
+    EqualWidthDiscretizer,
+    transactions_from_bins,
+)
+from repro.mining.gmm import GaussianMixture
+from repro.mining.hierarchical import AgglomerativeClustering
+from repro.mining.kmeans import KMeans, kmeans_plus_plus
+from repro.mining.linear_model import LinearRegression, RidgeRegression
+from repro.mining.logistic import LogisticRegression
+from repro.mining.naive_bayes import GaussianNaiveBayes
+from repro.mining.pca import PCA, subspace_alignment
+
+__all__ = [
+    "AssociationRule",
+    "association_rules",
+    "frequent_itemsets",
+    "maximal_itemsets",
+    "rule_overlap",
+    "AgglomerativeClustering",
+    "CentroidClassifier",
+    "GroupMixtureClassifier",
+    "GroupMixtureRegressor",
+    "DBSCAN",
+    "NOISE",
+    "DecisionTreeClassifier",
+    "GaussianMixture",
+    "LogisticRegression",
+    "PCA",
+    "subspace_alignment",
+    "EqualFrequencyDiscretizer",
+    "EqualWidthDiscretizer",
+    "transactions_from_bins",
+    "KMeans",
+    "kmeans_plus_plus",
+    "LinearRegression",
+    "RidgeRegression",
+    "GaussianNaiveBayes",
+]

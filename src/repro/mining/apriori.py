@@ -1,0 +1,210 @@
+"""Apriori frequent-itemset and association-rule mining.
+
+The condensation paper's introduction leans on association rules as a
+problem the perturbation approach had to re-solve with specialized
+algorithms ([9], [16] there).  With condensation the standard Apriori
+algorithm runs on the anonymized records directly; this module supplies
+that standard algorithm, from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """An association rule ``antecedent -> consequent``.
+
+    Attributes
+    ----------
+    antecedent, consequent:
+        Disjoint frozen item sets.
+    support:
+        Fraction of transactions containing the full itemset.
+    confidence:
+        ``support(antecedent ∪ consequent) / support(antecedent)``.
+    lift:
+        Confidence over the consequent's base rate; > 1 means the
+        antecedent genuinely raises the consequent's likelihood.
+    """
+
+    antecedent: frozenset
+    consequent: frozenset
+    support: float
+    confidence: float
+    lift: float
+
+    def __str__(self) -> str:
+        left = ", ".join(sorted(self.antecedent))
+        right = ", ".join(sorted(self.consequent))
+        return (
+            f"{{{left}}} -> {{{right}}} "
+            f"(support={self.support:.3f}, "
+            f"confidence={self.confidence:.3f}, lift={self.lift:.2f})"
+        )
+
+
+def frequent_itemsets(
+    transactions, min_support: float = 0.1, max_length: int | None = None
+) -> dict[frozenset, float]:
+    """Mine itemsets with support at least ``min_support`` (Apriori).
+
+    Parameters
+    ----------
+    transactions:
+        Sequence of item collections (each becomes a frozenset).
+    min_support:
+        Minimum fraction of transactions an itemset must appear in.
+    max_length:
+        Optional cap on itemset size.
+
+    Returns
+    -------
+    dict
+        Itemset -> support, for every frequent itemset.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError(
+            f"min_support must be in (0, 1], got {min_support}"
+        )
+    transactions = [frozenset(transaction) for transaction in transactions]
+    if not transactions:
+        raise ValueError("cannot mine an empty transaction list")
+    n = len(transactions)
+    minimum_count = min_support * n
+
+    # L1: frequent single items.
+    item_counts: dict[frozenset, int] = {}
+    for transaction in transactions:
+        for item in transaction:
+            key = frozenset([item])
+            item_counts[key] = item_counts.get(key, 0) + 1
+    current_level = {
+        itemset: count
+        for itemset, count in item_counts.items()
+        if count >= minimum_count
+    }
+    frequent: dict[frozenset, float] = {
+        itemset: count / n for itemset, count in current_level.items()
+    }
+
+    length = 1
+    while current_level:
+        length += 1
+        if max_length is not None and length > max_length:
+            break
+        candidates = _generate_candidates(
+            list(current_level.keys()), length
+        )
+        if not candidates:
+            break
+        counts = dict.fromkeys(candidates, 0)
+        for transaction in transactions:
+            for candidate in candidates:
+                if candidate <= transaction:
+                    counts[candidate] += 1
+        current_level = {
+            itemset: count
+            for itemset, count in counts.items()
+            if count >= minimum_count
+        }
+        frequent.update(
+            (itemset, count / n)
+            for itemset, count in current_level.items()
+        )
+    return frequent
+
+
+def _generate_candidates(previous_level, length):
+    """Join step with Apriori pruning."""
+    previous_set = set(previous_level)
+    candidates = set()
+    for position, left in enumerate(previous_level):
+        for right in previous_level[position + 1:]:
+            union = left | right
+            if len(union) != length:
+                continue
+            # Prune: every (length-1)-subset must itself be frequent.
+            if all(
+                frozenset(subset) in previous_set
+                for subset in combinations(union, length - 1)
+            ):
+                candidates.add(union)
+    return candidates
+
+
+def association_rules(
+    transactions,
+    min_support: float = 0.1,
+    min_confidence: float = 0.6,
+    max_length: int | None = None,
+) -> list[AssociationRule]:
+    """Mine association rules meeting support and confidence thresholds.
+
+    Returns rules sorted by descending lift, then confidence.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValueError(
+            f"min_confidence must be in (0, 1], got {min_confidence}"
+        )
+    frequent = frequent_itemsets(
+        transactions, min_support=min_support, max_length=max_length
+    )
+    rules = []
+    for itemset, support in frequent.items():
+        if len(itemset) < 2:
+            continue
+        for antecedent_length in range(1, len(itemset)):
+            for antecedent_items in combinations(
+                sorted(itemset), antecedent_length
+            ):
+                antecedent = frozenset(antecedent_items)
+                consequent = itemset - antecedent
+                antecedent_support = frequent.get(antecedent)
+                consequent_support = frequent.get(consequent)
+                if antecedent_support is None or consequent_support is None:
+                    continue
+                confidence = support / antecedent_support
+                if confidence < min_confidence:
+                    continue
+                rules.append(AssociationRule(
+                    antecedent=antecedent,
+                    consequent=consequent,
+                    support=support,
+                    confidence=confidence,
+                    lift=confidence / consequent_support,
+                ))
+    rules.sort(key=lambda rule: (-rule.lift, -rule.confidence))
+    return rules
+
+
+def maximal_itemsets(frequent: dict[frozenset, float]):
+    """Filter a frequent-itemset dict down to its maximal members.
+
+    An itemset is maximal when no frequent superset exists; the maximal
+    family is the compact summary of the itemset lattice (every
+    frequent itemset is a subset of some maximal one).
+    """
+    itemsets = sorted(frequent, key=len, reverse=True)
+    maximal: list[frozenset] = []
+    for itemset in itemsets:
+        if not any(itemset < kept for kept in maximal):
+            maximal.append(itemset)
+    return {itemset: frequent[itemset] for itemset in maximal}
+
+
+def rule_overlap(
+    rules_a: list[AssociationRule], rules_b: list[AssociationRule]
+) -> float:
+    """Jaccard overlap between two rule sets (by antecedent/consequent).
+
+    Used to quantify how well rules mined from anonymized data agree
+    with rules mined from the original.
+    """
+    keys_a = {(rule.antecedent, rule.consequent) for rule in rules_a}
+    keys_b = {(rule.antecedent, rule.consequent) for rule in rules_b}
+    if not keys_a and not keys_b:
+        return 1.0
+    return len(keys_a & keys_b) / len(keys_a | keys_b)

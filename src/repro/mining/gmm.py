@@ -1,0 +1,235 @@
+"""Gaussian mixture models via expectation-maximization.
+
+A full generative density model, from scratch.  Beyond being another
+algorithm that consumes anonymized records unchanged, the GMM gives the
+reproduction a *generative utility* measure: fit a mixture on the
+original data and on the release, then compare the held-out
+log-likelihood each assigns to fresh original records (bench A14) —
+a stricter notion of fidelity than second moments alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.rng import check_random_state
+from repro.mining.kmeans import KMeans
+
+#: Log of the smallest responsibility denominator we allow.
+_LOG_FLOOR = -745.0
+
+
+class GaussianMixture:
+    """Full-covariance Gaussian mixture fit by EM.
+
+    Parameters
+    ----------
+    n_components:
+        Number of mixture components.
+    max_iter:
+        EM iteration cap.
+    tol:
+        Stop when the mean log-likelihood improves by less than this.
+    regularization:
+        Diagonal loading added to every component covariance each
+        M step, relative to the data's average attribute variance.
+    random_state:
+        Seed or generator (drives the k-means initialization).
+
+    Attributes
+    ----------
+    weights_ : numpy.ndarray, shape (n_components,)
+    means_ : numpy.ndarray, shape (n_components, d)
+    covariances_ : numpy.ndarray, shape (n_components, d, d)
+    converged_ : bool
+    n_iter_ : int
+    """
+
+    def __init__(self, n_components: int = 2, max_iter: int = 200,
+                 tol: float = 1e-5, regularization: float = 1e-6,
+                 random_state=None):
+        if n_components < 1:
+            raise ValueError(
+                f"n_components must be >= 1, got {n_components}"
+            )
+        if max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+        if tol < 0:
+            raise ValueError(f"tol must be non-negative, got {tol}")
+        if regularization < 0:
+            raise ValueError(
+                f"regularization must be non-negative, "
+                f"got {regularization}"
+            )
+        self.n_components = int(n_components)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.regularization = float(regularization)
+        self.random_state = random_state
+        self.weights_ = None
+        self.means_ = None
+        self.covariances_ = None
+        self.converged_ = False
+        self.n_iter_ = 0
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def fit(self, data: np.ndarray) -> "GaussianMixture":
+        """Fit the mixture by EM from a k-means initialization."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        n, d = data.shape
+        if n < self.n_components:
+            raise ValueError(
+                f"need at least n_components={self.n_components} "
+                f"records, got {n}"
+            )
+        rng = check_random_state(self.random_state)
+        loading = self.regularization * max(
+            float(data.var(axis=0).mean()), 1e-12
+        ) + 1e-10
+
+        # Initialize from k-means assignments.
+        kmeans = KMeans(
+            n_clusters=self.n_components, random_state=rng
+        ).fit(data)
+        self.weights_ = np.zeros(self.n_components)
+        self.means_ = np.zeros((self.n_components, d))
+        self.covariances_ = np.zeros((self.n_components, d, d))
+        for component in range(self.n_components):
+            members = data[kmeans.labels_ == component]
+            if members.shape[0] == 0:
+                members = data[
+                    rng.choice(n, size=max(2, d), replace=False)
+                ]
+            self.weights_[component] = members.shape[0] / n
+            self.means_[component] = members.mean(axis=0)
+            centered = members - self.means_[component]
+            self.covariances_[component] = (
+                centered.T @ centered / members.shape[0]
+                + loading * np.eye(d)
+            )
+        self.weights_ /= self.weights_.sum()
+
+        previous = -np.inf
+        for iteration in range(1, self.max_iter + 1):
+            log_joint = self._log_joint(data)
+            log_norm = _logsumexp(log_joint)
+            log_likelihood = float(log_norm.mean())
+            responsibilities = np.exp(
+                log_joint - log_norm[:, None]
+            )
+            # M step.
+            mass = responsibilities.sum(axis=0)
+            mass = np.clip(mass, 1e-12, None)
+            self.weights_ = mass / n
+            self.means_ = (
+                responsibilities.T @ data
+            ) / mass[:, None]
+            for component in range(self.n_components):
+                centered = data - self.means_[component]
+                weighted = centered * responsibilities[
+                    :, component
+                ][:, None]
+                self.covariances_[component] = (
+                    weighted.T @ centered / mass[component]
+                    + loading * np.eye(d)
+                )
+            self.n_iter_ = iteration
+            if log_likelihood - previous < self.tol:
+                self.converged_ = True
+                break
+            previous = log_likelihood
+        return self
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def _log_joint(self, data: np.ndarray) -> np.ndarray:
+        """``log(weight_c · N(x | μ_c, Σ_c))`` per record and component."""
+        self._require_fitted()
+        data = np.atleast_2d(np.asarray(data, dtype=float))
+        if data.shape[1] != self.means_.shape[1]:
+            raise ValueError(
+                f"expected {self.means_.shape[1]} attributes, "
+                f"got {data.shape[1]}"
+            )
+        d = data.shape[1]
+        log_joint = np.empty((data.shape[0], self.n_components))
+        for component in range(self.n_components):
+            covariance = self.covariances_[component]
+            sign, log_determinant = np.linalg.slogdet(covariance)
+            precision = np.linalg.inv(covariance)
+            centered = data - self.means_[component]
+            mahalanobis = np.einsum(
+                "ij,jk,ik->i", centered, precision, centered
+            )
+            log_joint[:, component] = (
+                np.log(self.weights_[component] + 1e-300)
+                - 0.5 * (
+                    d * np.log(2.0 * np.pi)
+                    + log_determinant
+                    + mahalanobis
+                )
+            )
+        return log_joint
+
+    def score_samples(self, data: np.ndarray) -> np.ndarray:
+        """Per-record log-density under the mixture."""
+        return _logsumexp(self._log_joint(data))
+
+    def score(self, data: np.ndarray) -> float:
+        """Mean log-likelihood of a record array."""
+        return float(self.score_samples(data).mean())
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Most responsible component per record."""
+        return np.argmax(self._log_joint(data), axis=1)
+
+    def predict_proba(self, data: np.ndarray) -> np.ndarray:
+        """Component responsibilities per record."""
+        log_joint = self._log_joint(data)
+        log_norm = _logsumexp(log_joint)
+        return np.exp(log_joint - log_norm[:, None])
+
+    def sample(self, n_samples: int, random_state=None) -> np.ndarray:
+        """Draw records from the fitted mixture."""
+        self._require_fitted()
+        if n_samples < 1:
+            raise ValueError(
+                f"n_samples must be >= 1, got {n_samples}"
+            )
+        rng = check_random_state(random_state)
+        assignments = rng.choice(
+            self.n_components, size=n_samples, p=self.weights_
+        )
+        d = self.means_.shape[1]
+        samples = np.empty((n_samples, d))
+        for component in range(self.n_components):
+            members = np.flatnonzero(assignments == component)
+            if members.shape[0] == 0:
+                continue
+            samples[members] = rng.multivariate_normal(
+                self.means_[component],
+                self.covariances_[component],
+                size=members.shape[0],
+                method="cholesky",
+            )
+        return samples
+
+    def _require_fitted(self):
+        if self.means_ is None:
+            raise RuntimeError("mixture is not fitted; call fit() first")
+
+
+def _logsumexp(log_values: np.ndarray) -> np.ndarray:
+    """Row-wise log-sum-exp with the usual max shift."""
+    peak = log_values.max(axis=1, keepdims=True)
+    peak = np.clip(peak, _LOG_FLOOR, None)
+    return peak[:, 0] + np.log(
+        np.exp(log_values - peak).sum(axis=1)
+    )

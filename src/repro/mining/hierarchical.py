@@ -1,0 +1,105 @@
+"""Agglomerative hierarchical clustering.
+
+Complements k-means and DBSCAN in the mining suite: a bottom-up
+clusterer with single / complete / average linkage.  Like the others it
+consumes condensation-anonymized records unchanged — and its bottom-up
+merge tree is the conceptual cousin of the condensation group structure
+itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neighbors.brute import pairwise_distances
+
+_LINKAGES = ("single", "complete", "average")
+
+
+class AgglomerativeClustering:
+    """Bottom-up clustering with a cluster-count stopping rule.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters to stop at.
+    linkage:
+        ``"single"`` (minimum pairwise distance), ``"complete"``
+        (maximum), or ``"average"`` (unweighted mean) — the
+        Lance-Williams family, updated incrementally.
+
+    Attributes
+    ----------
+    labels_ : numpy.ndarray, shape (n,)
+        Cluster index per record, contiguous from 0.
+    merge_history_ : list of tuple
+        ``(cluster_a, cluster_b, distance)`` per merge, in order —
+        enough to cut the dendrogram elsewhere.
+    """
+
+    def __init__(self, n_clusters: int = 2, linkage: str = "average"):
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        if linkage not in _LINKAGES:
+            raise ValueError(
+                f"linkage must be one of {_LINKAGES}, got {linkage!r}"
+            )
+        self.n_clusters = int(n_clusters)
+        self.linkage = linkage
+        self.labels_ = None
+        self.merge_history_ = None
+
+    def fit(self, data: np.ndarray) -> "AgglomerativeClustering":
+        """Cluster a record array of shape ``(n, d)``."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        n = data.shape[0]
+        if n < self.n_clusters:
+            raise ValueError(
+                f"need at least n_clusters={self.n_clusters} records, "
+                f"got {n}"
+            )
+        # Dissimilarity matrix with inf diagonal; updated in place by
+        # Lance-Williams as clusters merge.
+        distances = pairwise_distances(data, data)
+        np.fill_diagonal(distances, np.inf)
+        active = np.ones(n, dtype=bool)
+        sizes = np.ones(n)
+        membership = np.arange(n)
+        history = []
+        remaining = n
+        while remaining > self.n_clusters:
+            flat = np.argmin(distances)
+            a, b = np.unravel_index(flat, distances.shape)
+            if a > b:
+                a, b = b, a
+            merge_distance = float(distances[a, b])
+            history.append((int(a), int(b), merge_distance))
+            # Lance-Williams update of row/column a (absorbing b).
+            if self.linkage == "single":
+                updated = np.minimum(distances[a], distances[b])
+            elif self.linkage == "complete":
+                updated = np.maximum(distances[a], distances[b])
+            else:
+                weight_a = sizes[a] / (sizes[a] + sizes[b])
+                weight_b = sizes[b] / (sizes[a] + sizes[b])
+                updated = weight_a * distances[a] + weight_b * distances[b]
+            distances[a, :] = updated
+            distances[:, a] = updated
+            distances[a, a] = np.inf
+            distances[b, :] = np.inf
+            distances[:, b] = np.inf
+            sizes[a] += sizes[b]
+            active[b] = False
+            membership[membership == b] = a
+            remaining -= 1
+        # Relabel to contiguous 0..n_clusters-1.
+        __, labels = np.unique(membership, return_inverse=True)
+        self.labels_ = labels
+        self.merge_history_ = history
+        return self
+
+    def fit_predict(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return its cluster labels."""
+        return self.fit(data).labels_

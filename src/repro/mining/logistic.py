@@ -1,0 +1,114 @@
+"""Binary logistic regression (gradient descent with L2 penalty).
+
+A probabilistic linear classifier rounding out the mining suite — like
+the decision tree, it trains on condensation-anonymized records exactly
+as it would on originals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    expz = np.exp(z[~positive])
+    out[~positive] = expz / (1.0 + expz)
+    return out
+
+
+class LogisticRegression:
+    """Two-class logistic regression.
+
+    Parameters
+    ----------
+    penalty:
+        L2 regularization strength (0 disables it); the intercept is
+        never penalized.
+    learning_rate:
+        Gradient step size.
+    max_iter:
+        Iteration cap.
+    tol:
+        Stop when the gradient's infinity norm drops below this.
+    """
+
+    def __init__(self, penalty: float = 1e-3, learning_rate: float = 0.1,
+                 max_iter: int = 2000, tol: float = 1e-6):
+        if penalty < 0:
+            raise ValueError(f"penalty must be non-negative, got {penalty}")
+        if learning_rate <= 0:
+            raise ValueError(
+                f"learning_rate must be positive, got {learning_rate}"
+            )
+        if max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+        self.penalty = float(penalty)
+        self.learning_rate = float(learning_rate)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.classes_ = None
+        self.coef_ = None
+        self.intercept_ = 0.0
+        self.n_iter_ = 0
+
+    def fit(self, data: np.ndarray, labels: np.ndarray):
+        """Fit on a two-class labelled record array."""
+        data = np.asarray(data, dtype=float)
+        labels = np.asarray(labels)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        if labels.shape != (data.shape[0],):
+            raise ValueError(
+                f"labels must have shape ({data.shape[0]},), "
+                f"got {labels.shape}"
+            )
+        self.classes_ = np.unique(labels)
+        if self.classes_.shape[0] != 2:
+            raise ValueError(
+                "logistic regression is binary; got "
+                f"{self.classes_.shape[0]} classes"
+            )
+        targets = (labels == self.classes_[1]).astype(float)
+        n, d = data.shape
+        weights = np.zeros(d)
+        intercept = 0.0
+        for iteration in range(1, self.max_iter + 1):
+            probabilities = _sigmoid(data @ weights + intercept)
+            residual = probabilities - targets
+            gradient_w = data.T @ residual / n + self.penalty * weights
+            gradient_b = float(residual.mean())
+            weights -= self.learning_rate * gradient_w
+            intercept -= self.learning_rate * gradient_b
+            self.n_iter_ = iteration
+            if max(
+                float(np.abs(gradient_w).max()), abs(gradient_b)
+            ) < self.tol:
+                break
+        self.coef_ = weights
+        self.intercept_ = intercept
+        return self
+
+    def decision_function(self, data: np.ndarray) -> np.ndarray:
+        """Signed distance to the decision boundary."""
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        data = np.atleast_2d(np.asarray(data, dtype=float))
+        return data @ self.coef_ + self.intercept_
+
+    def predict_proba(self, data: np.ndarray) -> np.ndarray:
+        """Class probabilities, shape ``(m, 2)``."""
+        positive = _sigmoid(self.decision_function(data))
+        return np.column_stack([1.0 - positive, positive])
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Predicted class labels."""
+        positive = self.decision_function(data) >= 0.0
+        return np.where(positive, self.classes_[1], self.classes_[0])
+
+    def score(self, data: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy."""
+        labels = np.asarray(labels)
+        return float(np.mean(self.predict(data) == labels))

@@ -1,0 +1,100 @@
+"""Gaussian naive Bayes classifier.
+
+A second off-the-shelf mining algorithm for the paper's central claim:
+condensation-anonymized data plugs into existing algorithms unchanged.
+Naive Bayes is also an instructive contrast — it ignores inter-attribute
+correlations, the very structure condensation preserves and the additive
+perturbation baseline destroys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class GaussianNaiveBayes:
+    """Per-class independent Gaussian likelihood classifier.
+
+    Parameters
+    ----------
+    var_smoothing:
+        Fraction of the largest per-attribute variance added to every
+        class variance for numerical stability.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        if var_smoothing < 0:
+            raise ValueError(
+                f"var_smoothing must be non-negative, got {var_smoothing}"
+            )
+        self.var_smoothing = float(var_smoothing)
+        self.classes_ = None
+        self.class_prior_ = None
+        self.theta_ = None
+        self.var_ = None
+
+    def fit(self, data: np.ndarray, labels: np.ndarray):
+        """Estimate per-class means, variances and priors."""
+        data = np.asarray(data, dtype=float)
+        labels = np.asarray(labels)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        if labels.shape != (data.shape[0],):
+            raise ValueError(
+                f"labels must have shape ({data.shape[0]},), "
+                f"got {labels.shape}"
+            )
+        self.classes_ = np.unique(labels)
+        n_classes = self.classes_.shape[0]
+        d = data.shape[1]
+        self.theta_ = np.zeros((n_classes, d))
+        self.var_ = np.zeros((n_classes, d))
+        self.class_prior_ = np.zeros(n_classes)
+        epsilon = self.var_smoothing * float(data.var(axis=0).max() or 1.0)
+        for position, label in enumerate(self.classes_):
+            members = data[labels == label]
+            self.theta_[position] = members.mean(axis=0)
+            self.var_[position] = members.var(axis=0) + epsilon
+            self.class_prior_[position] = members.shape[0] / data.shape[0]
+        return self
+
+    def _joint_log_likelihood(self, data: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("classifier is not fitted; call fit() first")
+        data = np.atleast_2d(np.asarray(data, dtype=float))
+        if data.shape[1] != self.theta_.shape[1]:
+            raise ValueError(
+                f"expected {self.theta_.shape[1]} attributes, "
+                f"got {data.shape[1]}"
+            )
+        log_likelihoods = np.empty((data.shape[0], self.classes_.shape[0]))
+        for position in range(self.classes_.shape[0]):
+            mean = self.theta_[position]
+            variance = self.var_[position]
+            log_norm = -0.5 * np.sum(np.log(2.0 * np.pi * variance))
+            deviations = (data - mean) ** 2 / variance
+            log_likelihoods[:, position] = (
+                log_norm
+                - 0.5 * deviations.sum(axis=1)
+                + np.log(self.class_prior_[position])
+            )
+        return log_likelihoods
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Maximum a-posteriori class per record."""
+        log_likelihoods = self._joint_log_likelihood(data)
+        return self.classes_[np.argmax(log_likelihoods, axis=1)]
+
+    def predict_proba(self, data: np.ndarray) -> np.ndarray:
+        """Posterior class probabilities via the log-sum-exp trick."""
+        log_likelihoods = self._joint_log_likelihood(data)
+        shifted = log_likelihoods - log_likelihoods.max(
+            axis=1, keepdims=True
+        )
+        probabilities = np.exp(shifted)
+        return probabilities / probabilities.sum(axis=1, keepdims=True)
+
+    def score(self, data: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on a labelled set."""
+        labels = np.asarray(labels)
+        return float(np.mean(self.predict(data) == labels))

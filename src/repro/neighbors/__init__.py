@@ -1,0 +1,30 @@
+"""Nearest-neighbour search structures and k-NN estimators.
+
+The condensation algorithm's inner loop is a k-nearest-neighbour query
+(static grouping absorbs the ``k-1`` closest records to each seed, the
+dynamic maintainer routes stream points to the nearest centroid) and the
+paper's downstream mining example is a nearest-neighbour classifier — so
+this package is both a substrate of the core algorithm and a mining
+algorithm in its own right.
+
+* :class:`BruteForceIndex` — exact search by full distance computation.
+* :class:`KDTreeIndex` — exact search via a from-scratch k-d tree,
+  asymptotically faster in low-to-moderate dimension.
+* :class:`KNeighborsClassifier` / :class:`KNeighborsRegressor` — the
+  estimators used in the paper's evaluation (simple NN classification and
+  the Abalone within-one-year age prediction).
+"""
+
+from repro.neighbors.brute import BruteForceIndex, pairwise_distances
+from repro.neighbors.kdtree import KDTreeIndex
+from repro.neighbors.knn import KNeighborsClassifier, KNeighborsRegressor
+from repro.neighbors.lsh import LSHIndex
+
+__all__ = [
+    "BruteForceIndex",
+    "KDTreeIndex",
+    "LSHIndex",
+    "KNeighborsClassifier",
+    "KNeighborsRegressor",
+    "pairwise_distances",
+]

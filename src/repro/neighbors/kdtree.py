@@ -1,0 +1,189 @@
+"""A from-scratch k-d tree for exact nearest-neighbour search.
+
+Median-split construction over the widest-spread dimension, array-based
+node storage, and a best-first branch-and-bound query.  Exactness is
+asserted against :class:`repro.neighbors.BruteForceIndex` in the test
+suite, including on adversarial (duplicated / collinear) point sets.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+_LEAF = -1
+
+
+class _Node:
+    """Internal k-d tree node (leaf when ``axis == _LEAF``)."""
+
+    __slots__ = ("axis", "threshold", "left", "right", "indices", "lo", "hi")
+
+    def __init__(self, axis, threshold, left, right, indices, lo, hi):
+        self.axis = axis
+        self.threshold = threshold
+        self.left = left
+        self.right = right
+        self.indices = indices
+        self.lo = lo
+        self.hi = hi
+
+
+class KDTreeIndex:
+    """Exact k-NN index backed by a k-d tree.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)`` to index.  A copy is stored.
+    leaf_size:
+        Maximum number of records per leaf; smaller leaves mean deeper
+        trees and cheaper leaf scans.
+    """
+
+    def __init__(self, points: np.ndarray, leaf_size: int = 16):
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-D, got shape {points.shape}")
+        if points.shape[0] == 0:
+            raise ValueError("cannot index an empty point set")
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+        self._points = points.copy()
+        self._leaf_size = int(leaf_size)
+        all_indices = np.arange(points.shape[0])
+        self._root = self._build(all_indices)
+
+    @property
+    def n_points(self) -> int:
+        """Number of indexed records."""
+        return self._points.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality of the indexed records."""
+        return self._points.shape[1]
+
+    def _build(self, indices: np.ndarray) -> _Node:
+        subset = self._points[indices]
+        lo = subset.min(axis=0)
+        hi = subset.max(axis=0)
+        if indices.shape[0] <= self._leaf_size:
+            return _Node(_LEAF, 0.0, None, None, indices, lo, hi)
+        spreads = hi - lo
+        axis = int(np.argmax(spreads))
+        if spreads[axis] <= 0.0:
+            # All points identical along every axis: keep as a leaf no
+            # matter the count, a split could never separate them.
+            return _Node(_LEAF, 0.0, None, None, indices, lo, hi)
+        values = subset[:, axis]
+        median = float(np.median(values))
+        left_mask = values <= median
+        # Guard against degenerate splits when many values equal the
+        # median: move the boundary so both sides are non-empty.
+        if left_mask.all():
+            left_mask = values < median
+            if not left_mask.any():
+                return _Node(_LEAF, 0.0, None, None, indices, lo, hi)
+        left = self._build(indices[left_mask])
+        right = self._build(indices[~left_mask])
+        return _Node(axis, median, left, right, None, lo, hi)
+
+    @staticmethod
+    def _box_distance(query: np.ndarray, node: _Node) -> float:
+        """Squared distance from ``query`` to the node's bounding box."""
+        below = np.clip(node.lo - query, 0.0, None)
+        above = np.clip(query - node.hi, 0.0, None)
+        return float(below @ below + above @ above)
+
+    def _query_single(self, query: np.ndarray, k: int):
+        # Max-heap of the current k best as (-squared_distance, index).
+        best: list[tuple[float, int]] = []
+        # Min-heap frontier of (box_distance, tiebreak, node).
+        counter = 0
+        frontier = [(self._box_distance(query, self._root), 0, self._root)]
+        while frontier:
+            box_distance, __, node = heapq.heappop(frontier)
+            if len(best) == k and box_distance >= -best[0][0]:
+                break
+            if node.axis == _LEAF:
+                diffs = self._points[node.indices] - query
+                squared = np.einsum("ij,ij->i", diffs, diffs)
+                for distance, index in zip(squared, node.indices):
+                    if len(best) < k:
+                        heapq.heappush(best, (-distance, -int(index)))
+                    elif distance < -best[0][0]:
+                        heapq.heapreplace(best, (-distance, -int(index)))
+                continue
+            for child in (node.left, node.right):
+                child_distance = self._box_distance(query, child)
+                if len(best) < k or child_distance < -best[0][0]:
+                    counter += 1
+                    heapq.heappush(frontier, (child_distance, counter, child))
+        ordered = sorted((-d, -i) for d, i in best)
+        distances = np.sqrt(np.array([d for d, __ in ordered]))
+        indices = np.array([i for __, i in ordered], dtype=np.int64)
+        return distances, indices
+
+    def query(self, queries: np.ndarray, k: int = 1):
+        """Find the ``k`` nearest indexed records for each query.
+
+        Same contract as :meth:`BruteForceIndex.query`: returns
+        ``(distances, indices)`` with ascending distances per row.  Ties
+        are broken by preferring the lower index, so results are
+        deterministic.
+        """
+        queries = np.asarray(queries, dtype=float)
+        single = queries.ndim == 1
+        queries = np.atleast_2d(queries)
+        if queries.shape[1] != self.n_features:
+            raise ValueError(
+                "dimensionality mismatch: "
+                f"{queries.shape[1]} vs {self.n_features}"
+            )
+        if not 1 <= k <= self.n_points:
+            raise ValueError(f"k must be in [1, {self.n_points}], got {k}")
+        all_distances = np.empty((queries.shape[0], k))
+        all_indices = np.empty((queries.shape[0], k), dtype=np.int64)
+        for row, query in enumerate(queries):
+            distances, indices = self._query_single(query, k)
+            all_distances[row] = distances
+            all_indices[row] = indices
+        if single:
+            return all_distances[0], all_indices[0]
+        return all_distances, all_indices
+
+    def query_radius(self, query: np.ndarray, radius: float) -> np.ndarray:
+        """Indices of all records within ``radius`` of a single query.
+
+        Branch-and-bound over the tree's bounding boxes; results are
+        returned in ascending index order (matching the brute-force
+        index up to ordering).
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        query = np.asarray(query, dtype=float)
+        if query.shape != (self.n_features,):
+            raise ValueError(
+                f"query must have shape ({self.n_features},), "
+                f"got {query.shape}"
+            )
+        squared_radius = radius * radius
+        hits: list[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if self._box_distance(query, node) > squared_radius:
+                continue
+            if node.axis == _LEAF:
+                diffs = self._points[node.indices] - query
+                squared = np.einsum("ij,ij->i", diffs, diffs)
+                hits.extend(
+                    int(index)
+                    for index in node.indices[squared <= squared_radius]
+                )
+                continue
+            stack.append(node.left)
+            stack.append(node.right)
+        return np.array(sorted(hits), dtype=np.int64)

@@ -1,0 +1,167 @@
+"""k-nearest-neighbour classification and regression.
+
+These are the downstream mining algorithms of the paper's evaluation: a
+"simple nearest neighbor classifier" (§2.3, §4) for Ionosphere / Ecoli /
+Pima, and nearest-neighbour age prediction for Abalone.  They run
+unchanged on original or condensation-anonymized data — which is the
+paper's central claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neighbors.brute import BruteForceIndex
+from repro.neighbors.kdtree import KDTreeIndex
+from repro.neighbors.lsh import LSHIndex
+
+_INDEX_BUILDERS = {
+    "brute": BruteForceIndex,
+    "kd_tree": KDTreeIndex,
+    "lsh": LSHIndex,
+}
+
+
+def _build_index(points: np.ndarray, algorithm: str):
+    try:
+        builder = _INDEX_BUILDERS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; "
+            f"expected one of {sorted(_INDEX_BUILDERS)}"
+        ) from None
+    return builder(points)
+
+
+class KNeighborsClassifier:
+    """Majority-vote k-NN classifier.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours to vote; 1 reproduces the paper's simple
+        nearest-neighbour classifier.
+    algorithm:
+        ``"brute"`` (default), ``"kd_tree"`` (exact, faster in low
+        dimension), or ``"lsh"`` (approximate, for large n).
+    """
+
+    def __init__(self, n_neighbors: int = 1, algorithm: str = "brute"):
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        self.n_neighbors = int(n_neighbors)
+        self.algorithm = algorithm
+        self._index = None
+        self._labels = None
+        self.classes_ = None
+
+    def fit(self, data: np.ndarray, labels: np.ndarray):
+        """Index the training records and remember their labels."""
+        data = np.asarray(data, dtype=float)
+        labels = np.asarray(labels)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        if labels.shape != (data.shape[0],):
+            raise ValueError(
+                f"labels must have shape ({data.shape[0]},), "
+                f"got {labels.shape}"
+            )
+        if data.shape[0] < self.n_neighbors:
+            raise ValueError(
+                f"need at least n_neighbors={self.n_neighbors} training "
+                f"records, got {data.shape[0]}"
+            )
+        self.classes_, encoded = np.unique(labels, return_inverse=True)
+        self._labels = encoded
+        self._index = _build_index(data, self.algorithm)
+        return self
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        """Predict a label for each query record."""
+        votes = self._vote_counts(queries)
+        winners = np.argmax(votes, axis=1)
+        return self.classes_[winners]
+
+    def predict_proba(self, queries: np.ndarray) -> np.ndarray:
+        """Neighbour-vote label frequencies, shape ``(m, n_classes)``."""
+        votes = self._vote_counts(queries)
+        return votes / self.n_neighbors
+
+    def score(self, queries: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on a labelled set."""
+        labels = np.asarray(labels)
+        predictions = self.predict(queries)
+        return float(np.mean(predictions == labels))
+
+    def _vote_counts(self, queries: np.ndarray) -> np.ndarray:
+        if self._index is None:
+            raise RuntimeError("classifier is not fitted; call fit() first")
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        __, indices = self._index.query(queries, k=self.n_neighbors)
+        indices = np.atleast_2d(indices)
+        neighbour_labels = self._labels[indices]
+        counts = np.zeros((queries.shape[0], self.classes_.shape[0]))
+        for column in range(self.n_neighbors):
+            np.add.at(
+                counts,
+                (np.arange(queries.shape[0]), neighbour_labels[:, column]),
+                1.0,
+            )
+        return counts
+
+
+class KNeighborsRegressor:
+    """Neighbour-mean k-NN regressor.
+
+    Used for the Abalone experiment: predict the (continuous) age and
+    score with a within-tolerance accuracy, per the paper's protocol.
+    """
+
+    def __init__(self, n_neighbors: int = 1, algorithm: str = "brute"):
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        self.n_neighbors = int(n_neighbors)
+        self.algorithm = algorithm
+        self._index = None
+        self._targets = None
+
+    def fit(self, data: np.ndarray, targets: np.ndarray):
+        """Index the training records and remember their targets."""
+        data = np.asarray(data, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        if targets.shape != (data.shape[0],):
+            raise ValueError(
+                f"targets must have shape ({data.shape[0]},), "
+                f"got {targets.shape}"
+            )
+        if data.shape[0] < self.n_neighbors:
+            raise ValueError(
+                f"need at least n_neighbors={self.n_neighbors} training "
+                f"records, got {data.shape[0]}"
+            )
+        self._targets = targets.copy()
+        self._index = _build_index(data, self.algorithm)
+        return self
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        """Predict the mean target of each query's neighbours."""
+        if self._index is None:
+            raise RuntimeError("regressor is not fitted; call fit() first")
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        __, indices = self._index.query(queries, k=self.n_neighbors)
+        indices = np.atleast_2d(indices)
+        return self._targets[indices].mean(axis=1)
+
+    def score(
+        self, queries: np.ndarray, targets: np.ndarray, tol: float = 1.0
+    ) -> float:
+        """Fraction of predictions within ``tol`` of the true target.
+
+        This is the paper's Abalone metric ("percentage of the time that
+        the age was predicted within an accuracy of less than one year").
+        """
+        targets = np.asarray(targets, dtype=float)
+        predictions = self.predict(queries)
+        return float(np.mean(np.abs(predictions - targets) <= tol))

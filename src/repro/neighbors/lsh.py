@@ -1,0 +1,139 @@
+"""Approximate nearest neighbours via random-projection LSH.
+
+For very large data sets the exact indexes (brute force, k-d tree) can
+be too slow per query; locality-sensitive hashing trades a little
+recall for sub-linear candidate generation.  This is the classic
+random-hyperplane scheme for Euclidean/cosine similarity: each table
+hashes a record to the sign pattern of a handful of random projections,
+queries probe their own bucket in every table, and the union of bucket
+members is re-ranked exactly.
+
+Recall against the exact index is measured, not assumed — see the test
+suite and the contract below.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.rng import check_random_state
+from repro.neighbors.brute import pairwise_distances
+
+
+class LSHIndex:
+    """Approximate k-NN with random-hyperplane hash tables.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)`` to index.  A copy is stored.
+    n_tables:
+        Number of independent hash tables; more tables raise recall at
+        linear memory/query cost.
+    n_bits:
+        Hyperplanes per table (bucket key width); more bits mean
+        smaller buckets — faster but lower recall.
+    random_state:
+        Seed or generator for the hyperplanes.
+    """
+
+    def __init__(self, points: np.ndarray, n_tables: int = 8,
+                 n_bits: int = 8, random_state=None):
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-D, got shape {points.shape}")
+        if points.shape[0] == 0:
+            raise ValueError("cannot index an empty point set")
+        if n_tables < 1:
+            raise ValueError(f"n_tables must be >= 1, got {n_tables}")
+        if n_bits < 1:
+            raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+        self._points = points.copy()
+        self.n_tables = int(n_tables)
+        self.n_bits = int(n_bits)
+        rng = check_random_state(random_state)
+        # Hyperplanes pass through the data mean so sign bits split the
+        # data rather than all landing on one side.
+        self._centre = points.mean(axis=0)
+        self._hyperplanes = rng.standard_normal(
+            (self.n_tables, self.n_bits, points.shape[1])
+        )
+        self._tables: list[dict] = []
+        centered = self._points - self._centre
+        for table in range(self.n_tables):
+            keys = self._hash(centered, table)
+            buckets: dict = {}
+            for index, key in enumerate(keys):
+                buckets.setdefault(key, []).append(index)
+            self._tables.append(buckets)
+
+    @property
+    def n_points(self) -> int:
+        """Number of indexed records."""
+        return self._points.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality of the indexed records."""
+        return self._points.shape[1]
+
+    def _hash(self, centered: np.ndarray, table: int) -> np.ndarray:
+        projections = centered @ self._hyperplanes[table].T
+        bits = (projections >= 0).astype(np.uint64)
+        weights = (1 << np.arange(self.n_bits, dtype=np.uint64))
+        return bits @ weights
+
+    def _candidates(self, query: np.ndarray) -> np.ndarray:
+        centered = (query - self._centre)[None, :]
+        found: set[int] = set()
+        for table in range(self.n_tables):
+            key = int(self._hash(centered, table)[0])
+            found.update(self._tables[table].get(key, ()))
+        return np.fromiter(found, dtype=np.int64, count=len(found))
+
+    def query(self, queries: np.ndarray, k: int = 1):
+        """Approximate ``k`` nearest neighbours per query.
+
+        Same return contract as the exact indexes — but the neighbours
+        are drawn from the hash candidates only.  When a query's
+        candidate set is smaller than ``k`` it is topped up by a brute
+        scan, so the result always has ``k`` entries (and degenerates
+        gracefully to exact search on hostile data).
+        """
+        queries = np.asarray(queries, dtype=float)
+        single = queries.ndim == 1
+        queries = np.atleast_2d(queries)
+        if queries.shape[1] != self.n_features:
+            raise ValueError(
+                "dimensionality mismatch: "
+                f"{queries.shape[1]} vs {self.n_features}"
+            )
+        if not 1 <= k <= self.n_points:
+            raise ValueError(f"k must be in [1, {self.n_points}], got {k}")
+        all_distances = np.empty((queries.shape[0], k))
+        all_indices = np.empty((queries.shape[0], k), dtype=np.int64)
+        for row, query in enumerate(queries):
+            candidates = self._candidates(query)
+            if candidates.shape[0] < k:
+                candidates = np.arange(self.n_points)
+            distances = pairwise_distances(
+                query[None, :], self._points[candidates], squared=True
+            )[0]
+            order = np.argsort(distances, kind="stable")[:k]
+            all_indices[row] = candidates[order]
+            all_distances[row] = np.sqrt(distances[order])
+        if single:
+            return all_distances[0], all_indices[0]
+        return all_distances, all_indices
+
+    def recall_at_k(self, queries: np.ndarray, k: int,
+                    exact_indices: np.ndarray) -> float:
+        """Fraction of exact neighbours the approximate query found."""
+        __, approximate = self.query(queries, k=k)
+        approximate = np.atleast_2d(approximate)
+        exact_indices = np.atleast_2d(exact_indices)
+        hits = 0
+        for approx_row, exact_row in zip(approximate, exact_indices):
+            hits += len(set(approx_row.tolist())
+                        & set(exact_row.tolist()))
+        return hits / exact_indices.size

@@ -1,0 +1,21 @@
+"""Data preparation utilities: scaling, encoding, splitting."""
+
+from repro.preprocessing.encoders import LabelEncoder, one_hot_encode
+from repro.preprocessing.mixed import MixedTypeEncoder
+from repro.preprocessing.scalers import MinMaxScaler, StandardScaler
+from repro.preprocessing.splits import (
+    KFold,
+    StratifiedKFold,
+    train_test_split,
+)
+
+__all__ = [
+    "LabelEncoder",
+    "MixedTypeEncoder",
+    "one_hot_encode",
+    "MinMaxScaler",
+    "StandardScaler",
+    "KFold",
+    "StratifiedKFold",
+    "train_test_split",
+]

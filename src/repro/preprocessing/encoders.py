@@ -1,0 +1,92 @@
+"""Label and categorical-attribute encoding.
+
+The Abalone data set carries one categorical attribute (sex); the twin
+generator emits it as a category that must be numerically encoded before
+distance computations, exactly as a practitioner would prepare the UCI
+original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LabelEncoder:
+    """Map arbitrary hashable labels to contiguous integers ``0..K-1``."""
+
+    def __init__(self):
+        self.classes_ = None
+        self._index = None
+
+    def fit(self, labels: np.ndarray):
+        """Learn the label vocabulary (sorted order)."""
+        labels = np.asarray(labels)
+        if labels.ndim != 1:
+            raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+        if labels.shape[0] == 0:
+            raise ValueError("cannot fit an encoder on no labels")
+        self.classes_ = np.unique(labels)
+        self._index = {
+            label: position for position, label in enumerate(self.classes_)
+        }
+        return self
+
+    def transform(self, labels: np.ndarray) -> np.ndarray:
+        """Encode labels; unseen labels raise ``ValueError``."""
+        if self._index is None:
+            raise RuntimeError("encoder is not fitted; call fit() first")
+        labels = np.asarray(labels)
+        try:
+            return np.array(
+                [self._index[label] for label in labels], dtype=np.int64
+            )
+        except KeyError as error:
+            raise ValueError(f"unseen label: {error.args[0]!r}") from None
+
+    def fit_transform(self, labels: np.ndarray) -> np.ndarray:
+        """Fit on ``labels`` and return their encoding."""
+        return self.fit(labels).transform(labels)
+
+    def inverse_transform(self, encoded: np.ndarray) -> np.ndarray:
+        """Decode integer codes back to the original labels."""
+        if self.classes_ is None:
+            raise RuntimeError("encoder is not fitted; call fit() first")
+        encoded = np.asarray(encoded, dtype=np.int64)
+        if encoded.size and (
+            encoded.min() < 0 or encoded.max() >= self.classes_.shape[0]
+        ):
+            raise ValueError("encoded values out of range")
+        return self.classes_[encoded]
+
+
+def one_hot_encode(labels: np.ndarray, n_classes: int | None = None):
+    """One-hot matrix for integer labels.
+
+    Parameters
+    ----------
+    labels:
+        Integer array of shape ``(n,)`` with values in ``[0, n_classes)``.
+    n_classes:
+        Number of columns; inferred as ``labels.max() + 1`` when omitted.
+
+    Returns
+    -------
+    numpy.ndarray, shape (n, n_classes)
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size == 0:
+        raise ValueError("cannot one-hot encode no labels")
+    if labels.min() < 0:
+        raise ValueError("labels must be non-negative integers")
+    if n_classes is None:
+        n_classes = int(labels.max()) + 1
+    elif labels.max() >= n_classes:
+        raise ValueError(
+            f"label {int(labels.max())} out of range for "
+            f"n_classes={n_classes}"
+        )
+    encoded = np.zeros((labels.shape[0], n_classes))
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded

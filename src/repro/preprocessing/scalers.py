@@ -1,0 +1,123 @@
+"""Feature scaling.
+
+Nearest-neighbour methods — both the condensation grouping and the k-NN
+classifier — are distance-based, so attribute scales matter.  The
+experiment harness standardizes every data set before condensation, the
+same preparation any practitioner would apply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Standardize attributes to zero mean and unit variance.
+
+    Zero-variance attributes are left centred but unscaled (divisor 1) so
+    constant columns pass through without producing NaNs.
+    """
+
+    def __init__(self):
+        self.mean_ = None
+        self.scale_ = None
+
+    def fit(self, data: np.ndarray):
+        """Learn per-attribute means and standard deviations."""
+        data = self._validate(data)
+        self.mean_ = data.mean(axis=0)
+        scale = data.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Apply the learned standardization."""
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted; call fit() first")
+        data = self._validate(data)
+        if data.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected {self.mean_.shape[0]} attributes, "
+                f"got {data.shape[1]}"
+            )
+        return (data - self.mean_) / self.scale_
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return its transform."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        """Undo the standardization."""
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted; call fit() first")
+        data = self._validate(data)
+        return data * self.scale_ + self.mean_
+
+    @staticmethod
+    def _validate(data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        if data.shape[0] == 0:
+            raise ValueError("cannot scale an empty data set")
+        return data
+
+
+class MinMaxScaler:
+    """Rescale attributes into ``[feature_min, feature_max]``.
+
+    Constant columns map to the midpoint of the target range.
+    """
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)):
+        low, high = feature_range
+        if not low < high:
+            raise ValueError(
+                f"feature_range must satisfy low < high, got {feature_range}"
+            )
+        self.feature_range = (float(low), float(high))
+        self.data_min_ = None
+        self.data_max_ = None
+
+    def fit(self, data: np.ndarray):
+        """Learn per-attribute minima and maxima."""
+        data = StandardScaler._validate(data)
+        self.data_min_ = data.min(axis=0)
+        self.data_max_ = data.max(axis=0)
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Apply the learned rescaling."""
+        if self.data_min_ is None:
+            raise RuntimeError("scaler is not fitted; call fit() first")
+        data = StandardScaler._validate(data)
+        if data.shape[1] != self.data_min_.shape[0]:
+            raise ValueError(
+                f"expected {self.data_min_.shape[0]} attributes, "
+                f"got {data.shape[1]}"
+            )
+        low, high = self.feature_range
+        span = self.data_max_ - self.data_min_
+        scaled = np.empty_like(data)
+        constant = span == 0.0
+        varying = ~constant
+        scaled[:, varying] = (
+            data[:, varying] - self.data_min_[varying]
+        ) / span[varying]
+        scaled[:, constant] = 0.5
+        return scaled * (high - low) + low
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return its transform."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        """Undo the rescaling (constant columns return their minimum)."""
+        if self.data_min_ is None:
+            raise RuntimeError("scaler is not fitted; call fit() first")
+        data = StandardScaler._validate(data)
+        low, high = self.feature_range
+        span = self.data_max_ - self.data_min_
+        unit = (data - low) / (high - low)
+        return unit * span + self.data_min_

@@ -1,0 +1,159 @@
+"""Train/test splitting and cross-validation iterators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.rng import check_random_state
+
+
+def train_test_split(
+    data: np.ndarray,
+    *arrays: np.ndarray,
+    test_size: float = 0.25,
+    stratify: np.ndarray | None = None,
+    random_state=None,
+):
+    """Split arrays into random train and test subsets.
+
+    Parameters
+    ----------
+    data:
+        Primary record array of shape ``(n, ...)``.
+    *arrays:
+        Additional aligned arrays (e.g. labels) split with the same
+        permutation.
+    test_size:
+        Fraction of records in the test subset, in ``(0, 1)``.
+    stratify:
+        Optional label array; when given, each class contributes
+        proportionally to the test subset.
+    random_state:
+        Seed or generator.
+
+    Returns
+    -------
+    list
+        ``[data_train, data_test, a1_train, a1_test, ...]``.
+    """
+    data = np.asarray(data)
+    n = data.shape[0]
+    if n < 2:
+        raise ValueError(f"need at least 2 records to split, got {n}")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError(f"test_size must be in (0, 1), got {test_size}")
+    for array in arrays:
+        if np.asarray(array).shape[0] != n:
+            raise ValueError("all arrays must align with data on axis 0")
+    rng = check_random_state(random_state)
+    if stratify is None:
+        permuted = rng.permutation(n)
+        n_test = max(1, int(round(test_size * n)))
+        n_test = min(n_test, n - 1)
+        test_indices = permuted[:n_test]
+        train_indices = permuted[n_test:]
+    else:
+        stratify = np.asarray(stratify)
+        if stratify.shape[0] != n:
+            raise ValueError("stratify must align with data on axis 0")
+        test_parts = []
+        train_parts = []
+        for label in np.unique(stratify):
+            members = np.flatnonzero(stratify == label)
+            members = rng.permutation(members)
+            n_test = int(round(test_size * members.shape[0]))
+            if members.shape[0] >= 2:
+                n_test = min(max(n_test, 1), members.shape[0] - 1)
+            else:
+                n_test = 0
+            test_parts.append(members[:n_test])
+            train_parts.append(members[n_test:])
+        test_indices = np.concatenate(test_parts)
+        train_indices = np.concatenate(train_parts)
+        # Shuffle so downstream consumers never rely on class blocks.
+        test_indices = rng.permutation(test_indices)
+        train_indices = rng.permutation(train_indices)
+    result = [data[train_indices], data[test_indices]]
+    for array in arrays:
+        array = np.asarray(array)
+        result.extend([array[train_indices], array[test_indices]])
+    return result
+
+
+class KFold:
+    """Standard k-fold cross-validation index iterator."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True,
+                 random_state=None):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = int(n_splits)
+        self.shuffle = bool(shuffle)
+        self.random_state = random_state
+
+    def split(self, data: np.ndarray):
+        """Yield ``(train_indices, test_indices)`` per fold."""
+        n = np.asarray(data).shape[0]
+        if n < self.n_splits:
+            raise ValueError(
+                f"cannot make {self.n_splits} folds from {n} records"
+            )
+        indices = np.arange(n)
+        if self.shuffle:
+            rng = check_random_state(self.random_state)
+            indices = rng.permutation(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for position in range(self.n_splits):
+            test_indices = folds[position]
+            train_indices = np.concatenate(
+                [fold for offset, fold in enumerate(folds)
+                 if offset != position]
+            )
+            yield train_indices, test_indices
+
+
+class StratifiedKFold:
+    """k-fold cross-validation preserving per-class proportions."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True,
+                 random_state=None):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = int(n_splits)
+        self.shuffle = bool(shuffle)
+        self.random_state = random_state
+
+    def split(self, data: np.ndarray, labels: np.ndarray):
+        """Yield ``(train_indices, test_indices)`` per stratified fold."""
+        labels = np.asarray(labels)
+        n = labels.shape[0]
+        if np.asarray(data).shape[0] != n:
+            raise ValueError("data and labels must align on axis 0")
+        rng = check_random_state(self.random_state)
+        per_fold: list[list[np.ndarray]] = [
+            [] for __ in range(self.n_splits)
+        ]
+        for label in np.unique(labels):
+            members = np.flatnonzero(labels == label)
+            if self.shuffle:
+                members = rng.permutation(members)
+            for offset, chunk in enumerate(
+                np.array_split(members, self.n_splits)
+            ):
+                per_fold[offset].append(chunk)
+        folds = [
+            np.concatenate(parts) if parts else np.array([], dtype=np.int64)
+            for parts in per_fold
+        ]
+        for position in range(self.n_splits):
+            test_indices = folds[position]
+            if test_indices.shape[0] == 0:
+                raise ValueError(
+                    "a fold came out empty; reduce n_splits or provide "
+                    "more records per class"
+                )
+            train_indices = np.concatenate(
+                [fold for offset, fold in enumerate(folds)
+                 if offset != position]
+            )
+            yield train_indices, test_indices

@@ -1,0 +1,33 @@
+"""Privacy accounting and empirical attacks."""
+
+from repro.privacy.attacks import (
+    AttributeDisclosureResult,
+    LinkageAttackResult,
+    attribute_disclosure_attack,
+    generate_with_provenance,
+    linkage_attack,
+)
+from repro.privacy.membership import (
+    MembershipInferenceResult,
+    membership_inference_attack,
+    roc_auc,
+)
+from repro.privacy.metrics import (
+    PrivacyReport,
+    indistinguishability_level,
+    privacy_report,
+)
+
+__all__ = [
+    "AttributeDisclosureResult",
+    "attribute_disclosure_attack",
+    "LinkageAttackResult",
+    "generate_with_provenance",
+    "linkage_attack",
+    "MembershipInferenceResult",
+    "membership_inference_attack",
+    "roc_auc",
+    "PrivacyReport",
+    "indistinguishability_level",
+    "privacy_report",
+]

@@ -1,0 +1,72 @@
+"""Privacy accounting for condensed models.
+
+The paper's privacy notion is *k-indistinguishability*: a record cannot
+be distinguished from at least ``k − 1`` others because only group-level
+aggregates ever leave the condensation step.  These helpers report the
+achieved level and derived disclosure quantities for a fitted model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.statistics import CondensedModel
+
+
+@dataclass(frozen=True)
+class PrivacyReport:
+    """Summary of a condensed model's privacy posture.
+
+    Attributes
+    ----------
+    requested_k:
+        The indistinguishability level the model was built for.
+    achieved_k:
+        The smallest group size actually realized (≥ requested for the
+        static algorithm; within ``[k, 2k)`` for the dynamic one).
+    average_group_size:
+        Mean group size — the utility-privacy dial of the paper's sweeps.
+    max_group_size:
+        Largest group (leftover absorption can exceed ``k``).
+    n_groups:
+        Number of condensed groups.
+    expected_disclosure:
+        Expected probability of pinpointing a specific member given its
+        group is identified: the record-weighted mean of ``1 / n(G)``.
+    """
+
+    requested_k: int
+    achieved_k: int
+    average_group_size: float
+    max_group_size: int
+    n_groups: int
+    expected_disclosure: float
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether every group meets the requested level."""
+        return self.achieved_k >= self.requested_k
+
+
+def privacy_report(model: CondensedModel) -> PrivacyReport:
+    """Compute a :class:`PrivacyReport` for a condensed model."""
+    sizes = model.group_sizes
+    total = float(sizes.sum())
+    # A record drawn uniformly from the data lands in group G with
+    # probability n(G)/N and is then 1-of-n(G) indistinguishable.
+    expected_disclosure = float(np.sum((sizes / total) * (1.0 / sizes)))
+    return PrivacyReport(
+        requested_k=model.k,
+        achieved_k=int(sizes.min()),
+        average_group_size=float(sizes.mean()),
+        max_group_size=int(sizes.max()),
+        n_groups=len(sizes),
+        expected_disclosure=expected_disclosure,
+    )
+
+
+def indistinguishability_level(model: CondensedModel) -> int:
+    """The achieved k: the smallest condensed-group size."""
+    return int(model.group_sizes.min())

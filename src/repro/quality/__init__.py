@@ -1,0 +1,20 @@
+"""Release-quality diagnostics for anonymized data."""
+
+from repro.quality.diagnostics import (
+    GroupDiagnostics,
+    flag_sparse_groups,
+    group_diagnostics,
+)
+from repro.quality.outliers import knn_outlier_scores, screen_outliers
+from repro.quality.report import UtilityReport, ks_statistic, utility_report
+
+__all__ = [
+    "GroupDiagnostics",
+    "flag_sparse_groups",
+    "group_diagnostics",
+    "knn_outlier_scores",
+    "screen_outliers",
+    "UtilityReport",
+    "ks_statistic",
+    "utility_report",
+]

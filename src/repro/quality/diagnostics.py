@@ -1,0 +1,110 @@
+"""Per-group diagnostics for locality sensitivity.
+
+The paper's §2.2: the locally-uniform approximation degrades where a
+fixed-size group does *not* represent a small spatial locality — sparse
+regions and outliers.  These diagnostics surface exactly those groups
+so a publisher can see where the release's fidelity is weakest before
+shipping it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.statistics import CondensedModel
+from repro.neighbors.brute import pairwise_distances
+
+
+@dataclass(frozen=True)
+class GroupDiagnostics:
+    """Shape statistics of one condensed group.
+
+    Attributes
+    ----------
+    index:
+        Position of the group in the model.
+    count:
+        Records condensed into the group.
+    extent:
+        Approximate spatial diameter: the uniform-model range along the
+        leading eigenvector, ``sqrt(12 λ₁)``.
+    total_variance:
+        Trace of the group covariance.
+    elongation:
+        ``λ₁ / mean(λ)`` — 1 for a sphere, large for a needle; strongly
+        elongated groups are the ones whose locality assumption is most
+        stressed.
+    isolation:
+        Distance from this group's centroid to the nearest other
+        centroid, over the group's own extent (clipped to a minimum
+        extent).  Large values flag groups sitting alone in sparse
+        regions — the paper's hard case.
+    """
+
+    index: int
+    count: int
+    extent: float
+    total_variance: float
+    elongation: float
+    isolation: float
+
+
+def group_diagnostics(model: CondensedModel) -> list[GroupDiagnostics]:
+    """Compute :class:`GroupDiagnostics` for every group of a model."""
+    centroids = model.centroids()
+    if model.n_groups > 1:
+        centroid_distances = pairwise_distances(centroids, centroids)
+        np.fill_diagonal(centroid_distances, np.inf)
+        nearest = centroid_distances.min(axis=1)
+    else:
+        nearest = np.array([np.inf])
+    diagnostics = []
+    for index, group in enumerate(model.groups):
+        eigenvalues, __ = group.eigen_system()
+        leading = float(eigenvalues[0])
+        extent = float(np.sqrt(12.0 * leading))
+        mean_eigenvalue = float(eigenvalues.mean())
+        elongation = (
+            leading / mean_eigenvalue if mean_eigenvalue > 0 else 1.0
+        )
+        scale = max(extent, 1e-12)
+        isolation = float(nearest[index] / scale)
+        diagnostics.append(GroupDiagnostics(
+            index=index,
+            count=group.count,
+            extent=extent,
+            total_variance=float(eigenvalues.sum()),
+            elongation=elongation,
+            isolation=isolation,
+        ))
+    return diagnostics
+
+
+def flag_sparse_groups(
+    model: CondensedModel,
+    extent_factor: float = 3.0,
+) -> list[int]:
+    """Indices of groups whose extent is an outlier among the groups.
+
+    A group spanning more than ``extent_factor`` times the median group
+    extent condenses a sparse region: its uniform approximation is the
+    least faithful and its generated records the most diffuse (§2.2).
+    """
+    if extent_factor <= 0:
+        raise ValueError(
+            f"extent_factor must be positive, got {extent_factor}"
+        )
+    diagnostics = group_diagnostics(model)
+    extents = np.array([entry.extent for entry in diagnostics])
+    median_extent = float(np.median(extents))
+    if median_extent == 0.0:
+        return [
+            entry.index for entry in diagnostics if entry.extent > 0.0
+        ]
+    return [
+        entry.index
+        for entry in diagnostics
+        if entry.extent > extent_factor * median_extent
+    ]

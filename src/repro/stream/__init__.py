@@ -1,0 +1,15 @@
+"""Data-stream abstractions for the dynamic condensation setting."""
+
+from repro.stream.sources import (
+    ArrayStream,
+    DriftingGaussianStream,
+    interleave_streams,
+)
+from repro.stream.windowed import SlidingWindowCondenser
+
+__all__ = [
+    "ArrayStream",
+    "DriftingGaussianStream",
+    "interleave_streams",
+    "SlidingWindowCondenser",
+]

@@ -1,0 +1,166 @@
+"""Stream sources.
+
+The paper's dynamic setting (§3) assumes "a constant stream S of data
+which consists of new data points arriving in the database".  These
+sources model that arrival process for experiments: replaying a stored
+array (with or without shuffling), sampling from a drifting distribution
+to stress the maintainer's split behaviour, and interleaving several
+sources into one arrival order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.rng import check_random_state
+
+
+class ArrayStream:
+    """Replay the rows of an array as a stream.
+
+    Parameters
+    ----------
+    data:
+        Record array of shape ``(n, d)``.
+    shuffle:
+        Randomize the arrival order.
+    random_state:
+        Seed or generator for the shuffle.
+    """
+
+    def __init__(self, data: np.ndarray, shuffle: bool = False,
+                 random_state=None):
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        if shuffle:
+            rng = check_random_state(random_state)
+            data = data[rng.permutation(data.shape[0])]
+        self._data = data
+        self._cursor = 0
+
+    @property
+    def n_remaining(self) -> int:
+        """Records not yet emitted."""
+        return self._data.shape[0] - self._cursor
+
+    @property
+    def n_features(self) -> int:
+        """Record dimensionality."""
+        return self._data.shape[1]
+
+    def take(self, count: int) -> np.ndarray:
+        """Emit up to ``count`` records in arrival order."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        end = min(self._cursor + count, self._data.shape[0])
+        batch = self._data[self._cursor:end]
+        self._cursor = end
+        return batch
+
+    def __iter__(self):
+        while self._cursor < self._data.shape[0]:
+            record = self._data[self._cursor]
+            self._cursor += 1
+            yield record
+
+
+class DriftingGaussianStream:
+    """Gaussian stream whose mean drifts linearly over time.
+
+    Exercises the dynamic maintainer's split machinery: as the
+    distribution moves, arriving points pile into the leading groups and
+    force a cascade of splits.  ``drift_per_step`` is the displacement of
+    the mean per emitted record along ``drift_direction``.
+
+    Parameters
+    ----------
+    mean:
+        Initial mean, shape ``(d,)``.
+    covariance:
+        Fixed covariance, shape ``(d, d)``.
+    drift_per_step:
+        Mean displacement magnitude per record.
+    drift_direction:
+        Unit direction of the drift; defaults to the first axis.
+    random_state:
+        Seed or generator.
+    """
+
+    def __init__(self, mean: np.ndarray, covariance: np.ndarray,
+                 drift_per_step: float = 0.0,
+                 drift_direction: np.ndarray | None = None,
+                 random_state=None):
+        self._mean = np.asarray(mean, dtype=float)
+        self._covariance = np.asarray(covariance, dtype=float)
+        d = self._mean.shape[0]
+        if self._covariance.shape != (d, d):
+            raise ValueError(
+                f"covariance must have shape {(d, d)}, "
+                f"got {self._covariance.shape}"
+            )
+        if drift_direction is None:
+            drift_direction = np.zeros(d)
+            drift_direction[0] = 1.0
+        drift_direction = np.asarray(drift_direction, dtype=float)
+        norm = float(np.linalg.norm(drift_direction))
+        if norm == 0:
+            raise ValueError("drift_direction must be non-zero")
+        self._drift = drift_per_step * drift_direction / norm
+        self._rng = check_random_state(random_state)
+        self._step = 0
+        self._cholesky = np.linalg.cholesky(
+            self._covariance + 1e-12 * np.eye(d)
+        )
+
+    @property
+    def n_features(self) -> int:
+        """Record dimensionality."""
+        return self._mean.shape[0]
+
+    def take(self, count: int) -> np.ndarray:
+        """Emit ``count`` records, drifting the mean as they arrive."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        records = np.empty((count, self.n_features))
+        for row in range(count):
+            current_mean = self._mean + self._step * self._drift
+            noise = self._cholesky @ self._rng.standard_normal(
+                self.n_features
+            )
+            records[row] = current_mean + noise
+            self._step += 1
+        return records
+
+    def __iter__(self):
+        while True:
+            yield self.take(1)[0]
+
+
+def interleave_streams(streams, counts, random_state=None):
+    """Merge several finite streams into one random arrival order.
+
+    Parameters
+    ----------
+    streams:
+        Sequence of sources with a ``take`` method.
+    counts:
+        Records to draw from each source (aligned with ``streams``).
+    random_state:
+        Seed or generator for the interleaving order.
+
+    Returns
+    -------
+    numpy.ndarray
+        All drawn records in a single randomized arrival order.
+    """
+    if len(streams) != len(counts):
+        raise ValueError("streams and counts must align")
+    if not streams:
+        raise ValueError("need at least one stream")
+    rng = check_random_state(random_state)
+    batches = [
+        stream.take(count) for stream, count in zip(streams, counts)
+    ]
+    merged = np.vstack([batch for batch in batches if batch.shape[0]])
+    return merged[rng.permutation(merged.shape[0])]

@@ -1,0 +1,114 @@
+"""Sliding-window condensation.
+
+A stream-analytics deployment often cares only about the most recent
+``W`` records.  :class:`SlidingWindowCondenser` keeps the condensed
+statistics synchronized with that window: arrivals are added through
+the dynamic maintainer, and once the window is full each arrival also
+*removes* the expiring record via the deletion machinery (merge-on-
+underflow, the dual of split-on-overflow).
+
+Trust-model note: the window buffer itself holds raw records — that is
+inherent to sliding-window semantics and mirrors the paper's setting,
+where the condensation server sees records transiently and *persists*
+only aggregates.  Anything generated or stored from this class is
+k-indistinguishable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.dynamic import DynamicGroupMaintainer
+from repro.core.generation import generate_anonymized_data
+from repro.core.statistics import CondensedModel
+from repro.linalg.rng import check_random_state
+
+
+class SlidingWindowCondenser:
+    """Condensed statistics over the last ``window`` stream records.
+
+    Parameters
+    ----------
+    k:
+        Indistinguishability level.
+    window:
+        Number of most recent records the statistics reflect; must be
+        at least ``2k`` so the maintainer always has room to keep every
+        group in its ``[k, 2k)`` band.
+    sampler, random_state:
+        Generation settings, as in the condenser classes.
+    """
+
+    def __init__(self, k: int, window: int, sampler="uniform",
+                 random_state=None):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if window < 2 * k:
+            raise ValueError(
+                f"window must be at least 2k={2 * k}, got {window}"
+            )
+        self.k = int(k)
+        self.window = int(window)
+        self.sampler = sampler
+        self._rng = check_random_state(random_state)
+        self._buffer: deque = deque()
+        self._maintainer: DynamicGroupMaintainer | None = None
+
+    def push(self, record: np.ndarray) -> None:
+        """Ingest one stream record, expiring the oldest when full."""
+        record = np.asarray(record, dtype=float)
+        if record.ndim != 1:
+            raise ValueError(
+                f"record must be a vector, got shape {record.shape}"
+            )
+        self._buffer.append(record.copy())
+        if self._maintainer is None:
+            if len(self._buffer) >= 2 * self.k:
+                initial = np.vstack(self._buffer)
+                self._maintainer = DynamicGroupMaintainer(
+                    self.k, initial_data=initial, random_state=self._rng
+                )
+            return
+        self._maintainer.add(record)
+        if len(self._buffer) > self.window:
+            expired = self._buffer.popleft()
+            self._maintainer.remove(expired)
+
+    def push_stream(self, records) -> None:
+        """Ingest an iterable of records in arrival order."""
+        for record in records:
+            self.push(record)
+
+    @property
+    def n_seen(self) -> int:
+        """Records currently inside the window (or warm-up buffer)."""
+        return len(self._buffer)
+
+    @property
+    def is_warm(self) -> bool:
+        """Whether condensed statistics exist yet (>= 2k records seen)."""
+        return self._maintainer is not None
+
+    def to_model(self) -> CondensedModel:
+        """Snapshot the window's condensed statistics."""
+        if self._maintainer is None:
+            raise ValueError(
+                f"window is still warming up: need {2 * self.k} records, "
+                f"have {len(self._buffer)}"
+            )
+        return self._maintainer.to_model()
+
+    def generate(self) -> np.ndarray:
+        """Anonymized records representing the current window."""
+        model = self.to_model()
+        return generate_anonymized_data(
+            model, sampler=self.sampler, random_state=self._rng
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SlidingWindowCondenser(k={self.k}, window={self.window}, "
+            f"n_seen={self.n_seen}, warm={self.is_warm})"
+        )

@@ -1,0 +1,94 @@
+"""Tests for repro.baselines.distribution_classifier."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.distribution_classifier import (
+    PerturbedDistributionClassifier,
+)
+from repro.baselines.perturbation import NoiseModel
+
+
+class TestPerturbedDistributionClassifier:
+    def test_learns_separable_classes_at_low_noise(self, labelled_blobs):
+        data, labels = labelled_blobs
+        classifier = PerturbedDistributionClassifier(
+            NoiseModel("gaussian", scale=0.3),
+            n_bins=60, max_iter=60, random_state=0,
+        ).fit(data, labels)
+        assert classifier.score(data, labels) >= 0.9
+
+    def test_accuracy_degrades_with_noise(self, rng):
+        # Two barely separated classes: light noise keeps them mostly
+        # distinguishable after reconstruction, heavy noise does not.
+        data = np.vstack([
+            rng.normal(loc=0.0, scale=1.0, size=(150, 2)),
+            rng.normal(loc=1.5, scale=1.0, size=(150, 2)),
+        ])
+        labels = np.array([0] * 150 + [1] * 150)
+        scores = []
+        for scale in (0.2, 25.0):
+            classifier = PerturbedDistributionClassifier(
+                NoiseModel("gaussian", scale=scale),
+                n_bins=60, max_iter=60, random_state=0,
+            ).fit(data, labels)
+            scores.append(classifier.score(data, labels))
+        assert scores[0] > scores[1]
+
+    def test_priors_learned(self, labelled_blobs):
+        data, labels = labelled_blobs
+        classifier = PerturbedDistributionClassifier(
+            NoiseModel("gaussian", scale=0.5),
+            n_bins=40, max_iter=40, random_state=0,
+        ).fit(data, labels)
+        np.testing.assert_allclose(classifier.class_prior_.sum(), 1.0)
+        assert classifier.class_prior_[0] == pytest.approx(0.5)
+
+    def test_correlation_blindness(self, rng):
+        # The defining limitation: classes distinguished only by the
+        # *sign of a correlation* (identical marginals) are invisible to
+        # the per-dimension pipeline, while condensation + 1-NN can
+        # separate them.
+        from repro.core.condenser import ClasswiseCondenser
+        from repro.neighbors.knn import KNeighborsClassifier
+
+        n = 300
+        x = rng.normal(size=n)
+        y = rng.normal(size=n)
+        # Class 0: positively correlated pair; class 1: negative.
+        shared = rng.normal(size=n)
+        class_0 = np.column_stack(
+            [shared + 0.3 * x, shared + 0.3 * y]
+        )
+        class_1 = np.column_stack(
+            [shared + 0.3 * x, -shared + 0.3 * y]
+        )
+        data = np.vstack([class_0, class_1])
+        labels = np.array([0] * n + [1] * n)
+
+        perturbation_classifier = PerturbedDistributionClassifier(
+            NoiseModel("gaussian", scale=0.3),
+            n_bins=50, max_iter=50, random_state=0,
+        ).fit(data, labels)
+        perturbation_accuracy = perturbation_classifier.score(data, labels)
+
+        anonymized, anonymized_labels = ClasswiseCondenser(
+            k=10, random_state=0
+        ).fit_generate(data, labels)
+        knn = KNeighborsClassifier(n_neighbors=1).fit(
+            anonymized, anonymized_labels
+        )
+        condensation_accuracy = knn.score(data, labels)
+
+        assert perturbation_accuracy < 0.7
+        assert condensation_accuracy > 0.8
+        assert condensation_accuracy > perturbation_accuracy + 0.15
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            PerturbedDistributionClassifier().predict(np.zeros((1, 2)))
+
+    def test_shape_validation(self, labelled_blobs):
+        data, __ = labelled_blobs
+        with pytest.raises(ValueError):
+            PerturbedDistributionClassifier().fit(data, np.zeros(3))

@@ -1,0 +1,124 @@
+"""Tests for repro.baselines.perturbation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.perturbation import AdditivePerturbation, NoiseModel
+
+
+class TestNoiseModel:
+    def test_gaussian_sample_moments(self):
+        noise = NoiseModel("gaussian", scale=2.0)
+        rng = np.random.default_rng(0)
+        samples = noise.sample(rng, 100000)
+        assert samples.mean() == pytest.approx(0.0, abs=0.05)
+        assert samples.std() == pytest.approx(2.0, abs=0.05)
+
+    def test_uniform_sample_moments(self):
+        noise = NoiseModel("uniform", scale=1.5)
+        rng = np.random.default_rng(0)
+        samples = noise.sample(rng, 100000)
+        assert samples.mean() == pytest.approx(0.0, abs=0.05)
+        assert samples.std() == pytest.approx(1.5, abs=0.05)
+
+    def test_uniform_support(self):
+        noise = NoiseModel("uniform", scale=1.0)
+        rng = np.random.default_rng(0)
+        samples = noise.sample(rng, 10000)
+        half_range = np.sqrt(12.0) / 2.0
+        assert np.abs(samples).max() <= half_range
+
+    def test_gaussian_density_integrates_to_one(self):
+        noise = NoiseModel("gaussian", scale=1.0)
+        grid = np.linspace(-8, 8, 2000)
+        integral = np.trapezoid(noise.density(grid), grid)
+        assert integral == pytest.approx(1.0, abs=1e-6)
+
+    def test_uniform_density_integrates_to_one(self):
+        noise = NoiseModel("uniform", scale=1.0)
+        grid = np.linspace(-8, 8, 4000)
+        integral = np.trapezoid(noise.density(grid), grid)
+        assert integral == pytest.approx(1.0, abs=1e-2)
+
+    def test_uniform_density_zero_outside_support(self):
+        noise = NoiseModel("uniform", scale=1.0)
+        assert noise.density(np.array([100.0]))[0] == 0.0
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            NoiseModel("laplace")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            NoiseModel("gaussian", scale=0.0)
+
+
+class TestAdditivePerturbation:
+    def test_shape_preserved(self, gaussian_data):
+        perturbed = AdditivePerturbation(random_state=0).perturb(
+            gaussian_data
+        )
+        assert perturbed.shape == gaussian_data.shape
+
+    def test_noise_magnitude(self, gaussian_data):
+        noise = NoiseModel("gaussian", scale=3.0)
+        perturbed = AdditivePerturbation(noise, random_state=0).perturb(
+            gaussian_data
+        )
+        residuals = perturbed - gaussian_data
+        assert residuals.std() == pytest.approx(3.0, rel=0.15)
+
+    def test_original_unchanged(self, gaussian_data):
+        copy = gaussian_data.copy()
+        AdditivePerturbation(random_state=0).perturb(gaussian_data)
+        np.testing.assert_array_equal(gaussian_data, copy)
+
+    def test_reproducible(self, gaussian_data):
+        a = AdditivePerturbation(random_state=5).perturb(gaussian_data)
+        b = AdditivePerturbation(random_state=5).perturb(gaussian_data)
+        np.testing.assert_array_equal(a, b)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            AdditivePerturbation(random_state=0).perturb(np.zeros(5))
+
+    def test_privacy_interval_gaussian(self):
+        perturber = AdditivePerturbation(
+            NoiseModel("gaussian", scale=1.0), random_state=0
+        )
+        width = perturber.privacy_interval_width(confidence=0.95)
+        assert width == pytest.approx(2 * 1.959964, rel=1e-4)
+
+    def test_privacy_interval_uniform(self):
+        perturber = AdditivePerturbation(
+            NoiseModel("uniform", scale=1.0), random_state=0
+        )
+        width = perturber.privacy_interval_width(confidence=0.5)
+        assert width == pytest.approx(0.5 * np.sqrt(12.0))
+
+    def test_privacy_interval_monotone_in_confidence(self):
+        perturber = AdditivePerturbation(random_state=0)
+        assert perturber.privacy_interval_width(
+            0.99
+        ) > perturber.privacy_interval_width(0.5)
+
+    def test_invalid_confidence(self):
+        perturber = AdditivePerturbation(random_state=0)
+        with pytest.raises(ValueError):
+            perturber.privacy_interval_width(confidence=1.5)
+
+
+class TestCorrelationDestruction:
+    def test_perturbation_weakens_correlations(self, rng):
+        # The condensation paper's critique: additive independent noise
+        # dilutes inter-attribute correlations.
+        x = rng.normal(size=2000)
+        data = np.column_stack([x, x + 0.1 * rng.normal(size=2000)])
+        noise = NoiseModel("gaussian", scale=2.0)
+        perturbed = AdditivePerturbation(noise, random_state=0).perturb(
+            data
+        )
+        original_correlation = np.corrcoef(data.T)[0, 1]
+        perturbed_correlation = np.corrcoef(perturbed.T)[0, 1]
+        assert original_correlation > 0.99
+        assert perturbed_correlation < 0.5

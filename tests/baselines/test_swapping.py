@@ -1,0 +1,104 @@
+"""Tests for repro.baselines.swapping."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.swapping import RankSwapper
+
+
+class TestRankSwapper:
+    def test_marginals_preserved_exactly(self, gaussian_data):
+        swapped = RankSwapper(0.1, random_state=0).anonymize(
+            gaussian_data
+        )
+        for column in range(gaussian_data.shape[1]):
+            np.testing.assert_allclose(
+                np.sort(swapped[:, column]),
+                np.sort(gaussian_data[:, column]),
+            )
+
+    def test_records_actually_change(self, gaussian_data):
+        swapped = RankSwapper(0.1, random_state=0).anonymize(
+            gaussian_data
+        )
+        changed = np.any(swapped != gaussian_data, axis=1)
+        assert changed.mean() > 0.5
+
+    def test_zero_range_is_identity(self, gaussian_data):
+        swapped = RankSwapper(0.0, random_state=0).anonymize(
+            gaussian_data
+        )
+        np.testing.assert_array_equal(swapped, gaussian_data)
+
+    def test_original_unchanged(self, gaussian_data):
+        copy = gaussian_data.copy()
+        RankSwapper(0.2, random_state=0).anonymize(gaussian_data)
+        np.testing.assert_array_equal(gaussian_data, copy)
+
+    def test_rank_distance_bounded(self, rng):
+        data = rng.normal(size=(200, 1))
+        swap_range = 0.05
+        swapped = RankSwapper(swap_range, random_state=0).anonymize(data)
+        window = max(1, int(round(swap_range * 200)))
+        original_ranks = np.argsort(np.argsort(data[:, 0]))
+        swapped_ranks = np.argsort(np.argsort(swapped[:, 0]))
+        # Each record's value moved at most `window` ranks: since
+        # marginals are identical, compare the rank its new value holds.
+        value_rank = {
+            float(value): rank
+            for rank, value in enumerate(np.sort(data[:, 0]))
+        }
+        for row in range(200):
+            new_rank = value_rank[float(swapped[row, 0])]
+            assert abs(new_rank - original_ranks[row]) <= window
+
+    def test_correlation_erodes_with_range(self, rng):
+        x = rng.normal(size=500)
+        data = np.column_stack([x, x + 0.05 * rng.normal(size=500)])
+        mild = RankSwapper(0.02, random_state=0).anonymize(data)
+        harsh = RankSwapper(0.5, random_state=0).anonymize(data)
+        mild_correlation = np.corrcoef(mild.T)[0, 1]
+        harsh_correlation = np.corrcoef(harsh.T)[0, 1]
+        assert mild_correlation > harsh_correlation
+
+    def test_condensation_preserves_correlation_better_at_high_privacy(
+        self, rng
+    ):
+        # The structural comparison: at an aggressive privacy setting,
+        # rank swapping destroys the correlation that condensation
+        # (even at large k) keeps.
+        from repro.core.condenser import StaticCondenser
+        from repro.metrics import covariance_compatibility
+
+        x = rng.normal(size=400)
+        data = np.column_stack([
+            x, x + 0.1 * rng.normal(size=400),
+            -x + 0.1 * rng.normal(size=400),
+        ])
+        swapped = RankSwapper(0.5, random_state=0).anonymize(data)
+        condensed = StaticCondenser(k=40, random_state=0).fit_generate(
+            data
+        )
+        assert covariance_compatibility(data, condensed) > 0.99
+        assert covariance_compatibility(data, swapped) < 0.92
+        # The pairwise correlation itself is what swapping destroys.
+        assert abs(np.corrcoef(swapped.T)[0, 1]) < 0.5
+        assert abs(np.corrcoef(condensed.T)[0, 1]) > 0.9
+
+    def test_reproducible(self, gaussian_data):
+        a = RankSwapper(0.1, random_state=9).anonymize(gaussian_data)
+        b = RankSwapper(0.1, random_state=9).anonymize(gaussian_data)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RankSwapper(-0.1)
+        with pytest.raises(ValueError):
+            RankSwapper(1.1)
+        with pytest.raises(ValueError):
+            RankSwapper(0.1).anonymize(np.zeros(5))
+
+    def test_tiny_data(self):
+        data = np.array([[1.0], [2.0]])
+        swapped = RankSwapper(1.0, random_state=0).anonymize(data)
+        assert sorted(swapped[:, 0].tolist()) == [1.0, 2.0]

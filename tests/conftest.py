@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def gaussian_data(rng):
+    """A correlated Gaussian blob: 120 records in 4 dimensions."""
+    covariance = np.array(
+        [
+            [2.0, 0.8, 0.3, 0.0],
+            [0.8, 1.5, 0.5, 0.2],
+            [0.3, 0.5, 1.0, 0.4],
+            [0.0, 0.2, 0.4, 0.8],
+        ]
+    )
+    mean = np.array([1.0, -2.0, 0.5, 3.0])
+    return rng.multivariate_normal(mean, covariance, size=120)
+
+
+@pytest.fixture
+def labelled_blobs(rng):
+    """Two separable classes of 60 records each in 3 dimensions."""
+    class_a = rng.normal(loc=0.0, scale=1.0, size=(60, 3))
+    class_b = rng.normal(loc=4.0, scale=1.0, size=(60, 3))
+    data = np.vstack([class_a, class_b])
+    labels = np.array([0] * 60 + [1] * 60)
+    permuted = rng.permutation(120)
+    return data[permuted], labels[permuted]

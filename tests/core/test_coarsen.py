@@ -1,0 +1,126 @@
+"""Tests for repro.core.coarsen — raising k without raw data."""
+
+import numpy as np
+import pytest
+
+from repro.core.coarsen import coarsen_model, coarsening_schedule
+from repro.core.condensation import create_condensed_groups
+from repro.core.generation import generate_anonymized_data
+from repro.metrics.compatibility import covariance_compatibility
+from repro.privacy.metrics import privacy_report
+
+
+class TestCoarsenModel:
+    def test_target_level_met(self, gaussian_data):
+        base = create_condensed_groups(gaussian_data, k=5, random_state=0)
+        coarse = coarsen_model(base, 20)
+        assert (coarse.group_sizes >= 20).all()
+        assert privacy_report(coarse).satisfied
+
+    def test_total_mass_conserved(self, gaussian_data):
+        base = create_condensed_groups(gaussian_data, k=5, random_state=0)
+        coarse = coarsen_model(base, 25)
+        assert coarse.total_count == 120
+        total_first = sum(group.first_order for group in coarse.groups)
+        np.testing.assert_allclose(
+            total_first, gaussian_data.sum(axis=0), atol=1e-8
+        )
+        total_second = sum(group.second_order for group in coarse.groups)
+        np.testing.assert_allclose(
+            total_second, gaussian_data.T @ gaussian_data, rtol=1e-10
+        )
+
+    def test_input_model_untouched(self, gaussian_data):
+        base = create_condensed_groups(gaussian_data, k=5, random_state=0)
+        sizes_before = base.group_sizes.copy()
+        coarsen_model(base, 30)
+        np.testing.assert_array_equal(base.group_sizes, sizes_before)
+
+    def test_same_level_is_identity_partition(self, gaussian_data):
+        base = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        coarse = coarsen_model(base, 10)
+        assert coarse.n_groups == base.n_groups
+
+    def test_extreme_level_single_group(self, gaussian_data):
+        base = create_condensed_groups(gaussian_data, k=5, random_state=0)
+        coarse = coarsen_model(base, 120)
+        assert coarse.n_groups == 1
+        np.testing.assert_allclose(
+            coarse.groups[0].centroid, gaussian_data.mean(axis=0),
+            atol=1e-9,
+        )
+
+    def test_lineage_partitions_source_groups(self, gaussian_data):
+        base = create_condensed_groups(gaussian_data, k=5, random_state=0)
+        coarse = coarsen_model(base, 30)
+        lineage = coarse.metadata["lineage"]
+        combined = sorted(
+            index for entry in lineage for index in entry
+        )
+        assert combined == list(range(base.n_groups))
+
+    def test_memberships_propagated(self, gaussian_data):
+        base = create_condensed_groups(gaussian_data, k=5, random_state=0)
+        coarse = coarsen_model(base, 30)
+        memberships = coarse.metadata["memberships"]
+        combined = np.concatenate(memberships)
+        assert sorted(combined.tolist()) == list(range(120))
+
+    def test_merges_are_local(self, rng):
+        # Two far blobs: coarsening must never merge across them until
+        # forced to.
+        data = np.vstack([
+            rng.normal(loc=0.0, size=(60, 2)),
+            rng.normal(loc=200.0, size=(60, 2)),
+        ])
+        base = create_condensed_groups(data, k=5, random_state=0)
+        coarse = coarsen_model(base, 30)
+        for group in coarse.groups:
+            assert (
+                abs(group.centroid[0]) < 50
+                or abs(group.centroid[0] - 200) < 50
+            )
+
+    def test_lower_target_rejected(self, gaussian_data):
+        base = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        with pytest.raises(ValueError, match="below"):
+            coarsen_model(base, 5)
+
+    def test_impossible_target_rejected(self, gaussian_data):
+        base = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        with pytest.raises(ValueError, match="exceeds"):
+            coarsen_model(base, 121)
+
+    def test_generation_from_coarsened_model(self, gaussian_data):
+        base = create_condensed_groups(gaussian_data, k=5, random_state=0)
+        coarse = coarsen_model(base, 30)
+        anonymized = generate_anonymized_data(coarse, random_state=0)
+        assert anonymized.shape == gaussian_data.shape
+        assert covariance_compatibility(gaussian_data, anonymized) > 0.85
+
+
+class TestCoarseningSchedule:
+    def test_ladder_levels(self, gaussian_data):
+        base = create_condensed_groups(gaussian_data, k=5, random_state=0)
+        ladder = coarsening_schedule(base, [10, 20, 40])
+        assert set(ladder) == {10, 20, 40}
+        for level, model in ladder.items():
+            assert (model.group_sizes >= level).all()
+            assert model.total_count == 120
+
+    def test_monotone_group_counts(self, gaussian_data):
+        base = create_condensed_groups(gaussian_data, k=5, random_state=0)
+        ladder = coarsening_schedule(base, [10, 20, 40])
+        assert (
+            ladder[10].n_groups >= ladder[20].n_groups
+            >= ladder[40].n_groups
+        )
+
+    def test_invalid_level_rejected(self, gaussian_data):
+        base = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        with pytest.raises(ValueError, match=">="):
+            coarsening_schedule(base, [5, 20])
+
+    def test_empty_levels(self, gaussian_data):
+        base = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        assert coarsening_schedule(base, []) == {}

@@ -1,0 +1,146 @@
+"""Tests for deletion support — the §3 extension (remove + merge)."""
+
+import numpy as np
+import pytest
+
+from repro.core.condenser import DynamicCondenser
+from repro.core.dynamic import DynamicGroupMaintainer
+from repro.core.statistics import GroupStatistics
+
+
+class TestGroupStatisticsRemove:
+    def test_remove_inverts_add(self, gaussian_data):
+        group = GroupStatistics.from_records(gaussian_data)
+        extra = np.array([5.0, -1.0, 2.0, 0.5])
+        group.add(extra)
+        group.remove(extra)
+        np.testing.assert_allclose(
+            group.centroid, gaussian_data.mean(axis=0), atol=1e-9
+        )
+        assert group.count == 120
+
+    def test_remove_to_empty(self):
+        record = np.array([1.0, 2.0])
+        group = GroupStatistics.from_records(record[None, :])
+        group.remove(record)
+        assert group.count == 0
+        np.testing.assert_allclose(group.first_order, 0.0, atol=1e-12)
+
+    def test_remove_from_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            GroupStatistics.empty(2).remove(np.zeros(2))
+
+
+class TestMaintainerRemove:
+    def make_maintainer(self, gaussian_data, k=10):
+        return DynamicGroupMaintainer(
+            k, initial_data=gaussian_data, random_state=0
+        )
+
+    def test_count_decreases(self, gaussian_data):
+        maintainer = self.make_maintainer(gaussian_data)
+        maintainer.remove(gaussian_data[0])
+        assert maintainer.group_sizes().sum() == 119
+        assert maintainer.n_absorbed == 119
+
+    def test_band_restored_after_merge(self, gaussian_data):
+        maintainer = self.make_maintainer(gaussian_data, k=10)
+        # Remove enough records to force groups below k repeatedly.
+        for record in gaussian_data[:60]:
+            maintainer.remove(record)
+        sizes = maintainer.group_sizes()
+        assert (sizes >= 10).all()
+        assert (sizes < 20).all()
+        assert sizes.sum() == 60
+        assert maintainer.n_merges > 0
+
+    def test_merge_can_trigger_resplit(self, rng):
+        # Two adjacent groups of near-2k size: deleting from one forces
+        # a merge whose result reaches 2k and must re-split.
+        data = rng.normal(size=(38, 3))
+        maintainer = DynamicGroupMaintainer(
+            10, initial_data=data, random_state=0
+        )
+        # 38 records at k=10 -> 3 groups (10, 10, 18) after leftover
+        # absorption.  Deleting from the 10-group merges into another.
+        splits_before = maintainer.n_splits
+        removed = 0
+        for record in data:
+            if maintainer.group_sizes().min() == 10:
+                maintainer.remove(record)
+                removed += 1
+                if maintainer.n_splits > splits_before:
+                    break
+        assert maintainer.group_sizes().sum() == 38 - removed
+        assert (maintainer.group_sizes() >= 10).all()
+
+    def test_interleaved_adds_and_removes(self, gaussian_data, rng):
+        maintainer = self.make_maintainer(gaussian_data, k=8)
+        stream = rng.normal(
+            loc=gaussian_data.mean(axis=0), size=(200, 4)
+        )
+        for position, record in enumerate(stream):
+            maintainer.add(record)
+            if position % 3 == 0:
+                maintainer.remove(stream[rng.integers(0, position + 1)])
+            sizes = maintainer.group_sizes()
+            assert (sizes >= 8).all()
+            assert (sizes < 16).all()
+
+    def test_cannot_empty_the_last_group(self, rng):
+        data = rng.normal(size=(5, 2))
+        maintainer = DynamicGroupMaintainer(
+            5, initial_data=data, random_state=0
+        )
+        for record in data[:4]:
+            maintainer.remove(record)
+        with pytest.raises(ValueError, match="last record"):
+            maintainer.remove(data[4])
+
+    def test_remove_before_any_group(self):
+        maintainer = DynamicGroupMaintainer(5, random_state=0)
+        with pytest.raises(ValueError, match="no groups"):
+            maintainer.remove(np.zeros(3))
+
+    def test_dimension_checked(self, gaussian_data):
+        maintainer = self.make_maintainer(gaussian_data)
+        with pytest.raises(ValueError, match="attributes"):
+            maintainer.remove(np.zeros(3))
+
+    def test_merges_tracked_in_model_metadata(self, gaussian_data):
+        maintainer = self.make_maintainer(gaussian_data, k=10)
+        for record in gaussian_data[:30]:
+            maintainer.remove(record)
+        model = maintainer.to_model()
+        assert model.metadata["n_merges"] == maintainer.n_merges
+
+
+class TestDynamicCondenserRemove:
+    def test_partial_remove_batch(self, gaussian_data):
+        condenser = DynamicCondenser(k=10, random_state=0).fit(
+            gaussian_data
+        )
+        condenser.partial_remove(gaussian_data[:20])
+        assert condenser.model_.total_count == 100
+
+    def test_partial_remove_single(self, gaussian_data):
+        condenser = DynamicCondenser(k=10, random_state=0).fit(
+            gaussian_data
+        )
+        condenser.partial_remove(gaussian_data[0])
+        assert condenser.model_.total_count == 119
+
+    def test_generate_after_removal(self, gaussian_data):
+        condenser = DynamicCondenser(k=10, random_state=0).fit(
+            gaussian_data
+        )
+        condenser.partial_remove(gaussian_data[:40])
+        anonymized = condenser.generate()
+        assert anonymized.shape == (80, 4)
+
+    def test_bad_rank(self, gaussian_data):
+        condenser = DynamicCondenser(k=10, random_state=0).fit(
+            gaussian_data
+        )
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            condenser.partial_remove(np.zeros((2, 2, 2)))

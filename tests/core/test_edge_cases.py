@@ -1,0 +1,117 @@
+"""Edge-case behaviour of the condensation pipeline.
+
+Degenerate inputs a production system will eventually meet: duplicate
+records, constant attributes, single-column data, tiny data sets, and
+enormous scale differences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.condensation import create_condensed_groups
+from repro.core.condenser import StaticCondenser
+from repro.core.dynamic import DynamicGroupMaintainer
+from repro.core.generation import generate_anonymized_data
+from repro.metrics.compatibility import covariance_compatibility
+
+
+class TestDuplicateRecords:
+    def test_all_identical_records(self):
+        data = np.tile(np.array([1.0, -2.0, 3.0]), (40, 1))
+        model = create_condensed_groups(data, 10, random_state=0)
+        generated = generate_anonymized_data(model, random_state=0)
+        # Zero variance everywhere: generation reproduces the record.
+        np.testing.assert_allclose(generated, data, atol=1e-9)
+
+    def test_heavy_duplication(self, rng):
+        base = rng.normal(size=(5, 3))
+        data = np.repeat(base, 20, axis=0)
+        model = create_condensed_groups(data, 10, random_state=0)
+        assert model.total_count == 100
+        assert (model.group_sizes >= 10).all()
+
+    def test_dynamic_with_duplicates(self, rng):
+        base = np.tile(rng.normal(size=3), (30, 1))
+        maintainer = DynamicGroupMaintainer(
+            5, initial_data=base, random_state=0
+        )
+        # Stream 50 more copies: splits occur on zero-variance groups.
+        for __ in range(50):
+            maintainer.add(base[0])
+        sizes = maintainer.group_sizes()
+        assert sizes.sum() == 80
+        assert (sizes >= 5).all()
+        assert (sizes < 10).all()
+
+
+class TestConstantAttributes:
+    def test_constant_column_survives_pipeline(self, rng):
+        data = np.column_stack([
+            rng.normal(size=100),
+            np.full(100, 7.0),
+            rng.normal(size=100),
+        ])
+        anonymized = StaticCondenser(k=10, random_state=0).fit_generate(
+            data
+        )
+        np.testing.assert_allclose(anonymized[:, 1], 7.0, atol=1e-7)
+
+    def test_single_column_data(self, rng):
+        data = rng.normal(size=(60, 1))
+        anonymized = StaticCondenser(k=10, random_state=0).fit_generate(
+            data
+        )
+        assert anonymized.shape == (60, 1)
+        assert abs(
+            anonymized.std() - data.std()
+        ) < 0.3 * data.std()
+
+
+class TestScaleExtremes:
+    def test_wildly_different_scales(self, rng):
+        data = np.column_stack([
+            1e-6 * rng.normal(size=80),
+            1e6 * rng.normal(size=80),
+        ])
+        anonymized = StaticCondenser(k=10, random_state=0).fit_generate(
+            data
+        )
+        assert np.isfinite(anonymized).all()
+        assert covariance_compatibility(data, anonymized) > 0.9
+
+    def test_large_offsets(self, rng):
+        data = 1e7 + rng.normal(size=(80, 3))
+        anonymized = StaticCondenser(k=10, random_state=0).fit_generate(
+            data
+        )
+        assert np.isfinite(anonymized).all()
+        np.testing.assert_allclose(
+            anonymized.mean(axis=0), data.mean(axis=0), rtol=1e-5
+        )
+
+
+class TestTinyDatasets:
+    def test_n_equals_k(self, rng):
+        data = rng.normal(size=(5, 2))
+        model = create_condensed_groups(data, 5, random_state=0)
+        assert model.n_groups == 1
+
+    def test_n_equals_k_plus_one(self, rng):
+        data = rng.normal(size=(6, 2))
+        model = create_condensed_groups(data, 5, random_state=0)
+        assert model.n_groups == 1
+        assert model.group_sizes[0] == 6
+
+    def test_two_records_k_two(self, rng):
+        data = rng.normal(size=(2, 4))
+        model = create_condensed_groups(data, 2, random_state=0)
+        generated = generate_anonymized_data(model, random_state=0)
+        assert generated.shape == (2, 4)
+
+    def test_dynamic_minimal(self, rng):
+        maintainer = DynamicGroupMaintainer(1, random_state=0)
+        maintainer.add(rng.normal(size=2))
+        assert maintainer.n_groups == 1
+        maintainer.add(rng.normal(size=2))
+        # 2k = 2 triggers an immediate split at k=1.
+        assert maintainer.n_groups == 2

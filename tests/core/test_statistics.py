@@ -1,0 +1,236 @@
+"""Tests for repro.core.statistics — the (Fs, Sc, n) representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.statistics import CondensedModel, GroupStatistics
+
+
+class TestGroupStatisticsConstruction:
+    def test_from_records_sums(self, gaussian_data):
+        group = GroupStatistics.from_records(gaussian_data)
+        np.testing.assert_allclose(
+            group.first_order, gaussian_data.sum(axis=0)
+        )
+        np.testing.assert_allclose(
+            group.second_order, gaussian_data.T @ gaussian_data
+        )
+        assert group.count == gaussian_data.shape[0]
+
+    def test_observation_1_mean(self, gaussian_data):
+        group = GroupStatistics.from_records(gaussian_data)
+        np.testing.assert_allclose(
+            group.centroid, gaussian_data.mean(axis=0), atol=1e-10
+        )
+
+    def test_observation_2_covariance(self, gaussian_data):
+        group = GroupStatistics.from_records(gaussian_data)
+        np.testing.assert_allclose(
+            group.covariance,
+            np.cov(gaussian_data.T, bias=True),
+            atol=1e-8,
+        )
+
+    def test_empty_constructor(self):
+        group = GroupStatistics.empty(3)
+        assert group.count == 0
+        assert group.n_features == 3
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            GroupStatistics.from_records(np.empty((0, 3)))
+
+    def test_from_moments_round_trip(self, gaussian_data):
+        original = GroupStatistics.from_records(gaussian_data)
+        rebuilt = GroupStatistics.from_moments(
+            original.centroid, original.covariance, original.count
+        )
+        np.testing.assert_allclose(
+            rebuilt.first_order, original.first_order, atol=1e-8
+        )
+        np.testing.assert_allclose(
+            rebuilt.second_order, original.second_order, rtol=1e-8
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            GroupStatistics(np.zeros(3), np.zeros((2, 2)), 1)
+        with pytest.raises(ValueError):
+            GroupStatistics(np.zeros((2, 2)), np.zeros((2, 2)), 1)
+        with pytest.raises(ValueError):
+            GroupStatistics(np.zeros(2), np.zeros((2, 2)), -1)
+
+
+class TestGroupStatisticsUpdates:
+    def test_incremental_add_matches_batch(self, gaussian_data):
+        incremental = GroupStatistics.empty(4)
+        for record in gaussian_data:
+            incremental.add(record)
+        batch = GroupStatistics.from_records(gaussian_data)
+        np.testing.assert_allclose(
+            incremental.first_order, batch.first_order, atol=1e-8
+        )
+        np.testing.assert_allclose(
+            incremental.second_order, batch.second_order, atol=1e-6
+        )
+
+    def test_add_batch(self, gaussian_data):
+        group = GroupStatistics.empty(4)
+        group.add_batch(gaussian_data[:50])
+        group.add_batch(gaussian_data[50:])
+        np.testing.assert_allclose(
+            group.centroid, gaussian_data.mean(axis=0), atol=1e-10
+        )
+
+    def test_merge_matches_joint(self, gaussian_data):
+        left = GroupStatistics.from_records(gaussian_data[:40])
+        right = GroupStatistics.from_records(gaussian_data[40:])
+        left.merge(right)
+        joint = GroupStatistics.from_records(gaussian_data)
+        np.testing.assert_allclose(left.first_order, joint.first_order)
+        np.testing.assert_allclose(left.second_order, joint.second_order)
+        assert left.count == joint.count
+
+    def test_merge_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimensionality"):
+            GroupStatistics.empty(2).merge(GroupStatistics.empty(3))
+
+    def test_add_wrong_shape(self):
+        group = GroupStatistics.empty(3)
+        with pytest.raises(ValueError):
+            group.add(np.zeros(4))
+
+    def test_empty_centroid_undefined(self):
+        with pytest.raises(ValueError):
+            __ = GroupStatistics.empty(2).centroid
+
+
+class TestEigenSystem:
+    def test_reconstruction(self, gaussian_data):
+        group = GroupStatistics.from_records(gaussian_data)
+        eigenvalues, eigenvectors = group.eigen_system()
+        rebuilt = (eigenvectors * eigenvalues) @ eigenvectors.T
+        np.testing.assert_allclose(rebuilt, group.covariance, atol=1e-8)
+
+    def test_decreasing_nonnegative(self, gaussian_data):
+        group = GroupStatistics.from_records(gaussian_data)
+        eigenvalues, __ = group.eigen_system()
+        assert (np.diff(eigenvalues) <= 1e-12).all()
+        assert (eigenvalues >= 0).all()
+
+    def test_rank_deficient_group(self):
+        # Fewer records than dimensions: covariance is rank deficient but
+        # the eigen system must still come out clean.
+        records = np.random.default_rng(0).normal(size=(3, 5))
+        group = GroupStatistics.from_records(records)
+        eigenvalues, __ = group.eigen_system()
+        assert (eigenvalues >= 0).all()
+        assert np.sum(eigenvalues > 1e-10) <= 3
+
+
+class TestSerialization:
+    def test_group_round_trip(self, gaussian_data):
+        group = GroupStatistics.from_records(gaussian_data)
+        rebuilt = GroupStatistics.from_dict(group.to_dict())
+        np.testing.assert_allclose(rebuilt.first_order, group.first_order)
+        np.testing.assert_allclose(rebuilt.second_order, group.second_order)
+        assert rebuilt.count == group.count
+
+    def test_model_round_trip(self, gaussian_data):
+        model = CondensedModel(
+            groups=[
+                GroupStatistics.from_records(gaussian_data[:60]),
+                GroupStatistics.from_records(gaussian_data[60:]),
+            ],
+            k=10,
+            metadata={"note": "test"},
+        )
+        rebuilt = CondensedModel.from_dict(model.to_dict())
+        assert rebuilt.k == 10
+        assert rebuilt.n_groups == 2
+        assert rebuilt.metadata["note"] == "test"
+        np.testing.assert_allclose(
+            rebuilt.centroids(), model.centroids()
+        )
+
+    def test_dict_is_json_compatible(self, gaussian_data):
+        import json
+
+        group = GroupStatistics.from_records(gaussian_data[:5])
+        payload = json.dumps(group.to_dict())
+        rebuilt = GroupStatistics.from_dict(json.loads(payload))
+        assert rebuilt.count == 5
+
+
+class TestCondensedModel:
+    def make_model(self, gaussian_data):
+        return CondensedModel(
+            groups=[
+                GroupStatistics.from_records(gaussian_data[:30]),
+                GroupStatistics.from_records(gaussian_data[30:75]),
+                GroupStatistics.from_records(gaussian_data[75:]),
+            ],
+            k=30,
+        )
+
+    def test_counts(self, gaussian_data):
+        model = self.make_model(gaussian_data)
+        assert model.total_count == 120
+        assert model.n_groups == 3
+        np.testing.assert_array_equal(model.group_sizes, [30, 45, 45])
+        assert model.average_group_size == pytest.approx(40.0)
+        assert model.minimum_group_size == 30
+
+    def test_centroids_shape(self, gaussian_data):
+        model = self.make_model(gaussian_data)
+        assert model.centroids().shape == (3, 4)
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError, match="at least one group"):
+            CondensedModel(groups=[], k=5)
+
+    def test_dimension_disagreement_rejected(self, gaussian_data):
+        with pytest.raises(ValueError, match="dimensionality"):
+            CondensedModel(
+                groups=[
+                    GroupStatistics.from_records(gaussian_data),
+                    GroupStatistics.from_records(gaussian_data[:, :2]),
+                ],
+                k=5,
+            )
+
+    def test_invalid_k_rejected(self, gaussian_data):
+        with pytest.raises(ValueError):
+            CondensedModel(
+                groups=[GroupStatistics.from_records(gaussian_data)], k=0
+            )
+
+
+class TestGroupStatisticsProperties:
+    @given(seed=st.integers(0, 1000), n=st.integers(1, 60),
+           d=st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_moments_match_numpy(self, seed, n, d):
+        records = np.random.default_rng(seed).normal(size=(n, d))
+        group = GroupStatistics.from_records(records)
+        np.testing.assert_allclose(
+            group.centroid, records.mean(axis=0), atol=1e-9
+        )
+        np.testing.assert_allclose(
+            group.covariance,
+            np.cov(records.T, bias=True).reshape(d, d),
+            atol=1e-7,
+        )
+
+    @given(seed=st.integers(0, 1000), split=st.integers(1, 39))
+    @settings(max_examples=25, deadline=None)
+    def test_merge_associativity(self, seed, split):
+        records = np.random.default_rng(seed).normal(size=(40, 3))
+        a = GroupStatistics.from_records(records[:split])
+        b = GroupStatistics.from_records(records[split:])
+        a.merge(b)
+        joint = GroupStatistics.from_records(records)
+        np.testing.assert_allclose(a.covariance, joint.covariance,
+                                   atol=1e-7)

@@ -1,0 +1,101 @@
+"""Tests for repro.core.validation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.condensation import create_condensed_groups
+from repro.core.statistics import CondensedModel, GroupStatistics
+from repro.core.validation import validate_model
+
+
+class TestValidateModel:
+    def test_fresh_model_is_valid(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        assert validate_model(model) == []
+
+    def test_dynamic_model_is_valid(self, gaussian_data, rng):
+        from repro.core.dynamic import DynamicGroupMaintainer
+
+        maintainer = DynamicGroupMaintainer(
+            8, initial_data=gaussian_data, random_state=0
+        )
+        maintainer.add_stream(rng.normal(size=(200, 4)))
+        assert validate_model(maintainer.to_model()) == []
+
+    def test_coarsened_model_is_valid(self, gaussian_data):
+        from repro.core.coarsen import coarsen_model
+
+        model = create_condensed_groups(gaussian_data, k=5, random_state=0)
+        assert validate_model(coarsen_model(model, 20)) == []
+
+    def test_undersized_group_flagged(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        model.groups[0].count = 3
+        problems = validate_model(model)
+        assert any("below the declared" in problem for problem in problems)
+
+    def test_non_finite_sums_flagged(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        model.groups[1].first_order[0] = np.nan
+        problems = validate_model(model)
+        assert any("non-finite first-order" in p for p in problems)
+
+    def test_cauchy_schwarz_violation_flagged(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        # Shrink a diagonal Sc entry below Fs^2 / n.
+        model.groups[0].second_order[0, 0] = -1e6
+        problems = validate_model(model)
+        assert any("Cauchy-Schwarz" in p for p in problems)
+
+    def test_indefinite_covariance_flagged(self):
+        # Hand-build a group whose off-diagonal Sc exceeds what any real
+        # record set could produce.
+        group = GroupStatistics(
+            first_order=np.zeros(2),
+            second_order=np.array([[10.0, 50.0], [50.0, 10.0]]),
+            count=10,
+        )
+        model = CondensedModel(groups=[group], k=10)
+        problems = validate_model(model)
+        assert any("negative eigenvalue" in p for p in problems)
+
+    def test_strict_raises(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        model.groups[0].count = 1
+        with pytest.raises(ValueError, match="invalid condensed model"):
+            validate_model(model, strict=True)
+
+    def test_multiple_problems_all_reported(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        model.groups[0].count = 2
+        model.groups[1].first_order[0] = np.inf
+        problems = validate_model(model)
+        assert len(problems) >= 2
+
+
+class TestLoadModelValidation:
+    def test_tampered_file_rejected(self, tmp_path, gaussian_data):
+        from repro.io.model_store import load_model, save_model
+
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        path = tmp_path / "model.json"
+        save_model(path, model)
+        payload = json.loads(path.read_text())
+        payload["groups"][0]["count"] = 1  # below declared k
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="invalid condensed model"):
+            load_model(path)
+
+    def test_validation_can_be_disabled(self, tmp_path, gaussian_data):
+        from repro.io.model_store import load_model, save_model
+
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        path = tmp_path / "model.json"
+        save_model(path, model)
+        payload = json.loads(path.read_text())
+        payload["groups"][0]["count"] = 1
+        path.write_text(json.dumps(payload))
+        loaded = load_model(path, validate=False)
+        assert loaded.groups[0].count == 1

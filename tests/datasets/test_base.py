@@ -1,0 +1,94 @@
+"""Tests for repro.datasets.base."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+
+
+def make_dataset(task="classification"):
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(30, 3))
+    if task == "classification":
+        target = rng.integers(0, 2, size=30)
+    else:
+        target = rng.normal(size=30)
+    return Dataset(name="toy", data=data, target=target, task=task)
+
+
+class TestDataset:
+    def test_basic_properties(self):
+        dataset = make_dataset()
+        assert dataset.n_records == 30
+        assert dataset.n_features == 3
+        assert dataset.task == "classification"
+
+    def test_default_feature_names(self):
+        dataset = make_dataset()
+        assert dataset.feature_names == ["attr_0", "attr_1", "attr_2"]
+
+    def test_explicit_feature_names(self):
+        rng = np.random.default_rng(0)
+        dataset = Dataset(
+            name="toy",
+            data=rng.normal(size=(5, 2)),
+            target=np.zeros(5),
+            task="regression",
+            feature_names=["a", "b"],
+        )
+        assert dataset.feature_names == ["a", "b"]
+
+    def test_feature_name_count_checked(self):
+        with pytest.raises(ValueError, match="feature names"):
+            Dataset(
+                name="toy",
+                data=np.zeros((5, 2)),
+                target=np.zeros(5),
+                task="regression",
+                feature_names=["only_one"],
+            )
+
+    def test_classes_for_classification(self):
+        dataset = make_dataset()
+        assert set(dataset.classes.tolist()) <= {0, 1}
+
+    def test_classes_rejected_for_regression(self):
+        dataset = make_dataset(task="regression")
+        with pytest.raises(ValueError, match="not a classification"):
+            __ = dataset.classes
+
+    def test_class_counts(self):
+        dataset = Dataset(
+            name="toy",
+            data=np.zeros((4, 1)),
+            target=np.array([0, 0, 1, 0]),
+            task="classification",
+        )
+        assert dataset.class_counts() == {0: 3, 1: 1}
+
+    def test_target_alignment_checked(self):
+        with pytest.raises(ValueError, match="target"):
+            Dataset(
+                name="toy",
+                data=np.zeros((5, 2)),
+                target=np.zeros(4),
+                task="regression",
+            )
+
+    def test_invalid_task(self):
+        with pytest.raises(ValueError, match="task"):
+            Dataset(
+                name="toy",
+                data=np.zeros((5, 2)),
+                target=np.zeros(5),
+                task="ranking",
+            )
+
+    def test_non_2d_data_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Dataset(
+                name="toy",
+                data=np.zeros(5),
+                target=np.zeros(5),
+                task="regression",
+            )

@@ -1,0 +1,118 @@
+"""Tests for repro.datasets.corruptions."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.corruptions import (
+    add_attribute_noise,
+    flip_labels,
+    inject_outliers,
+)
+
+
+class TestFlipLabels:
+    def test_exact_fraction_flipped(self, rng):
+        labels = rng.integers(0, 3, size=200)
+        corrupted = flip_labels(labels, 0.25, random_state=0)
+        assert int(np.sum(corrupted != labels)) == 50
+
+    def test_flipped_labels_stay_in_vocabulary(self, rng):
+        labels = rng.integers(0, 3, size=100)
+        corrupted = flip_labels(labels, 0.5, random_state=0)
+        assert set(corrupted.tolist()) <= {0, 1, 2}
+
+    def test_zero_fraction_identity(self, rng):
+        labels = rng.integers(0, 2, size=50)
+        np.testing.assert_array_equal(
+            flip_labels(labels, 0.0, random_state=0), labels
+        )
+
+    def test_original_untouched(self, rng):
+        labels = rng.integers(0, 2, size=50)
+        copy = labels.copy()
+        flip_labels(labels, 0.5, random_state=0)
+        np.testing.assert_array_equal(labels, copy)
+
+    def test_string_labels(self):
+        labels = np.array(["a", "b"] * 20)
+        corrupted = flip_labels(labels, 0.5, random_state=0)
+        assert int(np.sum(corrupted != labels)) == 20
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="two classes"):
+            flip_labels(np.zeros(10), 0.1)
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            flip_labels(rng.integers(0, 2, size=10), 1.5)
+
+
+class TestAddAttributeNoise:
+    def test_noise_magnitude_relative_to_spread(self, rng):
+        data = np.column_stack([
+            rng.normal(scale=1.0, size=5000),
+            rng.normal(scale=100.0, size=5000),
+        ])
+        corrupted = add_attribute_noise(
+            data, scale=0.5, random_state=0
+        )
+        residual = corrupted - data
+        ratio = residual[:, 1].std() / residual[:, 0].std()
+        assert ratio == pytest.approx(100.0, rel=0.1)
+
+    def test_fraction_controls_affected_rows(self, rng):
+        data = rng.normal(size=(100, 3))
+        corrupted = add_attribute_noise(
+            data, scale=1.0, fraction=0.2, random_state=0
+        )
+        changed = np.any(corrupted != data, axis=1)
+        assert int(changed.sum()) == 20
+
+    def test_zero_scale_identity(self, rng):
+        data = rng.normal(size=(30, 2))
+        np.testing.assert_array_equal(
+            add_attribute_noise(data, 0.0, random_state=0), data
+        )
+
+    def test_validation(self, rng):
+        data = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            add_attribute_noise(data, scale=-1.0)
+        with pytest.raises(ValueError):
+            add_attribute_noise(data, scale=1.0, fraction=2.0)
+
+
+class TestInjectOutliers:
+    def test_count_and_indices(self, rng):
+        data = rng.normal(size=(100, 3))
+        corrupted, indices = inject_outliers(
+            data, 0.05, random_state=0
+        )
+        assert indices.shape[0] == 5
+        unchanged = np.setdiff1d(np.arange(100), indices)
+        np.testing.assert_array_equal(
+            corrupted[unchanged], data[unchanged]
+        )
+
+    def test_outliers_are_far_out(self, rng):
+        data = rng.normal(size=(200, 3))
+        corrupted, indices = inject_outliers(
+            data, 0.05, magnitude=8.0, random_state=0
+        )
+        mean = data.mean(axis=0)
+        spread = data.std(axis=0)
+        standardized = (corrupted[indices] - mean) / spread
+        assert (np.linalg.norm(standardized, axis=1) > 5.0).all()
+
+    def test_zero_fraction(self, rng):
+        data = rng.normal(size=(20, 2))
+        corrupted, indices = inject_outliers(data, 0.0, random_state=0)
+        assert indices.shape[0] == 0
+        np.testing.assert_array_equal(corrupted, data)
+
+    def test_validation(self, rng):
+        data = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            inject_outliers(data, -0.1)
+        with pytest.raises(ValueError):
+            inject_outliers(data, 0.1, magnitude=0.0)

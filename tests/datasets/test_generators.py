@@ -1,0 +1,212 @@
+"""Tests for repro.datasets.generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    make_classification_mixture,
+    make_correlated_blobs,
+    make_factor_regression,
+    make_stream_batches,
+    random_covariance,
+)
+from repro.linalg.symmetric import is_positive_semidefinite
+
+
+class TestRandomCovariance:
+    def test_is_psd(self, rng):
+        covariance = random_covariance(6, rng)
+        assert is_positive_semidefinite(covariance)
+
+    def test_shape(self, rng):
+        assert random_covariance(4, rng).shape == (4, 4)
+
+    def test_noise_floor_bounds_smallest_eigenvalue(self, rng):
+        covariance = random_covariance(5, rng, noise_floor=0.5)
+        eigenvalues = np.linalg.eigvalsh(covariance)
+        assert eigenvalues.min() >= 0.5 - 1e-10
+
+    def test_has_correlations(self, rng):
+        covariance = random_covariance(6, rng, effective_rank=2)
+        off_diagonal = covariance - np.diag(np.diag(covariance))
+        assert np.abs(off_diagonal).max() > 0.01
+
+    def test_invalid_rank(self, rng):
+        with pytest.raises(ValueError):
+            random_covariance(3, rng, effective_rank=5)
+
+    def test_negative_noise_floor(self, rng):
+        with pytest.raises(ValueError):
+            random_covariance(3, rng, noise_floor=-0.1)
+
+
+class TestCorrelatedBlobs:
+    def test_shapes(self):
+        data, assignments = make_correlated_blobs(
+            100, 4, n_blobs=3, random_state=0
+        )
+        assert data.shape == (100, 4)
+        assert assignments.shape == (100,)
+
+    def test_no_empty_blob(self):
+        __, assignments = make_correlated_blobs(
+            50, 3, n_blobs=5, random_state=1
+        )
+        assert set(assignments.tolist()) == {0, 1, 2, 3, 4}
+
+    def test_reproducible(self):
+        a, __ = make_correlated_blobs(40, 3, random_state=7)
+        b, __ = make_correlated_blobs(40, 3, random_state=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_too_few_records(self):
+        with pytest.raises(ValueError):
+            make_correlated_blobs(2, 3, n_blobs=5)
+
+
+class TestClassificationMixture:
+    def test_class_sizes_respected(self):
+        dataset = make_classification_mixture(
+            [30, 20, 10], n_features=4, random_state=0
+        )
+        assert dataset.class_counts() == {0: 30, 1: 20, 2: 10}
+
+    def test_task_and_shape(self):
+        dataset = make_classification_mixture(
+            [25, 25], n_features=6, random_state=1
+        )
+        assert dataset.task == "classification"
+        assert dataset.data.shape == (50, 6)
+
+    def test_separation_controls_difficulty(self):
+        from repro.neighbors.knn import KNeighborsClassifier
+
+        easy = make_classification_mixture(
+            [60, 60], n_features=3, class_separation=8.0, random_state=2
+        )
+        hard = make_classification_mixture(
+            [60, 60], n_features=3, class_separation=0.1, random_state=2
+        )
+
+        def holdout_accuracy(dataset):
+            classifier = KNeighborsClassifier(n_neighbors=3)
+            classifier.fit(dataset.data[:90], dataset.target[:90])
+            return classifier.score(dataset.data[90:], dataset.target[90:])
+
+        assert holdout_accuracy(easy) > holdout_accuracy(hard)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            make_classification_mixture([0, 10], n_features=2)
+
+    def test_invalid_clusters(self):
+        with pytest.raises(ValueError):
+            make_classification_mixture(
+                [10], n_features=2, clusters_per_class=0
+            )
+
+    def test_multimodal_classes(self):
+        dataset = make_classification_mixture(
+            [100], n_features=2, clusters_per_class=3, random_state=3
+        )
+        assert dataset.n_records == 100
+
+
+class TestFactorRegression:
+    def test_shapes(self):
+        dataset = make_factor_regression(80, 5, random_state=0)
+        assert dataset.data.shape == (80, 5)
+        assert dataset.target.shape == (80,)
+        assert dataset.task == "regression"
+
+    def test_strong_attribute_correlations(self):
+        dataset = make_factor_regression(
+            500, 6, n_factors=1, noise=0.01, random_state=1
+        )
+        correlation = np.corrcoef(dataset.data.T)
+        off_diagonal = np.abs(
+            correlation - np.diag(np.diag(correlation))
+        )
+        assert off_diagonal.max() > 0.95
+
+    def test_target_predictable_from_attributes(self):
+        from repro.mining.linear_model import LinearRegression
+
+        dataset = make_factor_regression(
+            300, 4, n_factors=2, noise=0.05, target_noise=0.05,
+            random_state=2,
+        )
+        model = LinearRegression().fit(dataset.data, dataset.target)
+        assert model.score(dataset.data, dataset.target) > 0.9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_factor_regression(10, 3, n_factors=0)
+        with pytest.raises(ValueError):
+            make_factor_regression(10, 3, noise=-1.0)
+
+
+class TestStreamBatches:
+    def test_partition(self):
+        dataset = make_classification_mixture(
+            [40, 40], n_features=3, random_state=0
+        )
+        base_x, base_y, stream_x, stream_y = make_stream_batches(
+            dataset, initial_fraction=0.25, random_state=1
+        )
+        assert base_x.shape[0] == 20
+        assert stream_x.shape[0] == 60
+        assert base_x.shape[0] + stream_x.shape[0] == 80
+        assert base_y.shape[0] == 20
+        assert stream_y.shape[0] == 60
+
+    def test_invalid_fraction(self):
+        dataset = make_classification_mixture(
+            [10], n_features=2, random_state=0
+        )
+        with pytest.raises(ValueError):
+            make_stream_batches(dataset, initial_fraction=0.0)
+
+
+class TestTwoMoons:
+    def test_shapes_and_balance(self):
+        from repro.datasets.generators import make_two_moons
+
+        dataset = make_two_moons(200, random_state=0)
+        assert dataset.data.shape == (200, 2)
+        counts = dataset.class_counts()
+        assert counts == {0: 100, 1: 100}
+
+    def test_odd_count_split(self):
+        from repro.datasets.generators import make_two_moons
+
+        dataset = make_two_moons(201, random_state=0)
+        counts = dataset.class_counts()
+        assert sorted(counts.values()) == [100, 101]
+
+    def test_moons_are_non_convex_but_separable_by_dbscan(self):
+        from repro.datasets.generators import make_two_moons
+        from repro.mining.dbscan import DBSCAN, NOISE
+
+        dataset = make_two_moons(400, noise=0.04, random_state=0)
+        labels = DBSCAN(eps=0.2, min_samples=5).fit_predict(dataset.data)
+        clustered = labels != NOISE
+        # Each DBSCAN cluster maps to exactly one moon.
+        for cluster in set(labels[clustered].tolist()):
+            members = dataset.target[labels == cluster]
+            assert len(set(members.tolist())) == 1
+
+    def test_reproducible(self):
+        from repro.datasets.generators import make_two_moons
+
+        a = make_two_moons(50, random_state=3)
+        b = make_two_moons(50, random_state=3)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_validation(self):
+        from repro.datasets.generators import make_two_moons
+
+        with pytest.raises(ValueError):
+            make_two_moons(1)
+        with pytest.raises(ValueError):
+            make_two_moons(10, noise=-0.1)

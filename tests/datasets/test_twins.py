@@ -1,0 +1,193 @@
+"""Tests for repro.datasets.twins — the UCI statistical twins."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.twins import (
+    TWIN_LOADERS,
+    load_abalone,
+    load_ecoli,
+    load_ionosphere,
+    load_pima,
+    load_twin,
+)
+
+
+class TestIonosphereTwin:
+    def test_matches_original_shape(self):
+        dataset = load_ionosphere()
+        assert dataset.n_records == 351
+        assert dataset.n_features == 34
+        assert dataset.class_counts() == {0: 126, 1: 225}
+
+    def test_bounded_attributes(self):
+        dataset = load_ionosphere()
+        assert dataset.data.min() >= -1.0
+        assert dataset.data.max() <= 1.0
+
+    def test_deterministic_default_seed(self):
+        a = load_ionosphere()
+        b = load_ionosphere()
+        np.testing.assert_array_equal(a.data, b.data)
+        np.testing.assert_array_equal(a.target, b.target)
+
+    def test_custom_seed_differs(self):
+        a = load_ionosphere()
+        b = load_ionosphere(random_state=99)
+        assert not np.array_equal(a.data, b.data)
+
+    def test_bad_class_more_diffuse(self):
+        dataset = load_ionosphere()
+        good = dataset.data[dataset.target == 1]
+        bad = dataset.data[dataset.target == 0]
+        assert bad.var(axis=0).mean() > good.var(axis=0).mean()
+
+
+class TestEcoliTwin:
+    def test_matches_original_shape(self):
+        dataset = load_ecoli()
+        assert dataset.n_records == 336
+        assert dataset.n_features == 7
+        counts = dataset.class_counts()
+        assert sorted(counts.values(), reverse=True) == [
+            143, 77, 52, 35, 20, 5, 2, 2,
+        ]
+
+    def test_unit_interval_attributes(self):
+        dataset = load_ecoli()
+        assert dataset.data.min() >= 0.0
+        assert dataset.data.max() <= 1.0
+
+    def test_has_tiny_classes(self):
+        # The original's imL and imS classes have two members each —
+        # the case that forces the single_group policy downstream.
+        counts = load_ecoli().class_counts()
+        assert min(counts.values()) == 2
+
+
+class TestPimaTwin:
+    def test_matches_original_shape(self):
+        dataset = load_pima()
+        assert dataset.n_records == 768
+        assert dataset.n_features == 8
+        assert dataset.class_counts() == {0: 500, 1: 268}
+
+    def test_non_negative_attributes(self):
+        assert load_pima().data.min() >= 0.0
+
+    def test_scale_disparity(self):
+        # Clinical attributes live on very different scales (pedigree
+        # ~0.5 vs insulin ~100).
+        stds = load_pima().data.std(axis=0)
+        assert stds.max() / stds.min() > 20.0
+
+    def test_anomalies_injected(self):
+        # ~4% of records carry an implausible extreme value.
+        dataset = load_pima()
+        standardized = (
+            dataset.data - dataset.data.mean(axis=0)
+        ) / dataset.data.std(axis=0)
+        extreme_rows = (np.abs(standardized) > 4.0).any(axis=1)
+        assert extreme_rows.sum() >= 10
+
+
+class TestAbaloneTwin:
+    def test_matches_original_shape(self):
+        dataset = load_abalone()
+        assert dataset.n_records == 4177
+        assert dataset.n_features == 8
+        assert dataset.task == "regression"
+
+    def test_sex_is_categorical(self):
+        sex = load_abalone().data[:, 0]
+        assert set(np.unique(sex).tolist()) == {0.0, 1.0, 2.0}
+
+    def test_rings_are_integer_valued(self):
+        rings = load_abalone().target
+        np.testing.assert_allclose(rings, np.round(rings))
+        assert rings.min() >= 1
+        assert rings.max() <= 29
+
+    def test_measurements_strongly_correlated(self):
+        data = load_abalone().data[:, 1:]  # skip sex
+        correlation = np.corrcoef(data.T)
+        off_diagonal = correlation[~np.eye(7, dtype=bool)]
+        assert off_diagonal.min() > 0.7
+
+    def test_infants_smaller(self):
+        dataset = load_abalone()
+        infants = dataset.data[dataset.data[:, 0] == 2.0, 1]
+        adults = dataset.data[dataset.data[:, 0] != 2.0, 1]
+        assert infants.mean() < adults.mean()
+
+    def test_rings_predictable_from_size(self):
+        dataset = load_abalone()
+        length = dataset.data[:, 1]
+        correlation = np.corrcoef(length, dataset.target)[0, 1]
+        assert correlation > 0.5
+
+
+class TestLoaderRegistry:
+    def test_all_twins_registered(self):
+        assert set(TWIN_LOADERS) == {
+            "ionosphere", "ecoli", "pima", "abalone",
+        }
+
+    def test_load_twin_dispatch(self):
+        dataset = load_twin("ecoli")
+        assert dataset.name == "ecoli-twin"
+
+    def test_load_twin_unknown(self):
+        with pytest.raises(ValueError, match="unknown twin"):
+            load_twin("adult")
+
+    def test_descriptions_document_substitution(self):
+        for loader in TWIN_LOADERS.values():
+            assert "substitutes" in loader().description
+
+
+class TestTwinStability:
+    """The twins' difficulty must be a property of the generator, not of
+    one lucky seed — otherwise the figure shapes are accidents."""
+
+    @pytest.mark.parametrize("name,low,high", [
+        ("ionosphere", 0.75, 0.95),
+        ("ecoli", 0.75, 0.95),
+        ("pima", 0.6, 0.85),
+    ])
+    def test_baseline_accuracy_stable_across_seeds(self, name, low,
+                                                   high):
+        from repro.evaluation.protocol import baseline_condition
+        from repro.preprocessing import StandardScaler, train_test_split
+
+        for twin_seed in (101, 202):
+            dataset = load_twin(name, random_state=twin_seed)
+            train_x, test_x, train_y, test_y = train_test_split(
+                dataset.data, dataset.target, test_size=0.25,
+                stratify=dataset.target, random_state=0,
+            )
+            scaler = StandardScaler().fit(train_x)
+            accuracy = baseline_condition(
+                scaler.transform(train_x), train_y,
+                scaler.transform(test_x), test_y,
+                task="classification",
+            )
+            assert low <= accuracy <= high, (name, twin_seed, accuracy)
+
+    def test_abalone_tolerance_accuracy_stable(self):
+        from repro.evaluation.protocol import baseline_condition
+        from repro.preprocessing import StandardScaler, train_test_split
+
+        for twin_seed in (101, 202):
+            dataset = load_twin("abalone", random_state=twin_seed)
+            train_x, test_x, train_y, test_y = train_test_split(
+                dataset.data, dataset.target, test_size=0.25,
+                random_state=0,
+            )
+            scaler = StandardScaler().fit(train_x)
+            accuracy = baseline_condition(
+                scaler.transform(train_x), train_y,
+                scaler.transform(test_x), test_y,
+                task="regression", tol=1.0,
+            )
+            assert 0.2 <= accuracy <= 0.55, (twin_seed, accuracy)

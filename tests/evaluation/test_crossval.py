@@ -1,0 +1,94 @@
+"""Tests for repro.evaluation.crossval."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import make_classification_mixture
+from repro.evaluation.crossval import cross_validated_accuracy
+
+
+@pytest.fixture(scope="module")
+def labelled_dataset():
+    return make_classification_mixture(
+        [100, 80], n_features=4, class_separation=3.0, random_state=0
+    )
+
+
+class TestCrossValidatedAccuracy:
+    def test_fold_counts(self, labelled_dataset):
+        result = cross_validated_accuracy(
+            labelled_dataset.data, labelled_dataset.target, k=10,
+            n_splits=4, random_state=0,
+        )
+        assert result.n_folds == 4
+        assert result.condensed_scores.shape == (4,)
+        assert result.original_scores.shape == (4,)
+
+    def test_scores_bounded(self, labelled_dataset):
+        result = cross_validated_accuracy(
+            labelled_dataset.data, labelled_dataset.target, k=10,
+            random_state=0,
+        )
+        assert ((0.0 <= result.condensed_scores)
+                & (result.condensed_scores <= 1.0)).all()
+        assert ((0.0 <= result.original_scores)
+                & (result.original_scores <= 1.0)).all()
+
+    def test_condensed_tracks_original(self, labelled_dataset):
+        result = cross_validated_accuracy(
+            labelled_dataset.data, labelled_dataset.target, k=10,
+            random_state=0,
+        )
+        assert result.mean_gap < 0.15
+        assert result.condensed_mean > 0.6
+
+    def test_dynamic_mode(self, labelled_dataset):
+        result = cross_validated_accuracy(
+            labelled_dataset.data, labelled_dataset.target, k=10,
+            mode="dynamic", n_splits=3, random_state=0,
+        )
+        assert result.n_folds == 3
+        assert result.condensed_mean > 0.5
+
+    def test_gap_stderr_nonnegative(self, labelled_dataset):
+        result = cross_validated_accuracy(
+            labelled_dataset.data, labelled_dataset.target, k=10,
+            random_state=0,
+        )
+        assert result.gap_stderr >= 0.0
+
+    def test_reproducible(self, labelled_dataset):
+        a = cross_validated_accuracy(
+            labelled_dataset.data, labelled_dataset.target, k=5,
+            n_splits=3, random_state=11,
+        )
+        b = cross_validated_accuracy(
+            labelled_dataset.data, labelled_dataset.target, k=5,
+            n_splits=3, random_state=11,
+        )
+        np.testing.assert_array_equal(
+            a.condensed_scores, b.condensed_scores
+        )
+        np.testing.assert_array_equal(
+            a.original_scores, b.original_scores
+        )
+
+
+class TestSaveCsv:
+    def test_round_trip(self, tmp_path, labelled_dataset):
+        from repro.evaluation.sweep import run_group_size_sweep
+        from repro.io.csv import read_records
+
+        result = run_group_size_sweep(
+            labelled_dataset, group_sizes=(2, 5), n_trials=1,
+            random_state=0,
+        )
+        path = tmp_path / "figure.csv"
+        result.save_csv(path)
+        data, header = read_records(path)
+        assert header[0] == "k"
+        assert data.shape == (2, 8)
+        np.testing.assert_allclose(data[:, 0], [2, 5])
+        np.testing.assert_allclose(
+            data[:, 3], result.series("accuracy_static")
+        )

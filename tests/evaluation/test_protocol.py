@@ -1,0 +1,223 @@
+"""Tests for repro.evaluation.protocol — the paper's §4 procedures."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    make_classification_mixture,
+    make_factor_regression,
+)
+from repro.evaluation.protocol import (
+    baseline_condition,
+    classification_condition,
+    condense_dataset,
+    measure_compatibility,
+    regression_condition,
+    run_figure_point,
+)
+
+
+@pytest.fixture(scope="module")
+def classification_dataset():
+    return make_classification_mixture(
+        [80, 80], n_features=4, class_separation=3.0, random_state=0
+    )
+
+
+@pytest.fixture(scope="module")
+def regression_dataset():
+    return make_factor_regression(
+        200, 4, n_factors=2, noise=0.1, target_noise=0.3, random_state=0
+    )
+
+
+class TestCondenseDataset:
+    def test_static_mode(self, gaussian_data):
+        model = condense_dataset(gaussian_data, 10, "static",
+                                 random_state=0)
+        assert (model.group_sizes >= 10).all()
+        assert model.total_count == 120
+
+    def test_dynamic_mode(self, gaussian_data):
+        model = condense_dataset(gaussian_data, 10, "dynamic",
+                                 random_state=0)
+        assert model.total_count == 120
+        assert (model.group_sizes >= 10).all()
+
+    def test_invalid_mode(self, gaussian_data):
+        with pytest.raises(ValueError, match="mode"):
+            condense_dataset(gaussian_data, 10, "batch")
+
+
+class TestMeasureCompatibility:
+    def test_static_mu_high(self, gaussian_data):
+        mu, average_size = measure_compatibility(
+            gaussian_data, 10, "static", random_state=0
+        )
+        assert mu > 0.9
+        assert average_size == pytest.approx(10.0)
+
+    def test_dynamic_mu_reasonable(self, gaussian_data):
+        mu, __ = measure_compatibility(
+            gaussian_data, 10, "dynamic", random_state=0
+        )
+        assert mu > 0.5
+
+
+class TestConditions:
+    def test_classification_condition(self, classification_dataset):
+        data, target = (
+            classification_dataset.data, classification_dataset.target
+        )
+        result = classification_condition(
+            data[:120], target[:120], data[120:], target[120:],
+            k=10, mode="static", random_state=0,
+        )
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.average_group_size >= 10.0
+
+    def test_classification_beats_chance(self, classification_dataset):
+        data, target = (
+            classification_dataset.data, classification_dataset.target
+        )
+        result = classification_condition(
+            data[:120], target[:120], data[120:], target[120:],
+            k=10, mode="static", random_state=0,
+        )
+        assert result.accuracy > 0.6
+
+    def test_regression_condition(self, regression_dataset):
+        data = regression_dataset.data
+        target = regression_dataset.target
+        result = regression_condition(
+            data[:150], target[:150], data[150:], target[150:],
+            k=10, mode="static", tol=1.0, random_state=0,
+        )
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_baseline_classification(self, classification_dataset):
+        data, target = (
+            classification_dataset.data, classification_dataset.target
+        )
+        accuracy = baseline_condition(
+            data[:120], target[:120], data[120:], target[120:],
+            task="classification",
+        )
+        assert accuracy > 0.6
+
+    def test_baseline_regression(self, regression_dataset):
+        data = regression_dataset.data
+        target = regression_dataset.target
+        accuracy = baseline_condition(
+            data[:150], target[:150], data[150:], target[150:],
+            task="regression", tol=1.0,
+        )
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_baseline_invalid_task(self, classification_dataset):
+        data, target = (
+            classification_dataset.data, classification_dataset.target
+        )
+        with pytest.raises(ValueError, match="task"):
+            baseline_condition(
+                data[:10], target[:10], data[10:20], target[10:20],
+                task="clustering",
+            )
+
+
+class TestRunFigurePoint:
+    def test_classification_figure_point(self, classification_dataset):
+        point = run_figure_point(
+            classification_dataset, k=10, n_trials=2, random_state=0
+        )
+        assert point.k == 10
+        for name in (
+            "accuracy_static", "accuracy_dynamic", "accuracy_original"
+        ):
+            assert 0.0 <= getattr(point, name) <= 1.0
+        assert -1.0 <= point.mu_static <= 1.0
+        assert -1.0 <= point.mu_dynamic <= 1.0
+        assert point.group_size_static >= 10.0
+        assert point.group_size_dynamic >= 10.0
+
+    def test_regression_figure_point(self, regression_dataset):
+        point = run_figure_point(
+            regression_dataset, k=10, n_trials=1, random_state=0
+        )
+        assert 0.0 <= point.accuracy_static <= 1.0
+
+    def test_condensed_accuracy_tracks_baseline(
+        self, classification_dataset
+    ):
+        # The paper's headline: condensation costs little accuracy.
+        point = run_figure_point(
+            classification_dataset, k=10, n_trials=3, random_state=0
+        )
+        assert point.accuracy_static >= point.accuracy_original - 0.12
+
+    def test_reproducible(self, classification_dataset):
+        a = run_figure_point(
+            classification_dataset, k=5, n_trials=1, random_state=3
+        )
+        b = run_figure_point(
+            classification_dataset, k=5, n_trials=1, random_state=3
+        )
+        assert a.accuracy_static == b.accuracy_static
+        assert a.mu_dynamic == b.mu_dynamic
+
+    def test_invalid_trials(self, classification_dataset):
+        with pytest.raises(ValueError, match="n_trials"):
+            run_figure_point(classification_dataset, k=5, n_trials=0)
+
+
+class TestRegressionTargetHandling:
+    def test_joint_mode_runs(self, regression_dataset):
+        data = regression_dataset.data
+        target = regression_dataset.target
+        result = regression_condition(
+            data[:150], target[:150], data[150:], target[150:],
+            k=10, mode="static", target_handling="joint",
+            random_state=0,
+        )
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.average_group_size >= 10.0
+
+    def test_classwise_mode_keeps_exact_targets(self, rng):
+        # Integer targets + classwise handling: anonymized targets are
+        # exactly the original values, so a near-duplicate query hits
+        # its own target band.
+        data = rng.normal(size=(120, 3))
+        target = np.round(rng.uniform(0, 5, size=120))
+        result = regression_condition(
+            data[:90], target[:90], data[90:], target[90:],
+            k=5, mode="static", target_handling="classwise", tol=0.5,
+            random_state=0,
+        )
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_invalid_target_handling(self, regression_dataset):
+        data = regression_dataset.data
+        target = regression_dataset.target
+        with pytest.raises(ValueError, match="target_handling"):
+            regression_condition(
+                data[:50], target[:50], data[50:100], target[50:100],
+                k=5, mode="static", target_handling="bins",
+            )
+
+    def test_joint_vs_classwise_both_reasonable(self, regression_dataset):
+        data = regression_dataset.data
+        target = regression_dataset.target
+        accuracies = {}
+        for handling in ("joint", "classwise"):
+            result = regression_condition(
+                data[:150], target[:150], data[150:], target[150:],
+                k=10, mode="static", target_handling=handling,
+                tol=1.0, random_state=0,
+            )
+            accuracies[handling] = result.accuracy
+        baseline = baseline_condition(
+            data[:150], target[:150], data[150:], target[150:],
+            task="regression", tol=1.0,
+        )
+        for handling, accuracy in accuracies.items():
+            assert accuracy > baseline - 0.3, handling

@@ -1,0 +1,44 @@
+"""Tests for repro.evaluation.reporting."""
+
+import pytest
+
+from repro.evaluation.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_all_cells(self):
+        table = format_table(
+            ["name", "value"], [["alpha", 1], ["beta", 22]]
+        )
+        for token in ("name", "value", "alpha", "beta", "1", "22"):
+            assert token in table
+
+    def test_title_line(self):
+        table = format_table(["a"], [[1]], title="My Results")
+        assert table.splitlines()[0] == "My Results"
+
+    def test_column_alignment(self):
+        table = format_table(["col"], [["x"], ["longer"]])
+        lines = table.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1
+
+    def test_empty_rows_allowed(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table and "b" in table
+
+    def test_cell_count_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only one"]])
+
+
+class TestFormatSeries:
+    def test_renders_pairs(self):
+        line = format_series("mu", [2, 5], [0.98765, 1.0])
+        assert line.startswith("mu:")
+        assert "2:0.9877" in line
+        assert "5:1.0000" in line
+
+    def test_precision(self):
+        line = format_series("x", [1], [0.123456], precision=2)
+        assert "1:0.12" in line

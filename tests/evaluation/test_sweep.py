@@ -1,0 +1,60 @@
+"""Tests for repro.evaluation.sweep."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import make_classification_mixture
+from repro.evaluation.sweep import FigureResult, run_group_size_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    dataset = make_classification_mixture(
+        [60, 60], n_features=3, class_separation=3.0, random_state=0
+    )
+    return run_group_size_sweep(
+        dataset, group_sizes=(2, 5, 10), n_trials=1, random_state=0
+    )
+
+
+class TestRunGroupSizeSweep:
+    def test_one_point_per_k(self, sweep_result):
+        np.testing.assert_array_equal(
+            sweep_result.group_sizes, [2, 5, 10]
+        )
+
+    def test_series_extraction(self, sweep_result):
+        series = sweep_result.series("accuracy_static")
+        assert series.shape == (3,)
+        assert ((0.0 <= series) & (series <= 1.0)).all()
+
+    def test_accuracy_table_renders(self, sweep_result):
+        table = sweep_result.accuracy_table()
+        assert "classification accuracy" in table
+        assert "static" in table
+        assert "original" in table
+
+    def test_compatibility_table_renders(self, sweep_result):
+        table = sweep_result.compatibility_table()
+        assert "covariance compatibility" in table
+        assert "mu (static)" in table
+
+    def test_summary_keys(self, sweep_result):
+        summary = sweep_result.summary()
+        assert set(summary) == {
+            "min_mu_static",
+            "min_mu_dynamic",
+            "max_accuracy_gap_static",
+            "max_accuracy_gap_dynamic",
+            "baseline_accuracy",
+        }
+
+    def test_mu_stays_high(self, sweep_result):
+        # The paper's panel (b) claim for static condensation.
+        assert sweep_result.summary()["min_mu_static"] > 0.9
+
+
+class TestFigureResult:
+    def test_empty_series(self):
+        result = FigureResult(dataset_name="empty")
+        assert result.group_sizes.shape == (0,)

@@ -1,0 +1,72 @@
+"""Tests for repro.evaluation.tradeoff."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import make_classification_mixture
+from repro.evaluation.tradeoff import tradeoff_curve
+
+
+@pytest.fixture(scope="module")
+def curve():
+    dataset = make_classification_mixture(
+        [100, 80], n_features=4, class_separation=3.0, random_state=0
+    )
+    return tradeoff_curve(
+        dataset.data, dataset.target, group_sizes=(5, 15, 30),
+        random_state=0,
+    )
+
+
+class TestTradeoffCurve:
+    def test_one_point_per_k(self, curve):
+        np.testing.assert_array_equal(curve.series("k"), [5, 15, 30])
+
+    def test_disclosure_monotone_decreasing(self, curve):
+        empirical = curve.series("empirical_disclosure")
+        assert empirical[0] > empirical[-1]
+        structural = curve.series("structural_disclosure")
+        assert (np.diff(structural) < 0).all()
+
+    def test_accuracy_near_baseline(self, curve):
+        accuracies = curve.series("accuracy")
+        assert (accuracies > curve.baseline_accuracy - 0.2).all()
+
+    def test_mu_high(self, curve):
+        assert curve.series("mu").min() > 0.85
+
+    def test_table_renders(self, curve):
+        table = curve.table()
+        assert "privacy-utility frontier" in table
+        assert "baseline accuracy" in table
+
+    def test_recommend_respects_budget(self, curve):
+        strict = curve.recommend(max_disclosure=1e-9)
+        assert strict is None
+        loose = curve.recommend(max_disclosure=1.0)
+        assert loose is not None
+        assert loose.accuracy == curve.series("accuracy").max()
+
+    def test_recommend_picks_highest_accuracy_within_budget(self, curve):
+        budget = float(
+            np.median(curve.series("empirical_disclosure"))
+        )
+        choice = curve.recommend(max_disclosure=budget)
+        assert choice is not None
+        assert choice.empirical_disclosure <= budget
+
+    def test_deterministic(self):
+        dataset = make_classification_mixture(
+            [60, 60], n_features=3, class_separation=3.0, random_state=1
+        )
+        a = tradeoff_curve(
+            dataset.data, dataset.target, group_sizes=(5, 10),
+            random_state=7,
+        )
+        b = tradeoff_curve(
+            dataset.data, dataset.target, group_sizes=(5, 10),
+            random_state=7,
+        )
+        np.testing.assert_array_equal(
+            a.series("accuracy"), b.series("accuracy")
+        )

@@ -1,0 +1,100 @@
+"""Integration: the full CLI pipeline on a statistical twin.
+
+Exercises the deployment story end to end through the command-line
+surface: anonymize a labelled cohort, audit the release, red-team it,
+persist + validate + coarsen the model, and regenerate from the
+coarser model — all against the Pima twin.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import load_pima
+from repro.io.csv import read_records, write_records
+from repro.io.model_store import load_model
+from repro.metrics import covariance_compatibility
+
+
+@pytest.fixture(scope="module")
+def pima_csv(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("pima")
+    dataset = load_pima()
+    path = directory / "pima.csv"
+    write_records(
+        path,
+        np.column_stack([dataset.data, dataset.target]),
+        feature_names=dataset.feature_names + ["outcome"],
+    )
+    return path
+
+
+class TestFullCliPipeline:
+    def test_anonymize_report_attack(self, tmp_path, pima_csv, capsys):
+        release = tmp_path / "release.csv"
+        assert main([
+            "anonymize", str(pima_csv), str(release),
+            "--k", "20", "--target-column", "outcome",
+        ]) == 0
+        release_data, header = read_records(release)
+        assert release_data.shape == (768, 9)
+        assert header[-1] == "outcome"
+        # Labels survived per-class condensation exactly.
+        original, __ = read_records(pima_csv)
+        np.testing.assert_array_equal(
+            np.bincount(original[:, -1].astype(int)),
+            np.bincount(release_data[:, -1].astype(int)),
+        )
+        # Utility audit runs and reports a high mu.
+        capsys.readouterr()
+        assert main(["report", str(pima_csv), str(release)]) == 0
+        report_output = capsys.readouterr().out
+        assert "covariance compatibility" in report_output
+        mu = covariance_compatibility(original, release_data)
+        assert mu > 0.95
+        # Red team.
+        assert main(["attack", str(pima_csv), "--k", "20"]) == 0
+        attack_output = capsys.readouterr().out
+        assert "record-linkage attack" in attack_output
+
+    def test_condense_validate_coarsen_generate(self, tmp_path,
+                                                pima_csv):
+        model_path = tmp_path / "model.json"
+        assert main([
+            "condense", str(pima_csv), str(model_path), "--k", "10",
+        ]) == 0
+        # The stored model passes validation on load and leaks no
+        # memberships.
+        model = load_model(model_path)
+        assert model.metadata == {}
+        assert (model.group_sizes >= 10).all()
+        payload = json.loads(model_path.read_text())
+        assert "memberships" not in json.dumps(payload)
+        # Coarsen to a stricter level and regenerate.
+        coarse_path = tmp_path / "coarse.json"
+        assert main([
+            "coarsen", str(model_path), str(coarse_path), "--k", "40",
+        ]) == 0
+        coarse = load_model(coarse_path)
+        assert (coarse.group_sizes >= 40).all()
+        release_path = tmp_path / "coarse_release.csv"
+        assert main([
+            "generate", str(coarse_path), str(release_path),
+        ]) == 0
+        release_data, __ = read_records(release_path)
+        assert release_data.shape[0] == coarse.total_count
+
+    def test_release_contains_no_original_record(self, tmp_path,
+                                                 pima_csv):
+        release = tmp_path / "release.csv"
+        main(["anonymize", str(pima_csv), str(release), "--k", "20"])
+        original, __ = read_records(pima_csv)
+        release_data, __ = read_records(release)
+        original_rows = {tuple(np.round(row, 6)) for row in original}
+        leaked = sum(
+            tuple(np.round(row, 6)) in original_rows
+            for row in release_data
+        )
+        assert leaked == 0

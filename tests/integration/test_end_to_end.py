@@ -1,0 +1,175 @@
+"""Integration tests: full pipelines across modules.
+
+These tests exercise the library exactly the way the examples and the
+benches do — twins in, condensation, generation, downstream mining — and
+assert the paper's qualitative claims end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClasswiseCondenser,
+    DynamicCondenser,
+    StaticCondenser,
+    covariance_compatibility,
+    create_condensed_groups,
+    linkage_attack,
+    privacy_report,
+)
+from repro.datasets import load_ecoli, load_ionosphere, load_pima
+from repro.metrics import accuracy_score
+from repro.mining import (
+    DecisionTreeClassifier,
+    GaussianNaiveBayes,
+    KMeans,
+)
+from repro.neighbors import KNeighborsClassifier
+from repro.preprocessing import StandardScaler, train_test_split
+
+
+@pytest.fixture(scope="module")
+def ionosphere_split():
+    dataset = load_ionosphere()
+    train_x, test_x, train_y, test_y = train_test_split(
+        dataset.data, dataset.target, test_size=0.25,
+        stratify=dataset.target, random_state=0,
+    )
+    scaler = StandardScaler().fit(train_x)
+    return (
+        scaler.transform(train_x), test_x_scaled := scaler.transform(test_x),
+        train_y, test_y,
+    )
+
+
+class TestPaperClaimClassificationSurvives:
+    def test_knn_on_condensed_ionosphere(self, ionosphere_split):
+        train_x, test_x, train_y, test_y = ionosphere_split
+        anonymized, anonymized_labels = ClasswiseCondenser(
+            k=20, random_state=0
+        ).fit_generate(train_x, train_y)
+        condensed_knn = KNeighborsClassifier(n_neighbors=1).fit(
+            anonymized, anonymized_labels
+        )
+        original_knn = KNeighborsClassifier(n_neighbors=1).fit(
+            train_x, train_y
+        )
+        condensed_accuracy = condensed_knn.score(test_x, test_y)
+        original_accuracy = original_knn.score(test_x, test_y)
+        assert condensed_accuracy >= original_accuracy - 0.1
+
+    def test_multiple_algorithms_run_unchanged(self, ionosphere_split):
+        # The paper's central claim: no algorithm modification needed.
+        train_x, test_x, train_y, test_y = ionosphere_split
+        anonymized, anonymized_labels = ClasswiseCondenser(
+            k=15, random_state=0
+        ).fit_generate(train_x, train_y)
+        for model in (
+            KNeighborsClassifier(n_neighbors=3),
+            GaussianNaiveBayes(),
+            DecisionTreeClassifier(max_depth=6),
+        ):
+            model.fit(anonymized, anonymized_labels)
+            predictions = model.predict(test_x)
+            accuracy = accuracy_score(test_y, predictions)
+            assert accuracy > 0.6, type(model).__name__
+
+    def test_ecoli_with_tiny_classes(self):
+        dataset = load_ecoli()
+        anonymized, labels = ClasswiseCondenser(
+            k=25, small_class_policy="single_group", random_state=0
+        ).fit_generate(dataset.data, dataset.target)
+        assert anonymized.shape == dataset.data.shape
+        assert set(labels.tolist()) == set(dataset.target.tolist())
+
+
+class TestPaperClaimCovariancePreserved:
+    def test_static_mu_above_098_on_pima(self):
+        dataset = load_pima()
+        data = StandardScaler().fit_transform(dataset.data)
+        for k in (10, 25, 50):
+            anonymized = StaticCondenser(
+                k=k, random_state=0
+            ).fit_generate(data)
+            assert covariance_compatibility(data, anonymized) > 0.95, k
+
+    def test_dynamic_mu_high_for_modest_groups(self):
+        dataset = load_pima()
+        data = StandardScaler().fit_transform(dataset.data)
+        condenser = DynamicCondenser(k=20, random_state=0).fit(data[:200])
+        condenser.partial_fit(data[200:])
+        anonymized = condenser.generate()
+        assert covariance_compatibility(data, anonymized) > 0.9
+
+
+class TestPrivacyEndToEnd:
+    def test_report_and_attack_consistency(self):
+        dataset = load_ionosphere()
+        data = StandardScaler().fit_transform(dataset.data)
+        model = create_condensed_groups(data, k=15, random_state=0)
+        report = privacy_report(model)
+        assert report.satisfied
+        attack = linkage_attack(data, model, random_state=0)
+        # Even a perfect group linkage cannot beat 1/k disclosure.
+        assert attack.expected_record_disclosure <= 1.0 / 15 + 1e-12
+
+    def test_anonymized_data_contains_no_original_record(self):
+        dataset = load_pima()
+        data = StandardScaler().fit_transform(dataset.data)
+        anonymized = StaticCondenser(k=10, random_state=0).fit_generate(
+            data
+        )
+        original_rows = {tuple(np.round(row, 8)) for row in data}
+        leaked = sum(
+            tuple(np.round(row, 8)) in original_rows for row in anonymized
+        )
+        assert leaked == 0
+
+
+class TestClusteringOnCondensedData:
+    def test_kmeans_structure_survives(self, rng):
+        blobs = np.vstack([
+            rng.normal(loc=offset, scale=0.5, size=(60, 3))
+            for offset in (0.0, 10.0, 20.0)
+        ])
+        anonymized = StaticCondenser(k=10, random_state=0).fit_generate(
+            blobs
+        )
+        original_inertia = KMeans(
+            n_clusters=3, random_state=0
+        ).fit(blobs).inertia_
+        anonymized_model = KMeans(n_clusters=3, random_state=0).fit(
+            anonymized
+        )
+        # Cluster centres found on anonymized data describe the original
+        # data nearly as well as its own clustering.
+        from repro.neighbors.brute import pairwise_distances
+
+        assignments = anonymized_model.predict(blobs)
+        squared = pairwise_distances(
+            blobs, anonymized_model.cluster_centers_, squared=True
+        )
+        transfer_inertia = float(
+            np.take_along_axis(squared, assignments[:, None], axis=1).sum()
+        )
+        assert transfer_inertia <= 1.5 * original_inertia
+
+
+class TestSerializationRoundTrip:
+    def test_model_survives_json(self):
+        import json
+
+        dataset = load_ionosphere()
+        data = StandardScaler().fit_transform(dataset.data)
+        model = create_condensed_groups(data, k=20, random_state=0)
+        model.metadata.pop("memberships")
+        model.metadata.pop("strategy")
+        payload = json.dumps(model.to_dict())
+        from repro.core.statistics import CondensedModel
+
+        rebuilt = CondensedModel.from_dict(json.loads(payload))
+        from repro.core.generation import generate_anonymized_data
+
+        anonymized = generate_anonymized_data(rebuilt, random_state=0)
+        assert anonymized.shape == data.shape
+        assert covariance_compatibility(data, anonymized) > 0.9

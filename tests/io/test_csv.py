@@ -1,0 +1,142 @@
+"""Tests for repro.io.csv."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.io.csv import (
+    read_dataset,
+    read_records,
+    write_dataset,
+    write_records,
+)
+
+
+class TestRecordsRoundTrip:
+    def test_round_trip(self, tmp_path, gaussian_data):
+        path = tmp_path / "records.csv"
+        write_records(path, gaussian_data, feature_names=list("abcd"))
+        data, header = read_records(path)
+        np.testing.assert_allclose(data, gaussian_data, atol=1e-12)
+        assert header == ["a", "b", "c", "d"]
+
+    def test_default_header(self, tmp_path, gaussian_data):
+        path = tmp_path / "records.csv"
+        write_records(path, gaussian_data)
+        __, header = read_records(path)
+        assert header == ["attr_0", "attr_1", "attr_2", "attr_3"]
+
+    def test_header_count_checked(self, tmp_path, gaussian_data):
+        with pytest.raises(ValueError, match="feature names"):
+            write_records(
+                tmp_path / "x.csv", gaussian_data, feature_names=["a"]
+            )
+
+    def test_non_2d_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_records(tmp_path / "x.csv", np.zeros(5))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_records(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            read_records(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1.0,2.0\n3.0\n")
+        with pytest.raises(ValueError, match="expected 2 columns"):
+            read_records(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "text.csv"
+        path.write_text("a,b\n1.0,hello\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            read_records(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("a,b\n1.0,2.0\n\n3.0,4.0\n")
+        data, __ = read_records(path)
+        assert data.shape == (2, 2)
+
+
+class TestDatasetRoundTrip:
+    def make_dataset(self, task="classification"):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(20, 3))
+        if task == "classification":
+            target = rng.integers(0, 3, size=20)
+        else:
+            target = rng.normal(size=20)
+        return Dataset(
+            name="toy", data=data, target=target, task=task,
+            feature_names=["x", "y", "z"],
+        )
+
+    def test_classification_round_trip(self, tmp_path):
+        dataset = self.make_dataset()
+        path = tmp_path / "dataset.csv"
+        write_dataset(path, dataset)
+        loaded = read_dataset(path, task="classification")
+        np.testing.assert_allclose(loaded.data, dataset.data, atol=1e-12)
+        np.testing.assert_array_equal(loaded.target, dataset.target)
+        assert loaded.feature_names == ["x", "y", "z"]
+
+    def test_regression_round_trip(self, tmp_path):
+        dataset = self.make_dataset(task="regression")
+        path = tmp_path / "dataset.csv"
+        write_dataset(path, dataset)
+        loaded = read_dataset(path, task="regression")
+        np.testing.assert_allclose(
+            loaded.target, dataset.target, atol=1e-12
+        )
+
+    def test_string_labels_preserved(self, tmp_path):
+        rng = np.random.default_rng(0)
+        dataset = Dataset(
+            name="toy",
+            data=rng.normal(size=(4, 2)),
+            target=np.array(["yes", "no", "yes", "no"]),
+            task="classification",
+        )
+        path = tmp_path / "dataset.csv"
+        write_dataset(path, dataset)
+        loaded = read_dataset(path)
+        assert set(loaded.target.tolist()) == {"yes", "no"}
+
+    def test_target_name_collision(self, tmp_path):
+        rng = np.random.default_rng(0)
+        dataset = Dataset(
+            name="toy",
+            data=rng.normal(size=(4, 1)),
+            target=np.zeros(4),
+            task="regression",
+            feature_names=["target"],
+        )
+        with pytest.raises(ValueError, match="collides"):
+            write_dataset(tmp_path / "x.csv", dataset)
+
+    def test_missing_target_column(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("a,b\n1.0,2.0\n")
+        with pytest.raises(ValueError, match="target column"):
+            read_dataset(path)
+
+    def test_non_numeric_regression_target(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("a,target\n1.0,high\n")
+        with pytest.raises(ValueError, match="numeric"):
+            read_dataset(path, task="regression")
+
+    def test_default_name_from_path(self, tmp_path):
+        dataset = self.make_dataset()
+        path = tmp_path / "cohort.csv"
+        write_dataset(path, dataset)
+        assert read_dataset(path).name == "cohort"

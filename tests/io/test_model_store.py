@@ -1,0 +1,79 @@
+"""Tests for repro.io.model_store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.condensation import create_condensed_groups
+from repro.core.generation import generate_anonymized_data
+from repro.io.model_store import FORMAT_VERSION, load_model, save_model
+
+
+class TestModelRoundTrip:
+    def test_round_trip_preserves_statistics(self, tmp_path,
+                                              gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        path = tmp_path / "model.json"
+        save_model(path, model)
+        loaded = load_model(path)
+        assert loaded.k == model.k
+        assert loaded.n_groups == model.n_groups
+        np.testing.assert_allclose(loaded.centroids(), model.centroids())
+        for original, rebuilt in zip(model.groups, loaded.groups):
+            np.testing.assert_allclose(
+                rebuilt.second_order, original.second_order
+            )
+
+    def test_generation_from_loaded_model(self, tmp_path, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        path = tmp_path / "model.json"
+        save_model(path, model)
+        loaded = load_model(path)
+        a = generate_anonymized_data(model, random_state=7)
+        b = generate_anonymized_data(loaded, random_state=7)
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_metadata_stripped_by_default(self, tmp_path, gaussian_data):
+        # Memberships reference original records; they must not ship.
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        path = tmp_path / "model.json"
+        save_model(path, model)
+        payload = json.loads(path.read_text())
+        assert payload["metadata"] == {}
+        assert load_model(path).metadata == {}
+
+    def test_metadata_kept_on_request(self, tmp_path, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        path = tmp_path / "model.json"
+        save_model(path, model, include_metadata=True)
+        loaded = load_model(path)
+        assert loaded.metadata["strategy"] == "random"
+        assert len(loaded.metadata["memberships"]) == model.n_groups
+
+    def test_format_version_written(self, tmp_path, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        path = tmp_path / "model.json"
+        save_model(path, model)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == FORMAT_VERSION
+
+    def test_unknown_version_rejected(self, tmp_path, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        path = tmp_path / "model.json"
+        save_model(path, model)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            load_model(path)
+
+    def test_missing_version_rejected(self, tmp_path, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        path = tmp_path / "model.json"
+        save_model(path, model)
+        payload = json.loads(path.read_text())
+        del payload["format_version"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            load_model(path)

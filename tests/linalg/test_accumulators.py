@@ -1,0 +1,169 @@
+"""Tests for repro.linalg.accumulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.accumulators import MomentAccumulator, WelfordAccumulator
+
+
+def records_for(seed, n=40, d=3, scale=1.0, offset=0.0):
+    rng = np.random.default_rng(seed)
+    return offset + scale * rng.normal(size=(n, d))
+
+
+class TestMomentAccumulator:
+    def test_mean_matches_numpy(self):
+        records = records_for(0)
+        accumulator = MomentAccumulator(3)
+        accumulator.add_batch(records)
+        np.testing.assert_allclose(
+            accumulator.mean, records.mean(axis=0), atol=1e-10
+        )
+
+    def test_covariance_matches_numpy(self):
+        records = records_for(1)
+        accumulator = MomentAccumulator(3)
+        accumulator.add_batch(records)
+        np.testing.assert_allclose(
+            accumulator.covariance, np.cov(records.T, bias=True), atol=1e-10
+        )
+
+    def test_single_adds_equal_batch(self):
+        records = records_for(2)
+        one_by_one = MomentAccumulator(3)
+        for record in records:
+            one_by_one.add(record)
+        batched = MomentAccumulator(3)
+        batched.add_batch(records)
+        np.testing.assert_allclose(
+            one_by_one.first_order, batched.first_order, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            one_by_one.second_order, batched.second_order, atol=1e-9
+        )
+        assert one_by_one.count == batched.count
+
+    def test_remove_is_inverse_of_add(self):
+        records = records_for(3)
+        accumulator = MomentAccumulator(3)
+        accumulator.add_batch(records)
+        extra = np.array([1.0, 2.0, 3.0])
+        accumulator.add(extra)
+        accumulator.remove(extra)
+        np.testing.assert_allclose(
+            accumulator.mean, records.mean(axis=0), atol=1e-9
+        )
+        assert accumulator.count == records.shape[0]
+
+    def test_remove_from_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            MomentAccumulator(2).remove(np.zeros(2))
+
+    def test_merge_equals_joint(self):
+        left, right = records_for(4, n=25), records_for(5, n=35)
+        a = MomentAccumulator(3)
+        a.add_batch(left)
+        b = MomentAccumulator(3)
+        b.add_batch(right)
+        a.merge(b)
+        joint = np.vstack([left, right])
+        np.testing.assert_allclose(a.mean, joint.mean(axis=0), atol=1e-10)
+        np.testing.assert_allclose(
+            a.covariance, np.cov(joint.T, bias=True), atol=1e-9
+        )
+
+    def test_merge_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimensionality"):
+            MomentAccumulator(2).merge(MomentAccumulator(3))
+
+    def test_empty_mean_undefined(self):
+        with pytest.raises(ValueError):
+            __ = MomentAccumulator(2).mean
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            MomentAccumulator(2).add(np.zeros(3))
+
+    def test_copy_is_independent(self):
+        accumulator = MomentAccumulator(2)
+        accumulator.add(np.array([1.0, 2.0]))
+        clone = accumulator.copy()
+        clone.add(np.array([5.0, 5.0]))
+        assert accumulator.count == 1
+        assert clone.count == 2
+
+    def test_len(self):
+        accumulator = MomentAccumulator(2)
+        accumulator.add_batch(np.zeros((7, 2)))
+        assert len(accumulator) == 7
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            MomentAccumulator(0)
+
+
+class TestWelfordAccumulator:
+    def test_matches_numpy(self):
+        records = records_for(6)
+        accumulator = WelfordAccumulator(3)
+        for record in records:
+            accumulator.add(record)
+        np.testing.assert_allclose(
+            accumulator.mean, records.mean(axis=0), atol=1e-10
+        )
+        np.testing.assert_allclose(
+            accumulator.covariance, np.cov(records.T, bias=True), atol=1e-10
+        )
+
+    def test_batch_matches_single(self):
+        records = records_for(7)
+        singles = WelfordAccumulator(3)
+        for record in records:
+            singles.add(record)
+        batches = WelfordAccumulator(3)
+        batches.add_batch(records[:15])
+        batches.add_batch(records[15:])
+        np.testing.assert_allclose(singles.mean, batches.mean, atol=1e-10)
+        np.testing.assert_allclose(
+            singles.covariance, batches.covariance, atol=1e-10
+        )
+
+    def test_empty_batch_noop(self):
+        accumulator = WelfordAccumulator(3)
+        accumulator.add_batch(np.empty((0, 3)))
+        assert len(accumulator) == 0
+
+    def test_more_stable_than_raw_sums_at_large_offset(self):
+        # With mean >> stddev the raw-sum covariance loses precision;
+        # Welford should stay closer to the true covariance.
+        records = records_for(8, n=2000, d=2, scale=1e-3, offset=1e6)
+        truth = np.cov(records.T, bias=True)
+        raw = MomentAccumulator(2)
+        raw.add_batch(records)
+        stable = WelfordAccumulator(2)
+        stable.add_batch(records)
+        raw_error = np.abs(raw.covariance - truth).max()
+        stable_error = np.abs(stable.covariance - truth).max()
+        assert stable_error <= raw_error + 1e-15
+
+    def test_empty_covariance_undefined(self):
+        with pytest.raises(ValueError):
+            __ = WelfordAccumulator(2).covariance
+
+
+class TestAgreementProperty:
+    @given(seed=st.integers(0, 500), n=st.integers(1, 50),
+           d=st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_raw_and_welford_agree_on_moderate_data(self, seed, n, d):
+        records = np.random.default_rng(seed).normal(size=(n, d))
+        raw = MomentAccumulator(d)
+        raw.add_batch(records)
+        stable = WelfordAccumulator(d)
+        stable.add_batch(records)
+        np.testing.assert_allclose(raw.mean, stable.mean, atol=1e-8)
+        np.testing.assert_allclose(
+            raw.covariance, stable.covariance, atol=1e-8
+        )

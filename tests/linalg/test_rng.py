@@ -1,0 +1,115 @@
+"""Tests for repro.linalg.rng."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.rng import (
+    bootstrap_indices,
+    check_random_state,
+    derive_seed,
+    permutation,
+    sample_without_replacement,
+    seeds_for,
+    spawn_rngs,
+)
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = check_random_state(7).integers(0, 1000, size=10)
+        b = check_random_state(7).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = check_random_state(7).integers(0, 10**9)
+        b = check_random_state(8).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passes_through(self):
+        generator = np.random.default_rng(3)
+        assert check_random_state(generator) is generator
+
+    def test_numpy_integer_seed_accepted(self):
+        seed = np.int64(11)
+        generator = check_random_state(seed)
+        assert isinstance(generator, np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_random_state(-1)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError, match="random_state"):
+            check_random_state("seed")
+
+
+class TestDeriveSeed:
+    def test_is_deterministic_from_seeded_parent(self):
+        a = derive_seed(check_random_state(5))
+        b = derive_seed(check_random_state(5))
+        assert a == b
+
+    def test_in_63_bit_range(self):
+        seed = derive_seed(check_random_state(5))
+        assert 0 <= seed < 2**63
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].integers(0, 10**9, size=5)
+        b = children[1].integers(0, 10**9, size=5)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible(self):
+        first = [g.integers(0, 10**9) for g in spawn_rngs(9, 3)]
+        second = [g.integers(0, 10**9) for g in spawn_rngs(9, 3)]
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count_allowed(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestSamplingHelpers:
+    def test_permutation_covers_range(self, rng):
+        perm = permutation(rng, 10)
+        assert sorted(perm.tolist()) == list(range(10))
+
+    def test_permutation_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            permutation(rng, -1)
+
+    def test_sample_without_replacement_distinct(self, rng):
+        sample = sample_without_replacement(rng, 100, 20)
+        assert len(set(sample.tolist())) == 20
+
+    def test_sample_without_replacement_too_many(self, rng):
+        with pytest.raises(ValueError):
+            sample_without_replacement(rng, 5, 6)
+
+    def test_bootstrap_indices_shape_and_range(self, rng):
+        indices = bootstrap_indices(rng, 50, size=30)
+        assert indices.shape == (30,)
+        assert indices.min() >= 0 and indices.max() < 50
+
+    def test_bootstrap_default_size(self, rng):
+        assert bootstrap_indices(rng, 17).shape == (17,)
+
+    def test_bootstrap_empty_population_rejected(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_indices(rng, 0)
+
+    def test_seeds_for_labels(self):
+        seeds = seeds_for(["a", "b"], 3)
+        assert set(seeds) == {"a", "b"}
+        assert seeds == seeds_for(["a", "b"], 3)

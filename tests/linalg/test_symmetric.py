@@ -1,0 +1,168 @@
+"""Tests for repro.linalg.symmetric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.linalg.symmetric import (
+    correlation_from_covariance,
+    covariance_from_sums,
+    is_positive_semidefinite,
+    nearest_psd,
+    sorted_eigh,
+    sums_from_covariance,
+    symmetrize,
+)
+
+finite_floats = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False)
+
+
+def random_records(seed, n=30, d=4):
+    return np.random.default_rng(seed).normal(size=(n, d))
+
+
+class TestSymmetrize:
+    def test_output_is_symmetric(self):
+        matrix = np.arange(9, dtype=float).reshape(3, 3)
+        sym = symmetrize(matrix)
+        np.testing.assert_allclose(sym, sym.T)
+
+    def test_symmetric_input_unchanged(self):
+        matrix = np.array([[2.0, 1.0], [1.0, 3.0]])
+        np.testing.assert_allclose(symmetrize(matrix), matrix)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            symmetrize(np.ones((2, 3)))
+
+
+class TestSortedEigh:
+    def test_eigenvalues_decreasing(self):
+        matrix = np.diag([1.0, 5.0, 3.0])
+        eigenvalues, __ = sorted_eigh(matrix)
+        np.testing.assert_allclose(eigenvalues, [5.0, 3.0, 1.0])
+
+    def test_reconstruction(self):
+        records = random_records(0)
+        covariance = np.cov(records.T, bias=True)
+        eigenvalues, eigenvectors = sorted_eigh(covariance)
+        rebuilt = (eigenvectors * eigenvalues) @ eigenvectors.T
+        np.testing.assert_allclose(rebuilt, covariance, atol=1e-10)
+
+    def test_eigenvectors_orthonormal(self):
+        records = random_records(1)
+        covariance = np.cov(records.T, bias=True)
+        __, eigenvectors = sorted_eigh(covariance)
+        np.testing.assert_allclose(
+            eigenvectors.T @ eigenvectors, np.eye(4), atol=1e-10
+        )
+
+    def test_clips_tiny_negative_eigenvalues(self):
+        # Rank-1 matrix plus a tiny asymmetric perturbation.
+        v = np.array([1.0, 2.0, 3.0])
+        matrix = np.outer(v, v)
+        matrix[0, 1] += 1e-13
+        eigenvalues, __ = sorted_eigh(matrix)
+        assert (eigenvalues >= 0).all()
+
+    def test_rejects_significantly_negative(self):
+        with pytest.raises(ValueError, match="not positive semidefinite"):
+            sorted_eigh(np.diag([1.0, -1.0]))
+
+    def test_no_clip_keeps_negative(self):
+        eigenvalues, __ = sorted_eigh(np.diag([1.0, -1.0]), clip=False)
+        assert eigenvalues[-1] == pytest.approx(-1.0)
+
+
+class TestPsdHelpers:
+    def test_is_psd_true(self):
+        records = random_records(2)
+        assert is_positive_semidefinite(np.cov(records.T, bias=True))
+
+    def test_is_psd_false(self):
+        assert not is_positive_semidefinite(np.diag([1.0, -0.5]))
+
+    def test_nearest_psd_is_psd(self):
+        matrix = np.diag([2.0, -0.5, 1.0])
+        projected = nearest_psd(matrix)
+        assert is_positive_semidefinite(projected)
+
+    def test_nearest_psd_identity_on_psd(self):
+        records = random_records(3)
+        covariance = np.cov(records.T, bias=True)
+        np.testing.assert_allclose(
+            nearest_psd(covariance), covariance, atol=1e-10
+        )
+
+
+class TestCovarianceFromSums:
+    def test_matches_numpy_population_covariance(self):
+        records = random_records(4)
+        first = records.sum(axis=0)
+        second = records.T @ records
+        covariance = covariance_from_sums(first, second, records.shape[0])
+        np.testing.assert_allclose(
+            covariance, np.cov(records.T, bias=True), atol=1e-10
+        )
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            covariance_from_sums(np.zeros(2), np.zeros((2, 2)), 0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            covariance_from_sums(np.zeros(2), np.zeros((3, 3)), 5)
+
+    @given(seed=st.integers(0, 1000), n=st.integers(2, 60),
+           d=st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_numpy(self, seed, n, d):
+        records = np.random.default_rng(seed).normal(size=(n, d))
+        covariance = covariance_from_sums(
+            records.sum(axis=0), records.T @ records, n
+        )
+        np.testing.assert_allclose(
+            covariance, np.cov(records.T, bias=True).reshape(d, d),
+            atol=1e-8,
+        )
+
+
+class TestSumsRoundTrip:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip(self, seed):
+        records = random_records(seed)
+        n = records.shape[0]
+        mean = records.mean(axis=0)
+        covariance = np.cov(records.T, bias=True)
+        first, second = sums_from_covariance(mean, covariance, n)
+        np.testing.assert_allclose(first, records.sum(axis=0), atol=1e-8)
+        np.testing.assert_allclose(second, records.T @ records, atol=1e-6)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            sums_from_covariance(np.zeros(2), np.eye(2), 0)
+
+
+class TestCorrelationFromCovariance:
+    def test_unit_diagonal(self):
+        records = random_records(5)
+        correlation = correlation_from_covariance(
+            np.cov(records.T, bias=True)
+        )
+        np.testing.assert_allclose(np.diag(correlation), 1.0)
+
+    def test_bounded(self):
+        records = random_records(6)
+        correlation = correlation_from_covariance(
+            np.cov(records.T, bias=True)
+        )
+        assert (np.abs(correlation) <= 1.0 + 1e-12).all()
+
+    def test_zero_variance_column(self):
+        covariance = np.array([[1.0, 0.0], [0.0, 0.0]])
+        correlation = correlation_from_covariance(covariance)
+        assert correlation[0, 1] == 0.0
+        assert correlation[1, 1] == 1.0

@@ -1,0 +1,116 @@
+"""Tests for repro.metrics.classification."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.classification import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        labels = np.array([0, 1, 2, 1])
+        assert accuracy_score(labels, labels) == 1.0
+
+    def test_half(self):
+        assert accuracy_score(
+            np.array([0, 0, 1, 1]), np.array([0, 1, 1, 0])
+        ) == 0.5
+
+    def test_string_labels(self):
+        assert accuracy_score(
+            np.array(["a", "b"]), np.array(["a", "a"])
+        ) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([]), np.array([]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([0, 1]), np.array([0]))
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect(self):
+        labels = np.array([0, 1, 1, 2])
+        matrix = confusion_matrix(labels, labels)
+        np.testing.assert_array_equal(matrix, np.diag([1, 2, 1]))
+
+    def test_off_diagonal(self):
+        matrix = confusion_matrix(np.array([0, 0]), np.array([1, 1]))
+        np.testing.assert_array_equal(matrix, [[0, 2], [0, 0]])
+
+    def test_explicit_labels_order(self):
+        matrix = confusion_matrix(
+            np.array(["b", "a"]), np.array(["b", "a"]),
+            labels=np.array(["b", "a"]),
+        )
+        np.testing.assert_array_equal(matrix, np.eye(2, dtype=int))
+
+    def test_total_count(self, rng):
+        y_true = rng.integers(0, 3, size=50)
+        y_pred = rng.integers(0, 3, size=50)
+        assert confusion_matrix(y_true, y_pred).sum() == 50
+
+
+class TestPrecisionRecallF1:
+    def setup_method(self):
+        # true: 3 of class 0, 3 of class 1
+        self.y_true = np.array([0, 0, 0, 1, 1, 1])
+        self.y_pred = np.array([0, 0, 1, 1, 1, 0])
+        # class 0: tp=2, fp=1, fn=1 -> p=2/3, r=2/3
+        # class 1: tp=2, fp=1, fn=1 -> p=2/3, r=2/3
+
+    def test_macro_precision(self):
+        assert precision_score(self.y_true, self.y_pred) == pytest.approx(
+            2.0 / 3.0
+        )
+
+    def test_macro_recall(self):
+        assert recall_score(self.y_true, self.y_pred) == pytest.approx(
+            2.0 / 3.0
+        )
+
+    def test_macro_f1(self):
+        assert f1_score(self.y_true, self.y_pred) == pytest.approx(2.0 / 3.0)
+
+    def test_micro_equals_accuracy_multiclass(self, rng):
+        y_true = rng.integers(0, 4, size=100)
+        y_pred = rng.integers(0, 4, size=100)
+        accuracy = accuracy_score(y_true, y_pred)
+        assert precision_score(
+            y_true, y_pred, average="micro"
+        ) == pytest.approx(accuracy)
+        assert recall_score(
+            y_true, y_pred, average="micro"
+        ) == pytest.approx(accuracy)
+        assert f1_score(y_true, y_pred, average="micro") == pytest.approx(
+            accuracy
+        )
+
+    def test_perfect_scores(self):
+        labels = np.array([0, 1, 2])
+        assert precision_score(labels, labels) == 1.0
+        assert recall_score(labels, labels) == 1.0
+        assert f1_score(labels, labels) == 1.0
+
+    def test_never_predicted_class_contributes_zero(self):
+        y_true = np.array([0, 1])
+        y_pred = np.array([0, 0])
+        # class 1 has precision 0 (never predicted) -> macro = mean(2/2? ...)
+        assert precision_score(y_true, y_pred) == pytest.approx(0.25)
+
+    def test_unknown_average_rejected(self):
+        with pytest.raises(ValueError, match="average"):
+            precision_score(np.array([0]), np.array([0]),
+                            average="weighted")
+        with pytest.raises(ValueError, match="average"):
+            recall_score(np.array([0]), np.array([0]), average="weighted")
+        with pytest.raises(ValueError, match="average"):
+            f1_score(np.array([0]), np.array([0]), average="weighted")

@@ -1,0 +1,115 @@
+"""Tests for repro.metrics.compatibility — the paper's μ statistic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.compatibility import (
+    covariance_compatibility,
+    covariance_matrix,
+    matrix_entry_correlation,
+    mean_compatibility,
+)
+
+
+class TestCovarianceMatrix:
+    def test_matches_numpy_population(self, gaussian_data):
+        np.testing.assert_allclose(
+            covariance_matrix(gaussian_data),
+            np.cov(gaussian_data.T, bias=True),
+            atol=1e-10,
+        )
+
+    def test_symmetric(self, gaussian_data):
+        matrix = covariance_matrix(gaussian_data)
+        np.testing.assert_allclose(matrix, matrix.T)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            covariance_matrix(np.empty((0, 3)))
+
+
+class TestCovarianceCompatibility:
+    def test_identical_data_gives_one(self, gaussian_data):
+        mu = covariance_compatibility(gaussian_data, gaussian_data.copy())
+        assert mu == pytest.approx(1.0)
+
+    def test_scaled_copy_still_one(self, gaussian_data):
+        # Pearson correlation is invariant to a positive affine map of
+        # the entries; scaling data by c scales covariances by c^2.
+        mu = covariance_compatibility(gaussian_data, 2.0 * gaussian_data)
+        assert mu == pytest.approx(1.0)
+
+    def test_flipped_correlation_lowers_mu(self, rng):
+        # Negating one attribute flips every off-diagonal covariance
+        # entry involving it; with strong correlations this must pull mu
+        # well below the perfect score (it cannot reach -1 because
+        # variances stay positive in both data sets).
+        x = rng.normal(size=500)
+        original = np.column_stack(
+            [x, 2.0 * x + 0.1 * rng.normal(size=500),
+             3.0 * x + 0.1 * rng.normal(size=500)]
+        )
+        flipped = original.copy()
+        flipped[:, 2] *= -1.0
+        mu = covariance_compatibility(original, flipped)
+        assert mu < 0.5
+
+    def test_row_counts_may_differ(self, gaussian_data):
+        mu = covariance_compatibility(gaussian_data, gaussian_data[:50])
+        assert -1.0 <= mu <= 1.0
+
+    def test_dimension_mismatch(self, gaussian_data):
+        with pytest.raises(ValueError, match="dimensionality"):
+            covariance_compatibility(gaussian_data, gaussian_data[:, :2])
+
+    def test_independent_noise_lower_than_self(self, rng, gaussian_data):
+        noise = rng.normal(size=gaussian_data.shape)
+        mu_self = covariance_compatibility(gaussian_data, gaussian_data)
+        mu_noise = covariance_compatibility(gaussian_data, noise)
+        assert mu_noise < mu_self
+
+    def test_one_dimensional_degenerate(self, rng):
+        # 1-D data: one covariance entry, so Pearson is undefined; the
+        # implementation reports equality instead.
+        column = rng.normal(size=(50, 1))
+        assert covariance_compatibility(column, column) == 1.0
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_bounded(self, seed):
+        generator = np.random.default_rng(seed)
+        a = generator.normal(size=(30, 4))
+        b = generator.normal(size=(40, 4))
+        assert -1.0 <= covariance_compatibility(a, b) <= 1.0
+
+
+class TestMatrixEntryCorrelation:
+    def test_perfect(self):
+        entries = np.array([1.0, 2.0, 3.0])
+        assert matrix_entry_correlation(entries, entries) == pytest.approx(
+            1.0
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            matrix_entry_correlation(np.zeros(3), np.zeros(4))
+
+    def test_constant_entries_equal(self):
+        assert matrix_entry_correlation(np.ones(4), np.ones(4)) == 1.0
+
+    def test_constant_entries_different(self):
+        assert matrix_entry_correlation(np.ones(4), 2 * np.ones(4)) == 0.0
+
+
+class TestMeanCompatibility:
+    def test_identical_is_zero(self, gaussian_data):
+        assert mean_compatibility(gaussian_data, gaussian_data) == 0.0
+
+    def test_shifted_data_positive(self, gaussian_data):
+        assert mean_compatibility(gaussian_data, gaussian_data + 5.0) > 0.0
+
+    def test_dimension_mismatch(self, gaussian_data):
+        with pytest.raises(ValueError):
+            mean_compatibility(gaussian_data, gaussian_data[:, :2])

@@ -1,0 +1,86 @@
+"""Tests for repro.metrics.regression."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.regression import (
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    tolerance_accuracy,
+)
+
+
+class TestErrors:
+    def test_mse_zero_for_perfect(self):
+        targets = np.array([1.0, 2.0, 3.0])
+        assert mean_squared_error(targets, targets) == 0.0
+
+    def test_mse_value(self):
+        assert mean_squared_error(
+            np.array([0.0, 0.0]), np.array([1.0, 3.0])
+        ) == pytest.approx(5.0)
+
+    def test_mae_value(self):
+        assert mean_absolute_error(
+            np.array([0.0, 0.0]), np.array([1.0, -3.0])
+        ) == pytest.approx(2.0)
+
+    def test_mae_leq_rmse(self, rng):
+        y_true = rng.normal(size=100)
+        y_pred = rng.normal(size=100)
+        mae = mean_absolute_error(y_true, y_pred)
+        rmse = np.sqrt(mean_squared_error(y_true, y_pred))
+        assert mae <= rmse + 1e-12
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error(np.array([]), np.array([]))
+
+
+class TestR2:
+    def test_perfect(self, rng):
+        targets = rng.normal(size=50)
+        assert r2_score(targets, targets) == pytest.approx(1.0)
+
+    def test_mean_prediction_gives_zero(self, rng):
+        targets = rng.normal(size=50)
+        predictions = np.full(50, targets.mean())
+        assert r2_score(targets, predictions) == pytest.approx(0.0)
+
+    def test_can_be_negative(self):
+        targets = np.array([0.0, 1.0])
+        predictions = np.array([10.0, -10.0])
+        assert r2_score(targets, predictions) < 0.0
+
+    def test_constant_target_perfect(self):
+        targets = np.full(5, 2.0)
+        assert r2_score(targets, targets) == 1.0
+
+    def test_constant_target_imperfect(self):
+        targets = np.full(5, 2.0)
+        assert r2_score(targets, targets + 1.0) == 0.0
+
+
+class TestToleranceAccuracy:
+    def test_paper_protocol(self):
+        # "predicted within an accuracy of less than one year"
+        y_true = np.array([10.0, 10.0, 10.0, 10.0])
+        y_pred = np.array([10.0, 10.9, 11.0, 11.5])
+        assert tolerance_accuracy(y_true, y_pred, tol=1.0) == 0.75
+
+    def test_tolerance_zero_is_exact_match(self):
+        y_true = np.array([1.0, 2.0])
+        y_pred = np.array([1.0, 2.5])
+        assert tolerance_accuracy(y_true, y_pred, tol=0.0) == 0.5
+
+    def test_monotone_in_tolerance(self, rng):
+        y_true = rng.normal(size=100)
+        y_pred = y_true + rng.normal(size=100)
+        narrow = tolerance_accuracy(y_true, y_pred, tol=0.5)
+        wide = tolerance_accuracy(y_true, y_pred, tol=2.0)
+        assert narrow <= wide
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            tolerance_accuracy(np.array([1.0]), np.array([1.0]), tol=-0.1)

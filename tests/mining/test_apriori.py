@@ -1,0 +1,186 @@
+"""Tests for repro.mining.apriori."""
+
+import pytest
+
+from repro.mining.apriori import (
+    association_rules,
+    frequent_itemsets,
+    rule_overlap,
+)
+
+MARKET_BASKET = [
+    {"bread", "milk"},
+    {"bread", "diapers", "beer", "eggs"},
+    {"milk", "diapers", "beer", "cola"},
+    {"bread", "milk", "diapers", "beer"},
+    {"bread", "milk", "diapers", "cola"},
+]
+
+
+class TestFrequentItemsets:
+    def test_single_item_supports(self):
+        frequent = frequent_itemsets(MARKET_BASKET, min_support=0.2)
+        assert frequent[frozenset(["bread"])] == pytest.approx(0.8)
+        assert frequent[frozenset(["milk"])] == pytest.approx(0.8)
+        assert frequent[frozenset(["beer"])] == pytest.approx(0.6)
+
+    def test_pair_support(self):
+        frequent = frequent_itemsets(MARKET_BASKET, min_support=0.2)
+        assert frequent[frozenset(["diapers", "beer"])] == pytest.approx(
+            0.6
+        )
+
+    def test_min_support_filters(self):
+        frequent = frequent_itemsets(MARKET_BASKET, min_support=0.7)
+        assert frozenset(["beer"]) not in frequent
+        assert frozenset(["bread"]) in frequent
+
+    def test_downward_closure(self):
+        # Every subset of a frequent itemset is itself frequent.
+        frequent = frequent_itemsets(MARKET_BASKET, min_support=0.2)
+        for itemset in frequent:
+            for item in itemset:
+                assert itemset - {item} in frequent or len(itemset) == 1
+
+    def test_support_monotone_in_size(self):
+        frequent = frequent_itemsets(MARKET_BASKET, min_support=0.2)
+        for itemset, support in frequent.items():
+            for item in itemset:
+                if len(itemset) > 1:
+                    assert frequent[itemset - {item}] >= support - 1e-12
+
+    def test_max_length(self):
+        frequent = frequent_itemsets(
+            MARKET_BASKET, min_support=0.2, max_length=1
+        )
+        assert all(len(itemset) == 1 for itemset in frequent)
+
+    def test_brute_force_agreement(self):
+        # Exhaustive enumeration on a small random transaction set.
+        import itertools
+        import random
+
+        rng = random.Random(0)
+        items = list("abcde")
+        transactions = [
+            frozenset(item for item in items if rng.random() < 0.5)
+            for __ in range(40)
+        ]
+        frequent = frequent_itemsets(transactions, min_support=0.25)
+        for size in (1, 2, 3):
+            for combination in itertools.combinations(items, size):
+                itemset = frozenset(combination)
+                support = sum(
+                    1 for t in transactions if itemset <= t
+                ) / len(transactions)
+                if support >= 0.25:
+                    assert itemset in frequent
+                    assert frequent[itemset] == pytest.approx(support)
+                else:
+                    assert itemset not in frequent
+
+    def test_invalid_support(self):
+        with pytest.raises(ValueError):
+            frequent_itemsets(MARKET_BASKET, min_support=0.0)
+
+    def test_empty_transactions(self):
+        with pytest.raises(ValueError):
+            frequent_itemsets([], min_support=0.5)
+
+
+class TestAssociationRules:
+    def test_classic_diapers_beer_rule(self):
+        rules = association_rules(
+            MARKET_BASKET, min_support=0.4, min_confidence=0.7
+        )
+        keys = {(rule.antecedent, rule.consequent) for rule in rules}
+        assert (frozenset(["beer"]), frozenset(["diapers"])) in keys
+
+    def test_confidence_computation(self):
+        rules = association_rules(
+            MARKET_BASKET, min_support=0.2, min_confidence=0.1
+        )
+        by_key = {
+            (rule.antecedent, rule.consequent): rule for rule in rules
+        }
+        rule = by_key[(frozenset(["beer"]), frozenset(["diapers"]))]
+        assert rule.confidence == pytest.approx(1.0)
+        assert rule.support == pytest.approx(0.6)
+        assert rule.lift == pytest.approx(1.0 / 0.8)
+
+    def test_rules_meet_thresholds(self):
+        rules = association_rules(
+            MARKET_BASKET, min_support=0.3, min_confidence=0.6
+        )
+        for rule in rules:
+            assert rule.support >= 0.3 - 1e-12
+            assert rule.confidence >= 0.6 - 1e-12
+
+    def test_sorted_by_lift(self):
+        rules = association_rules(
+            MARKET_BASKET, min_support=0.2, min_confidence=0.2
+        )
+        lifts = [rule.lift for rule in rules]
+        assert lifts == sorted(lifts, reverse=True)
+
+    def test_str_rendering(self):
+        rules = association_rules(
+            MARKET_BASKET, min_support=0.4, min_confidence=0.7
+        )
+        rendered = str(rules[0])
+        assert "->" in rendered
+        assert "confidence=" in rendered
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            association_rules(MARKET_BASKET, min_confidence=0.0)
+
+
+class TestRuleOverlap:
+    def test_identical_sets(self):
+        rules = association_rules(
+            MARKET_BASKET, min_support=0.2, min_confidence=0.5
+        )
+        assert rule_overlap(rules, list(rules)) == 1.0
+
+    def test_disjoint_sets(self):
+        rules = association_rules(
+            MARKET_BASKET, min_support=0.2, min_confidence=0.5
+        )
+        assert rule_overlap(rules, []) == 0.0
+
+    def test_empty_sets(self):
+        assert rule_overlap([], []) == 1.0
+
+
+class TestMaximalItemsets:
+    def test_subsets_removed(self):
+        from repro.mining.apriori import maximal_itemsets
+
+        frequent = frequent_itemsets(MARKET_BASKET, min_support=0.4)
+        maximal = maximal_itemsets(frequent)
+        for itemset in maximal:
+            assert not any(
+                itemset < other for other in maximal
+            )
+
+    def test_every_frequent_itemset_covered(self):
+        from repro.mining.apriori import maximal_itemsets
+
+        frequent = frequent_itemsets(MARKET_BASKET, min_support=0.4)
+        maximal = maximal_itemsets(frequent)
+        for itemset in frequent:
+            assert any(itemset <= kept for kept in maximal)
+
+    def test_supports_preserved(self):
+        from repro.mining.apriori import maximal_itemsets
+
+        frequent = frequent_itemsets(MARKET_BASKET, min_support=0.4)
+        maximal = maximal_itemsets(frequent)
+        for itemset, support in maximal.items():
+            assert support == frequent[itemset]
+
+    def test_empty_input(self):
+        from repro.mining.apriori import maximal_itemsets
+
+        assert maximal_itemsets({}) == {}

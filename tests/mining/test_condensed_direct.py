@@ -1,0 +1,178 @@
+"""Tests for repro.mining.condensed_direct — generation-free mining."""
+
+import numpy as np
+import pytest
+
+from repro.core.condenser import ClasswiseCondenser
+from repro.mining.condensed_direct import (
+    CentroidClassifier,
+    GroupMixtureClassifier,
+)
+
+
+@pytest.fixture
+def fitted_condenser(labelled_blobs):
+    data, labels = labelled_blobs
+    return ClasswiseCondenser(k=10, random_state=0).fit(data, labels), \
+        data, labels
+
+
+class TestCentroidClassifier:
+    def test_separable_classes(self, fitted_condenser):
+        condenser, data, labels = fitted_condenser
+        classifier = CentroidClassifier(condenser.models_)
+        assert classifier.score(data, labels) >= 0.95
+
+    def test_single_query(self, fitted_condenser):
+        condenser, data, __ = fitted_condenser
+        classifier = CentroidClassifier(condenser.models_)
+        assert classifier.predict(data[0]).shape == (1,)
+
+    def test_classes_sorted(self, fitted_condenser):
+        condenser, __, __ = fitted_condenser
+        classifier = CentroidClassifier(condenser.models_)
+        np.testing.assert_array_equal(classifier.classes_, [0, 1])
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CentroidClassifier({})
+
+    def test_dimension_mismatch_rejected(self, rng):
+        from repro.core.condensation import create_condensed_groups
+
+        models = {
+            0: create_condensed_groups(rng.normal(size=(20, 2)), k=5,
+                                       random_state=0),
+            1: create_condensed_groups(rng.normal(size=(20, 3)), k=5,
+                                       random_state=0),
+        }
+        with pytest.raises(ValueError, match="dimensionality"):
+            CentroidClassifier(models)
+
+
+class TestGroupMixtureClassifier:
+    def test_separable_classes(self, fitted_condenser):
+        condenser, data, labels = fitted_condenser
+        classifier = GroupMixtureClassifier(condenser.models_)
+        assert classifier.score(data, labels) >= 0.95
+
+    def test_probabilities_sum_to_one(self, fitted_condenser):
+        condenser, data, __ = fitted_condenser
+        classifier = GroupMixtureClassifier(condenser.models_)
+        probabilities = classifier.predict_proba(data[:10])
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_confident_far_from_boundary(self, fitted_condenser):
+        condenser, data, labels = fitted_condenser
+        classifier = GroupMixtureClassifier(condenser.models_)
+        # Points deep inside one class's blob get near-certain posterior.
+        deep_point = data[labels == 1].mean(axis=0)
+        probabilities = classifier.predict_proba(deep_point[None, :])
+        assert probabilities[0].max() > 0.95
+
+    def test_prior_reflected(self, rng):
+        # Identical class distributions, 9:1 priors -> the majority
+        # class dominates ambiguous predictions.
+        data = rng.normal(size=(200, 2))
+        labels = np.array([0] * 180 + [1] * 20)
+        condenser = ClasswiseCondenser(k=10, random_state=0).fit(
+            data, labels
+        )
+        classifier = GroupMixtureClassifier(condenser.models_)
+        predictions = classifier.predict(rng.normal(size=(100, 2)))
+        assert np.mean(predictions == 0) > 0.7
+
+    def test_handles_rank_deficient_groups(self, rng):
+        # Groups smaller than the dimensionality have singular
+        # covariances; regularization must keep densities proper.
+        data = rng.normal(size=(24, 10))
+        labels = np.array([0] * 12 + [1] * 12)
+        condenser = ClasswiseCondenser(k=4, random_state=0).fit(
+            data, labels
+        )
+        classifier = GroupMixtureClassifier(condenser.models_)
+        probabilities = classifier.predict_proba(data)
+        assert np.isfinite(probabilities).all()
+
+    def test_matches_generation_pipeline_accuracy(self, labelled_blobs):
+        # The zero-generation path should be at least as accurate as
+        # 1-NN on generated data for well-separated classes.
+        from repro.neighbors.knn import KNeighborsClassifier
+
+        data, labels = labelled_blobs
+        condenser = ClasswiseCondenser(k=10, random_state=0).fit(
+            data, labels
+        )
+        direct = GroupMixtureClassifier(condenser.models_)
+        anonymized, anonymized_labels = condenser.generate()
+        generated_knn = KNeighborsClassifier(n_neighbors=1).fit(
+            anonymized, anonymized_labels
+        )
+        assert direct.score(data, labels) >= (
+            generated_knn.score(data, labels) - 0.05
+        )
+
+    def test_invalid_regularization(self, fitted_condenser):
+        condenser, __, __ = fitted_condenser
+        with pytest.raises(ValueError, match="regularization"):
+            GroupMixtureClassifier(condenser.models_, regularization=0.0)
+
+
+class TestGroupMixtureRegressor:
+    def make_joint_model(self, rng, n=400, k=20, noise=0.1):
+        from repro.core.condensation import create_condensed_groups
+        from repro.mining.condensed_direct import GroupMixtureRegressor
+
+        x = rng.uniform(-3, 3, size=(n, 2))
+        y = 2.0 * x[:, 0] - x[:, 1] + noise * rng.normal(size=n)
+        joint = np.column_stack([x, y])
+        model = create_condensed_groups(joint, k, random_state=0)
+        return GroupMixtureRegressor(model), x, y
+
+    def test_recovers_linear_relationship(self, rng):
+        regressor, x, y = self.make_joint_model(rng)
+        predictions = regressor.predict(x)
+        errors = np.abs(predictions - y)
+        assert errors.mean() < 0.5
+
+    def test_beats_constant_predictor(self, rng):
+        regressor, x, y = self.make_joint_model(rng)
+        predictions = regressor.predict(x)
+        model_mse = np.mean((predictions - y) ** 2)
+        constant_mse = np.mean((y.mean() - y) ** 2)
+        assert model_mse < 0.2 * constant_mse
+
+    def test_nonlinear_function_locally_approximated(self, rng):
+        from repro.core.condensation import create_condensed_groups
+        from repro.mining.condensed_direct import GroupMixtureRegressor
+
+        x = rng.uniform(-3, 3, size=(600, 1))
+        y = np.sin(x[:, 0]) + 0.05 * rng.normal(size=600)
+        joint = np.column_stack([x, y])
+        model = create_condensed_groups(joint, 25, random_state=0)
+        regressor = GroupMixtureRegressor(model)
+        predictions = regressor.predict(x)
+        assert np.abs(predictions - np.sin(x[:, 0])).mean() < 0.2
+
+    def test_score_is_tolerance_accuracy(self, rng):
+        regressor, x, y = self.make_joint_model(rng)
+        assert regressor.score(x, y, tol=1.0) > 0.9
+
+    def test_attribute_count_checked(self, rng):
+        regressor, x, __ = self.make_joint_model(rng)
+        with pytest.raises(ValueError, match="attributes"):
+            regressor.predict(np.zeros((2, 5)))
+
+    def test_validation(self, rng):
+        from repro.core.condensation import create_condensed_groups
+        from repro.mining.condensed_direct import GroupMixtureRegressor
+
+        joint = rng.normal(size=(50, 3))
+        model = create_condensed_groups(joint, 10, random_state=0)
+        with pytest.raises(ValueError, match="regularization"):
+            GroupMixtureRegressor(model, regularization=0.0)
+        thin = create_condensed_groups(
+            rng.normal(size=(30, 1)), 10, random_state=0
+        )
+        with pytest.raises(ValueError, match="at least one attribute"):
+            GroupMixtureRegressor(thin)

@@ -1,0 +1,100 @@
+"""Tests for repro.mining.dbscan."""
+
+import numpy as np
+import pytest
+
+from repro.mining.dbscan import DBSCAN, NOISE
+
+
+def two_moons_like(rng):
+    """Two dense blobs plus scattered outliers."""
+    blob_a = rng.normal(loc=0.0, scale=0.3, size=(60, 2))
+    blob_b = rng.normal(loc=5.0, scale=0.3, size=(60, 2))
+    outliers = rng.uniform(-10, 15, size=(8, 2))
+    # Keep outliers away from the blobs.
+    outliers = outliers[
+        (np.abs(outliers - 0.0).max(axis=1) > 2.0)
+        & (np.abs(outliers - 5.0).max(axis=1) > 2.0)
+    ]
+    return np.vstack([blob_a, blob_b, outliers]), outliers.shape[0]
+
+
+class TestDBSCAN:
+    def test_finds_two_clusters(self, rng):
+        data, __ = two_moons_like(rng)
+        model = DBSCAN(eps=0.8, min_samples=5).fit(data)
+        assert model.n_clusters_ == 2
+
+    def test_blob_members_share_labels(self, rng):
+        data, __ = two_moons_like(rng)
+        labels = DBSCAN(eps=0.8, min_samples=5).fit_predict(data)
+        assert len(set(labels[:60].tolist()) - {NOISE}) == 1
+        assert len(set(labels[60:120].tolist()) - {NOISE}) == 1
+
+    def test_outliers_marked_noise(self, rng):
+        data, n_outliers = two_moons_like(rng)
+        labels = DBSCAN(eps=0.8, min_samples=5).fit_predict(data)
+        assert (labels[120:] == NOISE).all()
+        assert np.sum(labels == NOISE) >= n_outliers
+
+    def test_single_dense_cluster(self, rng):
+        data = rng.normal(scale=0.1, size=(50, 3))
+        model = DBSCAN(eps=1.0, min_samples=3).fit(data)
+        assert model.n_clusters_ == 1
+        assert (model.labels_ == 0).all()
+
+    def test_everything_noise_with_tiny_eps(self, rng):
+        data = rng.uniform(size=(30, 2)) * 100
+        model = DBSCAN(eps=1e-6, min_samples=2).fit(data)
+        assert model.n_clusters_ == 0
+        assert (model.labels_ == NOISE).all()
+
+    def test_core_points_identified(self, rng):
+        data, __ = two_moons_like(rng)
+        model = DBSCAN(eps=0.8, min_samples=5).fit(data)
+        assert model.core_sample_indices_.shape[0] > 100
+        # No outlier is a core point.
+        assert (model.core_sample_indices_ < 120).all()
+
+    def test_min_samples_one_makes_everything_core(self, rng):
+        data = rng.uniform(size=(20, 2)) * 100
+        model = DBSCAN(eps=0.1, min_samples=1).fit(data)
+        # Every point is its own core point -> 20 singleton clusters.
+        assert model.n_clusters_ == 20
+
+    def test_border_points_join_clusters(self):
+        # A dense line with one point just inside eps of the edge.
+        line = np.column_stack([np.linspace(0, 1, 20), np.zeros(20)])
+        border = np.array([[1.4, 0.0]])
+        data = np.vstack([line, border])
+        labels = DBSCAN(eps=0.5, min_samples=4).fit_predict(data)
+        assert labels[-1] == labels[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=0.0)
+        with pytest.raises(ValueError):
+            DBSCAN(min_samples=0)
+        with pytest.raises(ValueError):
+            DBSCAN().fit(np.empty((0, 2)))
+
+    def test_cluster_structure_survives_condensation(self, rng):
+        # Density structure on the anonymized release: the two dominant
+        # clusters must still be found.  (Outlier-contaminated groups
+        # get inflated covariances, so the release can have *more*
+        # low-density points than the original — the locality
+        # sensitivity the paper's §2.2 warns about for sparse regions.)
+        data, __ = two_moons_like(rng)
+        from repro.core.condenser import StaticCondenser
+
+        anonymized = StaticCondenser(k=10, random_state=0).fit_generate(
+            data
+        )
+        model = DBSCAN(eps=0.8, min_samples=5).fit(anonymized)
+        assert model.n_clusters_ >= 2
+        labels = model.labels_
+        clusters, counts = np.unique(
+            labels[labels != NOISE], return_counts=True
+        )
+        # The two biggest clusters hold the bulk of the release.
+        assert np.sort(counts)[-2:].sum() >= 90

@@ -1,0 +1,106 @@
+"""Tests for repro.mining.decision_tree."""
+
+import numpy as np
+import pytest
+
+from repro.mining.decision_tree import DecisionTreeClassifier, _gini
+
+
+class TestGini:
+    def test_pure_node(self):
+        assert _gini(np.array([10.0, 0.0])) == 0.0
+
+    def test_even_split(self):
+        assert _gini(np.array([5.0, 5.0])) == pytest.approx(0.5)
+
+    def test_empty_node(self):
+        assert _gini(np.array([0.0, 0.0])) == 0.0
+
+
+class TestDecisionTree:
+    def test_axis_aligned_boundary(self):
+        rng = np.random.default_rng(0)
+        data = rng.uniform(-1, 1, size=(200, 2))
+        labels = (data[:, 0] > 0.2).astype(int)
+        tree = DecisionTreeClassifier(max_depth=3).fit(data, labels)
+        assert tree.score(data, labels) >= 0.98
+
+    def test_xor_needs_depth_two(self):
+        rng = np.random.default_rng(1)
+        data = rng.uniform(-1, 1, size=(400, 2))
+        labels = ((data[:, 0] > 0) ^ (data[:, 1] > 0)).astype(int)
+        shallow = DecisionTreeClassifier(max_depth=1).fit(data, labels)
+        deep = DecisionTreeClassifier(max_depth=4).fit(data, labels)
+        assert deep.score(data, labels) > shallow.score(data, labels)
+        assert deep.score(data, labels) >= 0.9
+
+    def test_max_depth_zero_predicts_majority(self, labelled_blobs):
+        data, labels = labelled_blobs
+        skewed = labels.copy()
+        skewed[:90] = 0
+        tree = DecisionTreeClassifier(max_depth=0).fit(data, skewed)
+        assert (tree.predict(data) == 0).all()
+        assert tree.depth == 0
+
+    def test_separable_blobs(self, labelled_blobs):
+        data, labels = labelled_blobs
+        tree = DecisionTreeClassifier().fit(data[:100], labels[:100])
+        assert tree.score(data[100:], labels[100:]) >= 0.9
+
+    def test_min_samples_leaf_respected(self, labelled_blobs):
+        data, labels = labelled_blobs
+        tree = DecisionTreeClassifier(min_samples_leaf=30).fit(data, labels)
+        # 120 records with 30-record leaves bounds the tree to few nodes.
+        assert tree.n_nodes_ <= 7
+
+    def test_string_labels(self):
+        data = np.array([[0.0], [0.1], [5.0], [5.1]])
+        labels = np.array(["a", "a", "b", "b"])
+        tree = DecisionTreeClassifier().fit(data, labels)
+        assert tree.predict(np.array([[0.05]]))[0] == "a"
+
+    def test_multiclass(self, rng):
+        data = np.vstack([
+            rng.normal(loc=offset, scale=0.3, size=(30, 2))
+            for offset in (0.0, 5.0, 10.0)
+        ])
+        labels = np.repeat([0, 1, 2], 30)
+        tree = DecisionTreeClassifier().fit(data, labels)
+        assert tree.score(data, labels) >= 0.95
+
+    def test_constant_features_gives_leaf(self):
+        data = np.ones((10, 3))
+        labels = np.array([0, 1] * 5)
+        tree = DecisionTreeClassifier().fit(data, labels)
+        assert tree.depth == 0
+
+    def test_max_thresholds_caps_split_candidates(self, rng):
+        data = rng.normal(size=(300, 2))
+        labels = (data[:, 0] + data[:, 1] > 0).astype(int)
+        coarse = DecisionTreeClassifier(
+            max_depth=4, max_thresholds=2
+        ).fit(data, labels)
+        fine = DecisionTreeClassifier(
+            max_depth=4, max_thresholds=64
+        ).fit(data, labels)
+        assert fine.score(data, labels) >= coarse.score(data, labels) - 0.05
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError):
+            __ = DecisionTreeClassifier().depth
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=-1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_thresholds=0)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.empty((0, 2)), np.empty(0))

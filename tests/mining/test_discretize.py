@@ -1,0 +1,101 @@
+"""Tests for repro.mining.discretize."""
+
+import numpy as np
+import pytest
+
+from repro.mining.discretize import (
+    EqualFrequencyDiscretizer,
+    EqualWidthDiscretizer,
+    transactions_from_bins,
+)
+
+
+class TestEqualWidthDiscretizer:
+    def test_bins_in_range(self, gaussian_data):
+        bins = EqualWidthDiscretizer(n_bins=4).fit_transform(gaussian_data)
+        assert bins.min() >= 0
+        assert bins.max() <= 3
+
+    def test_uniform_data_evenly_split(self):
+        data = np.linspace(0, 1, 1000).reshape(-1, 1)
+        bins = EqualWidthDiscretizer(n_bins=4).fit_transform(data)
+        counts = np.bincount(bins[:, 0], minlength=4)
+        assert (np.abs(counts - 250) <= 1).all()
+
+    def test_monotone_in_value(self, rng):
+        data = rng.normal(size=(100, 1))
+        discretizer = EqualWidthDiscretizer(n_bins=5).fit(data)
+        bins = discretizer.transform(data)[:, 0]
+        order = np.argsort(data[:, 0])
+        assert (np.diff(bins[order]) >= 0).all()
+
+    def test_unseen_extremes_clamp_to_outer_bins(self, gaussian_data):
+        discretizer = EqualWidthDiscretizer(n_bins=4).fit(gaussian_data)
+        extremes = np.array([[-1e6] * 4, [1e6] * 4])
+        bins = discretizer.transform(extremes)
+        assert (bins[0] == 0).all()
+        assert (bins[1] == 3).all()
+
+    def test_constant_column(self):
+        data = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        bins = EqualWidthDiscretizer(n_bins=3).fit_transform(data)
+        assert len(set(bins[:, 0].tolist())) == 1
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            EqualWidthDiscretizer().transform(np.zeros((2, 2)))
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            EqualWidthDiscretizer(n_bins=1)
+
+    def test_dimension_mismatch(self, gaussian_data):
+        discretizer = EqualWidthDiscretizer().fit(gaussian_data)
+        with pytest.raises(ValueError):
+            discretizer.transform(gaussian_data[:, :2])
+
+
+class TestEqualFrequencyDiscretizer:
+    def test_balanced_counts_on_continuous_data(self, rng):
+        data = rng.normal(size=(1000, 1))
+        bins = EqualFrequencyDiscretizer(n_bins=4).fit_transform(data)
+        counts = np.bincount(bins[:, 0], minlength=4)
+        assert counts.min() >= 200
+
+    def test_skewed_data_still_balanced(self, rng):
+        data = rng.exponential(size=(1000, 1))
+        bins = EqualFrequencyDiscretizer(n_bins=4).fit_transform(data)
+        counts = np.bincount(bins[:, 0], minlength=4)
+        assert counts.min() >= 200
+
+    def test_bins_in_range(self, gaussian_data):
+        bins = EqualFrequencyDiscretizer(n_bins=3).fit_transform(
+            gaussian_data
+        )
+        assert bins.min() >= 0
+        assert bins.max() <= 2
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            EqualFrequencyDiscretizer().transform(np.zeros((2, 2)))
+
+
+class TestTransactionsFromBins:
+    def test_item_format(self):
+        bins = np.array([[0, 2], [1, 0]])
+        transactions = transactions_from_bins(bins, ["age", "income"])
+        assert transactions[0] == frozenset({"age=0", "income=2"})
+        assert transactions[1] == frozenset({"age=1", "income=0"})
+
+    def test_default_names(self):
+        transactions = transactions_from_bins(np.array([[1]]))
+        assert transactions[0] == frozenset({"attr_0=1"})
+
+    def test_one_item_per_attribute(self, gaussian_data):
+        bins = EqualWidthDiscretizer().fit_transform(gaussian_data)
+        transactions = transactions_from_bins(bins)
+        assert all(len(t) == 4 for t in transactions)
+
+    def test_name_count_checked(self):
+        with pytest.raises(ValueError, match="feature names"):
+            transactions_from_bins(np.zeros((2, 3), dtype=int), ["a"])

@@ -1,0 +1,137 @@
+"""Tests for repro.mining.gmm."""
+
+import numpy as np
+import pytest
+
+from repro.mining.gmm import GaussianMixture
+
+
+def two_component_data(rng, n=400):
+    a = rng.multivariate_normal(
+        [0.0, 0.0], [[1.0, 0.5], [0.5, 1.0]], size=n // 2,
+        method="cholesky",
+    )
+    b = rng.multivariate_normal(
+        [8.0, 8.0], [[0.5, -0.2], [-0.2, 0.5]], size=n // 2,
+        method="cholesky",
+    )
+    return np.vstack([a, b])
+
+
+class TestGaussianMixtureFit:
+    def test_recovers_component_means(self, rng):
+        data = two_component_data(rng)
+        model = GaussianMixture(n_components=2, random_state=0).fit(data)
+        means = model.means_[np.argsort(model.means_[:, 0])]
+        np.testing.assert_allclose(means[0], [0.0, 0.0], atol=0.3)
+        np.testing.assert_allclose(means[1], [8.0, 8.0], atol=0.3)
+
+    def test_recovers_weights(self, rng):
+        data = two_component_data(rng)
+        model = GaussianMixture(n_components=2, random_state=0).fit(data)
+        np.testing.assert_allclose(np.sort(model.weights_), [0.5, 0.5],
+                                   atol=0.05)
+
+    def test_recovers_covariance_structure(self, rng):
+        data = two_component_data(rng, n=2000)
+        model = GaussianMixture(n_components=2, random_state=0).fit(data)
+        low = int(np.argmin(model.means_[:, 0]))
+        np.testing.assert_allclose(
+            model.covariances_[low],
+            [[1.0, 0.5], [0.5, 1.0]],
+            atol=0.2,
+        )
+
+    def test_converges(self, rng):
+        data = two_component_data(rng)
+        model = GaussianMixture(n_components=2, random_state=0).fit(data)
+        assert model.converged_
+        assert model.n_iter_ < model.max_iter
+
+    def test_likelihood_improves_with_right_component_count(self, rng):
+        data = two_component_data(rng)
+        one = GaussianMixture(n_components=1, random_state=0).fit(data)
+        two = GaussianMixture(n_components=2, random_state=0).fit(data)
+        assert two.score(data) > one.score(data) + 0.5
+
+    def test_single_component_matches_moments(self, rng):
+        data = rng.normal(size=(300, 3))
+        model = GaussianMixture(n_components=1, random_state=0).fit(data)
+        np.testing.assert_allclose(
+            model.means_[0], data.mean(axis=0), atol=1e-6
+        )
+        np.testing.assert_allclose(
+            model.covariances_[0], np.cov(data.T, bias=True), atol=1e-4
+        )
+
+
+class TestGaussianMixtureInference:
+    def test_predict_separates_components(self, rng):
+        data = two_component_data(rng)
+        model = GaussianMixture(n_components=2, random_state=0).fit(data)
+        labels = model.predict(data)
+        first_half = set(labels[:200].tolist())
+        second_half = set(labels[200:].tolist())
+        assert len(first_half) == 1
+        assert len(second_half) == 1
+        assert first_half != second_half
+
+    def test_proba_rows_sum_to_one(self, rng):
+        data = two_component_data(rng)
+        model = GaussianMixture(n_components=2, random_state=0).fit(data)
+        probabilities = model.predict_proba(data[:20])
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_score_samples_higher_near_modes(self, rng):
+        data = two_component_data(rng)
+        model = GaussianMixture(n_components=2, random_state=0).fit(data)
+        near = model.score_samples(np.array([[0.0, 0.0]]))
+        far = model.score_samples(np.array([[4.0, 4.0]]))
+        assert near[0] > far[0]
+
+    def test_sampling_matches_fit(self, rng):
+        data = two_component_data(rng, n=1000)
+        model = GaussianMixture(n_components=2, random_state=0).fit(data)
+        samples = model.sample(5000, random_state=1)
+        np.testing.assert_allclose(
+            samples.mean(axis=0), data.mean(axis=0), atol=0.3
+        )
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            GaussianMixture().predict(np.zeros((1, 2)))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            GaussianMixture(n_components=0)
+        with pytest.raises(ValueError):
+            GaussianMixture(max_iter=0)
+        with pytest.raises(ValueError):
+            GaussianMixture(n_components=10).fit(rng.normal(size=(5, 2)))
+        model = GaussianMixture(n_components=1, random_state=0).fit(
+            rng.normal(size=(20, 2))
+        )
+        with pytest.raises(ValueError, match="n_samples"):
+            model.sample(0)
+
+
+class TestGenerativeUtility:
+    def test_mixture_on_condensed_data_generalizes(self, rng):
+        # Fit on the anonymized release, evaluate log-likelihood of
+        # held-out *original* records: must be close to the model fit
+        # on the original training records.
+        from repro.core.condenser import StaticCondenser
+
+        data = two_component_data(rng, n=1200)
+        train, held_out = data[:800], data[800:]
+        anonymized = StaticCondenser(k=20, random_state=0).fit_generate(
+            train
+        )
+        on_original = GaussianMixture(
+            n_components=2, random_state=0
+        ).fit(train)
+        on_release = GaussianMixture(
+            n_components=2, random_state=0
+        ).fit(anonymized)
+        gap = on_original.score(held_out) - on_release.score(held_out)
+        assert gap < 0.3

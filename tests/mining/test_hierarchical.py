@@ -1,0 +1,107 @@
+"""Tests for repro.mining.hierarchical."""
+
+import numpy as np
+import pytest
+
+from repro.mining.hierarchical import AgglomerativeClustering
+
+
+def blobs(rng, centres=(0.0, 10.0, 20.0), size=20, scale=0.4):
+    data = np.vstack([
+        rng.normal(loc=centre, scale=scale, size=(size, 2))
+        for centre in centres
+    ])
+    truth = np.repeat(np.arange(len(centres)), size)
+    return data, truth
+
+
+def clusters_match(labels, truth):
+    """Whether two labelings induce the same partition."""
+    mapping = {}
+    for label, true_label in zip(labels, truth):
+        if label in mapping and mapping[label] != true_label:
+            return False
+        mapping[label] = true_label
+    return len(set(mapping.values())) == len(set(truth.tolist()))
+
+
+class TestAgglomerativeClustering:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average"])
+    def test_recovers_separated_blobs(self, rng, linkage):
+        data, truth = blobs(rng)
+        labels = AgglomerativeClustering(
+            n_clusters=3, linkage=linkage
+        ).fit_predict(data)
+        assert clusters_match(labels, truth)
+
+    def test_labels_contiguous(self, rng):
+        data, __ = blobs(rng)
+        labels = AgglomerativeClustering(n_clusters=3).fit_predict(data)
+        assert set(labels.tolist()) == {0, 1, 2}
+
+    def test_one_cluster_merges_everything(self, rng):
+        data, __ = blobs(rng)
+        labels = AgglomerativeClustering(n_clusters=1).fit_predict(data)
+        assert (labels == 0).all()
+
+    def test_n_equals_records_no_merge(self, rng):
+        data = rng.normal(size=(5, 2))
+        model = AgglomerativeClustering(n_clusters=5).fit(data)
+        assert model.merge_history_ == []
+        assert sorted(set(model.labels_.tolist())) == [0, 1, 2, 3, 4]
+
+    def test_merge_history_length(self, rng):
+        data, __ = blobs(rng)
+        model = AgglomerativeClustering(n_clusters=3).fit(data)
+        assert len(model.merge_history_) == 60 - 3
+
+    def test_merge_distances_mostly_increase(self, rng):
+        # Average-linkage merges on clean blob data are near-monotone;
+        # early merges (within blobs) are far cheaper than the final
+        # cross-blob ones.
+        data, __ = blobs(rng)
+        model = AgglomerativeClustering(
+            n_clusters=1, linkage="average"
+        ).fit(data)
+        distances = [entry[2] for entry in model.merge_history_]
+        assert max(distances[:40]) < min(distances[-2:])
+
+    def test_single_vs_complete_on_chain(self):
+        # A chain of points: single linkage follows the chain into one
+        # cluster before complete linkage does.
+        chain = np.column_stack(
+            [np.arange(12, dtype=float), np.zeros(12)]
+        )
+        chain[6:, 0] += 0.5  # slight gap in the middle
+        single = AgglomerativeClustering(
+            n_clusters=2, linkage="single"
+        ).fit(chain)
+        # Single linkage splits at the widest gap.
+        assert len(set(single.labels_[:6].tolist())) == 1
+        assert len(set(single.labels_[6:].tolist())) == 1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            AgglomerativeClustering(n_clusters=0)
+        with pytest.raises(ValueError):
+            AgglomerativeClustering(linkage="ward")
+        with pytest.raises(ValueError):
+            AgglomerativeClustering(n_clusters=10).fit(
+                rng.normal(size=(3, 2))
+            )
+
+    def test_runs_on_condensed_data(self, rng):
+        from repro.core.condenser import StaticCondenser
+
+        data, __ = blobs(rng)
+        anonymized = StaticCondenser(k=10, random_state=0).fit_generate(
+            data
+        )
+        labels = AgglomerativeClustering(n_clusters=3).fit_predict(
+            anonymized
+        )
+        # The three blob regions must map to three distinct clusters.
+        regions = (anonymized[:, 0] + 5) // 10
+        for region in (0, 1, 2):
+            members = labels[regions == region]
+            assert len(set(members.tolist())) == 1

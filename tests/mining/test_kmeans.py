@@ -1,0 +1,102 @@
+"""Tests for repro.mining.kmeans."""
+
+import numpy as np
+import pytest
+
+from repro.mining.kmeans import KMeans, kmeans_plus_plus
+
+
+def three_blobs(rng, separation=20.0):
+    return np.vstack([
+        rng.normal(loc=0.0, scale=0.5, size=(40, 2)),
+        rng.normal(loc=separation, scale=0.5, size=(40, 2)),
+        rng.normal(loc=-separation, scale=0.5, size=(40, 2)),
+    ])
+
+
+class TestKMeansPlusPlus:
+    def test_returns_requested_count(self, rng):
+        data = three_blobs(rng)
+        centres = kmeans_plus_plus(data, 3, rng)
+        assert centres.shape == (3, 2)
+
+    def test_spreads_across_blobs(self, rng):
+        data = three_blobs(rng)
+        centres = kmeans_plus_plus(data, 3, rng)
+        # With widely separated blobs, D^2 seeding picks one per blob,
+        # so every pair of seeds is far apart.
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert np.linalg.norm(centres[i] - centres[j]) > 10.0
+
+    def test_duplicate_points_fall_back(self, rng):
+        data = np.zeros((10, 2))
+        centres = kmeans_plus_plus(data, 3, rng)
+        assert centres.shape == (3, 2)
+
+
+class TestKMeans:
+    def test_recovers_blob_structure(self, rng):
+        data = three_blobs(rng)
+        model = KMeans(n_clusters=3, random_state=0).fit(data)
+        # Each blob maps to exactly one cluster label.
+        labels = model.labels_
+        for start in (0, 40, 80):
+            blob_labels = set(labels[start:start + 40].tolist())
+            assert len(blob_labels) == 1
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        data = three_blobs(rng)
+        inertia_1 = KMeans(n_clusters=1, random_state=0).fit(data).inertia_
+        inertia_3 = KMeans(n_clusters=3, random_state=0).fit(data).inertia_
+        assert inertia_3 < inertia_1
+
+    def test_predict_matches_fit_labels(self, rng):
+        data = three_blobs(rng)
+        model = KMeans(n_clusters=3, random_state=0).fit(data)
+        np.testing.assert_array_equal(model.predict(data), model.labels_)
+
+    def test_fit_predict(self, rng):
+        data = three_blobs(rng)
+        labels = KMeans(n_clusters=3, random_state=0).fit_predict(data)
+        assert labels.shape == (120,)
+
+    def test_centres_are_cluster_means(self, rng):
+        data = three_blobs(rng)
+        model = KMeans(n_clusters=3, random_state=0).fit(data)
+        for cluster in range(3):
+            members = data[model.labels_ == cluster]
+            np.testing.assert_allclose(
+                model.cluster_centers_[cluster],
+                members.mean(axis=0),
+                atol=1e-8,
+            )
+
+    def test_deterministic_given_seed(self, rng):
+        data = three_blobs(rng)
+        a = KMeans(n_clusters=3, random_state=7).fit(data)
+        b = KMeans(n_clusters=3, random_state=7).fit(data)
+        np.testing.assert_allclose(a.cluster_centers_, b.cluster_centers_)
+
+    def test_single_cluster(self, rng):
+        data = rng.normal(size=(30, 3))
+        model = KMeans(n_clusters=1, random_state=0).fit(data)
+        np.testing.assert_allclose(
+            model.cluster_centers_[0], data.mean(axis=0), atol=1e-8
+        )
+
+    def test_too_few_records(self):
+        with pytest.raises(ValueError, match="n_clusters"):
+            KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+
+    def test_unfitted_predict(self):
+        with pytest.raises(RuntimeError):
+            KMeans().predict(np.zeros((2, 2)))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+        with pytest.raises(ValueError):
+            KMeans(max_iter=0)
+        with pytest.raises(ValueError):
+            KMeans(tol=-1.0)

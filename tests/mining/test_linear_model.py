@@ -1,0 +1,97 @@
+"""Tests for repro.mining.linear_model."""
+
+import numpy as np
+import pytest
+
+from repro.mining.linear_model import LinearRegression, RidgeRegression
+
+
+def linear_data(rng, n=200, d=3, noise=0.01):
+    data = rng.normal(size=(n, d))
+    coef = np.array([2.0, -1.0, 0.5][:d])
+    targets = data @ coef + 3.0 + noise * rng.normal(size=n)
+    return data, targets, coef
+
+
+class TestLinearRegression:
+    def test_recovers_coefficients(self, rng):
+        data, targets, coef = linear_data(rng)
+        model = LinearRegression().fit(data, targets)
+        np.testing.assert_allclose(model.coef_, coef, atol=0.01)
+        assert model.intercept_ == pytest.approx(3.0, abs=0.01)
+
+    def test_r2_near_one_on_clean_data(self, rng):
+        data, targets, __ = linear_data(rng)
+        model = LinearRegression().fit(data, targets)
+        assert model.score(data, targets) > 0.999
+
+    def test_without_intercept(self, rng):
+        data = rng.normal(size=(100, 2))
+        targets = data @ np.array([1.0, 2.0])
+        model = LinearRegression(fit_intercept=False).fit(data, targets)
+        assert model.intercept_ == 0.0
+        np.testing.assert_allclose(
+            model.coef_, [1.0, 2.0], atol=1e-10
+        )
+
+    def test_underdetermined_still_fits(self, rng):
+        data = rng.normal(size=(3, 10))
+        targets = rng.normal(size=3)
+        model = LinearRegression().fit(data, targets)
+        np.testing.assert_allclose(
+            model.predict(data), targets, atol=1e-8
+        )
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.zeros((1, 2)))
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(rng.normal(size=(5, 2)), np.zeros(4))
+
+
+class TestRidgeRegression:
+    def test_zero_alpha_matches_ols(self, rng):
+        data, targets, __ = linear_data(rng)
+        ols = LinearRegression().fit(data, targets)
+        ridge = RidgeRegression(alpha=0.0).fit(data, targets)
+        np.testing.assert_allclose(ridge.coef_, ols.coef_, atol=1e-6)
+        assert ridge.intercept_ == pytest.approx(ols.intercept_, abs=1e-6)
+
+    def test_shrinkage_with_large_alpha(self, rng):
+        data, targets, __ = linear_data(rng)
+        small = RidgeRegression(alpha=0.01).fit(data, targets)
+        large = RidgeRegression(alpha=1e6).fit(data, targets)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_intercept_not_regularized(self, rng):
+        data = rng.normal(size=(200, 2))
+        targets = 100.0 + 0.0 * data[:, 0] + 0.01 * rng.normal(size=200)
+        model = RidgeRegression(alpha=1e6).fit(data, targets)
+        assert model.intercept_ == pytest.approx(100.0, abs=0.1)
+
+    def test_stabilizes_collinear_features(self, rng):
+        x = rng.normal(size=500)
+        data = np.column_stack([x, x + 1e-9 * rng.normal(size=500)])
+        targets = x + 0.1 * rng.normal(size=500)
+        model = RidgeRegression(alpha=1.0).fit(data, targets)
+        assert np.abs(model.coef_).max() < 10.0
+        assert model.score(data, targets) > 0.9
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-0.5)
+
+    def test_without_intercept(self, rng):
+        data = rng.normal(size=(100, 2))
+        targets = data @ np.array([1.0, -1.0])
+        model = RidgeRegression(alpha=1e-8, fit_intercept=False).fit(
+            data, targets
+        )
+        assert model.intercept_ == 0.0
+        np.testing.assert_allclose(model.coef_, [1.0, -1.0], atol=1e-4)
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            RidgeRegression().predict(np.zeros((1, 2)))

@@ -1,0 +1,87 @@
+"""Tests for repro.mining.logistic."""
+
+import numpy as np
+import pytest
+
+from repro.mining.logistic import LogisticRegression
+
+
+class TestLogisticRegression:
+    def test_separable_classes(self, labelled_blobs):
+        data, labels = labelled_blobs
+        model = LogisticRegression().fit(data[:100], labels[:100])
+        assert model.score(data[100:], labels[100:]) >= 0.95
+
+    def test_boundary_orientation(self, rng):
+        # 1-D problem: class 1 above 0, class 0 below.
+        data = np.sort(rng.normal(size=(200, 1)), axis=0)
+        labels = (data[:, 0] > 0).astype(int)
+        model = LogisticRegression(max_iter=5000).fit(data, labels)
+        assert model.coef_[0] > 0
+        assert model.predict(np.array([[3.0]]))[0] == 1
+        assert model.predict(np.array([[-3.0]]))[0] == 0
+
+    def test_probabilities_sum_to_one(self, labelled_blobs):
+        data, labels = labelled_blobs
+        model = LogisticRegression().fit(data, labels)
+        probabilities = model.predict_proba(data[:10])
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_probability_monotone_in_score(self, labelled_blobs):
+        data, labels = labelled_blobs
+        model = LogisticRegression().fit(data, labels)
+        scores = model.decision_function(data)
+        probabilities = model.predict_proba(data)[:, 1]
+        order = np.argsort(scores)
+        assert (np.diff(probabilities[order]) >= -1e-12).all()
+
+    def test_string_labels(self, labelled_blobs):
+        data, labels = labelled_blobs
+        names = np.where(labels == 0, "neg", "pos")
+        model = LogisticRegression().fit(data, names)
+        assert set(model.predict(data[:10]).tolist()) <= {"neg", "pos"}
+
+    def test_penalty_shrinks_weights(self, labelled_blobs):
+        data, labels = labelled_blobs
+        weak = LogisticRegression(penalty=1e-6, max_iter=500).fit(
+            data, labels
+        )
+        strong = LogisticRegression(penalty=10.0, max_iter=500).fit(
+            data, labels
+        )
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_multiclass_rejected(self, rng):
+        data = rng.normal(size=(30, 2))
+        labels = rng.integers(0, 3, size=30)
+        with pytest.raises(ValueError, match="binary"):
+            LogisticRegression().fit(data, labels)
+
+    def test_extreme_inputs_numerically_stable(self):
+        data = np.array([[1e4], [-1e4], [1e4], [-1e4]])
+        labels = np.array([1, 0, 1, 0])
+        model = LogisticRegression(max_iter=100).fit(data, labels)
+        probabilities = model.predict_proba(data)
+        assert np.isfinite(probabilities).all()
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(penalty=-1.0)
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            LogisticRegression(max_iter=0)
+
+    def test_trains_on_condensed_data(self, labelled_blobs):
+        from repro.core.condenser import ClasswiseCondenser
+
+        data, labels = labelled_blobs
+        anonymized, anonymized_labels = ClasswiseCondenser(
+            k=10, random_state=0
+        ).fit_generate(data, labels)
+        model = LogisticRegression().fit(anonymized, anonymized_labels)
+        assert model.score(data, labels) >= 0.9

@@ -1,0 +1,84 @@
+"""Tests for repro.mining.naive_bayes."""
+
+import numpy as np
+import pytest
+
+from repro.mining.naive_bayes import GaussianNaiveBayes
+
+
+class TestGaussianNaiveBayes:
+    def test_separable_classes(self, labelled_blobs):
+        data, labels = labelled_blobs
+        model = GaussianNaiveBayes().fit(data[:100], labels[:100])
+        assert model.score(data[100:], labels[100:]) >= 0.9
+
+    def test_priors_sum_to_one(self, labelled_blobs):
+        data, labels = labelled_blobs
+        model = GaussianNaiveBayes().fit(data, labels)
+        assert model.class_prior_.sum() == pytest.approx(1.0)
+
+    def test_per_class_means(self, labelled_blobs):
+        data, labels = labelled_blobs
+        model = GaussianNaiveBayes().fit(data, labels)
+        for position, label in enumerate(model.classes_):
+            np.testing.assert_allclose(
+                model.theta_[position],
+                data[labels == label].mean(axis=0),
+                atol=1e-10,
+            )
+
+    def test_predict_proba_rows_sum_to_one(self, labelled_blobs):
+        data, labels = labelled_blobs
+        model = GaussianNaiveBayes().fit(data, labels)
+        probabilities = model.predict_proba(data[:15])
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_proba_argmax_matches_predict(self, labelled_blobs):
+        data, labels = labelled_blobs
+        model = GaussianNaiveBayes().fit(data, labels)
+        probabilities = model.predict_proba(data[:15])
+        np.testing.assert_array_equal(
+            model.classes_[np.argmax(probabilities, axis=1)],
+            model.predict(data[:15]),
+        )
+
+    def test_prior_dominates_ambiguous_point(self, rng):
+        # Identical class distributions: prediction follows the prior.
+        data = rng.normal(size=(100, 2))
+        labels = np.array([0] * 90 + [1] * 10)
+        model = GaussianNaiveBayes().fit(data, labels)
+        predictions = model.predict(rng.normal(size=(50, 2)))
+        assert np.mean(predictions == 0) > 0.7
+
+    def test_string_labels(self, labelled_blobs):
+        data, labels = labelled_blobs
+        names = np.where(labels == 0, "neg", "pos")
+        model = GaussianNaiveBayes().fit(data, names)
+        assert set(model.predict(data[:10]).tolist()) <= {"neg", "pos"}
+
+    def test_constant_feature_smoothed(self):
+        data = np.column_stack([np.ones(20), np.arange(20, dtype=float)])
+        labels = np.array([0] * 10 + [1] * 10)
+        model = GaussianNaiveBayes().fit(data, labels)
+        predictions = model.predict(data)
+        assert np.isfinite(model.var_).all()
+        assert (model.var_ > 0).all()
+        assert predictions.shape == (20,)
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            GaussianNaiveBayes().predict(np.zeros((1, 2)))
+
+    def test_feature_count_mismatch(self, labelled_blobs):
+        data, labels = labelled_blobs
+        model = GaussianNaiveBayes().fit(data, labels)
+        with pytest.raises(ValueError, match="attributes"):
+            model.predict(np.zeros((1, 5)))
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes(var_smoothing=-1.0)
+
+    def test_label_shape_mismatch(self, gaussian_data):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes().fit(gaussian_data, np.zeros(5))

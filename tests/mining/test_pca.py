@@ -1,0 +1,101 @@
+"""Tests for repro.mining.pca."""
+
+import numpy as np
+import pytest
+
+from repro.mining.pca import PCA, subspace_alignment
+
+
+def elongated_data(rng, n=500):
+    # Variance 25 along a known direction, 1 along the orthogonal one.
+    direction = np.array([0.6, 0.8])
+    orthogonal = np.array([-0.8, 0.6])
+    coefficients = rng.normal(size=(n, 2)) * np.array([5.0, 1.0])
+    return coefficients @ np.vstack([direction, orthogonal]) + np.array(
+        [10.0, -3.0]
+    )
+
+
+class TestPCA:
+    def test_finds_elongated_direction(self, rng):
+        data = elongated_data(rng)
+        model = PCA(n_components=1).fit(data)
+        axis = model.components_[0]
+        alignment = abs(axis @ np.array([0.6, 0.8]))
+        assert alignment > 0.99
+
+    def test_explained_variance(self, rng):
+        data = elongated_data(rng)
+        model = PCA().fit(data)
+        assert model.explained_variance_[0] == pytest.approx(25.0,
+                                                             rel=0.15)
+        assert model.explained_variance_[1] == pytest.approx(1.0,
+                                                             rel=0.2)
+
+    def test_ratio_sums_to_one_with_all_components(self, gaussian_data):
+        model = PCA().fit(gaussian_data)
+        assert model.explained_variance_ratio_.sum() == pytest.approx(1.0)
+
+    def test_transform_decorrelates(self, gaussian_data):
+        projected = PCA().fit_transform(gaussian_data)
+        covariance = np.cov(projected.T, bias=True)
+        off_diagonal = covariance - np.diag(np.diag(covariance))
+        assert np.abs(off_diagonal).max() < 1e-8
+
+    def test_inverse_round_trip_full_rank(self, gaussian_data):
+        model = PCA().fit(gaussian_data)
+        round_trip = model.inverse_transform(
+            model.transform(gaussian_data)
+        )
+        np.testing.assert_allclose(round_trip, gaussian_data, atol=1e-8)
+
+    def test_truncation_reduces_reconstruction(self, rng):
+        data = elongated_data(rng)
+        truncated = PCA(n_components=1).fit(data)
+        reconstruction = truncated.inverse_transform(
+            truncated.transform(data)
+        )
+        residual = np.abs(reconstruction - data).max()
+        assert residual > 0.01  # information was genuinely dropped
+        # But the retained axis captures most variance.
+        assert truncated.explained_variance_ratio_[0] > 0.9
+
+    def test_validation(self, gaussian_data):
+        with pytest.raises(ValueError):
+            PCA(n_components=0)
+        with pytest.raises(ValueError):
+            PCA(n_components=10).fit(gaussian_data)
+        with pytest.raises(ValueError):
+            PCA().fit(gaussian_data[:1])
+        with pytest.raises(RuntimeError):
+            PCA().transform(gaussian_data)
+
+
+class TestSubspaceAlignment:
+    def test_self_alignment(self, gaussian_data):
+        model = PCA().fit(gaussian_data)
+        assert subspace_alignment(model, model, 2) == pytest.approx(1.0)
+
+    def test_condensed_data_preserves_principal_subspace(
+        self, gaussian_data
+    ):
+        from repro.core.condenser import StaticCondenser
+
+        anonymized = StaticCondenser(k=10, random_state=0).fit_generate(
+            gaussian_data
+        )
+        original_pca = PCA().fit(gaussian_data)
+        anonymized_pca = PCA().fit(anonymized)
+        assert subspace_alignment(original_pca, anonymized_pca, 2) > 0.9
+
+    def test_rotated_data_misaligns(self, rng):
+        data = elongated_data(rng)
+        rotation = np.array([[0.0, -1.0], [1.0, 0.0]])
+        rotated = data @ rotation.T
+        a = PCA().fit(data)
+        b = PCA().fit(rotated)
+        assert subspace_alignment(a, b, 1) < 0.1
+
+    def test_unfitted_rejected(self, gaussian_data):
+        with pytest.raises(RuntimeError):
+            subspace_alignment(PCA(), PCA().fit(gaussian_data), 1)

@@ -1,0 +1,150 @@
+"""Tests for repro.neighbors.kdtree — exactness against brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.neighbors.brute import BruteForceIndex
+from repro.neighbors.kdtree import KDTreeIndex
+
+
+def assert_same_neighbour_distances(points, queries, k, leaf_size=4):
+    """The k-d tree must return the same neighbour distances as brute
+    force (indices may differ on exact ties; distances may not)."""
+    tree = KDTreeIndex(points, leaf_size=leaf_size)
+    brute = BruteForceIndex(points)
+    tree_d, __ = tree.query(queries, k=k)
+    brute_d, __ = brute.query(queries, k=k)
+    # The brute index uses the expanded quadratic form, which carries
+    # ~sqrt(eps) absolute error near zero; tolerate that, not more.
+    np.testing.assert_allclose(tree_d, brute_d, atol=1e-6)
+
+
+class TestKDTreeExactness:
+    def test_random_gaussian(self, rng):
+        points = rng.normal(size=(200, 5))
+        queries = rng.normal(size=(20, 5))
+        assert_same_neighbour_distances(points, queries, k=7)
+
+    def test_k_equals_one(self, rng):
+        points = rng.normal(size=(50, 3))
+        assert_same_neighbour_distances(points, points, k=1)
+
+    def test_k_equals_n(self, rng):
+        points = rng.normal(size=(12, 2))
+        queries = rng.normal(size=(3, 2))
+        assert_same_neighbour_distances(points, queries, k=12)
+
+    def test_duplicated_points(self, rng):
+        base = rng.normal(size=(10, 3))
+        points = np.vstack([base, base, base])
+        queries = rng.normal(size=(5, 3))
+        assert_same_neighbour_distances(points, queries, k=8)
+
+    def test_all_identical_points(self):
+        points = np.ones((30, 2))
+        queries = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert_same_neighbour_distances(points, queries, k=5)
+
+    def test_collinear_points(self):
+        points = np.column_stack([np.linspace(0, 1, 40), np.zeros(40)])
+        queries = np.array([[0.5, 0.2], [-1.0, 0.0]])
+        assert_same_neighbour_distances(points, queries, k=6)
+
+    def test_many_equal_median_values(self, rng):
+        # Columns with heavy value repetition exercise the degenerate
+        # median-split guard.
+        points = rng.integers(0, 3, size=(100, 4)).astype(float)
+        queries = rng.normal(size=(10, 4))
+        assert_same_neighbour_distances(points, queries, k=9)
+
+    def test_single_point(self):
+        points = np.array([[3.0, 4.0]])
+        tree = KDTreeIndex(points)
+        distances, indices = tree.query(np.array([0.0, 0.0]), k=1)
+        assert indices[0] == 0
+        assert distances[0] == pytest.approx(5.0)
+
+    def test_leaf_size_one(self, rng):
+        points = rng.normal(size=(60, 3))
+        queries = rng.normal(size=(8, 3))
+        assert_same_neighbour_distances(points, queries, k=4, leaf_size=1)
+
+    @given(
+        seed=st.integers(0, 1000),
+        n=st.integers(1, 80),
+        d=st.integers(1, 5),
+        k=st.integers(1, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_brute_force(self, seed, n, d, k):
+        k = min(k, n)
+        generator = np.random.default_rng(seed)
+        points = generator.normal(size=(n, d))
+        queries = generator.normal(size=(4, d))
+        assert_same_neighbour_distances(points, queries, k=k)
+
+
+class TestKDTreeValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            KDTreeIndex(np.empty((0, 2)))
+
+    def test_bad_leaf_size(self, rng):
+        with pytest.raises(ValueError, match="leaf_size"):
+            KDTreeIndex(rng.normal(size=(5, 2)), leaf_size=0)
+
+    def test_invalid_k(self, rng):
+        tree = KDTreeIndex(rng.normal(size=(5, 2)))
+        with pytest.raises(ValueError):
+            tree.query(np.zeros(2), k=0)
+        with pytest.raises(ValueError):
+            tree.query(np.zeros(2), k=6)
+
+    def test_dimension_mismatch(self, rng):
+        tree = KDTreeIndex(rng.normal(size=(5, 3)))
+        with pytest.raises(ValueError, match="dimensionality"):
+            tree.query(np.zeros(2), k=1)
+
+    def test_properties(self, rng):
+        tree = KDTreeIndex(rng.normal(size=(9, 4)))
+        assert tree.n_points == 9
+        assert tree.n_features == 4
+
+    def test_points_copied(self, rng):
+        original = rng.normal(size=(20, 2))
+        tree = KDTreeIndex(original)
+        nearest_before, __ = tree.query(original[3], k=1)
+        original[:] = 100.0
+        nearest_after, __ = tree.query(np.full(2, 100.0), k=1)
+        assert nearest_after[0] > 1.0  # still indexes the old points
+        assert nearest_before[0] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestKDTreeRadiusQuery:
+    def test_matches_brute_force(self, rng):
+        points = rng.normal(size=(150, 3))
+        tree = KDTreeIndex(points, leaf_size=8)
+        brute = BruteForceIndex(points)
+        for query in rng.normal(size=(10, 3)):
+            for radius in (0.1, 0.5, 1.5, 5.0):
+                tree_hits = tree.query_radius(query, radius)
+                brute_hits = np.sort(brute.query_radius(query, radius))
+                np.testing.assert_array_equal(tree_hits, brute_hits)
+
+    def test_zero_radius(self, rng):
+        points = rng.normal(size=(30, 2))
+        tree = KDTreeIndex(points)
+        hits = tree.query_radius(points[7], 0.0)
+        assert 7 in hits.tolist()
+
+    def test_negative_radius_rejected(self, rng):
+        tree = KDTreeIndex(rng.normal(size=(5, 2)))
+        with pytest.raises(ValueError):
+            tree.query_radius(np.zeros(2), -1.0)
+
+    def test_shape_checked(self, rng):
+        tree = KDTreeIndex(rng.normal(size=(5, 3)))
+        with pytest.raises(ValueError, match="shape"):
+            tree.query_radius(np.zeros(2), 1.0)

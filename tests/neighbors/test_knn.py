@@ -1,0 +1,147 @@
+"""Tests for repro.neighbors.knn."""
+
+import numpy as np
+import pytest
+
+from repro.neighbors.knn import KNeighborsClassifier, KNeighborsRegressor
+
+
+class TestKNeighborsClassifier:
+    def test_perfect_on_training_data_with_k1(self, labelled_blobs):
+        data, labels = labelled_blobs
+        classifier = KNeighborsClassifier(n_neighbors=1).fit(data, labels)
+        assert classifier.score(data, labels) == 1.0
+
+    def test_separable_classes(self, labelled_blobs):
+        data, labels = labelled_blobs
+        classifier = KNeighborsClassifier(n_neighbors=3).fit(
+            data[:100], labels[:100]
+        )
+        assert classifier.score(data[100:], labels[100:]) >= 0.9
+
+    def test_kd_tree_agrees_with_brute(self, labelled_blobs):
+        data, labels = labelled_blobs
+        brute = KNeighborsClassifier(n_neighbors=3, algorithm="brute")
+        tree = KNeighborsClassifier(n_neighbors=3, algorithm="kd_tree")
+        queries = data[:20] + 0.01
+        np.testing.assert_array_equal(
+            brute.fit(data, labels).predict(queries),
+            tree.fit(data, labels).predict(queries),
+        )
+
+    def test_string_labels(self):
+        data = np.array([[0.0], [0.1], [5.0], [5.1]])
+        labels = np.array(["cat", "cat", "dog", "dog"])
+        classifier = KNeighborsClassifier(n_neighbors=1).fit(data, labels)
+        assert classifier.predict(np.array([[0.05]]))[0] == "cat"
+        assert classifier.predict(np.array([[4.9]]))[0] == "dog"
+
+    def test_predict_proba_sums_to_one(self, labelled_blobs):
+        data, labels = labelled_blobs
+        classifier = KNeighborsClassifier(n_neighbors=5).fit(data, labels)
+        probabilities = classifier.predict_proba(data[:10])
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_predict_proba_matches_prediction(self, labelled_blobs):
+        data, labels = labelled_blobs
+        classifier = KNeighborsClassifier(n_neighbors=5).fit(data, labels)
+        probabilities = classifier.predict_proba(data[:10])
+        predictions = classifier.predict(data[:10])
+        np.testing.assert_array_equal(
+            classifier.classes_[np.argmax(probabilities, axis=1)],
+            predictions,
+        )
+
+    def test_single_query(self, labelled_blobs):
+        data, labels = labelled_blobs
+        classifier = KNeighborsClassifier(n_neighbors=1).fit(data, labels)
+        assert classifier.predict(data[0]).shape == (1,)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            KNeighborsClassifier().predict(np.zeros((1, 2)))
+
+    def test_bad_n_neighbors(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=0)
+
+    def test_too_few_training_records(self):
+        with pytest.raises(ValueError, match="n_neighbors"):
+            KNeighborsClassifier(n_neighbors=5).fit(
+                np.zeros((3, 2)), np.array([0, 1, 0])
+            )
+
+    def test_label_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier().fit(np.zeros((4, 2)), np.zeros(3))
+
+    def test_unknown_algorithm(self):
+        classifier = KNeighborsClassifier(algorithm="ball_tree")
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            classifier.fit(np.zeros((3, 2)), np.array([0, 1, 0]))
+
+
+class TestKNeighborsRegressor:
+    def test_exact_on_training_with_k1(self, rng):
+        data = rng.normal(size=(30, 2))
+        targets = rng.normal(size=30)
+        regressor = KNeighborsRegressor(n_neighbors=1).fit(data, targets)
+        np.testing.assert_allclose(
+            regressor.predict(data), targets, atol=1e-9
+        )
+
+    def test_mean_of_neighbours(self):
+        data = np.array([[0.0], [1.0], [10.0]])
+        targets = np.array([2.0, 4.0, 100.0])
+        regressor = KNeighborsRegressor(n_neighbors=2).fit(data, targets)
+        assert regressor.predict(np.array([[0.4]]))[0] == pytest.approx(3.0)
+
+    def test_tolerance_score(self):
+        data = np.array([[0.0], [1.0], [2.0]])
+        targets = np.array([0.0, 1.0, 2.0])
+        regressor = KNeighborsRegressor(n_neighbors=1).fit(data, targets)
+        queries = np.array([[0.1], [1.1], [2.1]])
+        true = np.array([0.0, 1.0, 10.0])
+        assert regressor.score(queries, true, tol=1.0) == pytest.approx(
+            2.0 / 3.0
+        )
+
+    def test_smooth_function_recovery(self, rng):
+        data = np.sort(rng.uniform(0, 10, size=(200, 1)), axis=0)
+        targets = np.sin(data[:, 0])
+        regressor = KNeighborsRegressor(n_neighbors=5).fit(data, targets)
+        queries = rng.uniform(1, 9, size=(50, 1))
+        predictions = regressor.predict(queries)
+        errors = np.abs(predictions - np.sin(queries[:, 0]))
+        assert errors.mean() < 0.1
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            KNeighborsRegressor().predict(np.zeros((1, 2)))
+
+    def test_target_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            KNeighborsRegressor().fit(np.zeros((4, 2)), np.zeros(5))
+
+
+class TestLshBackend:
+    def test_lsh_classifier_close_to_exact(self, labelled_blobs):
+        data, labels = labelled_blobs
+        exact = KNeighborsClassifier(n_neighbors=3, algorithm="brute")
+        approximate = KNeighborsClassifier(n_neighbors=3,
+                                           algorithm="lsh")
+        exact.fit(data[:100], labels[:100])
+        approximate.fit(data[:100], labels[:100])
+        exact_accuracy = exact.score(data[100:], labels[100:])
+        approx_accuracy = approximate.score(data[100:], labels[100:])
+        assert approx_accuracy >= exact_accuracy - 0.1
+
+    def test_lsh_regressor_runs(self, rng):
+        data = rng.normal(size=(200, 3))
+        targets = data[:, 0]
+        regressor = KNeighborsRegressor(
+            n_neighbors=3, algorithm="lsh"
+        ).fit(data, targets)
+        predictions = regressor.predict(data[:20])
+        assert predictions.shape == (20,)
+        assert np.abs(predictions - targets[:20]).mean() < 1.0

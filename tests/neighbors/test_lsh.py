@@ -1,0 +1,93 @@
+"""Tests for repro.neighbors.lsh."""
+
+import numpy as np
+import pytest
+
+from repro.neighbors.brute import BruteForceIndex
+from repro.neighbors.lsh import LSHIndex
+
+
+class TestLSHIndex:
+    def test_contract_shapes(self, rng):
+        points = rng.normal(size=(200, 8))
+        index = LSHIndex(points, random_state=0)
+        distances, indices = index.query(rng.normal(size=(5, 8)), k=3)
+        assert distances.shape == (5, 3)
+        assert indices.shape == (5, 3)
+        assert (np.diff(distances, axis=1) >= -1e-12).all()
+
+    def test_single_query(self, rng):
+        points = rng.normal(size=(50, 4))
+        index = LSHIndex(points, random_state=0)
+        distances, indices = index.query(points[3], k=1)
+        assert distances.shape == (1,)
+        # The query point itself hashes into its own bucket.
+        assert indices[0] == 3
+
+    def test_high_recall_on_clustered_data(self, rng):
+        # Queries near cluster centres should recover most of their
+        # exact neighbours.
+        points = np.vstack([
+            rng.normal(loc=offset, scale=0.5, size=(150, 6))
+            for offset in (0.0, 20.0)
+        ])
+        queries = points[rng.choice(300, size=30, replace=False)]
+        exact = BruteForceIndex(points)
+        __, exact_indices = exact.query(queries, k=5)
+        index = LSHIndex(points, n_tables=12, n_bits=6, random_state=0)
+        recall = index.recall_at_k(queries, 5, exact_indices)
+        assert recall > 0.8
+
+    def test_more_tables_raise_recall(self, rng):
+        points = rng.normal(size=(400, 10))
+        queries = rng.normal(size=(30, 10))
+        exact = BruteForceIndex(points)
+        __, exact_indices = exact.query(queries, k=5)
+        recalls = []
+        for n_tables in (1, 16):
+            index = LSHIndex(
+                points, n_tables=n_tables, n_bits=8, random_state=0
+            )
+            recalls.append(
+                index.recall_at_k(queries, 5, exact_indices)
+            )
+        assert recalls[1] >= recalls[0]
+
+    def test_small_candidate_set_falls_back_to_exact(self, rng):
+        # With very many bits, buckets are tiny; the top-up guarantees
+        # k results that then match brute force exactly.
+        points = rng.normal(size=(60, 3))
+        index = LSHIndex(points, n_tables=1, n_bits=30, random_state=0)
+        queries = rng.normal(size=(5, 3))
+        distances, __ = index.query(queries, k=10)
+        exact_distances, __ = BruteForceIndex(points).query(queries, k=10)
+        np.testing.assert_allclose(distances, exact_distances, atol=1e-6)
+
+    def test_approximate_distances_never_beat_exact(self, rng):
+        points = rng.normal(size=(300, 5))
+        queries = rng.normal(size=(20, 5))
+        index = LSHIndex(points, n_tables=4, n_bits=10, random_state=0)
+        approximate, __ = index.query(queries, k=3)
+        exact, __ = BruteForceIndex(points).query(queries, k=3)
+        assert (approximate + 1e-9 >= exact).all()
+
+    def test_validation(self, rng):
+        points = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            LSHIndex(np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            LSHIndex(points, n_tables=0)
+        with pytest.raises(ValueError):
+            LSHIndex(points, n_bits=0)
+        index = LSHIndex(points, random_state=0)
+        with pytest.raises(ValueError):
+            index.query(np.zeros(3), k=1)
+        with pytest.raises(ValueError):
+            index.query(np.zeros(2), k=11)
+
+    def test_points_copied(self, rng):
+        original = rng.normal(size=(30, 2))
+        index = LSHIndex(original, random_state=0)
+        original[:] = 1e6
+        distances, __ = index.query(np.zeros(2), k=1)
+        assert distances[0] < 100.0

@@ -1,0 +1,78 @@
+"""Tests for repro.preprocessing.encoders."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing.encoders import LabelEncoder, one_hot_encode
+
+
+class TestLabelEncoder:
+    def test_round_trip(self):
+        labels = np.array(["dog", "cat", "dog", "bird"])
+        encoder = LabelEncoder()
+        encoded = encoder.fit_transform(labels)
+        np.testing.assert_array_equal(
+            encoder.inverse_transform(encoded), labels
+        )
+
+    def test_codes_are_contiguous(self):
+        labels = np.array(["b", "a", "c", "a"])
+        encoded = LabelEncoder().fit_transform(labels)
+        assert set(encoded.tolist()) == {0, 1, 2}
+
+    def test_sorted_class_order(self):
+        encoder = LabelEncoder().fit(np.array(["b", "a"]))
+        np.testing.assert_array_equal(encoder.classes_, ["a", "b"])
+
+    def test_unseen_label_rejected(self):
+        encoder = LabelEncoder().fit(np.array(["a", "b"]))
+        with pytest.raises(ValueError, match="unseen"):
+            encoder.transform(np.array(["c"]))
+
+    def test_out_of_range_code_rejected(self):
+        encoder = LabelEncoder().fit(np.array(["a", "b"]))
+        with pytest.raises(ValueError, match="range"):
+            encoder.inverse_transform(np.array([5]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LabelEncoder().transform(np.array(["a"]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LabelEncoder().fit(np.array([]))
+
+    def test_integer_labels(self):
+        labels = np.array([10, 20, 10])
+        encoder = LabelEncoder()
+        encoded = encoder.fit_transform(labels)
+        np.testing.assert_array_equal(encoded, [0, 1, 0])
+
+
+class TestOneHotEncode:
+    def test_basic(self):
+        encoded = one_hot_encode(np.array([0, 2, 1]))
+        np.testing.assert_array_equal(
+            encoded, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_rows_sum_to_one(self, rng):
+        labels = rng.integers(0, 5, size=30)
+        encoded = one_hot_encode(labels)
+        np.testing.assert_allclose(encoded.sum(axis=1), 1.0)
+
+    def test_explicit_n_classes(self):
+        encoded = one_hot_encode(np.array([0, 1]), n_classes=4)
+        assert encoded.shape == (2, 4)
+
+    def test_label_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            one_hot_encode(np.array([3]), n_classes=2)
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            one_hot_encode(np.array([-1, 0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            one_hot_encode(np.array([], dtype=int))

@@ -1,0 +1,97 @@
+"""Tests for repro.preprocessing.mixed."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing.mixed import MixedTypeEncoder
+
+
+@pytest.fixture
+def mixed_data(rng):
+    continuous = rng.normal(size=(50, 2))
+    sex = rng.choice([0.0, 1.0, 2.0], size=50)
+    grade = rng.choice([10.0, 20.0], size=50)
+    # layout: [continuous_0, sex, continuous_1, grade]
+    return np.column_stack(
+        [continuous[:, 0], sex, continuous[:, 1], grade]
+    )
+
+
+class TestMixedTypeEncoder:
+    def test_output_width(self, mixed_data):
+        encoder = MixedTypeEncoder([1, 3]).fit(mixed_data)
+        # 2 continuous + 3 sex categories + 2 grade categories.
+        assert encoder.n_output_columns == 7
+
+    def test_round_trip_exact(self, mixed_data):
+        encoder = MixedTypeEncoder([1, 3]).fit(mixed_data)
+        encoded = encoder.transform(mixed_data)
+        decoded = encoder.inverse_transform(encoded)
+        np.testing.assert_allclose(decoded, mixed_data, atol=1e-12)
+
+    def test_one_hot_blocks_valid(self, mixed_data):
+        encoder = MixedTypeEncoder([1, 3]).fit(mixed_data)
+        encoded = encoder.transform(mixed_data)
+        sex_block = encoded[:, 2:5]
+        np.testing.assert_allclose(sex_block.sum(axis=1), 1.0)
+        assert set(np.unique(sex_block).tolist()) == {0.0, 1.0}
+
+    def test_noisy_blocks_snap_to_categories(self, mixed_data, rng):
+        encoder = MixedTypeEncoder([1, 3]).fit(mixed_data)
+        encoded = encoder.transform(mixed_data)
+        noisy = encoded + 0.2 * rng.normal(size=encoded.shape)
+        decoded = encoder.inverse_transform(noisy)
+        assert set(np.unique(decoded[:, 1]).tolist()) <= {0.0, 1.0, 2.0}
+        assert set(np.unique(decoded[:, 3]).tolist()) <= {10.0, 20.0}
+
+    def test_condensation_round_trip(self, mixed_data):
+        from repro.core.condenser import StaticCondenser
+
+        encoder = MixedTypeEncoder([1, 3]).fit(mixed_data)
+        encoded = encoder.transform(mixed_data)
+        anonymized = StaticCondenser(k=10, random_state=0).fit_generate(
+            encoded
+        )
+        release = encoder.inverse_transform(anonymized)
+        assert release.shape == mixed_data.shape
+        assert set(np.unique(release[:, 1]).tolist()) <= {0.0, 1.0, 2.0}
+        # Category proportions roughly preserved.
+        original_share = np.mean(mixed_data[:, 3] == 10.0)
+        release_share = np.mean(release[:, 3] == 10.0)
+        assert abs(original_share - release_share) < 0.25
+
+    def test_unseen_category_rejected(self, mixed_data):
+        encoder = MixedTypeEncoder([1, 3]).fit(mixed_data)
+        bad = mixed_data.copy()
+        bad[0, 1] = 9.0
+        with pytest.raises(ValueError, match="unseen category"):
+            encoder.transform(bad)
+
+    def test_no_categoricals_is_passthrough(self, mixed_data):
+        encoder = MixedTypeEncoder([]).fit(mixed_data)
+        np.testing.assert_allclose(
+            encoder.transform(mixed_data), mixed_data
+        )
+        assert encoder.n_output_columns == 4
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            MixedTypeEncoder([1, 1])
+
+    def test_out_of_range_column(self, mixed_data):
+        with pytest.raises(ValueError, match="out of range"):
+            MixedTypeEncoder([10]).fit(mixed_data)
+
+    def test_unfitted(self, mixed_data):
+        with pytest.raises(RuntimeError):
+            MixedTypeEncoder([1]).transform(mixed_data)
+
+    def test_wrong_width_at_transform(self, mixed_data):
+        encoder = MixedTypeEncoder([1]).fit(mixed_data)
+        with pytest.raises(ValueError, match="columns"):
+            encoder.transform(mixed_data[:, :2])
+
+    def test_wrong_width_at_inverse(self, mixed_data):
+        encoder = MixedTypeEncoder([1]).fit(mixed_data)
+        with pytest.raises(ValueError, match="expected shape"):
+            encoder.inverse_transform(np.zeros((3, 2)))

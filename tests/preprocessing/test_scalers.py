@@ -1,0 +1,88 @@
+"""Tests for repro.preprocessing.scalers."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing.scalers import MinMaxScaler, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, gaussian_data):
+        scaled = StandardScaler().fit_transform(gaussian_data)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_inverse_round_trip(self, gaussian_data):
+        scaler = StandardScaler().fit(gaussian_data)
+        round_trip = scaler.inverse_transform(
+            scaler.transform(gaussian_data)
+        )
+        np.testing.assert_allclose(round_trip, gaussian_data, atol=1e-10)
+
+    def test_constant_column_passes_through(self):
+        data = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        scaled = StandardScaler().fit_transform(data)
+        assert np.isfinite(scaled).all()
+        np.testing.assert_allclose(scaled[:, 0], 0.0)
+
+    def test_transform_uses_training_statistics(self, gaussian_data):
+        scaler = StandardScaler().fit(gaussian_data)
+        other = gaussian_data + 10.0
+        scaled = scaler.transform(other)
+        np.testing.assert_allclose(
+            scaled.mean(axis=0),
+            10.0 / scaler.scale_,
+            atol=1e-8,
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_attribute_count_mismatch(self, gaussian_data):
+        scaler = StandardScaler().fit(gaussian_data)
+        with pytest.raises(ValueError, match="attributes"):
+            scaler.transform(gaussian_data[:, :2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.empty((0, 3)))
+
+
+class TestMinMaxScaler:
+    def test_default_range(self, gaussian_data):
+        scaled = MinMaxScaler().fit_transform(gaussian_data)
+        np.testing.assert_allclose(scaled.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(scaled.max(axis=0), 1.0, atol=1e-12)
+
+    def test_custom_range(self, gaussian_data):
+        scaled = MinMaxScaler(feature_range=(-2.0, 2.0)).fit_transform(
+            gaussian_data
+        )
+        np.testing.assert_allclose(scaled.min(axis=0), -2.0, atol=1e-12)
+        np.testing.assert_allclose(scaled.max(axis=0), 2.0, atol=1e-12)
+
+    def test_inverse_round_trip(self, gaussian_data):
+        scaler = MinMaxScaler().fit(gaussian_data)
+        round_trip = scaler.inverse_transform(
+            scaler.transform(gaussian_data)
+        )
+        np.testing.assert_allclose(round_trip, gaussian_data, atol=1e-10)
+
+    def test_constant_column_maps_to_midpoint(self):
+        data = np.column_stack([np.full(5, 3.0), np.arange(5, dtype=float)])
+        scaled = MinMaxScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled[:, 0], 0.5)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError, match="feature_range"):
+            MinMaxScaler(feature_range=(1.0, 1.0))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+    def test_attribute_count_mismatch(self, gaussian_data):
+        scaler = MinMaxScaler().fit(gaussian_data)
+        with pytest.raises(ValueError):
+            scaler.transform(gaussian_data[:, :2])

@@ -1,0 +1,135 @@
+"""Tests for repro.preprocessing.splits."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing.splits import (
+    KFold,
+    StratifiedKFold,
+    train_test_split,
+)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, gaussian_data):
+        train, test = train_test_split(
+            gaussian_data, test_size=0.25, random_state=0
+        )
+        assert test.shape[0] == 30
+        assert train.shape[0] == 90
+
+    def test_partition_covers_everything(self, gaussian_data):
+        train, test = train_test_split(
+            gaussian_data, test_size=0.3, random_state=1
+        )
+        combined = np.vstack([train, test])
+        assert combined.shape == gaussian_data.shape
+        assert {tuple(row) for row in combined} == {
+            tuple(row) for row in gaussian_data
+        }
+
+    def test_aligned_arrays(self, labelled_blobs):
+        data, labels = labelled_blobs
+        train, test, y_train, y_test = train_test_split(
+            data, labels, test_size=0.25, random_state=2
+        )
+        assert train.shape[0] == y_train.shape[0]
+        assert test.shape[0] == y_test.shape[0]
+
+    def test_alignment_preserved(self, labelled_blobs):
+        data, labels = labelled_blobs
+        tagged = np.column_stack([data, labels])
+        train, __, y_train, __ = train_test_split(
+            tagged, labels, test_size=0.25, random_state=3
+        )
+        np.testing.assert_array_equal(train[:, -1].astype(int), y_train)
+
+    def test_stratified_proportions(self):
+        data = np.zeros((100, 2))
+        labels = np.array([0] * 80 + [1] * 20)
+        __, __, y_train, y_test = train_test_split(
+            data, labels, test_size=0.25, stratify=labels, random_state=4
+        )
+        assert np.sum(y_test == 1) == 5
+        assert np.sum(y_test == 0) == 20
+
+    def test_stratified_keeps_rare_class_in_train(self):
+        data = np.zeros((11, 2))
+        labels = np.array([0] * 9 + [1] * 2)
+        __, __, y_train, y_test = train_test_split(
+            data, labels, test_size=0.2, stratify=labels, random_state=5
+        )
+        assert np.sum(y_train == 1) >= 1
+
+    def test_reproducible(self, gaussian_data):
+        first = train_test_split(gaussian_data, random_state=6)
+        second = train_test_split(gaussian_data, random_state=6)
+        np.testing.assert_array_equal(first[0], second[0])
+
+    def test_invalid_test_size(self, gaussian_data):
+        with pytest.raises(ValueError):
+            train_test_split(gaussian_data, test_size=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(gaussian_data, test_size=1.0)
+
+    def test_too_few_records(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((1, 2)))
+
+    def test_misaligned_extra_array(self, gaussian_data):
+        with pytest.raises(ValueError, match="align"):
+            train_test_split(gaussian_data, np.zeros(5))
+
+
+class TestKFold:
+    def test_folds_partition_indices(self, gaussian_data):
+        folds = list(KFold(n_splits=4, random_state=0).split(gaussian_data))
+        assert len(folds) == 4
+        all_test = np.concatenate([test for __, test in folds])
+        assert sorted(all_test.tolist()) == list(range(120))
+
+    def test_train_test_disjoint(self, gaussian_data):
+        for train, test in KFold(n_splits=5, random_state=0).split(
+            gaussian_data
+        ):
+            assert not set(train.tolist()) & set(test.tolist())
+
+    def test_no_shuffle_is_contiguous(self):
+        data = np.zeros((10, 1))
+        folds = list(KFold(n_splits=5, shuffle=False).split(data))
+        np.testing.assert_array_equal(folds[0][1], [0, 1])
+
+    def test_too_few_records(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(np.zeros((3, 1))))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+
+class TestStratifiedKFold:
+    def test_class_proportions_per_fold(self):
+        data = np.zeros((100, 1))
+        labels = np.array([0] * 60 + [1] * 40)
+        splitter = StratifiedKFold(n_splits=5, random_state=0)
+        for __, test in splitter.split(data, labels):
+            test_labels = labels[test]
+            assert np.sum(test_labels == 0) == 12
+            assert np.sum(test_labels == 1) == 8
+
+    def test_partition_covers_everything(self, labelled_blobs):
+        data, labels = labelled_blobs
+        splitter = StratifiedKFold(n_splits=3, random_state=1)
+        all_test = np.concatenate(
+            [test for __, test in splitter.split(data, labels)]
+        )
+        assert sorted(all_test.tolist()) == list(range(data.shape[0]))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            list(StratifiedKFold().split(np.zeros((5, 1)), np.zeros(4)))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            StratifiedKFold(n_splits=0)

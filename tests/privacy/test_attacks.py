@@ -1,0 +1,149 @@
+"""Tests for repro.privacy.attacks — the record-linkage attack."""
+
+import numpy as np
+import pytest
+
+from repro.core.condensation import create_condensed_groups
+from repro.privacy.attacks import (
+    generate_with_provenance,
+    linkage_attack,
+)
+
+
+class TestGenerateWithProvenance:
+    def test_provenance_aligns_with_sizes(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        anonymized, provenance = generate_with_provenance(
+            model, random_state=0
+        )
+        assert anonymized.shape == gaussian_data.shape
+        assert provenance.shape == (120,)
+        counts = np.bincount(provenance, minlength=model.n_groups)
+        np.testing.assert_array_equal(counts, model.group_sizes)
+
+
+class TestLinkageAttack:
+    def test_result_fields(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        result = linkage_attack(gaussian_data, model, random_state=1)
+        assert 0.0 <= result.group_linkage_rate <= 1.0
+        assert 0.0 <= result.expected_record_disclosure <= 1.0
+        assert result.baseline_disclosure == pytest.approx(1.0 / 120.0)
+        assert result.n_victims == 120
+
+    def test_disclosure_bounded_by_linkage_over_k(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        result = linkage_attack(gaussian_data, model, random_state=1)
+        assert result.expected_record_disclosure <= (
+            result.group_linkage_rate / 10.0 + 1e-12
+        )
+
+    def test_disclosure_decreases_with_k(self, gaussian_data):
+        disclosures = []
+        for k in (2, 10, 40):
+            model = create_condensed_groups(
+                gaussian_data, k=k, random_state=0
+            )
+            result = linkage_attack(gaussian_data, model, random_state=1)
+            disclosures.append(result.expected_record_disclosure)
+        assert disclosures[0] > disclosures[-1]
+
+    def test_well_separated_groups_link_strongly(self, rng):
+        # Far-apart blobs: nearly every record links back to its own
+        # group - but record-level disclosure stays at ~1/k.
+        data = np.vstack([
+            rng.normal(loc=offset, scale=0.3, size=(20, 2))
+            for offset in (0.0, 50.0, 100.0)
+        ])
+        model = create_condensed_groups(data, k=20, random_state=0)
+        result = linkage_attack(data, model, random_state=1)
+        assert result.group_linkage_rate > 0.95
+        assert result.expected_record_disclosure <= 0.05 + 1e-9
+
+    def test_missing_memberships_rejected(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        model.metadata.pop("memberships")
+        with pytest.raises(ValueError, match="memberships"):
+            linkage_attack(gaussian_data, model, random_state=0)
+
+    def test_explicit_memberships_accepted(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        memberships = model.metadata.pop("memberships")
+        result = linkage_attack(
+            gaussian_data, model, memberships=memberships, random_state=0
+        )
+        assert result.n_victims == 120
+
+    def test_incomplete_memberships_rejected(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        truncated = [
+            members[:-1] for members in model.metadata["memberships"]
+        ]
+        with pytest.raises(ValueError, match="cover"):
+            linkage_attack(
+                gaussian_data, model, memberships=truncated, random_state=0
+            )
+
+
+class TestAttributeDisclosureAttack:
+    def test_release_helps_on_correlated_data(self, rng):
+        # Strongly correlated attributes: knowing d-1 of them plus the
+        # release pins the last one far better than the baseline.
+        from repro.privacy.attacks import attribute_disclosure_attack
+
+        x = rng.normal(size=300)
+        data = np.column_stack([
+            x, x + 0.05 * rng.normal(size=300),
+            x + 0.05 * rng.normal(size=300),
+        ])
+        model = create_condensed_groups(data, k=10, random_state=0)
+        result = attribute_disclosure_attack(
+            data, model, attribute=2, random_state=1
+        )
+        assert result.attack_error < result.baseline_error
+        assert result.relative_gain > 0.5
+
+    def test_independent_attribute_gains_little(self, rng):
+        from repro.privacy.attacks import attribute_disclosure_attack
+
+        data = rng.normal(size=(300, 3))  # fully independent columns
+        model = create_condensed_groups(data, k=10, random_state=0)
+        result = attribute_disclosure_attack(
+            data, model, attribute=2, random_state=1
+        )
+        # With no correlation the release gives the adversary roughly
+        # nothing; allow generous slack for small-sample noise.
+        assert result.relative_gain < 0.35
+
+    def test_gain_decreases_with_k(self, rng):
+        from repro.privacy.attacks import attribute_disclosure_attack
+
+        x = rng.normal(size=400)
+        data = np.column_stack([
+            x, x + 0.1 * rng.normal(size=400),
+            x + 0.1 * rng.normal(size=400),
+        ])
+        gains = []
+        for k in (2, 50):
+            model = create_condensed_groups(data, k=k, random_state=0)
+            result = attribute_disclosure_attack(
+                data, model, attribute=0, random_state=1
+            )
+            gains.append(result.relative_gain)
+        assert gains[0] > gains[1]
+
+    def test_attribute_validation(self, gaussian_data):
+        from repro.privacy.attacks import attribute_disclosure_attack
+
+        model = create_condensed_groups(gaussian_data, k=10,
+                                        random_state=0)
+        with pytest.raises(ValueError, match="attribute"):
+            attribute_disclosure_attack(gaussian_data, model, attribute=9)
+
+    def test_single_column_rejected(self, rng):
+        from repro.privacy.attacks import attribute_disclosure_attack
+
+        data = rng.normal(size=(50, 1))
+        model = create_condensed_groups(data, k=5, random_state=0)
+        with pytest.raises(ValueError, match="known attribute"):
+            attribute_disclosure_attack(data, model, attribute=0)

@@ -1,0 +1,105 @@
+"""Tests for repro.privacy.membership."""
+
+import numpy as np
+import pytest
+
+from repro.core.condenser import StaticCondenser
+from repro.privacy.membership import (
+    membership_inference_attack,
+    roc_auc,
+)
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc([3.0, 4.0, 5.0], [0.0, 1.0, 2.0]) == 1.0
+
+    def test_perfectly_inverted(self):
+        assert roc_auc([0.0, 1.0], [5.0, 6.0]) == 0.0
+
+    def test_chance_for_identical_distributions(self, rng):
+        positives = rng.normal(size=2000)
+        negatives = rng.normal(size=2000)
+        assert abs(roc_auc(positives, negatives) - 0.5) < 0.03
+
+    def test_all_ties_is_half(self):
+        assert roc_auc([1.0, 1.0], [1.0, 1.0]) == pytest.approx(0.5)
+
+    def test_scipy_agreement(self, rng):
+        from scipy.stats import mannwhitneyu
+
+        positives = rng.normal(loc=0.5, size=80)
+        negatives = rng.normal(size=120)
+        expected = mannwhitneyu(
+            positives, negatives, alternative="two-sided"
+        ).statistic / (80 * 120)
+        assert roc_auc(positives, negatives) == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc([], [1.0])
+
+
+class TestMembershipInferenceAttack:
+    def make_populations(self, rng, n=300, d=4):
+        population = rng.normal(size=(2 * n, d))
+        return population[:n], population[n:]
+
+    def test_raw_release_leaks_membership(self, rng):
+        # Releasing the members themselves: the attack is near-perfect.
+        members, non_members = self.make_populations(rng)
+        result = membership_inference_attack(
+            members, non_members, release=members
+        )
+        assert result.auc > 0.95
+        # Expanded-form distance noise is ~sqrt(eps); tolerate that.
+        assert result.member_mean_distance == pytest.approx(0.0,
+                                                            abs=1e-6)
+
+    def test_condensed_release_blunts_the_attack(self, rng):
+        members, non_members = self.make_populations(rng)
+        release = StaticCondenser(k=20, random_state=0).fit_generate(
+            members
+        )
+        raw = membership_inference_attack(
+            members, non_members, release=members
+        )
+        condensed = membership_inference_attack(
+            members, non_members, release=release
+        )
+        assert condensed.auc < raw.auc - 0.2
+        assert condensed.advantage < 0.5
+
+    def test_advantage_decreases_with_k(self, rng):
+        members, non_members = self.make_populations(rng, n=400)
+        advantages = []
+        for k in (2, 40):
+            release = StaticCondenser(
+                k=k, random_state=0
+            ).fit_generate(members)
+            result = membership_inference_attack(
+                members, non_members, release=release
+            )
+            advantages.append(result.advantage)
+        assert advantages[0] > advantages[1]
+
+    def test_advantage_bounds(self, rng):
+        members, non_members = self.make_populations(rng)
+        release = StaticCondenser(k=10, random_state=0).fit_generate(
+            members
+        )
+        result = membership_inference_attack(
+            members, non_members, release=release
+        )
+        assert 0.0 <= result.advantage <= 1.0
+
+    def test_validation(self, rng):
+        members, non_members = self.make_populations(rng, n=20)
+        with pytest.raises(ValueError, match="non-empty"):
+            membership_inference_attack(
+                np.empty((0, 4)), non_members, members
+            )
+        with pytest.raises(ValueError, match="dimensionality"):
+            membership_inference_attack(
+                members, non_members[:, :2], members
+            )

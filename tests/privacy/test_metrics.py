@@ -1,0 +1,78 @@
+"""Tests for repro.privacy.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.condensation import create_condensed_groups
+from repro.privacy.metrics import (
+    indistinguishability_level,
+    privacy_report,
+)
+
+
+class TestPrivacyReport:
+    def test_static_model_satisfies_k(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        report = privacy_report(model)
+        assert report.requested_k == 10
+        assert report.achieved_k >= 10
+        assert report.satisfied
+
+    def test_average_and_max(self, gaussian_data):
+        # 120 records at k=7: 17 groups, one absorbs the leftover.
+        model = create_condensed_groups(gaussian_data, k=7, random_state=0)
+        report = privacy_report(model)
+        assert report.n_groups == 17
+        assert report.max_group_size == 8
+        assert report.average_group_size == pytest.approx(120 / 17)
+
+    def test_expected_disclosure_uniform_groups(self, gaussian_data):
+        # Equal groups of size 10: disclosure = 1/10 regardless of group.
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        report = privacy_report(model)
+        assert report.expected_disclosure == pytest.approx(0.1)
+
+    def test_expected_disclosure_decreases_with_k(self, gaussian_data):
+        disclosures = []
+        for k in (5, 20, 60):
+            model = create_condensed_groups(
+                gaussian_data, k=k, random_state=0
+            )
+            disclosures.append(privacy_report(model).expected_disclosure)
+        assert disclosures[0] > disclosures[1] > disclosures[2]
+
+    def test_disclosure_weighted_by_membership(self):
+        # One group of 10, one of 30: a random record is in the large
+        # group 3/4 of the time -> expected = 0.75/30 + 0.25/10.
+        from repro.core.statistics import CondensedModel, GroupStatistics
+
+        rng = np.random.default_rng(0)
+        model = CondensedModel(
+            groups=[
+                GroupStatistics.from_records(rng.normal(size=(10, 2))),
+                GroupStatistics.from_records(rng.normal(size=(30, 2))),
+            ],
+            k=10,
+        )
+        report = privacy_report(model)
+        assert report.expected_disclosure == pytest.approx(
+            0.25 * 0.1 + 0.75 * (1.0 / 30.0)
+        )
+
+
+class TestIndistinguishabilityLevel:
+    def test_matches_minimum_group(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=9, random_state=0)
+        assert indistinguishability_level(model) == int(
+            model.group_sizes.min()
+        )
+
+    def test_dynamic_model_within_band(self, gaussian_data, rng):
+        from repro.core.dynamic import DynamicGroupMaintainer
+
+        maintainer = DynamicGroupMaintainer(
+            k=10, initial_data=gaussian_data, random_state=0
+        )
+        maintainer.add_stream(rng.normal(size=(300, 4)))
+        level = indistinguishability_level(maintainer.to_model())
+        assert level >= 10

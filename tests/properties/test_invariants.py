@@ -1,0 +1,209 @@
+"""Cross-module property-based invariants.
+
+Hypothesis drives random data shapes and privacy levels through entire
+pipelines and asserts the structural guarantees the paper's framework
+rests on — the guarantees every other module silently assumes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.condensation import create_condensed_groups
+from repro.core.dynamic import DynamicGroupMaintainer
+from repro.core.generation import generate_anonymized_data
+from repro.core.statistics import GroupStatistics
+from repro.privacy.metrics import privacy_report
+
+
+def dataset_strategy(draw):
+    seed = draw(st.integers(0, 10_000))
+    n = draw(st.integers(4, 120))
+    d = draw(st.integers(1, 6))
+    scale = draw(st.sampled_from([0.01, 1.0, 100.0]))
+    offset = draw(st.sampled_from([0.0, -50.0, 1e3]))
+    rng = np.random.default_rng(seed)
+    return offset + scale * rng.normal(size=(n, d))
+
+
+datasets = st.composite(dataset_strategy)()
+
+
+class TestStaticPipelineInvariants:
+    @given(data=datasets, k=st.integers(1, 25), seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_condense_generate_preserves_cardinality_and_mean(
+        self, data, k, seed
+    ):
+        k = min(k, data.shape[0])
+        model = create_condensed_groups(data, k, random_state=seed)
+        anonymized = generate_anonymized_data(model, random_state=seed)
+        # Cardinality is exactly preserved.
+        assert anonymized.shape == data.shape
+        # Every record meets the privacy level.
+        assert privacy_report(model).achieved_k >= k
+        # The global mean is preserved in expectation; with uniform
+        # generation the deviation is bounded by the per-group spreads.
+        spread = data.std(axis=0).max() + 1e-9
+        deviation = np.abs(
+            anonymized.mean(axis=0) - data.mean(axis=0)
+        ).max()
+        assert deviation <= 2.0 * spread
+
+    @given(data=datasets, k=st.integers(1, 25), seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_aggregate_sums_exact(self, data, k, seed):
+        # Condensation never loses first- or second-order mass: the sum
+        # of group sums equals the data set's sums exactly (up to float
+        # addition order).
+        k = min(k, data.shape[0])
+        model = create_condensed_groups(data, k, random_state=seed)
+        total_first = sum(group.first_order for group in model.groups)
+        scale = np.abs(data).sum() + 1.0
+        assert np.abs(
+            total_first - data.sum(axis=0)
+        ).max() <= 1e-9 * scale
+
+    @given(data=datasets, k=st.integers(2, 25), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_generated_records_stay_in_group_support(
+        self, data, k, seed
+    ):
+        # Uniform generation is bounded: every anonymized record lies
+        # within the axis-aligned eigen-box of its group.
+        k = min(k, data.shape[0])
+        model = create_condensed_groups(data, k, random_state=seed)
+        rng = np.random.default_rng(seed)
+        from repro.core.generation import generate_group_records
+
+        for group in model.groups:
+            eigenvalues, eigenvectors = group.eigen_system()
+            records = generate_group_records(group, size=8,
+                                             random_state=rng)
+            coordinates = (records - group.centroid) @ eigenvectors
+            half_ranges = np.sqrt(12.0 * eigenvalues) / 2.0
+            tolerance = 1e-9 * (np.abs(group.centroid).max() + 1.0)
+            assert (
+                np.abs(coordinates) <= half_ranges + 1e-6 + tolerance
+            ).all()
+
+
+class TestDynamicPipelineInvariants:
+    @given(
+        seed=st.integers(0, 2_000),
+        k=st.integers(1, 15),
+        n_stream=st.integers(0, 150),
+        d=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_band_and_conservation(self, seed, k, n_stream, d):
+        rng = np.random.default_rng(seed)
+        base = rng.normal(size=(max(k, 3 * k), d))
+        stream = rng.normal(size=(n_stream, d))
+        maintainer = DynamicGroupMaintainer(
+            k, initial_data=base, random_state=seed
+        )
+        maintainer.add_stream(stream)
+        sizes = maintainer.group_sizes()
+        # Group sizes never escape [k, 2k).  (The static bootstrap can
+        # produce a group of up to 2k-1 via leftover absorption, which
+        # is inside the same band.)
+        assert (sizes >= k).all()
+        assert (sizes < 2 * k).all()
+        # Total mass is conserved across arbitrarily many splits.
+        assert sizes.sum() == base.shape[0] + n_stream
+
+    @given(seed=st.integers(0, 2_000), k=st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_split_mass_and_moment_conservation(self, seed, k):
+        rng = np.random.default_rng(seed)
+        records = 10.0 * rng.normal(size=(2 * k, 3))
+        group = GroupStatistics.from_records(records)
+        from repro.core.dynamic import split_group_statistics
+
+        first, second = split_group_statistics(group, k=k)
+        assert first.count == second.count == k
+        scale = np.abs(group.first_order).max() + 1.0
+        assert np.abs(
+            first.first_order + second.first_order - group.first_order
+        ).max() <= 1e-9 * scale
+        # Merged children reproduce the parent covariance exactly
+        # (the split is second-moment-consistent by construction).
+        merged = first.copy()
+        merged.merge(second)
+        cov_scale = np.abs(group.covariance).max() + 1.0
+        assert np.abs(
+            merged.covariance - group.covariance
+        ).max() <= 1e-7 * cov_scale
+
+
+class TestPrivacyInvariants:
+    @given(data=datasets, k=st.integers(1, 20), seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_no_original_record_is_released_for_k_above_one(
+        self, data, k, seed
+    ):
+        # With k >= 2 and non-degenerate groups, generation draws from a
+        # continuous distribution: the probability of reproducing an
+        # original record is zero.  Degenerate (zero-variance) groups
+        # can only arise from duplicate records, which Gaussian data
+        # does not produce.
+        k = min(max(k, 2), data.shape[0])
+        model = create_condensed_groups(data, k, random_state=seed)
+        anonymized = generate_anonymized_data(model, random_state=seed)
+        original_rows = {tuple(row) for row in data}
+        leaked = sum(
+            tuple(row) in original_rows for row in anonymized
+        )
+        assert leaked == 0
+
+
+class TestCoarseningInvariants:
+    @given(
+        seed=st.integers(0, 500),
+        base_k=st.integers(1, 10),
+        factor=st.integers(1, 6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_coarsen_conserves_mass_and_meets_level(
+        self, seed, base_k, factor
+    ):
+        from repro.core.coarsen import coarsen_model
+
+        rng = np.random.default_rng(seed)
+        n = max(4 * base_k, 20)
+        data = rng.normal(size=(n, 3))
+        base = create_condensed_groups(data, base_k, random_state=seed)
+        target = min(base_k * factor, n)
+        coarse = coarsen_model(base, target)
+        assert coarse.total_count == n
+        assert (coarse.group_sizes >= target).all()
+        total_first = sum(group.first_order for group in coarse.groups)
+        scale = np.abs(data).sum() + 1.0
+        assert np.abs(
+            total_first - data.sum(axis=0)
+        ).max() <= 1e-9 * scale
+
+
+class TestClasswiseInvariants:
+    @given(
+        seed=st.integers(0, 500),
+        k=st.integers(1, 10),
+        n_per_class=st.integers(12, 40),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_per_class_counts_exact(self, seed, k, n_per_class):
+        from repro.core.condenser import ClasswiseCondenser
+
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(3 * n_per_class, 3))
+        labels = np.repeat([0, 1, 2], n_per_class)
+        k = min(k, n_per_class)
+        anonymized, anonymized_labels = ClasswiseCondenser(
+            k, random_state=seed
+        ).fit_generate(data, labels)
+        assert anonymized.shape == data.shape
+        values, counts = np.unique(anonymized_labels,
+                                   return_counts=True)
+        assert values.tolist() == [0, 1, 2]
+        assert (counts == n_per_class).all()

@@ -1,0 +1,130 @@
+"""Metamorphic properties of the condensation pipeline.
+
+Condensation is built from distances and second-order statistics, so it
+must transform predictably under affine maps of its input: translations
+translate centroids, scalings scale them, orthogonal rotations rotate
+them — and none of the three may change which records group together.
+The MDAV strategy is used where group *identity* is asserted (its
+seeding is deterministic, so the transformation is the only variable).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.condensation import create_condensed_groups
+from repro.core.dynamic import split_group_statistics
+from repro.core.statistics import GroupStatistics
+
+
+def mdav_model(data, k=8):
+    return create_condensed_groups(
+        data, k, strategy="mdav", random_state=0
+    )
+
+
+def memberships_as_sets(model):
+    return {
+        frozenset(np.asarray(members).tolist())
+        for members in model.metadata["memberships"]
+    }
+
+
+class TestAffineEquivariance:
+    @given(seed=st.integers(0, 500),
+           shift=st.floats(-100.0, 100.0, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_translation(self, seed, shift):
+        data = np.random.default_rng(seed).normal(size=(50, 3))
+        base = mdav_model(data)
+        translated = mdav_model(data + shift)
+        # Identical grouping...
+        assert memberships_as_sets(base) == memberships_as_sets(
+            translated
+        )
+        # ...and centroids translated by exactly the shift.
+        np.testing.assert_allclose(
+            translated.centroids(), base.centroids() + shift,
+            atol=1e-6 * (1.0 + abs(shift)),
+        )
+
+    @given(seed=st.integers(0, 500),
+           factor=st.floats(0.01, 100.0, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_scaling(self, seed, factor):
+        data = np.random.default_rng(seed).normal(size=(50, 3))
+        base = mdav_model(data)
+        scaled = mdav_model(factor * data)
+        assert memberships_as_sets(base) == memberships_as_sets(scaled)
+        np.testing.assert_allclose(
+            scaled.centroids(), factor * base.centroids(),
+            rtol=1e-8, atol=1e-9 * factor,
+        )
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_rotation(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(50, 3))
+        # A random orthogonal matrix via QR.
+        q, __ = np.linalg.qr(rng.normal(size=(3, 3)))
+        base = mdav_model(data)
+        rotated = mdav_model(data @ q.T)
+        assert memberships_as_sets(base) == memberships_as_sets(rotated)
+        np.testing.assert_allclose(
+            rotated.centroids(), base.centroids() @ q.T, atol=1e-8
+        )
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_row_permutation_preserves_grouping(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(40, 2))
+        permutation = rng.permutation(40)
+        base = mdav_model(data)
+        permuted = mdav_model(data[permutation])
+        base_sets = memberships_as_sets(base)
+        # Map permuted indices back to original identities.
+        permuted_sets = {
+            frozenset(int(permutation[index]) for index in members)
+            for members in memberships_as_sets(permuted)
+        }
+        assert base_sets == permuted_sets
+
+
+class TestSplitEquivariance:
+    @given(seed=st.integers(0, 500),
+           shift=st.floats(-50.0, 50.0, allow_nan=False),
+           factor=st.floats(0.1, 10.0, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_split_commutes_with_affine_map(self, seed, shift, factor):
+        records = np.random.default_rng(seed).normal(size=(20, 3))
+        group = GroupStatistics.from_records(records)
+        mapped_group = GroupStatistics.from_records(
+            factor * records + shift
+        )
+        first, second = split_group_statistics(group, k=10)
+        mapped_first, mapped_second = split_group_statistics(
+            mapped_group, k=10
+        )
+        # The split axis can flip sign; match children by centroid.
+        candidates = [
+            (mapped_first, mapped_second),
+            (mapped_second, mapped_first),
+        ]
+        tolerance = 1e-5 * (abs(shift) + factor + 1.0)
+        matched = any(
+            np.allclose(
+                candidate_a.centroid,
+                factor * first.centroid + shift,
+                atol=tolerance,
+            )
+            and np.allclose(
+                candidate_b.centroid,
+                factor * second.centroid + shift,
+                atol=tolerance,
+            )
+            for candidate_a, candidate_b in candidates
+        )
+        assert matched

@@ -1,0 +1,107 @@
+"""Tests for repro.quality.diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.condensation import create_condensed_groups
+from repro.quality.diagnostics import (
+    flag_sparse_groups,
+    group_diagnostics,
+)
+
+
+class TestGroupDiagnostics:
+    def test_one_entry_per_group(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        diagnostics = group_diagnostics(model)
+        assert len(diagnostics) == model.n_groups
+        assert [entry.index for entry in diagnostics] == list(
+            range(model.n_groups)
+        )
+
+    def test_counts_match(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        diagnostics = group_diagnostics(model)
+        np.testing.assert_array_equal(
+            [entry.count for entry in diagnostics], model.group_sizes
+        )
+
+    def test_extent_is_leading_uniform_range(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        entry = group_diagnostics(model)[0]
+        eigenvalues, __ = model.groups[0].eigen_system()
+        assert entry.extent == pytest.approx(
+            float(np.sqrt(12.0 * eigenvalues[0]))
+        )
+        assert entry.total_variance == pytest.approx(
+            float(eigenvalues.sum())
+        )
+
+    def test_elongation_of_needle_vs_sphere(self, rng):
+        from repro.core.statistics import CondensedModel, GroupStatistics
+
+        sphere = rng.normal(size=(100, 3))
+        needle = rng.normal(size=(100, 3)) * np.array([10.0, 0.1, 0.1])
+        model = CondensedModel(
+            groups=[
+                GroupStatistics.from_records(sphere),
+                GroupStatistics.from_records(needle),
+            ],
+            k=100,
+        )
+        diagnostics = group_diagnostics(model)
+        # Elongation is capped at d (=3 here): a needle approaches the
+        # cap, a sphere sits near 1.
+        assert diagnostics[0].elongation < 1.5
+        assert diagnostics[1].elongation > 2.5
+
+    def test_single_group_isolation_infinite(self, gaussian_data):
+        model = create_condensed_groups(
+            gaussian_data, k=120, random_state=0
+        )
+        entry = group_diagnostics(model)[0]
+        assert np.isinf(entry.isolation)
+
+    def test_isolated_group_flagged_by_isolation(self, rng):
+        dense = rng.normal(scale=0.5, size=(50, 2))
+        remote = rng.normal(loc=100.0, scale=0.5, size=(10, 2))
+        data = np.vstack([dense, remote])
+        model = create_condensed_groups(data, k=10, random_state=0)
+        diagnostics = group_diagnostics(model)
+        centroids = model.centroids()
+        remote_groups = [
+            entry for entry, centroid in zip(diagnostics, centroids)
+            if centroid[0] > 50
+        ]
+        local_groups = [
+            entry for entry, centroid in zip(diagnostics, centroids)
+            if centroid[0] <= 50
+        ]
+        assert min(e.isolation for e in remote_groups) > max(
+            e.isolation for e in local_groups
+        )
+
+
+class TestFlagSparseGroups:
+    def test_outlier_group_flagged(self, rng):
+        # A cluster plus widely scattered records: the scattered
+        # records' group has far larger extent and must be flagged.
+        dense = rng.normal(scale=0.2, size=(50, 2))
+        scattered = rng.uniform(-100, 100, size=(10, 2))
+        data = np.vstack([dense, scattered])
+        model = create_condensed_groups(data, k=10, random_state=0)
+        flagged = flag_sparse_groups(model)
+        assert flagged
+        extents = [
+            entry.extent for entry in group_diagnostics(model)
+        ]
+        assert max(range(len(extents)), key=extents.__getitem__) in flagged
+
+    def test_homogeneous_data_unflagged(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        assert flag_sparse_groups(model, extent_factor=3.0) == []
+
+    def test_invalid_factor(self, gaussian_data):
+        model = create_condensed_groups(gaussian_data, k=10, random_state=0)
+        with pytest.raises(ValueError):
+            flag_sparse_groups(model, extent_factor=0.0)

@@ -1,0 +1,85 @@
+"""Tests for repro.quality.outliers."""
+
+import numpy as np
+import pytest
+
+from repro.quality.outliers import knn_outlier_scores, screen_outliers
+
+
+class TestKnnOutlierScores:
+    def test_isolated_point_scores_highest(self, rng):
+        dense = rng.normal(scale=0.3, size=(50, 2))
+        isolated = np.array([[30.0, 30.0]])
+        data = np.vstack([dense, isolated])
+        scores = knn_outlier_scores(data, n_neighbors=5)
+        assert int(np.argmax(scores)) == 50
+
+    def test_scores_positive(self, gaussian_data):
+        scores = knn_outlier_scores(gaussian_data)
+        assert (scores > 0).all()
+
+    def test_denser_points_score_lower(self, rng):
+        dense = rng.normal(scale=0.1, size=(40, 2))
+        sparse = rng.normal(loc=10.0, scale=3.0, size=(40, 2))
+        data = np.vstack([dense, sparse])
+        scores = knn_outlier_scores(data, n_neighbors=5)
+        assert scores[:40].mean() < scores[40:].mean()
+
+    def test_validation(self, gaussian_data):
+        with pytest.raises(ValueError, match="n_neighbors"):
+            knn_outlier_scores(gaussian_data, n_neighbors=0)
+        with pytest.raises(ValueError, match="more than"):
+            knn_outlier_scores(gaussian_data[:3], n_neighbors=5)
+
+
+class TestScreenOutliers:
+    def test_partition(self, gaussian_data):
+        inliers, outliers = screen_outliers(
+            gaussian_data, contamination=0.05
+        )
+        combined = np.sort(np.concatenate([inliers, outliers]))
+        np.testing.assert_array_equal(combined, np.arange(120))
+
+    def test_count_matches_contamination(self, gaussian_data):
+        __, outliers = screen_outliers(gaussian_data, contamination=0.05)
+        assert outliers.shape[0] == 6  # ceil(0.05 * 120)
+
+    def test_planted_outliers_found(self, rng):
+        dense = rng.normal(scale=0.3, size=(95, 3))
+        planted = rng.normal(loc=50.0, scale=0.3, size=(5, 3))
+        data = np.vstack([dense, planted])
+        __, outliers = screen_outliers(data, contamination=0.05)
+        assert set(outliers.tolist()) == {95, 96, 97, 98, 99}
+
+    def test_zero_contamination(self, gaussian_data):
+        inliers, outliers = screen_outliers(
+            gaussian_data, contamination=0.0
+        )
+        assert outliers.shape[0] == 0
+        assert inliers.shape[0] == 120
+
+    def test_invalid_contamination(self, gaussian_data):
+        with pytest.raises(ValueError):
+            screen_outliers(gaussian_data, contamination=1.0)
+
+    def test_screening_tightens_condensed_groups(self, rng):
+        # End to end: dropping planted extremes before condensation
+        # shrinks the worst group extent (the §2.2 failure mode).
+        from repro.core.condensation import create_condensed_groups
+        from repro.quality.diagnostics import group_diagnostics
+
+        dense = rng.normal(scale=0.5, size=(95, 2))
+        planted = rng.uniform(-100, 100, size=(5, 2))
+        data = np.vstack([dense, planted])
+        naive_model = create_condensed_groups(data, 10, random_state=0)
+        inliers, __ = screen_outliers(data, contamination=0.05)
+        screened_model = create_condensed_groups(
+            data[inliers], 10, random_state=0
+        )
+        naive_extent = max(
+            entry.extent for entry in group_diagnostics(naive_model)
+        )
+        screened_extent = max(
+            entry.extent for entry in group_diagnostics(screened_model)
+        )
+        assert screened_extent < 0.5 * naive_extent

@@ -1,0 +1,87 @@
+"""Tests for repro.quality.report."""
+
+import numpy as np
+import pytest
+
+from repro.core.condenser import StaticCondenser
+from repro.quality.report import ks_statistic, utility_report
+
+
+class TestKsStatistic:
+    def test_identical_samples(self, rng):
+        sample = rng.normal(size=500)
+        assert ks_statistic(sample, sample) == pytest.approx(0.0)
+
+    def test_disjoint_supports(self):
+        assert ks_statistic(
+            np.zeros(10), np.ones(10) * 100
+        ) == pytest.approx(1.0)
+
+    def test_same_distribution_small(self, rng):
+        a = rng.normal(size=2000)
+        b = rng.normal(size=2000)
+        assert ks_statistic(a, b) < 0.06
+
+    def test_shifted_distribution_large(self, rng):
+        a = rng.normal(size=2000)
+        b = rng.normal(loc=3.0, size=2000)
+        assert ks_statistic(a, b) > 0.8
+
+    def test_symmetric(self, rng):
+        a = rng.normal(size=100)
+        b = rng.uniform(size=150)
+        assert ks_statistic(a, b) == pytest.approx(ks_statistic(b, a))
+
+    def test_scipy_agreement(self, rng):
+        from scipy.stats import ks_2samp
+
+        a = rng.normal(size=300)
+        b = rng.normal(loc=0.5, size=200)
+        assert ks_statistic(a, b) == pytest.approx(
+            ks_2samp(a, b).statistic
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic(np.array([]), np.array([1.0]))
+
+
+class TestUtilityReport:
+    def test_self_report_is_perfect(self, gaussian_data):
+        report = utility_report(gaussian_data, gaussian_data.copy())
+        assert report.mu == pytest.approx(1.0)
+        assert report.mean_error == pytest.approx(0.0)
+        assert report.correlation_error == pytest.approx(0.0, abs=1e-12)
+        assert report.max_ks == pytest.approx(0.0)
+
+    def test_condensed_release_scores_well(self, gaussian_data):
+        anonymized = StaticCondenser(k=10, random_state=0).fit_generate(
+            gaussian_data
+        )
+        report = utility_report(gaussian_data, anonymized)
+        assert report.mu > 0.9
+        assert report.mean_error < 0.2
+        assert report.correlation_error < 0.3
+        assert report.max_ks < 0.3
+        assert report.n_original == 120
+        assert report.n_anonymized == 120
+
+    def test_worse_release_scores_worse(self, gaussian_data, rng):
+        good = StaticCondenser(k=5, random_state=0).fit_generate(
+            gaussian_data
+        )
+        garbage = rng.normal(size=gaussian_data.shape) * 10.0
+        good_report = utility_report(gaussian_data, good)
+        bad_report = utility_report(gaussian_data, garbage)
+        assert good_report.max_ks < bad_report.max_ks
+        assert good_report.mu > bad_report.mu
+
+    def test_summary_lines(self, gaussian_data):
+        report = utility_report(gaussian_data, gaussian_data)
+        lines = report.summary_lines()
+        assert len(lines) == 5
+        assert any("mu" in line for line in lines)
+
+    def test_dimension_mismatch(self, gaussian_data):
+        with pytest.raises(ValueError, match="dimensionality"):
+            utility_report(gaussian_data, gaussian_data[:, :2])

@@ -1,0 +1,124 @@
+"""Tests for repro.stream.sources."""
+
+import numpy as np
+import pytest
+
+from repro.stream.sources import (
+    ArrayStream,
+    DriftingGaussianStream,
+    interleave_streams,
+)
+
+
+class TestArrayStream:
+    def test_replay_in_order(self, gaussian_data):
+        stream = ArrayStream(gaussian_data)
+        emitted = np.vstack(list(stream))
+        np.testing.assert_array_equal(emitted, gaussian_data)
+
+    def test_take_batches(self, gaussian_data):
+        stream = ArrayStream(gaussian_data)
+        first = stream.take(50)
+        second = stream.take(50)
+        rest = stream.take(50)
+        assert first.shape[0] == 50
+        assert second.shape[0] == 50
+        assert rest.shape[0] == 20
+        assert stream.n_remaining == 0
+
+    def test_take_beyond_end_returns_partial(self, gaussian_data):
+        stream = ArrayStream(gaussian_data)
+        batch = stream.take(1000)
+        assert batch.shape[0] == 120
+        assert stream.take(5).shape[0] == 0
+
+    def test_shuffle_reorders(self, gaussian_data):
+        stream = ArrayStream(gaussian_data, shuffle=True, random_state=0)
+        emitted = stream.take(120)
+        assert not np.array_equal(emitted, gaussian_data)
+        assert sorted(map(tuple, emitted)) == sorted(
+            map(tuple, gaussian_data)
+        )
+
+    def test_negative_take(self, gaussian_data):
+        with pytest.raises(ValueError):
+            ArrayStream(gaussian_data).take(-1)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayStream(np.zeros(5))
+
+    def test_n_features(self, gaussian_data):
+        assert ArrayStream(gaussian_data).n_features == 4
+
+
+class TestDriftingGaussianStream:
+    def test_no_drift_is_stationary(self):
+        stream = DriftingGaussianStream(
+            mean=np.zeros(2), covariance=np.eye(2), random_state=0
+        )
+        batch = stream.take(5000)
+        np.testing.assert_allclose(batch.mean(axis=0), 0.0, atol=0.1)
+
+    def test_drift_moves_mean(self):
+        stream = DriftingGaussianStream(
+            mean=np.zeros(2), covariance=0.01 * np.eye(2),
+            drift_per_step=0.01, random_state=0,
+        )
+        early = stream.take(100)
+        for __ in range(10):
+            stream.take(100)
+        late = stream.take(100)
+        assert late[:, 0].mean() > early[:, 0].mean() + 5.0
+
+    def test_drift_direction_normalized(self):
+        stream = DriftingGaussianStream(
+            mean=np.zeros(2), covariance=0.0001 * np.eye(2),
+            drift_per_step=1.0, drift_direction=np.array([3.0, 4.0]),
+            random_state=0,
+        )
+        batch = stream.take(101)
+        displacement = batch[100] - batch[0]
+        direction = displacement / np.linalg.norm(displacement)
+        np.testing.assert_allclose(direction, [0.6, 0.8], atol=0.01)
+
+    def test_covariance_shape_checked(self):
+        with pytest.raises(ValueError):
+            DriftingGaussianStream(np.zeros(3), np.eye(2))
+
+    def test_zero_drift_direction_rejected(self):
+        with pytest.raises(ValueError, match="non-zero"):
+            DriftingGaussianStream(
+                np.zeros(2), np.eye(2), drift_direction=np.zeros(2)
+            )
+
+    def test_iteration_yields_vectors(self):
+        stream = DriftingGaussianStream(
+            mean=np.zeros(3), covariance=np.eye(3), random_state=0
+        )
+        iterator = iter(stream)
+        record = next(iterator)
+        assert record.shape == (3,)
+
+
+class TestInterleaveStreams:
+    def test_merges_counts(self, gaussian_data):
+        a = ArrayStream(gaussian_data[:60])
+        b = ArrayStream(gaussian_data[60:])
+        merged = interleave_streams([a, b], [30, 40], random_state=0)
+        assert merged.shape == (70, 4)
+
+    def test_randomized_order(self, gaussian_data):
+        a = ArrayStream(gaussian_data[:60])
+        b = ArrayStream(gaussian_data[60:])
+        merged = interleave_streams([a, b], [60, 60], random_state=0)
+        stacked = np.vstack([gaussian_data[:60], gaussian_data[60:]])
+        assert not np.array_equal(merged, stacked)
+
+    def test_misaligned_counts(self, gaussian_data):
+        with pytest.raises(ValueError, match="align"):
+            interleave_streams([ArrayStream(gaussian_data)], [1, 2])
+
+    def test_empty_streams_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            interleave_streams([], [])

@@ -1,0 +1,71 @@
+"""Tests for repro.stream.windowed."""
+
+import numpy as np
+import pytest
+
+from repro.stream.windowed import SlidingWindowCondenser
+
+
+class TestSlidingWindowCondenser:
+    def test_warmup_then_tracking(self, rng):
+        condenser = SlidingWindowCondenser(k=5, window=50, random_state=0)
+        for record in rng.normal(size=(9, 3)):
+            condenser.push(record)
+        assert not condenser.is_warm
+        with pytest.raises(ValueError, match="warming up"):
+            condenser.to_model()
+        condenser.push(rng.normal(size=3))
+        assert condenser.is_warm
+
+    def test_window_count_capped(self, rng):
+        condenser = SlidingWindowCondenser(
+            k=5, window=50, random_state=0
+        )
+        condenser.push_stream(rng.normal(size=(200, 3)))
+        assert condenser.n_seen == 50
+        assert condenser.to_model().total_count == 50
+
+    def test_band_maintained_under_churn(self, rng):
+        condenser = SlidingWindowCondenser(
+            k=5, window=40, random_state=0
+        )
+        for record in rng.normal(size=(300, 2)):
+            condenser.push(record)
+            if condenser.is_warm:
+                sizes = condenser.to_model().group_sizes
+                assert (sizes >= 5).all()
+                assert (sizes < 10).all()
+
+    def test_statistics_track_the_window(self, rng):
+        # Stream shifts its mean mid-way; the window's statistics must
+        # follow the new regime, not the average of both.
+        condenser = SlidingWindowCondenser(
+            k=10, window=100, random_state=0
+        )
+        condenser.push_stream(rng.normal(loc=0.0, size=(150, 2)))
+        condenser.push_stream(rng.normal(loc=50.0, size=(150, 2)))
+        model = condenser.to_model()
+        window_mean = sum(
+            group.first_order for group in model.groups
+        ) / model.total_count
+        assert np.all(window_mean > 40.0)
+
+    def test_generate_matches_window_size(self, rng):
+        condenser = SlidingWindowCondenser(
+            k=5, window=60, random_state=0
+        )
+        condenser.push_stream(rng.normal(size=(120, 3)))
+        assert condenser.generate().shape == (60, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowCondenser(k=0, window=10)
+        with pytest.raises(ValueError, match="at least 2k"):
+            SlidingWindowCondenser(k=10, window=15)
+        condenser = SlidingWindowCondenser(k=2, window=10)
+        with pytest.raises(ValueError, match="vector"):
+            condenser.push(np.zeros((2, 2)))
+
+    def test_repr(self, rng):
+        condenser = SlidingWindowCondenser(k=2, window=10)
+        assert "warm=False" in repr(condenser)

@@ -1,0 +1,160 @@
+"""Tests for repro.cli — the command-line pipeline."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io.csv import read_records, write_records
+
+
+@pytest.fixture
+def data_csv(tmp_path, rng):
+    data = rng.normal(size=(150, 3))
+    labels = (data[:, 0] > 0).astype(float)
+    path = tmp_path / "data.csv"
+    write_records(
+        path, np.column_stack([data, labels]),
+        feature_names=["a", "b", "c", "label"],
+    )
+    return path
+
+
+class TestCondenseGenerate:
+    def test_condense_writes_model(self, tmp_path, data_csv, capsys):
+        model_path = tmp_path / "model.json"
+        exit_code = main([
+            "condense", str(data_csv), str(model_path), "--k", "10",
+        ])
+        assert exit_code == 0
+        payload = json.loads(model_path.read_text())
+        assert payload["k"] == 10
+        assert payload["metadata"] == {}
+        out = capsys.readouterr().out
+        assert "150 records" in out
+
+    def test_generate_from_model(self, tmp_path, data_csv):
+        model_path = tmp_path / "model.json"
+        release_path = tmp_path / "release.csv"
+        main(["condense", str(data_csv), str(model_path), "--k", "10"])
+        exit_code = main([
+            "generate", str(model_path), str(release_path),
+        ])
+        assert exit_code == 0
+        release, header = read_records(release_path)
+        assert release.shape == (150, 4)
+
+    def test_generate_deterministic_under_seed(self, tmp_path, data_csv):
+        model_path = tmp_path / "model.json"
+        main(["condense", str(data_csv), str(model_path), "--k", "10"])
+        first = tmp_path / "r1.csv"
+        second = tmp_path / "r2.csv"
+        main(["generate", str(model_path), str(first), "--seed", "3"])
+        main(["generate", str(model_path), str(second), "--seed", "3"])
+        a, __ = read_records(first)
+        b, __ = read_records(second)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestAnonymize:
+    def test_one_step_anonymize(self, tmp_path, data_csv):
+        release_path = tmp_path / "release.csv"
+        exit_code = main([
+            "anonymize", str(data_csv), str(release_path), "--k", "10",
+        ])
+        assert exit_code == 0
+        release, header = read_records(release_path)
+        assert release.shape == (150, 4)
+        assert header == ["a", "b", "c", "label"]
+
+    def test_classwise_anonymize_preserves_labels(self, tmp_path,
+                                                  data_csv):
+        release_path = tmp_path / "release.csv"
+        exit_code = main([
+            "anonymize", str(data_csv), str(release_path),
+            "--k", "10", "--target-column", "label",
+        ])
+        assert exit_code == 0
+        release, header = read_records(release_path)
+        assert header[-1] == "label"
+        labels = release[:, -1]
+        assert set(np.unique(labels).tolist()) <= {0.0, 1.0}
+        original, __ = read_records(data_csv)
+        original_counts = np.bincount(original[:, -1].astype(int))
+        release_counts = np.bincount(labels.astype(int))
+        np.testing.assert_array_equal(original_counts, release_counts)
+
+    def test_missing_target_column_fails(self, tmp_path, data_csv,
+                                         capsys):
+        exit_code = main([
+            "anonymize", str(data_csv), str(tmp_path / "r.csv"),
+            "--k", "10", "--target-column", "nope",
+        ])
+        assert exit_code == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_mdav_strategy_accepted(self, tmp_path, data_csv):
+        exit_code = main([
+            "anonymize", str(data_csv), str(tmp_path / "r.csv"),
+            "--k", "10", "--strategy", "mdav",
+        ])
+        assert exit_code == 0
+
+
+class TestReport:
+    def test_report_output(self, tmp_path, data_csv, capsys):
+        release_path = tmp_path / "release.csv"
+        main(["anonymize", str(data_csv), str(release_path), "--k", "10"])
+        capsys.readouterr()
+        exit_code = main([
+            "report", str(data_csv), str(release_path),
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "covariance compatibility" in out
+        assert "KS" in out
+
+    def test_report_dimension_mismatch(self, tmp_path, data_csv, rng,
+                                       capsys):
+        other = tmp_path / "other.csv"
+        write_records(other, rng.normal(size=(10, 2)))
+        exit_code = main(["report", str(data_csv), str(other)])
+        assert exit_code == 1
+        assert "attribute counts" in capsys.readouterr().err
+
+
+class TestCoarsen:
+    def test_coarsen_model(self, tmp_path, data_csv, capsys):
+        model_path = tmp_path / "model.json"
+        coarse_path = tmp_path / "coarse.json"
+        main(["condense", str(data_csv), str(model_path), "--k", "10"])
+        exit_code = main([
+            "coarsen", str(model_path), str(coarse_path), "--k", "30",
+        ])
+        assert exit_code == 0
+        from repro.io.model_store import load_model
+
+        coarse = load_model(coarse_path)
+        assert (coarse.group_sizes >= 30).all()
+        assert coarse.total_count == 150
+
+    def test_coarsen_invalid_target(self, tmp_path, data_csv, capsys):
+        model_path = tmp_path / "model.json"
+        main(["condense", str(data_csv), str(model_path), "--k", "10"])
+        exit_code = main([
+            "coarsen", str(model_path), str(tmp_path / "c.json"),
+            "--k", "5",
+        ])
+        assert exit_code == 1
+        assert "below" in capsys.readouterr().err
+
+
+class TestAttack:
+    def test_attack_output(self, data_csv, capsys):
+        exit_code = main(["attack", str(data_csv), "--k", "10"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "record-linkage attack" in out
+        assert "attribute-disclosure attack" in out
+        assert "label" in out

@@ -1,0 +1,69 @@
+"""Public API surface tests.
+
+Guard the names downstream users import, and execute the docstring
+examples of the package front door so the documentation stays honest.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.core",
+    "repro.linalg",
+    "repro.neighbors",
+    "repro.mining",
+    "repro.preprocessing",
+    "repro.metrics",
+    "repro.datasets",
+    "repro.baselines",
+    "repro.privacy",
+    "repro.stream",
+    "repro.evaluation",
+    "repro.quality",
+    "repro.io",
+]
+
+
+class TestApiSurface:
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_module_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__"), module_name
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_top_level_names(self):
+        import repro
+
+        expected = {
+            "StaticCondenser", "DynamicCondenser", "ClasswiseCondenser",
+            "CondensedModel", "GroupStatistics",
+            "create_condensed_groups", "generate_anonymized_data",
+            "split_group_statistics", "covariance_compatibility",
+            "linkage_attack", "privacy_report", "__version__",
+        }
+        assert expected <= set(repro.__all__)
+
+    def test_version_is_semver_like(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+
+class TestDocstringExamples:
+    @pytest.mark.parametrize(
+        "module_name",
+        ["repro", "repro.core.condenser"],
+    )
+    def test_doctests_pass(self, module_name):
+        module = importlib.import_module(module_name)
+        results = doctest.testmod(
+            module, optionflags=doctest.ELLIPSIS, verbose=False
+        )
+        assert results.failed == 0
+        assert results.attempted > 0
