@@ -1,0 +1,50 @@
+"""Repo-aware static analysis for the condensation reproduction.
+
+Machine-checks the two invariants the reproduction's credibility rests
+on — RNG discipline (every stochastic path seeded through
+``repro.linalg.rng``) and the paper's statistics-only condensation
+invariant (§2: groups retain ``(Fs, Sc, n)``, never raw records) —
+plus classic Python pitfalls and public-API docstring hygiene.
+
+Built on stdlib ``ast`` only; no runtime dependencies beyond the
+library itself.  See ``docs/static_analysis.md`` for the rule catalog
+and suppression syntax.
+
+>>> from repro.analysis import analyze_source
+>>> findings = analyze_source(
+...     "import numpy as np\\nnp.random.seed(0)\\n",
+...     path="src/repro/core/x.py",
+... )
+>>> [finding.rule_id for finding in findings]
+['RNG-001']
+"""
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, get_rules, register
+from repro.analysis.reporters import (
+    JSON_SCHEMA_VERSION,
+    render_json,
+    render_text,
+)
+from repro.analysis.walker import (
+    analyze_module,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+
+__all__ = [
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "ModuleContext",
+    "Rule",
+    "analyze_module",
+    "analyze_paths",
+    "analyze_source",
+    "get_rules",
+    "iter_python_files",
+    "register",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,107 @@
+"""Small AST helpers shared by the rules."""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Flatten a ``Name``/``Attribute`` chain into ``"a.b.c"``.
+
+    Parameters
+    ----------
+    node:
+        Candidate expression node.
+
+    Returns
+    -------
+    str or None
+        The dotted path, or ``None`` if the chain contains anything but
+        names and attribute accesses (calls, subscripts, ...).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def numpy_random_aliases(tree: ast.Module) -> tuple[set, set, dict]:
+    """Collect the names this module binds to numpy RNG machinery.
+
+    Parameters
+    ----------
+    tree:
+        Parsed module.
+
+    Returns
+    -------
+    tuple
+        ``(numpy_names, random_module_names, imported_functions)`` where
+        ``numpy_names`` are aliases of the ``numpy`` package,
+        ``random_module_names`` are aliases of ``numpy.random``, and
+        ``imported_functions`` maps local names to the ``numpy.random``
+        attribute they were imported from (e.g. ``{"default_rng":
+        "default_rng"}`` for ``from numpy.random import default_rng``).
+    """
+    numpy_names: set = set()
+    random_names: set = set()
+    functions: dict = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    numpy_names.add(alias.asname or "numpy")
+                elif alias.name == "numpy.random":
+                    if alias.asname is not None:
+                        random_names.add(alias.asname)
+                    else:
+                        # ``import numpy.random`` binds ``numpy``.
+                        numpy_names.add("numpy")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_names.add(alias.asname or "random")
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    functions[alias.asname or alias.name] = alias.name
+    return numpy_names, random_names, functions
+
+
+def call_argument_count(node: ast.Call) -> int:
+    """Number of positional plus keyword arguments of a call.
+
+    Parameters
+    ----------
+    node:
+        Call node.
+
+    Returns
+    -------
+    int
+    """
+    return len(node.args) + len(node.keywords)
+
+
+def parent_map(tree: ast.Module) -> dict:
+    """Map each node in ``tree`` to its parent node.
+
+    Parameters
+    ----------
+    tree:
+        Parsed module.
+
+    Returns
+    -------
+    dict
+        ``child -> parent`` for every node reachable from ``tree``.
+    """
+    parents: dict = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents

@@ -1,0 +1,120 @@
+"""Analyzer command line.
+
+Run over one or more paths; exits non-zero when any finding (or any
+unparsable file) remains::
+
+    python -m repro.analysis src/ tests/
+    python -m repro.analysis src/repro --format json
+    python -m repro.analysis src --select RNG-001,PRIV-001
+    repro lint src/ tests/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.registry import get_rules
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.walker import analyze_paths
+
+
+def _rule_list(value: str) -> list:
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the analyzer's arguments to ``parser``.
+
+    Shared between ``python -m repro.analysis`` and the ``repro lint``
+    subcommand so both accept identical options.
+
+    Parameters
+    ----------
+    parser:
+        Parser (or subparser) to extend.
+    """
+    parser.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories to analyze "
+                             "(default: src tests)")
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--select", type=_rule_list, default=None,
+                        metavar="RULES",
+                        help="comma-separated rule ids to run exclusively")
+    parser.add_argument("--ignore", type=_rule_list, default=None,
+                        metavar="RULES",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+
+
+def run_lint(arguments) -> int:
+    """Execute the analyzer for parsed CLI ``arguments``.
+
+    Parameters
+    ----------
+    arguments:
+        Namespace produced by a parser set up with
+        :func:`add_lint_arguments`.
+
+    Returns
+    -------
+    int
+        Process exit code: 0 when clean, 1 on findings or file errors,
+        2 on usage errors (unknown rule id, missing path).
+    """
+    try:
+        rules = get_rules(select=arguments.select, ignore=arguments.ignore)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if arguments.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+    try:
+        findings, errors = analyze_paths(arguments.paths, rules=rules)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    renderer = render_json if arguments.format == "json" else render_text
+    print(renderer(findings, errors))
+    return 1 if findings or errors else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the standalone analyzer parser.
+
+    Returns
+    -------
+    argparse.ArgumentParser
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="Repo-aware static analysis: RNG discipline, the "
+                    "condensation statistics-only invariant, and Python "
+                    "pitfalls.",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Standalone entry point.
+
+    Parameters
+    ----------
+    argv:
+        Argument list; ``sys.argv[1:]`` when ``None``.
+
+    Returns
+    -------
+    int
+        Process exit code (see :func:`run_lint`).
+    """
+    return run_lint(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Per-module context handed to every analysis rule.
+
+The context bundles the parsed AST with repo-aware facts the rules need:
+whether the module is test code, whether it lives in a privacy-critical
+package (``core``/``stream``), and whether it is the one module allowed
+to construct generators (``linalg/rng.py``).  Deriving those facts once,
+from the path, keeps the rules themselves small and uniform.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+
+def _normalized_parts(path: str) -> tuple[str, ...]:
+    return PurePosixPath(path.replace("\\", "/")).parts
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may ask about the module under analysis.
+
+    Attributes
+    ----------
+    path:
+        Path of the module, as given to the analyzer (display form).
+    source:
+        Full text of the module.
+    tree:
+        Parsed ``ast.Module`` for the source.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    _parts: tuple[str, ...] = field(init=False, repr=False)
+
+    def __post_init__(self):
+        self._parts = _normalized_parts(self.path)
+
+    @classmethod
+    def from_source(cls, source: str, path: str = "<memory>") -> "ModuleContext":
+        """Build a context by parsing ``source``.
+
+        Parameters
+        ----------
+        source:
+            Python source text.
+        path:
+            Path used for scoping decisions and finding locations; pass
+            a virtual path such as ``"src/repro/core/x.py"`` to exercise
+            path-scoped rules on in-memory snippets.
+
+        Returns
+        -------
+        ModuleContext
+            The parsed context.
+
+        Raises
+        ------
+        SyntaxError
+            If ``source`` does not parse.
+        """
+        return cls(path=path, source=source, tree=ast.parse(source))
+
+    @property
+    def filename(self) -> str:
+        """Base name of the module file.
+
+        Returns
+        -------
+        str
+            The final path component.
+        """
+        return self._parts[-1] if self._parts else self.path
+
+    @property
+    def is_test_module(self) -> bool:
+        """Whether the module is test code.
+
+        Test modules live under a ``tests`` directory or are named
+        ``test_*.py`` / ``conftest.py``.  Rules relax some requirements
+        there (e.g. seeded generator construction is allowed).
+
+        Returns
+        -------
+        bool
+        """
+        if "tests" in self._parts:
+            return True
+        name = self.filename
+        return name.startswith("test_") or name == "conftest.py"
+
+    @property
+    def is_rng_module(self) -> bool:
+        """Whether this is ``repro/linalg/rng.py``, the RNG authority.
+
+        Returns
+        -------
+        bool
+        """
+        return self._parts[-3:] == ("repro", "linalg", "rng.py") or (
+            self._parts[-2:] == ("linalg", "rng.py")
+        )
+
+    def in_repro_package(self, package: str) -> bool:
+        """Whether the module lives under ``repro/<package>/``.
+
+        Parameters
+        ----------
+        package:
+            Sub-package name, e.g. ``"core"`` or ``"stream"``.
+
+        Returns
+        -------
+        bool
+        """
+        parts = self._parts
+        for index in range(len(parts) - 1):
+            if parts[index] == "repro" and parts[index + 1] == package:
+                return True
+        return False
+
+    @property
+    def is_privacy_critical(self) -> bool:
+        """Whether the module must uphold the statistics-only invariant.
+
+        The condensation invariant (paper §2: groups retain only
+        ``(Fs, Sc, n)``) is enforced in ``repro/core`` and
+        ``repro/stream``.
+
+        Returns
+        -------
+        bool
+        """
+        return self.in_repro_package("core") or self.in_repro_package("stream")

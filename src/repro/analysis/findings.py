@@ -1,0 +1,66 @@
+"""Finding record emitted by analysis rules.
+
+A finding pins one rule violation to one source location.  Findings are
+plain data so reporters can render them as text or JSON without knowing
+anything about the rules that produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        Path of the offending file, as given to the analyzer.
+    line:
+        1-based line number of the violation.
+    column:
+        0-based column offset of the violation.
+    rule_id:
+        Identifier of the rule that fired, e.g. ``"RNG-001"``.
+    message:
+        Human-readable explanation of the violation and the expected
+        repo idiom.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """Render the finding as one ``path:line:col: RULE message`` line.
+
+        Returns
+        -------
+        str
+            The formatted line.
+        """
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule_id} {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        """Return a JSON-serializable mapping of the finding.
+
+        Returns
+        -------
+        dict
+            Keys ``path``, ``line``, ``column``, ``rule_id`` and
+            ``message``.
+        """
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule_id": self.rule_id,
+            "message": self.message,
+        }

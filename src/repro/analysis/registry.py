@@ -1,0 +1,145 @@
+"""Checker registry.
+
+Rules self-register via the :func:`register` decorator at import time;
+:func:`get_rules` returns one instance per registered rule.  Keeping the
+registry separate from the walker lets tests run a single rule in
+isolation and lets the CLI offer ``--select``/``--ignore`` without any
+rule knowing about either.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+
+_REGISTRY: dict[str, type] = {}
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set ``rule_id`` and ``summary`` and implement
+    :meth:`check`.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable identifier, e.g. ``"RNG-001"``; used in reports and
+        suppression comments.
+    summary:
+        One-line description shown by ``--list-rules``.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module.
+
+        Parameters
+        ----------
+        module:
+            Parsed module context.
+
+        Yields
+        ------
+        Finding
+            One finding per violation.
+        """
+        raise NotImplementedError
+
+    def finding(self, module: ModuleContext, node, message: str) -> Finding:
+        """Build a finding at an AST node's location.
+
+        Parameters
+        ----------
+        module:
+            Module the node belongs to.
+        node:
+            AST node carrying ``lineno``/``col_offset``.
+        message:
+            Violation message.
+
+        Returns
+        -------
+        Finding
+        """
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+def register(rule_class: type) -> type:
+    """Class decorator adding a rule to the registry.
+
+    Parameters
+    ----------
+    rule_class:
+        A :class:`Rule` subclass with a non-empty ``rule_id``.
+
+    Returns
+    -------
+    type
+        ``rule_class``, unchanged.
+
+    Raises
+    ------
+    ValueError
+        If the rule id is empty or already registered to a different
+        class.
+    """
+    rule_id = rule_class.rule_id
+    if not rule_id:
+        raise ValueError(f"{rule_class.__name__} has an empty rule_id")
+    existing = _REGISTRY.get(rule_id)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(
+            f"rule id {rule_id!r} already registered to {existing.__name__}"
+        )
+    _REGISTRY[rule_id] = rule_class
+    return rule_class
+
+
+def get_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Rule]:
+    """Instantiate the registered rules.
+
+    Parameters
+    ----------
+    select:
+        If given, only these rule ids are returned.
+    ignore:
+        Rule ids to drop (applied after ``select``).
+
+    Returns
+    -------
+    list of Rule
+        Fresh instances, sorted by rule id.
+
+    Raises
+    ------
+    ValueError
+        If ``select`` or ``ignore`` names an unknown rule id.
+    """
+    # Importing the rules package populates the registry on first use.
+    from repro.analysis import rules as _rules  # noqa: F401
+
+    known = set(_REGISTRY)
+    for name, wanted in (("select", select), ("ignore", ignore)):
+        unknown = set(wanted or ()) - known
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) in {name}: {', '.join(sorted(unknown))}; "
+                f"known rules: {', '.join(sorted(known))}"
+            )
+    chosen = set(select) if select is not None else known
+    chosen -= set(ignore or ())
+    return [_REGISTRY[rule_id]() for rule_id in sorted(chosen)]

@@ -1,0 +1,84 @@
+"""Text and JSON rendering of analysis results.
+
+The JSON schema is stable (``schema_version``) so CI and editor
+integrations can consume it::
+
+    {
+      "schema_version": 1,
+      "summary": {"files_with_findings": 1, "total": 2,
+                  "by_rule": {"RNG-001": 2}},
+      "findings": [{"path": ..., "line": ..., "column": ...,
+                    "rule_id": ..., "message": ...}],
+      "errors": []
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], errors: Sequence[str] = ()) -> str:
+    """Render findings as human-readable lines plus a summary.
+
+    Parameters
+    ----------
+    findings:
+        Findings to render, already sorted.
+    errors:
+        File-level read/parse errors.
+
+    Returns
+    -------
+    str
+        Multi-line report; ends with a one-line summary.
+    """
+    lines = [finding.format() for finding in findings]
+    lines += [f"error: {error}" for error in errors]
+    by_rule = Counter(finding.rule_id for finding in findings)
+    if findings or errors:
+        breakdown = ", ".join(
+            f"{rule_id}: {count}" for rule_id, count in sorted(by_rule.items())
+        )
+        lines.append(
+            f"{len(findings)} finding(s), {len(errors)} error(s)"
+            + (f"  [{breakdown}]" if breakdown else "")
+        )
+    else:
+        lines.append("0 findings — clean")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], errors: Sequence[str] = ()) -> str:
+    """Render findings as a stable JSON document.
+
+    Parameters
+    ----------
+    findings:
+        Findings to render, already sorted.
+    errors:
+        File-level read/parse errors.
+
+    Returns
+    -------
+    str
+        Pretty-printed JSON; see module docstring for the schema.
+    """
+    by_rule = Counter(finding.rule_id for finding in findings)
+    document = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "summary": {
+            "files_with_findings": len({f.path for f in findings}),
+            "total": len(findings),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+        "findings": [finding.to_dict() for finding in findings],
+        "errors": list(errors),
+    }
+    return json.dumps(document, indent=2)

@@ -1,0 +1,5 @@
+"""Rule modules; importing this package populates the registry."""
+
+from repro.analysis.rules import docstrings, pitfalls, privacy, rng
+
+__all__ = ["docstrings", "pitfalls", "privacy", "rng"]

@@ -1,0 +1,163 @@
+"""DOC-001 — NumPy-style docstrings on the public API.
+
+The experiments in Figs. 5–8 are driven through the public API; an
+undocumented parameter is how a sweep silently runs with the wrong
+semantics.  Every public function or method (module-level ``def`` and
+methods of public classes, name not starting with ``_``) must carry a
+docstring; if it takes parameters it must have a NumPy-style
+``Parameters`` section, and if it returns a value, a ``Returns`` (or
+``Yields``) section.
+
+Public *methods* must carry a docstring, but the section requirements
+apply to module-level functions only: a method's parameter semantics
+live in its class docstring's ``Parameters``/``Attributes`` sections
+and the surrounding protocol (``fit``/``transform``/...), and repeating
+them per method buries the signal.  Module-level functions are the
+composition surface the experiment sweeps call directly — there the
+sections are mandatory.
+
+Out of scope: test modules, dunder methods, ``@property`` accessors and
+setters (documented as attributes), and ``@overload`` stubs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+_SECTION = {
+    "Parameters": re.compile(r"^\s*Parameters\s*\n\s*-{3,}\s*$", re.M),
+    "Returns": re.compile(r"^\s*(Returns|Yields)\s*\n\s*-{3,}\s*$", re.M),
+}
+
+_SKIP_DECORATORS = frozenset({"property", "overload", "cached_property"})
+
+
+def _decorator_names(node) -> set:
+    """Final attribute names of a def's decorators."""
+    names = set()
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Attribute):
+            names.add(target.attr)
+        elif isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+def _documented_parameters(node, is_method: bool) -> list:
+    """Parameter names that require documentation."""
+    arguments = node.args
+    names = [argument.arg for argument in arguments.posonlyargs]
+    names += [argument.arg for argument in arguments.args]
+    if is_method and names and names[0] in {"self", "cls"}:
+        names = names[1:]
+    names += [argument.arg for argument in arguments.kwonlyargs]
+    if arguments.vararg is not None:
+        names.append(arguments.vararg.arg)
+    if arguments.kwarg is not None:
+        names.append(arguments.kwarg.arg)
+    return names
+
+
+def _returns_value(node) -> bool:
+    """Whether the function returns (or yields) a value."""
+    annotation = node.returns
+    if annotation is not None:
+        if isinstance(annotation, ast.Constant) and annotation.value is None:
+            return False
+        if isinstance(annotation, ast.Name) and annotation.id == "None":
+            return False
+        return True
+    for child in ast.walk(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)) and child is not node:
+            continue
+        if isinstance(child, ast.Return) and child.value is not None:
+            if not (isinstance(child.value, ast.Constant)
+                    and child.value.value is None):
+                return True
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+@register
+class PublicDocstringRule(Rule):
+    """Require NumPy-style docstrings on public functions and methods."""
+
+    rule_id = "DOC-001"
+    summary = (
+        "public functions need docstrings with NumPy-style Parameters/"
+        "Returns sections"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Scan public defs for missing docstring sections.
+
+        Parameters
+        ----------
+        module:
+            Parsed module context.
+
+        Yields
+        ------
+        Finding
+        """
+        if module.is_test_module:
+            return
+        yield from self._scan(module, module.tree.body, is_method=False,
+                              public_scope=True)
+
+    def _scan(self, module, body, is_method, public_scope) -> Iterator[Finding]:
+        """Walk defs at one nesting level."""
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._scan(
+                    module, node.body, is_method=True,
+                    public_scope=public_scope
+                    and not node.name.startswith("_"),
+                )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if public_scope:
+                    yield from self._check_def(module, node, is_method)
+                # Nested defs are implementation detail — not scanned.
+
+    def _check_def(self, module, node, is_method) -> Iterator[Finding]:
+        """Check one public def's docstring."""
+        name = node.name
+        if name.startswith("_"):
+            return
+        decorators = _decorator_names(node)
+        if decorators & _SKIP_DECORATORS or "setter" in decorators:
+            return
+        docstring = ast.get_docstring(node)
+        kind = "method" if is_method else "function"
+        if not docstring:
+            yield self.finding(
+                module, node,
+                f"public {kind} {name}() has no docstring; document it "
+                f"NumPy-style",
+            )
+            return
+        if is_method:
+            return
+        missing = []
+        if (
+            _documented_parameters(node, is_method)
+            and not _SECTION["Parameters"].search(docstring)
+        ):
+            missing.append("Parameters")
+        if _returns_value(node) and not _SECTION["Returns"].search(docstring):
+            missing.append("Returns")
+        if missing:
+            yield self.finding(
+                module, node,
+                f"docstring of public {kind} {name}() lacks a NumPy-style "
+                f"{'/'.join(missing)} section",
+            )

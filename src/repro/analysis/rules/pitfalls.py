@@ -1,0 +1,158 @@
+"""PY-001/002/003 — classic Python pitfalls with numeric consequences.
+
+* **PY-001** — mutable default arguments.  A ``def f(x, cache={})``
+  shares one dict across every call; in an experiment harness that
+  silently couples sweeps that must be independent.
+* **PY-002** — bare ``except:``.  Swallows ``KeyboardInterrupt`` and
+  ``SystemExit`` and hides the numeric errors (singular covariance,
+  shape mismatches) the reproduction needs to surface loudly.
+* **PY-003** — ``==``/``!=`` against a non-zero float literal.
+  Floating-point round-off makes such comparisons flaky; use a
+  tolerance (``math.isclose``/``np.isclose``) instead.  Comparisons
+  against ``0.0`` are exempt: exact zero is representable, and the
+  repo's ``x == 0.0`` guards test for *structurally* zero quantities
+  (empty spread, zero norm) before dividing — a tolerance there would
+  change semantics.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter",
+    "OrderedDict",
+})
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Flag mutable default argument values."""
+
+    rule_id = "PY-001"
+    summary = "no mutable default arguments (list/dict/set/... literals)"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Scan function signatures for mutable defaults.
+
+        Parameters
+        ----------
+        module:
+            Parsed module context.
+
+        Yields
+        ------
+        Finding
+        """
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        module, default,
+                        f"mutable default argument in {node.name}(); the "
+                        f"value is shared across calls — default to None "
+                        f"and create the container inside the function",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        """Whether a default-value expression builds a mutable container."""
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in _MUTABLE_CONSTRUCTORS
+        return False
+
+
+@register
+class BareExceptRule(Rule):
+    """Flag bare ``except:`` handlers."""
+
+    rule_id = "PY-002"
+    summary = "no bare except: clauses — name the exceptions you expect"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Scan exception handlers for missing exception types.
+
+        Parameters
+        ----------
+        module:
+            Parsed module context.
+
+        Yields
+        ------
+        Finding
+        """
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module, node,
+                    "bare 'except:' swallows KeyboardInterrupt/SystemExit "
+                    "and masks numeric failures; catch the specific "
+                    "exceptions you expect",
+                )
+
+
+@register
+class FloatEqualityRule(Rule):
+    """Flag equality comparisons against non-zero float literals."""
+
+    rule_id = "PY-003"
+    summary = (
+        "no ==/!= against non-zero float literals — use a tolerance "
+        "(exact-zero guards are exempt)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Scan comparisons for float-literal equality.
+
+        Parameters
+        ----------
+        module:
+            Parsed module context.
+
+        Yields
+        ------
+        Finding
+        """
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for operator, left, right in zip(
+                node.ops, operands[:-1], operands[1:]
+            ):
+                if not isinstance(operator, (ast.Eq, ast.NotEq)):
+                    continue
+                for operand in (left, right):
+                    if self._is_nonzero_float(operand):
+                        yield self.finding(
+                            module, node,
+                            "==/!= against a non-zero float literal is "
+                            "round-off fragile; compare with math.isclose "
+                            "or numpy.isclose and an explicit tolerance",
+                        )
+                        break
+
+    @staticmethod
+    def _is_nonzero_float(node: ast.AST) -> bool:
+        """Whether a node is a non-zero float constant (incl. negated)."""
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            node = node.operand
+        return (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+            and node.value != 0.0
+        )

@@ -1,0 +1,289 @@
+"""PRIV-001 — the condensation "statistics only" invariant.
+
+Paper §2: a condensed group retains only ``(Fs, Sc, n)`` — first-order
+sums, second-order sums, and a count.  Raw member records must never
+outlive the condensation step.  In ``repro/core`` and ``repro/stream``
+this rule therefore flags:
+
+* attribute assignments that stash record batches on objects — either
+  because the attribute is named like a record store (``records``,
+  ``members``, ``samples``, ...) or because the assigned value is
+  derived from a record-batch name (``records``, ``data``, ``X``, ...);
+* ``.append()``/``.extend()`` of record-like values onto attributes;
+* serialization of anything from those modules (``pickle``,
+  ``np.save*``, ``.tofile``, ...) — persistence is ``repro/io``'s job,
+  applied to models that already contain statistics only.
+
+Two repo-aware carve-outs keep the rule honest: classes named
+``*Stream``/``*Source`` model the trusted-side *input* feed (upstream
+of condensation, where raw data legitimately lives), and transient
+buffers with an explicit trust-model justification may use a
+``# repro-lint: disable=PRIV-001`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutils import dotted_name
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+# Attribute-name segments that read as "a store of raw records".
+_RECORD_ATTR_SEGMENTS = frozenset({
+    "record", "member", "row", "raw", "sample", "point", "batch",
+    "buffer", "observation", "instance",
+})
+
+# Local names whose value is, by repo convention, a raw record batch.
+_RECORD_VALUE_NAMES = frozenset({
+    "record", "records", "data", "X", "rows", "batch", "samples",
+    "points", "members", "observations",
+})
+
+# Methods that pass their receiver's data through unchanged.
+_PASSTHROUGH_METHODS = frozenset({"copy", "astype", "reshape", "view"})
+
+# numpy constructors that wrap or stack record arrays without reducing.
+_WRAPPING_CALLS = frozenset({
+    "asarray", "array", "copy", "atleast_2d", "vstack", "hstack",
+    "stack", "concatenate", "column_stack", "ascontiguousarray",
+})
+
+_SERIALIZER_MODULES = frozenset({
+    "pickle", "cPickle", "dill", "joblib", "shelve", "marshal",
+})
+_NUMPY_SAVERS = frozenset({"save", "savez", "savez_compressed", "savetxt"})
+
+_RETENTION_MESSAGE = (
+    "possible raw-record retention: {detail}; condensed objects may keep "
+    "only (Fs, Sc, n) statistics (paper §2) — derive aggregates instead, "
+    "or add a justified '# repro-lint: disable=PRIV-001' if the storage "
+    "is transient trusted-side state"
+)
+_SERIALIZE_MESSAGE = (
+    "{detail} inside repro/{package} — core/stream modules must not "
+    "serialize record batches; persistence belongs in repro/io and "
+    "operates on statistics-only models"
+)
+
+
+def _exempt_class(name: str) -> bool:
+    """Whether a class models the trusted-side input feed."""
+    return name.endswith("Stream") or name.endswith("Source")
+
+
+def _attr_segments(attribute: str) -> set:
+    """Singular, lowercased underscore-segments of an attribute name."""
+    segments = set()
+    for segment in attribute.lower().strip("_").split("_"):
+        segments.add(segment)
+        if segment.endswith("s"):
+            segments.add(segment[:-1])
+    return segments
+
+
+def _value_root(node: ast.AST) -> str | None:
+    """Trace an expression to the bare name it wraps, if any."""
+    while True:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+            node = node.generators[0].iter
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _PASSTHROUGH_METHODS
+            ):
+                node = func.value
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _WRAPPING_CALLS
+                and node.args
+            ):
+                node = node.args[0]
+            elif (
+                isinstance(func, ast.Name)
+                and func.id in _WRAPPING_CALLS
+                and node.args
+            ):
+                node = node.args[0]
+            else:
+                return None
+        elif isinstance(node, (ast.List, ast.Tuple)) and len(node.elts) == 1:
+            node = node.elts[0]
+        else:
+            return None
+
+
+def _is_innocent(node: ast.AST) -> bool:
+    """Whether a value is clearly not a record batch (count, flag, ...)."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_innocent(node.operand)
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else None
+        if name in {"len", "int", "float", "bool", "str"}:
+            return True
+        if name in {"list", "dict", "set", "tuple", "deque"} and not node.args:
+            return True
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.Tuple)):
+        return not getattr(node, "elts", None) and not getattr(
+            node, "keys", None
+        )
+    return False
+
+
+@register
+class StatisticsOnlyRule(Rule):
+    """Enforce the statistics-only invariant in core/stream modules."""
+
+    rule_id = "PRIV-001"
+    summary = (
+        "repro/core and repro/stream must not retain or serialize raw "
+        "record batches — groups keep only (Fs, Sc, n)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Scan one module for record-retention violations.
+
+        Parameters
+        ----------
+        module:
+            Parsed module context.
+
+        Yields
+        ------
+        Finding
+        """
+        if not module.is_privacy_critical or module.is_test_module:
+            return
+        package = "core" if module.in_repro_package("core") else "stream"
+        for node in module.tree.body:
+            yield from self._visit(module, node, package, exempt=False)
+
+    def _visit(self, module, node, package, exempt) -> Iterator[Finding]:
+        """Visit one node and its children, tracking class exemptions."""
+        if isinstance(node, ast.ClassDef):
+            exempt = exempt or _exempt_class(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield from self._check_import(module, node, package)
+        elif not exempt:
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                yield from self._check_assignment(module, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node, package)
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(module, child, package, exempt)
+
+    def _check_import(self, module, node, package) -> Iterator[Finding]:
+        """Flag serializer imports inside core/stream."""
+        if isinstance(node, ast.Import):
+            names = [alias.name.split(".")[0] for alias in node.names]
+        else:
+            names = [(node.module or "").split(".")[0]]
+        for name in names:
+            if name in _SERIALIZER_MODULES:
+                yield self.finding(
+                    module, node,
+                    _SERIALIZE_MESSAGE.format(
+                        detail=f"import of {name!r}", package=package
+                    ),
+                )
+
+    def _check_assignment(self, module, node) -> Iterator[Finding]:
+        """Flag record-like attribute assignments."""
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        else:
+            targets, value = [node.target], node.value
+        if value is None or _is_innocent(value):
+            return
+        root = _value_root(value)
+        # ``self.first_order += record`` folds a record into the sums —
+        # that *is* the paper's aggregation, not retention — so augmented
+        # assignments are judged by attribute name only.
+        value_is_records = (
+            root in _RECORD_VALUE_NAMES
+            and not isinstance(node, ast.AugAssign)
+        )
+        for target in targets:
+            if not isinstance(target, ast.Attribute):
+                continue
+            name_matches = bool(
+                _attr_segments(target.attr) & _RECORD_ATTR_SEGMENTS
+            )
+            if name_matches or value_is_records:
+                if name_matches:
+                    detail = (
+                        f"assignment to record-store attribute "
+                        f"{target.attr!r}"
+                    )
+                else:
+                    detail = (
+                        f"attribute {target.attr!r} is assigned the raw "
+                        f"record batch {root!r}"
+                    )
+                yield self.finding(module, node, _RETENTION_MESSAGE.format(
+                    detail=detail
+                ))
+
+    def _check_call(self, module, node, package) -> Iterator[Finding]:
+        """Flag record appends onto attributes and serialization calls."""
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # <obj>.<attr>.append(records) / .extend / .appendleft
+            if (
+                func.attr in {"append", "extend", "appendleft"}
+                and isinstance(func.value, ast.Attribute)
+                and node.args
+            ):
+                store = func.value.attr
+                root = _value_root(node.args[0])
+                if (
+                    _attr_segments(store) & _RECORD_ATTR_SEGMENTS
+                    or root in _RECORD_VALUE_NAMES
+                ):
+                    yield self.finding(
+                        module, node,
+                        _RETENTION_MESSAGE.format(
+                            detail=f"{store}.{func.attr}() accumulates "
+                                   f"raw records"
+                        ),
+                    )
+            if func.attr == "tofile":
+                yield self.finding(
+                    module, node,
+                    _SERIALIZE_MESSAGE.format(
+                        detail="ndarray.tofile() call", package=package
+                    ),
+                )
+        name = dotted_name(func)
+        if name is None:
+            return
+        parts = name.split(".")
+        if parts[0] in _SERIALIZER_MODULES and len(parts) > 1:
+            yield self.finding(
+                module, node,
+                _SERIALIZE_MESSAGE.format(
+                    detail=f"{name}() call", package=package
+                ),
+            )
+        if (
+            len(parts) == 2
+            and parts[0] in {"np", "numpy"}
+            and parts[1] in _NUMPY_SAVERS
+        ):
+            yield self.finding(
+                module, node,
+                _SERIALIZE_MESSAGE.format(
+                    detail=f"{name}() call", package=package
+                ),
+            )

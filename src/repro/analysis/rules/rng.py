@@ -1,0 +1,149 @@
+"""RNG-001 — seeded-generator discipline.
+
+The reproduction's claim to the paper's figures rests on every
+stochastic path being deterministic under a fixed seed.  Two failure
+modes break that silently:
+
+* calling ``numpy.random``'s *global-state* functions (``seed``,
+  ``rand``, ``normal``, ...), which couple unrelated experiments through
+  hidden shared state; and
+* constructing ``default_rng`` ad hoc instead of threading a
+  ``random_state`` argument through
+  :func:`repro.linalg.rng.check_random_state` /
+  :func:`repro.linalg.rng.spawn_rngs`.
+
+``repro/linalg/rng.py`` is the single module allowed to construct
+generators.  Test modules get one relaxation: *seeded* ``default_rng``
+construction is permitted there (an explicitly seeded generator is
+deterministic; requiring the indirection in tests would only obscure
+them).  Unseeded construction and global-state calls are violations
+everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutils import (
+    call_argument_count,
+    dotted_name,
+    numpy_random_aliases,
+)
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+# Attributes of numpy.random that are classes / seedable machinery, not
+# global-state convenience functions.
+_NON_GLOBAL = frozenset({
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+})
+
+_GLOBAL_MESSAGE = (
+    "call to numpy.random.{name}() uses numpy's hidden global RNG state; "
+    "accept a random_state argument and thread a Generator through "
+    "repro.linalg.rng.check_random_state instead"
+)
+_CONSTRUCT_MESSAGE = (
+    "{name}() may only be constructed inside repro/linalg/rng.py; "
+    "elsewhere accept a random_state argument and normalize it with "
+    "repro.linalg.rng.check_random_state (or spawn_rngs)"
+)
+_UNSEEDED_TEST_MESSAGE = (
+    "unseeded {name}() is non-deterministic; pass an explicit seed "
+    "so the test is reproducible"
+)
+_LEGACY_MESSAGE = (
+    "numpy.random.RandomState is the legacy RNG; use the Generator API "
+    "via repro.linalg.rng.check_random_state"
+)
+
+
+@register
+class RngDisciplineRule(Rule):
+    """Forbid global-state numpy RNG use and stray generator construction."""
+
+    rule_id = "RNG-001"
+    summary = (
+        "no numpy.random global-state calls; Generator construction only "
+        "in repro/linalg/rng.py (tests may construct seeded generators)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Scan one module for RNG discipline violations.
+
+        Parameters
+        ----------
+        module:
+            Parsed module context.
+
+        Yields
+        ------
+        Finding
+        """
+        numpy_names, random_names, imported = numpy_random_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in _NON_GLOBAL:
+                        yield self.finding(
+                            module, node,
+                            _GLOBAL_MESSAGE.format(name=alias.name),
+                        )
+            if not isinstance(node, ast.Call):
+                continue
+            attribute = self._random_attribute(
+                node.func, numpy_names, random_names, imported
+            )
+            if attribute is None:
+                continue
+            if attribute == "default_rng":
+                yield from self._check_default_rng(module, node)
+            elif attribute == "RandomState":
+                yield self.finding(module, node, _LEGACY_MESSAGE)
+            elif attribute not in _NON_GLOBAL:
+                yield self.finding(
+                    module, node, _GLOBAL_MESSAGE.format(name=attribute)
+                )
+
+    def _random_attribute(self, func, numpy_names, random_names, imported):
+        """Resolve a call target to a ``numpy.random`` attribute name."""
+        name = dotted_name(func)
+        if name is None:
+            return None
+        parts = name.split(".")
+        if len(parts) == 1:
+            return imported.get(parts[0])
+        if len(parts) == 2 and parts[0] in random_names:
+            return parts[1]
+        if (
+            len(parts) == 3
+            and parts[0] in numpy_names
+            and parts[1] == "random"
+        ):
+            return parts[2]
+        return None
+
+    def _check_default_rng(self, module, node) -> Iterator[Finding]:
+        """Apply the construction policy for ``default_rng`` calls."""
+        if module.is_rng_module:
+            return
+        if module.is_test_module:
+            if call_argument_count(node) == 0:
+                yield self.finding(
+                    module, node,
+                    _UNSEEDED_TEST_MESSAGE.format(name="default_rng"),
+                )
+            return
+        yield self.finding(
+            module, node, _CONSTRUCT_MESSAGE.format(name="default_rng")
+        )

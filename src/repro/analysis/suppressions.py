@@ -1,0 +1,95 @@
+"""Per-line suppression comments.
+
+A finding can be silenced with a trailing comment on the reported line::
+
+    risky_call()  # repro-lint: disable=RNG-001
+
+or with a standalone comment on the line directly above::
+
+    # repro-lint: disable-next=PRIV-001  -- window buffer is transient
+    self._buffer.append(record.copy())
+
+Multiple rule ids are comma-separated; ``disable=all`` silences every
+rule on that line.  Anything after two dashes (or a second ``#``) is a
+free-form justification and is ignored by the parser — write one, the
+reviewer will want it.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable|disable-next)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\-\s]+?)\s*(?:--|#|$)"
+)
+
+ALL = "all"
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset]:
+    """Map line numbers to the rule ids suppressed on them.
+
+    Parameters
+    ----------
+    source:
+        Full module source text.
+
+    Returns
+    -------
+    dict of int to frozenset of str
+        For each suppressed line (1-based), the set of silenced rule
+        ids; the sentinel :data:`ALL` means every rule.
+    """
+    suppressed: dict[int, set] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = [
+            (number, line)
+            for number, line in enumerate(source.splitlines(), start=1)
+            if "#" in line
+        ]
+    for line_number, text in comments:
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        rules = {
+            rule.strip()
+            for rule in match.group("rules").split(",")
+            if rule.strip()
+        }
+        target = line_number + (1 if match.group("kind") == "disable-next" else 0)
+        suppressed.setdefault(target, set()).update(rules)
+    return {line: frozenset(rules) for line, rules in suppressed.items()}
+
+
+def is_suppressed(
+    suppressions: dict[int, frozenset], line: int, rule_id: str
+) -> bool:
+    """Whether ``rule_id`` is silenced on ``line``.
+
+    Parameters
+    ----------
+    suppressions:
+        Mapping from :func:`parse_suppressions`.
+    line:
+        1-based line number of the finding.
+    rule_id:
+        Rule identifier to test.
+
+    Returns
+    -------
+    bool
+    """
+    rules = suppressions.get(line)
+    if rules is None:
+        return False
+    return rule_id in rules or ALL in rules

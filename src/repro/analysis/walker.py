@@ -1,0 +1,146 @@
+"""File discovery and rule driving.
+
+:func:`analyze_paths` walks files and directories, parses each module
+once, runs every rule over it, and filters the findings through the
+module's suppression comments.  :func:`analyze_source` does the same
+for an in-memory snippet — the primitive the rule tests are built on.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, get_rules
+from repro.analysis.suppressions import is_suppressed, parse_suppressions
+
+_SKIP_DIRECTORIES = frozenset({
+    "__pycache__", ".git", ".hypothesis", ".pytest_cache", "build",
+    "dist", ".eggs",
+})
+
+
+def iter_python_files(paths: Iterable) -> list:
+    """Expand files and directories into a sorted list of ``.py`` files.
+
+    Parameters
+    ----------
+    paths:
+        File or directory paths (strings or ``Path``).
+
+    Returns
+    -------
+    list of Path
+        Unique Python files, sorted for deterministic reports.
+
+    Raises
+    ------
+    FileNotFoundError
+        If a given path does not exist.
+    """
+    found: set = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_file():
+            if path.suffix == ".py":
+                found.add(path)
+            continue
+        for candidate in path.rglob("*.py"):
+            if not _SKIP_DIRECTORIES & set(candidate.parts):
+                found.add(candidate)
+    return sorted(found)
+
+
+def analyze_module(module: ModuleContext, rules: Sequence[Rule]) -> list:
+    """Run ``rules`` over one parsed module, honoring suppressions.
+
+    Parameters
+    ----------
+    module:
+        Parsed module context.
+    rules:
+        Rule instances to run.
+
+    Returns
+    -------
+    list of Finding
+        Unsuppressed findings, sorted by location.
+    """
+    suppressions = parse_suppressions(module.source)
+    findings = [
+        finding
+        for rule in rules
+        for finding in rule.check(module)
+        if not is_suppressed(suppressions, finding.line, finding.rule_id)
+    ]
+    return sorted(findings)
+
+
+def analyze_source(
+    source: str,
+    path: str = "<memory>",
+    rules: Sequence[Rule] | None = None,
+) -> list:
+    """Analyze an in-memory snippet.
+
+    Parameters
+    ----------
+    source:
+        Python source text.
+    path:
+        Virtual path used for path-scoped rules (e.g.
+        ``"src/repro/core/x.py"`` to make PRIV-001 apply).
+    rules:
+        Rule instances to run; all registered rules by default.
+
+    Returns
+    -------
+    list of Finding
+        Unsuppressed findings, sorted by location.
+
+    Raises
+    ------
+    SyntaxError
+        If ``source`` does not parse.
+    """
+    module = ModuleContext.from_source(source, path=path)
+    return analyze_module(module, get_rules() if rules is None else rules)
+
+
+def analyze_paths(
+    paths: Iterable,
+    rules: Sequence[Rule] | None = None,
+) -> tuple[list, list]:
+    """Analyze every Python file under ``paths``.
+
+    Parameters
+    ----------
+    paths:
+        File or directory paths to scan.
+    rules:
+        Rule instances to run; all registered rules by default.
+
+    Returns
+    -------
+    tuple of (list of Finding, list of str)
+        Sorted findings across all files, and per-file error strings
+        for files that could not be read or parsed (an unparsable file
+        is reported, never silently skipped).
+    """
+    if rules is None:
+        rules = get_rules()
+    findings: list = []
+    errors: list = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+            module = ModuleContext.from_source(source, path=str(path))
+        except (OSError, SyntaxError, ValueError) as error:
+            errors.append(f"{path}: {error}")
+            continue
+        findings.extend(analyze_module(module, rules))
+    return sorted(findings), errors

@@ -155,6 +155,27 @@ def reconstruct_marginals(
     This is exactly what the perturbation pipeline can offer downstream
     algorithms: per-dimension aggregate distributions, with the joint
     structure lost.
+
+    Parameters
+    ----------
+    perturbed:
+        Perturbed record array, shape ``(n, d)``.
+    noise:
+        The noise model the perturbation used.
+    n_bins:
+        Grid resolution per attribute.
+    max_iter:
+        Iteration cap for each EM-style reconstruction.
+
+    Returns
+    -------
+    list of ReconstructedDensity
+        One reconstructed marginal per attribute, in column order.
+
+    Raises
+    ------
+    ValueError
+        If ``perturbed`` is not 2-D.
     """
     perturbed = np.asarray(perturbed, dtype=float)
     if perturbed.ndim != 2:

@@ -1,12 +1,13 @@
 """Command-line interface for the condensation pipeline.
 
-Four subcommands mirror the deployment boundary of the paper's trust
+The subcommands mirror the deployment boundary of the paper's trust
 model::
 
     repro condense  data.csv model.json --k 20      # trusted side
     repro generate  model.json release.csv          # either side
     repro anonymize data.csv release.csv --k 20     # both steps at once
     repro report    data.csv release.csv            # utility check
+    repro lint      src/ tests/                     # static analysis
 
 ``anonymize`` accepts ``--target-column`` to run per-class condensation
 (the paper's §2.3) and carry labels into the release.  All commands are
@@ -20,6 +21,7 @@ import sys
 
 import numpy as np
 
+from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.core.coarsen import coarsen_model
 from repro.core.condensation import create_condensed_groups
 from repro.core.condenser import ClasswiseCondenser, StaticCondenser
@@ -180,7 +182,14 @@ def _command_attack(arguments) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the CLI argument parser."""
+    """Construct the CLI argument parser.
+
+    Returns
+    -------
+    argparse.ArgumentParser
+        Parser with one subparser per subcommand; each sets a
+        ``handler`` default taking the parsed namespace.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Condensation-based privacy preserving data mining.",
@@ -249,11 +258,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="random seed (default: 0)")
     attack.set_defaults(handler=_command_attack)
 
+    lint = subparsers.add_parser(
+        "lint", help="static analysis: RNG discipline, privacy "
+                     "invariant, Python pitfalls"
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(handler=run_lint)
+
     return parser
 
 
 def main(argv=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point.
+
+    Parameters
+    ----------
+    argv:
+        Argument list; ``sys.argv[1:]`` when ``None``.
+
+    Returns
+    -------
+    int
+        Process exit code of the selected subcommand.
+    """
     parser = build_parser()
     arguments = parser.parse_args(argv)
     return arguments.handler(arguments)

@@ -134,6 +134,24 @@ def condensation_information_loss(
     standard microaggregation information-loss measure (0 = lossless,
     1 = all structure condensed away).  Requires the model to carry the
     ``memberships`` metadata produced by :func:`create_condensed_groups`.
+
+    Parameters
+    ----------
+    data:
+        The original record array, shape ``(n, d)``.
+    model:
+        Condensed model carrying ``memberships`` metadata.
+
+    Returns
+    -------
+    float
+        Normalized SSE information loss, 0 for lossless.
+
+    Raises
+    ------
+    ValueError
+        If the model lacks membership metadata or it does not match
+        ``data``.
     """
     data = np.asarray(data, dtype=float)
     memberships = model.metadata.get("memberships")

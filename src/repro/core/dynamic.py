@@ -164,6 +164,10 @@ class DynamicGroupMaintainer:
                 f"record must be a vector, got shape {record.shape}"
             )
         if not self._groups:
+            # Trusted-side warm-up: the first k records are buffered
+            # only until the founding group's (Fs, Sc, n) exist, then
+            # cleared below.
+            # repro-lint: disable-next=PRIV-001 -- transient warm-up
             self._warmup.append(record.copy())
             if len(self._warmup) == self.k:
                 founding = GroupStatistics.from_records(

@@ -51,6 +51,24 @@ def resolve_sampler(sampler):
     A sampler callable has signature ``(rng, eigenvalues, size)`` and
     returns coordinates in the eigen-basis, shape ``(size, d)``, with
     per-axis variance equal to the given eigenvalues.
+
+    Parameters
+    ----------
+    sampler:
+        ``"uniform"``, ``"gaussian"``, or a callable with the signature
+        above (returned unchanged).
+
+    Returns
+    -------
+    callable
+        The resolved sampler.
+
+    Raises
+    ------
+    ValueError
+        If ``sampler`` is an unknown name.
+    TypeError
+        If ``sampler`` is neither a string nor callable.
     """
     if isinstance(sampler, str):
         try:

@@ -82,6 +82,7 @@ class KMeansSeedStrategy:
         self.max_iter = int(max_iter)
 
     def pick_seed(self, data, remaining, rng):
+        """Unused; k-means planning partitions all records at once."""
         raise RuntimeError(
             "KMeansSeedStrategy plans a full partition; pick_seed is unused"
         )
@@ -145,7 +146,26 @@ _STRATEGIES = {
 
 
 def resolve_strategy(strategy):
-    """Normalize a strategy name or instance into a strategy object."""
+    """Normalize a strategy name or instance into a strategy object.
+
+    Parameters
+    ----------
+    strategy:
+        ``"random"``, ``"mdav"``, ``"kmeans"``, or an object exposing
+        ``plan``/``pick_seed`` (returned unchanged).
+
+    Returns
+    -------
+    object
+        The resolved strategy instance.
+
+    Raises
+    ------
+    ValueError
+        If ``strategy`` is an unknown name.
+    TypeError
+        If ``strategy`` is neither a name nor a strategy object.
+    """
     if isinstance(strategy, str):
         try:
             return _STRATEGIES[strategy]()

@@ -24,6 +24,27 @@ def flip_labels(
     Each corrupted position receives a label drawn uniformly from the
     *other* classes, so the requested fraction is exactly the fraction
     of wrong labels.
+
+    Parameters
+    ----------
+    labels:
+        Label array, 1-D, with at least two distinct classes.
+    fraction:
+        Fraction of positions to corrupt, in ``[0, 1]``.
+    random_state:
+        Anything accepted by
+        :func:`repro.linalg.rng.check_random_state`.
+
+    Returns
+    -------
+    numpy.ndarray
+        Corrupted copy of ``labels``.
+
+    Raises
+    ------
+    ValueError
+        If ``fraction`` is outside ``[0, 1]``, ``labels`` is not 1-D,
+        or fewer than two classes are present.
     """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")
@@ -56,6 +77,30 @@ def add_attribute_noise(
     ``scale`` is relative to each attribute's standard deviation, so
     ``scale=0.5`` perturbs affected records by half their natural
     spread regardless of units.
+
+    Parameters
+    ----------
+    data:
+        Record array, shape ``(n, d)``.
+    scale:
+        Noise standard deviation as a multiple of each attribute's
+        spread; must be non-negative.
+    fraction:
+        Fraction of records perturbed, in ``[0, 1]`` (default: all).
+    random_state:
+        Anything accepted by
+        :func:`repro.linalg.rng.check_random_state`.
+
+    Returns
+    -------
+    numpy.ndarray, shape (n, d)
+        Corrupted copy of ``data``.
+
+    Raises
+    ------
+    ValueError
+        If ``scale`` is negative, ``fraction`` is outside ``[0, 1]``,
+        or ``data`` is not 2-D.
     """
     if scale < 0:
         raise ValueError(f"scale must be non-negative, got {scale}")
@@ -89,9 +134,31 @@ def inject_outliers(
     Outliers are placed at ``magnitude`` standard deviations from the
     mean in a random direction — the §2.2 hard case.
 
+    Parameters
+    ----------
+    data:
+        Record array, shape ``(n, d)``.
+    fraction:
+        Fraction of records replaced, in ``[0, 1]``.
+    magnitude:
+        Distance of the planted points from the mean, in per-attribute
+        standard deviations; must be positive.
+    random_state:
+        Anything accepted by
+        :func:`repro.linalg.rng.check_random_state`.
+
     Returns
     -------
-    (corrupted, outlier_indices)
+    corrupted : numpy.ndarray, shape (n, d)
+        Copy of ``data`` with outliers planted.
+    outlier_indices : numpy.ndarray
+        Sorted row indices that were replaced.
+
+    Raises
+    ------
+    ValueError
+        If ``fraction`` is outside ``[0, 1]``, ``magnitude`` is not
+        positive, or ``data`` is not 2-D.
     """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")

@@ -27,6 +27,32 @@ def random_covariance(
     ``A`` of rank ``effective_rank``, giving genuine inter-attribute
     correlations (the structure the paper's perturbation critique is
     about) without degenerate conditioning.
+
+    Parameters
+    ----------
+    n_features:
+        Dimensionality of the matrix.
+    rng:
+        :class:`numpy.random.Generator` to draw from.
+    effective_rank:
+        Rank of the factor matrix; defaults to ``n_features // 2``
+        (floored at 1).
+    noise_floor:
+        Diagonal regularization added to keep the matrix
+        well-conditioned; must be non-negative.
+    scale:
+        Overall multiplier of the result.
+
+    Returns
+    -------
+    numpy.ndarray, shape (n_features, n_features)
+        A symmetric positive-definite covariance matrix.
+
+    Raises
+    ------
+    ValueError
+        If ``n_features`` or ``effective_rank`` is out of range, or
+        ``noise_floor`` is negative.
     """
     if n_features < 1:
         raise ValueError(f"n_features must be >= 1, got {n_features}")
@@ -56,11 +82,31 @@ def make_correlated_blobs(
 ):
     """Mixture of Gaussians with random correlated covariances.
 
+    Parameters
+    ----------
+    n_records:
+        Total record count; at least one per blob.
+    n_features:
+        Dimensionality.
+    n_blobs:
+        Number of mixture components.
+    centre_spread:
+        Scale of the blob-centre spread.
+    random_state:
+        Anything accepted by
+        :func:`repro.linalg.rng.check_random_state`.
+
     Returns
     -------
-    (data, blob_labels)
-        Records of shape ``(n_records, n_features)`` and the index of
-        the blob each record came from.
+    data : numpy.ndarray, shape (n_records, n_features)
+        The sampled records.
+    blob_labels : numpy.ndarray, shape (n_records,)
+        Index of the blob each record came from.
+
+    Raises
+    ------
+    ValueError
+        If ``n_records`` is smaller than ``n_blobs``.
     """
     if n_records < n_blobs:
         raise ValueError(
@@ -175,6 +221,32 @@ def make_factor_regression(
     and the target (through random weights), producing the heavily
     collinear measurement structure typical of physical data sets like
     Abalone.
+
+    Parameters
+    ----------
+    n_records:
+        Record count.
+    n_features:
+        Dimensionality of the attribute block.
+    n_factors:
+        Number of latent factors; must be positive.
+    noise:
+        Attribute measurement-noise level; non-negative.
+    target_noise:
+        Target noise level; non-negative.
+    random_state:
+        Anything accepted by
+        :func:`repro.linalg.rng.check_random_state`.
+
+    Returns
+    -------
+    Dataset
+        Regression data set named ``"factor-regression"``.
+
+    Raises
+    ------
+    ValueError
+        If ``n_factors`` is not positive or a noise level is negative.
     """
     if n_factors < 1:
         raise ValueError(f"n_factors must be >= 1, got {n_factors}")
@@ -217,6 +289,16 @@ def make_two_moons(
         Standard deviation of isotropic Gaussian jitter.
     random_state:
         Seed or generator.
+
+    Returns
+    -------
+    Dataset
+        Two-class classification data set named ``"two-moons"``.
+
+    Raises
+    ------
+    ValueError
+        If ``n_records < 2`` or ``noise`` is negative.
     """
     if n_records < 2:
         raise ValueError(f"need at least 2 records, got {n_records}")
@@ -260,9 +342,31 @@ def make_stream_batches(
     an incremental stream ``S``; this helper produces both from one
     data set with a random arrival order.
 
+    Parameters
+    ----------
+    dataset:
+        Source data set to split.
+    initial_fraction:
+        Fraction of records forming the static base, in ``(0, 1)``.
+    random_state:
+        Anything accepted by
+        :func:`repro.linalg.rng.check_random_state`.
+
     Returns
     -------
-    (base_data, base_target, stream_data, stream_target)
+    base_data : numpy.ndarray
+        Records of the static base.
+    base_target : numpy.ndarray
+        Targets of the static base.
+    stream_data : numpy.ndarray
+        Records of the stream, in arrival order.
+    stream_target : numpy.ndarray
+        Targets of the stream, in arrival order.
+
+    Raises
+    ------
+    ValueError
+        If ``initial_fraction`` is outside ``(0, 1)``.
     """
     if not 0.0 < initial_fraction < 1.0:
         raise ValueError(

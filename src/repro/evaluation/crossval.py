@@ -92,6 +92,11 @@ def cross_validated_accuracy(
         ``"static"`` or ``"dynamic"`` per-class condensation.
     n_neighbors, n_splits, standardize, random_state:
         Protocol knobs.
+
+    Returns
+    -------
+    CrossValidationResult
+        Per-fold scores for condensed and original training data.
     """
     data = np.asarray(data, dtype=float)
     labels = np.asarray(labels)

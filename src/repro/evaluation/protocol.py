@@ -69,6 +69,30 @@ def condense_dataset(
     ``mode="dynamic"`` bootstraps from the first
     :data:`DYNAMIC_BOOTSTRAP_FRACTION` of records and streams the rest
     (Fig. 2).
+
+    Parameters
+    ----------
+    data:
+        Record array, shape ``(n, d)``.
+    k:
+        Indistinguishability level (minimum group size).
+    mode:
+        ``"static"`` or ``"dynamic"``.
+    strategy:
+        Group seeding strategy name or object.
+    random_state:
+        Anything accepted by
+        :func:`repro.linalg.rng.check_random_state`.
+
+    Returns
+    -------
+    CondensedModel
+        The condensation of ``data``.
+
+    Raises
+    ------
+    ValueError
+        If ``mode`` is unknown.
     """
     data = np.asarray(data, dtype=float)
     if mode == "static":
@@ -96,9 +120,26 @@ def measure_compatibility(
 ):
     """μ between a record array and its condensation-anonymized copy.
 
+    Parameters
+    ----------
+    data:
+        Record array, shape ``(n, d)``.
+    k:
+        Indistinguishability level.
+    mode:
+        ``"static"`` or ``"dynamic"``.
+    sampler:
+        Per-eigenvector sampler name or callable.
+    random_state:
+        Anything accepted by
+        :func:`repro.linalg.rng.check_random_state`.
+
     Returns
     -------
-    (mu, average_group_size)
+    mu : float
+        Covariance compatibility coefficient.
+    average_group_size : float
+        Mean size of the condensed groups.
     """
     rng = check_random_state(random_state)
     model = condense_dataset(data, k, mode, random_state=rng)
@@ -120,7 +161,31 @@ def classification_condition(
     sampler="uniform",
     random_state=None,
 ) -> ConditionResult:
-    """Accuracy of k-NN trained on per-class condensed data (§2.3)."""
+    """Accuracy of k-NN trained on per-class condensed data (§2.3).
+
+    Parameters
+    ----------
+    train_data, train_labels:
+        Training records and labels.
+    test_data, test_labels:
+        Held-out records and labels the classifier is scored on.
+    k:
+        Indistinguishability level.
+    mode:
+        ``"static"`` or ``"dynamic"``.
+    n_neighbors:
+        k of the k-NN classifier.
+    sampler:
+        Per-eigenvector sampler name or callable.
+    random_state:
+        Anything accepted by
+        :func:`repro.linalg.rng.check_random_state`.
+
+    Returns
+    -------
+    ConditionResult
+        Test accuracy and average condensed group size.
+    """
     condenser = ClasswiseCondenser(
         k, mode=mode, sampler=sampler,
         small_class_policy="single_group", random_state=random_state,
@@ -162,6 +227,38 @@ def regression_condition(
       for condensation and is regenerated along with the attributes —
       appropriate for genuinely continuous targets, at the cost of
       generation noise on the target itself.
+
+    Parameters
+    ----------
+    train_data, train_targets:
+        Training records and numeric targets.
+    test_data, test_targets:
+        Held-out records and targets the regressor is scored on.
+    k:
+        Indistinguishability level.
+    mode:
+        ``"static"`` or ``"dynamic"``.
+    n_neighbors:
+        k of the k-NN regressor.
+    tol:
+        Acceptance band of the tolerance-accuracy score.
+    sampler:
+        Per-eigenvector sampler name or callable.
+    target_handling:
+        ``"classwise"`` or ``"joint"`` (see above).
+    random_state:
+        Anything accepted by
+        :func:`repro.linalg.rng.check_random_state`.
+
+    Returns
+    -------
+    ConditionResult
+        Tolerance accuracy and average condensed group size.
+
+    Raises
+    ------
+    ValueError
+        If ``target_handling`` is unknown.
     """
     rng = check_random_state(random_state)
     if target_handling == "classwise":
@@ -209,6 +306,30 @@ def baseline_condition(
     """Accuracy of the same k-NN estimator on the *original* data.
 
     The paper's horizontal "no perturbation" line.
+
+    Parameters
+    ----------
+    train_data, train_targets:
+        Training records and targets.
+    test_data, test_targets:
+        Held-out records and targets.
+    task:
+        ``"classification"`` or ``"regression"``.
+    n_neighbors:
+        k of the k-NN estimator.
+    tol:
+        Acceptance band for regression scoring; ignored for
+        classification.
+
+    Returns
+    -------
+    float
+        Test accuracy (tolerance accuracy for regression).
+
+    Raises
+    ------
+    ValueError
+        If ``task`` is unknown.
     """
     if task == "classification":
         classifier = KNeighborsClassifier(n_neighbors=n_neighbors)
@@ -257,6 +378,31 @@ def run_figure_point(
     Each trial uses a fresh split, condensation and generation seed; the
     reported numbers are trial means, mirroring the paper's plotted
     points.
+
+    Parameters
+    ----------
+    dataset:
+        Labelled data set to evaluate.
+    k:
+        Indistinguishability level for this point.
+    n_neighbors:
+        k of the k-NN estimator.
+    test_size:
+        Held-out fraction per trial.
+    n_trials:
+        Number of independent trials averaged.
+    tol:
+        Acceptance band for regression data sets.
+    standardize:
+        Whether to z-score attributes on the training split first.
+    random_state:
+        Anything accepted by
+        :func:`repro.linalg.rng.check_random_state`.
+
+    Returns
+    -------
+    FigurePoint
+        Trial-mean accuracies, μ values and group sizes at ``k``.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")

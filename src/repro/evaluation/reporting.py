@@ -52,7 +52,22 @@ def format_table(headers, rows, title: str | None = None) -> str:
 
 
 def format_series(name: str, xs, ys, precision: int = 4) -> str:
-    """One-line rendering of a named (x, y) series."""
+    """One-line rendering of a named (x, y) series.
+
+    Parameters
+    ----------
+    name:
+        Series label prefixed to the line.
+    xs, ys:
+        Paired iterables of x values and y values.
+    precision:
+        Decimal places for the y values.
+
+    Returns
+    -------
+    str
+        ``"name: x1:y1, x2:y2, ..."``.
+    """
     pairs = ", ".join(
         f"{x}:{y:.{precision}f}" for x, y in zip(xs, ys)
     )

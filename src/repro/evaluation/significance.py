@@ -58,6 +58,27 @@ def paired_permutation_test(
     exchangeable; the p-value is the fraction of random sign
     assignments whose mean difference is at least as extreme as the
     observed one (with the add-one correction that keeps it positive).
+
+    Parameters
+    ----------
+    scores_a, scores_b:
+        Paired score arrays of equal length (e.g. per-fold accuracies
+        of two conditions).
+    n_permutations:
+        Number of random sign assignments; must be positive.
+    random_state:
+        Anything accepted by
+        :func:`repro.linalg.rng.check_random_state`.
+
+    Returns
+    -------
+    float
+        Two-sided p-value in ``(0, 1]``.
+
+    Raises
+    ------
+    ValueError
+        If ``n_permutations`` is not positive.
     """
     differences = _paired_differences(scores_a, scores_b)
     if n_permutations < 1:
@@ -85,7 +106,33 @@ def bootstrap_mean_difference_ci(
     n_resamples: int = 10_000,
     random_state=None,
 ):
-    """Percentile bootstrap CI for the mean paired difference ``a − b``."""
+    """Percentile bootstrap CI for the mean paired difference ``a − b``.
+
+    Parameters
+    ----------
+    scores_a, scores_b:
+        Paired score arrays of equal length (e.g. per-fold accuracies
+        of two conditions).
+    confidence:
+        Coverage level in ``(0, 1)``.
+    n_resamples:
+        Number of bootstrap resamples; must be positive.
+    random_state:
+        Anything accepted by
+        :func:`repro.linalg.rng.check_random_state`.
+
+    Returns
+    -------
+    low : float
+        Lower CI endpoint.
+    high : float
+        Upper CI endpoint.
+
+    Raises
+    ------
+    ValueError
+        If ``confidence`` or ``n_resamples`` is out of range.
+    """
     differences = _paired_differences(scores_a, scores_b)
     if not 0.0 < confidence < 1.0:
         raise ValueError(
@@ -110,7 +157,28 @@ def compare_paired_scores(
     n_resamples: int = 10_000,
     random_state=None,
 ) -> PairedComparison:
-    """Full paired analysis: mean difference, p-value and bootstrap CI."""
+    """Full paired analysis: mean difference, p-value and bootstrap CI.
+
+    Parameters
+    ----------
+    scores_a, scores_b:
+        Paired score arrays of equal length (e.g. per-fold accuracies
+        of two conditions).
+    confidence:
+        Coverage level of the bootstrap CI.
+    n_permutations:
+        Permutations for the sign-flip test.
+    n_resamples:
+        Bootstrap resamples for the CI.
+    random_state:
+        Anything accepted by
+        :func:`repro.linalg.rng.check_random_state`.
+
+    Returns
+    -------
+    PairedComparison
+        Mean difference, p-value, CI and pair count.
+    """
     differences = _paired_differences(scores_a, scores_b)
     rng = check_random_state(random_state)
     p_value = paired_permutation_test(

@@ -117,7 +117,31 @@ def run_group_size_sweep(
     tol: float = 1.0,
     random_state=None,
 ) -> FigureResult:
-    """Reproduce one paper figure: sweep k, measuring both panels."""
+    """Reproduce one paper figure: sweep k, measuring both panels.
+
+    Parameters
+    ----------
+    dataset:
+        Labelled data set the figure is drawn over.
+    group_sizes:
+        Iterable of k values to sweep.
+    n_neighbors:
+        k of the k-NN estimator.
+    test_size:
+        Held-out fraction per trial.
+    n_trials:
+        Trials averaged per point.
+    tol:
+        Acceptance band for regression data sets.
+    random_state:
+        Anything accepted by
+        :func:`repro.linalg.rng.check_random_state`.
+
+    Returns
+    -------
+    FigureResult
+        One :class:`FigurePoint` per swept k, in order.
+    """
     rng = check_random_state(random_state)
     result = FigureResult(dataset_name=dataset.name)
     for k in group_sizes:

@@ -94,7 +94,30 @@ def tradeoff_curve(
     standardize: bool = True,
     random_state=None,
 ) -> TradeoffCurve:
-    """Compute the privacy-utility frontier for a labelled data set."""
+    """Compute the privacy-utility frontier for a labelled data set.
+
+    Parameters
+    ----------
+    data, labels:
+        The labelled data set.
+    group_sizes:
+        Iterable of k values forming the curve.
+    n_neighbors:
+        k of the k-NN classifier.
+    test_size:
+        Held-out fraction of the single stratified split.
+    standardize:
+        Whether to z-score attributes on the training split.
+    random_state:
+        Anything accepted by
+        :func:`repro.linalg.rng.check_random_state`.
+
+    Returns
+    -------
+    TradeoffCurve
+        Accuracy and empirical-disclosure points per k, plus the
+        original-data baseline accuracy.
+    """
     data = np.asarray(data, dtype=float)
     labels = np.asarray(labels)
     rng = check_random_state(random_state)

@@ -45,7 +45,25 @@ def write_records(path, data: np.ndarray, feature_names=None) -> None:
 
 
 def read_records(path):
-    """Read a headered numeric CSV back into ``(data, feature_names)``."""
+    """Read a headered numeric CSV back into ``(data, feature_names)``.
+
+    Parameters
+    ----------
+    path:
+        File to read; must have a header row and numeric cells.
+
+    Returns
+    -------
+    data : numpy.ndarray, shape (n, d)
+        The numeric records.
+    feature_names : list of str
+        The header row.
+
+    Raises
+    ------
+    ValueError
+        If the file is empty, ragged, or contains non-numeric cells.
+    """
     path = Path(path)
     with open(path, newline="") as handle:
         reader = csv.reader(handle)
@@ -75,7 +93,22 @@ def read_records(path):
 
 def write_dataset(path, dataset: Dataset, target_column: str = "target"
                   ) -> None:
-    """Write a labelled data set as CSV with a trailing target column."""
+    """Write a labelled data set as CSV with a trailing target column.
+
+    Parameters
+    ----------
+    path:
+        Destination file.
+    dataset:
+        Data set to write.
+    target_column:
+        Header name for the target column.
+
+    Raises
+    ------
+    ValueError
+        If ``target_column`` collides with an attribute name.
+    """
     if target_column in dataset.feature_names:
         raise ValueError(
             f"target column name {target_column!r} collides with an "
@@ -94,6 +127,27 @@ def read_dataset(path, name=None, task="classification",
 
     Classification targets are parsed as-is (strings stay strings when
     non-numeric); regression targets must be numeric.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    name:
+        Data set name; defaults to the file stem.
+    task:
+        ``"classification"`` or ``"regression"``.
+    target_column:
+        Header name of the target column.
+
+    Returns
+    -------
+    Dataset
+        The parsed data set.
+
+    Raises
+    ------
+    ValueError
+        If the file is malformed or the target column is missing.
     """
     path = Path(path)
     with open(path, newline="") as handle:

@@ -57,6 +57,16 @@ def load_model(path, validate: bool = True) -> CondensedModel:
         sums, positive counts, PSD covariances, ...) and raise on
         violations — on by default because model files cross trust
         boundaries.
+
+    Returns
+    -------
+    CondensedModel
+        The deserialized model.
+
+    Raises
+    ------
+    ValueError
+        If the file is structurally invalid or fails validation.
     """
     path = Path(path)
     with open(path) as handle:

@@ -5,18 +5,29 @@ argument that may be ``None``, an integer seed, or a fully constructed
 :class:`numpy.random.Generator`.  Normalizing that argument in one place
 keeps experiments reproducible and avoids the classic bug of re-seeding a
 fresh generator inside a loop.
+
+This module is the library's RNG authority: it is the only module
+allowed to construct generators (enforced by the RNG-001 rule of
+``repro.analysis``); everything else threads a ``random_state`` through
+:func:`check_random_state` or :func:`spawn_rngs`.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, TypeAlias, Union
 
 import numpy as np
 
-RandomState = "None | int | np.random.Generator"
+RandomState: TypeAlias = Union[None, int, np.random.Generator]
+"""Accepted forms of the ``random_state`` argument.
+
+``None`` for a non-deterministic generator, an ``int`` seed for a
+reproducible one, or an existing :class:`numpy.random.Generator` to
+thread one generator through many components.
+"""
 
 
-def check_random_state(random_state=None) -> np.random.Generator:
+def check_random_state(random_state: RandomState = None) -> np.random.Generator:
     """Normalize ``random_state`` into a :class:`numpy.random.Generator`.
 
     Parameters
@@ -34,6 +45,8 @@ def check_random_state(random_state=None) -> np.random.Generator:
     ------
     TypeError
         If ``random_state`` is not one of the accepted types.
+    ValueError
+        If ``random_state`` is a negative integer seed.
     """
     if random_state is None:
         return np.random.default_rng()
@@ -54,11 +67,21 @@ def derive_seed(rng: np.random.Generator) -> int:
 
     Useful to hand independent, reproducible seeds to subcomponents
     without sharing a generator across them.
+
+    Parameters
+    ----------
+    rng:
+        Source generator to draw the seed from.
+
+    Returns
+    -------
+    int
+        A seed uniform over ``[0, 2**63 - 1)``.
     """
     return int(rng.integers(0, 2**63 - 1))
 
 
-def spawn_rngs(random_state, count: int) -> list[np.random.Generator]:
+def spawn_rngs(random_state: RandomState, count: int) -> list[np.random.Generator]:
     """Create ``count`` independent generators derived from one seed.
 
     Parameters
@@ -73,6 +96,11 @@ def spawn_rngs(random_state, count: int) -> list[np.random.Generator]:
     list of numpy.random.Generator
         Statistically independent generators; reproducible when
         ``random_state`` is a seed.
+
+    Raises
+    ------
+    ValueError
+        If ``count`` is negative.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
@@ -81,7 +109,25 @@ def spawn_rngs(random_state, count: int) -> list[np.random.Generator]:
 
 
 def permutation(rng: np.random.Generator, n: int) -> np.ndarray:
-    """Return a random permutation of ``range(n)`` as an int64 array."""
+    """Return a random permutation of ``range(n)`` as an int64 array.
+
+    Parameters
+    ----------
+    rng:
+        Generator to draw from.
+    n:
+        Size of the permutation.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n,)`` permutation of ``0..n-1``.
+
+    Raises
+    ------
+    ValueError
+        If ``n`` is negative.
+    """
     if n < 0:
         raise ValueError(f"n must be non-negative, got {n}")
     return rng.permutation(n)
@@ -90,7 +136,27 @@ def permutation(rng: np.random.Generator, n: int) -> np.ndarray:
 def sample_without_replacement(
     rng: np.random.Generator, population: int, size: int
 ) -> np.ndarray:
-    """Sample ``size`` distinct indices from ``range(population)``."""
+    """Sample ``size`` distinct indices from ``range(population)``.
+
+    Parameters
+    ----------
+    rng:
+        Generator to draw from.
+    population:
+        Size of the index range sampled from.
+    size:
+        Number of distinct indices to draw.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(size,)`` array of distinct indices.
+
+    Raises
+    ------
+    ValueError
+        If ``size`` exceeds ``population``.
+    """
     if size > population:
         raise ValueError(
             f"cannot sample {size} items from a population of {population}"
@@ -101,7 +167,27 @@ def sample_without_replacement(
 def bootstrap_indices(
     rng: np.random.Generator, n: int, size: int | None = None
 ) -> np.ndarray:
-    """Sample ``size`` indices from ``range(n)`` with replacement."""
+    """Sample ``size`` indices from ``range(n)`` with replacement.
+
+    Parameters
+    ----------
+    rng:
+        Generator to draw from.
+    n:
+        Size of the index range sampled from.
+    size:
+        Number of draws; defaults to ``n`` (a classic bootstrap).
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(size,)`` array of indices, possibly repeated.
+
+    Raises
+    ------
+    ValueError
+        If ``n`` is not positive.
+    """
     if n <= 0:
         raise ValueError(f"n must be positive, got {n}")
     if size is None:
@@ -109,11 +195,24 @@ def bootstrap_indices(
     return rng.integers(0, n, size=size)
 
 
-def seeds_for(labels: Iterable[str], random_state) -> dict[str, int]:
+def seeds_for(labels: Iterable[str], random_state: RandomState) -> dict[str, int]:
     """Derive one named seed per label, reproducibly.
 
     Handy when an experiment wants per-dataset or per-trial seeds that do
     not interact: ``seeds_for(["ionosphere", "ecoli"], 7)``.
+
+    Parameters
+    ----------
+    labels:
+        Names to derive seeds for, in order.
+    random_state:
+        Anything accepted by :func:`check_random_state`.
+
+    Returns
+    -------
+    dict of str to int
+        One independent seed per label; reproducible when
+        ``random_state`` is a seed.
     """
     parent = check_random_state(random_state)
     return {label: derive_seed(parent) for label in labels}

@@ -18,7 +18,23 @@ EIGENVALUE_CLIP_RTOL = 1e-10
 
 
 def symmetrize(matrix: np.ndarray) -> np.ndarray:
-    """Return the symmetric part ``(A + Aᵀ) / 2`` of a square matrix."""
+    """Return the symmetric part ``(A + Aᵀ) / 2`` of a square matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Square matrix, shape ``(d, d)``.
+
+    Returns
+    -------
+    numpy.ndarray, shape (d, d)
+        The symmetric part of ``matrix``.
+
+    Raises
+    ------
+    ValueError
+        If ``matrix`` is not square.
+    """
     matrix = np.asarray(matrix, dtype=float)
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
         raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
@@ -76,7 +92,22 @@ def sorted_eigh(matrix: np.ndarray, clip: bool = True):
 
 
 def is_positive_semidefinite(matrix: np.ndarray, rtol: float = 1e-8) -> bool:
-    """Check PSD-ness of a symmetric matrix up to a relative tolerance."""
+    """Check PSD-ness of a symmetric matrix up to a relative tolerance.
+
+    Parameters
+    ----------
+    matrix:
+        Square symmetric matrix (symmetrized defensively).
+    rtol:
+        Relative tolerance: eigenvalues down to ``-rtol * scale`` still
+        count as non-negative, where ``scale`` is the largest absolute
+        eigenvalue (floored at 1).
+
+    Returns
+    -------
+    bool
+        Whether all eigenvalues clear the tolerance.
+    """
     sym = symmetrize(matrix)
     eigenvalues = np.linalg.eigvalsh(sym)
     scale = max(abs(float(eigenvalues[-1])), 1.0)
@@ -88,6 +119,16 @@ def nearest_psd(matrix: np.ndarray) -> np.ndarray:
 
     Clips negative eigenvalues at zero and reassembles.  Used when
     reconstructing covariance matrices from independently rounded sums.
+
+    Parameters
+    ----------
+    matrix:
+        Square symmetric matrix, shape ``(d, d)``.
+
+    Returns
+    -------
+    numpy.ndarray, shape (d, d)
+        The nearest (in Frobenius norm) positive-semidefinite matrix.
     """
     eigenvalues, eigenvectors = sorted_eigh(matrix, clip=False)
     eigenvalues = np.clip(eigenvalues, 0.0, None)
@@ -143,6 +184,27 @@ def sums_from_covariance(
     produce the raw sums ``(Fs, Sc)`` that a condensed group would store:
     ``Fs = n·mean`` and ``Sc = n·(C + mean meanᵀ)``.  This is exactly the
     reassembly step of ``SplitGroupStatistics``.
+
+    Parameters
+    ----------
+    mean:
+        Group mean vector, shape ``(d,)``.
+    covariance:
+        Group covariance matrix, shape ``(d, d)``.
+    count:
+        Number of records ``n``; must be positive.
+
+    Returns
+    -------
+    first_order : numpy.ndarray, shape (d,)
+        ``Fs = n·mean``.
+    second_order : numpy.ndarray, shape (d, d)
+        ``Sc = n·(C + mean meanᵀ)``.
+
+    Raises
+    ------
+    ValueError
+        If ``count`` is not positive.
     """
     if count <= 0:
         raise ValueError(f"count must be positive, got {count}")
@@ -158,6 +220,16 @@ def correlation_from_covariance(covariance: np.ndarray) -> np.ndarray:
 
     Zero-variance attributes get zero correlation with everything (and
     unit self-correlation), rather than NaNs.
+
+    Parameters
+    ----------
+    covariance:
+        Covariance matrix, shape ``(d, d)``.
+
+    Returns
+    -------
+    numpy.ndarray, shape (d, d)
+        Correlation matrix with unit diagonal.
     """
     covariance = symmetrize(covariance)
     stddev = np.sqrt(np.clip(np.diag(covariance), 0.0, None))

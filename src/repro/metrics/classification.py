@@ -19,7 +19,20 @@ def _validate_pair(y_true: np.ndarray, y_pred: np.ndarray):
 
 
 def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
-    """Fraction of exactly matching labels."""
+    """Fraction of exactly matching labels.
+
+    Parameters
+    ----------
+    y_true:
+        True labels, 1-D.
+    y_pred:
+        Predicted labels, 1-D, same length.
+
+    Returns
+    -------
+    float
+        ``mean(y_true == y_pred)``.
+    """
     y_true, y_pred = _validate_pair(y_true, y_pred)
     return float(np.mean(y_true == y_pred))
 
@@ -31,9 +44,18 @@ def confusion_matrix(
 
     Parameters
     ----------
+    y_true:
+        True labels, 1-D.
+    y_pred:
+        Predicted labels, 1-D, same length.
     labels:
         Optional explicit class ordering; defaults to the sorted union of
         labels seen in either array.
+
+    Returns
+    -------
+    numpy.ndarray, shape (n_classes, n_classes)
+        Integer counts; rows are true classes, columns predictions.
     """
     y_true, y_pred = _validate_pair(y_true, y_pred)
     if labels is None:
@@ -66,7 +88,28 @@ def _safe_divide(numerator: np.ndarray, denominator: np.ndarray):
 def precision_score(
     y_true: np.ndarray, y_pred: np.ndarray, average: str = "macro"
 ) -> float:
-    """Precision, macro- or micro-averaged across classes."""
+    """Precision, macro- or micro-averaged across classes.
+
+    Parameters
+    ----------
+    y_true:
+        True labels, 1-D.
+    y_pred:
+        Predicted labels, 1-D, same length.
+    average:
+        ``"macro"`` (unweighted mean of per-class scores, the default)
+        or ``"micro"`` (global counts).
+
+    Returns
+    -------
+    float
+        Precision in ``[0, 1]``.
+
+    Raises
+    ------
+    ValueError
+        If ``average`` is not ``"macro"`` or ``"micro"``.
+    """
     y_true, y_pred = _validate_pair(y_true, y_pred)
     __, true_positive, predicted, __ = _per_class_counts(y_true, y_pred)
     if average == "micro":
@@ -80,7 +123,28 @@ def precision_score(
 def recall_score(
     y_true: np.ndarray, y_pred: np.ndarray, average: str = "macro"
 ) -> float:
-    """Recall, macro- or micro-averaged across classes."""
+    """Recall, macro- or micro-averaged across classes.
+
+    Parameters
+    ----------
+    y_true:
+        True labels, 1-D.
+    y_pred:
+        Predicted labels, 1-D, same length.
+    average:
+        ``"macro"`` (unweighted mean of per-class scores, the default)
+        or ``"micro"`` (global counts).
+
+    Returns
+    -------
+    float
+        Recall in ``[0, 1]``.
+
+    Raises
+    ------
+    ValueError
+        If ``average`` is not ``"macro"`` or ``"micro"``.
+    """
     y_true, y_pred = _validate_pair(y_true, y_pred)
     __, true_positive, __, actual = _per_class_counts(y_true, y_pred)
     if average == "micro":
@@ -94,7 +158,28 @@ def recall_score(
 def f1_score(
     y_true: np.ndarray, y_pred: np.ndarray, average: str = "macro"
 ) -> float:
-    """Harmonic mean of per-class precision and recall, then averaged."""
+    """Harmonic mean of per-class precision and recall, then averaged.
+
+    Parameters
+    ----------
+    y_true:
+        True labels, 1-D.
+    y_pred:
+        Predicted labels, 1-D, same length.
+    average:
+        ``"macro"`` (unweighted mean of per-class scores, the default)
+        or ``"micro"`` (global counts).
+
+    Returns
+    -------
+    float
+        F1 score in ``[0, 1]``.
+
+    Raises
+    ------
+    ValueError
+        If ``average`` is not ``"macro"`` or ``"micro"``.
+    """
     y_true, y_pred = _validate_pair(y_true, y_pred)
     __, true_positive, predicted, actual = _per_class_counts(y_true, y_pred)
     if average == "micro":

@@ -17,7 +17,23 @@ from repro.linalg.symmetric import symmetrize
 
 
 def covariance_matrix(data: np.ndarray) -> np.ndarray:
-    """Population covariance matrix of a record array, shape ``(d, d)``."""
+    """Population covariance matrix of a record array, shape ``(d, d)``.
+
+    Parameters
+    ----------
+    data:
+        Record array, shape ``(n, d)`` with ``n >= 1``.
+
+    Returns
+    -------
+    numpy.ndarray, shape (d, d)
+        Symmetrized population covariance.
+
+    Raises
+    ------
+    ValueError
+        If ``data`` is not 2-D or is empty.
+    """
     data = np.asarray(data, dtype=float)
     if data.ndim != 2:
         raise ValueError(f"data must be 2-D, got shape {data.shape}")
@@ -86,7 +102,26 @@ def covariance_compatibility(
 def matrix_entry_correlation(
     o_entries: np.ndarray, p_entries: np.ndarray
 ) -> float:
-    """Pearson correlation between two paired entry collections."""
+    """Pearson correlation between two paired entry collections.
+
+    Parameters
+    ----------
+    o_entries:
+        Entries from the original matrix, flattened.
+    p_entries:
+        Entries from the anonymized matrix, same shape.
+
+    Returns
+    -------
+    float
+        Pearson correlation in ``[-1, 1]``; for zero-variance
+        collections, 1.0 when elementwise close and 0.0 otherwise.
+
+    Raises
+    ------
+    ValueError
+        If the collections' shapes differ.
+    """
     o_entries = np.asarray(o_entries, dtype=float)
     p_entries = np.asarray(p_entries, dtype=float)
     if o_entries.shape != p_entries.shape:
@@ -110,6 +145,23 @@ def mean_compatibility(original: np.ndarray, anonymized: np.ndarray) -> float:
     A companion diagnostic to μ: condensation preserves first-order sums
     exactly in aggregate, so this should be ~0 for static condensation.
     Returned as ``||mean_o − mean_p|| / max(||mean_o||, 1)``.
+
+    Parameters
+    ----------
+    original:
+        The original record array, shape ``(n, d)``.
+    anonymized:
+        The anonymized record array, shape ``(m, d)``.
+
+    Returns
+    -------
+    float
+        Non-negative relative error; ~0 when means agree.
+
+    Raises
+    ------
+    ValueError
+        If the dimensionalities differ.
     """
     original = np.asarray(original, dtype=float)
     anonymized = np.asarray(anonymized, dtype=float)

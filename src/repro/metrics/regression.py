@@ -19,14 +19,40 @@ def _validate_pair(y_true: np.ndarray, y_pred: np.ndarray):
 
 
 def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
-    """Mean of squared residuals."""
+    """Mean of squared residuals.
+
+    Parameters
+    ----------
+    y_true:
+        True targets, 1-D.
+    y_pred:
+        Predicted targets, 1-D, same length.
+
+    Returns
+    -------
+    float
+        ``mean((y_true - y_pred)**2)``.
+    """
     y_true, y_pred = _validate_pair(y_true, y_pred)
     residuals = y_true - y_pred
     return float(np.mean(residuals * residuals))
 
 
 def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
-    """Mean of absolute residuals."""
+    """Mean of absolute residuals.
+
+    Parameters
+    ----------
+    y_true:
+        True targets, 1-D.
+    y_pred:
+        Predicted targets, 1-D, same length.
+
+    Returns
+    -------
+    float
+        ``mean(|y_true - y_pred|)``.
+    """
     y_true, y_pred = _validate_pair(y_true, y_pred)
     return float(np.mean(np.abs(y_true - y_pred)))
 
@@ -37,6 +63,18 @@ def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
     Returns 0.0 when the true targets are constant and the predictions
     are imperfect (the usual convention that avoids dividing by zero),
     and 1.0 when predictions match a constant target exactly.
+
+    Parameters
+    ----------
+    y_true:
+        True targets, 1-D.
+    y_pred:
+        Predicted targets, 1-D, same length.
+
+    Returns
+    -------
+    float
+        ``1 - SS_res / SS_tot``; at most 1, unbounded below.
     """
     y_true, y_pred = _validate_pair(y_true, y_pred)
     residual = float(np.sum((y_true - y_pred) ** 2))
@@ -54,6 +92,25 @@ def tolerance_accuracy(
     The paper's Abalone metric: "the percentage of the time that the age
     was predicted within an accuracy of less than one year" — i.e. this
     function with ``tol=1.0`` over predicted ages.
+
+    Parameters
+    ----------
+    y_true:
+        True targets, 1-D.
+    y_pred:
+        Predicted targets, 1-D, same length.
+    tol:
+        Half-width of the acceptance band; must be non-negative.
+
+    Returns
+    -------
+    float
+        Fraction of predictions with ``|y_true - y_pred| <= tol``.
+
+    Raises
+    ------
+    ValueError
+        If ``tol`` is negative.
     """
     if tol < 0:
         raise ValueError(f"tol must be non-negative, got {tol}")

@@ -143,7 +143,26 @@ def association_rules(
 ) -> list[AssociationRule]:
     """Mine association rules meeting support and confidence thresholds.
 
-    Returns rules sorted by descending lift, then confidence.
+    Parameters
+    ----------
+    transactions:
+        Iterable of item collections (one per transaction).
+    min_support:
+        Minimum fraction of transactions an itemset must appear in.
+    min_confidence:
+        Minimum rule confidence, in ``(0, 1]``.
+    max_length:
+        Optional cap on itemset length.
+
+    Returns
+    -------
+    list of AssociationRule
+        Rules sorted by descending lift, then confidence.
+
+    Raises
+    ------
+    ValueError
+        If ``min_confidence`` is outside ``(0, 1]``.
     """
     if not 0.0 < min_confidence <= 1.0:
         raise ValueError(
@@ -186,6 +205,16 @@ def maximal_itemsets(frequent: dict[frozenset, float]):
     An itemset is maximal when no frequent superset exists; the maximal
     family is the compact summary of the itemset lattice (every
     frequent itemset is a subset of some maximal one).
+
+    Parameters
+    ----------
+    frequent:
+        Mapping of frequent itemsets to their supports.
+
+    Returns
+    -------
+    dict of frozenset to float
+        The maximal itemsets with their supports.
     """
     itemsets = sorted(frequent, key=len, reverse=True)
     maximal: list[frozenset] = []
@@ -202,6 +231,16 @@ def rule_overlap(
 
     Used to quantify how well rules mined from anonymized data agree
     with rules mined from the original.
+
+    Parameters
+    ----------
+    rules_a, rules_b:
+        Rule lists to compare; only antecedent/consequent pairs matter.
+
+    Returns
+    -------
+    float
+        Jaccard overlap in ``[0, 1]``; 1.0 when both sets are empty.
     """
     keys_a = {(rule.antecedent, rule.consequent) for rule in rules_a}
     keys_b = {(rule.antecedent, rule.consequent) for rule in rules_b}

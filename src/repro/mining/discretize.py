@@ -109,7 +109,26 @@ class EqualFrequencyDiscretizer:
 def transactions_from_bins(
     bins: np.ndarray, feature_names=None
 ) -> list[frozenset]:
-    """Turn binned records into transactions of ``"attr=bin"`` items."""
+    """Turn binned records into transactions of ``"attr=bin"`` items.
+
+    Parameters
+    ----------
+    bins:
+        Integer bin indices, shape ``(n, d)``.
+    feature_names:
+        Attribute names for the item labels; defaults to
+        ``attr_0..attr_{d-1}``.
+
+    Returns
+    -------
+    list of frozenset
+        One transaction per record.
+
+    Raises
+    ------
+    ValueError
+        If ``bins`` is not 2-D or the name count mismatches.
+    """
     bins = np.asarray(bins)
     if bins.ndim != 2:
         raise ValueError(f"bins must be 2-D, got shape {bins.shape}")

@@ -17,7 +17,22 @@ from repro.neighbors.brute import pairwise_distances
 def kmeans_plus_plus(
     data: np.ndarray, n_clusters: int, rng
 ) -> np.ndarray:
-    """k-means++ seeding: spread initial centres by D² sampling."""
+    """k-means++ seeding: spread initial centres by D² sampling.
+
+    Parameters
+    ----------
+    data:
+        Record array, shape ``(n, d)``.
+    n_clusters:
+        Number of centres to place.
+    rng:
+        :class:`numpy.random.Generator` to draw from.
+
+    Returns
+    -------
+    numpy.ndarray, shape (n_clusters, d)
+        The selected initial centres.
+    """
     n = data.shape[0]
     centres = np.empty((n_clusters, data.shape[1]))
     first = int(rng.integers(0, n))

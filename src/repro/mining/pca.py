@@ -99,6 +99,26 @@ def subspace_alignment(pca_a: PCA, pca_b: PCA, n_axes: int) -> float:
     leading ``n_axes`` components: 1 when the subspaces coincide, ~0
     when orthogonal.  Used to check that condensation preserves the
     principal structure of the data.
+
+    Parameters
+    ----------
+    pca_a, pca_b:
+        Fitted :class:`PCA` models to compare.
+    n_axes:
+        Number of leading components defining each subspace.
+
+    Returns
+    -------
+    float
+        Mean squared singular value of the cross-projection, in
+        ``[0, 1]``.
+
+    Raises
+    ------
+    RuntimeError
+        If either model is unfitted.
+    ValueError
+        If the two component blocks disagree on shape.
     """
     if pca_a.components_ is None or pca_b.components_ is None:
         raise RuntimeError("both PCA models must be fitted")

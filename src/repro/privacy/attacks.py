@@ -61,6 +61,23 @@ def generate_with_provenance(
 
     The provenance array is attacker-side bookkeeping for evaluating
     linkage — a real release would publish only the records.
+
+    Parameters
+    ----------
+    model:
+        Condensed model to generate from.
+    sampler:
+        Per-eigenvector sampler name or callable.
+    random_state:
+        Anything accepted by
+        :func:`repro.linalg.rng.check_random_state`.
+
+    Returns
+    -------
+    records : numpy.ndarray
+        The anonymized release.
+    provenance : numpy.ndarray
+        Index of the source group of each released record.
     """
     rng = check_random_state(random_state)
     parts = []
@@ -125,6 +142,11 @@ def attribute_disclosure_attack(
         Index of the sensitive attribute (hidden from the adversary).
     sampler, random_state:
         Generation settings for the release.
+
+    Returns
+    -------
+    AttributeDisclosureResult
+        Attack error, baseline error and the adversary's relative gain.
     """
     original = np.asarray(original, dtype=float)
     if original.ndim != 2:

@@ -27,6 +27,23 @@ def roc_auc(scores_positive, scores_negative) -> float:
 
     The probability that a random positive outscores a random negative
     (ties count half) — computed by the rank-sum identity, no sklearn.
+
+    Parameters
+    ----------
+    scores_positive:
+        Scores of the positive class; non-empty.
+    scores_negative:
+        Scores of the negative class; non-empty.
+
+    Returns
+    -------
+    float
+        AUC in ``[0, 1]``; 0.5 means no discrimination.
+
+    Raises
+    ------
+    ValueError
+        If either sample is empty.
     """
     scores_positive = np.asarray(scores_positive, dtype=float)
     scores_negative = np.asarray(scores_negative, dtype=float)

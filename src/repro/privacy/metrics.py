@@ -51,7 +51,19 @@ class PrivacyReport:
 
 
 def privacy_report(model: CondensedModel) -> PrivacyReport:
-    """Compute a :class:`PrivacyReport` for a condensed model."""
+    """Compute a :class:`PrivacyReport` for a condensed model.
+
+    Parameters
+    ----------
+    model:
+        Condensed model to summarize.
+
+    Returns
+    -------
+    PrivacyReport
+        Requested vs achieved k, group-size statistics, and the
+        expected disclosure probability.
+    """
     sizes = model.group_sizes
     total = float(sizes.sum())
     # A record drawn uniformly from the data lands in group G with
@@ -68,5 +80,16 @@ def privacy_report(model: CondensedModel) -> PrivacyReport:
 
 
 def indistinguishability_level(model: CondensedModel) -> int:
-    """The achieved k: the smallest condensed-group size."""
+    """The achieved k: the smallest condensed-group size.
+
+    Parameters
+    ----------
+    model:
+        Condensed model to inspect.
+
+    Returns
+    -------
+    int
+        The minimum group size.
+    """
     return int(model.group_sizes.min())

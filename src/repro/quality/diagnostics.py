@@ -52,7 +52,18 @@ class GroupDiagnostics:
 
 
 def group_diagnostics(model: CondensedModel) -> list[GroupDiagnostics]:
-    """Compute :class:`GroupDiagnostics` for every group of a model."""
+    """Compute :class:`GroupDiagnostics` for every group of a model.
+
+    Parameters
+    ----------
+    model:
+        Condensed model to diagnose.
+
+    Returns
+    -------
+    list of GroupDiagnostics
+        One entry per group, in model order.
+    """
     centroids = model.centroids()
     if model.n_groups > 1:
         centroid_distances = pairwise_distances(centroids, centroids)
@@ -91,6 +102,24 @@ def flag_sparse_groups(
     A group spanning more than ``extent_factor`` times the median group
     extent condenses a sparse region: its uniform approximation is the
     least faithful and its generated records the most diffuse (§2.2).
+
+    Parameters
+    ----------
+    model:
+        Condensed model to inspect.
+    extent_factor:
+        Multiple of the median extent above which a group is flagged;
+        must be positive.
+
+    Returns
+    -------
+    list of int
+        Indices of the flagged groups.
+
+    Raises
+    ------
+    ValueError
+        If ``extent_factor`` is not positive.
     """
     if extent_factor <= 0:
         raise ValueError(

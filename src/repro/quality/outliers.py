@@ -22,6 +22,23 @@ def knn_outlier_scores(data: np.ndarray, n_neighbors: int = 5
 
     Larger scores mean sparser neighbourhoods; the classic
     distance-based outlier criterion.
+
+    Parameters
+    ----------
+    data:
+        Record array, shape ``(n, d)``.
+    n_neighbors:
+        Neighbourhood size; must be in ``[1, n - 1]``.
+
+    Returns
+    -------
+    numpy.ndarray, shape (n,)
+        Mean neighbour distance per record.
+
+    Raises
+    ------
+    ValueError
+        If ``data`` is not 2-D or ``n_neighbors`` is out of range.
     """
     data = np.asarray(data, dtype=float)
     if data.ndim != 2:

@@ -27,6 +27,21 @@ def ks_statistic(sample_a: np.ndarray, sample_b: np.ndarray) -> float:
 
     The maximum vertical distance between the two empirical CDFs; 0 for
     identical samples, 1 for disjoint supports.
+
+    Parameters
+    ----------
+    sample_a, sample_b:
+        Non-empty 1-D samples to compare.
+
+    Returns
+    -------
+    float
+        KS statistic in ``[0, 1]``.
+
+    Raises
+    ------
+    ValueError
+        If either sample is empty.
     """
     sample_a = np.sort(np.asarray(sample_a, dtype=float))
     sample_b = np.sort(np.asarray(sample_b, dtype=float))
@@ -93,7 +108,25 @@ class UtilityReport:
 def utility_report(
     original: np.ndarray, anonymized: np.ndarray
 ) -> UtilityReport:
-    """Compare an anonymized release against the original records."""
+    """Compare an anonymized release against the original records.
+
+    Parameters
+    ----------
+    original:
+        The original record array, shape ``(n, d)``.
+    anonymized:
+        The anonymized record array, shape ``(m, d)``.
+
+    Returns
+    -------
+    UtilityReport
+        Mean/covariance compatibility and per-attribute KS statistics.
+
+    Raises
+    ------
+    ValueError
+        If either array is not 2-D or dimensionalities differ.
+    """
     original = np.asarray(original, dtype=float)
     anonymized = np.asarray(anonymized, dtype=float)
     if original.ndim != 2 or anonymized.ndim != 2:

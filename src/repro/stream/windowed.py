@@ -63,6 +63,9 @@ class SlidingWindowCondenser:
             raise ValueError(
                 f"record must be a vector, got shape {record.shape}"
             )
+        # Trusted-side window: the module docstring's trust-model note
+        # applies; only aggregates ever leave this class.
+        # repro-lint: disable-next=PRIV-001 -- transient window buffer
         self._buffer.append(record.copy())
         if self._maintainer is None:
             if len(self._buffer) >= 2 * self.k:

@@ -1,0 +1,52 @@
+"""Shared helpers for the analyzer tests.
+
+Rule tests run :func:`repro.analysis.analyze_source` on in-memory
+snippets.  The *virtual path* decides which repo-aware policies apply,
+so each fixture returns a runner pinned to one scope:
+
+* ``run_core`` — ``src/repro/core/...`` (privacy-critical, library code)
+* ``run_lib`` — ``src/repro/metrics/...`` (library code, not privacy-
+  critical)
+* ``run_tests`` — ``tests/...`` (test-module relaxations)
+"""
+
+import pytest
+
+from repro.analysis import analyze_source, get_rules
+
+
+def _runner(path):
+    def run(source, select=None):
+        rules = get_rules(select=select) if select else None
+        return analyze_source(source, path=path, rules=rules)
+
+    return run
+
+
+@pytest.fixture
+def run_core():
+    """Analyze a snippet as if it lived in ``repro/core``."""
+    return _runner("src/repro/core/snippet.py")
+
+
+@pytest.fixture
+def run_stream():
+    """Analyze a snippet as if it lived in ``repro/stream``."""
+    return _runner("src/repro/stream/snippet.py")
+
+
+@pytest.fixture
+def run_lib():
+    """Analyze a snippet as if it lived in a non-critical package."""
+    return _runner("src/repro/metrics/snippet.py")
+
+
+@pytest.fixture
+def run_tests():
+    """Analyze a snippet as if it were a test module."""
+    return _runner("tests/test_snippet.py")
+
+
+def rule_ids(findings):
+    """The rule ids of ``findings``, in report order."""
+    return [finding.rule_id for finding in findings]

@@ -1,0 +1,72 @@
+"""Text and JSON report rendering."""
+
+import json
+
+from repro.analysis import (
+    JSON_SCHEMA_VERSION,
+    Finding,
+    render_json,
+    render_text,
+)
+
+
+def _sample_findings():
+    return [
+        Finding(
+            path="src/repro/core/x.py", line=3, column=0,
+            rule_id="RNG-001", message="global state",
+        ),
+        Finding(
+            path="src/repro/core/x.py", line=9, column=4,
+            rule_id="PRIV-001", message="raw records",
+        ),
+        Finding(
+            path="src/repro/stream/y.py", line=1, column=0,
+            rule_id="RNG-001", message="global state",
+        ),
+    ]
+
+
+class TestText:
+    def test_clean_summary(self):
+        assert render_text([]) == "0 findings — clean"
+
+    def test_findings_render_one_line_each_plus_summary(self):
+        text = render_text(_sample_findings())
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0] == "src/repro/core/x.py:3:0: RNG-001 global state"
+        assert "3 finding(s), 0 error(s)" in lines[-1]
+        assert "RNG-001: 2" in lines[-1]
+        assert "PRIV-001: 1" in lines[-1]
+
+    def test_errors_render_and_count(self):
+        text = render_text([], errors=["bad.py: invalid syntax"])
+        assert "error: bad.py: invalid syntax" in text
+        assert "0 finding(s), 1 error(s)" in text
+
+
+class TestJson:
+    def test_schema(self):
+        document = json.loads(
+            render_json(_sample_findings(), errors=["bad.py: boom"])
+        )
+        assert document["schema_version"] == JSON_SCHEMA_VERSION
+        assert set(document) == {
+            "schema_version", "summary", "findings", "errors",
+        }
+        assert document["summary"] == {
+            "files_with_findings": 2,
+            "total": 3,
+            "by_rule": {"PRIV-001": 1, "RNG-001": 2},
+        }
+        assert document["errors"] == ["bad.py: boom"]
+        first = document["findings"][0]
+        assert set(first) == {"path", "line", "column", "rule_id", "message"}
+        assert first["line"] == 3
+
+    def test_clean_document(self):
+        document = json.loads(render_json([]))
+        assert document["summary"]["total"] == 0
+        assert document["findings"] == []
+        assert document["errors"] == []

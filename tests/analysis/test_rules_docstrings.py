@@ -1,0 +1,149 @@
+"""DOC-001: NumPy-style docstrings on the public API."""
+
+from textwrap import dedent
+
+from tests.analysis.conftest import rule_ids
+
+_CLEAN_FUNCTION = dedent(
+    '''
+    def distance(a, b):
+        """Euclidean distance between two vectors.
+
+        Parameters
+        ----------
+        a, b:
+            Vectors of equal length.
+
+        Returns
+        -------
+        float
+            The distance.
+        """
+        return sum((x - y) ** 2 for x, y in zip(a, b)) ** 0.5
+    '''
+)
+
+
+class TestModuleFunctions:
+    def test_missing_docstring_flagged(self, run_lib):
+        source = "def distance(a, b):\n    return abs(a - b)\n"
+        findings = run_lib(source, select=["DOC-001"])
+        assert rule_ids(findings) == ["DOC-001"]
+        assert "no docstring" in findings[0].message
+
+    def test_missing_sections_flagged(self, run_lib):
+        source = dedent(
+            '''
+            def distance(a, b):
+                """Euclidean distance between two vectors."""
+                return abs(a - b)
+            '''
+        )
+        findings = run_lib(source, select=["DOC-001"])
+        assert rule_ids(findings) == ["DOC-001"]
+        assert "Parameters/Returns" in findings[0].message
+
+    def test_full_numpy_docstring_is_clean(self, run_lib):
+        assert run_lib(_CLEAN_FUNCTION, select=["DOC-001"]) == []
+
+    def test_yields_section_satisfies_returns(self, run_lib):
+        source = dedent(
+            '''
+            def pairs(items):
+                """Consecutive pairs of ``items``.
+
+                Parameters
+                ----------
+                items:
+                    Sequence to pair up.
+
+                Yields
+                ------
+                tuple
+                    Consecutive ``(a, b)`` pairs.
+                """
+                for a, b in zip(items, items[1:]):
+                    yield a, b
+            '''
+        )
+        assert run_lib(source, select=["DOC-001"]) == []
+
+    def test_procedure_without_return_needs_no_returns_section(
+        self, run_lib
+    ):
+        source = dedent(
+            '''
+            def log(message):
+                """Print ``message``.
+
+                Parameters
+                ----------
+                message:
+                    Text to print.
+                """
+                print(message)
+            '''
+        )
+        assert run_lib(source, select=["DOC-001"]) == []
+
+
+class TestMethodsAndScope:
+    def test_undocumented_public_method_flagged(self, run_lib):
+        source = dedent(
+            '''
+            class Model:
+                """A model."""
+
+                def fit(self, data):
+                    return self
+            '''
+        )
+        findings = run_lib(source, select=["DOC-001"])
+        assert rule_ids(findings) == ["DOC-001"]
+
+    def test_method_docstring_without_sections_is_enough(self, run_lib):
+        source = dedent(
+            '''
+            class Model:
+                """A model."""
+
+                def fit(self, data):
+                    """Fit the model to ``data``."""
+                    return self
+            '''
+        )
+        assert run_lib(source, select=["DOC-001"]) == []
+
+    def test_private_names_and_properties_skipped(self, run_lib):
+        source = dedent(
+            '''
+            class Model:
+                """A model."""
+
+                @property
+                def n_groups(self):
+                    return 0
+
+                def _helper(self):
+                    return 1
+
+
+            def _private(a, b):
+                return a + b
+            '''
+        )
+        assert run_lib(source, select=["DOC-001"]) == []
+
+    def test_private_class_methods_skipped(self, run_lib):
+        source = dedent(
+            """
+            class _Internal:
+                def helper(self):
+                    return 1
+            """
+        )
+        assert run_lib(source, select=["DOC-001"]) == []
+
+    def test_rule_skips_test_modules(self, run_tests):
+        source = "def test_distance():\n    assert True\n"
+        assert run_tests(source, select=["DOC-001"]) == []

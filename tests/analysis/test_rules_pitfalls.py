@@ -1,0 +1,86 @@
+"""PY-001/002/003: mutable defaults, bare except, float equality."""
+
+from textwrap import dedent
+
+from tests.analysis.conftest import rule_ids
+
+
+class TestMutableDefaults:
+    def test_list_literal_default_flagged(self, run_lib):
+        source = "def f(x, cache=[]):\n    return cache\n"
+        findings = run_lib(source, select=["PY-001"])
+        assert rule_ids(findings) == ["PY-001"]
+
+    def test_dict_constructor_default_flagged(self, run_lib):
+        source = "def f(x, cache=dict()):\n    return cache\n"
+        findings = run_lib(source, select=["PY-001"])
+        assert rule_ids(findings) == ["PY-001"]
+
+    def test_keyword_only_default_flagged(self, run_lib):
+        source = "def f(x, *, cache={}):\n    return cache\n"
+        findings = run_lib(source, select=["PY-001"])
+        assert rule_ids(findings) == ["PY-001"]
+
+    def test_none_default_is_clean(self, run_lib):
+        source = dedent(
+            """
+            def f(x, cache=None):
+                if cache is None:
+                    cache = {}
+                return cache
+            """
+        )
+        assert run_lib(source, select=["PY-001"]) == []
+
+    def test_immutable_defaults_are_clean(self, run_lib):
+        source = "def f(a=1, b='x', c=(), d=frozenset()):\n    return a\n"
+        assert run_lib(source, select=["PY-001"]) == []
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self, run_lib):
+        source = dedent(
+            """
+            try:
+                risky()
+            except:
+                pass
+            """
+        )
+        findings = run_lib(source, select=["PY-002"])
+        assert rule_ids(findings) == ["PY-002"]
+
+    def test_typed_except_is_clean(self, run_lib):
+        source = dedent(
+            """
+            try:
+                risky()
+            except (ValueError, KeyError):
+                pass
+            """
+        )
+        assert run_lib(source, select=["PY-002"]) == []
+
+
+class TestFloatEquality:
+    def test_equality_against_float_literal_flagged(self, run_lib):
+        findings = run_lib("ok = x == 0.1\n", select=["PY-003"])
+        assert rule_ids(findings) == ["PY-003"]
+        assert "isclose" in findings[0].message
+
+    def test_inequality_and_negative_literal_flagged(self, run_lib):
+        findings = run_lib("ok = -2.5 != y\n", select=["PY-003"])
+        assert rule_ids(findings) == ["PY-003"]
+
+    def test_chained_comparison_flagged(self, run_lib):
+        findings = run_lib("ok = 0 < x == 1.5\n", select=["PY-003"])
+        assert rule_ids(findings) == ["PY-003"]
+
+    def test_exact_zero_guard_is_exempt(self, run_lib):
+        assert run_lib("ok = spread == 0.0\n", select=["PY-003"]) == []
+
+    def test_integer_equality_is_clean(self, run_lib):
+        assert run_lib("ok = x == 3\n", select=["PY-003"]) == []
+
+    def test_ordering_against_float_is_clean(self, run_lib):
+        assert run_lib("ok = x < 0.5\n", select=["PY-003"]) == []

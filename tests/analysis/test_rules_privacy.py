@@ -1,0 +1,149 @@
+"""PRIV-001: the statistics-only condensation invariant (paper §2)."""
+
+from textwrap import dedent
+
+from tests.analysis.conftest import rule_ids
+
+
+class TestRecordRetention:
+    def test_record_store_attribute_flagged(self, run_core):
+        source = dedent(
+            """
+            class Group:
+                def __init__(self, records):
+                    self._records = records
+            """
+        )
+        findings = run_core(source, select=["PRIV-001"])
+        assert rule_ids(findings) == ["PRIV-001"]
+        assert "(Fs, Sc, n)" in findings[0].message
+
+    def test_record_value_name_flagged_even_on_innocent_attribute(
+        self, run_core
+    ):
+        source = dedent(
+            """
+            class Group:
+                def fit(self, data):
+                    self.cache = data.copy()
+            """
+        )
+        findings = run_core(source, select=["PRIV-001"])
+        assert rule_ids(findings) == ["PRIV-001"]
+
+    def test_wrapped_record_value_flagged(self, run_core):
+        source = dedent(
+            """
+            import numpy as np
+
+
+            class Group:
+                def fit(self, X):
+                    self.kept = np.asarray(X, dtype=float)
+            """
+        )
+        findings = run_core(source, select=["PRIV-001"])
+        assert rule_ids(findings) == ["PRIV-001"]
+
+    def test_append_onto_record_attribute_flagged(self, run_stream):
+        source = dedent(
+            """
+            class Condenser:
+                def push(self, record):
+                    self._buffer.append(record.copy())
+            """
+        )
+        findings = run_stream(source, select=["PRIV-001"])
+        assert rule_ids(findings) == ["PRIV-001"]
+
+    def test_statistics_aggregation_is_clean(self, run_core):
+        # ``+=`` into the sums IS the paper's aggregation, not retention.
+        source = dedent(
+            """
+            import numpy as np
+
+
+            class GroupStatistics:
+                def add(self, record):
+                    self.first_order += record
+                    self.second_order += np.outer(record, record)
+                    self.count += 1
+            """
+        )
+        assert run_core(source, select=["PRIV-001"]) == []
+
+    def test_counts_and_flags_are_clean(self, run_core):
+        source = dedent(
+            """
+            class Group:
+                def __init__(self, data):
+                    self.count = len(data)
+                    self.n_features = int(data.shape[1])
+                    self.fitted = True
+                    self.children = []
+            """
+        )
+        assert run_core(source, select=["PRIV-001"]) == []
+
+    def test_stream_source_class_is_exempt(self, run_stream):
+        # ``*Stream``/``*Source`` classes model the trusted input feed.
+        source = dedent(
+            """
+            class ArrayStream:
+                def __init__(self, data):
+                    self._data = data
+            """
+        )
+        assert run_stream(source, select=["PRIV-001"]) == []
+
+    def test_rule_is_scoped_to_core_and_stream(self, run_lib):
+        source = dedent(
+            """
+            class Holder:
+                def __init__(self, records):
+                    self._records = records
+            """
+        )
+        assert run_lib(source, select=["PRIV-001"]) == []
+
+
+class TestSerialization:
+    def test_pickle_import_flagged(self, run_core):
+        findings = run_core("import pickle\n", select=["PRIV-001"])
+        assert rule_ids(findings) == ["PRIV-001"]
+        assert "repro/io" in findings[0].message
+
+    def test_pickle_dump_flagged(self, run_core):
+        source = dedent(
+            """
+            import pickle
+
+
+            def stash(group, handle):
+                pickle.dump(group, handle)
+            """
+        )
+        findings = run_core(source, select=["PRIV-001"])
+        # The import and the call each produce a finding.
+        assert rule_ids(findings) == ["PRIV-001", "PRIV-001"]
+
+    def test_numpy_save_flagged(self, run_stream):
+        source = dedent(
+            """
+            import numpy as np
+
+
+            def stash(path, batch):
+                np.save(path, batch)
+            """
+        )
+        findings = run_stream(source, select=["PRIV-001"])
+        assert rule_ids(findings) == ["PRIV-001"]
+
+    def test_tofile_flagged(self, run_core):
+        source = "window.tofile('dump.bin')\n"
+        findings = run_core(source, select=["PRIV-001"])
+        assert rule_ids(findings) == ["PRIV-001"]
+
+    def test_serialization_allowed_outside_core_stream(self, run_lib):
+        assert run_lib("import pickle\n", select=["PRIV-001"]) == []

@@ -1,0 +1,110 @@
+"""RNG-001: global-state numpy RNG use and generator construction."""
+
+from textwrap import dedent
+
+from tests.analysis.conftest import rule_ids
+
+
+class TestGlobalStateCalls:
+    def test_np_random_seed_flagged(self, run_lib):
+        findings = run_lib(
+            "import numpy as np\nnp.random.seed(0)\n", select=["RNG-001"]
+        )
+        assert rule_ids(findings) == ["RNG-001"]
+        assert "global RNG state" in findings[0].message
+
+    def test_full_numpy_name_flagged(self, run_lib):
+        findings = run_lib(
+            "import numpy\nx = numpy.random.normal(size=3)\n",
+            select=["RNG-001"],
+        )
+        assert rule_ids(findings) == ["RNG-001"]
+
+    def test_random_module_alias_flagged(self, run_lib):
+        source = dedent(
+            """
+            from numpy import random
+            x = random.rand(4)
+            """
+        )
+        findings = run_lib(source, select=["RNG-001"])
+        assert rule_ids(findings) == ["RNG-001"]
+
+    def test_from_import_of_global_function_flagged(self, run_lib):
+        source = "from numpy.random import seed\nseed(3)\n"
+        findings = run_lib(source, select=["RNG-001"])
+        # Both the import and the call are reported.
+        assert rule_ids(findings) == ["RNG-001", "RNG-001"]
+
+    def test_global_state_flagged_even_in_tests(self, run_tests):
+        findings = run_tests(
+            "import numpy as np\nnp.random.seed(0)\n", select=["RNG-001"]
+        )
+        assert rule_ids(findings) == ["RNG-001"]
+
+    def test_legacy_randomstate_flagged(self, run_lib):
+        findings = run_lib(
+            "import numpy as np\nr = np.random.RandomState(0)\n",
+            select=["RNG-001"],
+        )
+        assert rule_ids(findings) == ["RNG-001"]
+        assert "legacy" in findings[0].message
+
+
+class TestGeneratorConstruction:
+    def test_default_rng_flagged_in_library_code(self, run_lib):
+        findings = run_lib(
+            "import numpy as np\nrng = np.random.default_rng(7)\n",
+            select=["RNG-001"],
+        )
+        assert rule_ids(findings) == ["RNG-001"]
+        assert "repro/linalg/rng.py" in findings[0].message
+
+    def test_default_rng_allowed_in_rng_module(self):
+        from repro.analysis import analyze_source, get_rules
+
+        findings = analyze_source(
+            "import numpy as np\nrng = np.random.default_rng(7)\n",
+            path="src/repro/linalg/rng.py",
+            rules=get_rules(select=["RNG-001"]),
+        )
+        assert findings == []
+
+    def test_seeded_default_rng_allowed_in_tests(self, run_tests):
+        findings = run_tests(
+            "import numpy as np\nrng = np.random.default_rng(7)\n",
+            select=["RNG-001"],
+        )
+        assert findings == []
+
+    def test_unseeded_default_rng_flagged_in_tests(self, run_tests):
+        findings = run_tests(
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            select=["RNG-001"],
+        )
+        assert rule_ids(findings) == ["RNG-001"]
+        assert "non-deterministic" in findings[0].message
+
+
+class TestCleanTwins:
+    def test_threaded_random_state_is_clean(self, run_core):
+        source = dedent(
+            """
+            from repro.linalg.rng import check_random_state
+
+
+            def sample(count, random_state=None):
+                rng = check_random_state(random_state)
+                return rng.integers(0, 10, size=count)
+            """
+        )
+        assert run_core(source, select=["RNG-001"]) == []
+
+    def test_unrelated_random_attribute_is_clean(self, run_lib):
+        # ``model.random`` is not numpy's global state.
+        source = "value = model.random.choice([1, 2])\n"
+        assert run_lib(source, select=["RNG-001"]) == []
+
+    def test_non_numpy_seed_call_is_clean(self, run_lib):
+        source = "import numpy as np\nother.seed(0)\n"
+        assert run_lib(source, select=["RNG-001"]) == []

@@ -1,0 +1,50 @@
+"""Tier-1 gate: the library's own tree passes its own analyzer.
+
+Plus the two canary injections from the acceptance criteria: seeding
+numpy's global state or stashing raw records in ``repro/core`` must trip
+the analyzer with the right rule id.
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths, analyze_source, render_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSelfClean:
+    def test_src_repro_has_zero_findings(self):
+        findings, errors = analyze_paths([REPO_ROOT / "src" / "repro"])
+        assert errors == []
+        assert findings == [], "\n" + render_text(findings)
+
+    def test_test_suite_has_zero_findings(self):
+        findings, errors = analyze_paths([REPO_ROOT / "tests"])
+        assert errors == []
+        assert findings == [], "\n" + render_text(findings)
+
+
+class TestCanaryInjections:
+    def _core_module(self, name):
+        path = REPO_ROOT / "src" / "repro" / "core" / name
+        return path.read_text(encoding="utf-8"), f"src/repro/core/{name}"
+
+    def test_injected_global_seed_trips_rng_001(self):
+        source, path = self._core_module("condensation.py")
+        injected = source + "\nimport numpy\nnumpy.random.seed(0)\n"
+        findings = analyze_source(injected, path=path)
+        assert "RNG-001" in {finding.rule_id for finding in findings}
+
+    def test_injected_record_retention_trips_priv_001(self):
+        source, path = self._core_module("statistics.py")
+        injected = source + (
+            "\n\ndef _leak(group, records):\n"
+            "    group._records = records\n"
+        )
+        findings = analyze_source(injected, path=path)
+        assert "PRIV-001" in {finding.rule_id for finding in findings}
+
+    def test_unmodified_core_modules_are_clean(self):
+        for name in ("condensation.py", "statistics.py"):
+            source, path = self._core_module(name)
+            assert analyze_source(source, path=path) == []

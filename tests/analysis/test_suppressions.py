@@ -1,0 +1,81 @@
+"""Suppression comments: same-line, next-line, multi-rule, and `all`."""
+
+from textwrap import dedent
+
+from repro.analysis.suppressions import is_suppressed, parse_suppressions
+from tests.analysis.conftest import rule_ids
+
+
+class TestParsing:
+    def test_same_line_directive(self):
+        suppressions = parse_suppressions(
+            "x = risky()  # repro-lint: disable=RNG-001\n"
+        )
+        assert suppressions == {1: frozenset({"RNG-001"})}
+
+    def test_disable_next_targets_following_line(self):
+        source = dedent(
+            """
+            # repro-lint: disable-next=PRIV-001 -- transient buffer
+            self._buffer.append(record)
+            """
+        )
+        suppressions = parse_suppressions(source)
+        assert suppressions == {3: frozenset({"PRIV-001"})}
+
+    def test_multiple_rules_comma_separated(self):
+        suppressions = parse_suppressions(
+            "x = 1  # repro-lint: disable=PY-001, PY-003\n"
+        )
+        assert suppressions[1] == frozenset({"PY-001", "PY-003"})
+
+    def test_justification_after_dashes_is_ignored(self):
+        suppressions = parse_suppressions(
+            "x = 1  # repro-lint: disable=PY-001 -- because reasons\n"
+        )
+        assert suppressions[1] == frozenset({"PY-001"})
+
+    def test_unrelated_comments_produce_nothing(self):
+        assert parse_suppressions("x = 1  # a plain comment\n") == {}
+
+
+class TestIsSuppressed:
+    def test_exact_rule_match(self):
+        suppressions = {3: frozenset({"RNG-001"})}
+        assert is_suppressed(suppressions, 3, "RNG-001")
+        assert not is_suppressed(suppressions, 3, "PRIV-001")
+        assert not is_suppressed(suppressions, 4, "RNG-001")
+
+    def test_all_sentinel_matches_everything(self):
+        suppressions = {2: frozenset({"all"})}
+        assert is_suppressed(suppressions, 2, "PY-002")
+
+
+class TestEndToEnd:
+    def test_suppressed_finding_is_dropped(self, run_lib):
+        source = (
+            "import numpy as np\n"
+            "np.random.seed(0)  # repro-lint: disable=RNG-001 -- demo\n"
+        )
+        assert run_lib(source, select=["RNG-001"]) == []
+
+    def test_disable_next_drops_the_following_line_only(self, run_core):
+        source = dedent(
+            """
+            class Group:
+                def __init__(self, records):
+                    # repro-lint: disable-next=PRIV-001 -- transient
+                    self._records = records
+                    self._members = records
+            """
+        )
+        findings = run_core(source, select=["PRIV-001"])
+        assert rule_ids(findings) == ["PRIV-001"]
+        assert findings[0].line == 6
+
+    def test_wrong_rule_id_does_not_suppress(self, run_lib):
+        source = (
+            "import numpy as np\n"
+            "np.random.seed(0)  # repro-lint: disable=PY-001\n"
+        )
+        assert rule_ids(run_lib(source, select=["RNG-001"])) == ["RNG-001"]

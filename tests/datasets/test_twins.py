@@ -116,8 +116,9 @@ class TestAbaloneTwin:
 
     def test_infants_smaller(self):
         dataset = load_abalone()
-        infants = dataset.data[dataset.data[:, 0] == 2.0, 1]
-        adults = dataset.data[dataset.data[:, 0] != 2.0, 1]
+        # Age-class codes are exact float constants, not measurements.
+        infants = dataset.data[dataset.data[:, 0] == 2.0, 1]  # repro-lint: disable=PY-003 -- exact categorical code
+        adults = dataset.data[dataset.data[:, 0] != 2.0, 1]  # repro-lint: disable=PY-003 -- exact categorical code
         assert infants.mean() < adults.mean()
 
     def test_rings_predictable_from_size(self):

@@ -13,7 +13,7 @@ from repro.evaluation.significance import (
 class TestPairedPermutationTest:
     def test_identical_scores_not_significant(self):
         scores = np.array([0.8, 0.82, 0.79, 0.81, 0.8])
-        assert paired_permutation_test(scores, scores) == 1.0
+        assert paired_permutation_test(scores, scores) == pytest.approx(1.0)
 
     def test_clear_difference_significant(self, rng):
         a = 0.9 + 0.01 * rng.normal(size=20)

@@ -165,4 +165,4 @@ class TestCorrelationFromCovariance:
         covariance = np.array([[1.0, 0.0], [0.0, 0.0]])
         correlation = correlation_from_covariance(covariance)
         assert correlation[0, 1] == 0.0
-        assert correlation[1, 1] == 1.0
+        assert correlation[1, 1] == pytest.approx(1.0)

@@ -15,17 +15,17 @@ from repro.metrics.classification import (
 class TestAccuracy:
     def test_perfect(self):
         labels = np.array([0, 1, 2, 1])
-        assert accuracy_score(labels, labels) == 1.0
+        assert accuracy_score(labels, labels) == pytest.approx(1.0)
 
     def test_half(self):
         assert accuracy_score(
             np.array([0, 0, 1, 1]), np.array([0, 1, 1, 0])
-        ) == 0.5
+        ) == pytest.approx(0.5)
 
     def test_string_labels(self):
         assert accuracy_score(
             np.array(["a", "b"]), np.array(["a", "a"])
-        ) == 0.5
+        ) == pytest.approx(0.5)
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
@@ -96,9 +96,9 @@ class TestPrecisionRecallF1:
 
     def test_perfect_scores(self):
         labels = np.array([0, 1, 2])
-        assert precision_score(labels, labels) == 1.0
-        assert recall_score(labels, labels) == 1.0
-        assert f1_score(labels, labels) == 1.0
+        assert precision_score(labels, labels) == pytest.approx(1.0)
+        assert recall_score(labels, labels) == pytest.approx(1.0)
+        assert f1_score(labels, labels) == pytest.approx(1.0)
 
     def test_never_predicted_class_contributes_zero(self):
         y_true = np.array([0, 1])

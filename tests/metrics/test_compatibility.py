@@ -74,7 +74,7 @@ class TestCovarianceCompatibility:
         # 1-D data: one covariance entry, so Pearson is undefined; the
         # implementation reports equality instead.
         column = rng.normal(size=(50, 1))
-        assert covariance_compatibility(column, column) == 1.0
+        assert covariance_compatibility(column, column) == pytest.approx(1.0)
 
     @given(seed=st.integers(0, 500))
     @settings(max_examples=25, deadline=None)
@@ -97,7 +97,7 @@ class TestMatrixEntryCorrelation:
             matrix_entry_correlation(np.zeros(3), np.zeros(4))
 
     def test_constant_entries_equal(self):
-        assert matrix_entry_correlation(np.ones(4), np.ones(4)) == 1.0
+        assert matrix_entry_correlation(np.ones(4), np.ones(4)) == pytest.approx(1.0)
 
     def test_constant_entries_different(self):
         assert matrix_entry_correlation(np.ones(4), 2 * np.ones(4)) == 0.0

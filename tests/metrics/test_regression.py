@@ -55,7 +55,7 @@ class TestR2:
 
     def test_constant_target_perfect(self):
         targets = np.full(5, 2.0)
-        assert r2_score(targets, targets) == 1.0
+        assert r2_score(targets, targets) == pytest.approx(1.0)
 
     def test_constant_target_imperfect(self):
         targets = np.full(5, 2.0)
@@ -67,12 +67,12 @@ class TestToleranceAccuracy:
         # "predicted within an accuracy of less than one year"
         y_true = np.array([10.0, 10.0, 10.0, 10.0])
         y_pred = np.array([10.0, 10.9, 11.0, 11.5])
-        assert tolerance_accuracy(y_true, y_pred, tol=1.0) == 0.75
+        assert tolerance_accuracy(y_true, y_pred, tol=1.0) == pytest.approx(0.75)
 
     def test_tolerance_zero_is_exact_match(self):
         y_true = np.array([1.0, 2.0])
         y_pred = np.array([1.0, 2.5])
-        assert tolerance_accuracy(y_true, y_pred, tol=0.0) == 0.5
+        assert tolerance_accuracy(y_true, y_pred, tol=0.0) == pytest.approx(0.5)
 
     def test_monotone_in_tolerance(self, rng):
         y_true = rng.normal(size=100)

@@ -141,7 +141,7 @@ class TestRuleOverlap:
         rules = association_rules(
             MARKET_BASKET, min_support=0.2, min_confidence=0.5
         )
-        assert rule_overlap(rules, list(rules)) == 1.0
+        assert rule_overlap(rules, list(rules)) == pytest.approx(1.0)
 
     def test_disjoint_sets(self):
         rules = association_rules(
@@ -150,7 +150,7 @@ class TestRuleOverlap:
         assert rule_overlap(rules, []) == 0.0
 
     def test_empty_sets(self):
-        assert rule_overlap([], []) == 1.0
+        assert rule_overlap([], []) == pytest.approx(1.0)
 
 
 class TestMaximalItemsets:

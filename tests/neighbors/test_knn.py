@@ -10,7 +10,7 @@ class TestKNeighborsClassifier:
     def test_perfect_on_training_data_with_k1(self, labelled_blobs):
         data, labels = labelled_blobs
         classifier = KNeighborsClassifier(n_neighbors=1).fit(data, labels)
-        assert classifier.score(data, labels) == 1.0
+        assert classifier.score(data, labels) == pytest.approx(1.0)
 
     def test_separable_classes(self, labelled_blobs):
         data, labels = labelled_blobs

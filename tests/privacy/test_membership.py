@@ -12,7 +12,7 @@ from repro.privacy.membership import (
 
 class TestRocAuc:
     def test_perfect_separation(self):
-        assert roc_auc([3.0, 4.0, 5.0], [0.0, 1.0, 2.0]) == 1.0
+        assert roc_auc([3.0, 4.0, 5.0], [0.0, 1.0, 2.0]) == pytest.approx(1.0)
 
     def test_perfectly_inverted(self):
         assert roc_auc([0.0, 1.0], [5.0, 6.0]) == 0.0
