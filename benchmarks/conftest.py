@@ -7,12 +7,19 @@ experiment, so ``pytest benchmarks/ --benchmark-only`` both reproduces
 and times each figure.
 """
 
+import json
 from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro import telemetry
 from repro.evaluation.sweep import FigureResult, run_group_size_sweep
+
+#: Where the session's telemetry snapshot is dumped for CI artifacts.
+TELEMETRY_SNAPSHOT = Path(__file__).resolve().parent.parent / (
+    "BENCH_telemetry.json"
+)
 
 #: Shared sweep grid (matches DESIGN.md: covers the paper's 0-50 axis).
 GROUP_SIZES = (2, 5, 10, 15, 20, 25, 30, 40, 50)
@@ -89,3 +96,36 @@ def assert_paper_shape(result: FigureResult, baseline_slack: float = 0.12):
 def bench_rng():
     """Deterministic generator for ad-hoc bench data."""
     return np.random.default_rng(20140331)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_telemetry():
+    """Capture the whole bench session's telemetry.
+
+    Enables the live pipeline for the session and dumps the final
+    registry snapshot plus per-span aggregates to
+    ``BENCH_telemetry.json`` at the repo root, where CI uploads it as
+    an artifact.
+    """
+    pipeline = telemetry.configure()
+    try:
+        yield pipeline
+    finally:
+        telemetry.disable()
+        summary = telemetry.summarize_events(pipeline.finished_spans())
+        spans = {
+            name: {
+                "count": aggregate.count,
+                "total_seconds": aggregate.total,
+                "max_seconds": aggregate.maximum,
+            }
+            for name, aggregate in sorted(summary.spans.items())
+        }
+        snapshot = {
+            "schema_version": 1,
+            "metrics": pipeline.registry.snapshot(),
+            "spans": spans,
+        }
+        TELEMETRY_SNAPSHOT.write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+        )

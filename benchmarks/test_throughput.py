@@ -7,16 +7,16 @@ capacity with; the paper reports no timings, so there is no shape to
 match — only regressions to catch.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.condensation import create_condensed_groups
 from repro.core.dynamic import DynamicGroupMaintainer
 from repro.core.generation import generate_anonymized_data
+from repro.linalg.rng import check_random_state
 
 
 def make_data(n, d=8, seed=0):
-    return np.random.default_rng(seed).normal(size=(n, d))
+    return check_random_state(seed).normal(size=(n, d))
 
 
 @pytest.mark.parametrize("n", [500, 2000])

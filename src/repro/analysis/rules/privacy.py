@@ -1,4 +1,6 @@
-"""PRIV-001 — the condensation "statistics only" invariant.
+"""Privacy rules: the statistics-only invariant and telemetry payloads.
+
+PRIV-001 — the condensation "statistics only" invariant.
 
 Paper §2: a condensed group retains only ``(Fs, Sc, n)`` — first-order
 sums, second-order sums, and a count.  Raw member records must never
@@ -19,6 +21,16 @@ Two repo-aware carve-outs keep the rule honest: classes named
 of condensation, where raw data legitimately lives), and transient
 buffers with an explicit trust-model justification may use a
 ``# repro-lint: disable=PRIV-001`` suppression.
+
+PRIV-002 — telemetry payloads must be scalar aggregates.  The
+``repro.telemetry`` subsystem records counts, timings, and sizes; it
+must never be handed a record batch as a metric value, label value, or
+span attribute, or the observability side-channel would leak exactly
+what condensation is built to discard.  The runtime guard
+(``repro.telemetry.check_scalar``) rejects arrays when telemetry is
+enabled; this rule catches the same mistake statically, including on
+paths only exercised with telemetry disabled (where the no-op pipeline
+drops payloads unchecked).
 """
 
 from __future__ import annotations
@@ -287,3 +299,136 @@ class StatisticsOnlyRule(Rule):
                     detail=f"{name}() call", package=package
                 ),
             )
+
+
+# Module-level telemetry entry points whose payload args we audit.
+_TELEMETRY_FUNCTIONS = frozenset({
+    "counter_inc", "gauge_set", "histogram_observe", "span",
+})
+
+# Metric/span methods with payload args; generic names, so they are
+# only audited on telemetry-looking receivers (except set_attribute,
+# which is unique to spans).
+_TELEMETRY_METHODS = frozenset({"inc", "set", "observe", "set_attribute"})
+
+_TELEMETRY_RECEIVER_HINTS = (
+    "telemetry", "span", "counter", "gauge", "histogram", "metric",
+    "pipeline",
+)
+
+_TELEMETRY_MESSAGE = (
+    "telemetry payload leak: {detail} in a call to {api} — metric "
+    "values, labels, and span attributes must be scalar aggregates "
+    "(counts, timings, sizes), never record data; pass len()/shape "
+    "counts instead"
+)
+
+
+def _telemetry_receiver(node: ast.AST) -> bool:
+    """Whether a method receiver looks like a telemetry object."""
+    name = dotted_name(node)
+    if name is None:
+        return False
+    last = name.split(".")[-1].lower()
+    return any(hint in last for hint in _TELEMETRY_RECEIVER_HINTS)
+
+
+@register
+class TelemetryPayloadRule(Rule):
+    """Keep record batches out of telemetry in core/stream modules."""
+
+    rule_id = "PRIV-002"
+    summary = (
+        "telemetry call sites in repro/core and repro/stream must pass "
+        "only scalar aggregates — never record arrays — as values, "
+        "labels, or span attributes"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Scan one module for record-carrying telemetry payloads.
+
+        Parameters
+        ----------
+        module:
+            Parsed module context.
+
+        Yields
+        ------
+        Finding
+        """
+        if not module.is_privacy_critical or module.is_test_module:
+            return
+        aliases, functions = self._telemetry_bindings(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, aliases,
+                                            functions)
+
+    def _telemetry_bindings(self, module):
+        """Names bound to the telemetry module / its entry points."""
+        aliases = set()
+        functions = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "repro":
+                    for alias in node.names:
+                        if alias.name == "telemetry":
+                            aliases.add(alias.asname or alias.name)
+                elif node.module and node.module.startswith(
+                    "repro.telemetry"
+                ):
+                    for alias in node.names:
+                        if alias.name in _TELEMETRY_FUNCTIONS:
+                            functions[alias.asname or alias.name] = (
+                                alias.name
+                            )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "repro.telemetry":
+                        aliases.add(alias.asname or alias.name)
+        return aliases, functions
+
+    def _check_call(self, module, node, aliases, functions
+                    ) -> Iterator[Finding]:
+        """Flag record-like payloads in one telemetry call."""
+        api = self._telemetry_api(node.func, aliases, functions)
+        if api is None:
+            return
+        for value in list(node.args) + [
+            keyword.value for keyword in node.keywords
+        ]:
+            if isinstance(value, ast.Dict):
+                payloads = [entry for entry in value.values
+                            if entry is not None]
+            else:
+                payloads = [value]
+            for payload in payloads:
+                if _is_innocent(payload):
+                    continue
+                root = _value_root(payload)
+                if root in _RECORD_VALUE_NAMES:
+                    yield self.finding(
+                        module, node,
+                        _TELEMETRY_MESSAGE.format(
+                            detail=f"record batch {root!r}", api=api
+                        ),
+                    )
+
+    def _telemetry_api(self, func, aliases, functions) -> str | None:
+        """Resolve a call target to a telemetry API name, if it is one."""
+        if isinstance(func, ast.Name):
+            return functions.get(func.id)
+        name = dotted_name(func)
+        if name is not None and "." in name:
+            prefix, leaf = name.rsplit(".", 1)
+            if prefix in aliases and leaf in _TELEMETRY_FUNCTIONS:
+                return f"{name}()"
+        if isinstance(func, ast.Attribute):
+            if func.attr == "set_attribute":
+                return "Span.set_attribute()"
+            if (
+                func.attr in _TELEMETRY_METHODS
+                and _telemetry_receiver(func.value)
+            ):
+                return f"{func.attr}()"
+        return None

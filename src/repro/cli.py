@@ -8,19 +8,28 @@ model::
     repro anonymize data.csv release.csv --k 20     # both steps at once
     repro report    data.csv release.csv            # utility check
     repro lint      src/ tests/                     # static analysis
+    repro telemetry trace.jsonl                     # summarize a trace
 
 ``anonymize`` accepts ``--target-column`` to run per-class condensation
 (the paper's §2.3) and carry labels into the release.  All commands are
 deterministic under ``--seed``.
+
+Every subcommand also accepts ``--metrics-out`` / ``--trace-out`` to
+capture the run's telemetry (Prometheus text and JSON-lines span
+events respectively — see ``docs/telemetry.md``), plus ``--quiet`` /
+``--verbose`` to control logging.  Without the telemetry flags the
+instrumented code paths run through the no-op pipeline.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 import numpy as np
 
+from repro import telemetry
 from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.core.coarsen import coarsen_model
 from repro.core.condensation import create_condensed_groups
@@ -35,6 +44,51 @@ from repro.privacy.attacks import (
 )
 from repro.privacy.metrics import privacy_report
 from repro.quality.report import utility_report
+from repro.telemetry import write_events, write_prometheus
+from repro.telemetry.summary import format_summary, summarize_trace
+
+_logger = logging.getLogger("repro")
+
+
+def _build_common_parser() -> argparse.ArgumentParser:
+    """Parent parser with the flags every subcommand shares."""
+    common = argparse.ArgumentParser(add_help=False)
+    observability = common.add_argument_group("observability")
+    observability.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write run metrics to PATH in Prometheus text format")
+    observability.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write span events to PATH as JSON lines")
+    verbosity = observability.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only log errors")
+    verbosity.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress (-v: info, -vv: debug)")
+    return common
+
+
+def _configure_logging(arguments) -> None:
+    """Set the 'repro' logger level from the --quiet/--verbose flags."""
+    if getattr(arguments, "quiet", False):
+        level = logging.ERROR
+    elif getattr(arguments, "verbose", 0) >= 2:
+        level = logging.DEBUG
+    elif getattr(arguments, "verbose", 0) == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    _logger.setLevel(level)
+    # Tests invoke main() repeatedly in one process: attach the stream
+    # handler only once.
+    if not _logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(name)s %(levelname)s: %(message)s")
+        )
+        _logger.addHandler(handler)
 
 
 def _add_condense_arguments(parser):
@@ -51,6 +105,8 @@ def _add_condense_arguments(parser):
 
 def _command_condense(arguments) -> int:
     data, __ = read_records(arguments.input)
+    _logger.info("read %d records from %s", data.shape[0],
+                 arguments.input)
     condenser = StaticCondenser(
         arguments.k, strategy=arguments.strategy,
         random_state=arguments.seed,
@@ -77,6 +133,8 @@ def _command_generate(arguments) -> int:
 
 def _command_anonymize(arguments) -> int:
     data, header = read_records(arguments.input)
+    _logger.info("read %d records from %s", data.shape[0],
+                 arguments.input)
     if arguments.target_column is not None:
         if arguments.target_column not in header:
             print(f"error: column {arguments.target_column!r} not found "
@@ -181,6 +239,16 @@ def _command_attack(arguments) -> int:
     return 0
 
 
+def _command_telemetry(arguments) -> int:
+    try:
+        summary = summarize_trace(arguments.trace)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(format_summary(summary))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser.
 
@@ -195,9 +263,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Condensation-based privacy preserving data mining.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    # Shared flags ride on every subparser (parents=), so they are
+    # accepted after the subcommand token: repro condense ... -v
+    common = _build_common_parser()
 
     condense = subparsers.add_parser(
-        "condense", help="condense a CSV into group statistics (JSON)"
+        "condense", help="condense a CSV into group statistics (JSON)",
+        parents=[common],
     )
     condense.add_argument("input", help="input CSV of numeric records")
     condense.add_argument("output", help="output model JSON")
@@ -205,7 +277,8 @@ def build_parser() -> argparse.ArgumentParser:
     condense.set_defaults(handler=_command_condense)
 
     generate = subparsers.add_parser(
-        "generate", help="generate anonymized records from a model"
+        "generate", help="generate anonymized records from a model",
+        parents=[common],
     )
     generate.add_argument("model", help="model JSON from 'condense'")
     generate.add_argument("output", help="output CSV")
@@ -218,7 +291,8 @@ def build_parser() -> argparse.ArgumentParser:
     generate.set_defaults(handler=_command_generate)
 
     anonymize = subparsers.add_parser(
-        "anonymize", help="condense and generate in one step"
+        "anonymize", help="condense and generate in one step",
+        parents=[common],
     )
     anonymize.add_argument("input", help="input CSV of numeric records")
     anonymize.add_argument("output", help="output CSV of anonymized "
@@ -233,14 +307,16 @@ def build_parser() -> argparse.ArgumentParser:
     anonymize.set_defaults(handler=_command_anonymize)
 
     report = subparsers.add_parser(
-        "report", help="utility report of a release vs its original"
+        "report", help="utility report of a release vs its original",
+        parents=[common],
     )
     report.add_argument("original", help="original CSV")
     report.add_argument("anonymized", help="anonymized CSV")
     report.set_defaults(handler=_command_report)
 
     coarsen = subparsers.add_parser(
-        "coarsen", help="raise a model's privacy level (merge groups)"
+        "coarsen", help="raise a model's privacy level (merge groups)",
+        parents=[common],
     )
     coarsen.add_argument("model", help="model JSON from 'condense'")
     coarsen.add_argument("output", help="output model JSON")
@@ -249,7 +325,8 @@ def build_parser() -> argparse.ArgumentParser:
     coarsen.set_defaults(handler=_command_coarsen)
 
     attack = subparsers.add_parser(
-        "attack", help="red-team a data set's condensation at level k"
+        "attack", help="red-team a data set's condensation at level k",
+        parents=[common],
     )
     attack.add_argument("input", help="original CSV of numeric records")
     attack.add_argument("--k", type=int, required=True,
@@ -260,10 +337,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = subparsers.add_parser(
         "lint", help="static analysis: RNG discipline, privacy "
-                     "invariant, Python pitfalls"
+                     "invariant, Python pitfalls",
+        parents=[common],
     )
     add_lint_arguments(lint)
     lint.set_defaults(handler=run_lint)
+
+    telemetry_parser = subparsers.add_parser(
+        "telemetry", help="summarize a JSON-lines trace written by "
+                          "--trace-out",
+        parents=[common],
+    )
+    telemetry_parser.add_argument(
+        "trace", help="trace file (JSON lines) from --trace-out"
+    )
+    telemetry_parser.set_defaults(handler=_command_telemetry)
 
     return parser
 
@@ -283,7 +371,25 @@ def main(argv=None) -> int:
     """
     parser = build_parser()
     arguments = parser.parse_args(argv)
-    return arguments.handler(arguments)
+    _configure_logging(arguments)
+    metrics_out = getattr(arguments, "metrics_out", None)
+    trace_out = getattr(arguments, "trace_out", None)
+    if metrics_out is None and trace_out is None:
+        # No capture requested: the instrumented paths stay on the
+        # no-op pipeline.
+        return arguments.handler(arguments)
+    pipeline = telemetry.configure()
+    try:
+        return arguments.handler(arguments)
+    finally:
+        telemetry.disable()
+        if metrics_out is not None:
+            write_prometheus(metrics_out, pipeline.registry)
+            _logger.info("wrote metrics to %s", metrics_out)
+        if trace_out is not None:
+            write_events(trace_out, pipeline.finished_spans(),
+                         registry=pipeline.registry)
+            _logger.info("wrote trace to %s", trace_out)
 
 
 if __name__ == "__main__":

@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.statistics import CondensedModel, GroupStatistics
 from repro.core.strategies import RandomSeedStrategy, resolve_strategy
 from repro.linalg.rng import check_random_state
 from repro.neighbors.brute import pairwise_distances
+from repro.telemetry import DEFAULT_SIZE_BUCKETS
 
 
 def create_condensed_groups(
@@ -71,57 +73,92 @@ def create_condensed_groups(
     rng = check_random_state(random_state)
     strategy = resolve_strategy(strategy)
 
-    groups: list[GroupStatistics] = []
-    memberships: list[np.ndarray] = []
-    remaining = np.arange(n)
+    with telemetry.span("condense.create_groups") as condense_span:
+        condense_span.set_attribute("n_records", n)
+        condense_span.set_attribute("k", k)
+        condense_span.set_attribute("strategy", strategy.name)
 
-    plan = strategy.plan(data, k, rng)
-    if plan is not None:
-        # Strategy produced a complete partition up front (e.g. k-means
-        # seeded grouping); condense each part directly.
-        for part in plan:
-            groups.append(GroupStatistics.from_records(data[part]))
-            memberships.append(np.asarray(part, dtype=np.int64))
+        groups: list[GroupStatistics] = []
+        memberships: list[np.ndarray] = []
+        remaining = np.arange(n)
+
+        plan = strategy.plan(data, k, rng)
+        if plan is not None:
+            # Strategy produced a complete partition up front (e.g.
+            # k-means seeded grouping); condense each part directly.
+            for part in plan:
+                groups.append(GroupStatistics.from_records(data[part]))
+                memberships.append(np.asarray(part, dtype=np.int64))
+            model = CondensedModel(groups=groups, k=k)
+            model.metadata["memberships"] = memberships
+            model.metadata["strategy"] = strategy.name
+            _record_condensation_metrics(model, condense_span)
+            return model
+
+        with telemetry.span("condense.absorb_loop"):
+            while remaining.shape[0] >= k:
+                seed_position = strategy.pick_seed(data, remaining, rng)
+                seed_index = remaining[seed_position]
+                distances = pairwise_distances(
+                    data[seed_index][None, :], data[remaining],
+                    squared=True,
+                )[0]
+                # The seed itself is at distance zero; take the k
+                # closest overall (seed plus its k-1 nearest
+                # neighbours).
+                if k < remaining.shape[0]:
+                    chosen_positions = np.argpartition(
+                        distances, k - 1
+                    )[:k]
+                else:
+                    chosen_positions = np.arange(remaining.shape[0])
+                chosen = remaining[chosen_positions]
+                groups.append(GroupStatistics.from_records(data[chosen]))
+                memberships.append(chosen.astype(np.int64))
+                keep = np.ones(remaining.shape[0], dtype=bool)
+                keep[chosen_positions] = False
+                remaining = remaining[keep]
+
+        if remaining.shape[0] > 0:
+            with telemetry.span("condense.assign_leftovers") as leftovers:
+                leftovers.set_attribute(
+                    "n_leftovers", int(remaining.shape[0])
+                )
+                telemetry.counter_inc(
+                    "condense.leftovers", int(remaining.shape[0])
+                )
+                centroids = np.vstack(
+                    [group.centroid for group in groups]
+                )
+                distances = pairwise_distances(
+                    data[remaining], centroids, squared=True
+                )
+                nearest = np.argmin(distances, axis=1)
+                for record_index, group_position in zip(
+                    remaining, nearest
+                ):
+                    groups[group_position].add(data[record_index])
+                    memberships[group_position] = np.append(
+                        memberships[group_position], record_index
+                    )
+
         model = CondensedModel(groups=groups, k=k)
         model.metadata["memberships"] = memberships
         model.metadata["strategy"] = strategy.name
+        _record_condensation_metrics(model, condense_span)
         return model
 
-    while remaining.shape[0] >= k:
-        seed_position = strategy.pick_seed(data, remaining, rng)
-        seed_index = remaining[seed_position]
-        distances = pairwise_distances(
-            data[seed_index][None, :], data[remaining], squared=True
-        )[0]
-        # The seed itself is at distance zero; take the k closest overall
-        # (seed plus its k-1 nearest neighbours).
-        if k < remaining.shape[0]:
-            chosen_positions = np.argpartition(distances, k - 1)[:k]
-        else:
-            chosen_positions = np.arange(remaining.shape[0])
-        chosen = remaining[chosen_positions]
-        groups.append(GroupStatistics.from_records(data[chosen]))
-        memberships.append(chosen.astype(np.int64))
-        keep = np.ones(remaining.shape[0], dtype=bool)
-        keep[chosen_positions] = False
-        remaining = remaining[keep]
 
-    if remaining.shape[0] > 0:
-        centroids = np.vstack([group.centroid for group in groups])
-        distances = pairwise_distances(
-            data[remaining], centroids, squared=True
+def _record_condensation_metrics(model: CondensedModel, span) -> None:
+    """Emit per-model counters and the group-size distribution."""
+    span.set_attribute("n_groups", model.n_groups)
+    telemetry.counter_inc("condense.groups", model.n_groups)
+    telemetry.counter_inc("condense.records", model.total_count)
+    for group in model.groups:
+        telemetry.histogram_observe(
+            "condense.group_size", group.count,
+            buckets=DEFAULT_SIZE_BUCKETS,
         )
-        nearest = np.argmin(distances, axis=1)
-        for record_index, group_position in zip(remaining, nearest):
-            groups[group_position].add(data[record_index])
-            memberships[group_position] = np.append(
-                memberships[group_position], record_index
-            )
-
-    model = CondensedModel(groups=groups, k=k)
-    model.metadata["memberships"] = memberships
-    model.metadata["strategy"] = strategy.name
-    return model
 
 
 def condensation_information_loss(

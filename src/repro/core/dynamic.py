@@ -25,10 +25,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.condensation import create_condensed_groups
 from repro.core.statistics import CondensedModel, GroupStatistics
 from repro.linalg.rng import check_random_state
 from repro.neighbors.brute import pairwise_distances
+from repro.telemetry import DEFAULT_SIZE_BUCKETS
 
 
 def split_group_statistics(
@@ -148,6 +150,8 @@ class DynamicGroupMaintainer:
             self._groups = [group.copy() for group in model.groups]
             self.n_absorbed = model.total_count
             self._refresh_centroids()
+            telemetry.counter_inc("dynamic.absorbed", model.total_count)
+            telemetry.gauge_set("dynamic.groups", len(self._groups))
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -177,6 +181,8 @@ class DynamicGroupMaintainer:
                 self._warmup.clear()
                 self.n_absorbed += self.k
                 self._refresh_centroids()
+                telemetry.counter_inc("dynamic.absorbed", self.k)
+                telemetry.gauge_set("dynamic.groups", 1)
             return
         if record.shape[0] != self._groups[0].n_features:
             raise ValueError(
@@ -190,19 +196,30 @@ class DynamicGroupMaintainer:
         group = self._groups[target]
         group.add(record)
         self.n_absorbed += 1
+        telemetry.counter_inc("dynamic.absorbed")
         if group.count >= 2 * self.k:
-            first, second = split_group_statistics(group, k=self.k)
-            self._groups[target] = first
-            self._groups.append(second)
-            self.n_splits += 1
-            self._refresh_centroids()
+            with telemetry.span("dynamic.split") as split_span:
+                split_span.set_attribute("group_size", group.count)
+                first, second = split_group_statistics(group, k=self.k)
+                self._groups[target] = first
+                self._groups.append(second)
+                self.n_splits += 1
+                self._refresh_centroids()
+                split_span.set_attribute("n_groups", len(self._groups))
+            telemetry.counter_inc("dynamic.splits")
+            telemetry.gauge_set("dynamic.groups", len(self._groups))
         else:
             self._centroids[target] = group.centroid
 
     def add_stream(self, records) -> None:
         """Ingest an iterable of records in arrival order."""
-        for record in records:
-            self.add(record)
+        with telemetry.span("dynamic.ingest") as ingest_span:
+            ingested = 0
+            for record in records:
+                self.add(record)
+                ingested += 1
+            ingest_span.set_attribute("n_records", ingested)
+            ingest_span.set_attribute("n_groups", len(self._groups))
 
     def remove(self, record: np.ndarray) -> None:
         """Process a deletion request (an extension of the paper's §3).
@@ -247,6 +264,7 @@ class DynamicGroupMaintainer:
         # group; repair the implied covariance if it left the PSD cone.
         group.ensure_psd()
         self.n_absorbed -= 1
+        telemetry.counter_inc("dynamic.removed")
         if group.count >= self.k or len(self._groups) == 1:
             if group.count > 0:
                 self._centroids[target] = group.centroid
@@ -259,6 +277,8 @@ class DynamicGroupMaintainer:
         self._refresh_centroids()
         if group.count == 0:
             self.n_merges += 1
+            telemetry.counter_inc("dynamic.merges")
+            telemetry.gauge_set("dynamic.groups", len(self._groups))
             return
         distances = pairwise_distances(
             group.centroid[None, :], self._centroids, squared=True
@@ -267,12 +287,15 @@ class DynamicGroupMaintainer:
         merged = self._groups[neighbour]
         merged.merge(group)
         self.n_merges += 1
+        telemetry.counter_inc("dynamic.merges")
         if merged.count >= 2 * self.k:
             first, second = split_group_statistics(merged)
             self._groups[neighbour] = first
             self._groups.append(second)
             self.n_splits += 1
+            telemetry.counter_inc("dynamic.splits")
         self._refresh_centroids()
+        telemetry.gauge_set("dynamic.groups", len(self._groups))
 
     # ------------------------------------------------------------------
     # State
@@ -308,6 +331,11 @@ class DynamicGroupMaintainer:
         model.metadata["n_splits"] = self.n_splits
         model.metadata["n_merges"] = self.n_merges
         model.metadata["n_absorbed"] = self.n_absorbed
+        for group in self._groups:
+            telemetry.histogram_observe(
+                "dynamic.group_size", group.count,
+                buckets=DEFAULT_SIZE_BUCKETS,
+            )
         return model
 
     def _refresh_centroids(self) -> None:

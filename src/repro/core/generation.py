@@ -19,10 +19,14 @@ per-axis distributions.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro import telemetry
 from repro.core.statistics import CondensedModel, GroupStatistics
 from repro.linalg.rng import check_random_state
+from repro.telemetry import DEFAULT_SIZE_BUCKETS
 
 
 def _uniform_axis_sampler(rng, eigenvalues: np.ndarray, size: int):
@@ -119,8 +123,17 @@ def generate_group_records(
         raise ValueError(f"size must be non-negative, got {size}")
     rng = check_random_state(random_state)
     sampler = resolve_sampler(sampler)
+    tick = time.perf_counter()
     eigenvalues, eigenvectors = group.eigen_system()
+    telemetry.histogram_observe(
+        "generation.eigen_seconds", time.perf_counter() - tick
+    )
+    tick = time.perf_counter()
     coordinates = sampler(rng, eigenvalues, size)
+    telemetry.histogram_observe(
+        "generation.draw_seconds", time.perf_counter() - tick
+    )
+    telemetry.counter_inc("generation.records", size)
     coordinates = np.asarray(coordinates, dtype=float)
     if coordinates.shape != (size, group.n_features):
         raise ValueError(
@@ -166,12 +179,20 @@ def generate_anonymized_data(
             f"sizes must have one entry per group ({model.n_groups}), "
             f"got {len(sizes)}"
         )
-    parts = [
-        generate_group_records(group, size=size, sampler=sampler,
-                               random_state=rng)
-        for group, size in zip(model.groups, sizes)
-        if size > 0
-    ]
-    if not parts:
-        return np.empty((0, model.n_features))
-    return np.vstack(parts)
+    with telemetry.span("generation.generate") as generate_span:
+        generate_span.set_attribute("n_groups", model.n_groups)
+        generate_span.set_attribute("n_records", int(sum(sizes)))
+        for size in sizes:
+            telemetry.histogram_observe(
+                "generation.group_size", size,
+                buckets=DEFAULT_SIZE_BUCKETS,
+            )
+        parts = [
+            generate_group_records(group, size=size, sampler=sampler,
+                                   random_state=rng)
+            for group, size in zip(model.groups, sizes)
+            if size > 0
+        ]
+        if not parts:
+            return np.empty((0, model.n_features))
+        return np.vstack(parts)

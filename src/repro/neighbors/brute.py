@@ -8,6 +8,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
+from repro.telemetry import DEFAULT_SIZE_BUCKETS
+
 
 def pairwise_distances(
     queries: np.ndarray, points: np.ndarray, squared: bool = False
@@ -104,6 +107,16 @@ class BruteForceIndex:
         if not 1 <= k <= self.n_points:
             raise ValueError(
                 f"k must be in [1, {self.n_points}], got {k}"
+            )
+        telemetry.counter_inc(
+            "neighbors.brute.queries", queries.shape[0]
+        )
+        # A brute query scans every indexed point: each query's
+        # candidate set is the whole index.
+        for __ in range(queries.shape[0]):
+            telemetry.histogram_observe(
+                "neighbors.brute.candidates", self.n_points,
+                buckets=DEFAULT_SIZE_BUCKETS,
             )
         squared = pairwise_distances(queries, self._points, squared=True)
         if k < self.n_points:

@@ -12,6 +12,9 @@ import heapq
 
 import numpy as np
 
+from repro import telemetry
+from repro.telemetry import DEFAULT_SIZE_BUCKETS
+
 _LEAF = -1
 
 
@@ -100,6 +103,9 @@ class KDTreeIndex:
     def _query_single(self, query: np.ndarray, k: int):
         # Max-heap of the current k best as (-squared_distance, index).
         best: list[tuple[float, int]] = []
+        # Candidate accounting for telemetry: leaf points actually
+        # distance-checked by this query.
+        scanned = 0
         # Min-heap frontier of (box_distance, tiebreak, node).
         counter = 0
         frontier = [(self._box_distance(query, self._root), 0, self._root)]
@@ -108,6 +114,7 @@ class KDTreeIndex:
             if len(best) == k and box_distance >= -best[0][0]:
                 break
             if node.axis == _LEAF:
+                scanned += node.indices.shape[0]
                 diffs = self._points[node.indices] - query
                 squared = np.einsum("ij,ij->i", diffs, diffs)
                 for distance, index in zip(squared, node.indices):
@@ -124,7 +131,7 @@ class KDTreeIndex:
         ordered = sorted((-d, -i) for d, i in best)
         distances = np.sqrt(np.array([d for d, __ in ordered]))
         indices = np.array([i for __, i in ordered], dtype=np.int64)
-        return distances, indices
+        return distances, indices, scanned
 
     def query(self, queries: np.ndarray, k: int = 1):
         """Find the ``k`` nearest indexed records for each query.
@@ -144,12 +151,19 @@ class KDTreeIndex:
             )
         if not 1 <= k <= self.n_points:
             raise ValueError(f"k must be in [1, {self.n_points}], got {k}")
+        telemetry.counter_inc(
+            "neighbors.kdtree.queries", queries.shape[0]
+        )
         all_distances = np.empty((queries.shape[0], k))
         all_indices = np.empty((queries.shape[0], k), dtype=np.int64)
         for row, query in enumerate(queries):
-            distances, indices = self._query_single(query, k)
+            distances, indices, scanned = self._query_single(query, k)
             all_distances[row] = distances
             all_indices[row] = indices
+            telemetry.histogram_observe(
+                "neighbors.kdtree.candidates", scanned,
+                buckets=DEFAULT_SIZE_BUCKETS,
+            )
         if single:
             return all_distances[0], all_indices[0]
         return all_distances, all_indices

@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.linalg.rng import check_random_state
 from repro.neighbors.brute import pairwise_distances
+from repro.telemetry import DEFAULT_SIZE_BUCKETS
 
 
 class LSHIndex:
@@ -110,12 +112,20 @@ class LSHIndex:
             )
         if not 1 <= k <= self.n_points:
             raise ValueError(f"k must be in [1, {self.n_points}], got {k}")
+        telemetry.counter_inc(
+            "neighbors.lsh.queries", queries.shape[0]
+        )
         all_distances = np.empty((queries.shape[0], k))
         all_indices = np.empty((queries.shape[0], k), dtype=np.int64)
         for row, query in enumerate(queries):
             candidates = self._candidates(query)
             if candidates.shape[0] < k:
+                telemetry.counter_inc("neighbors.lsh.fallbacks")
                 candidates = np.arange(self.n_points)
+            telemetry.histogram_observe(
+                "neighbors.lsh.candidates", candidates.shape[0],
+                buckets=DEFAULT_SIZE_BUCKETS,
+            )
             distances = pairwise_distances(
                 query[None, :], self._points[candidates], squared=True
             )[0]

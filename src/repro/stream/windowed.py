@@ -20,6 +20,7 @@ from collections import deque
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.dynamic import DynamicGroupMaintainer
 from repro.core.generation import generate_anonymized_data
 from repro.core.statistics import CondensedModel
@@ -67,6 +68,7 @@ class SlidingWindowCondenser:
         # applies; only aggregates ever leave this class.
         # repro-lint: disable-next=PRIV-001 -- transient window buffer
         self._buffer.append(record.copy())
+        telemetry.counter_inc("stream.window.pushed")
         if self._maintainer is None:
             if len(self._buffer) >= 2 * self.k:
                 initial = np.vstack(self._buffer)
@@ -78,6 +80,7 @@ class SlidingWindowCondenser:
         if len(self._buffer) > self.window:
             expired = self._buffer.popleft()
             self._maintainer.remove(expired)
+            telemetry.counter_inc("stream.window.expired")
 
     def push_stream(self, records) -> None:
         """Ingest an iterable of records in arrival order."""
@@ -105,10 +108,12 @@ class SlidingWindowCondenser:
 
     def generate(self) -> np.ndarray:
         """Anonymized records representing the current window."""
-        model = self.to_model()
-        return generate_anonymized_data(
-            model, sampler=self.sampler, random_state=self._rng
-        )
+        with telemetry.span("stream.window.generate") as generate_span:
+            model = self.to_model()
+            generate_span.set_attribute("n_groups", model.n_groups)
+            return generate_anonymized_data(
+                model, sampler=self.sampler, random_state=self._rng
+            )
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,248 @@
+"""repro.telemetry — privacy-aware, dependency-free observability.
+
+The condensation hot paths (static condensation, dynamic/streaming
+maintenance, generation, neighbour search) are instrumented against
+this package's module-level API::
+
+    from repro import telemetry
+
+    telemetry.counter_inc("dynamic.absorbed")
+    with telemetry.span("dynamic.ingest") as span:
+        ...
+        span.set_attribute("records", n)
+
+By default the process pipeline is the shared
+:data:`~repro.telemetry.pipeline.NULL_PIPELINE`: every call is a no-op
+that returns a shared singleton and allocates nothing, so shipping the
+instrumentation costs one function call per event.  Enabling telemetry
+(:func:`configure`, or the CLI's ``--metrics-out`` / ``--trace-out``)
+swaps in a :class:`~repro.telemetry.pipeline.TelemetryPipeline` that
+records metrics into a registry and finished spans into an event
+buffer, exportable as Prometheus text and a JSON-lines trace.
+
+Privacy stance: telemetry may carry counts, timings and group-level
+aggregates — never raw records.  This is enforced three ways: values
+and labels are runtime-checked to be scalars
+(:func:`repro.telemetry.metrics.check_scalar`), the PRIV-002 analyzer
+rule statically rejects record-like arguments at call sites in
+``repro/core`` and ``repro/stream``, and the span API has no hook for
+attaching bulk payloads.  See ``docs/telemetry.md``.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.exporters import (
+    prometheus_name,
+    read_events,
+    render_prometheus,
+    write_events,
+    write_prometheus,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    check_scalar,
+)
+from repro.telemetry.pipeline import (
+    NULL_PIPELINE,
+    NullPipeline,
+    TelemetryPipeline,
+)
+from repro.telemetry.spans import NULL_SPAN, NullSpan, Span
+from repro.telemetry.summary import (
+    SpanAggregate,
+    TraceSummary,
+    format_summary,
+    summarize_events,
+    summarize_trace,
+)
+
+_pipeline = NULL_PIPELINE
+
+
+def get_pipeline():
+    """The process-local pipeline instrumented code reports into.
+
+    Returns
+    -------
+    TelemetryPipeline or NullPipeline
+        The active pipeline (the shared null pipeline by default).
+    """
+    return _pipeline
+
+
+def set_pipeline(pipeline):
+    """Install ``pipeline`` as the process-local default.
+
+    Parameters
+    ----------
+    pipeline:
+        A :class:`TelemetryPipeline` or :class:`NullPipeline`.
+
+    Returns
+    -------
+    TelemetryPipeline or NullPipeline
+        The previously installed pipeline, so callers can restore it.
+    """
+    global _pipeline
+    previous = _pipeline
+    _pipeline = pipeline
+    return previous
+
+
+def configure(registry=None, max_events: int = 100_000):
+    """Create, install and return a live pipeline.
+
+    Parameters
+    ----------
+    registry:
+        Metrics registry to write into; a fresh one by default.
+    max_events:
+        Bound on buffered finished-span events (oldest dropped first).
+
+    Returns
+    -------
+    TelemetryPipeline
+        The newly installed pipeline.
+    """
+    pipeline = TelemetryPipeline(registry=registry, max_events=max_events)
+    set_pipeline(pipeline)
+    return pipeline
+
+
+def disable():
+    """Restore the disabled fast path (the shared null pipeline).
+
+    Returns
+    -------
+    TelemetryPipeline or NullPipeline
+        The pipeline that was active before, so callers can still
+        export its contents.
+    """
+    return set_pipeline(NULL_PIPELINE)
+
+
+def enabled() -> bool:
+    """Whether a live pipeline is installed.
+
+    Returns
+    -------
+    bool
+    """
+    return _pipeline.enabled
+
+
+def span(name: str):
+    """Open a span on the active pipeline (use as a context manager).
+
+    Parameters
+    ----------
+    name:
+        Dotted span name, e.g. ``"condense.create_groups"``.
+
+    Returns
+    -------
+    Span or NullSpan
+        A live span, or the shared no-op span when disabled.
+    """
+    return _pipeline.span(name)
+
+
+def current_span():
+    """The innermost open span on this thread, if telemetry is live.
+
+    Returns
+    -------
+    Span or None
+    """
+    return _pipeline.current_span()
+
+
+def counter_inc(name: str, amount=1.0, labels=None) -> None:
+    """Increment a counter on the active pipeline.
+
+    Parameters
+    ----------
+    name:
+        Dotted counter name.
+    amount:
+        Non-negative scalar increment.
+    labels:
+        Optional mapping of label name to scalar/string value.
+    """
+    _pipeline.counter_inc(name, amount, labels=labels)
+
+
+def gauge_set(name: str, value, labels=None) -> None:
+    """Set a gauge on the active pipeline.
+
+    Parameters
+    ----------
+    name:
+        Dotted gauge name.
+    value:
+        Scalar value.
+    labels:
+        Optional mapping of label name to scalar/string value.
+    """
+    _pipeline.gauge_set(name, value, labels=labels)
+
+
+def histogram_observe(name: str, value, labels=None,
+                      buckets=DEFAULT_SECONDS_BUCKETS) -> None:
+    """Observe a value into a histogram on the active pipeline.
+
+    Parameters
+    ----------
+    name:
+        Dotted histogram name.
+    value:
+        Scalar observation.
+    labels:
+        Optional mapping of label name to scalar/string value.
+    buckets:
+        Fixed bucket upper bounds used if the histogram does not exist
+        yet (ignored afterwards).
+    """
+    _pipeline.histogram_observe(name, value, labels=labels, buckets=buckets)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullPipeline",
+    "NullSpan",
+    "Span",
+    "SpanAggregate",
+    "TelemetryPipeline",
+    "TraceSummary",
+    "NULL_PIPELINE",
+    "NULL_SPAN",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "check_scalar",
+    "configure",
+    "counter_inc",
+    "current_span",
+    "disable",
+    "enabled",
+    "format_summary",
+    "gauge_set",
+    "get_pipeline",
+    "histogram_observe",
+    "prometheus_name",
+    "read_events",
+    "render_prometheus",
+    "set_pipeline",
+    "span",
+    "summarize_events",
+    "summarize_trace",
+    "write_events",
+    "write_prometheus",
+]

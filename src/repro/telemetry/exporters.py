@@ -1,0 +1,201 @@
+"""Exporters: Prometheus text format and a JSON-lines event log.
+
+Two output formats, both dependency-free:
+
+* :func:`render_prometheus` / :func:`write_prometheus` — the Prometheus
+  text exposition format (``# HELP`` / ``# TYPE`` headers, cumulative
+  ``_bucket{le=...}`` histogram samples), ready for a node exporter's
+  textfile collector or a CI artifact.
+* :func:`write_events` / :func:`read_events` — one JSON object per
+  line: finished-span events first, then a single ``type="metrics"``
+  snapshot line so a trace file is self-contained.
+
+Dotted repo metric names (``dynamic.absorbed``) are sanitized into the
+Prometheus grammar and prefixed ``repro_``; counters additionally get
+the conventional ``_total`` suffix.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def prometheus_name(name: str, kind: str = "") -> str:
+    """Sanitize a dotted metric name into the Prometheus grammar.
+
+    Parameters
+    ----------
+    name:
+        Repo-style dotted name, e.g. ``"dynamic.absorbed"``.
+    kind:
+        Metric kind; counters get a ``_total`` suffix.
+
+    Returns
+    -------
+    str
+        A valid Prometheus metric name, prefixed ``repro_``.
+    """
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if not sanitized.startswith("repro_"):
+        sanitized = f"repro_{sanitized}"
+    if kind == "counter" and not sanitized.endswith("_total"):
+        sanitized = f"{sanitized}_total"
+    return sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    return "".join(_LABEL_ESCAPES.get(char, char) for char in value)
+
+
+def _render_labels(key: tuple, extra: tuple = ()) -> str:
+    """Render a labels key (plus extra pairs) as ``{k="v",...}``."""
+    pairs = tuple(key) + tuple(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(registry) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Parameters
+    ----------
+    registry:
+        A :class:`repro.telemetry.metrics.MetricsRegistry`.
+
+    Returns
+    -------
+    str
+        The full exposition document, terminated by a newline (empty
+        string for an empty registry).
+    """
+    lines: list = []
+    for metric in registry.metrics():
+        exposed = prometheus_name(metric.name, metric.kind)
+        base = prometheus_name(metric.name)
+        if metric.help:
+            lines.append(f"# HELP {exposed} {metric.help}")
+        lines.append(f"# TYPE {exposed} {metric.kind}")
+        if metric.kind == "histogram":
+            _render_histogram(lines, metric, base)
+            continue
+        for key, value in sorted(metric.series().items()):
+            lines.append(
+                f"{exposed}{_render_labels(key)} {_format_value(value)}"
+            )
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def _render_histogram(lines: list, metric, base: str) -> None:
+    """Append one histogram's cumulative samples to ``lines``."""
+    bounds = tuple(metric.buckets) + (math.inf,)
+    for key, series in sorted(metric.series().items()):
+        cumulative = 0
+        for bound, count in zip(bounds, series.bucket_counts):
+            cumulative += count
+            le = ("le", _format_value(bound))
+            lines.append(
+                f"{base}_bucket{_render_labels(key, (le,))} {cumulative}"
+            )
+        lines.append(
+            f"{base}_sum{_render_labels(key)} "
+            f"{_format_value(series.sum)}"
+        )
+        lines.append(f"{base}_count{_render_labels(key)} {series.count}")
+
+
+def write_prometheus(path, registry) -> None:
+    """Write :func:`render_prometheus` output to ``path``.
+
+    Parameters
+    ----------
+    path:
+        Destination file path.
+    registry:
+        Registry to export.
+    """
+    Path(path).write_text(render_prometheus(registry), encoding="utf-8")
+
+
+def write_events(path, events, registry=None) -> None:
+    """Write a JSON-lines event log: span events, then a metrics line.
+
+    Parameters
+    ----------
+    path:
+        Destination file path.
+    events:
+        Iterable of JSON-able event dicts (finished spans).
+    registry:
+        When given, a final ``{"type": "metrics", ...}`` line holding
+        the registry snapshot makes the log self-contained.
+    """
+    with Path(path).open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+        if registry is not None:
+            handle.write(json.dumps(
+                {"type": "metrics", "metrics": registry.snapshot()},
+                sort_keys=True,
+            ))
+            handle.write("\n")
+
+
+def read_events(path) -> list:
+    """Parse a JSON-lines event log written by :func:`write_events`.
+
+    Parameters
+    ----------
+    path:
+        Event-log file path.
+
+    Returns
+    -------
+    list of dict
+        One dict per non-empty line.
+
+    Raises
+    ------
+    ValueError
+        If a line is not valid JSON or not a JSON object.
+    """
+    events: list = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{number}: not valid JSON: {error}"
+                ) from None
+            if not isinstance(event, dict):
+                raise ValueError(
+                    f"{path}:{number}: expected a JSON object, got "
+                    f"{type(event).__name__}"
+                )
+            events.append(event)
+    return events

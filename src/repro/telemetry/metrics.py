@@ -1,0 +1,416 @@
+"""Metric instruments and the registry that owns them.
+
+Three instrument kinds, mirroring the Prometheus data model:
+
+* :class:`Counter` — monotonically increasing totals (records absorbed,
+  groups formed, splits);
+* :class:`Gauge` — a value that can go up and down (live group count);
+* :class:`Histogram` — observations bucketed against *fixed* upper
+  bounds (group sizes, per-stage latencies), so bucket counts from a
+  seeded run are bit-for-bit reproducible.
+
+Every instrument supports optional labels (small string-keyed
+dimensions such as an algorithm name).  Labels and observed values are
+validated to be *scalars*: telemetry in this repository may carry
+counts, timings and group-level aggregates, but never raw records
+(the paper's statistics-only invariant, enforced statically by the
+PRIV-002 analyzer rule and dynamically by :func:`check_scalar`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+#: Default latency buckets, in seconds (sub-millisecond to ten seconds).
+DEFAULT_SECONDS_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default size buckets for group / candidate-set cardinalities.
+DEFAULT_SIZE_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+    2000.0, 5000.0, 10000.0,
+)
+
+_SCALAR_MESSAGE = (
+    "telemetry may carry only scalar counts, timings and group-level "
+    "aggregates — got {type_name}; never pass record arrays as metric "
+    "values or labels (privacy invariant, see docs/telemetry.md)"
+)
+
+
+def check_scalar(value) -> float:
+    """Coerce a telemetry value to ``float``, rejecting non-scalars.
+
+    This is the runtime backstop of the privacy stance: arrays, lists
+    and other containers — anything that could smuggle raw records into
+    an exported metric — are rejected.  Zero-dimensional numpy scalars
+    are accepted.
+
+    Parameters
+    ----------
+    value:
+        Candidate metric value.
+
+    Returns
+    -------
+    float
+        The value as a python float.
+
+    Raises
+    ------
+    TypeError
+        If ``value`` is not a scalar.
+    """
+    if isinstance(value, (bool, int, float)):
+        return float(value)
+    shape = getattr(value, "shape", None)
+    if shape == ():
+        return float(value)
+    raise TypeError(_SCALAR_MESSAGE.format(type_name=type(value).__name__))
+
+
+def labels_key(labels) -> tuple:
+    """Normalize a labels mapping into a hashable, sorted key.
+
+    Parameters
+    ----------
+    labels:
+        ``None`` or a mapping of label name to scalar value.
+
+    Returns
+    -------
+    tuple of (str, str)
+        Sorted ``(name, value)`` pairs; empty for ``None``.
+
+    Raises
+    ------
+    TypeError
+        If a label name is not a string or a label value is not a
+        string/scalar.
+    """
+    if not labels:
+        return ()
+    pairs = []
+    for name, value in labels.items():
+        if not isinstance(name, str):
+            raise TypeError(
+                f"label names must be strings, got {type(name).__name__}"
+            )
+        if isinstance(value, str):
+            rendered = value
+        else:
+            rendered = repr(check_scalar(value))
+        pairs.append((name, rendered))
+    return tuple(sorted(pairs))
+
+
+class Metric:
+    """Base class for one named instrument with labelled series.
+
+    Parameters
+    ----------
+    name:
+        Dotted metric name, e.g. ``"dynamic.absorbed"``.
+    help:
+        One-line description, exported as the Prometheus ``# HELP``.
+    """
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._series: dict = {}
+
+    def series(self) -> dict:
+        """Snapshot of all labelled series.
+
+        Returns
+        -------
+        dict
+            Mapping from a labels key (tuple of ``(name, value)``
+            pairs) to the series state.
+        """
+        with self._lock:
+            return dict(self._series)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"n_series={len(self._series)})"
+        )
+
+
+class Counter(Metric):
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    def inc(self, amount=1.0, labels=None) -> None:
+        """Add ``amount`` (non-negative) to the counter."""
+        amount = check_scalar(amount)
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} can only increase, got {amount}"
+            )
+        key = labels_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, labels=None) -> float:
+        """Current total for one labelled series (0.0 if never set)."""
+        with self._lock:
+            return self._series.get(labels_key(labels), 0.0)
+
+    def snapshot(self) -> dict:
+        """JSON-able state of the counter."""
+        return _flat_snapshot(self)
+
+
+class Gauge(Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value, labels=None) -> None:
+        """Set the gauge to ``value``."""
+        value = check_scalar(value)
+        key = labels_key(labels)
+        with self._lock:
+            self._series[key] = value
+
+    def inc(self, amount=1.0, labels=None) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        amount = check_scalar(amount)
+        key = labels_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, labels=None) -> float:
+        """Current value for one labelled series (0.0 if never set)."""
+        with self._lock:
+            return self._series.get(labels_key(labels), 0.0)
+
+    def snapshot(self) -> dict:
+        """JSON-able state of the gauge."""
+        return _flat_snapshot(self)
+
+
+class _HistogramSeries:
+    """Bucket counts, sum and count of one labelled histogram series."""
+
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int):
+        self.bucket_counts = [0] * (n_buckets + 1)  # final slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(Metric):
+    """Observations bucketed against fixed upper bounds.
+
+    Parameters
+    ----------
+    name:
+        Dotted metric name.
+    help:
+        One-line description.
+    buckets:
+        Strictly increasing finite upper bounds.  An implicit ``+Inf``
+        bucket is always appended.  Fixed at construction so bucket
+        counts from a seeded run are deterministic.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets=DEFAULT_SECONDS_BUCKETS):
+        super().__init__(name, help)
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        if any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name!r} buckets must be strictly increasing: "
+                f"{bounds}"
+            )
+        self.buckets = bounds
+
+    def observe(self, value, labels=None) -> None:
+        """Record one observation into its bucket."""
+        value = check_scalar(value)
+        key = labels_key(labels)
+        position = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(
+                    len(self.buckets)
+                )
+            series.bucket_counts[position] += 1
+            series.sum += value
+            series.count += 1
+
+    def count(self, labels=None) -> int:
+        """Number of observations in one labelled series."""
+        with self._lock:
+            series = self._series.get(labels_key(labels))
+            return 0 if series is None else series.count
+
+    def bucket_counts(self, labels=None) -> list:
+        """Per-bucket (non-cumulative) observation counts.
+
+        Parameters
+        ----------
+        labels:
+            Labels of the series to read.
+
+        Returns
+        -------
+        list of int
+            One count per finite bucket plus a final ``+Inf`` count;
+            all zeros if the series was never observed.
+        """
+        with self._lock:
+            series = self._series.get(labels_key(labels))
+            if series is None:
+                return [0] * (len(self.buckets) + 1)
+            return list(series.bucket_counts)
+
+    def snapshot(self) -> dict:
+        """JSON-able state of the histogram."""
+        rendered = {}
+        with self._lock:
+            for key, series in self._series.items():
+                rendered[_render_key(key)] = {
+                    "buckets": {
+                        _bound_label(bound): count
+                        for bound, count in zip(
+                            tuple(self.buckets) + (float("inf"),),
+                            series.bucket_counts,
+                        )
+                    },
+                    "sum": series.sum,
+                    "count": series.count,
+                }
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "bucket_bounds": list(self.buckets),
+            "series": rendered,
+        }
+
+
+def _render_key(key: tuple) -> str:
+    """Render a labels key as a stable string for JSON snapshots."""
+    if not key:
+        return ""
+    return ",".join(f"{name}={value}" for name, value in key)
+
+
+def _bound_label(bound: float) -> str:
+    """Prometheus-style ``le`` label for one bucket bound."""
+    return "+Inf" if bound == float("inf") else repr(bound)
+
+
+def _flat_snapshot(metric: Metric) -> dict:
+    """JSON-able state shared by counters and gauges."""
+    with metric._lock:
+        series = {
+            _render_key(key): value
+            for key, value in metric._series.items()
+        }
+    return {"kind": metric.kind, "help": metric.help, "series": series}
+
+
+class MetricsRegistry:
+    """Process-local home of every instrument, keyed by name.
+
+    ``counter()`` / ``gauge()`` / ``histogram()`` are get-or-create:
+    instrumented code can call them on every event without coordinating
+    initialization.  Requesting an existing name with a different kind
+    raises, so two call sites cannot silently disagree about what a
+    metric means.
+    """
+
+    def __init__(self):
+        self._metrics: dict = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets=DEFAULT_SECONDS_BUCKETS) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def _get_or_create(self, kind: type, name: str, help: str, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = kind(name, help, **kwargs)
+            elif type(metric) is not kind:
+                raise TypeError(
+                    f"metric {name!r} is a {metric.kind}, not a "
+                    f"{kind.kind}"
+                )
+            return metric
+
+    def get(self, name: str):
+        """The metric called ``name``, or ``None``.
+
+        Parameters
+        ----------
+        name:
+            Metric name to look up.
+
+        Returns
+        -------
+        Metric or None
+        """
+        with self._lock:
+            return self._metrics.get(name)
+
+    def metrics(self) -> list:
+        """All registered metrics, sorted by name.
+
+        Returns
+        -------
+        list of Metric
+        """
+        with self._lock:
+            return [
+                self._metrics[name] for name in sorted(self._metrics)
+            ]
+
+    def snapshot(self) -> dict:
+        """JSON-able snapshot of every metric.
+
+        Returns
+        -------
+        dict
+            Mapping from metric name to that metric's snapshot dict.
+        """
+        return {
+            metric.name: metric.snapshot() for metric in self.metrics()
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(n_metrics={len(self)})"

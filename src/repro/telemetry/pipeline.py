@@ -1,0 +1,182 @@
+"""Telemetry pipelines — the live one and the disabled fast path.
+
+A *pipeline* is what instrumented code talks to: it owns a metrics
+registry, assigns span ids, tracks the per-thread stack of open spans,
+and buffers finished spans as JSON-able events.  Two implementations
+share that surface:
+
+* :class:`TelemetryPipeline` — the real thing;
+* :class:`NullPipeline` — every call is a no-op returning shared
+  singletons, so leaving telemetry off (the default) costs one
+  function call per event and allocates nothing.
+
+The process-local default pipeline lives in :mod:`repro.telemetry`'s
+package namespace; instrumented modules reach it through the
+module-level convenience functions there.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+
+from repro.telemetry.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import NULL_SPAN, Span
+
+
+class NullPipeline:
+    """Disabled telemetry: every operation is a cheap no-op.
+
+    All methods either return ``None`` or a shared singleton; no state
+    is kept and nothing is allocated per event.
+    """
+
+    enabled = False
+
+    def span(self, name: str):
+        """Return the shared no-op span."""
+        return NULL_SPAN
+
+    def counter_inc(self, name: str, amount=1.0, labels=None) -> None:
+        """Discard a counter increment."""
+        return None
+
+    def gauge_set(self, name: str, value=0.0, labels=None) -> None:
+        """Discard a gauge update."""
+        return None
+
+    def histogram_observe(self, name: str, value=0.0, labels=None,
+                          buckets=DEFAULT_SECONDS_BUCKETS) -> None:
+        """Discard a histogram observation."""
+        return None
+
+    def current_span(self):
+        """Always ``None`` — no spans are tracked."""
+        return None
+
+    def finished_spans(self) -> list:
+        """Always empty — no events are buffered."""
+        return []
+
+    def __repr__(self) -> str:
+        return "NullPipeline()"
+
+
+#: The shared disabled pipeline (the process default until configured).
+NULL_PIPELINE = NullPipeline()
+
+
+class TelemetryPipeline:
+    """Live telemetry: a registry plus span bookkeeping.
+
+    Parameters
+    ----------
+    registry:
+        Metrics registry to write into; a fresh one by default.
+    clock:
+        Zero-argument callable returning seconds on a monotonic clock.
+        Defaults to :func:`time.perf_counter`; tests inject a fake
+        clock for deterministic durations.
+    max_events:
+        Upper bound on buffered finished-span events; the oldest are
+        dropped first, so a long-running process cannot grow without
+        bound.
+    """
+
+    enabled = True
+
+    def __init__(self, registry=None, clock=time.perf_counter,
+                 max_events: int = 100_000):
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._clock = clock
+        self._events: deque = deque(maxlen=int(max_events))
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.n_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+
+    def span(self, name: str) -> Span:
+        """Create a span owned by this pipeline (enter it to start)."""
+        return Span(name, self)
+
+    def current_span(self):
+        """The innermost open span on this thread, or ``None``."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _enter_span(self, span: Span) -> None:
+        """Assign identity/parent and start the clock (Span.__enter__)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        span.span_id = next(self._ids)
+        span.parent_id = stack[-1].span_id if stack else None
+        stack.append(span)
+        span.start_time = self._clock()
+
+    def _exit_span(self, span: Span, error: bool = False) -> None:
+        """Stop the clock and buffer the finished span (Span.__exit__)."""
+        span.end_time = self._clock()
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:
+            # Out-of-order exit (generator abandoned mid-span): unwind
+            # to keep parentage of later spans consistent.
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        if error:
+            span.attributes.setdefault("error", 1.0)
+        with self._lock:
+            if len(self._events) == self._events.maxlen:
+                self.n_dropped += 1
+            self._events.append(span.to_event())
+
+    def finished_spans(self) -> list:
+        """Buffered finished-span events, oldest first.
+
+        Returns
+        -------
+        list of dict
+            JSON-able span events (see :meth:`Span.to_event`).
+        """
+        with self._lock:
+            return list(self._events)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def counter_inc(self, name: str, amount=1.0, labels=None) -> None:
+        """Increment the counter called ``name``."""
+        self.registry.counter(name).inc(amount, labels=labels)
+
+    def gauge_set(self, name: str, value=0.0, labels=None) -> None:
+        """Set the gauge called ``name``."""
+        self.registry.gauge(name).set(value, labels=labels)
+
+    def histogram_observe(self, name: str, value=0.0, labels=None,
+                          buckets=DEFAULT_SECONDS_BUCKETS) -> None:
+        """Observe ``value`` into the histogram called ``name``."""
+        self.registry.histogram(name, buckets=buckets).observe(
+            value, labels=labels
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TelemetryPipeline(n_metrics={len(self.registry)}, "
+            f"n_events={len(self._events)})"
+        )

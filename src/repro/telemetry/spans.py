@@ -1,0 +1,134 @@
+"""Lightweight tracing spans.
+
+A span measures one named unit of work on a monotonic clock
+(:func:`time.perf_counter` by default — wall-clock adjustments can
+never produce a negative duration).  Spans are context managers and
+nest: entering a span pushes it on the owning pipeline's stack, so
+children record their parent's id and an offline trace can be
+reassembled into a tree.
+
+Span *attributes* carry small scalar facts (a record count, a ``k``
+value) and are validated through the same scalar guard as metric
+values: telemetry never carries raw records.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import check_scalar
+
+
+class Span:
+    """One timed, nestable unit of work.
+
+    Spans are produced by a pipeline's ``span()`` method and used as
+    context managers::
+
+        with pipeline.span("condense.create_groups") as span:
+            ...
+            span.set_attribute("n_groups", len(groups))
+
+    Entering assigns the span id and parent (the innermost open span on
+    the same thread); exiting stamps the duration and hands the
+    finished span to the pipeline's event buffer.
+
+    Parameters
+    ----------
+    name:
+        Dotted span name, e.g. ``"dynamic.ingest"``.
+    pipeline:
+        The owning :class:`repro.telemetry.pipeline.TelemetryPipeline`.
+    """
+
+    __slots__ = (
+        "name", "pipeline", "span_id", "parent_id", "attributes",
+        "start_time", "end_time",
+    )
+
+    def __init__(self, name: str, pipeline):
+        self.name = name
+        self.pipeline = pipeline
+        self.span_id: int | None = None
+        self.parent_id: int | None = None
+        self.attributes: dict = {}
+        self.start_time: float | None = None
+        self.end_time: float | None = None
+
+    def __enter__(self) -> "Span":
+        self.pipeline._enter_span(self)
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.pipeline._exit_span(self, error=exc_type is not None)
+        return False
+
+    def set_attribute(self, name: str, value) -> None:
+        """Attach one scalar (or short string) fact to the span."""
+        if isinstance(value, str):
+            self.attributes[name] = value
+        else:
+            self.attributes[name] = check_scalar(value)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds; 0.0 until the span has finished."""
+        if self.start_time is None or self.end_time is None:
+            return 0.0
+        return self.end_time - self.start_time
+
+    def to_event(self) -> dict:
+        """Render the finished span as a JSON-able trace event.
+
+        Returns
+        -------
+        dict
+            Event payload with ``type="span"``, identity, timing and
+            attributes.
+        """
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start_time,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span(name={self.name!r}, span_id={self.span_id}, "
+            f"parent_id={self.parent_id})"
+        )
+
+
+class NullSpan:
+    """No-op stand-in for :class:`Span` when telemetry is disabled.
+
+    A single shared instance is handed out for every disabled-path
+    ``span()`` call, so the disabled fast path allocates nothing per
+    event.  It is stateless and therefore safely re-entrant.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        return False
+
+    def set_attribute(self, name: str, value) -> None:
+        """Discard the attribute (telemetry is disabled)."""
+        return None
+
+    @property
+    def duration(self) -> float:
+        """Always 0.0 — nothing was measured."""
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "NullSpan()"
+
+
+#: The shared disabled-path span instance.
+NULL_SPAN = NullSpan()

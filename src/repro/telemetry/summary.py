@@ -1,0 +1,184 @@
+"""Offline summarization of an emitted JSON-lines event log.
+
+Backs the ``repro telemetry`` subcommand: read a trace written by
+:func:`repro.telemetry.exporters.write_events`, aggregate the span
+events per name (count / total / mean / max duration), and render a
+short operator-facing report together with the counters and histogram
+totals from the trailing metrics snapshot, if present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telemetry.exporters import read_events
+
+
+@dataclass
+class SpanAggregate:
+    """Duration statistics of all spans sharing one name.
+
+    Attributes
+    ----------
+    name:
+        Span name.
+    count:
+        Number of finished spans.
+    total:
+        Summed duration in seconds.
+    maximum:
+        Longest single duration in seconds.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    maximum: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        """Mean duration in seconds (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Aggregated view of one event log.
+
+    Attributes
+    ----------
+    spans:
+        Per-name span aggregates, keyed by span name.
+    n_events:
+        Total number of events in the log (all types).
+    n_spans:
+        Number of span events.
+    metrics:
+        The trailing metrics snapshot, or an empty dict.
+    """
+
+    spans: dict = field(default_factory=dict)
+    n_events: int = 0
+    n_spans: int = 0
+    metrics: dict = field(default_factory=dict)
+
+
+def summarize_events(events) -> TraceSummary:
+    """Aggregate parsed event dicts into a :class:`TraceSummary`.
+
+    Parameters
+    ----------
+    events:
+        Iterable of event dicts (``type`` of ``"span"`` or
+        ``"metrics"``; unknown types are counted but otherwise
+        ignored).
+
+    Returns
+    -------
+    TraceSummary
+    """
+    summary = TraceSummary()
+    for event in events:
+        summary.n_events += 1
+        kind = event.get("type")
+        if kind == "span":
+            summary.n_spans += 1
+            name = str(event.get("name", "<unnamed>"))
+            duration = float(event.get("duration", 0.0) or 0.0)
+            aggregate = summary.spans.get(name)
+            if aggregate is None:
+                aggregate = summary.spans[name] = SpanAggregate(name)
+            aggregate.count += 1
+            aggregate.total += duration
+            aggregate.maximum = max(aggregate.maximum, duration)
+        elif kind == "metrics":
+            summary.metrics = event.get("metrics", {}) or {}
+    return summary
+
+
+def summarize_trace(path) -> TraceSummary:
+    """Read and aggregate one JSON-lines event log.
+
+    Parameters
+    ----------
+    path:
+        Event-log file path.
+
+    Returns
+    -------
+    TraceSummary
+
+    Raises
+    ------
+    ValueError
+        If the file contains a malformed line.
+    OSError
+        If the file cannot be read.
+    """
+    return summarize_events(read_events(path))
+
+
+def format_summary(summary: TraceSummary) -> str:
+    """Render a :class:`TraceSummary` as an operator-facing report.
+
+    Parameters
+    ----------
+    summary:
+        Aggregated trace.
+
+    Returns
+    -------
+    str
+        Multi-line text: span table, then counter / gauge values and
+        histogram totals when a metrics snapshot is present.
+    """
+    lines = [
+        f"events: {summary.n_events} ({summary.n_spans} spans, "
+        f"{len(summary.spans)} distinct names)"
+    ]
+    if summary.spans:
+        lines.append("")
+        lines.append(
+            f"{'span':<32} {'count':>7} {'total s':>10} "
+            f"{'mean ms':>10} {'max ms':>10}"
+        )
+        ordered = sorted(
+            summary.spans.values(), key=lambda a: (-a.total, a.name)
+        )
+        for aggregate in ordered:
+            lines.append(
+                f"{aggregate.name:<32} {aggregate.count:>7} "
+                f"{aggregate.total:>10.4f} "
+                f"{aggregate.mean * 1000.0:>10.3f} "
+                f"{aggregate.maximum * 1000.0:>10.3f}"
+            )
+    if summary.metrics:
+        flat = []
+        histograms = []
+        for name in sorted(summary.metrics):
+            payload = summary.metrics[name]
+            kind = payload.get("kind", "untyped")
+            if kind == "histogram":
+                for key, series in sorted(
+                    payload.get("series", {}).items()
+                ):
+                    label = f"{name}{{{key}}}" if key else name
+                    histograms.append(
+                        f"{label:<44} count={series.get('count', 0)} "
+                        f"sum={series.get('sum', 0.0):.6g}"
+                    )
+            else:
+                for key, value in sorted(
+                    payload.get("series", {}).items()
+                ):
+                    label = f"{name}{{{key}}}" if key else name
+                    flat.append(f"{label:<44} {value:.6g} ({kind})")
+        if flat:
+            lines.append("")
+            lines.append("metrics:")
+            lines.extend(f"  {entry}" for entry in flat)
+        if histograms:
+            lines.append("")
+            lines.append("histograms:")
+            lines.extend(f"  {entry}" for entry in histograms)
+    return "\n".join(lines)

@@ -147,3 +147,160 @@ class TestSerialization:
 
     def test_serialization_allowed_outside_core_stream(self, run_lib):
         assert run_lib("import pickle\n", select=["PRIV-001"]) == []
+
+
+class TestTelemetryPayloads:
+    """PRIV-002: telemetry call sites carry scalars, never records."""
+
+    def test_module_call_with_record_batch_flagged(self, run_core):
+        source = dedent(
+            """
+            from repro import telemetry
+
+
+            def absorb(records):
+                telemetry.counter_inc("condense.records", records)
+            """
+        )
+        findings = run_core(source, select=["PRIV-002"])
+        assert rule_ids(findings) == ["PRIV-002"]
+        assert "scalar aggregates" in findings[0].message
+
+    def test_direct_import_call_flagged(self, run_stream):
+        source = dedent(
+            """
+            from repro.telemetry import histogram_observe
+
+
+            def track(batch):
+                histogram_observe("stream.sizes", batch)
+            """
+        )
+        findings = run_stream(source, select=["PRIV-002"])
+        assert rule_ids(findings) == ["PRIV-002"]
+
+    def test_aliased_import_flagged(self, run_core):
+        source = dedent(
+            """
+            from repro.telemetry import counter_inc as bump
+
+
+            def absorb(data):
+                bump("condense.records", data)
+            """
+        )
+        findings = run_core(source, select=["PRIV-002"])
+        assert rule_ids(findings) == ["PRIV-002"]
+
+    def test_record_label_value_flagged(self, run_core):
+        source = dedent(
+            """
+            from repro import telemetry
+
+
+            def absorb(records):
+                telemetry.counter_inc(
+                    "condense.records", 1, labels={"payload": records}
+                )
+            """
+        )
+        findings = run_core(source, select=["PRIV-002"])
+        assert rule_ids(findings) == ["PRIV-002"]
+
+    def test_span_attribute_with_records_flagged(self, run_core):
+        source = dedent(
+            """
+            from repro import telemetry
+
+
+            def condense(records):
+                with telemetry.span("condense") as span:
+                    span.set_attribute("members", records)
+            """
+        )
+        findings = run_core(source, select=["PRIV-002"])
+        assert rule_ids(findings) == ["PRIV-002"]
+
+    def test_wrapped_record_batch_flagged(self, run_core):
+        source = dedent(
+            """
+            import numpy as np
+
+            from repro import telemetry
+
+
+            def absorb(records):
+                telemetry.gauge_set("condense.last", np.asarray(records))
+            """
+        )
+        findings = run_core(source, select=["PRIV-002"])
+        assert rule_ids(findings) == ["PRIV-002"]
+
+    def test_scalar_aggregates_clean(self, run_core):
+        source = dedent(
+            """
+            from repro import telemetry
+
+
+            def absorb(records, group):
+                telemetry.counter_inc("condense.records", len(records))
+                telemetry.counter_inc("condense.rows", records.shape[0])
+                telemetry.histogram_observe(
+                    "condense.group_size", group.count
+                )
+                with telemetry.span("condense") as span:
+                    span.set_attribute("strategy", "random")
+                    span.set_attribute("n_records", int(records.shape[0]))
+            """
+        )
+        assert run_core(source, select=["PRIV-002"]) == []
+
+    def test_generic_methods_need_telemetry_receiver(self, run_core):
+        # .set()/.inc() on arbitrary objects is not telemetry.
+        source = dedent(
+            """
+            def track(records, cache, gauge):
+                cache.set("latest", records)
+                gauge.set(records)
+            """
+        )
+        findings = run_core(source, select=["PRIV-002"])
+        assert rule_ids(findings) == ["PRIV-002"]
+        assert "set()" in findings[0].message
+
+    def test_not_applied_outside_core_stream(self, run_lib):
+        source = dedent(
+            """
+            from repro import telemetry
+
+
+            def track(records):
+                telemetry.counter_inc("lib.records", records)
+            """
+        )
+        assert run_lib(source, select=["PRIV-002"]) == []
+
+    def test_not_applied_in_tests(self, run_tests):
+        source = dedent(
+            """
+            from repro import telemetry
+
+
+            def test_counter(records):
+                telemetry.counter_inc("test.records", records)
+            """
+        )
+        assert run_tests(source, select=["PRIV-002"]) == []
+
+    def test_suppression_honoured(self, run_core):
+        source = dedent(
+            """
+            from repro import telemetry
+
+
+            def absorb(records):
+                # repro-lint: disable-next=PRIV-002 -- justified
+                telemetry.counter_inc("condense.records", records)
+            """
+        )
+        assert run_core(source, select=["PRIV-002"]) == []

@@ -1,0 +1,12 @@
+"""Shared telemetry-test machinery: keep the global pipeline clean."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def reset_pipeline():
+    """Restore the no-op pipeline after every test."""
+    yield
+    telemetry.disable()

@@ -1,0 +1,105 @@
+"""Prometheus rendering and the JSON-lines event log round trip."""
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    TelemetryPipeline,
+    prometheus_name,
+    read_events,
+    render_prometheus,
+    write_events,
+    write_prometheus,
+)
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("dynamic.absorbed", help="records absorbed").inc(5)
+    registry.gauge("dynamic.groups").set(3)
+    histogram = registry.histogram("condense.group_size",
+                                   buckets=(10.0, 20.0))
+    for value in (5, 15, 15, 100):
+        histogram.observe(value)
+    return registry
+
+
+class TestPrometheusNames:
+    def test_sanitizes_and_prefixes(self):
+        assert prometheus_name("dynamic.absorbed") == (
+            "repro_dynamic_absorbed"
+        )
+
+    def test_counter_gets_total_suffix(self):
+        assert prometheus_name("x.y", "counter") == "repro_x_y_total"
+
+    def test_idempotent_prefix_and_suffix(self):
+        assert prometheus_name("repro_done_total", "counter") == (
+            "repro_done_total"
+        )
+
+
+class TestRenderPrometheus:
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_type_lines_and_values(self, registry):
+        text = render_prometheus(registry)
+        assert "# HELP repro_dynamic_absorbed_total records absorbed" in text
+        assert "# TYPE repro_dynamic_absorbed_total counter" in text
+        assert "repro_dynamic_absorbed_total 5.0" in text
+        assert "# TYPE repro_dynamic_groups gauge" in text
+        assert "repro_dynamic_groups 3.0" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        text = render_prometheus(registry)
+        assert 'repro_condense_group_size_bucket{le="10.0"} 1' in text
+        assert 'repro_condense_group_size_bucket{le="20.0"} 3' in text
+        assert 'repro_condense_group_size_bucket{le="+Inf"} 4' in text
+        assert "repro_condense_group_size_sum 135.0" in text
+        assert "repro_condense_group_size_count 4" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(labels={"path": 'a"b\\c'})
+        text = render_prometheus(registry)
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_write_round_trip(self, registry, tmp_path):
+        target = tmp_path / "metrics.prom"
+        write_prometheus(target, registry)
+        assert target.read_text() == render_prometheus(registry)
+
+
+class TestEventLog:
+    def test_round_trip_with_metrics_line(self, registry, tmp_path):
+        pipeline = TelemetryPipeline(registry=registry)
+        with pipeline.span("work"):
+            pass
+        target = tmp_path / "trace.jsonl"
+        write_events(target, pipeline.finished_spans(), registry=registry)
+        events = read_events(target)
+        assert [event["type"] for event in events] == ["span", "metrics"]
+        assert events[0]["name"] == "work"
+        snapshot = events[1]["metrics"]
+        assert snapshot["dynamic.absorbed"]["series"][""] == pytest.approx(5.0)
+
+    def test_without_registry_no_metrics_line(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        write_events(target, [{"type": "span", "name": "a"}])
+        events = read_events(target)
+        assert len(events) == 1
+
+    def test_bad_json_reports_path_and_line(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        target.write_text('{"type": "span"}\nnot json\n')
+        with pytest.raises(ValueError, match="2"):
+            read_events(target)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        target.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="object"):
+            read_events(target)

@@ -1,0 +1,121 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    check_scalar,
+)
+
+
+class TestCheckScalar:
+    def test_accepts_python_scalars(self):
+        for value in (1, 1.5, True):
+            assert check_scalar(value) == pytest.approx(float(value))
+
+    def test_accepts_numpy_scalars(self):
+        assert check_scalar(np.float64(2.5)) == pytest.approx(2.5)
+        assert check_scalar(np.int64(7)) == pytest.approx(7.0)
+        # shape-() arrays count as scalars too
+        assert check_scalar(np.array(3.0)) == pytest.approx(3.0)
+
+    def test_rejects_arrays(self):
+        with pytest.raises(TypeError, match="scalar"):
+            check_scalar(np.zeros(3))
+
+    def test_rejects_sequences_and_strings(self):
+        for value in ([1, 2], (1,), "5", None):
+            with pytest.raises(TypeError):
+                check_scalar(value)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("events", "")
+        assert counter.value() == 0.0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == pytest.approx(5.0)
+
+    def test_rejects_negative_increment(self):
+        counter = Counter("events", "")
+        with pytest.raises(ValueError, match="only increase"):
+            counter.inc(-1)
+
+    def test_labelled_series_are_independent(self):
+        counter = Counter("events", "")
+        counter.inc(labels={"kind": "a"})
+        counter.inc(2, labels={"kind": "b"})
+        assert counter.value(labels={"kind": "a"}) == pytest.approx(1.0)
+        assert counter.value(labels={"kind": "b"}) == pytest.approx(2.0)
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = Gauge("depth", "")
+        gauge.set(10)
+        gauge.inc(-3)
+        assert gauge.value() == pytest.approx(7.0)
+
+
+class TestHistogram:
+    def test_bucket_counts_follow_le_semantics(self):
+        histogram = Histogram("sizes", "", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 1.0, 3.0, 10.0, 11.0):
+            histogram.observe(value)
+        # Buckets are (<=1, <=5, <=10, +Inf): boundary values land in
+        # their own bucket, not the next one up.
+        assert histogram.bucket_counts() == [2, 1, 1, 1]
+        assert histogram.count() == 5
+
+    def test_deterministic_for_identical_observations(self):
+        first = Histogram("a", "", buckets=DEFAULT_SIZE_BUCKETS)
+        second = Histogram("b", "", buckets=DEFAULT_SIZE_BUCKETS)
+        values = [1, 7, 19, 19, 500, 20000]
+        for value in values:
+            first.observe(value)
+            second.observe(value)
+        assert first.bucket_counts() == second.bucket_counts()
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram("bad", "", buckets=(2.0, 1.0))
+
+    def test_rejects_array_observation(self):
+        histogram = Histogram("sizes", "")
+        with pytest.raises(TypeError):
+            histogram.observe(np.zeros(4))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("events") is registry.counter("events")
+        assert len(registry) == 1
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("events")
+        with pytest.raises(TypeError, match="events"):
+            registry.gauge("events")
+
+    def test_snapshot_round_trips_values(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(3)
+        registry.histogram("sizes", buckets=(1.0, 2.0)).observe(1.5)
+        snapshot = registry.snapshot()
+        assert snapshot["events"]["series"][""] == pytest.approx(3.0)
+        assert snapshot["sizes"]["series"][""]["count"] == 1
+
+    def test_metrics_listing_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zz")
+        registry.counter("aa")
+        assert [metric.name for metric in registry.metrics()] == [
+            "aa", "zz",
+        ]

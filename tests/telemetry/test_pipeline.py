@@ -1,0 +1,94 @@
+"""Pipeline installation, the disabled fast path, event buffering."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    NULL_PIPELINE,
+    NULL_SPAN,
+    MetricsRegistry,
+    TelemetryPipeline,
+)
+
+
+class TestModuleState:
+    def test_disabled_by_default(self):
+        assert telemetry.get_pipeline() is NULL_PIPELINE
+        assert not telemetry.enabled()
+
+    def test_configure_installs_and_returns_the_pipeline(self):
+        pipeline = telemetry.configure()
+        assert telemetry.get_pipeline() is pipeline
+        assert telemetry.enabled()
+
+    def test_disable_returns_the_previous_pipeline(self):
+        pipeline = telemetry.configure()
+        assert telemetry.disable() is pipeline
+        assert telemetry.get_pipeline() is NULL_PIPELINE
+
+    def test_set_pipeline_round_trip(self):
+        mine = TelemetryPipeline()
+        previous = telemetry.set_pipeline(mine)
+        assert previous is NULL_PIPELINE
+        assert telemetry.set_pipeline(previous) is mine
+
+    def test_configure_accepts_a_shared_registry(self):
+        registry = MetricsRegistry()
+        pipeline = telemetry.configure(registry=registry)
+        assert pipeline.registry is registry
+
+
+class TestDisabledFastPath:
+    def test_span_returns_the_shared_singleton(self):
+        assert telemetry.span("a") is NULL_SPAN
+        assert telemetry.span("b") is NULL_SPAN
+
+    def test_metric_calls_record_nothing(self):
+        telemetry.counter_inc("events", 5)
+        telemetry.gauge_set("depth", 2)
+        telemetry.histogram_observe("sizes", 10)
+        assert NULL_PIPELINE.finished_spans() == []
+        assert telemetry.current_span() is None
+
+    def test_no_allocation_per_event(self):
+        # The smoke form of the zero-allocation claim: a burst of
+        # disabled-path events yields the same shared objects and no
+        # registry, so nothing per-event can have been retained.
+        spans = {id(telemetry.span(f"s{i}")) for i in range(100)}
+        assert spans == {id(NULL_SPAN)}
+
+
+class TestLivePipeline:
+    def test_convenience_functions_hit_the_registry(self):
+        pipeline = telemetry.configure()
+        telemetry.counter_inc("events", 2)
+        telemetry.gauge_set("depth", 7)
+        telemetry.histogram_observe("sizes", 3, buckets=(1.0, 5.0))
+        assert pipeline.registry.counter("events").value() == pytest.approx(2.0)
+        assert pipeline.registry.gauge("depth").value() == pytest.approx(7.0)
+        assert pipeline.registry.histogram("sizes").count() == 1
+
+    def test_event_buffer_drops_oldest_beyond_max(self):
+        pipeline = TelemetryPipeline(max_events=2)
+        for name in ("a", "b", "c"):
+            with pipeline.span(name):
+                pass
+        events = pipeline.finished_spans()
+        assert [event["name"] for event in events] == ["b", "c"]
+        assert pipeline.n_dropped == 1
+
+    def test_rejects_nonpositive_max_events(self):
+        with pytest.raises(ValueError, match="max_events"):
+            TelemetryPipeline(max_events=0)
+
+    def test_out_of_order_exit_keeps_stack_consistent(self):
+        pipeline = TelemetryPipeline()
+        outer = pipeline.span("outer")
+        inner = pipeline.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        # Abandoned-generator shape: the outer span exits first.
+        pipeline._exit_span(outer)
+        assert pipeline.current_span() is None
+        with pipeline.span("after") as after:
+            assert after.parent_id is None

@@ -1,0 +1,101 @@
+"""Span lifecycle: timing, nesting, attributes, the no-op twin."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import NULL_SPAN, NullSpan, TelemetryPipeline
+
+
+class FakeClock:
+    """Deterministic monotonic clock advancing one second per call."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+@pytest.fixture
+def pipeline():
+    return TelemetryPipeline(clock=FakeClock())
+
+
+class TestSpanLifecycle:
+    def test_duration_from_monotonic_clock(self, pipeline):
+        with pipeline.span("work") as span:
+            pass
+        assert span.duration == pytest.approx(1.0)  # two ticks, one apart
+
+    def test_ids_are_assigned_on_enter(self, pipeline):
+        with pipeline.span("outer") as outer:
+            assert outer.span_id == 1
+            assert outer.parent_id is None
+
+    def test_nesting_records_parent_ids(self, pipeline):
+        with pipeline.span("outer") as outer:
+            with pipeline.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with pipeline.span("sibling") as sibling:
+                assert sibling.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_current_span_tracks_the_stack(self, pipeline):
+        assert pipeline.current_span() is None
+        with pipeline.span("outer") as outer:
+            assert pipeline.current_span() is outer
+            with pipeline.span("inner") as inner:
+                assert pipeline.current_span() is inner
+            assert pipeline.current_span() is outer
+        assert pipeline.current_span() is None
+
+    def test_exception_marks_the_span_and_propagates(self, pipeline):
+        with pytest.raises(RuntimeError):
+            with pipeline.span("work") as span:
+                raise RuntimeError("boom")
+        assert span.attributes["error"] == pytest.approx(1.0)
+        error = pipeline.finished_spans()[0]["attributes"]["error"]
+        assert error == pytest.approx(1.0)
+
+    def test_to_event_shape(self, pipeline):
+        with pipeline.span("work") as span:
+            span.set_attribute("n", 3)
+        event = pipeline.finished_spans()[0]
+        assert event["type"] == "span"
+        assert event["name"] == "work"
+        assert event["span_id"] == 1
+        assert event["parent_id"] is None
+        assert event["duration"] == pytest.approx(1.0)
+        assert event["attributes"] == {"n": pytest.approx(3.0)}
+
+
+class TestSpanAttributes:
+    def test_scalars_and_strings_accepted(self, pipeline):
+        with pipeline.span("work") as span:
+            span.set_attribute("count", np.int64(4))
+            span.set_attribute("strategy", "random")
+        assert span.attributes == {"count": 4.0, "strategy": "random"}
+
+    def test_arrays_rejected(self, pipeline):
+        with pipeline.span("work") as span:
+            with pytest.raises(TypeError):
+                span.set_attribute("payload", np.zeros(8))
+
+
+class TestNullSpan:
+    def test_single_shared_instance(self):
+        assert NullSpan() is not NULL_SPAN  # constructible, but...
+        assert isinstance(NULL_SPAN, NullSpan)
+
+    def test_is_a_reentrant_no_op(self):
+        with NULL_SPAN as outer:
+            with NULL_SPAN as inner:
+                assert outer is inner is NULL_SPAN
+        NULL_SPAN.set_attribute("anything", 1)
+        assert NULL_SPAN.duration == 0.0
+
+    def test_holds_no_state(self):
+        # __slots__ = () means the null span *cannot* accumulate state.
+        with pytest.raises(AttributeError):
+            NULL_SPAN.leak = "nope"

@@ -1,0 +1,80 @@
+"""Trace summarization behind the ``repro telemetry`` subcommand."""
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    TelemetryPipeline,
+    format_summary,
+    summarize_events,
+    summarize_trace,
+    write_events,
+)
+
+
+def span_event(name, duration, **attributes):
+    return {
+        "type": "span", "name": name, "span_id": 1, "parent_id": None,
+        "start": 0.0, "duration": duration, "attributes": attributes,
+    }
+
+
+class TestSummarizeEvents:
+    def test_aggregates_per_name(self):
+        summary = summarize_events([
+            span_event("ingest", 1.0),
+            span_event("ingest", 3.0),
+            span_event("split", 0.5),
+        ])
+        assert summary.n_events == 3
+        assert summary.n_spans == 3
+        ingest = summary.spans["ingest"]
+        assert ingest.count == 2
+        assert ingest.total == pytest.approx(4.0)
+        assert ingest.mean == pytest.approx(2.0)
+        assert ingest.maximum == pytest.approx(3.0)
+
+    def test_metrics_line_is_captured(self):
+        summary = summarize_events([
+            span_event("a", 1.0),
+            {"type": "metrics", "metrics": {"events": {
+                "kind": "counter", "help": "", "series": {"": 2.0},
+            }}},
+        ])
+        assert summary.n_spans == 1
+        assert summary.metrics["events"]["series"][""] == pytest.approx(2.0)
+
+    def test_unknown_event_types_counted_but_ignored(self):
+        summary = summarize_events([{"type": "log", "message": "hi"}])
+        assert summary.n_events == 1
+        assert summary.n_spans == 0
+        assert summary.spans == {}
+
+
+class TestFormatSummary:
+    def test_report_contains_spans_and_metrics(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("dynamic.absorbed").inc(7)
+        registry.histogram("sizes", buckets=(10.0,)).observe(4)
+        pipeline = TelemetryPipeline(registry=registry)
+        with pipeline.span("dynamic.ingest"):
+            pass
+        target = tmp_path / "trace.jsonl"
+        write_events(target, pipeline.finished_spans(), registry=registry)
+
+        report = format_summary(summarize_trace(target))
+        assert "events: 2 (1 spans, 1 distinct names)" in report
+        assert "dynamic.ingest" in report
+        assert "dynamic.absorbed" in report
+        assert "count=1 sum=4" in report
+
+    def test_empty_trace_renders_header_only(self):
+        report = format_summary(summarize_events([]))
+        assert report == "events: 0 (0 spans, 0 distinct names)"
+
+    def test_spans_sorted_by_total_time(self):
+        report = format_summary(summarize_events([
+            span_event("fast", 0.1),
+            span_event("slow", 5.0),
+        ]))
+        assert report.index("slow") < report.index("fast")

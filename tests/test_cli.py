@@ -158,3 +158,118 @@ class TestAttack:
         assert "record-linkage attack" in out
         assert "attribute-disclosure attack" in out
         assert "label" in out
+
+
+class TestTelemetryFlags:
+    def test_metrics_out_is_valid_prometheus(self, tmp_path, data_csv):
+        metrics_path = tmp_path / "run.prom"
+        exit_code = main([
+            "anonymize", str(data_csv), str(tmp_path / "r.csv"),
+            "--k", "10", "--metrics-out", str(metrics_path),
+        ])
+        assert exit_code == 0
+        text = metrics_path.read_text()
+        assert "# TYPE repro_condense_records_total counter" in text
+        assert "repro_condense_records_total 150.0" in text
+        assert 'repro_condense_group_size_bucket{le="+Inf"}' in text
+        # Every non-comment line is "name{labels} value".
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name.startswith("repro_")
+            float(value)
+
+    def test_trace_out_is_json_lines(self, tmp_path, data_csv):
+        from repro.telemetry import read_events
+
+        trace_path = tmp_path / "run.jsonl"
+        exit_code = main([
+            "anonymize", str(data_csv), str(tmp_path / "r.csv"),
+            "--k", "10", "--trace-out", str(trace_path),
+        ])
+        assert exit_code == 0
+        events = read_events(trace_path)
+        names = {e["name"] for e in events if e["type"] == "span"}
+        assert "condense.create_groups" in names
+        assert "generation.generate" in names
+        assert events[-1]["type"] == "metrics"
+
+    def test_telemetry_subcommand_summarizes(self, tmp_path, data_csv,
+                                             capsys):
+        trace_path = tmp_path / "run.jsonl"
+        main([
+            "anonymize", str(data_csv), str(tmp_path / "r.csv"),
+            "--k", "10", "--trace-out", str(trace_path),
+        ])
+        capsys.readouterr()
+        exit_code = main(["telemetry", str(trace_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "condense.create_groups" in out
+        assert "condense.records" in out
+
+    def test_telemetry_subcommand_missing_file(self, tmp_path, capsys):
+        exit_code = main(["telemetry", str(tmp_path / "nope.jsonl")])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_pipeline_restored_after_run(self, tmp_path, data_csv):
+        from repro import telemetry
+        from repro.telemetry import NULL_PIPELINE
+
+        main([
+            "anonymize", str(data_csv), str(tmp_path / "r.csv"),
+            "--k", "10", "--metrics-out", str(tmp_path / "m.prom"),
+        ])
+        assert telemetry.get_pipeline() is NULL_PIPELINE
+
+    def test_no_flags_stays_on_null_pipeline(self, tmp_path, data_csv):
+        from repro import telemetry
+        from repro.telemetry import NULL_PIPELINE
+
+        main([
+            "anonymize", str(data_csv), str(tmp_path / "r.csv"),
+            "--k", "10",
+        ])
+        assert telemetry.get_pipeline() is NULL_PIPELINE
+
+
+class TestVerbosityFlags:
+    def test_quiet_and_verbose_accepted_after_subcommand(self, tmp_path,
+                                                         data_csv):
+        assert main([
+            "anonymize", str(data_csv), str(tmp_path / "r1.csv"),
+            "--k", "10", "--quiet",
+        ]) == 0
+        assert main([
+            "anonymize", str(data_csv), str(tmp_path / "r2.csv"),
+            "--k", "10", "-vv",
+        ]) == 0
+
+    def test_quiet_and_verbose_are_exclusive(self, tmp_path, data_csv):
+        with pytest.raises(SystemExit):
+            main([
+                "anonymize", str(data_csv), str(tmp_path / "r.csv"),
+                "--k", "10", "-q", "-v",
+            ])
+
+    def test_verbose_logs_progress(self, tmp_path, data_csv, caplog):
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro"):
+            main([
+                "anonymize", str(data_csv), str(tmp_path / "r.csv"),
+                "--k", "10", "-v",
+            ])
+        assert any("150 records" in record.message
+                   for record in caplog.records)
+
+    def test_quiet_suppresses_info(self, tmp_path, data_csv, caplog):
+        main([
+            "anonymize", str(data_csv), str(tmp_path / "r.csv"),
+            "--k", "10", "-q",
+        ])
+        assert not [record for record in caplog.records
+                    if record.name == "repro"
+                    and record.levelname == "INFO"]
