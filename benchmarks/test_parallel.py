@@ -1,0 +1,124 @@
+"""Ablation A15 — serial versus sharded condensation wall-clock.
+
+Times the serial ``create_condensed_groups`` against the sharded
+engine on the same data at a *fixed utility contract*: both models
+must conserve moment mass exactly and meet the privacy level, so the
+timing comparison is between runs producing equivalent models — not a
+fast path that quietly trades utility away.  The series is dumped to
+``BENCH_parallel.json`` at the repo root for CI artifact upload.
+
+The paper reports no timings; these numbers exist to size deployments
+and to catch regressions in the shard/merge overhead (on a single-CPU
+runner the sharded engine should be close to serial, not multiples of
+it).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.condensation import (
+    condensation_information_loss,
+    create_condensed_groups,
+)
+from repro.linalg.rng import check_random_state
+from repro.parallel import condense_sharded
+from repro.privacy.metrics import privacy_report
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_parallel.json"
+)
+
+N_RECORDS = 4000
+N_DIMENSIONS = 8
+K = 20
+ROUNDS = 3
+SHARD_GRID = (2, 4)
+
+
+def make_data():
+    return check_random_state(20140331).normal(
+        size=(N_RECORDS, N_DIMENSIONS)
+    )
+
+
+def timed(callable_, rounds=ROUNDS):
+    """Best-of-``rounds`` wall-clock and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def check_utility(data, model):
+    """The fixed utility contract both engines must meet."""
+    assert model.total_count == N_RECORDS
+    assert privacy_report(model).achieved_k >= K
+    total_first = sum(group.first_order for group in model.groups)
+    scale = np.abs(data).sum() + 1.0
+    assert np.abs(
+        total_first - data.sum(axis=0)
+    ).max() <= 1e-9 * scale
+    return condensation_information_loss(data, model)
+
+
+def test_serial_vs_sharded_wall_clock():
+    data = make_data()
+
+    serial_seconds, serial_model = timed(
+        lambda: create_condensed_groups(
+            data, K, strategy="random", random_state=0
+        )
+    )
+    serial_loss = check_utility(data, serial_model)
+
+    runs = []
+    for n_shards in SHARD_GRID:
+        for backend, n_workers in (("serial", 1), ("thread", 2),
+                                   ("process", 2)):
+            seconds, model = timed(
+                lambda shards=n_shards, b=backend, w=n_workers:
+                condense_sharded(
+                    data, K, strategy="random", random_state=0,
+                    n_shards=shards, n_workers=w, backend=b,
+                )
+            )
+            loss = check_utility(data, model)
+            runs.append({
+                "n_shards": n_shards,
+                "n_workers": n_workers,
+                "backend": backend,
+                "seconds": seconds,
+                "speedup_vs_serial": serial_seconds / seconds,
+                "information_loss": loss,
+                "n_groups": model.n_groups,
+                "n_merge_repairs":
+                    model.metadata["parallel"]["n_merge_repairs"],
+            })
+            # Fixed utility: sharding may cost a little locality but
+            # must stay in the serial engine's information-loss regime.
+            assert loss <= max(2.0 * serial_loss, serial_loss + 0.05)
+
+    RESULTS_PATH.write_text(json.dumps({
+        "schema_version": 1,
+        "n_records": N_RECORDS,
+        "n_dimensions": N_DIMENSIONS,
+        "k": K,
+        "rounds": ROUNDS,
+        "serial": {
+            "seconds": serial_seconds,
+            "information_loss": serial_loss,
+            "n_groups": serial_model.n_groups,
+        },
+        "sharded": runs,
+    }, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {RESULTS_PATH.name}: serial {serial_seconds:.3f}s, "
+          + ", ".join(
+              f"{run['n_shards']}x{run['n_workers']}@{run['backend']} "
+              f"{run['seconds']:.3f}s" for run in runs
+          ))

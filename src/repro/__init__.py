@@ -19,6 +19,8 @@ Quickstart
 Package map
 -----------
 * :mod:`repro.core` — the paper's algorithms (Figs. 1-4, §2.1).
+* :mod:`repro.parallel` — sharded parallel condensation with a
+  worker-count-independent determinism contract.
 * :mod:`repro.datasets` — UCI statistical twins and generators.
 * :mod:`repro.neighbors`, :mod:`repro.mining` — from-scratch mining
   algorithms that consume the anonymized output.
@@ -39,9 +41,10 @@ from repro.core import (
     split_group_statistics,
 )
 from repro.metrics import covariance_compatibility
+from repro.parallel import condense_sharded
 from repro.privacy import linkage_attack, privacy_report
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ClasswiseCondenser",
@@ -53,6 +56,7 @@ __all__ = [
     "create_condensed_groups",
     "generate_anonymized_data",
     "split_group_statistics",
+    "condense_sharded",
     "covariance_compatibility",
     "linkage_attack",
     "privacy_report",

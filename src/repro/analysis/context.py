@@ -2,8 +2,8 @@
 
 The context bundles the parsed AST with repo-aware facts the rules need:
 whether the module is test code, whether it lives in a privacy-critical
-package (``core``/``stream``), and whether it is the one module allowed
-to construct generators (``linalg/rng.py``).  Deriving those facts once,
+package (``core``/``stream``/``parallel``), and whether it is the one
+module allowed to construct generators (``linalg/rng.py``).  Deriving those facts once,
 from the path, keeps the rules themselves small and uniform.
 """
 
@@ -128,11 +128,17 @@ class ModuleContext:
         """Whether the module must uphold the statistics-only invariant.
 
         The condensation invariant (paper §2: groups retain only
-        ``(Fs, Sc, n)``) is enforced in ``repro/core`` and
-        ``repro/stream``.
+        ``(Fs, Sc, n)``) is enforced in ``repro/core``,
+        ``repro/stream`` and ``repro/parallel`` — the sharded engine
+        handles raw records in flight exactly like the serial
+        algorithm, so it is held to the same retention rules.
 
         Returns
         -------
         bool
         """
-        return self.in_repro_package("core") or self.in_repro_package("stream")
+        return (
+            self.in_repro_package("core")
+            or self.in_repro_package("stream")
+            or self.in_repro_package("parallel")
+        )

@@ -4,8 +4,10 @@ PRIV-001 — the condensation "statistics only" invariant.
 
 Paper §2: a condensed group retains only ``(Fs, Sc, n)`` — first-order
 sums, second-order sums, and a count.  Raw member records must never
-outlive the condensation step.  In ``repro/core`` and ``repro/stream``
-this rule therefore flags:
+outlive the condensation step.  In ``repro/core``, ``repro/stream``
+and ``repro/parallel`` (the sharded engine ships raw shards to
+workers, so it is held to the same retention rules) this rule
+therefore flags:
 
 * attribute assignments that stash record batches on objects — either
   because the attribute is named like a record store (``records``,
@@ -76,7 +78,7 @@ _RETENTION_MESSAGE = (
     "is transient trusted-side state"
 )
 _SERIALIZE_MESSAGE = (
-    "{detail} inside repro/{package} — core/stream modules must not "
+    "{detail} inside repro/{package} — privacy-critical modules must not "
     "serialize record batches; persistence belongs in repro/io and "
     "operates on statistics-only models"
 )
@@ -155,12 +157,12 @@ def _is_innocent(node: ast.AST) -> bool:
 
 @register
 class StatisticsOnlyRule(Rule):
-    """Enforce the statistics-only invariant in core/stream modules."""
+    """Enforce the statistics-only invariant in privacy-critical modules."""
 
     rule_id = "PRIV-001"
     summary = (
-        "repro/core and repro/stream must not retain or serialize raw "
-        "record batches — groups keep only (Fs, Sc, n)"
+        "repro/core, repro/stream and repro/parallel must not retain or "
+        "serialize raw record batches — groups keep only (Fs, Sc, n)"
     )
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
@@ -177,7 +179,11 @@ class StatisticsOnlyRule(Rule):
         """
         if not module.is_privacy_critical or module.is_test_module:
             return
-        package = "core" if module.in_repro_package("core") else "stream"
+        package = next(
+            (name for name in ("core", "stream", "parallel")
+             if module.in_repro_package(name)),
+            "core",
+        )
         for node in module.tree.body:
             yield from self._visit(module, node, package, exempt=False)
 
@@ -196,7 +202,7 @@ class StatisticsOnlyRule(Rule):
             yield from self._visit(module, child, package, exempt)
 
     def _check_import(self, module, node, package) -> Iterator[Finding]:
-        """Flag serializer imports inside core/stream."""
+        """Flag serializer imports inside privacy-critical packages."""
         if isinstance(node, ast.Import):
             names = [alias.name.split(".")[0] for alias in node.names]
         else:
@@ -335,13 +341,13 @@ def _telemetry_receiver(node: ast.AST) -> bool:
 
 @register
 class TelemetryPayloadRule(Rule):
-    """Keep record batches out of telemetry in core/stream modules."""
+    """Keep record batches out of telemetry in privacy-critical modules."""
 
     rule_id = "PRIV-002"
     summary = (
-        "telemetry call sites in repro/core and repro/stream must pass "
-        "only scalar aggregates — never record arrays — as values, "
-        "labels, or span attributes"
+        "telemetry call sites in repro/core, repro/stream and "
+        "repro/parallel must pass only scalar aggregates — never record "
+        "arrays — as values, labels, or span attributes"
     )
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:

@@ -11,8 +11,11 @@ model::
     repro telemetry trace.jsonl                     # summarize a trace
 
 ``anonymize`` accepts ``--target-column`` to run per-class condensation
-(the paper's §2.3) and carry labels into the release.  All commands are
-deterministic under ``--seed``.
+(the paper's §2.3) and carry labels into the release.  ``condense`` and
+``anonymize`` accept ``--shards`` / ``--workers`` to run condensation
+on the sharded parallel engine (see ``docs/parallel.md``).  All
+commands are deterministic under ``--seed``; sharded runs additionally
+never depend on the worker count, only on the shard count.
 
 Every subcommand also accepts ``--metrics-out`` / ``--trace-out`` to
 capture the run's telemetry (Prometheus text and JSON-lines span
@@ -101,6 +104,16 @@ def _add_condense_arguments(parser):
                              "the paper's)")
     parser.add_argument("--seed", type=int, default=0,
                         help="random seed (default: 0)")
+    parser.add_argument("--shards", type=int, default=None,
+                        metavar="N",
+                        help="condense on the sharded parallel engine "
+                             "with N locality-preserving shards "
+                             "(default: serial)")
+    parser.add_argument("--workers", type=int, default=None,
+                        metavar="N",
+                        help="worker-pool size for --shards (default: "
+                             "one per shard, CPU-capped); implies "
+                             "--shards N when --shards is omitted")
 
 
 def _command_condense(arguments) -> int:
@@ -110,6 +123,7 @@ def _command_condense(arguments) -> int:
     condenser = StaticCondenser(
         arguments.k, strategy=arguments.strategy,
         random_state=arguments.seed,
+        n_shards=arguments.shards, n_workers=arguments.workers,
     ).fit(data)
     save_model(arguments.output, condenser.model_)
     report = privacy_report(condenser.model_)
@@ -152,6 +166,7 @@ def _command_anonymize(arguments) -> int:
             sampler=arguments.sampler,
             small_class_policy="single_group",
             random_state=arguments.seed,
+            n_shards=arguments.shards, n_workers=arguments.workers,
         )
         anonymized, anonymized_labels = condenser.fit_generate(
             attributes, labels
@@ -167,6 +182,7 @@ def _command_anonymize(arguments) -> int:
         condenser = StaticCondenser(
             arguments.k, strategy=arguments.strategy,
             sampler=arguments.sampler, random_state=arguments.seed,
+            n_shards=arguments.shards, n_workers=arguments.workers,
         ).fit(data)
         anonymized = condenser.generate()
         write_records(arguments.output, anonymized, feature_names=header)

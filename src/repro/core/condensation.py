@@ -30,6 +30,8 @@ def create_condensed_groups(
     k: int,
     strategy="random",
     random_state=None,
+    n_shards=None,
+    n_workers=None,
 ) -> CondensedModel:
     """Condense a database into groups of (at least) ``k`` records.
 
@@ -48,6 +50,17 @@ def create_condensed_groups(
         :mod:`repro.core.strategies`.
     random_state:
         Seed or generator for the strategy's stochastic choices.
+    n_shards:
+        When given, delegate to the sharded parallel engine
+        (:func:`repro.parallel.condense_sharded`) with this many
+        locality-preserving shards.  ``None`` (default) runs the serial
+        algorithm below; ``n_shards=1`` routes through the engine with
+        a single shard, which is bit-identical to the serial path for
+        deterministic strategies such as ``"mdav"``.
+    n_workers:
+        Worker-pool size for the sharded engine; implies
+        ``n_shards=n_workers`` when ``n_shards`` is not given.
+        Ignored (``None``) on the serial path.
 
     Returns
     -------
@@ -55,6 +68,16 @@ def create_condensed_groups(
         The set ``H`` of per-group statistics.  Every group has at least
         ``k`` records; leftover records inflate their nearest group.
     """
+    if n_shards is not None or n_workers is not None:
+        # Deferred import: repro.parallel builds on this module.
+        from repro.parallel.engine import condense_sharded
+
+        if n_shards is None:
+            n_shards = int(n_workers)
+        return condense_sharded(
+            data, k, strategy=strategy, random_state=random_state,
+            n_shards=n_shards, n_workers=n_workers,
+        )
     data = np.asarray(data, dtype=float)
     if data.ndim != 2:
         raise ValueError(f"data must be 2-D, got shape {data.shape}")

@@ -41,6 +41,11 @@ class StaticCondenser:
         ``"gaussian"``, or a callable.
     random_state:
         Seed or generator driving both condensation and generation.
+    n_shards, n_workers:
+        When either is set, condensation runs on the sharded parallel
+        engine (:func:`repro.parallel.condense_sharded`) with this
+        shard count and worker-pool size.  ``None`` (default) keeps
+        the serial path.
 
     Examples
     --------
@@ -55,19 +60,22 @@ class StaticCondenser:
     """
 
     def __init__(self, k: int, strategy="random", sampler="uniform",
-                 random_state=None):
+                 random_state=None, n_shards=None, n_workers=None):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = int(k)
         self.strategy = strategy
         self.sampler = sampler
+        self.n_shards = n_shards
+        self.n_workers = n_workers
         self._rng = check_random_state(random_state)
         self.model_: CondensedModel | None = None
 
     def fit(self, data: np.ndarray) -> "StaticCondenser":
         """Condense ``data`` into group statistics."""
         self.model_ = create_condensed_groups(
-            data, self.k, strategy=self.strategy, random_state=self._rng
+            data, self.k, strategy=self.strategy, random_state=self._rng,
+            n_shards=self.n_shards, n_workers=self.n_workers,
         )
         return self
 
@@ -230,11 +238,15 @@ class ClasswiseCondenser:
         paper uses has classes of 2 records).
     strategy, sampler, random_state:
         As for :class:`StaticCondenser`.
+    n_shards, n_workers:
+        As for :class:`StaticCondenser`; applied to every per-class
+        static condensation (ignored in dynamic mode, whose streaming
+        maintenance is inherently serial).
     """
 
     def __init__(self, k: int, mode: str = "static", strategy="random",
                  sampler="uniform", small_class_policy: str = "error",
-                 random_state=None):
+                 random_state=None, n_shards=None, n_workers=None):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         if mode not in ("static", "dynamic"):
@@ -251,6 +263,8 @@ class ClasswiseCondenser:
         self.strategy = strategy
         self.sampler = sampler
         self.small_class_policy = small_class_policy
+        self.n_shards = n_shards
+        self.n_workers = n_workers
         self._rng = check_random_state(random_state)
         self.classes_ = None
         self.models_: dict = {}
@@ -301,6 +315,7 @@ class ClasswiseCondenser:
             return create_condensed_groups(
                 members, self.k, strategy=self.strategy,
                 random_state=self._rng,
+                n_shards=self.n_shards, n_workers=self.n_workers,
             )
         bootstrap_size = max(self.k, members.shape[0] // 4)
         bootstrap_size = min(bootstrap_size, members.shape[0])

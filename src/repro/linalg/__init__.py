@@ -14,7 +14,13 @@ algorithms rest on:
 """
 
 from repro.linalg.accumulators import MomentAccumulator, WelfordAccumulator
-from repro.linalg.rng import check_random_state, derive_seed, spawn_rngs
+from repro.linalg.rng import (
+    check_random_state,
+    derive_seed,
+    rng_from_seed_sequence,
+    spawn_rngs,
+    spawn_seed_sequences,
+)
 from repro.linalg.symmetric import (
     covariance_from_sums,
     is_positive_semidefinite,
@@ -28,7 +34,9 @@ __all__ = [
     "WelfordAccumulator",
     "check_random_state",
     "derive_seed",
+    "rng_from_seed_sequence",
     "spawn_rngs",
+    "spawn_seed_sequences",
     "covariance_from_sums",
     "is_positive_semidefinite",
     "nearest_psd",

@@ -108,6 +108,78 @@ def spawn_rngs(random_state: RandomState, count: int) -> list[np.random.Generato
     return [np.random.default_rng(derive_seed(parent)) for _ in range(count)]
 
 
+def spawn_seed_sequences(
+    random_state: RandomState, count: int
+) -> list[np.random.SeedSequence]:
+    """Derive ``count`` independent seed sequences from one seed.
+
+    This is the determinism contract of the sharded condensation
+    engine: a root :class:`numpy.random.SeedSequence` is derived from
+    ``random_state`` once, then ``spawn`` produces one child sequence
+    per shard.  The children depend only on the root seed and the
+    shard *count* — never on how many workers consume them or in what
+    order — so a sharded run is reproducible for a fixed shard count
+    under any parallelism.  Seed sequences are picklable, so they can
+    be shipped to worker processes and turned into generators there
+    via :func:`rng_from_seed_sequence`.
+
+    Parameters
+    ----------
+    random_state:
+        Anything accepted by :func:`check_random_state`.
+    count:
+        Number of child sequences to spawn.
+
+    Returns
+    -------
+    list of numpy.random.SeedSequence
+        Statistically independent child sequences; reproducible when
+        ``random_state`` is a seed.
+
+    Raises
+    ------
+    ValueError
+        If ``count`` is negative.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = check_random_state(random_state)
+    root = np.random.SeedSequence(derive_seed(parent))
+    return root.spawn(count)
+
+
+def rng_from_seed_sequence(
+    sequence: np.random.SeedSequence,
+) -> np.random.Generator:
+    """Construct a generator from a spawned seed sequence.
+
+    The counterpart of :func:`spawn_seed_sequences` for worker
+    processes: generator construction stays inside this module (the
+    RNG-001 discipline) while the picklable sequence crosses the
+    process boundary.
+
+    Parameters
+    ----------
+    sequence:
+        A seed sequence, typically from :func:`spawn_seed_sequences`.
+
+    Returns
+    -------
+    numpy.random.Generator
+
+    Raises
+    ------
+    TypeError
+        If ``sequence`` is not a :class:`numpy.random.SeedSequence`.
+    """
+    if not isinstance(sequence, np.random.SeedSequence):
+        raise TypeError(
+            "sequence must be a numpy.random.SeedSequence, got "
+            f"{type(sequence).__name__}"
+        )
+    return np.random.default_rng(sequence)
+
+
 def permutation(rng: np.random.Generator, n: int) -> np.ndarray:
     """Return a random permutation of ``range(n)`` as an int64 array.
 

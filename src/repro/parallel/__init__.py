@@ -1,0 +1,44 @@
+"""repro.parallel — sharded parallel condensation.
+
+A condensed group is fully described by the additive statistics
+``(Fs, Sc, n)`` (paper §2), so static condensation shards cleanly:
+partition the database into locality-preserving spatial shards,
+condense each shard independently in a worker pool, and merge the
+per-shard models through statistics additivity.  An explicit repair
+pass keeps the privacy invariant ``min group size >= k`` across shard
+boundaries.
+
+Entry points
+------------
+* :func:`condense_sharded` — the sharded engine; also reachable as
+  ``create_condensed_groups(..., n_shards=, n_workers=)`` and the
+  CLI's ``--shards`` / ``--workers`` flags.
+* :func:`principal_axis_shards` — the recursive principal-axis
+  bisection partitioner.
+
+Determinism: shard seeds are spawned from ``random_state`` with
+:func:`repro.linalg.rng.spawn_seed_sequences`, so for a fixed shard
+count the result never depends on the worker count or backend.  See
+``docs/parallel.md`` for the design and the differential-testing
+harness that proves shard-merge equals serial.
+"""
+
+from repro.parallel.engine import (
+    BACKENDS,
+    REPAIR_POLICIES,
+    condense_sharded,
+)
+from repro.parallel.sharding import (
+    principal_axis_bisect,
+    principal_axis_shards,
+    shard_size_summary,
+)
+
+__all__ = [
+    "BACKENDS",
+    "REPAIR_POLICIES",
+    "condense_sharded",
+    "principal_axis_bisect",
+    "principal_axis_shards",
+    "shard_size_summary",
+]

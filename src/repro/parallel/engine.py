@@ -1,0 +1,335 @@
+"""Sharded static condensation with a worker-pool execution engine.
+
+The paper's condensed groups are described *entirely* by additive
+statistics ``(Fs, Sc, n)`` — which makes static condensation
+embarrassingly shardable: partition the database into
+locality-preserving shards (:mod:`repro.parallel.sharding`), run
+``CreateCondensedGroups`` on every shard independently, and
+concatenate the per-shard group statistics into one model.  The only
+seam is the privacy invariant at shard boundaries: a shard smaller
+than ``k`` yields a group below the indistinguishability level, so an
+explicit repair pass merges every undersized group into its nearest
+neighbour (the coarsening machinery of :mod:`repro.core.coarsen`),
+optionally re-splitting oversized merge products with the dynamic
+split of :mod:`repro.core.dynamic`.
+
+Determinism contract
+--------------------
+Shard seeds derive from ``random_state`` through
+:func:`repro.linalg.rng.spawn_seed_sequences`: one root seed sequence,
+one spawned child per shard.  The partition itself is deterministic,
+and per-shard results are collected in shard order.  Consequently the
+output depends only on ``(data, k, strategy, random_state, n_shards)``
+— never on ``n_workers`` or the executor backend — and with
+``n_shards=1`` the deterministic strategies (``"mdav"``) reproduce the
+serial model bit for bit.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.coarsen import coarsen_model
+from repro.core.condensation import create_condensed_groups
+from repro.core.dynamic import split_group_statistics
+from repro.core.statistics import CondensedModel, GroupStatistics
+from repro.core.strategies import resolve_strategy
+from repro.linalg.rng import rng_from_seed_sequence, spawn_seed_sequences
+from repro.parallel.sharding import principal_axis_shards, shard_size_summary
+from repro.telemetry import DEFAULT_SIZE_BUCKETS
+
+_logger = logging.getLogger("repro")
+
+#: Executor backends accepted by :func:`condense_sharded`.
+BACKENDS = ("auto", "process", "thread", "serial")
+
+#: Repair policies for groups left under ``k`` by the shard merge.
+REPAIR_POLICIES = ("merge", "merge_resplit")
+
+
+def _condense_shard(task):
+    """Condense one shard; runs inside a worker (process or thread).
+
+    ``task`` is ``(records, k, strategy, sequence)``.  Returns the
+    shard's group statistics and shard-local memberships; shards
+    smaller than ``k`` yield a single undersized group for the merge
+    step to repair.
+    """
+    records, k, strategy, sequence = task
+    rng = rng_from_seed_sequence(sequence)
+    with telemetry.span("parallel.condense_shard") as shard_span:
+        shard_span.set_attribute("shard_size", int(records.shape[0]))
+        if records.shape[0] >= k:
+            model = create_condensed_groups(
+                records, k, strategy=strategy, random_state=rng
+            )
+            return model.groups, model.metadata["memberships"]
+        group = GroupStatistics.from_records(records)
+        return [group], [np.arange(records.shape[0], dtype=np.int64)]
+
+
+def _run_shard_tasks(tasks, n_workers: int, backend: str):
+    """Execute shard tasks on the selected backend, in shard order.
+
+    The process pool falls back to threads (and threads to serial) when
+    the environment cannot support it — sandboxed interpreters, or
+    strategies that do not survive the process boundary — because the
+    result is backend-independent by construction.
+    """
+    if backend == "serial" or n_workers <= 1 or len(tasks) <= 1:
+        return [_condense_shard(task) for task in tasks]
+    if backend in ("auto", "process"):
+        try:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                return list(pool.map(_condense_shard, tasks))
+        except ValueError:
+            raise
+        except Exception as error:
+            # BrokenProcessPool, pickling failures, or sandboxed
+            # environments without process support: the thread backend
+            # computes the identical result.
+            _logger.warning(
+                "process pool unavailable (%s: %s); falling back to "
+                "threads", type(error).__name__, error,
+            )
+    try:
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            return list(pool.map(_condense_shard, tasks))
+    except ValueError:
+        raise
+    except Exception as error:
+        _logger.warning(
+            "thread pool unavailable (%s: %s); running shards serially",
+            type(error).__name__, error,
+        )
+        return [_condense_shard(task) for task in tasks]
+
+
+def _resolve_workers(n_workers, n_shards: int) -> int:
+    """Normalize the worker count (default: one per shard, CPU-capped)."""
+    if n_workers is None:
+        return max(1, min(n_shards, os.cpu_count() or 1))
+    n_workers = int(n_workers)
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    return n_workers
+
+
+def _repair_undersized(model: CondensedModel) -> tuple[CondensedModel, int]:
+    """Merge groups under ``k`` into their nearest neighbours.
+
+    Reuses the coarsening machinery: merging until every group reaches
+    ``model.k`` is exactly a coarsen to the model's own level.  Returns
+    the repaired model and the number of merges performed.
+    """
+    if int(model.group_sizes.min()) >= model.k:
+        return model, 0
+    repaired = coarsen_model(model, model.k)
+    n_repairs = model.n_groups - repaired.n_groups
+    # Coarsening provenance keys describe a privacy-level raise, which
+    # this is not; keep the lineage under a repair-specific name.
+    lineage = repaired.metadata.pop("lineage", None)
+    repaired.metadata.pop("coarsened_from", None)
+    repaired.metadata["repair_lineage"] = lineage
+    return repaired, n_repairs
+
+
+def _resplit_oversized(
+    model: CondensedModel, k: int
+) -> tuple[CondensedModel, int]:
+    """Split merge products of at least ``2k`` back into the size band.
+
+    Splitting statistics re-derives child sums from moments, so the
+    original record-to-group memberships can no longer be attributed;
+    the memberships metadata is dropped when any split occurs.
+    """
+    groups = list(model.groups)
+    n_resplits = 0
+    position = 0
+    while position < len(groups):
+        if groups[position].count >= 2 * k:
+            first, second = split_group_statistics(groups[position])
+            groups[position] = first
+            groups.append(second)
+            n_resplits += 1
+        else:
+            position += 1
+    if n_resplits == 0:
+        return model, 0
+    resplit = CondensedModel(groups=groups, k=model.k)
+    resplit.metadata = dict(model.metadata)
+    resplit.metadata.pop("memberships", None)
+    return resplit, n_resplits
+
+
+def condense_sharded(
+    data: np.ndarray,
+    k: int,
+    strategy="random",
+    random_state=None,
+    n_shards: int = 2,
+    n_workers=None,
+    backend: str = "auto",
+    repair: str = "merge",
+) -> CondensedModel:
+    """Condense a database in locality-preserving shards.
+
+    The parallel counterpart of
+    :func:`repro.core.condensation.create_condensed_groups`: the data
+    is partitioned by recursive principal-axis bisection, each shard is
+    condensed independently in a worker pool, and the per-shard models
+    are merged through the additivity of ``(Fs, Sc, n)``.  Groups left
+    under ``k`` by the merge (only possible when a shard holds fewer
+    than ``k`` records) are repaired by merging them into their
+    nearest neighbour, so the returned model always satisfies the
+    privacy invariant ``min group size >= k``.
+
+    Parameters
+    ----------
+    data:
+        Record array of shape ``(n, d)`` with ``n >= k``.
+    k:
+        Indistinguishability level — the minimum group size.
+    strategy:
+        Seed-selection strategy name or object, as accepted by
+        :func:`repro.core.strategies.resolve_strategy`.  Object
+        strategies must be picklable to cross the process boundary;
+        unpicklable ones fall back to the thread backend.
+    random_state:
+        Seed or generator; shard seeds are spawned from it via
+        :func:`repro.linalg.rng.spawn_seed_sequences`, so results are
+        reproducible for a fixed ``n_shards`` under any worker count.
+    n_shards:
+        Number of spatial shards.  ``1`` runs the whole database as a
+        single shard (bit-identical to the serial path for
+        deterministic strategies such as ``"mdav"``).
+    n_workers:
+        Worker-pool size; ``None`` uses one worker per shard, capped
+        at the CPU count.  ``1`` condenses shards serially in-process.
+    backend:
+        ``"auto"`` (default: processes with thread/serial fallback),
+        ``"process"``, ``"thread"``, or ``"serial"``.
+    repair:
+        ``"merge"`` (default) merges undersized boundary groups into
+        their nearest neighbour; ``"merge_resplit"`` additionally
+        re-splits merge products that reached ``2k`` records via
+        :func:`repro.core.dynamic.split_group_statistics` (dropping
+        membership metadata, which a statistics split cannot carry).
+
+    Returns
+    -------
+    CondensedModel
+        Merged model with ``metadata["parallel"]`` recording the shard
+        plan, worker settings and repair counts; ``memberships``
+        metadata maps groups to original record indices (unless a
+        resplit dropped it).
+
+    Raises
+    ------
+    ValueError
+        If the inputs fail validation, or ``backend`` / ``repair`` is
+        unknown.
+    """
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-D, got shape {data.shape}")
+    if not np.isfinite(data).all():
+        raise ValueError(
+            "data contains NaN or infinite values; impute or drop them "
+            "before condensation"
+        )
+    n = data.shape[0]
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if n < k:
+        raise ValueError(
+            f"need at least k={k} records to condense, got {n}"
+        )
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    if repair not in REPAIR_POLICIES:
+        raise ValueError(
+            f"repair must be one of {REPAIR_POLICIES}, got {repair!r}"
+        )
+    strategy = resolve_strategy(strategy)
+
+    with telemetry.span("parallel.condense_sharded") as parallel_span:
+        parallel_span.set_attribute("n_records", n)
+        parallel_span.set_attribute("k", k)
+        parallel_span.set_attribute("strategy", strategy.name)
+
+        with telemetry.span("parallel.shard_plan"):
+            shards = principal_axis_shards(data, n_shards)
+        summary = shard_size_summary(shards)
+        n_workers = _resolve_workers(n_workers, len(shards))
+        parallel_span.set_attribute("n_shards", summary["n_shards"])
+        parallel_span.set_attribute("n_workers", n_workers)
+        telemetry.counter_inc("parallel.shards", summary["n_shards"])
+        telemetry.gauge_set("parallel.workers", n_workers)
+        for shard in shards:
+            telemetry.histogram_observe(
+                "parallel.shard_size", int(shard.shape[0]),
+                buckets=DEFAULT_SIZE_BUCKETS,
+            )
+
+        sequences = spawn_seed_sequences(random_state, len(shards))
+        tasks = [
+            (data[shard], k, strategy, sequence)
+            for shard, sequence in zip(shards, sequences)
+        ]
+        results = _run_shard_tasks(tasks, n_workers, backend)
+
+        with telemetry.span("parallel.merge") as merge_span:
+            groups: list[GroupStatistics] = []
+            memberships: list[np.ndarray] = []
+            for shard, (shard_groups, shard_memberships) in zip(
+                shards, results
+            ):
+                for group, local_members in zip(
+                    shard_groups, shard_memberships
+                ):
+                    groups.append(group)
+                    memberships.append(
+                        shard[np.asarray(local_members, dtype=np.int64)]
+                    )
+            model = CondensedModel(groups=groups, k=k)
+            model.metadata["memberships"] = memberships
+
+            undersized = model.group_sizes[model.group_sizes < k]
+            for size in undersized:
+                telemetry.histogram_observe(
+                    "parallel.repair_group_size", int(size),
+                    buckets=DEFAULT_SIZE_BUCKETS,
+                )
+            model, n_repairs = _repair_undersized(model)
+            telemetry.counter_inc("parallel.merge_repairs", n_repairs)
+            n_resplits = 0
+            if repair == "merge_resplit":
+                model, n_resplits = _resplit_oversized(model, k)
+                telemetry.counter_inc("parallel.resplits", n_resplits)
+            merge_span.set_attribute("n_groups", model.n_groups)
+            merge_span.set_attribute("n_merge_repairs", n_repairs)
+            merge_span.set_attribute("n_resplits", n_resplits)
+
+        model.metadata["strategy"] = strategy.name
+        model.metadata["parallel"] = {
+            "n_shards": summary["n_shards"],
+            "shard_min_size": summary["min_size"],
+            "shard_max_size": summary["max_size"],
+            "n_workers": n_workers,
+            "backend": backend,
+            "repair": repair,
+            "n_merge_repairs": n_repairs,
+            "n_resplits": n_resplits,
+        }
+        parallel_span.set_attribute("n_groups", model.n_groups)
+        return model

@@ -36,6 +36,12 @@ def run_stream():
 
 
 @pytest.fixture
+def run_parallel():
+    """Analyze a snippet as if it lived in ``repro/parallel``."""
+    return _runner("src/repro/parallel/snippet.py")
+
+
+@pytest.fixture
 def run_lib():
     """Analyze a snippet as if it lived in a non-critical package."""
     return _runner("src/repro/metrics/snippet.py")

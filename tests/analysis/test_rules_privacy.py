@@ -106,6 +106,35 @@ class TestRecordRetention:
         )
         assert run_lib(source, select=["PRIV-001"]) == []
 
+    def test_parallel_package_is_privacy_critical(self, run_parallel):
+        source = dedent(
+            """
+            class ShardWorker:
+                def __init__(self, records):
+                    self._records = records
+            """
+        )
+        findings = run_parallel(source, select=["PRIV-001"])
+        assert rule_ids(findings) == ["PRIV-001"]
+        assert "(Fs, Sc, n)" in findings[0].message
+
+    def test_parallel_serializer_import_flagged(self, run_parallel):
+        findings = run_parallel("import pickle\n", select=["PRIV-001"])
+        assert rule_ids(findings) == ["PRIV-001"]
+        assert "repro/parallel" in findings[0].message
+
+    def test_parallel_telemetry_payloads_audited(self, run_parallel):
+        source = dedent(
+            """
+            from repro import telemetry
+
+            def condense_shard(records):
+                telemetry.gauge_set("parallel.batch", records)
+            """
+        )
+        findings = run_parallel(source, select=["PRIV-002"])
+        assert rule_ids(findings) == ["PRIV-002"]
+
 
 class TestSerialization:
     def test_pickle_import_flagged(self, run_core):

@@ -1,7 +1,22 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and Hypothesis profiles for the test suite.
+
+Hypothesis settings live here, not on individual tests: the ``default``
+profile keeps local runs fast, while ``ci`` turns up the example count
+and drops deadlines for thorough scheduled runs.  Select one with the
+``HYPOTHESIS_PROFILE`` environment variable (CI exports
+``HYPOTHESIS_PROFILE=ci``); tests themselves carry no ``@settings``
+boilerplate.
+"""
+
+import os
 
 import numpy as np
 import pytest
+from hypothesis import settings
+
+settings.register_profile("default", max_examples=25, deadline=None)
+settings.register_profile("ci", max_examples=100, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

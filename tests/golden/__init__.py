@@ -1,0 +1,1 @@
+"""Golden regression tests: committed expected end-to-end numbers."""

@@ -1,0 +1,104 @@
+"""Golden end-to-end regression: classification on the Ionosphere twin.
+
+A fully seeded sweep of the paper's §2.3 classification protocol over
+``k ∈ {2, 5, 10}``, with the resulting nearest-neighbour accuracies
+committed as expected values.  A change inside any stage of the
+pipeline — twin generation, splitting, per-class condensation,
+anonymized generation, or the k-NN classifier — shifts these numbers
+and fails the test, which is the point: silent behavioural drift is
+the one failure property tests cannot catch.
+
+Tolerances are explicit and deliberately small.  ``ACCURACY_TOL``
+absorbs cross-platform BLAS differences in the eigendecompositions the
+generator uses; ``GROUP_SIZE_TOL`` covers float summary arithmetic
+only, since group formation itself is integer-exact.  If an
+intentional algorithm change moves a value beyond tolerance, re-derive
+the constants with the recipe in each test and say so in the commit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.condenser import ClasswiseCondenser
+from repro.datasets.twins import load_ionosphere
+from repro.evaluation.protocol import classification_condition
+from repro.neighbors.knn import KNeighborsClassifier
+from repro.preprocessing.splits import train_test_split
+
+ACCURACY_TOL = 0.025
+GROUP_SIZE_TOL = 1e-3
+
+# (k, expected accuracy, expected average group size); regenerate by
+# running the body of the corresponding test and printing the results.
+SERIAL_EXPECTED = [
+    (2, 0.8181818182, 2.007634),
+    (5, 0.8409090909, 5.156863),
+    (10, 0.8977272727, 10.520000),
+]
+
+SHARDED_EXPECTED = [
+    (2, 0.7840909091, 2.023077),
+    (5, 0.8522727273, 5.367347),
+    (10, 0.8068181818, 10.958333),
+]
+
+
+@pytest.fixture(scope="module")
+def ionosphere_split():
+    dataset = load_ionosphere()
+    return train_test_split(
+        dataset.data, dataset.target,
+        test_size=0.25, stratify=dataset.target, random_state=0,
+    )
+
+
+class TestSerialGolden:
+    @pytest.mark.parametrize(
+        "k,expected_accuracy,expected_group_size", SERIAL_EXPECTED
+    )
+    def test_classification_sweep(
+        self, ionosphere_split, k, expected_accuracy, expected_group_size
+    ):
+        train_x, test_x, train_y, test_y = ionosphere_split
+        result = classification_condition(
+            train_x, train_y, test_x, test_y,
+            k=k, mode="static", random_state=k,
+        )
+        assert result.accuracy == pytest.approx(
+            expected_accuracy, abs=ACCURACY_TOL
+        )
+        assert result.average_group_size == pytest.approx(
+            expected_group_size, abs=GROUP_SIZE_TOL
+        )
+
+
+class TestShardedGolden:
+    @pytest.mark.parametrize(
+        "k,expected_accuracy,expected_group_size", SHARDED_EXPECTED
+    )
+    def test_classification_sweep_with_shards(
+        self, ionosphere_split, k, expected_accuracy, expected_group_size
+    ):
+        train_x, test_x, train_y, test_y = ionosphere_split
+        condenser = ClasswiseCondenser(
+            k, small_class_policy="single_group",
+            random_state=k, n_shards=3,
+        )
+        anonymized, anonymized_labels = condenser.fit_generate(
+            train_x, train_y
+        )
+        classifier = KNeighborsClassifier(n_neighbors=1)
+        classifier.fit(anonymized, anonymized_labels)
+        accuracy = classifier.score(test_x, test_y)
+        assert accuracy == pytest.approx(
+            expected_accuracy, abs=ACCURACY_TOL
+        )
+        assert condenser.average_group_size == pytest.approx(
+            expected_group_size, abs=GROUP_SIZE_TOL
+        )
+        # The golden numbers must come from a model that still honors
+        # the privacy level after shard-merge repair.
+        sizes = np.concatenate(
+            [model.group_sizes for model in condenser.models_.values()]
+        )
+        assert int(sizes.min()) >= k

@@ -8,9 +8,11 @@ from repro.linalg.rng import (
     check_random_state,
     derive_seed,
     permutation,
+    rng_from_seed_sequence,
     sample_without_replacement,
     seeds_for,
     spawn_rngs,
+    spawn_seed_sequences,
 )
 
 
@@ -78,6 +80,52 @@ class TestSpawnRngs:
 
     def test_zero_count_allowed(self):
         assert spawn_rngs(0, 0) == []
+
+
+class TestSpawnSeedSequences:
+    def test_count_and_type(self):
+        sequences = spawn_seed_sequences(0, 3)
+        assert len(sequences) == 3
+        assert all(
+            isinstance(s, np.random.SeedSequence) for s in sequences
+        )
+
+    def test_reproducible_for_fixed_seed(self):
+        first = [
+            rng_from_seed_sequence(s).integers(0, 10**9)
+            for s in spawn_seed_sequences(9, 3)
+        ]
+        second = [
+            rng_from_seed_sequence(s).integers(0, 10**9)
+            for s in spawn_seed_sequences(9, 3)
+        ]
+        assert first == second
+
+    def test_children_are_independent_streams(self):
+        first, second = spawn_seed_sequences(0, 2)
+        a = rng_from_seed_sequence(first).integers(0, 10**9, size=5)
+        b = rng_from_seed_sequence(second).integers(0, 10**9, size=5)
+        assert not np.array_equal(a, b)
+
+    def test_sequences_survive_pickling_boundary(self):
+        # The parallel engine ships sequences to process-pool workers;
+        # a spawned child must yield the same stream on either side.
+        import copy
+
+        (sequence,) = spawn_seed_sequences(4, 1)
+        local = rng_from_seed_sequence(sequence).integers(0, 10**9)
+        remote = rng_from_seed_sequence(
+            copy.deepcopy(sequence)
+        ).integers(0, 10**9)
+        assert local == remote
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seed_sequences(0, -1)
+
+    def test_non_sequence_rejected(self):
+        with pytest.raises(TypeError, match="SeedSequence"):
+            rng_from_seed_sequence(7)
 
 
 class TestSamplingHelpers:

@@ -1,0 +1,1 @@
+"""Tests for the sharded parallel condensation engine."""

@@ -1,0 +1,104 @@
+"""Properties of the principal-axis shard partitioner."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel.sharding import (
+    principal_axis_bisect,
+    principal_axis_shards,
+    shard_size_summary,
+)
+
+
+def make_data(seed, n, d):
+    return np.random.default_rng(seed).normal(size=(n, d))
+
+
+class TestBisect:
+    def test_halves_partition_the_part(self):
+        data = make_data(0, 21, 3)
+        part = np.arange(21, dtype=np.int64)
+        left, right = principal_axis_bisect(data, part)
+        assert left.shape[0] == 11 and right.shape[0] == 10
+        assert np.array_equal(np.sort(np.concatenate([left, right])), part)
+
+    def test_halves_are_separated_along_the_principal_axis(self):
+        # Two well-separated blobs: the bisection must recover them.
+        rng = np.random.default_rng(3)
+        blob_a = rng.normal(loc=0.0, size=(30, 2))
+        blob_b = rng.normal(loc=50.0, size=(30, 2))
+        data = np.vstack([blob_a, blob_b])
+        left, right = principal_axis_bisect(data, np.arange(60))
+        sides = {frozenset(left.tolist()), frozenset(right.tolist())}
+        assert sides == {frozenset(range(30)), frozenset(range(30, 60))}
+
+    def test_rejects_single_record_part(self):
+        data = make_data(0, 5, 2)
+        with pytest.raises(ValueError, match="cannot bisect"):
+            principal_axis_bisect(data, np.array([2]))
+
+
+class TestShards:
+    @given(
+        seed=st.integers(0, 1_000),
+        n=st.integers(1, 150),
+        d=st.integers(1, 5),
+        n_shards=st.integers(1, 12),
+    )
+    def test_shards_partition_the_index_range(self, seed, n, d, n_shards):
+        data = make_data(seed, n, d)
+        shards = principal_axis_shards(data, n_shards)
+        assert len(shards) == min(n_shards, n)
+        combined = np.concatenate(shards)
+        assert np.array_equal(np.sort(combined), np.arange(n))
+        for shard in shards:
+            assert shard.dtype == np.int64
+            assert np.array_equal(shard, np.sort(shard))
+
+    @given(
+        seed=st.integers(0, 1_000),
+        n=st.integers(2, 150),
+        n_shards=st.integers(2, 12),
+    )
+    def test_shards_are_balanced(self, seed, n, n_shards):
+        data = make_data(seed, n, 3)
+        summary = shard_size_summary(principal_axis_shards(data, n_shards))
+        assert summary["total"] == n
+        assert summary["max_size"] <= 2 * summary["min_size"] + 1
+
+    @given(
+        seed=st.integers(0, 1_000),
+        n=st.integers(1, 80),
+        n_shards=st.integers(1, 12),
+    )
+    def test_partition_is_deterministic(self, seed, n, n_shards):
+        data = make_data(seed, n, 2)
+        first = principal_axis_shards(data, n_shards)
+        second = principal_axis_shards(data, n_shards)
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+
+    def test_single_shard_is_identity(self):
+        data = make_data(1, 17, 3)
+        (shard,) = principal_axis_shards(data, 1)
+        assert np.array_equal(shard, np.arange(17))
+
+    def test_shard_count_clamped_to_record_count(self):
+        data = make_data(1, 4, 2)
+        shards = principal_axis_shards(data, 10)
+        assert len(shards) == 4
+        assert all(shard.shape[0] == 1 for shard in shards)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="2-D"):
+            principal_axis_shards(np.zeros(5), 2)
+        with pytest.raises(ValueError, match="n_shards"):
+            principal_axis_shards(np.zeros((5, 2)), 0)
+
+    def test_summary_is_plain_ints(self):
+        summary = shard_size_summary(
+            principal_axis_shards(make_data(0, 30, 2), 4)
+        )
+        assert set(summary) == {"n_shards", "min_size", "max_size", "total"}
+        assert all(type(value) is int for value in summary.values())

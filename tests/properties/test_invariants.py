@@ -6,7 +6,7 @@ rests on — the guarantees every other module silently assumes.
 """
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.condensation import create_condensed_groups
@@ -31,7 +31,6 @@ datasets = st.composite(dataset_strategy)()
 
 class TestStaticPipelineInvariants:
     @given(data=datasets, k=st.integers(1, 25), seed=st.integers(0, 100))
-    @settings(max_examples=40, deadline=None)
     def test_condense_generate_preserves_cardinality_and_mean(
         self, data, k, seed
     ):
@@ -51,7 +50,6 @@ class TestStaticPipelineInvariants:
         assert deviation <= 2.0 * spread
 
     @given(data=datasets, k=st.integers(1, 25), seed=st.integers(0, 100))
-    @settings(max_examples=40, deadline=None)
     def test_aggregate_sums_exact(self, data, k, seed):
         # Condensation never loses first- or second-order mass: the sum
         # of group sums equals the data set's sums exactly (up to float
@@ -65,7 +63,6 @@ class TestStaticPipelineInvariants:
         ).max() <= 1e-9 * scale
 
     @given(data=datasets, k=st.integers(2, 25), seed=st.integers(0, 100))
-    @settings(max_examples=30, deadline=None)
     def test_generated_records_stay_in_group_support(
         self, data, k, seed
     ):
@@ -95,7 +92,6 @@ class TestDynamicPipelineInvariants:
         n_stream=st.integers(0, 150),
         d=st.integers(1, 4),
     )
-    @settings(max_examples=40, deadline=None)
     def test_band_and_conservation(self, seed, k, n_stream, d):
         rng = np.random.default_rng(seed)
         base = rng.normal(size=(max(k, 3 * k), d))
@@ -114,7 +110,6 @@ class TestDynamicPipelineInvariants:
         assert sizes.sum() == base.shape[0] + n_stream
 
     @given(seed=st.integers(0, 2_000), k=st.integers(1, 20))
-    @settings(max_examples=40, deadline=None)
     def test_split_mass_and_moment_conservation(self, seed, k):
         rng = np.random.default_rng(seed)
         records = 10.0 * rng.normal(size=(2 * k, 3))
@@ -139,7 +134,6 @@ class TestDynamicPipelineInvariants:
 
 class TestPrivacyInvariants:
     @given(data=datasets, k=st.integers(1, 20), seed=st.integers(0, 50))
-    @settings(max_examples=25, deadline=None)
     def test_no_original_record_is_released_for_k_above_one(
         self, data, k, seed
     ):
@@ -164,7 +158,6 @@ class TestCoarseningInvariants:
         base_k=st.integers(1, 10),
         factor=st.integers(1, 6),
     )
-    @settings(max_examples=30, deadline=None)
     def test_coarsen_conserves_mass_and_meets_level(
         self, seed, base_k, factor
     ):
@@ -191,7 +184,6 @@ class TestClasswiseInvariants:
         k=st.integers(1, 10),
         n_per_class=st.integers(12, 40),
     )
-    @settings(max_examples=25, deadline=None)
     def test_per_class_counts_exact(self, seed, k, n_per_class):
         from repro.core.condenser import ClasswiseCondenser
 

@@ -10,7 +10,7 @@ seeding is deterministic, so the transformation is the only variable).
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.condensation import create_condensed_groups
@@ -34,7 +34,6 @@ def memberships_as_sets(model):
 class TestAffineEquivariance:
     @given(seed=st.integers(0, 500),
            shift=st.floats(-100.0, 100.0, allow_nan=False))
-    @settings(max_examples=25, deadline=None)
     def test_translation(self, seed, shift):
         data = np.random.default_rng(seed).normal(size=(50, 3))
         base = mdav_model(data)
@@ -51,7 +50,6 @@ class TestAffineEquivariance:
 
     @given(seed=st.integers(0, 500),
            factor=st.floats(0.01, 100.0, allow_nan=False))
-    @settings(max_examples=25, deadline=None)
     def test_scaling(self, seed, factor):
         data = np.random.default_rng(seed).normal(size=(50, 3))
         base = mdav_model(data)
@@ -63,7 +61,6 @@ class TestAffineEquivariance:
         )
 
     @given(seed=st.integers(0, 500))
-    @settings(max_examples=25, deadline=None)
     def test_rotation(self, seed):
         rng = np.random.default_rng(seed)
         data = rng.normal(size=(50, 3))
@@ -77,7 +74,6 @@ class TestAffineEquivariance:
         )
 
     @given(seed=st.integers(0, 500))
-    @settings(max_examples=20, deadline=None)
     def test_row_permutation_preserves_grouping(self, seed):
         rng = np.random.default_rng(seed)
         data = rng.normal(size=(40, 2))
@@ -97,7 +93,6 @@ class TestSplitEquivariance:
     @given(seed=st.integers(0, 500),
            shift=st.floats(-50.0, 50.0, allow_nan=False),
            factor=st.floats(0.1, 10.0, allow_nan=False))
-    @settings(max_examples=25, deadline=None)
     def test_split_commutes_with_affine_map(self, seed, shift, factor):
         records = np.random.default_rng(seed).normal(size=(20, 3))
         group = GroupStatistics.from_records(records)

@@ -1,0 +1,105 @@
+"""Eigen-split invariants of ``split_group_statistics`` (Fig. 3).
+
+The paper's split replaces a group of ``2k`` records with two children
+of ``k`` records each, displaced ``± sqrt(12 λ₁)/4`` along the leading
+eigenvector, with the leading eigenvalue quartered.  These properties
+pin down the exact geometry the dynamic maintainer and the parallel
+engine's ``merge_resplit`` repair both rely on:
+
+* counts, first-order and second-order mass are conserved exactly;
+* child centroids sit at ``± a/4`` along the principal eigenvector,
+  with ``a = sqrt(12 λ₁)`` the uniform range that reproduces ``λ₁``;
+* both children share one covariance whose variance along the parent's
+  principal axis is ``λ₁ / 4`` while every other principal direction
+  keeps its parent variance.
+"""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dynamic import split_group_statistics
+from repro.core.statistics import GroupStatistics
+
+
+def make_group(seed, k, d, scale):
+    rng = np.random.default_rng(seed)
+    records = scale * rng.normal(size=(2 * k, d))
+    return GroupStatistics.from_records(records)
+
+
+group_cases = {
+    "seed": st.integers(0, 2_000),
+    "k": st.integers(1, 20),
+    "d": st.integers(1, 6),
+    "scale": st.sampled_from([0.01, 1.0, 100.0]),
+}
+
+
+class TestEigenSplitInvariants:
+    @given(**group_cases)
+    def test_counts_and_moment_mass_conserved(self, seed, k, d, scale):
+        group = make_group(seed, k, d, scale)
+        first, second = split_group_statistics(group, k=k)
+        assert first.count == second.count == k
+        first_scale = np.abs(group.first_order).max() + 1.0
+        assert np.abs(
+            first.first_order + second.first_order - group.first_order
+        ).max() <= 1e-8 * first_scale
+        second_scale = np.abs(group.second_order).max() + 1.0
+        assert np.abs(
+            first.second_order + second.second_order - group.second_order
+        ).max() <= 1e-7 * second_scale
+
+    @given(**group_cases)
+    def test_child_centroids_sit_at_quarter_range(self, seed, k, d, scale):
+        group = make_group(seed, k, d, scale)
+        eigenvalues, eigenvectors = group.eigen_system()
+        offset = np.sqrt(12.0 * float(eigenvalues[0])) / 4.0
+        axis = eigenvectors[:, 0]
+        first, second = split_group_statistics(group, k=k)
+        tolerance = 1e-8 * (np.abs(group.centroid).max() + offset + 1.0)
+        assert np.abs(
+            first.centroid - (group.centroid + offset * axis)
+        ).max() <= tolerance
+        assert np.abs(
+            second.centroid - (group.centroid - offset * axis)
+        ).max() <= tolerance
+
+    @given(**group_cases)
+    def test_leading_variance_quartered_others_kept(self, seed, k, d,
+                                                    scale):
+        group = make_group(seed, k, d, scale)
+        eigenvalues, eigenvectors = group.eigen_system()
+        first, second = split_group_statistics(group, k=k)
+        tolerance = 1e-7 * (float(eigenvalues[0]) + 1.0)
+        # Both children share one covariance matrix.
+        assert np.abs(
+            first.covariance - second.covariance
+        ).max() <= tolerance
+        # Variance along the parent's principal axis drops to λ1/4 ...
+        for child in (first, second):
+            projected = eigenvectors.T @ child.covariance @ eigenvectors
+            assert abs(
+                projected[0, 0] - eigenvalues[0] / 4.0
+            ) <= tolerance
+            # ... while every other principal direction keeps its
+            # parent variance.
+            for j in range(1, d):
+                assert abs(
+                    projected[j, j] - eigenvalues[j]
+                ) <= tolerance
+
+    @given(**group_cases)
+    def test_merged_children_reproduce_parent_covariance(
+        self, seed, k, d, scale
+    ):
+        group = make_group(seed, k, d, scale)
+        first, second = split_group_statistics(group, k=k)
+        merged = first.copy()
+        merged.merge(second)
+        assert merged.count == group.count
+        cov_scale = np.abs(group.covariance).max() + 1.0
+        assert np.abs(
+            merged.covariance - group.covariance
+        ).max() <= 1e-7 * cov_scale

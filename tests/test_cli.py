@@ -34,6 +34,36 @@ class TestCondenseGenerate:
         out = capsys.readouterr().out
         assert "150 records" in out
 
+    def test_condense_with_shards_meets_privacy_level(
+        self, tmp_path, data_csv, capsys
+    ):
+        model_path = tmp_path / "model.json"
+        exit_code = main([
+            "condense", str(data_csv), str(model_path), "--k", "10",
+            "--shards", "3", "--workers", "1",
+        ])
+        assert exit_code == 0
+        payload = json.loads(model_path.read_text())
+        assert payload["k"] == 10
+        assert all(
+            group["count"] >= 10 for group in payload["groups"]
+        )
+        assert "achieved 10" in capsys.readouterr().out
+
+    def test_shards_give_same_model_for_any_worker_count(
+        self, tmp_path, data_csv
+    ):
+        payloads = []
+        for workers in ("1", "2"):
+            model_path = tmp_path / f"model_{workers}.json"
+            main([
+                "condense", str(data_csv), str(model_path),
+                "--k", "10", "--strategy", "mdav",
+                "--shards", "3", "--workers", workers,
+            ])
+            payloads.append(json.loads(model_path.read_text()))
+        assert payloads[0]["groups"] == payloads[1]["groups"]
+
     def test_generate_from_model(self, tmp_path, data_csv):
         model_path = tmp_path / "model.json"
         release_path = tmp_path / "release.csv"

@@ -13,6 +13,7 @@ PUBLIC_MODULES = [
     "repro",
     "repro.core",
     "repro.linalg",
+    "repro.parallel",
     "repro.neighbors",
     "repro.mining",
     "repro.preprocessing",
