@@ -21,7 +21,8 @@ and suppression syntax.
 
 from repro.analysis.context import ModuleContext
 from repro.analysis.findings import Finding
-from repro.analysis.registry import Rule, get_rules, register
+from repro.analysis.project import ProjectIndex, ProjectReport, run_project
+from repro.analysis.registry import ProjectRule, Rule, get_rules, register
 from repro.analysis.reporters import (
     JSON_SCHEMA_VERSION,
     render_json,
@@ -38,6 +39,9 @@ __all__ = [
     "Finding",
     "JSON_SCHEMA_VERSION",
     "ModuleContext",
+    "ProjectIndex",
+    "ProjectReport",
+    "ProjectRule",
     "Rule",
     "analyze_module",
     "analyze_paths",
@@ -47,4 +51,5 @@ __all__ = [
     "register",
     "render_json",
     "render_text",
+    "run_project",
 ]

@@ -7,6 +7,12 @@ unparsable file) remains::
     python -m repro.analysis src/repro --format json
     python -m repro.analysis src --select RNG-001,PRIV-001
     repro lint src/ tests/
+    repro lint --project --baseline .repro-lint-baseline.json src tests
+    repro lint --project --update-baseline --baseline .repro-lint-baseline.json
+
+``--project`` enables the whole-program pass (PRIV-003, DET-001/002/003)
+with the incremental cache; ``--baseline`` turns findings into a
+ratchet — only findings beyond the baseline fail the run.
 """
 
 from __future__ import annotations
@@ -14,6 +20,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis.project.cache import DEFAULT_CACHE_PATH
+from repro.analysis.project.runner import run_project
 from repro.analysis.registry import get_rules
 from repro.analysis.reporters import render_json, render_text
 from repro.analysis.walker import analyze_paths
@@ -47,6 +55,23 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                         help="comma-separated rule ids to skip")
     parser.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
+    parser.add_argument("--project", action="store_true",
+                        help="run the whole-program pass (taint and "
+                             "determinism rules) with the incremental "
+                             "cache")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline (ratchet) file: grandfathered "
+                             "findings pass, new ones fail "
+                             "(implies --project)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the --baseline file from the "
+                             "current findings and exit clean")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the incremental result cache")
+    parser.add_argument("--cache-file", default=DEFAULT_CACHE_PATH,
+                        metavar="PATH",
+                        help="incremental cache location (default: "
+                             f"{DEFAULT_CACHE_PATH})")
 
 
 def run_lint(arguments) -> int:
@@ -71,15 +96,43 @@ def run_lint(arguments) -> int:
         return 2
     if arguments.list_rules:
         for rule in rules:
-            print(f"{rule.rule_id}  {rule.summary}")
+            print(f"{rule.rule_id}  [{rule.scope}]  {rule.summary}")
         return 0
+    if arguments.update_baseline and arguments.baseline is None:
+        print("error: --update-baseline requires --baseline PATH",
+              file=sys.stderr)
+        return 2
+    renderer = render_json if arguments.format == "json" else render_text
+    project = arguments.project or arguments.baseline is not None
+    if project:
+        try:
+            report = run_project(
+                arguments.paths,
+                rules=rules,
+                cache_path=arguments.cache_file,
+                use_cache=not arguments.no_cache,
+                baseline_path=arguments.baseline,
+                update_baseline=arguments.update_baseline,
+            )
+        except (FileNotFoundError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(renderer(
+            report.findings, report.errors,
+            suppressed=report.suppressed, baselined=report.baselined,
+            rules_run=report.rules_run, stats=report.stats,
+        ))
+        return 1 if report.findings or report.errors else 0
     try:
         findings, errors = analyze_paths(arguments.paths, rules=rules)
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    renderer = render_json if arguments.format == "json" else render_text
-    print(renderer(findings, errors))
+    print(renderer(
+        findings, errors,
+        rules_run=[rule.rule_id for rule in rules
+                   if rule.scope == "module"],
+    ))
     return 1 if findings or errors else 0
 
 

@@ -27,6 +27,9 @@ class Finding:
     message:
         Human-readable explanation of the violation and the expected
         repo idiom.
+    trace:
+        Optional ordered hop descriptions for whole-program findings
+        (e.g. a PRIV-003 source→sink path); empty for module rules.
     """
 
     path: str
@@ -34,19 +37,27 @@ class Finding:
     column: int
     rule_id: str
     message: str
+    trace: tuple = ()
 
     def format(self) -> str:
         """Render the finding as one ``path:line:col: RULE message`` line.
 
+        Trace hops, when present, follow on indented continuation lines
+        so the source→sink path reads top to bottom.
+
         Returns
         -------
         str
-            The formatted line.
+            The formatted line(s).
         """
-        return (
+        head = (
             f"{self.path}:{self.line}:{self.column}: "
             f"{self.rule_id} {self.message}"
         )
+        if not self.trace:
+            return head
+        hops = "\n".join(f"    {hop}" for hop in self.trace)
+        return f"{head}\n{hops}"
 
     def to_dict(self) -> dict:
         """Return a JSON-serializable mapping of the finding.
@@ -55,12 +66,41 @@ class Finding:
         -------
         dict
             Keys ``path``, ``line``, ``column``, ``rule_id`` and
-            ``message``.
+            ``message``, plus ``trace`` when the finding carries a
+            source→sink path.
         """
-        return {
+        document = {
             "path": self.path,
             "line": self.line,
             "column": self.column,
             "rule_id": self.rule_id,
             "message": self.message,
         }
+        if self.trace:
+            document["trace"] = list(self.trace)
+        return document
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "Finding":
+        """Rebuild a finding from its :meth:`to_dict` mapping.
+
+        Used by the incremental cache to replay findings without
+        re-analyzing the file.
+
+        Parameters
+        ----------
+        document:
+            Mapping produced by :meth:`to_dict`.
+
+        Returns
+        -------
+        Finding
+        """
+        return cls(
+            path=document["path"],
+            line=document["line"],
+            column=document["column"],
+            rule_id=document["rule_id"],
+            message=document["message"],
+            trace=tuple(document.get("trace", ())),
+        )

@@ -1,0 +1,53 @@
+"""Whole-program analysis layer.
+
+Everything the per-module analyzer cannot see lives here: the project
+index (symbols, imports, call graph), the raw-record taint engine, the
+incremental result cache, the baseline ratchet, and the driver that
+``repro lint --project`` runs.
+"""
+
+from repro.analysis.project.baseline import Baseline, fingerprint
+from repro.analysis.project.cache import (
+    DEFAULT_CACHE_PATH,
+    AnalysisCache,
+    content_hash,
+    rules_fingerprint,
+)
+from repro.analysis.project.index import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    build_index,
+    module_name_for_path,
+)
+from repro.analysis.project.runner import ProjectReport, run_project
+from repro.analysis.project.taint import (
+    Leak,
+    Origin,
+    TaintConfig,
+    TaintEngine,
+    analyze_taint,
+    taint_summary,
+)
+
+__all__ = [
+    "AnalysisCache",
+    "Baseline",
+    "DEFAULT_CACHE_PATH",
+    "FunctionInfo",
+    "Leak",
+    "ModuleInfo",
+    "Origin",
+    "ProjectIndex",
+    "ProjectReport",
+    "TaintConfig",
+    "TaintEngine",
+    "analyze_taint",
+    "build_index",
+    "content_hash",
+    "fingerprint",
+    "module_name_for_path",
+    "rules_fingerprint",
+    "run_project",
+    "taint_summary",
+]

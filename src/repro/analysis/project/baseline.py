@@ -1,0 +1,157 @@
+"""Finding baseline — the CI ratchet.
+
+Whole-program rules land on a codebase with history: pre-existing
+findings should not block CI the day the rule ships, but no *new* ones
+may join them.  The baseline file records a count per finding
+fingerprint; at report time each fingerprint's first ``count`` findings
+are grandfathered and everything beyond is new.  Running ``repro lint
+--update-baseline`` rewrites the file from the current findings, which
+can only shrink the debt (or intentionally re-grandfather after a
+refactor — the diff makes that loud).
+
+Fingerprints deliberately exclude line numbers (and rule messages are
+written without them; any ``:<line>`` that sneaks in is collapsed), so
+unrelated edits that shift code do not churn the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+
+#: On-disk format version.
+BASELINE_VERSION = 1
+
+_LINE_REF = re.compile(r":\d+")
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding, independent of line numbers.
+
+    Parameters
+    ----------
+    finding:
+        The finding to fingerprint.
+
+    Returns
+    -------
+    str
+        ``"path|rule_id|normalized-message"``.
+    """
+    message = _LINE_REF.sub(":*", finding.message)
+    return f"{finding.path}|{finding.rule_id}|{message}"
+
+
+@dataclass
+class Baseline:
+    """Grandfathered finding counts keyed by fingerprint.
+
+    Attributes
+    ----------
+    counts:
+        Fingerprint → number of tolerated findings.
+    """
+
+    counts: dict = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline.
+
+        Parameters
+        ----------
+        path:
+            Baseline file path.
+
+        Returns
+        -------
+        Baseline
+
+        Raises
+        ------
+        ValueError
+            If the file exists but is not a valid baseline document.
+        """
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+            counts = {
+                str(key): int(value)
+                for key, value in document["fingerprints"].items()
+            }
+        except (json.JSONDecodeError, KeyError, TypeError,
+                AttributeError) as error:
+            raise ValueError(f"invalid baseline file {path}: {error}")
+        return cls(counts=counts)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Build a baseline grandfathering every given finding.
+
+        Parameters
+        ----------
+        findings:
+            The findings to tolerate from now on.
+
+        Returns
+        -------
+        Baseline
+        """
+        counts: dict = {}
+        for finding in findings:
+            key = fingerprint(finding)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts=counts)
+
+    def save(self, path) -> None:
+        """Write the baseline file (sorted, diff-friendly).
+
+        Parameters
+        ----------
+        path:
+            Destination path.
+        """
+        document = {
+            "version": BASELINE_VERSION,
+            "fingerprints": dict(sorted(self.counts.items())),
+        }
+        Path(path).write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8"
+        )
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list, int]:
+        """Split findings into new ones and a grandfathered count.
+
+        Within one fingerprint, findings are tolerated in sorted order
+        until the baselined count is exhausted; the rest are new.
+
+        Parameters
+        ----------
+        findings:
+            Current findings.
+
+        Returns
+        -------
+        tuple of (list of Finding, int)
+            New findings (sorted) and how many were baselined.
+        """
+        remaining = dict(self.counts)
+        fresh = []
+        baselined = 0
+        for finding in sorted(findings):
+            key = fingerprint(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined += 1
+            else:
+                fresh.append(finding)
+        return fresh, baselined

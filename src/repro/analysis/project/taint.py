@@ -1,0 +1,921 @@
+"""Interprocedural raw-record taint analysis.
+
+The paper's privacy claim is an information-flow property: after
+condensation only the ``(Fs, Sc, n)`` group statistics survive, and
+anonymized output is drawn from them — never from raw records (§2.1).
+This engine checks that property across function and module boundaries
+with a classic taint design:
+
+* **Sources** mark values as raw records: calls to dataset
+  loaders/generators (``repro.datasets`` ``load_*``/``make_*``/
+  ``fetch_*``), raw-record readers (``repro.io`` ``read_*``), and the
+  record-named ndarray parameters of condensation entry points in the
+  privacy-critical packages (``repro/core``, ``repro/stream``,
+  ``repro/parallel``).
+* **Propagation** is intraprocedural plus call summaries: assignments,
+  tuple unpacking, subscripts/slices, wrapping calls
+  (``np.asarray``/``.copy()``/stacking), container literals,
+  comprehensions, f-strings and arithmetic keep taint; aggregations
+  (``len``, ``sum``, ``.mean()``, matrix products, comparisons) erase
+  it — deriving statistics *is* the paper's sanctioned operation.
+  Unpacking one value into several names narrows taint to record-named
+  targets (task tuples carry ``k``/``strategy`` scalars next to the
+  records; the tuple's element structure is not tracked).
+  Calls into indexed functions use per-function summaries reached by a
+  monotone fixpoint over the call graph, so taint follows values
+  through returns and into callee parameters.
+* **Sinks** are the places record data would escape: serialization and
+  file writes, telemetry payloads, exporter calls, and
+  ``print``/logging/``__repr__`` formatting.
+
+The engine reports each leak with the full source→sink hop chain so a
+finding reads as a path, not a point.  Everything is a deliberate
+over/under-approximation of runtime behavior — see the module-level
+discussion in ``docs/static_analysis.md`` for the escape hatches
+(unresolvable calls drop taint; attribute stores are PRIV-001's job).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.astutils import dotted_name
+from repro.analysis.project.index import FunctionInfo, ProjectIndex
+
+#: Parameter / value names that denote raw record batches by repo
+#: convention (mirrors PRIV-001's vocabulary).
+RECORD_PARAM_NAMES = frozenset({
+    "data", "records", "X", "rows", "batch", "samples", "points",
+    "members", "observations", "database",
+})
+
+#: Attribute reads that return metadata, not record content.
+_METADATA_ATTRS = frozenset({
+    "shape", "ndim", "dtype", "size", "nbytes", "itemsize", "count",
+    "n_groups", "n_features", "n_records", "name", "k", "columns",
+})
+
+#: Calls that wrap or restack records without reducing them.
+_WRAPPING_CALLS = frozenset({
+    "asarray", "array", "copy", "atleast_2d", "vstack", "hstack",
+    "stack", "concatenate", "column_stack", "ascontiguousarray",
+    "asfarray", "require", "list", "tuple", "sorted", "reversed",
+    "str", "repr", "format", "deepcopy",
+})
+
+#: Methods that pass their receiver's data through unchanged.
+_PASSTHROUGH_METHODS = frozenset({
+    "copy", "astype", "reshape", "view", "tolist", "ravel", "flatten",
+    "transpose", "squeeze", "round", "clip", "take", "item",
+})
+
+#: Calls and methods that aggregate records into scalars/statistics.
+_REDUCER_CALLS = frozenset({
+    "len", "int", "float", "bool", "sum", "min", "max", "abs", "hash",
+    "any", "all", "id", "isinstance", "range", "enumerate", "zip",
+})
+_REDUCER_METHODS = frozenset({
+    "sum", "mean", "std", "var", "min", "max", "dot", "trace", "prod",
+    "argmin", "argmax", "argsort", "nonzero", "count", "index",
+})
+
+_SERIALIZER_HEADS = frozenset({
+    "pickle", "cPickle", "dill", "joblib", "shelve", "marshal", "json",
+    "yaml", "msgpack",
+})
+_NUMPY_SAVERS = frozenset({"save", "savez", "savez_compressed", "savetxt"})
+_WRITE_METHODS = frozenset({
+    "write", "writelines", "write_text", "write_bytes", "writerow",
+    "writerows", "tofile", "to_csv", "dump", "dumps",
+})
+_LOG_METHODS = frozenset({
+    "debug", "info", "warning", "error", "critical", "exception", "log",
+})
+_TELEMETRY_FUNCTIONS = frozenset({
+    "counter_inc", "gauge_set", "histogram_observe", "span",
+})
+_TELEMETRY_RECEIVER_HINTS = (
+    "telemetry", "span", "counter", "gauge", "histogram", "metric",
+    "pipeline",
+)
+
+#: Longest rendered source→sink chain; longer paths are elided in the
+#: middle so reports stay readable.
+_MAX_TRACE_HOPS = 10
+
+
+@dataclass(frozen=True, order=True)
+class Origin:
+    """Identity of one taint source.
+
+    Attributes
+    ----------
+    kind:
+        ``"source"`` (a loader/generator call) or ``"param"`` (a
+        record-named entry-point parameter).
+    qualname:
+        Qualified name of the source function or the parameter's owner.
+    detail:
+        Parameter name for ``"param"`` origins, empty otherwise.
+    location:
+        ``path:line`` where the taint was born.
+    """
+
+    kind: str
+    qualname: str
+    detail: str
+    location: str
+
+
+@dataclass(frozen=True)
+class Leak:
+    """One tainted value reaching one sink.
+
+    Attributes
+    ----------
+    function:
+        Qualname of the function containing the sink.
+    module:
+        Dotted module name containing the sink.
+    path:
+        File path of the sink.
+    line, column:
+        Sink location.
+    sink:
+        Human-readable sink description, e.g. ``"np.savetxt() write"``.
+    origin:
+        The taint source that reached the sink.
+    trace:
+        Ordered hop descriptions from source to sink.
+    """
+
+    function: str
+    module: str
+    path: str
+    line: int
+    column: int
+    sink: str
+    origin: Origin
+    trace: tuple
+
+
+class TaintConfig:
+    """Source / sink / sanction policy of the taint engine.
+
+    The defaults encode the repository's trust model; tests and other
+    projects can subclass to re-point the policy.
+    """
+
+    #: Module prefixes whose sinks legitimately handle raw records
+    #: (the trusted side of the paper's deployment model).
+    sanctioned_prefixes = ("repro.datasets", "repro.io", "tests",
+                          "benchmarks", "examples", "conftest")
+
+    def is_source_function(self, qualname: str) -> bool:
+        """Whether a qualified function name denotes a record source.
+
+        Parameters
+        ----------
+        qualname:
+            Fully qualified (or best-effort resolved) dotted name.
+
+        Returns
+        -------
+        bool
+        """
+        module, _, name = qualname.rpartition(".")
+        if module.startswith("repro.datasets") and name.startswith(
+            ("load_", "make_", "fetch_")
+        ):
+            return True
+        if module.startswith("repro.io") and name.startswith("read_"):
+            return True
+        return False
+
+    def is_entry_param(self, function: FunctionInfo, context) -> list:
+        """Record-named parameters that seed taint for ``function``.
+
+        Parameters
+        ----------
+        function:
+            Candidate entry point.
+        context:
+            The :class:`ModuleContext` of the defining module.
+
+        Returns
+        -------
+        list of str
+            Parameter names to taint; empty when the function is not an
+            entry point.
+        """
+        if not context.is_privacy_critical or context.is_test_module:
+            return []
+        return [
+            param for param in function.params
+            if param in RECORD_PARAM_NAMES
+        ]
+
+    def is_sanctioned_module(self, module_name: str, context) -> bool:
+        """Whether sinks in this module may handle raw records.
+
+        Parameters
+        ----------
+        module_name:
+            Dotted module name.
+        context:
+            The module's :class:`ModuleContext`.
+
+        Returns
+        -------
+        bool
+        """
+        if context.is_test_module:
+            return True
+        return module_name.startswith(self.sanctioned_prefixes)
+
+
+def _elide(trace: tuple) -> tuple:
+    """Cap a hop chain at ``_MAX_TRACE_HOPS``, eliding the middle."""
+    if len(trace) <= _MAX_TRACE_HOPS:
+        return trace
+    keep = _MAX_TRACE_HOPS // 2
+    return trace[:keep] + ("…",) + trace[-keep:]
+
+
+class TaintEngine:
+    """Whole-program taint propagation over a :class:`ProjectIndex`.
+
+    Parameters
+    ----------
+    index:
+        The project index to analyze.
+    config:
+        Source/sink policy; the repo defaults when ``None``.
+    """
+
+    def __init__(self, index: ProjectIndex, config: TaintConfig | None = None):
+        self.index = index
+        self.config = config or TaintConfig()
+        # function qualname -> param name -> set of Origin
+        self._param_in: dict = {}
+        # function qualname -> set of Origin flowing to its return
+        self._returns: dict = {}
+        # (function qualname, Origin) -> shortest hop chain
+        self._chains: dict = {}
+        self._leaks: dict = {}
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def run(self) -> list:
+        """Run the fixpoint and collect leaks.
+
+        Returns
+        -------
+        list of Leak
+            Sorted leaks (by path, line, column, sink).
+        """
+        self._seed_entry_params()
+        functions = sorted(self.index.functions)
+        # Monotone state (origin sets only grow), so iterate to a
+        # global fixpoint; the bound is a safety net, not a limit hit
+        # in practice.
+        for _ in range(32):
+            changed = False
+            for qualname in functions:
+                if self._analyze(qualname):
+                    changed = True
+            if not changed:
+                break
+        # One final pass collects sinks against the stable state.
+        for qualname in functions:
+            self._analyze(qualname, collect=True)
+        return sorted(
+            self._leaks.values(),
+            key=lambda leak: (leak.path, leak.line, leak.column,
+                              leak.sink, leak.origin),
+        )
+
+    def _seed_entry_params(self) -> None:
+        """Taint record-named params of condensation entry points."""
+        for qualname, function in self.index.functions.items():
+            info = self.index.modules[function.module]
+            for param in self.config.is_entry_param(function, info.context):
+                origin = Origin(
+                    kind="param",
+                    qualname=qualname,
+                    detail=param,
+                    location=f"{info.path}:{function.node.lineno}",
+                )
+                self._param_in.setdefault(qualname, {}).setdefault(
+                    param, set()
+                ).add(origin)
+                self._chains.setdefault((qualname, origin), (
+                    f"raw-record parameter {param!r} of {qualname}() "
+                    f"({origin.location})",
+                ))
+
+    def _analyze(self, qualname: str, collect: bool = False) -> bool:
+        """Propagate taint through one function body.
+
+        Returns ``True`` when any global state (callee params, return
+        origins) changed.
+        """
+        function = self.index.functions[qualname]
+        analyzer = _FunctionAnalyzer(self, function, collect=collect)
+        return analyzer.run()
+
+    # ------------------------------------------------------------------
+    # Shared state updates (called by the per-function analyzer)
+    # ------------------------------------------------------------------
+
+    def chain(self, qualname: str, origin: Origin) -> tuple:
+        """Shortest known hop chain for ``origin`` inside ``qualname``.
+
+        Parameters
+        ----------
+        qualname:
+            Function the origin is observed in.
+        origin:
+            The taint origin.
+
+        Returns
+        -------
+        tuple of str
+        """
+        return self._chains.get((qualname, origin), (origin.location,))
+
+    def _offer_chain(self, qualname, origin, chain) -> None:
+        """Keep the shortest (then lexicographically first) chain."""
+        key = (qualname, origin)
+        current = self._chains.get(key)
+        if current is None or (len(chain), chain) < (len(current), current):
+            self._chains[key] = chain
+
+    def propagate_to_param(self, caller, callee, param, origins, site
+                           ) -> bool:
+        """Flow origins from a call site into a callee parameter.
+
+        Parameters
+        ----------
+        caller:
+            Calling function qualname.
+        callee:
+            Callee :class:`FunctionInfo`.
+        param:
+            Callee parameter name receiving the value.
+        origins:
+            Origins of the argument value.
+        site:
+            ``path:line`` of the call.
+
+        Returns
+        -------
+        bool
+            Whether the callee's incoming state grew.
+        """
+        if not origins:
+            return False
+        bucket = self._param_in.setdefault(callee.qualname, {}).setdefault(
+            param, set()
+        )
+        changed = False
+        for origin in origins:
+            if origin not in bucket:
+                bucket.add(origin)
+                changed = True
+            self._offer_chain(
+                callee.qualname, origin,
+                self.chain(caller, origin)
+                + (f"passed to {callee.qualname}({param}=…) at {site}",),
+            )
+        return changed
+
+    def record_return(self, qualname, origins) -> bool:
+        """Record origins flowing to a function's return value.
+
+        Parameters
+        ----------
+        qualname:
+            The returning function.
+        origins:
+            Origins of the returned expression.
+
+        Returns
+        -------
+        bool
+            Whether the return set grew.
+        """
+        bucket = self._returns.setdefault(qualname, set())
+        before = len(bucket)
+        bucket |= origins
+        return len(bucket) != before
+
+    def returns_of(self, qualname: str) -> set:
+        """Origins known to flow out of ``qualname``'s return.
+
+        Parameters
+        ----------
+        qualname:
+            Function to query.
+
+        Returns
+        -------
+        set of Origin
+        """
+        return self._returns.get(qualname, set())
+
+    def incoming(self, qualname: str) -> dict:
+        """Per-parameter incoming origins of ``qualname``.
+
+        Parameters
+        ----------
+        qualname:
+            Function to query.
+
+        Returns
+        -------
+        dict of str to set of Origin
+        """
+        return self._param_in.get(qualname, {})
+
+    def record_leak(self, function, node, sink, origins) -> None:
+        """Record a sink hit, keeping one shortest-path leak per sink.
+
+        Parameters
+        ----------
+        function:
+            :class:`FunctionInfo` containing the sink.
+        node:
+            Sink AST node.
+        sink:
+            Sink description.
+        origins:
+            Origins reaching the sink.
+        """
+        info = self.index.modules[function.module]
+        if self.config.is_sanctioned_module(info.name, info.context):
+            return
+        for origin in origins:
+            trace = _elide(
+                self.chain(function.qualname, origin)
+                + (f"reaches {sink} at {info.path}:{node.lineno}",)
+            )
+            key = (info.path, node.lineno, node.col_offset, sink)
+            leak = Leak(
+                function=function.qualname,
+                module=info.name,
+                path=info.path,
+                line=node.lineno,
+                column=node.col_offset,
+                sink=sink,
+                origin=origin,
+                trace=trace,
+            )
+            current = self._leaks.get(key)
+            if current is None or (
+                (len(leak.trace), leak.trace)
+                < (len(current.trace), current.trace)
+            ):
+                self._leaks[key] = leak
+
+
+class _FunctionAnalyzer:
+    """Intraprocedural pass over one function body."""
+
+    def __init__(self, engine: TaintEngine, function: FunctionInfo,
+                 collect: bool):
+        self.engine = engine
+        self.function = function
+        self.module = engine.index.modules[function.module]
+        self.collect = collect
+        self.env: dict = {}
+        self.changed = False
+
+    def run(self) -> bool:
+        """Analyze the body; return whether global state changed."""
+        for param, origins in self.engine.incoming(
+            self.function.qualname
+        ).items():
+            self.env[param] = set(origins)
+        body = list(self.function.node.body)
+        # Two passes approximate loop-carried flows without a full
+        # intraprocedural fixpoint.
+        for _ in range(2):
+            for statement in body:
+                self._visit(statement)
+        return self.changed
+
+    # -- statements ----------------------------------------------------
+
+    def _visit(self, node) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested scopes are out of the approximation
+        if isinstance(node, ast.Return):
+            origins = self._eval(node.value) if node.value else set()
+            if origins:
+                if self.engine.record_return(
+                    self.function.qualname, origins
+                ):
+                    self.changed = True
+                if self.function.name in ("__repr__", "__str__",
+                                          "__format__"):
+                    self._leak(node, "repr/str formatting output",
+                               origins)
+            return
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = node.value
+            origins = self._eval(value) if value is not None else set()
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                self._bind(target, origins)
+            return
+        if isinstance(node, ast.For):
+            origins = self._eval(node.iter)
+            self._bind(node.target, origins)
+            for child in node.body + node.orelse:
+                self._visit(child)
+            return
+        if isinstance(node, (ast.While, ast.If)):
+            self._eval(node.test)
+            for child in node.body + node.orelse:
+                self._visit(child)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                origins = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, origins)
+            for child in node.body:
+                self._visit(child)
+            return
+        if isinstance(node, ast.Try):
+            for child in (node.body + node.orelse + node.finalbody):
+                self._visit(child)
+            for handler in node.handlers:
+                for child in handler.body:
+                    self._visit(child)
+            return
+        if isinstance(node, ast.Expr):
+            self._eval(node.value)
+            return
+        if isinstance(node, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+            return
+        # Remaining statements (pass, import, global, ...) carry no flow.
+
+    def _bind(self, target, origins) -> None:
+        """Bind origins to an assignment target (names only)."""
+        if isinstance(target, ast.Name):
+            if origins:
+                self.env[target.id] = (
+                    self.env.get(target.id, set()) | origins
+                )
+            elif target.id not in self.env:
+                self.env[target.id] = set()
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            # Unpacking one value into several names loses the tuple's
+            # structure, so taint is narrowed to record-named targets:
+            # shard task tuples carry scalars (k, strategy, seed) next
+            # to the records, and ``data, header = read_records(...)``
+            # must not taint the header.  A record smuggled into a
+            # non-record name here is the documented escape hatch.
+            narrow = len(target.elts) > 1
+            for element in target.elts:
+                leaf = element
+                while isinstance(leaf, ast.Starred):
+                    leaf = leaf.value
+                if (
+                    narrow
+                    and isinstance(leaf, ast.Name)
+                    and leaf.id not in RECORD_PARAM_NAMES
+                ):
+                    self._bind(element, set())
+                else:
+                    self._bind(element, origins)
+            return
+        if isinstance(target, ast.Starred):
+            self._bind(target.value, origins)
+        # Attribute / subscript stores are PRIV-001's territory.
+
+    # -- expressions ---------------------------------------------------
+
+    def _eval(self, node) -> set:
+        """Origins of one expression (empty set = untainted)."""
+        if node is None or isinstance(node, (ast.Constant, ast.Lambda)):
+            return set()
+        if isinstance(node, ast.Name):
+            return set(self.env.get(node.id, ()))
+        if isinstance(node, ast.Attribute):
+            base = self._eval(node.value)
+            if node.attr in _METADATA_ATTRS:
+                return set()
+            return base
+        if isinstance(node, ast.Subscript):
+            self._eval(node.slice)
+            return self._eval(node.value)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BinOp):
+            left, right = self._eval(node.left), self._eval(node.right)
+            if isinstance(node.op, ast.MatMult):
+                # Matrix products contract the record axis — they are
+                # the (Sc) aggregation itself, not a copy of records.
+                return set()
+            return left | right
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, (ast.BoolOp,)):
+            for value in node.values:
+                self._eval(value)
+            return set()
+        if isinstance(node, ast.Compare):
+            self._eval(node.left)
+            for comparator in node.comparators:
+                self._eval(comparator)
+            return set()
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            return self._eval(node.body) | self._eval(node.orelse)
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            origins = set()
+            for element in node.elts:
+                origins |= self._eval(element)
+            return origins
+        if isinstance(node, ast.Dict):
+            origins = set()
+            for key in node.keys:
+                if key is not None:
+                    origins |= self._eval(key)
+            for value in node.values:
+                origins |= self._eval(value)
+            return origins
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            return self._eval_comprehension(node)
+        if isinstance(node, ast.JoinedStr):
+            origins = set()
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    origins |= self._eval(value.value)
+            return origins
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            origins = self._eval(node.value)
+            self._bind(node.target, origins)
+            return origins
+        if isinstance(node, ast.Await):
+            return self._eval(node.value)
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self._eval(part)
+            return set()
+        return set()
+
+    def _eval_comprehension(self, node) -> set:
+        """Evaluate a comprehension, binding its loop targets."""
+        saved = dict(self.env)
+        for generator in node.generators:
+            origins = self._eval(generator.iter)
+            self._bind(generator.target, origins)
+            for condition in generator.ifs:
+                self._eval(condition)
+        if isinstance(node, ast.DictComp):
+            result = self._eval(node.key) | self._eval(node.value)
+        else:
+            result = self._eval(node.elt)
+        self.env = saved
+        return result
+
+    # -- calls ---------------------------------------------------------
+
+    def _argument_origins(self, node) -> list:
+        """Origins of each positional+keyword argument, in order."""
+        origins = []
+        for argument in node.args:
+            origins.append((None, self._eval(argument)))
+        for keyword in node.keywords:
+            origins.append((keyword.arg, self._eval(keyword.value)))
+        return origins
+
+    def _eval_call(self, node) -> set:
+        name = dotted_name(node.func)
+        arguments = self._argument_origins(node)
+        any_arg = set().union(*(origins for _, origins in arguments)) \
+            if arguments else set()
+        receiver = set()
+        if isinstance(node.func, ast.Attribute):
+            receiver = self._eval(node.func.value)
+
+        self._check_sink(node, name, any_arg | (
+            receiver if isinstance(node.func, ast.Attribute)
+            and node.func.attr in _WRITE_METHODS else set()
+        ))
+
+        resolved = None
+        qualified = None
+        if name is not None:
+            resolved = self.engine.index.resolve_function(
+                self.module, name, class_name=self.function.class_name
+            )
+            qualified = self.engine.index.resolve(self.module, name)
+
+        # Source calls are born tainted.
+        source_qualname = None
+        if resolved is not None and self.engine.config.is_source_function(
+            resolved.qualname
+        ):
+            source_qualname = resolved.qualname
+        elif qualified is not None and self.engine.config.is_source_function(
+            qualified
+        ):
+            source_qualname = qualified
+        if source_qualname is not None:
+            location = f"{self.module.path}:{node.lineno}"
+            origin = Origin(
+                kind="source", qualname=source_qualname, detail="",
+                location=location,
+            )
+            self.engine._offer_chain(
+                self.function.qualname, origin,
+                (f"raw records from {source_qualname}() at {location}",),
+            )
+            return {origin}
+
+        if resolved is not None:
+            self._propagate_call(node, resolved, arguments)
+            returned = self.engine.returns_of(resolved.qualname)
+            if returned:
+                site = f"{self.module.path}:{node.lineno}"
+                for origin in returned:
+                    self.engine._offer_chain(
+                        self.function.qualname, origin,
+                        self.engine.chain(resolved.qualname, origin)
+                        + (f"returned by {resolved.qualname}() "
+                           f"at {site}",),
+                    )
+            return set(returned)
+
+        # Unresolved calls: conservative name-based classification.
+        leaf = name.rsplit(".", 1)[-1] if name else None
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in _REDUCER_METHODS:
+                return set()
+            if node.func.attr in _PASSTHROUGH_METHODS:
+                return receiver
+            if node.func.attr in _WRAPPING_CALLS:
+                return any_arg
+            return set()
+        if leaf in _REDUCER_CALLS:
+            return set()
+        if leaf in _WRAPPING_CALLS:
+            return any_arg
+        return set()
+
+    def _propagate_call(self, node, resolved, arguments) -> None:
+        """Map call-site origins onto the callee's parameters."""
+        params = list(resolved.params)
+        offset = 0
+        called_name = dotted_name(node.func) or ""
+        if (
+            params
+            and params[0] in ("self", "cls")
+            and "." in called_name
+        ):
+            # ``obj.method(x)`` / ``Class.classmethod(x)``: the first
+            # declared parameter is bound to the receiver.
+            offset = 1
+        position = 0
+        site = f"{self.module.path}:{node.lineno}"
+        for keyword_name, origins in arguments:
+            if keyword_name is None:
+                index = position + offset
+                position += 1
+                if index >= len(params):
+                    continue
+                param = params[index]
+            else:
+                if keyword_name not in params:
+                    continue
+                param = keyword_name
+            if self.engine.propagate_to_param(
+                self.function.qualname, resolved, param, origins, site
+            ):
+                self.changed = True
+
+    # -- sinks ---------------------------------------------------------
+
+    def _leak(self, node, sink, origins) -> None:
+        if self.collect and origins:
+            self.engine.record_leak(self.function, node, sink, origins)
+
+    def _check_sink(self, node, name, origins) -> None:
+        """Classify one call as a sink and record tainted hits."""
+        if not origins:
+            return
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "print":
+            self._leak(node, "print() output", origins)
+            return
+        if isinstance(func, ast.Attribute):
+            receiver_name = dotted_name(func.value) or ""
+            if func.attr in _WRITE_METHODS:
+                self._leak(
+                    node, f".{func.attr}() serialization/write", origins
+                )
+                return
+            if (
+                func.attr in _LOG_METHODS
+                and "log" in receiver_name.rsplit(".", 1)[-1].lower()
+            ):
+                self._leak(node, f"log call .{func.attr}()", origins)
+                return
+            if func.attr == "set_attribute" or (
+                func.attr in ("inc", "set", "observe")
+                and any(
+                    hint in receiver_name.rsplit(".", 1)[-1].lower()
+                    for hint in _TELEMETRY_RECEIVER_HINTS
+                )
+            ):
+                self._leak(node, f"telemetry payload .{func.attr}()",
+                           origins)
+                return
+        if name is None:
+            return
+        parts = name.split(".")
+        if parts[0] in _SERIALIZER_HEADS and len(parts) > 1:
+            self._leak(node, f"{name}() serialization", origins)
+            return
+        if (
+            len(parts) == 2
+            and parts[0] in ("np", "numpy")
+            and parts[1] in _NUMPY_SAVERS
+        ):
+            self._leak(node, f"{name}() write", origins)
+            return
+        qualified = self.engine.index.resolve(self.module, name)
+        if qualified is None:
+            if parts[-1] in _TELEMETRY_FUNCTIONS:
+                self._leak(node, f"telemetry payload {name}()", origins)
+            return
+        if qualified.startswith("repro.telemetry"):
+            self._leak(node, f"telemetry payload {name}()", origins)
+            return
+        leaf = qualified.rsplit(".", 1)[-1]
+        if qualified.startswith("repro.io.") and leaf.startswith(
+            ("write_", "save_")
+        ):
+            self._leak(node, f"exporter call {name}()", origins)
+
+
+def analyze_taint(
+    index: ProjectIndex, config: TaintConfig | None = None
+) -> list:
+    """Run the taint engine over an indexed project.
+
+    Parameters
+    ----------
+    index:
+        The project index.
+    config:
+        Optional policy override.
+
+    Returns
+    -------
+    list of Leak
+        Sorted source→sink leaks.
+    """
+    return TaintEngine(index, config).run()
+
+
+def taint_summary(leaks: Iterable[Leak]) -> dict:
+    """Aggregate leaks per sink module for quick reporting.
+
+    Parameters
+    ----------
+    leaks:
+        Leaks from :func:`analyze_taint`.
+
+    Returns
+    -------
+    dict of str to int
+        Leak counts keyed by sink module name.
+    """
+    counts: dict = {}
+    for leak in leaks:
+        counts[leak.module] = counts.get(leak.module, 0) + 1
+    return counts

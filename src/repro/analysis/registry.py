@@ -30,10 +30,15 @@ class Rule:
         suppression comments.
     summary:
         One-line description shown by ``--list-rules``.
+    scope:
+        ``"module"`` for rules that inspect one file at a time (the
+        default), ``"project"`` for rules that need the whole-program
+        index and run only under ``repro lint --project``.
     """
 
     rule_id: str = ""
     summary: str = ""
+    scope: str = "module"
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         """Yield findings for one module.
@@ -50,7 +55,10 @@ class Rule:
         """
         raise NotImplementedError
 
-    def finding(self, module: ModuleContext, node, message: str) -> Finding:
+    def finding(
+        self, module: ModuleContext, node, message: str,
+        trace: tuple = (),
+    ) -> Finding:
         """Build a finding at an AST node's location.
 
         Parameters
@@ -61,6 +69,8 @@ class Rule:
             AST node carrying ``lineno``/``col_offset``.
         message:
             Violation message.
+        trace:
+            Optional source→sink hop descriptions (project rules).
 
         Returns
         -------
@@ -72,7 +82,51 @@ class Rule:
             column=getattr(node, "col_offset", 0),
             rule_id=self.rule_id,
             message=message,
+            trace=tuple(trace),
         )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Project rules see the :class:`repro.analysis.project.ProjectIndex`
+    instead of one module at a time; they implement :meth:`check_project`
+    and yield nothing from the per-module :meth:`check` so the classic
+    single-file pass stays unaffected.
+    """
+
+    scope = "project"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Project rules have no per-module findings.
+
+        Parameters
+        ----------
+        module:
+            Parsed module context (unused).
+
+        Yields
+        ------
+        Finding
+            Never; the method is an empty generator.
+        """
+        return
+        yield  # pragma: no cover
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Yield findings for the whole analyzed project.
+
+        Parameters
+        ----------
+        project:
+            A :class:`repro.analysis.project.ProjectIndex`.
+
+        Yields
+        ------
+        Finding
+            One finding per violation.
+        """
+        raise NotImplementedError
 
 
 def register(rule_class: type) -> type:

@@ -1,30 +1,60 @@
 """Text and JSON rendering of analysis results.
 
 The JSON schema is stable (``schema_version``) so CI and editor
-integrations can consume it::
+integrations can consume it.  Version 2 adds column offsets (always
+present in findings), per-rule suppression counts, the baselined
+(grandfathered) count, source→sink traces, and zero-filled per-rule
+totals whenever the run's rule set is known — so two CI artifacts diff
+cleanly even when a rule goes quiet::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "summary": {"files_with_findings": 1, "total": 2,
-                  "by_rule": {"RNG-001": 2}},
+                  "by_rule": {"PRIV-003": 2, "RNG-001": 0},
+                  "suppressed": {"PRIV-001": 1},
+                  "suppressed_total": 1,
+                  "baselined": 4},
+      "stats": {"total_files": 106, "analyzed_files": 3,
+                "cached_files": 103, "cache_hit": false},
       "findings": [{"path": ..., "line": ..., "column": ...,
-                    "rule_id": ..., "message": ...}],
+                    "rule_id": ..., "message": ..., "trace": [...]}],
       "errors": []
     }
+
+``stats`` appears only for project runs; ``suppressed`` counts only
+findings silenced by ``# repro-lint: disable`` comments.
 """
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.analysis.findings import Finding
 
-JSON_SCHEMA_VERSION = 1
+JSON_SCHEMA_VERSION = 2
 
 
-def render_text(findings: Sequence[Finding], errors: Sequence[str] = ()) -> str:
+def _summary_extras(baselined: int, suppressed: Mapping | None) -> str:
+    """Render the trailing baselined/suppressed note for text reports."""
+    notes = []
+    if baselined:
+        notes.append(f"{baselined} baselined")
+    total_suppressed = sum((suppressed or {}).values())
+    if total_suppressed:
+        notes.append(f"{total_suppressed} suppressed")
+    return f" ({', '.join(notes)})" if notes else ""
+
+
+def render_text(
+    findings: Sequence[Finding],
+    errors: Sequence[str] = (),
+    suppressed: Mapping | None = None,
+    baselined: int = 0,
+    rules_run: Sequence[str] | None = None,
+    stats: Mapping | None = None,
+) -> str:
     """Render findings as human-readable lines plus a summary.
 
     Parameters
@@ -33,6 +63,15 @@ def render_text(findings: Sequence[Finding], errors: Sequence[str] = ()) -> str:
         Findings to render, already sorted.
     errors:
         File-level read/parse errors.
+    suppressed:
+        Rule id → count of comment-suppressed findings.
+    baselined:
+        Findings grandfathered by the baseline ratchet.
+    rules_run:
+        Ids of the rules that ran (unused in text output; accepted for
+        signature parity with :func:`render_json`).
+    stats:
+        Project-run statistics (cache behavior), rendered when given.
 
     Returns
     -------
@@ -42,6 +81,7 @@ def render_text(findings: Sequence[Finding], errors: Sequence[str] = ()) -> str:
     lines = [finding.format() for finding in findings]
     lines += [f"error: {error}" for error in errors]
     by_rule = Counter(finding.rule_id for finding in findings)
+    extras = _summary_extras(baselined, suppressed)
     if findings or errors:
         breakdown = ", ".join(
             f"{rule_id}: {count}" for rule_id, count in sorted(by_rule.items())
@@ -49,13 +89,31 @@ def render_text(findings: Sequence[Finding], errors: Sequence[str] = ()) -> str:
         lines.append(
             f"{len(findings)} finding(s), {len(errors)} error(s)"
             + (f"  [{breakdown}]" if breakdown else "")
+            + extras
         )
     else:
-        lines.append("0 findings — clean")
+        lines.append(f"0 findings — clean{extras}")
+    if stats:
+        lines.append(
+            "analyzed {analyzed} of {total} file(s), {cached} from cache"
+            .format(
+                analyzed=stats.get("analyzed_files", "?"),
+                total=stats.get("total_files", "?"),
+                cached=stats.get("cached_files", 0),
+            )
+            + (" [warm cache]" if stats.get("cache_hit") else "")
+        )
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding], errors: Sequence[str] = ()) -> str:
+def render_json(
+    findings: Sequence[Finding],
+    errors: Sequence[str] = (),
+    suppressed: Mapping | None = None,
+    baselined: int = 0,
+    rules_run: Sequence[str] | None = None,
+    stats: Mapping | None = None,
+) -> str:
     """Render findings as a stable JSON document.
 
     Parameters
@@ -64,6 +122,16 @@ def render_json(findings: Sequence[Finding], errors: Sequence[str] = ()) -> str:
         Findings to render, already sorted.
     errors:
         File-level read/parse errors.
+    suppressed:
+        Rule id → count of comment-suppressed findings.
+    baselined:
+        Findings grandfathered by the baseline ratchet.
+    rules_run:
+        Ids of the rules that ran; when given, ``by_rule`` is
+        zero-filled over the full set so CI artifacts diff cleanly.
+    stats:
+        Project-run statistics, emitted as a top-level ``stats`` key
+        when given.
 
     Returns
     -------
@@ -71,14 +139,25 @@ def render_json(findings: Sequence[Finding], errors: Sequence[str] = ()) -> str:
         Pretty-printed JSON; see module docstring for the schema.
     """
     by_rule = Counter(finding.rule_id for finding in findings)
+    if rules_run is not None:
+        totals = {rule_id: by_rule.get(rule_id, 0)
+                  for rule_id in sorted(rules_run)}
+    else:
+        totals = dict(sorted(by_rule.items()))
+    suppressed = dict(sorted((suppressed or {}).items()))
     document = {
         "schema_version": JSON_SCHEMA_VERSION,
         "summary": {
             "files_with_findings": len({f.path for f in findings}),
             "total": len(findings),
-            "by_rule": dict(sorted(by_rule.items())),
+            "by_rule": totals,
+            "suppressed": suppressed,
+            "suppressed_total": sum(suppressed.values()),
+            "baselined": baselined,
         },
         "findings": [finding.to_dict() for finding in findings],
         "errors": list(errors),
     }
+    if stats is not None:
+        document["stats"] = dict(stats)
     return json.dumps(document, indent=2)

@@ -1,5 +1,14 @@
 """Rule modules; importing this package populates the registry."""
 
-from repro.analysis.rules import docstrings, pitfalls, privacy, rng
+from repro.analysis.rules import (
+    determinism,
+    docstrings,
+    flow,
+    pitfalls,
+    privacy,
+    rng,
+)
 
-__all__ = ["docstrings", "pitfalls", "privacy", "rng"]
+__all__ = [
+    "determinism", "docstrings", "flow", "pitfalls", "privacy", "rng",
+]

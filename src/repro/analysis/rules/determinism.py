@@ -1,0 +1,414 @@
+"""DET-001/002/003 — worker determinism contract.
+
+``repro.parallel`` promises that sharded condensation is a pure
+refactoring of the serial algorithm: same seed → same groups,
+regardless of worker count or scheduling.  That promise dies the moment
+code *reachable from a worker function* consults ambient process state.
+These three project rules walk the call graph from every function handed
+to an executor pool (``pool.map(_condense_shard, ...)``) and forbid,
+anywhere in that closure:
+
+* **DET-001** — wall-clock / process-identity / environment reads
+  (``time.time``, ``datetime.now``, ``os.getpid``, ``os.environ``...).
+  Monotonic timers (``perf_counter``, ``monotonic``) and
+  ``os.cpu_count`` stay legal: they never influence results, only
+  measurement and sizing.
+* **DET-002** — unseeded randomness: numpy's global-state RNG
+  functions, unseeded ``default_rng()``, and any stdlib ``random``
+  call.  ``repro/linalg/rng.py`` is exempt — it is the sanctioned
+  constructor and its unseeded branch is the documented opt-in.
+* **DET-003** — mutation of module-level state (``global`` writes,
+  stores through module-level containers, mutator method calls on
+  them), which makes results depend on shard interleaving.
+
+``repro.telemetry`` modules are exempt from all three: observability
+reads clocks and bumps shared counters by design, and never feeds back
+into condensation results.
+
+Each finding carries the shortest worker→function call path in its
+trace, so a violation three calls deep still reads as one story.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutils import call_argument_count, dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, register
+from repro.analysis.rules.rng import NON_GLOBAL_ATTRIBUTES
+
+#: Resolved call targets that read the wall clock or process identity.
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.ctime", "time.localtime",
+    "time.gmtime", "time.strftime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+_PROCESS_CALLS = frozenset({
+    "os.getpid", "os.getppid", "os.getlogin", "os.uname",
+    "socket.gethostname", "platform.node",
+})
+_ENV_CALLS = frozenset({"os.getenv", "os.environb"})
+#: ``os.environ`` is forbidden as a *value* (subscripts, ``.get`` ...).
+_ENV_VALUES = ("os.environ",)
+
+#: Methods that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "add", "update", "insert", "remove", "pop",
+    "popitem", "clear", "setdefault", "appendleft", "sort", "reverse",
+    "discard",
+})
+
+_DET001_MESSAGE = (
+    "{name}() reads ambient process state inside code reachable from "
+    "worker {root}(); results must depend only on (records, seed), so "
+    "hoist the read out of the worker closure (perf_counter/monotonic "
+    "are fine for timing)"
+)
+_DET002_RANDOM_MESSAGE = (
+    "{name}() draws unseeded randomness inside code reachable from "
+    "worker {root}(); thread a Generator spawned via "
+    "repro.linalg.rng.spawn_seed_sequences through the shard task instead"
+)
+_DET003_MESSAGE = (
+    "{described} mutates module-level state {state!r} inside code "
+    "reachable from worker {root}(); shared state makes results depend "
+    "on shard interleaving — return the value and merge it in the driver"
+)
+
+
+def _worker_reachable(project):
+    """Enumerate functions reachable from executor worker roots.
+
+    Shared walk for the three DET rules: resolves the worker entry
+    points, BFS-expands the call graph, and filters out the exempt
+    modules (telemetry everywhere; callers apply rule-specific extras).
+
+    Parameters
+    ----------
+    project:
+        The :class:`repro.analysis.project.ProjectIndex`.
+
+    Yields
+    ------
+    tuple
+        ``(function, module_info, call_path)`` per reachable function,
+        where ``call_path`` is the shortest root→function qualname list.
+    """
+    roots = project.worker_roots()
+    if not roots:
+        return
+    for qualname, path in sorted(project.reachable_from(roots).items()):
+        function = project.functions.get(qualname)
+        if function is None:
+            continue
+        info = project.modules[function.module]
+        if info.name.startswith("repro.telemetry"):
+            continue
+        yield function, info, path
+
+
+def _path_trace(path) -> tuple:
+    """Render a worker call path as finding trace hops.
+
+    Parameters
+    ----------
+    path:
+        Qualname list, worker root first.
+
+    Returns
+    -------
+    tuple of str
+        One hop description per call-path entry.
+    """
+    hops = [f"worker {path[0]}()"]
+    hops += [f"→ {qualname}()" for qualname in path[1:]]
+    return tuple(hops)
+
+
+class _WorkerRule(ProjectRule):
+    """Shared scaffolding for the DET rule family."""
+
+    def _finding(self, info, node, message, path) -> Finding:
+        """Build a finding inside a worker-reachable function.
+
+        Parameters
+        ----------
+        info:
+            :class:`ModuleInfo` of the offending module.
+        node:
+            Offending AST node.
+        message:
+            Violation message (line-number free, for baseline
+            stability).
+        path:
+            Worker→function call path.
+
+        Returns
+        -------
+        Finding
+        """
+        return Finding(
+            path=info.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+            trace=_path_trace(path),
+        )
+
+
+@register
+class WorkerAmbientStateRule(_WorkerRule):
+    """Forbid wall-clock / PID / environment reads in worker closures."""
+
+    rule_id = "DET-001"
+    summary = (
+        "code reachable from parallel worker functions must not read "
+        "wall clock, process identity or environment variables"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Scan worker-reachable functions for ambient-state reads.
+
+        Parameters
+        ----------
+        project:
+            The project index.
+
+        Yields
+        ------
+        Finding
+        """
+        forbidden = _WALL_CLOCK_CALLS | _PROCESS_CALLS | _ENV_CALLS
+        for function, info, path in _worker_reachable(project):
+            for node in ast.walk(function.node):
+                resolved = None
+                if isinstance(node, ast.Call):
+                    resolved = _resolve(project, info, node.func)
+                    if resolved in forbidden:
+                        yield self._finding(
+                            info, node,
+                            _DET001_MESSAGE.format(
+                                name=resolved, root=path[0]
+                            ),
+                            path,
+                        )
+                        continue
+                elif isinstance(node, (ast.Attribute, ast.Name)):
+                    resolved = _resolve(project, info, node)
+                if resolved is not None and resolved.startswith(_ENV_VALUES):
+                    yield self._finding(
+                        info, node,
+                        _DET001_MESSAGE.format(
+                            name="os.environ", root=path[0]
+                        ),
+                        path,
+                    )
+
+
+@register
+class WorkerUnseededRandomnessRule(_WorkerRule):
+    """Forbid unseeded RNG use in worker closures."""
+
+    rule_id = "DET-002"
+    summary = (
+        "code reachable from parallel worker functions must not call "
+        "unseeded RNG (numpy global state, bare default_rng, stdlib "
+        "random)"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Scan worker-reachable functions for unseeded RNG calls.
+
+        Parameters
+        ----------
+        project:
+            The project index.
+
+        Yields
+        ------
+        Finding
+        """
+        for function, info, path in _worker_reachable(project):
+            if info.context.is_rng_module:
+                continue
+            for node in ast.walk(function.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = _resolve(project, info, node.func)
+                if resolved is None:
+                    continue
+                name = self._violating_name(resolved, node)
+                if name is not None:
+                    yield self._finding(
+                        info, node,
+                        _DET002_RANDOM_MESSAGE.format(
+                            name=name, root=path[0]
+                        ),
+                        path,
+                    )
+
+    def _violating_name(self, resolved: str, node) -> str | None:
+        """Classify a resolved call as an unseeded-RNG violation.
+
+        Parameters
+        ----------
+        resolved:
+            Fully qualified call target.
+        node:
+            The call node (for argument counting).
+
+        Returns
+        -------
+        str or None
+            Display name of the violation, or ``None`` when legal.
+        """
+        if resolved == "numpy.random.default_rng":
+            return resolved if call_argument_count(node) == 0 else None
+        if resolved.startswith("numpy.random."):
+            attribute = resolved.rsplit(".", 1)[-1]
+            return resolved if attribute not in NON_GLOBAL_ATTRIBUTES else None
+        if resolved == "random" or resolved.startswith("random."):
+            return resolved
+        return None
+
+
+@register
+class WorkerSharedStateRule(_WorkerRule):
+    """Forbid module-level state mutation in worker closures."""
+
+    rule_id = "DET-003"
+    summary = (
+        "code reachable from parallel worker functions must not mutate "
+        "module-level state"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Scan worker-reachable functions for shared-state mutation.
+
+        Parameters
+        ----------
+        project:
+            The project index.
+
+        Yields
+        ------
+        Finding
+        """
+        for function, info, path in _worker_reachable(project):
+            local_names = set(function.params)
+            declared_global = set()
+            for node in ast.walk(function.node):
+                if isinstance(node, ast.Global):
+                    declared_global.update(node.names)
+                elif isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Store
+                ):
+                    local_names.add(node.id)
+            local_names -= declared_global
+            yield from self._check_function(
+                function, info, path, local_names, declared_global
+            )
+
+    def _check_function(
+        self, function, info, path, local_names, declared_global
+    ) -> Iterator[Finding]:
+        """Emit findings for one reachable function.
+
+        Parameters
+        ----------
+        function:
+            The reachable :class:`FunctionInfo`.
+        info:
+            Its :class:`ModuleInfo`.
+        path:
+            Worker→function call path.
+        local_names:
+            Names bound locally (parameters and plain stores).
+        declared_global:
+            Names declared ``global`` in the function body.
+
+        Yields
+        ------
+        Finding
+        """
+        module_state = info.module_level_names
+
+        def shared_root(expression) -> str | None:
+            root = expression
+            while isinstance(root, (ast.Subscript, ast.Attribute)):
+                root = root.value
+            if not isinstance(root, ast.Name):
+                return None
+            name = root.id
+            if name in declared_global and name in module_state:
+                return name
+            if name in local_names:
+                return None
+            return name if name in module_state else None
+
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                if node.id in declared_global and node.id in module_state:
+                    yield self._finding(
+                        info, node,
+                        _DET003_MESSAGE.format(
+                            described=f"global assignment in {function.qualname}()",
+                            state=node.id, root=path[0],
+                        ),
+                        path,
+                    )
+            elif isinstance(node, (ast.Subscript, ast.Attribute)) and (
+                isinstance(node.ctx, (ast.Store, ast.Del))
+            ):
+                name = shared_root(node)
+                if name is not None:
+                    yield self._finding(
+                        info, node,
+                        _DET003_MESSAGE.format(
+                            described=f"store through {name} in "
+                                      f"{function.qualname}()",
+                            state=name, root=path[0],
+                        ),
+                        path,
+                    )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ) and node.func.attr in _MUTATOR_METHODS:
+                name = shared_root(node.func.value)
+                if name is not None:
+                    yield self._finding(
+                        info, node,
+                        _DET003_MESSAGE.format(
+                            described=f"{name}.{node.func.attr}() call",
+                            state=name, root=path[0],
+                        ),
+                        path,
+                    )
+
+
+def _resolve(project, info, expression) -> str | None:
+    """Resolve a call/attribute expression to a fully qualified name.
+
+    Parameters
+    ----------
+    project:
+        The project index.
+    info:
+        Module the expression appears in.
+    expression:
+        AST expression (call target, attribute or name).
+
+    Returns
+    -------
+    str or None
+        The resolved dotted name, or ``None`` when it does not resolve
+        through the module's imports.
+    """
+    dotted = dotted_name(expression)
+    if dotted is None:
+        return None
+    return project.resolve(info, dotted)

@@ -1,0 +1,88 @@
+"""PRIV-003 — whole-program raw-record flow.
+
+PRIV-001/002 are local: they catch a raw-record attribute stored on a
+group object, or a record-named value handed straight to telemetry,
+inside one module.  The leak the paper actually worries about is
+interprocedural: a loader's return value threaded through two helpers
+and finally serialized by an exporter three modules away.  PRIV-003
+closes that gap by running the project taint engine
+(:mod:`repro.analysis.project.taint`) and reporting every tainted value
+that reaches a sink outside the sanctioned modules — with the full
+source→sink hop chain attached so the finding reads as a path.
+
+This rule only runs under ``repro lint --project``; the classic
+per-module pass is unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project.taint import Leak, analyze_taint
+from repro.analysis.registry import ProjectRule, register
+
+_MESSAGE = (
+    "raw records from {origin} reach {sink} in {function}(); anonymized "
+    "output must be drawn from group statistics (Fs, Sc, n), never from "
+    "records — aggregate first or move the sink into a sanctioned module"
+)
+
+
+def _describe_origin(leak: Leak) -> str:
+    """Render a leak's taint origin for the finding message.
+
+    Parameters
+    ----------
+    leak:
+        The leak whose origin is described.
+
+    Returns
+    -------
+    str
+        ``"load_x()"`` for source-call origins, ``"parameter 'data' of
+        f()"`` for entry-point parameters.
+    """
+    origin = leak.origin
+    if origin.kind == "param":
+        return f"parameter {origin.detail!r} of {origin.qualname}()"
+    return f"{origin.qualname}()"
+
+
+@register
+class RawRecordFlowRule(ProjectRule):
+    """Report tainted raw-record values reaching unsanctioned sinks."""
+
+    rule_id = "PRIV-003"
+    summary = (
+        "whole-program taint: raw records must not reach file writes, "
+        "serialization, telemetry or log sinks outside sanctioned modules"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Run the taint engine and convert leaks to findings.
+
+        Parameters
+        ----------
+        project:
+            The :class:`repro.analysis.project.ProjectIndex`.
+
+        Yields
+        ------
+        Finding
+            One finding per source→sink leak, carrying the hop chain
+            in ``trace``.
+        """
+        for leak in analyze_taint(project):
+            yield Finding(
+                path=leak.path,
+                line=leak.line,
+                column=leak.column,
+                rule_id=self.rule_id,
+                message=_MESSAGE.format(
+                    origin=_describe_origin(leak),
+                    sink=leak.sink,
+                    function=leak.function,
+                ),
+                trace=leak.trace,
+            )

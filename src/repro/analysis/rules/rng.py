@@ -35,8 +35,9 @@ from repro.analysis.findings import Finding
 from repro.analysis.registry import Rule, register
 
 # Attributes of numpy.random that are classes / seedable machinery, not
-# global-state convenience functions.
-_NON_GLOBAL = frozenset({
+# global-state convenience functions.  Shared with DET-002, which
+# re-applies the same policy to worker-reachable code.
+NON_GLOBAL_ATTRIBUTES = frozenset({
     "default_rng",
     "Generator",
     "BitGenerator",
@@ -47,6 +48,7 @@ _NON_GLOBAL = frozenset({
     "SFC64",
     "MT19937",
 })
+_NON_GLOBAL = NON_GLOBAL_ATTRIBUTES
 
 _GLOBAL_MESSAGE = (
     "call to numpy.random.{name}() uses numpy's hidden global RNG state; "
@@ -65,6 +67,15 @@ _UNSEEDED_TEST_MESSAGE = (
 _LEGACY_MESSAGE = (
     "numpy.random.RandomState is the legacy RNG; use the Generator API "
     "via repro.linalg.rng.check_random_state"
+)
+_STDLIB_IMPORT_MESSAGE = (
+    "stdlib random in a privacy-critical module draws from hidden "
+    "global state; thread a numpy Generator through "
+    "repro.linalg.rng.check_random_state instead"
+)
+_STDLIB_CALL_MESSAGE = (
+    "stdlib random.{name}() draws from hidden global state; use the "
+    "numpy Generator threaded via repro.linalg.rng.check_random_state"
 )
 
 
@@ -91,6 +102,8 @@ class RngDisciplineRule(Rule):
         Finding
         """
         numpy_names, random_names, imported = numpy_random_aliases(module.tree)
+        if module.is_privacy_critical and not module.is_test_module:
+            yield from self._check_stdlib_random(module)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
                 for alias in node.names:
@@ -113,6 +126,56 @@ class RngDisciplineRule(Rule):
             elif attribute not in _NON_GLOBAL:
                 yield self.finding(
                     module, node, _GLOBAL_MESSAGE.format(name=attribute)
+                )
+
+    def _check_stdlib_random(self, module) -> Iterator[Finding]:
+        """Flag stdlib ``random`` imports and calls (privacy-critical).
+
+        The numpy aliasing paths above never bind the *stdlib* module,
+        so this walk tracks its bindings separately: ``import random``
+        (possibly aliased) and ``from random import x`` both count,
+        ``from numpy import random as r`` does not.
+
+        Parameters
+        ----------
+        module:
+            Parsed module context.
+
+        Yields
+        ------
+        Finding
+        """
+        module_bindings: set = set()
+        function_bindings: set = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        module_bindings.add(alias.asname or alias.name)
+                        yield self.finding(
+                            module, node, _STDLIB_IMPORT_MESSAGE
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and not node.level:
+                    for alias in node.names:
+                        function_bindings.add(alias.asname or alias.name)
+                    yield self.finding(module, node, _STDLIB_IMPORT_MESSAGE)
+        if not module_bindings and not function_bindings:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if len(parts) == 2 and parts[0] in module_bindings:
+                yield self.finding(
+                    module, node, _STDLIB_CALL_MESSAGE.format(name=parts[1])
+                )
+            elif len(parts) == 1 and parts[0] in function_bindings:
+                yield self.finding(
+                    module, node, _STDLIB_CALL_MESSAGE.format(name=parts[0])
                 )
 
     def _random_attribute(self, func, numpy_names, random_names, imported):

@@ -1,0 +1,82 @@
+"""Baseline ratchet: fingerprints, partitioning, persistence."""
+
+import pytest
+
+from repro.analysis import Finding
+from repro.analysis.project import Baseline, fingerprint
+
+
+def _finding(line=3, message="raw records reach np.savetxt() write"):
+    return Finding(
+        path="src/repro/core/x.py", line=line, column=0,
+        rule_id="PRIV-003", message=message,
+    )
+
+
+class TestFingerprint:
+    def test_line_shifts_do_not_change_the_fingerprint(self):
+        assert fingerprint(_finding(line=3)) == fingerprint(_finding(line=90))
+
+    def test_line_references_inside_messages_are_collapsed(self):
+        a = _finding(message="leak at x.py:12 via produce()")
+        b = _finding(message="leak at x.py:99 via produce()")
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_different_rules_or_paths_differ(self):
+        other = Finding(
+            path="src/repro/core/y.py", line=3, column=0,
+            rule_id="PRIV-003", message="raw records reach np.savetxt() write",
+        )
+        assert fingerprint(_finding()) != fingerprint(other)
+
+
+class TestPartition:
+    def test_baselined_findings_are_grandfathered(self):
+        baseline = Baseline.from_findings([_finding()])
+        fresh, baselined = baseline.partition([_finding(line=40)])
+        assert fresh == []
+        assert baselined == 1
+
+    def test_findings_beyond_the_baselined_count_are_new(self):
+        baseline = Baseline.from_findings([_finding()])
+        fresh, baselined = baseline.partition(
+            [_finding(line=10), _finding(line=20)]
+        )
+        assert baselined == 1
+        assert len(fresh) == 1
+
+    def test_empty_baseline_reports_everything(self):
+        fresh, baselined = Baseline().partition([_finding()])
+        assert len(fresh) == 1
+        assert baselined == 0
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([_finding(), _finding(line=7)]).save(path)
+        loaded = Baseline.load(path)
+        fresh, baselined = loaded.partition([_finding(), _finding(line=9)])
+        assert fresh == []
+        assert baselined == 2
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        assert Baseline.load(tmp_path / "absent.json").counts == {}
+
+    def test_invalid_file_raises_value_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[]")
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_update_shrinks_the_debt(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([_finding(), _finding(line=7)]).save(path)
+        # One of the two findings was fixed; rewriting the baseline from
+        # the survivors must drop the tolerated count with it.
+        Baseline.from_findings([_finding()]).save(path)
+        fresh, baselined = Baseline.load(path).partition(
+            [_finding(), _finding(line=7)]
+        )
+        assert baselined == 1
+        assert len(fresh) == 1

@@ -1,0 +1,146 @@
+"""Incremental cache: warm replay, transitive invalidation, safety valves."""
+
+import time
+
+from repro.analysis.project import AnalysisCache, content_hash, run_project
+from repro.analysis.project.cache import CACHE_VERSION
+
+
+def _write_tree(root, n_modules=12):
+    """A chain of modules, each importing the previous one."""
+    package = root / "src" / "repro" / "chainpkg"
+    package.mkdir(parents=True)
+    (package / "__init__.py").write_text("")
+    (package / "m000.py").write_text(
+        '"""Chain base."""\n\n\ndef f000():\n    """Return zero.\n\n'
+        "    Returns\n    -------\n    int\n    \"\"\"\n    return 0\n"
+    )
+    for i in range(1, n_modules):
+        (package / f"m{i:03d}.py").write_text(
+            f'"""Chain link {i}."""\n\n'
+            f"from repro.chainpkg.m{i - 1:03d} import f{i - 1:03d}\n\n\n"
+            f"def f{i:03d}():\n"
+            f'    """Return the chain value.\n\n'
+            f"    Returns\n    -------\n    int\n    \"\"\"\n"
+            f"    return f{i - 1:03d}() + 1\n"
+        )
+    return package
+
+
+class TestWarmReplay:
+    def test_warm_run_replays_everything_and_is_faster(self, tmp_path):
+        package = _write_tree(tmp_path)
+        cache_file = tmp_path / "cache.json"
+
+        started = time.perf_counter()
+        cold = run_project([package], cache_path=cache_file)
+        cold_elapsed = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm = run_project([package], cache_path=cache_file)
+        warm_elapsed = time.perf_counter() - started
+
+        assert cold.stats["cache_hit"] is False
+        assert cold.stats["analyzed_files"] == cold.stats["total_files"]
+        assert warm.stats["cache_hit"] is True
+        assert warm.stats["analyzed_files"] == 0
+        assert warm.stats["cached_files"] == warm.stats["total_files"]
+        assert warm.findings == cold.findings
+        assert warm_elapsed < cold_elapsed
+
+    def test_editing_one_file_reanalyzes_only_that_module_pass(
+        self, tmp_path
+    ):
+        package = _write_tree(tmp_path)
+        cache_file = tmp_path / "cache.json"
+        run_project([package], cache_path=cache_file)
+
+        target = package / "m005.py"
+        target.write_text(target.read_text() + "\n# touched\n")
+        report = run_project([package], cache_path=cache_file)
+        assert report.stats["cache_hit"] is False
+        assert report.stats["analyzed_files"] == 1
+        assert (
+            report.stats["cached_files"]
+            == report.stats["total_files"] - 1
+        )
+
+    def test_no_cache_flag_never_reads_or_writes(self, tmp_path):
+        package = _write_tree(tmp_path, n_modules=3)
+        cache_file = tmp_path / "cache.json"
+        run_project([package], cache_path=cache_file, use_cache=False)
+        assert not cache_file.exists()
+        report = run_project(
+            [package], cache_path=cache_file, use_cache=False
+        )
+        assert report.stats["cache_hit"] is False
+        assert report.stats["analyzed_files"] == report.stats["total_files"]
+
+
+class TestTransitiveInvalidation:
+    def test_changing_a_dependency_invalidates_dependents(self):
+        cache = AnalysisCache(fingerprint="fp")
+        hashes = {
+            "a.py": content_hash("a1"),
+            "b.py": content_hash("b1"),
+            "c.py": content_hash("c1"),
+        }
+        cache.store("a.py", hashes["a.py"], [], [], [], {})
+        cache.store("b.py", hashes["b.py"], ["a.py"], [], [], {})
+        cache.store("c.py", hashes["c.py"], ["b.py"], [], [], {})
+        assert cache.project_valid("c.py", hashes)
+
+        hashes["a.py"] = content_hash("a2 -- edited")
+        # c.py's own hash is unchanged, but its transitive closure is not.
+        assert cache.module_valid("c.py", hashes["c.py"])
+        assert not cache.project_valid("c.py", hashes)
+
+    def test_missing_dependency_entry_is_invalid(self):
+        cache = AnalysisCache(fingerprint="fp")
+        hashes = {"b.py": content_hash("b")}
+        cache.store("b.py", hashes["b.py"], ["gone.py"], [], [], {})
+        assert not cache.project_valid("b.py", hashes)
+
+    def test_dependency_cycles_terminate(self):
+        cache = AnalysisCache(fingerprint="fp")
+        hashes = {
+            "a.py": content_hash("a"),
+            "b.py": content_hash("b"),
+        }
+        cache.store("a.py", hashes["a.py"], ["b.py"], [], [], {})
+        cache.store("b.py", hashes["b.py"], ["a.py"], [], [], {})
+        assert cache.project_valid("a.py", hashes)
+
+
+class TestSafetyValves:
+    def test_fingerprint_mismatch_drops_the_cache(self, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        cache = AnalysisCache(fingerprint="old")
+        cache.store("a.py", "h", [], [], [], {})
+        cache.save(cache_file)
+        reloaded = AnalysisCache.load(cache_file, fingerprint="new")
+        assert reloaded.files == {}
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text("{not json")
+        reloaded = AnalysisCache.load(cache_file, fingerprint="fp")
+        assert reloaded.files == {}
+
+    def test_version_bump_drops_the_cache(self, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        cache = AnalysisCache(fingerprint="fp")
+        cache.save(cache_file)
+        text = cache_file.read_text().replace(
+            f'"version": {CACHE_VERSION}', '"version": 999999'
+        )
+        cache_file.write_text(text)
+        reloaded = AnalysisCache.load(cache_file, fingerprint="fp")
+        assert reloaded.files == {}
+
+    def test_prune_drops_departed_files(self):
+        cache = AnalysisCache(fingerprint="fp")
+        cache.store("keep.py", "h", [], [], [], {})
+        cache.store("gone.py", "h", [], [], [], {})
+        cache.prune({"keep.py"})
+        assert set(cache.files) == {"keep.py"}

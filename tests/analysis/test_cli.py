@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.analysis.cli import main as analysis_main
+from repro.analysis.registry import get_rules
 from repro.cli import main as repro_main
 
 _VIOLATION = "import numpy as np\nnp.random.seed(0)\n"
@@ -50,8 +51,16 @@ class TestOptions:
     def test_json_format(self, violating_file, capsys):
         assert analysis_main([str(violating_file), "--format", "json"]) == 1
         document = json.loads(capsys.readouterr().out)
-        assert document["schema_version"] == 1
-        assert document["summary"]["by_rule"] == {"RNG-001": 1}
+        assert document["schema_version"] == 2
+        # by_rule is zero-filled over every module rule that ran so CI
+        # artifacts diff cleanly run-to-run.
+        assert document["summary"]["by_rule"]["RNG-001"] == 1
+        assert document["summary"]["by_rule"]["PRIV-001"] == 0
+        assert document["summary"]["suppressed"] == {}
+        assert document["summary"]["baselined"] == 0
+        assert all(
+            "column" in finding for finding in document["findings"]
+        )
 
     def test_select_isolates_rules(self, violating_file):
         assert analysis_main([str(violating_file), "--select", "PY-002"]) == 0
@@ -61,13 +70,17 @@ class TestOptions:
             analysis_main([str(violating_file), "--ignore", "RNG-001"]) == 0
         )
 
-    def test_list_rules(self, capsys):
+    def test_list_rules_covers_every_registered_rule(self, capsys):
         assert analysis_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in [
-            "RNG-001", "PRIV-001", "PY-001", "PY-002", "PY-003", "DOC-001",
-        ]:
-            assert rule_id in out
+        for rule in get_rules():
+            assert rule.rule_id in out, rule.rule_id
+            assert f"[{rule.scope}]" in out
+
+    def test_unknown_rule_in_ignore_exits_two(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(_CLEAN)
+        assert analysis_main([str(tmp_path), "--ignore", "NOPE-9"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
 
 
 class TestReproLintSubcommand:

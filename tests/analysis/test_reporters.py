@@ -59,11 +59,40 @@ class TestJson:
             "files_with_findings": 2,
             "total": 3,
             "by_rule": {"PRIV-001": 1, "RNG-001": 2},
+            "suppressed": {},
+            "suppressed_total": 0,
+            "baselined": 0,
         }
         assert document["errors"] == ["bad.py: boom"]
         first = document["findings"][0]
         assert set(first) == {"path", "line", "column", "rule_id", "message"}
         assert first["line"] == 3
+
+    def test_zero_filled_by_rule_and_extras(self):
+        document = json.loads(render_json(
+            _sample_findings(),
+            suppressed={"PRIV-001": 2},
+            baselined=4,
+            rules_run=["RNG-001", "PRIV-001", "PRIV-003"],
+            stats={"cache_hit": True},
+        ))
+        assert document["summary"]["by_rule"] == {
+            "PRIV-001": 1, "PRIV-003": 0, "RNG-001": 2,
+        }
+        assert document["summary"]["suppressed_total"] == 2
+        assert document["summary"]["baselined"] == 4
+        assert document["stats"] == {"cache_hit": True}
+
+    def test_trace_round_trips(self):
+        finding = Finding(
+            path="src/repro/cli.py", line=5, column=0,
+            rule_id="PRIV-003", message="leak",
+            trace=("from a", "to b"),
+        )
+        document = json.loads(render_json([finding]))
+        assert document["findings"][0]["trace"] == ["from a", "to b"]
+        text = render_text([finding])
+        assert "    from a\n    to b" in text
 
     def test_clean_document(self):
         document = json.loads(render_json([]))
