@@ -1,0 +1,122 @@
+"""Ablation A16 — the claim-5 divergence, pinned down.
+
+The paper's §4 claims the dynamic method's covariance compatibility μ
+"drops to 0.65–0.75" for very small group sizes on two data sets,
+recovering above 0.95 by size ≈ 20.  EXPERIMENTS.md records this as
+our one divergence: we measure dynamic μ ≥ 0.97 even at k=2.  This
+bench is the divergence's regression guard and its best-effort
+reproduction attempt:
+
+1. *The measured facts* — dynamic μ across three twins at very small
+   k, asserting the floor that contradicts the paper's figure.  If a
+   future engine change makes μ collapse here, this bench fails and
+   the EXPERIMENTS.md note must be rewritten (to "reproduced").
+2. *The leading hypothesis, falsified* — could unstandardized
+   attribute scales have caused the paper's effect?  We condense with
+   one attribute blown up 100× (distance-based grouping then sees
+   almost nothing but that attribute, forming slab-shaped groups) and
+   measure μ back in the original space, where grouping damage would
+   show.  Measured: μ still ≥ 0.99.  Because condensation preserves
+   global first/second moments by construction and μ is dominated by
+   between-group structure, even degenerate grouping cannot produce
+   the paper's 0.65 — whatever caused it, it was not (only) attribute
+   scaling, and not the Fig. 3 split either (bench A5 shows split
+   error shrinking with group size while global μ stays ≥ 0.999).
+3. *What does vary with k* — the spread of dynamic μ across
+   k ∈ {2, 3, 5, 20} stays within 0.02: there is no special small-k
+   regime at all in this implementation, which is the divergence in
+   its sharpest form.
+"""
+
+import numpy as np
+
+from repro.core.generation import generate_anonymized_data
+from repro.datasets import load_ecoli, load_ionosphere, load_pima
+from repro.evaluation.protocol import condense_dataset, measure_compatibility
+from repro.evaluation.reporting import format_table
+from repro.linalg.rng import check_random_state
+from repro.metrics import covariance_compatibility
+
+SMALL_SIZES = (2, 3, 5)
+MODEST_SIZE = 20
+SEED = 20140331
+
+#: The floor the divergence note in EXPERIMENTS.md quotes.  The
+#: paper's figure would put values near 0.65-0.75 here.
+MEASURED_FLOOR = 0.95
+
+
+def small_k_compatibility(data, scale_attribute=False):
+    """Dynamic μ at very small group sizes, plus the modest-size anchor.
+
+    With ``scale_attribute=True`` condensation runs with the first
+    attribute blown up 100× — distance-based grouping then sees mostly
+    that attribute, forming slab-shaped groups — but μ is measured
+    back in the original space, where the grouping damage would show.
+    This probes the unstandardized-scales hypothesis for the paper's
+    small-k collapse.
+    """
+    data = np.asarray(data, dtype=float)
+    row = {}
+    if not scale_attribute:
+        for k in SMALL_SIZES + (MODEST_SIZE,):
+            mu, __ = measure_compatibility(
+                data, k, mode="dynamic", random_state=SEED
+            )
+            row[k] = mu
+        return row
+    scaled = data.copy()
+    scaled[:, 0] *= 100.0
+    for k in SMALL_SIZES + (MODEST_SIZE,):
+        rng = check_random_state(SEED)
+        model = condense_dataset(scaled, k, "dynamic", random_state=rng)
+        anonymized = generate_anonymized_data(model, random_state=rng)
+        anonymized = anonymized.copy()
+        anonymized[:, 0] /= 100.0
+        row[k] = covariance_compatibility(data, anonymized)
+    return row
+
+
+def run_claim5_probe():
+    datasets = {
+        "ionosphere": load_ionosphere().data,
+        "ecoli": load_ecoli().data,
+        "pima": load_pima().data,
+    }
+    standardized, rescaled = {}, {}
+    for name, data in datasets.items():
+        standardized[name] = small_k_compatibility(data)
+        rescaled[name] = small_k_compatibility(data, scale_attribute=True)
+
+    headers = ["dataset"] + [f"k={k}" for k in SMALL_SIZES] + [
+        f"k={MODEST_SIZE}"
+    ]
+    for title, table in (
+        ("A16a: dynamic mu at small k (as-released scales)", standardized),
+        ("A16b: condensed with attribute 0 scaled 100x, mu measured "
+         "in original space", rescaled),
+    ):
+        rows = [
+            [name] + [f"{row[k]:.4f}" for k in SMALL_SIZES + (MODEST_SIZE,)]
+            for name, row in table.items()
+        ]
+        print()
+        print(format_table(headers, rows, title=title))
+    return standardized, rescaled
+
+
+def test_claim5_divergence(benchmark):
+    standardized, rescaled = benchmark.pedantic(
+        run_claim5_probe, rounds=1, iterations=1
+    )
+    for name, row in standardized.items():
+        # 1. The divergence itself: nowhere near the paper's 0.65-0.75
+        # band.  A failure here means the divergence note is stale.
+        assert min(row.values()) >= MEASURED_FLOOR, (name, row)
+        # 3. No small-k regime exists: μ varies less than 0.02 across
+        # the whole probe, where the paper's figure shows a ~0.3 dip.
+        assert max(row.values()) - min(row.values()) < 0.02, (name, row)
+    for name, row in rescaled.items():
+        # 2. Even adversarial attribute scaling cannot manufacture the
+        # collapse — moment preservation is scale-robust.
+        assert min(row.values()) >= MEASURED_FLOOR, (name, row)

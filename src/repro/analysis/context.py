@@ -2,7 +2,7 @@
 
 The context bundles the parsed AST with repo-aware facts the rules need:
 whether the module is test code, whether it lives in a privacy-critical
-package (``core``/``stream``/``parallel``), and whether it is the one
+package (``core``/``stream``/``parallel``/``durability``), and whether it is the one
 module allowed to construct generators (``linalg/rng.py``).  Deriving those facts once,
 from the path, keeps the rules themselves small and uniform.
 """
@@ -129,9 +129,11 @@ class ModuleContext:
 
         The condensation invariant (paper §2: groups retain only
         ``(Fs, Sc, n)``) is enforced in ``repro/core``,
-        ``repro/stream`` and ``repro/parallel`` — the sharded engine
-        handles raw records in flight exactly like the serial
-        algorithm, so it is held to the same retention rules.
+        ``repro/stream``, ``repro/parallel`` and ``repro/durability``
+        — the sharded engine handles raw records in flight exactly
+        like the serial algorithm, and the durability layer persists
+        condenser state to disk, so both are held to the same
+        retention and serialization rules.
 
         Returns
         -------
@@ -141,4 +143,5 @@ class ModuleContext:
             self.in_repro_package("core")
             or self.in_repro_package("stream")
             or self.in_repro_package("parallel")
+            or self.in_repro_package("durability")
         )

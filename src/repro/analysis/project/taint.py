@@ -11,7 +11,7 @@ with a classic taint design:
   ``fetch_*``), raw-record readers (``repro.io`` ``read_*``), and the
   record-named ndarray parameters of condensation entry points in the
   privacy-critical packages (``repro/core``, ``repro/stream``,
-  ``repro/parallel``).
+  ``repro/parallel``, ``repro/durability``).
 * **Propagation** is intraprocedural plus call summaries: assignments,
   tuple unpacking, subscripts/slices, wrapping calls
   (``np.asarray``/``.copy()``/stacking), container literals,

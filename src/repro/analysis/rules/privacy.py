@@ -4,10 +4,11 @@ PRIV-001 — the condensation "statistics only" invariant.
 
 Paper §2: a condensed group retains only ``(Fs, Sc, n)`` — first-order
 sums, second-order sums, and a count.  Raw member records must never
-outlive the condensation step.  In ``repro/core``, ``repro/stream``
-and ``repro/parallel`` (the sharded engine ships raw shards to
-workers, so it is held to the same retention rules) this rule
-therefore flags:
+outlive the condensation step.  In ``repro/core``, ``repro/stream``,
+``repro/parallel`` (the sharded engine ships raw shards to workers, so
+it is held to the same retention rules) and ``repro/durability`` (the
+WAL and checkpoints persist condenser state to disk, where a leaked
+record would outlive the process) this rule therefore flags:
 
 * attribute assignments that stash record batches on objects — either
   because the attribute is named like a record store (``records``,
@@ -161,8 +162,9 @@ class StatisticsOnlyRule(Rule):
 
     rule_id = "PRIV-001"
     summary = (
-        "repro/core, repro/stream and repro/parallel must not retain or "
-        "serialize raw record batches — groups keep only (Fs, Sc, n)"
+        "repro/core, repro/stream, repro/parallel and repro/durability "
+        "must not retain or serialize raw record batches — groups keep "
+        "only (Fs, Sc, n)"
     )
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
@@ -180,7 +182,8 @@ class StatisticsOnlyRule(Rule):
         if not module.is_privacy_critical or module.is_test_module:
             return
         package = next(
-            (name for name in ("core", "stream", "parallel")
+            (name for name in ("core", "stream", "parallel",
+                          "durability")
              if module.in_repro_package(name)),
             "core",
         )
@@ -345,9 +348,10 @@ class TelemetryPayloadRule(Rule):
 
     rule_id = "PRIV-002"
     summary = (
-        "telemetry call sites in repro/core, repro/stream and "
-        "repro/parallel must pass only scalar aggregates — never record "
-        "arrays — as values, labels, or span attributes"
+        "telemetry call sites in repro/core, repro/stream, "
+        "repro/parallel and repro/durability must pass only scalar "
+        "aggregates — never record arrays — as values, labels, or span "
+        "attributes"
     )
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:

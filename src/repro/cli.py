@@ -7,6 +7,7 @@ model::
     repro generate  model.json release.csv          # either side
     repro anonymize data.csv release.csv --k 20     # both steps at once
     repro report    data.csv release.csv            # utility check
+    repro recover   waldir/ model.json              # crash recovery
     repro lint      src/ tests/                     # static analysis
     repro telemetry trace.jsonl                     # summarize a trace
 
@@ -16,6 +17,14 @@ model::
 on the sharded parallel engine (see ``docs/parallel.md``).  All
 commands are deterministic under ``--seed``; sharded runs additionally
 never depend on the worker count, only on the shard count.
+
+``condense --checkpoint-dir DIR`` makes the run durable (see
+``docs/durability.md``): without ``--shards`` the records are ingested
+through a write-ahead-logged dynamic condenser that snapshots every
+``--checkpoint-every`` operations; with ``--shards`` each completed
+shard is checkpointed so an identical re-run resumes instead of
+recomputing.  ``repro recover`` rebuilds the condensed model from a
+durability directory after a crash.
 
 Every subcommand also accepts ``--metrics-out`` / ``--trace-out`` to
 capture the run's telemetry (Prometheus text and JSON-lines span
@@ -36,7 +45,11 @@ from repro import telemetry
 from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.core.coarsen import coarsen_model
 from repro.core.condensation import create_condensed_groups
-from repro.core.condenser import ClasswiseCondenser, StaticCondenser
+from repro.core.condenser import (
+    ClasswiseCondenser,
+    DynamicCondenser,
+    StaticCondenser,
+)
 from repro.core.generation import generate_anonymized_data
 from repro.evaluation.reporting import format_table
 from repro.io.csv import read_records, write_records
@@ -116,20 +129,93 @@ def _add_condense_arguments(parser):
                              "--shards N when --shards is omitted")
 
 
+def _add_durability_arguments(parser):
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="make the run durable: WAL-journaled "
+                             "ingest (serial) or per-shard result "
+                             "checkpoints (--shards); recover with "
+                             "'repro recover DIR'")
+    parser.add_argument("--checkpoint-every", type=int, default=256,
+                        metavar="N",
+                        help="snapshot cadence for the durable ingest "
+                             "path, in WAL entries (default: 256)")
+
+
+def _condense_durable(arguments, data) -> int:
+    """Durable serial condense: WAL-journaled dynamic ingest."""
+    condenser = DynamicCondenser(
+        arguments.k, strategy=arguments.strategy,
+        random_state=arguments.seed,
+        wal_dir=arguments.checkpoint_dir,
+        checkpoint_every=arguments.checkpoint_every,
+    )
+    condenser.fit()
+    condenser.partial_fit(data)
+    condenser.checkpoint()
+    condenser.close()
+    save_model(arguments.output, condenser.model_)
+    report = privacy_report(condenser.model_)
+    print(f"condensed {condenser.model_.total_count} records into "
+          f"{report.n_groups} groups "
+          f"(k={arguments.k}, achieved {report.achieved_k})")
+    print(f"durable state in {arguments.checkpoint_dir} "
+          f"(position {condenser.position})")
+    print(f"wrote model to {arguments.output}")
+    return 0
+
+
 def _command_condense(arguments) -> int:
     data, __ = read_records(arguments.input)
     _logger.info("read %d records from %s", data.shape[0],
                  arguments.input)
+    if (arguments.checkpoint_dir is not None
+            and arguments.shards is None and arguments.workers is None):
+        return _condense_durable(arguments, data)
     condenser = StaticCondenser(
         arguments.k, strategy=arguments.strategy,
         random_state=arguments.seed,
         n_shards=arguments.shards, n_workers=arguments.workers,
+        checkpoint_dir=arguments.checkpoint_dir,
     ).fit(data)
     save_model(arguments.output, condenser.model_)
     report = privacy_report(condenser.model_)
     print(f"condensed {condenser.model_.total_count} records into "
           f"{report.n_groups} groups "
           f"(k={arguments.k}, achieved {report.achieved_k})")
+    print(f"wrote model to {arguments.output}")
+    return 0
+
+
+def _command_recover(arguments) -> int:
+    from repro.durability import (
+        DurabilityManager,
+        RecoveryError,
+        rebuild_maintainer,
+        recovered_window,
+    )
+
+    manager = DurabilityManager(arguments.directory)
+    try:
+        recovered = manager.recover()
+        maintainer, position = rebuild_maintainer(recovered)
+    except RecoveryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        manager.close()
+    model = maintainer.to_model()
+    save_model(arguments.output, model)
+    source = ("snapshot + WAL tail"
+              if recovered.snapshot_state is not None else "WAL only")
+    print(f"recovered {model.n_groups} groups from {source} "
+          f"(last WAL seq {recovered.last_seq}, "
+          f"{len(recovered.entries)} tail entries)")
+    print(f"resume the upstream feed from position {position}")
+    window = recovered_window(recovered)
+    if window is not None:
+        print(f"sliding-window state: window={window}; re-feed the "
+              f"last {min(position, window)} records via "
+              "restore_window() before pushing")
     print(f"wrote model to {arguments.output}")
     return 0
 
@@ -290,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
     condense.add_argument("input", help="input CSV of numeric records")
     condense.add_argument("output", help="output model JSON")
     _add_condense_arguments(condense)
+    _add_durability_arguments(condense)
     condense.set_defaults(handler=_command_condense)
 
     generate = subparsers.add_parser(
@@ -329,6 +416,18 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("original", help="original CSV")
     report.add_argument("anonymized", help="anonymized CSV")
     report.set_defaults(handler=_command_report)
+
+    recover = subparsers.add_parser(
+        "recover", help="rebuild a condensed model from a durability "
+                        "directory (WAL + snapshots)",
+        parents=[common],
+    )
+    recover.add_argument("directory",
+                         help="durability directory written by a "
+                              "wal_dir= condenser or "
+                              "'condense --checkpoint-dir'")
+    recover.add_argument("output", help="output model JSON")
+    recover.set_defaults(handler=_command_recover)
 
     coarsen = subparsers.add_parser(
         "coarsen", help="raise a model's privacy level (merge groups)",

@@ -32,6 +32,7 @@ def create_condensed_groups(
     random_state=None,
     n_shards=None,
     n_workers=None,
+    checkpoint_dir=None,
 ) -> CondensedModel:
     """Condense a database into groups of (at least) ``k`` records.
 
@@ -61,6 +62,11 @@ def create_condensed_groups(
         Worker-pool size for the sharded engine; implies
         ``n_shards=n_workers`` when ``n_shards`` is not given.
         Ignored (``None``) on the serial path.
+    checkpoint_dir:
+        Per-shard checkpoint directory for the sharded engine (see
+        :func:`repro.parallel.condense_sharded`); requires an integer
+        ``random_state`` and a sharded run.  Raises ``ValueError`` on
+        the serial path, where nothing is checkpointed.
 
     Returns
     -------
@@ -77,6 +83,12 @@ def create_condensed_groups(
         return condense_sharded(
             data, k, strategy=strategy, random_state=random_state,
             n_shards=n_shards, n_workers=n_workers,
+            checkpoint_dir=checkpoint_dir,
+        )
+    if checkpoint_dir is not None:
+        raise ValueError(
+            "checkpoint_dir applies only to sharded runs; pass "
+            "n_shards (or n_workers) to enable the parallel engine"
         )
     data = np.asarray(data, dtype=float)
     if data.ndim != 2:

@@ -23,7 +23,7 @@ from repro.core.condensation import create_condensed_groups
 from repro.core.dynamic import DynamicGroupMaintainer
 from repro.core.generation import generate_anonymized_data
 from repro.core.statistics import CondensedModel, GroupStatistics
-from repro.linalg.rng import check_random_state
+from repro.linalg.rng import check_random_state, rng_state
 
 
 class StaticCondenser:
@@ -46,6 +46,12 @@ class StaticCondenser:
         engine (:func:`repro.parallel.condense_sharded`) with this
         shard count and worker-pool size.  ``None`` (default) keeps
         the serial path.
+    checkpoint_dir:
+        Per-shard checkpoint directory for sharded runs (see
+        :func:`repro.parallel.condense_sharded`): completed shards are
+        persisted as statistics-only checkpoints and reloaded when the
+        identical configuration is re-fit after a crash.  Requires an
+        integer ``random_state`` and a sharded run.
 
     Examples
     --------
@@ -60,7 +66,8 @@ class StaticCondenser:
     """
 
     def __init__(self, k: int, strategy="random", sampler="uniform",
-                 random_state=None, n_shards=None, n_workers=None):
+                 random_state=None, n_shards=None, n_workers=None,
+                 checkpoint_dir=None):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = int(k)
@@ -68,14 +75,23 @@ class StaticCondenser:
         self.sampler = sampler
         self.n_shards = n_shards
         self.n_workers = n_workers
+        self.checkpoint_dir = checkpoint_dir
+        # Shard checkpoints are keyed by the raw integer seed; the
+        # generator below serves the serial path and generation.
+        self._seed = random_state
         self._rng = check_random_state(random_state)
         self.model_: CondensedModel | None = None
 
     def fit(self, data: np.ndarray) -> "StaticCondenser":
         """Condense ``data`` into group statistics."""
+        random_state = (
+            self._seed if self.checkpoint_dir is not None else self._rng
+        )
         self.model_ = create_condensed_groups(
-            data, self.k, strategy=self.strategy, random_state=self._rng,
+            data, self.k, strategy=self.strategy,
+            random_state=random_state,
             n_shards=self.n_shards, n_workers=self.n_workers,
+            checkpoint_dir=self.checkpoint_dir,
         )
         return self
 
@@ -112,6 +128,17 @@ class DynamicCondenser:
     strategy, sampler, random_state:
         As for :class:`StaticCondenser`; the strategy applies only to the
         static bootstrap.
+    wal_dir:
+        When given, the condenser is *durable*: every completed stream
+        operation is journaled to a write-ahead log in this directory
+        as a statistics delta, and :meth:`checkpoint` (or the
+        ``checkpoint_every`` cadence) snapshots the full state.  After
+        a crash, :meth:`recover` rebuilds bit-identical state and
+        reports the stream :attr:`position` to resume the feed from.
+        See ``docs/durability.md``.
+    checkpoint_every:
+        Automatic checkpoint cadence in WAL entries; ``0`` (default)
+        checkpoints only on explicit :meth:`checkpoint` calls.
 
     Examples
     --------
@@ -127,20 +154,37 @@ class DynamicCondenser:
     """
 
     def __init__(self, k: int, strategy="random", sampler="uniform",
-                 random_state=None):
+                 random_state=None, wal_dir=None,
+                 checkpoint_every: int = 0):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = int(k)
         self.strategy = strategy
         self.sampler = sampler
+        self.wal_dir = wal_dir
+        self.checkpoint_every = int(checkpoint_every)
         self._rng = check_random_state(random_state)
         self._maintainer: DynamicGroupMaintainer | None = None
+        self._position = 0
+        self._ops: list = []
+        self._manager = None
+        if wal_dir is not None:
+            # Deferred import: repro.durability pulls in telemetry while
+            # this module may still be mid-import via repro/__init__.
+            from repro.durability import DurabilityManager
+
+            self._manager = DurabilityManager(
+                wal_dir, checkpoint_every=self.checkpoint_every
+            )
 
     def fit(self, data: np.ndarray | None = None) -> "DynamicCondenser":
         """Bootstrap the maintainer, optionally from a static database.
 
         With ``data=None`` the condenser starts cold and buffers the
         first ``k`` streamed records before forming its founding group.
+        On a durable condenser, fitting journals a ``bootstrap`` entry
+        carrying the full post-bootstrap state (statistics and RNG
+        position only) and resets :attr:`position` to zero.
         """
         self._maintainer = DynamicGroupMaintainer(
             self.k,
@@ -148,6 +192,13 @@ class DynamicCondenser:
             strategy=self.strategy,
             random_state=self._rng,
         )
+        self._position = 0
+        if self._manager is not None:
+            self._attach_durability()
+            self._manager.append({
+                "kind": "bootstrap", "pos": 0,
+                "state": self._maintainer.state_dict(),
+            })
         return self
 
     def partial_fit(self, records: np.ndarray) -> "DynamicCondenser":
@@ -155,13 +206,19 @@ class DynamicCondenser:
         maintainer = self._require_fitted()
         records = np.asarray(records, dtype=float)
         if records.ndim == 1:
-            maintainer.add(records)
-        elif records.ndim == 2:
-            maintainer.add_stream(records)
-        else:
+            records = records[None, :]
+        elif records.ndim != 2:
             raise ValueError(
                 f"records must be 1-D or 2-D, got shape {records.shape}"
             )
+        if self._manager is None:
+            maintainer.add_stream(records)
+            self._position += records.shape[0]
+        else:
+            for record in records:
+                maintainer.add(record)
+                self._position += 1
+                self._flush_ops()
         return self
 
     def partial_remove(self, records: np.ndarray) -> "DynamicCondenser":
@@ -175,22 +232,150 @@ class DynamicCondenser:
         maintainer = self._require_fitted()
         records = np.asarray(records, dtype=float)
         if records.ndim == 1:
-            maintainer.remove(records)
-        elif records.ndim == 2:
-            for record in records:
-                maintainer.remove(record)
-        else:
+            records = records[None, :]
+        elif records.ndim != 2:
             raise ValueError(
                 f"records must be 1-D or 2-D, got shape {records.shape}"
             )
+        for record in records:
+            maintainer.remove(record)
+            self._position += 1
+            self._flush_ops()
         return self
 
     def generate(self, sizes=None) -> np.ndarray:
-        """Draw an anonymized data set from the current statistics."""
+        """Draw an anonymized data set from the current statistics.
+
+        On a durable condenser, the post-generation RNG position is
+        journaled so recovered state reproduces later draws exactly.
+        """
         model = self.model_
-        return generate_anonymized_data(
+        generated = generate_anonymized_data(
             model, sampler=self.sampler, random_state=self._rng, sizes=sizes
         )
+        if self._manager is not None:
+            self._manager.append({
+                "kind": "rng", "pos": self._position,
+                "state": rng_state(self._rng),
+            })
+        return generated
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        """Number of completed stream operations (adds and removals).
+
+        After :meth:`recover`, this is the position the upstream feed
+        must resume from (the at-least-once recovery contract).
+        """
+        return self._position
+
+    def checkpoint(self):
+        """Snapshot the full durable state now.
+
+        Returns
+        -------
+        pathlib.Path
+            Path of the written snapshot.
+
+        Raises
+        ------
+        RuntimeError
+            If the condenser was built without ``wal_dir`` or is not
+            fitted.
+        """
+        self._require_fitted()
+        if self._manager is None:
+            raise RuntimeError(
+                "durability is disabled; construct with wal_dir= to "
+                "enable checkpointing"
+            )
+        return self._manager.checkpoint()
+
+    def close(self) -> None:
+        """Flush and close the write-ahead log, if durable."""
+        if self._manager is not None:
+            self._manager.close()
+
+    @classmethod
+    def recover(cls, wal_dir, strategy="random", sampler="uniform",
+                checkpoint_every: int = 0) -> "DynamicCondenser":
+        """Rebuild a durable condenser from its durability directory.
+
+        Loads the newest valid snapshot, replays the WAL tail, and
+        returns a condenser whose group statistics, counters, and RNG
+        position are bit-identical to the in-memory state at the
+        durable frontier.  The caller must re-feed the upstream stream
+        from :attr:`position` onward.
+
+        Parameters
+        ----------
+        wal_dir:
+            The durability directory of the crashed condenser.
+        strategy, sampler:
+            Estimator settings for the recovered instance (they are
+            not persisted; the strategy only matters for a future
+            re-``fit``).
+        checkpoint_every:
+            Checkpoint cadence for the recovered instance.
+
+        Returns
+        -------
+        DynamicCondenser
+
+        Raises
+        ------
+        repro.durability.RecoveryError
+            If the directory holds nothing reconstructible.
+        """
+        from repro.durability import DurabilityManager, rebuild_maintainer
+
+        manager = DurabilityManager(
+            wal_dir, checkpoint_every=int(checkpoint_every)
+        )
+        maintainer, position = rebuild_maintainer(manager.recover())
+        condenser = cls(
+            maintainer.k, strategy=strategy, sampler=sampler,
+            random_state=maintainer._rng,
+        )
+        condenser.wal_dir = wal_dir
+        condenser.checkpoint_every = int(checkpoint_every)
+        condenser._manager = manager
+        condenser._maintainer = maintainer
+        condenser._position = position
+        condenser._attach_durability()
+        return condenser
+
+    def _attach_durability(self) -> None:
+        """Bind the journal and checkpoint provider to the maintainer."""
+        self._ops = []
+        self._maintainer.journal = self._ops.append
+        self._manager.bind(self._durable_state)
+
+    def _durable_state(self) -> dict:
+        """Checkpoint document: maintainer state plus stream position."""
+        return {
+            "maintainer": self._maintainer.state_dict(),
+            "position": self._position,
+        }
+
+    def _flush_ops(self) -> None:
+        """Write the journal of one completed source op as a WAL entry.
+
+        Memory is mutated first, then logged: a crash in between loses
+        only the latest operation, which the at-least-once re-feed
+        replays.  Operations that emitted nothing (warm-up buffering)
+        leave no entry — raw records are never durable.
+        """
+        if self._manager is None or not self._ops:
+            return
+        entry = {"kind": "op", "pos": self._position,
+                 "ops": list(self._ops)}
+        self._ops.clear()
+        self._manager.append(entry)
 
     @property
     def model_(self) -> CondensedModel:

@@ -28,7 +28,7 @@ import numpy as np
 from repro import telemetry
 from repro.core.condensation import create_condensed_groups
 from repro.core.statistics import CondensedModel, GroupStatistics
-from repro.linalg.rng import check_random_state
+from repro.linalg.rng import check_random_state, rng_from_state, rng_state
 from repro.neighbors.brute import pairwise_distances
 from repro.telemetry import DEFAULT_SIZE_BUCKETS
 
@@ -122,6 +122,17 @@ class DynamicGroupMaintainer:
     The maintainer never stores stream records once they are absorbed
     into a group — only the warm-up buffer (capped at ``k`` records,
     which by definition are not yet published) and group statistics.
+
+    **Journaling.**  When :attr:`journal` is set to a callable, every
+    completed mutation emits one sub-operation dict describing its
+    *post-state* — the updated group aggregates, never the triggering
+    record.  The durable condensers collect these into WAL entries;
+    :meth:`apply_op` replays them, and because each sub-operation
+    carries exact (JSON-round-trippable) float aggregates, replay
+    reconstructs the maintainer bit for bit.  Warm-up buffering emits
+    nothing: raw records are not durable, which is exactly the
+    at-least-once recovery contract (lost warm-up records are re-fed
+    by the upstream source).
     """
 
     def __init__(
@@ -141,6 +152,9 @@ class DynamicGroupMaintainer:
         self.n_splits = 0
         self.n_merges = 0
         self.n_absorbed = 0
+        #: Optional journal callback receiving post-state sub-operation
+        #: dicts (see the class docstring); set by durable condensers.
+        self.journal = None
         if initial_data is not None:
             initial_data = np.asarray(initial_data, dtype=float)
             model = create_condensed_groups(
@@ -183,6 +197,8 @@ class DynamicGroupMaintainer:
                 self._refresh_centroids()
                 telemetry.counter_inc("dynamic.absorbed", self.k)
                 telemetry.gauge_set("dynamic.groups", 1)
+                self._emit({"op": "founding",
+                            "group": founding.to_dict()})
             return
         if record.shape[0] != self._groups[0].n_features:
             raise ValueError(
@@ -208,8 +224,13 @@ class DynamicGroupMaintainer:
                 split_span.set_attribute("n_groups", len(self._groups))
             telemetry.counter_inc("dynamic.splits")
             telemetry.gauge_set("dynamic.groups", len(self._groups))
+            self._emit({"op": "split", "target": target,
+                        "first": first.to_dict(),
+                        "second": second.to_dict()})
         else:
             self._centroids[target] = group.centroid
+            self._emit({"op": "ingest", "target": target,
+                        "group": group.to_dict()})
 
     def add_stream(self, records) -> None:
         """Ingest an iterable of records in arrival order."""
@@ -268,6 +289,8 @@ class DynamicGroupMaintainer:
         if group.count >= self.k or len(self._groups) == 1:
             if group.count > 0:
                 self._centroids[target] = group.centroid
+                self._emit({"op": "remove", "target": target,
+                            "group": group.to_dict()})
                 return
         self._merge_undersized(target)
 
@@ -279,6 +302,9 @@ class DynamicGroupMaintainer:
             self.n_merges += 1
             telemetry.counter_inc("dynamic.merges")
             telemetry.gauge_set("dynamic.groups", len(self._groups))
+            self._emit({"op": "merge", "target": target,
+                        "neighbour": None, "merged": None,
+                        "resplit": None})
             return
         distances = pairwise_distances(
             group.centroid[None, :], self._centroids, squared=True
@@ -288,14 +314,141 @@ class DynamicGroupMaintainer:
         merged.merge(group)
         self.n_merges += 1
         telemetry.counter_inc("dynamic.merges")
+        resplit = None
         if merged.count >= 2 * self.k:
             first, second = split_group_statistics(merged)
             self._groups[neighbour] = first
             self._groups.append(second)
             self.n_splits += 1
             telemetry.counter_inc("dynamic.splits")
+            resplit = [first.to_dict(), second.to_dict()]
         self._refresh_centroids()
         telemetry.gauge_set("dynamic.groups", len(self._groups))
+        self._emit({"op": "merge", "target": target,
+                    "neighbour": neighbour,
+                    "merged": None if resplit else merged.to_dict(),
+                    "resplit": resplit})
+
+    # ------------------------------------------------------------------
+    # Journaling and durable state
+    # ------------------------------------------------------------------
+
+    def _emit(self, sub: dict) -> None:
+        """Hand one post-state sub-operation to the journal, if bound."""
+        if self.journal is not None:
+            self.journal(sub)
+
+    def apply_op(self, sub: dict) -> None:
+        """Replay one journaled sub-operation (WAL recovery path).
+
+        Each sub-operation stores the *post-state* aggregates of the
+        group(s) it touched, so applying it sets state rather than
+        re-deriving it — replay is therefore bit-identical to the
+        original run regardless of floating-point evaluation order.
+
+        Parameters
+        ----------
+        sub:
+            A sub-operation dict as emitted through :attr:`journal`.
+
+        Raises
+        ------
+        ValueError
+            If the operation kind is unknown.
+        """
+        op = sub.get("op")
+        if op == "founding":
+            founding = GroupStatistics.from_dict(sub["group"])
+            self._groups.append(founding)
+            self._warmup.clear()
+            self.n_absorbed += founding.count
+        elif op == "ingest":
+            self._groups[sub["target"]] = GroupStatistics.from_dict(
+                sub["group"]
+            )
+            self.n_absorbed += 1
+        elif op == "split":
+            self._groups[sub["target"]] = GroupStatistics.from_dict(
+                sub["first"]
+            )
+            self._groups.append(GroupStatistics.from_dict(sub["second"]))
+            self.n_absorbed += 1
+            self.n_splits += 1
+        elif op == "remove":
+            self._groups[sub["target"]] = GroupStatistics.from_dict(
+                sub["group"]
+            )
+            self.n_absorbed -= 1
+        elif op == "merge":
+            self._groups.pop(sub["target"])
+            self.n_absorbed -= 1
+            self.n_merges += 1
+            if sub.get("resplit") is not None:
+                first_state, second_state = sub["resplit"]
+                self._groups[sub["neighbour"]] = (
+                    GroupStatistics.from_dict(first_state)
+                )
+                self._groups.append(
+                    GroupStatistics.from_dict(second_state)
+                )
+                self.n_splits += 1
+            elif sub.get("merged") is not None:
+                self._groups[sub["neighbour"]] = (
+                    GroupStatistics.from_dict(sub["merged"])
+                )
+        else:
+            raise ValueError(f"unknown journal operation {op!r}")
+        if self._groups:
+            self._refresh_centroids()
+
+    def state_dict(self) -> dict:
+        """Full durable state as a JSON-serializable document.
+
+        The document holds group aggregates, operation counters, and
+        the generator position — never the warm-up buffer, whose raw
+        records are deliberately not durable (the upstream source
+        re-feeds them after recovery).
+
+        Returns
+        -------
+        dict
+        """
+        return {
+            "k": self.k,
+            "groups": [group.to_dict() for group in self._groups],
+            "n_splits": self.n_splits,
+            "n_merges": self.n_merges,
+            "n_absorbed": self.n_absorbed,
+            "rng": rng_state(self._rng),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DynamicGroupMaintainer":
+        """Rebuild a maintainer from a :meth:`state_dict` document.
+
+        Parameters
+        ----------
+        state:
+            A state document (possibly after a JSON round trip).
+
+        Returns
+        -------
+        DynamicGroupMaintainer
+            Maintainer whose groups, counters, and generator position
+            are bit-identical to the captured instance.
+        """
+        maintainer = cls(
+            int(state["k"]), random_state=rng_from_state(state["rng"])
+        )
+        maintainer._groups = [
+            GroupStatistics.from_dict(entry) for entry in state["groups"]
+        ]
+        maintainer.n_splits = int(state["n_splits"])
+        maintainer.n_merges = int(state["n_merges"])
+        maintainer.n_absorbed = int(state["n_absorbed"])
+        if maintainer._groups:
+            maintainer._refresh_centroids()
+        return maintainer
 
     # ------------------------------------------------------------------
     # State

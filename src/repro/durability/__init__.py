@@ -1,0 +1,76 @@
+"""Durable streaming condensation: WAL, checkpoints, and recovery.
+
+The paper's dynamic regime (§3) keeps its entire state in per-group
+``(Fs, Sc, n)`` statistics — tiny, additive, and therefore trivially
+durable.  This package gives the streaming condensers crash recovery
+without ever weakening the statistics-only invariant:
+
+* :mod:`repro.durability.wal` — a size-rotated, CRC-framed write-ahead
+  log of *statistics deltas* (post-operation group aggregates, never
+  raw records);
+* :mod:`repro.durability.snapshot` — atomic, CRC-checked snapshots of
+  the full condenser state, including the seeded-RNG position;
+* :mod:`repro.durability.manager` — the checkpoint/prune/recover
+  protocol tying the two together;
+* :mod:`repro.durability.recovery` — reconstruction of a live
+  maintainer from a snapshot plus WAL tail, bit-identical to the
+  uninterrupted run;
+* :mod:`repro.durability.shards` — per-shard result checkpoints for
+  the parallel engine's retry/resume path.
+
+This package is privacy-critical: the analyzer's PRIV-001/PRIV-003
+rules hold it to the same raw-record retention and serialization bans
+as ``repro/core``.  See ``docs/durability.md`` for formats, recovery
+semantics, and the privacy argument.
+"""
+
+from repro.durability.manager import (
+    DEFAULT_KEEP_SNAPSHOTS,
+    DurabilityManager,
+    RecoveredState,
+)
+from repro.durability.recovery import (
+    RecoveryError,
+    rebuild_maintainer,
+    recovered_position,
+    recovered_window,
+)
+from repro.durability.shards import ShardCheckpointStore, shard_fingerprint
+from repro.durability.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotInfo,
+    latest_snapshot,
+    list_snapshots,
+    prune_snapshots,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.durability.wal import (
+    DEFAULT_SEGMENT_BYTES,
+    WriteAheadLog,
+    decode_line,
+    encode_entry,
+)
+
+__all__ = [
+    "DEFAULT_KEEP_SNAPSHOTS",
+    "DEFAULT_SEGMENT_BYTES",
+    "DurabilityManager",
+    "RecoveredState",
+    "RecoveryError",
+    "ShardCheckpointStore",
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotInfo",
+    "WriteAheadLog",
+    "decode_line",
+    "encode_entry",
+    "latest_snapshot",
+    "list_snapshots",
+    "prune_snapshots",
+    "read_snapshot",
+    "rebuild_maintainer",
+    "recovered_position",
+    "recovered_window",
+    "shard_fingerprint",
+    "write_snapshot",
+]

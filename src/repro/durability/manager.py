@@ -1,0 +1,240 @@
+"""Checkpoint + WAL coordination for one durable condenser.
+
+:class:`DurabilityManager` owns a durability directory holding both a
+:class:`~repro.durability.wal.WriteAheadLog` and the snapshot files of
+:mod:`repro.durability.snapshot`, and implements the classic recovery
+protocol on top of them:
+
+* every completed stream operation is appended to the WAL (statistics
+  deltas only — see the WAL module docstring for the privacy argument);
+* every ``checkpoint_every`` appends (or on demand), the bound state
+  provider is serialized into an atomic snapshot covering the WAL
+  position, after which fully-covered WAL segments are pruned;
+* :meth:`recover` returns the newest valid snapshot plus the WAL tail
+  after it, from which the owning condenser reconstructs bit-identical
+  in-memory state.
+
+The manager is deliberately ignorant of condenser internals: it moves
+opaque JSON state and entries.  The condensers own the entry
+vocabulary (see :mod:`repro.durability.recovery`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import telemetry
+from repro.durability.snapshot import (
+    latest_snapshot,
+    list_snapshots,
+    prune_snapshots,
+    write_snapshot,
+)
+from repro.durability.wal import DEFAULT_SEGMENT_BYTES, WriteAheadLog
+from repro.telemetry import DEFAULT_SIZE_BUCKETS
+
+#: Default number of snapshots kept on disk.  More than one, so a torn
+#: newest snapshot still leaves a valid recovery anchor.
+DEFAULT_KEEP_SNAPSHOTS = 2
+
+
+@dataclass(frozen=True)
+class RecoveredState:
+    """Everything :meth:`DurabilityManager.recover` found on disk.
+
+    Attributes
+    ----------
+    snapshot_state:
+        State document of the newest valid snapshot, or ``None`` when
+        no snapshot validates (recovery then replays the WAL from its
+        first entry).
+    entries:
+        ``(seq, entry)`` pairs of the WAL tail after the snapshot, in
+        log order, ending at the durable frontier.
+    last_seq:
+        Sequence number of the last durable WAL entry (0 for an empty
+        log).
+    """
+
+    snapshot_state: dict | None
+    entries: list
+    last_seq: int
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the directory held nothing recoverable."""
+        return self.snapshot_state is None and not self.entries
+
+
+class DurabilityManager:
+    """WAL + checkpoint lifecycle for one durable condenser.
+
+    Parameters
+    ----------
+    directory:
+        Durability directory (created if missing); holds both WAL
+        segments and snapshot files.
+    checkpoint_every:
+        Automatic checkpoint cadence in WAL appends; ``0`` (default)
+        disables automatic checkpoints — :meth:`checkpoint` can still
+        be called explicitly.
+    keep_snapshots:
+        Number of newest snapshots retained after each checkpoint.
+    max_segment_bytes, fsync_every:
+        Passed to :class:`~repro.durability.wal.WriteAheadLog`.
+    """
+
+    def __init__(self, directory, checkpoint_every: int = 0,
+                 keep_snapshots: int = DEFAULT_KEEP_SNAPSHOTS,
+                 max_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 fsync_every: int = 1):
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if keep_snapshots < 1:
+            raise ValueError(
+                f"keep_snapshots must be >= 1, got {keep_snapshots}"
+            )
+        self.directory = Path(directory)
+        self.checkpoint_every = int(checkpoint_every)
+        self.keep_snapshots = int(keep_snapshots)
+        self.wal = WriteAheadLog(
+            self.directory, max_segment_bytes=max_segment_bytes,
+            fsync_every=fsync_every,
+        )
+        self._state_provider = None
+        self._appends_since_checkpoint = 0
+
+    def bind(self, state_provider) -> None:
+        """Register the callable that serializes the owner's full state.
+
+        Parameters
+        ----------
+        state_provider:
+            Zero-argument callable returning a JSON-serializable state
+            document (statistics only).  Called at every checkpoint.
+        """
+        if not callable(state_provider):
+            raise TypeError("state_provider must be callable")
+        self._state_provider = state_provider
+
+    # ------------------------------------------------------------------
+    # Logging and checkpointing
+    # ------------------------------------------------------------------
+
+    def append(self, entry: dict) -> int:
+        """Append one entry to the WAL, checkpointing on cadence.
+
+        Parameters
+        ----------
+        entry:
+            JSON-serializable entry; the WAL assigns its ``"seq"``.
+
+        Returns
+        -------
+        int
+            The assigned sequence number.
+        """
+        seq = self.wal.append(entry)
+        self._appends_since_checkpoint += 1
+        if (
+            self.checkpoint_every
+            and self._state_provider is not None
+            and self._appends_since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint()
+        return seq
+
+    def checkpoint(self) -> Path:
+        """Snapshot the bound state and prune covered WAL segments.
+
+        Returns
+        -------
+        pathlib.Path
+            Path of the written snapshot.
+
+        Raises
+        ------
+        RuntimeError
+            If no state provider is bound.
+        """
+        if self._state_provider is None:
+            raise RuntimeError(
+                "no state provider bound; call bind() before checkpoint()"
+            )
+        state = self._state_provider()
+        # The snapshot must not claim coverage of entries still riding
+        # the page cache: sync the WAL before stamping the sequence.
+        self.wal.sync()
+        path = write_snapshot(self.directory, state, seq=self.wal.last_seq)
+        prune_snapshots(self.directory, keep=self.keep_snapshots)
+        oldest = self._oldest_snapshot_seq()
+        if oldest is not None:
+            # Replay may have to fall back to the oldest retained
+            # snapshot, so only segments it covers are prunable.
+            self.wal.prune(oldest)
+        self._appends_since_checkpoint = 0
+        return path
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def recover(self) -> RecoveredState:
+        """Load the newest valid snapshot and the WAL tail after it.
+
+        Opening the WAL already repaired any torn tail, so the returned
+        entries end exactly at the durable frontier.
+
+        Returns
+        -------
+        RecoveredState
+        """
+        with telemetry.span("durability.recover") as recover_span:
+            info = latest_snapshot(self.directory)
+            base_seq = info.seq if info is not None else 0
+            entries = list(self.wal.replay(after_seq=base_seq))
+            recover_span.set_attribute("snapshot_seq", base_seq)
+            recover_span.set_attribute("replayed", len(entries))
+        telemetry.counter_inc("durability.recoveries")
+        telemetry.histogram_observe(
+            "durability.replay_entries", len(entries),
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        return RecoveredState(
+            snapshot_state=info.state if info is not None else None,
+            entries=entries,
+            last_seq=self.wal.last_seq,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the underlying WAL."""
+        self.wal.close()
+
+    def _oldest_snapshot_seq(self) -> int | None:
+        """Sequence number of the oldest retained snapshot file."""
+        snapshots = list_snapshots(self.directory)
+        if not snapshots:
+            return None
+        stem = snapshots[0].stem
+        return int(stem.rsplit("-", 1)[1])
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"DurabilityManager(directory={str(self.directory)!r}, "
+            f"last_seq={self.wal.last_seq}, "
+            f"checkpoint_every={self.checkpoint_every})"
+        )

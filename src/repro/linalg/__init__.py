@@ -17,7 +17,10 @@ from repro.linalg.accumulators import MomentAccumulator, WelfordAccumulator
 from repro.linalg.rng import (
     check_random_state,
     derive_seed,
+    restore_rng_state,
     rng_from_seed_sequence,
+    rng_from_state,
+    rng_state,
     spawn_rngs,
     spawn_seed_sequences,
 )
@@ -34,7 +37,10 @@ __all__ = [
     "WelfordAccumulator",
     "check_random_state",
     "derive_seed",
+    "restore_rng_state",
     "rng_from_seed_sequence",
+    "rng_from_state",
+    "rng_state",
     "spawn_rngs",
     "spawn_seed_sequences",
     "covariance_from_sums",

@@ -180,6 +180,118 @@ def rng_from_seed_sequence(
     return np.random.default_rng(sequence)
 
 
+def rng_state(rng: np.random.Generator) -> dict:
+    """Capture a generator's exact position as a JSON-safe dict.
+
+    The returned mapping is the bit generator's full state — enough to
+    reconstruct a generator that produces the identical draw sequence
+    via :func:`rng_from_state` (or to rewind an existing generator via
+    :func:`restore_rng_state`).  This is the durability subsystem's
+    hook: checkpoints persist the RNG position so recovery is
+    bit-identical for every stochastic step after the crash.
+
+    Parameters
+    ----------
+    rng:
+        Generator whose position to capture.
+
+    Returns
+    -------
+    dict
+        ``{"bit_generator": <name>, "state": <nested state dict>}`` —
+        plain ints/strings/dicts, round-trippable through JSON.
+
+    Raises
+    ------
+    TypeError
+        If ``rng`` is not a :class:`numpy.random.Generator`.
+    """
+    if not isinstance(rng, np.random.Generator):
+        raise TypeError(
+            f"rng must be a numpy Generator, got {type(rng).__name__}"
+        )
+    return dict(rng.bit_generator.state)
+
+
+def restore_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Rewind ``rng`` in place to a position captured by :func:`rng_state`.
+
+    Restoring in place (rather than constructing a new generator) keeps
+    every component that shares the generator object — a condenser and
+    the maintainer it owns, for example — pointing at the restored
+    stream.
+
+    Parameters
+    ----------
+    rng:
+        Generator to rewind.
+    state:
+        A state mapping from :func:`rng_state` (possibly after a JSON
+        round trip).
+
+    Raises
+    ------
+    TypeError
+        If ``rng`` is not a Generator or ``state`` is not a mapping.
+    ValueError
+        If ``state`` describes a different bit-generator type than
+        ``rng`` uses.
+    """
+    if not isinstance(rng, np.random.Generator):
+        raise TypeError(
+            f"rng must be a numpy Generator, got {type(rng).__name__}"
+        )
+    if not isinstance(state, dict):
+        raise TypeError(
+            f"state must be a dict from rng_state(), got "
+            f"{type(state).__name__}"
+        )
+    expected = type(rng.bit_generator).__name__
+    found = state.get("bit_generator")
+    if found != expected:
+        raise ValueError(
+            f"state was captured from a {found!r} bit generator, but "
+            f"this generator uses {expected!r}"
+        )
+    rng.bit_generator.state = state
+
+
+def rng_from_state(state: dict) -> np.random.Generator:
+    """Construct a generator positioned at a captured state.
+
+    The counterpart of :func:`rng_state` for recovery paths that do not
+    hold a live generator: construction stays inside this module (the
+    RNG-001 discipline) and the restored generator reproduces the
+    original's remaining draw sequence bit for bit.
+
+    Parameters
+    ----------
+    state:
+        A state mapping from :func:`rng_state` (possibly after a JSON
+        round trip).
+
+    Returns
+    -------
+    numpy.random.Generator
+
+    Raises
+    ------
+    TypeError
+        If ``state`` is not a mapping.
+    ValueError
+        If ``state`` names a bit generator other than the default
+        (``PCG64``), which is the only kind this library constructs.
+    """
+    if not isinstance(state, dict):
+        raise TypeError(
+            f"state must be a dict from rng_state(), got "
+            f"{type(state).__name__}"
+        )
+    rng = np.random.default_rng()
+    restore_rng_state(rng, state)
+    return rng
+
+
 def permutation(rng: np.random.Generator, n: int) -> np.ndarray:
     """Return a random permutation of ``range(n)`` as an int64 array.
 

@@ -29,7 +29,13 @@ from __future__ import annotations
 
 import logging
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 
 import numpy as np
 
@@ -50,6 +56,17 @@ BACKENDS = ("auto", "process", "thread", "serial")
 
 #: Repair policies for groups left under ``k`` by the shard merge.
 REPAIR_POLICIES = ("merge", "merge_resplit")
+
+#: First retry delay; doubles per attempt (``base * 2**(attempt-1)``).
+RETRY_BASE_DELAY = 0.05
+
+
+class _PoolFailure(Exception):
+    """A pool could not finish its shards; try the next backend."""
+
+    def __init__(self, cause):
+        super().__init__(str(cause))
+        self.cause = cause
 
 
 def _condense_shard(task):
@@ -73,41 +90,128 @@ def _condense_shard(task):
         return [group], [np.arange(records.shape[0], dtype=np.int64)]
 
 
-def _run_shard_tasks(tasks, n_workers: int, backend: str):
-    """Execute shard tasks on the selected backend, in shard order.
+def _drain_pool(executor_cls, n_workers, tasks, pending, record,
+                max_retries):
+    """Run the pending shard indices on one executor class.
 
-    The process pool falls back to threads (and threads to serial) when
-    the environment cannot support it — sandboxed interpreters, or
-    strategies that do not survive the process boundary — because the
-    result is backend-independent by construction.
+    Shards are submitted individually so a transient worker failure
+    costs one shard, not the whole run: each failed shard is retried up
+    to ``max_retries`` times with exponential backoff before the pool
+    is declared unusable.  ``ValueError`` is a deterministic input
+    error and propagates immediately — retrying cannot fix it.
+
+    Raises
+    ------
+    _PoolFailure
+        When the pool breaks or a shard exhausts its retries; the
+        caller moves on to the next backend.
     """
-    if backend == "serial" or n_workers <= 1 or len(tasks) <= 1:
-        return [_condense_shard(task) for task in tasks]
-    if backend in ("auto", "process"):
-        try:
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                return list(pool.map(_condense_shard, tasks))
-        except ValueError:
-            raise
-        except Exception as error:
-            # BrokenProcessPool, pickling failures, or sandboxed
-            # environments without process support: the thread backend
-            # computes the identical result.
-            _logger.warning(
-                "process pool unavailable (%s: %s); falling back to "
-                "threads", type(error).__name__, error,
-            )
+    attempts = dict.fromkeys(pending, 0)
     try:
-        with ThreadPoolExecutor(max_workers=n_workers) as pool:
-            return list(pool.map(_condense_shard, tasks))
-    except ValueError:
+        with executor_cls(max_workers=n_workers) as pool:
+            futures = {
+                pool.submit(_condense_shard, tasks[index]): index
+                for index in pending
+            }
+            while futures:
+                for future in as_completed(list(futures)):
+                    index = futures.pop(future)
+                    try:
+                        result = future.result()
+                    except ValueError:
+                        raise
+                    except BrokenExecutor as error:
+                        raise _PoolFailure(error) from error
+                    except Exception as error:
+                        attempts[index] += 1
+                        if attempts[index] > max_retries:
+                            raise _PoolFailure(error) from error
+                        telemetry.counter_inc("parallel.retries")
+                        _logger.warning(
+                            "shard %d failed (%s: %s); retry %d/%d",
+                            index, type(error).__name__, error,
+                            attempts[index], max_retries,
+                        )
+                        time.sleep(
+                            RETRY_BASE_DELAY * 2 ** (attempts[index] - 1)
+                        )
+                        futures[
+                            pool.submit(_condense_shard, tasks[index])
+                        ] = index
+                        continue
+                    record(index, result)
+    except (ValueError, _PoolFailure):
         raise
     except Exception as error:
-        _logger.warning(
-            "thread pool unavailable (%s: %s); running shards serially",
-            type(error).__name__, error,
+        # Pool construction failed outright (sandboxed interpreters
+        # without process support, pickling failures at submit time).
+        raise _PoolFailure(error) from error
+
+
+def _run_shard_tasks(tasks, n_workers: int, backend: str, store=None,
+                     max_retries: int = 2):
+    """Execute shard tasks on the selected backend, in shard order.
+
+    With a :class:`~repro.durability.shards.ShardCheckpointStore`,
+    already-completed shards are preloaded instead of recomputed and
+    each freshly computed shard is persisted by the coordinator as it
+    lands.  Failed shards are retried with exponential backoff; a pool
+    that cannot finish falls back process → thread → serial, because
+    the result is backend-independent by construction.
+    """
+    results = [None] * len(tasks)
+    pending = []
+    for index in range(len(tasks)):
+        if store is not None:
+            cached = store.load(index)
+            if cached is not None:
+                results[index] = cached
+                telemetry.counter_inc("parallel.checkpoint_hits")
+                continue
+        pending.append(index)
+    if not pending:
+        return results
+
+    def record(index, result):
+        results[index] = result
+        if store is not None:
+            store.store(index, result)
+        if index in pending:
+            pending.remove(index)
+
+    if not (backend == "serial" or n_workers <= 1 or len(pending) <= 1):
+        pool_backends = (
+            ("process", "thread") if backend in ("auto", "process")
+            else ("thread",)
         )
-        return [_condense_shard(task) for task in tasks]
+        for pool_backend in pool_backends:
+            executor_cls = (
+                ProcessPoolExecutor if pool_backend == "process"
+                else ThreadPoolExecutor
+            )
+            try:
+                _drain_pool(
+                    executor_cls, n_workers, tasks, list(pending),
+                    record, max_retries,
+                )
+            except _PoolFailure as failure:
+                _logger.warning(
+                    "%s pool could not finish %d shard(s) (%s: %s); "
+                    "falling back", pool_backend, len(pending),
+                    type(failure.cause).__name__, failure.cause,
+                )
+                continue
+            return results
+        # Degraded mode: every pool backend failed; the serial path
+        # computes the identical result, just without parallelism.
+        telemetry.counter_inc("parallel.serial_fallbacks")
+        _logger.warning(
+            "running %d shard(s) serially after pool failure",
+            len(pending),
+        )
+    for index in list(pending):
+        record(index, _condense_shard(tasks[index]))
+    return results
 
 
 def _resolve_workers(n_workers, n_shards: int) -> int:
@@ -176,6 +280,8 @@ def condense_sharded(
     n_workers=None,
     backend: str = "auto",
     repair: str = "merge",
+    checkpoint_dir=None,
+    max_retries: int = 2,
 ) -> CondensedModel:
     """Condense a database in locality-preserving shards.
 
@@ -220,6 +326,20 @@ def condense_sharded(
         re-splits merge products that reached ``2k`` records via
         :func:`repro.core.dynamic.split_group_statistics` (dropping
         membership metadata, which a statistics split cannot carry).
+    checkpoint_dir:
+        Directory for per-shard result checkpoints.  Each completed
+        shard's group statistics are persisted by the coordinator as
+        they land; re-running the identical configuration after a
+        crash reloads finished shards instead of recomputing them.
+        Requires an *integer* ``random_state`` — the fingerprint that
+        keys checkpoints to their run cannot capture a bare
+        generator's draw position.  Checkpoints hold statistics and
+        index lineage only, never record values.
+    max_retries:
+        Per-shard retry budget for transient worker failures, with
+        exponential backoff (``RETRY_BASE_DELAY * 2**(attempt - 1)``).
+        ``ValueError`` from a shard is treated as a deterministic
+        input error and never retried.
 
     Returns
     -------
@@ -260,6 +380,17 @@ def condense_sharded(
         raise ValueError(
             f"repair must be one of {REPAIR_POLICIES}, got {repair!r}"
         )
+    max_retries = int(max_retries)
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    if checkpoint_dir is not None and not isinstance(
+        random_state, (int, np.integer)
+    ):
+        raise ValueError(
+            "shard checkpointing requires an integer random_state "
+            "seed: the run fingerprint cannot capture a generator's "
+            "draw position across processes"
+        )
     strategy = resolve_strategy(strategy)
 
     with telemetry.span("parallel.condense_sharded") as parallel_span:
@@ -281,12 +412,27 @@ def condense_sharded(
                 buckets=DEFAULT_SIZE_BUCKETS,
             )
 
+        store = None
+        if checkpoint_dir is not None:
+            from repro.durability.shards import (
+                ShardCheckpointStore,
+                shard_fingerprint,
+            )
+
+            fingerprint = shard_fingerprint(
+                data, k, strategy.name, len(shards), int(random_state)
+            )
+            store = ShardCheckpointStore(checkpoint_dir, fingerprint)
+
         sequences = spawn_seed_sequences(random_state, len(shards))
         tasks = [
             (data[shard], k, strategy, sequence)
             for shard, sequence in zip(shards, sequences)
         ]
-        results = _run_shard_tasks(tasks, n_workers, backend)
+        results = _run_shard_tasks(
+            tasks, n_workers, backend, store=store,
+            max_retries=max_retries,
+        )
 
         with telemetry.span("parallel.merge") as merge_span:
             groups: list[GroupStatistics] = []
@@ -330,6 +476,8 @@ def condense_sharded(
             "repair": repair,
             "n_merge_repairs": n_repairs,
             "n_resplits": n_resplits,
+            "max_retries": max_retries,
+            "checkpointed": store is not None,
         }
         parallel_span.set_attribute("n_groups", model.n_groups)
         return model

@@ -40,10 +40,23 @@ class SlidingWindowCondenser:
         group in its ``[k, 2k)`` band.
     sampler, random_state:
         Generation settings, as in the condenser classes.
+    wal_dir:
+        Durability directory.  When set, every completed push is
+        journaled to a write-ahead log as its *post-operation group
+        aggregates* (one atomic entry per push, covering both the add
+        and any expiry) and the condenser can be rebuilt with
+        :meth:`recover`.  The window buffer itself is never persisted —
+        after recovery the caller must call :meth:`restore_window`
+        with the re-fed tail of the stream before pushing again.
+    checkpoint_every:
+        With ``wal_dir`` set, write a full snapshot every this many WAL
+        entries (0 disables automatic snapshots; :meth:`checkpoint`
+        still works).
     """
 
     def __init__(self, k: int, window: int, sampler="uniform",
-                 random_state=None):
+                 random_state=None, wal_dir=None,
+                 checkpoint_every: int = 0):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         if window < 2 * k:
@@ -53,12 +66,31 @@ class SlidingWindowCondenser:
         self.k = int(k)
         self.window = int(window)
         self.sampler = sampler
+        self.wal_dir = wal_dir
+        self.checkpoint_every = int(checkpoint_every)
         self._rng = check_random_state(random_state)
         self._buffer: deque = deque()
         self._maintainer: DynamicGroupMaintainer | None = None
+        self._position = 0
+        self._ops: list = []
+        self._window_restored = True
+        self._manager = None
+        if wal_dir is not None:
+            from repro.durability import DurabilityManager
+
+            self._manager = DurabilityManager(
+                wal_dir, checkpoint_every=self.checkpoint_every
+            )
+            self._manager.bind(self._durable_state)
 
     def push(self, record: np.ndarray) -> None:
         """Ingest one stream record, expiring the oldest when full."""
+        if not self._window_restored:
+            raise RuntimeError(
+                "recovered condenser: call restore_window() with the "
+                f"last {min(self._position, self.window)} stream "
+                "records before pushing"
+            )
         record = np.asarray(record, dtype=float)
         if record.ndim != 1:
             raise ValueError(
@@ -70,17 +102,27 @@ class SlidingWindowCondenser:
         self._buffer.append(record.copy())
         telemetry.counter_inc("stream.window.pushed")
         if self._maintainer is None:
+            self._position += 1
             if len(self._buffer) >= 2 * self.k:
                 initial = np.vstack(self._buffer)
                 self._maintainer = DynamicGroupMaintainer(
                     self.k, initial_data=initial, random_state=self._rng
                 )
+                if self._manager is not None:
+                    self._attach_journal()
+                    self._manager.append({
+                        "kind": "bootstrap", "pos": self._position,
+                        "state": self._maintainer.state_dict(),
+                        "window": self.window,
+                    })
             return
         self._maintainer.add(record)
         if len(self._buffer) > self.window:
             expired = self._buffer.popleft()
             self._maintainer.remove(expired)
             telemetry.counter_inc("stream.window.expired")
+        self._position += 1
+        self._flush_ops()
 
     def push_stream(self, records) -> None:
         """Ingest an iterable of records in arrival order."""
@@ -107,13 +149,176 @@ class SlidingWindowCondenser:
         return self._maintainer.to_model()
 
     def generate(self) -> np.ndarray:
-        """Anonymized records representing the current window."""
+        """Anonymized records representing the current window.
+
+        On a durable condenser, the post-generation RNG position is
+        journaled so recovered state reproduces later draws exactly.
+        """
         with telemetry.span("stream.window.generate") as generate_span:
             model = self.to_model()
             generate_span.set_attribute("n_groups", model.n_groups)
-            return generate_anonymized_data(
+            generated = generate_anonymized_data(
                 model, sampler=self.sampler, random_state=self._rng
             )
+        if self._manager is not None and self._maintainer is not None:
+            from repro.linalg.rng import rng_state
+
+            self._manager.append({
+                "kind": "rng", "pos": self._position,
+                "state": rng_state(self._rng),
+            })
+        return generated
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        """Number of completed pushes (including warm-up pushes).
+
+        After :meth:`recover`, this is the position the upstream feed
+        must resume from (the at-least-once recovery contract).
+        """
+        return self._position
+
+    def checkpoint(self):
+        """Snapshot the full durable state now.
+
+        Raises
+        ------
+        RuntimeError
+            If durability is disabled or the window is still warming up
+            (only aggregates are ever durable, and none exist yet).
+        """
+        if self._manager is None:
+            raise RuntimeError(
+                "durability is disabled; construct with wal_dir= to "
+                "enable checkpointing"
+            )
+        if self._maintainer is None:
+            raise RuntimeError(
+                "window is still warming up: no condensed statistics "
+                "exist to checkpoint (raw records are never durable)"
+            )
+        return self._manager.checkpoint()
+
+    def close(self) -> None:
+        """Flush and close the write-ahead log, if durable."""
+        if self._manager is not None:
+            self._manager.close()
+
+    @classmethod
+    def recover(cls, wal_dir, sampler="uniform",
+                checkpoint_every: int = 0) -> "SlidingWindowCondenser":
+        """Rebuild a durable windowed condenser from its directory.
+
+        The condensed statistics, counters, and RNG position come back
+        bit-identical to the state at the durable frontier, but the
+        window *buffer* does not — raw records are never persisted.
+        The returned condenser refuses :meth:`push` until
+        :meth:`restore_window` is called with the last
+        ``min(position, window)`` records of the re-fed stream.
+
+        Raises
+        ------
+        repro.durability.RecoveryError
+            If the directory holds nothing reconstructible, or was not
+            written by a sliding-window condenser.
+        """
+        from repro.durability import (
+            DurabilityManager,
+            RecoveryError,
+            rebuild_maintainer,
+            recovered_window,
+        )
+
+        manager = DurabilityManager(
+            wal_dir, checkpoint_every=int(checkpoint_every)
+        )
+        recovered = manager.recover()
+        window = recovered_window(recovered)
+        if window is None:
+            raise RecoveryError(
+                "directory was not written by a sliding-window "
+                "condenser: no window size recorded"
+            )
+        maintainer, position = rebuild_maintainer(recovered)
+        condenser = cls(
+            maintainer.k, window, sampler=sampler,
+            random_state=maintainer._rng,
+        )
+        condenser.wal_dir = wal_dir
+        condenser.checkpoint_every = int(checkpoint_every)
+        condenser._manager = manager
+        condenser._manager.bind(condenser._durable_state)
+        condenser._maintainer = maintainer
+        condenser._position = position
+        condenser._window_restored = False
+        condenser._attach_journal()
+        return condenser
+
+    def restore_window(self, records) -> "SlidingWindowCondenser":
+        """Refill the window buffer after :meth:`recover`.
+
+        Parameters
+        ----------
+        records:
+            2-D array of the last ``min(position, window)`` stream
+            records, oldest first — exactly the window contents at the
+            durable frontier.  The caller re-feeds these from its own
+            upstream source; the durability layer never stored them.
+        """
+        if self._window_restored:
+            raise RuntimeError(
+                "window is already populated; restore_window() only "
+                "applies immediately after recover()"
+            )
+        restored = np.asarray(records, dtype=float)
+        if restored.ndim != 2:
+            raise ValueError(
+                f"records must be 2-D, got shape {restored.shape}"
+            )
+        expected = min(self._position, self.window)
+        if restored.shape[0] != expected:
+            raise ValueError(
+                f"expected the last {expected} stream records, got "
+                f"{restored.shape[0]}"
+            )
+        for row in restored:
+            # Same trust-model note as push(): transient window only.
+            # repro-lint: disable-next=PRIV-001 -- transient window buffer
+            self._buffer.append(np.array(row, dtype=float))
+        self._window_restored = True
+        return self
+
+    def _attach_journal(self) -> None:
+        """Route maintainer sub-operations into the pending-op list."""
+        self._ops = []
+        self._maintainer.journal = self._ops.append
+
+    def _durable_state(self) -> dict:
+        """Checkpoint document: statistics, position, and window size."""
+        return {
+            "maintainer": self._maintainer.state_dict(),
+            "position": self._position,
+            "window": self.window,
+        }
+
+    def _flush_ops(self) -> None:
+        """Write one completed push's journal as a single WAL entry.
+
+        A push that both adds and expires is one atomic entry, so
+        recovery can never observe a half-applied push.  Memory is
+        mutated first, then logged: a crash in between loses only the
+        latest push, which the at-least-once re-feed replays.
+        """
+        if self._manager is None or not self._ops:
+            return
+        entry = {"kind": "op", "pos": self._position,
+                 "ops": list(self._ops)}
+        self._ops.clear()
+        self._manager.append(entry)
 
     def __repr__(self) -> str:
         return (

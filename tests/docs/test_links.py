@@ -1,0 +1,81 @@
+"""Dead-link check over the repository's markdown documentation.
+
+Every relative link in root-level ``*.md`` files and ``docs/*.md``
+must resolve to an existing file, and a ``file.md#anchor`` link must
+name a heading that exists in the target (GitHub slug rules: lowered,
+punctuation stripped, spaces to hyphens).  External links are not
+fetched — the build environment is offline by design.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+# Verbatim source-material archives (paper scrape, retrieved related
+# work, exemplar snippets) are not documentation we maintain; their
+# extraction artifacts (e.g. figure references from a PDF) are
+# expected to dangle.
+ARCHIVES = {"PAPER.md", "PAPERS.md", "SNIPPETS.md"}
+
+
+def markdown_files():
+    files = sorted(REPO_ROOT.glob("*.md"))
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [path for path in files if path.name not in ARCHIVES]
+
+
+def github_slug(heading):
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"\s+", "-", text).strip("-")
+
+
+def anchors_of(path):
+    return {github_slug(match) for match in
+            HEADING.findall(path.read_text(encoding="utf-8"))}
+
+
+def links_of(path):
+    for match in LINK.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(EXTERNAL):
+            continue
+        yield target
+
+
+def test_collection_is_not_empty():
+    assert any(list(links_of(path)) for path in markdown_files())
+
+
+@pytest.mark.parametrize(
+    "md_file", markdown_files(), ids=lambda path: str(path.name)
+)
+def test_relative_links_resolve(md_file):
+    problems = []
+    for target in links_of(md_file):
+        path_part, __, anchor = target.partition("#")
+        if path_part:
+            resolved = (md_file.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{target} -> missing file {resolved}")
+                continue
+        else:
+            resolved = md_file  # same-document anchor
+        if anchor and resolved.suffix == ".md":
+            if anchor not in anchors_of(resolved):
+                problems.append(
+                    f"{target} -> no heading slug '{anchor}' "
+                    f"in {resolved.name}"
+                )
+    assert not problems, (
+        f"{md_file.name} has dead links:\n  " + "\n  ".join(problems)
+    )

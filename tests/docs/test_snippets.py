@@ -1,0 +1,77 @@
+"""Execute every fenced ``python`` snippet in docs/ and README.md.
+
+Documentation here is a contract: if a page shows code, that code must
+run against the current API.  Blocks within one file share a namespace
+and execute top to bottom (tutorial-style pages build state across
+steps), inside a temporary working directory so snippets may freely
+write files.  A block can opt out with an HTML comment containing
+``doc-verify: skip`` on one of the three lines above its fence —
+reserved for deliberately broken fragments such as the analyzer
+documentation's violation examples.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SKIP_MARKER = "doc-verify: skip"
+
+
+def documentation_files():
+    files = sorted((REPO_ROOT / "docs").glob("*.md"))
+    files.append(REPO_ROOT / "README.md")
+    return files
+
+
+def extract_python_blocks(path):
+    """Yield ``(first_line_number, source, skipped)`` per fenced block."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    blocks = []
+    index = 0
+    while index < len(lines):
+        if lines[index].strip() == "```python":
+            skipped = any(
+                SKIP_MARKER in lines[lookback]
+                for lookback in range(max(0, index - 3), index)
+            )
+            start = index + 1
+            end = start
+            while end < len(lines) and lines[end].strip() != "```":
+                end += 1
+            if end == len(lines):
+                raise AssertionError(
+                    f"{path.name}:{index + 1}: unterminated ```python fence"
+                )
+            blocks.append((start + 1, "\n".join(lines[start:end]), skipped))
+            index = end + 1
+        else:
+            index += 1
+    return blocks
+
+
+def test_collection_is_not_empty():
+    files = documentation_files()
+    assert any(extract_python_blocks(path) for path in files), (
+        "no python snippets found anywhere — extraction is broken"
+    )
+
+
+@pytest.mark.parametrize(
+    "md_file",
+    documentation_files(),
+    ids=lambda path: path.name,
+)
+def test_snippets_execute(md_file, tmp_path, monkeypatch):
+    blocks = extract_python_blocks(md_file)
+    runnable = [block for block in blocks if not block[2]]
+    if not runnable:
+        pytest.skip(f"{md_file.name} has no runnable python snippets")
+    monkeypatch.chdir(tmp_path)
+    namespace = {"__name__": f"doc_snippet_{md_file.stem}"}
+    for line_number, source, __ in runnable:
+        code = compile(
+            source, f"{md_file.name}:line {line_number}", "exec"
+        )
+        exec(code, namespace)  # noqa: S102 - executing our own docs

@@ -77,3 +77,114 @@ class TestModelRoundTrip:
         path.write_text(json.dumps(payload))
         with pytest.raises(ValueError, match="format version"):
             load_model(path)
+
+
+class TestPathologicalStatistics:
+    """Round trips at the edges the JSON layer must handle explicitly.
+
+    NaN/inf sums and zero-count groups are never produced by a correct
+    condensation run, but they can arrive from corrupted inputs or
+    hand-edited files, and the store's behavior at those edges is part
+    of its contract: values survive byte-exactly without validation,
+    and validation rejects them at the trust boundary.
+    """
+
+    def _pathological_model(self, gaussian_data, mutate):
+        model = create_condensed_groups(gaussian_data, k=10,
+                                        random_state=0)
+        mutate(model.groups[0])
+        return model
+
+    def test_nan_sums_round_trip_unvalidated(self, tmp_path,
+                                             gaussian_data):
+        def poison(group):
+            group.first_order[0] = np.nan
+
+        model = self._pathological_model(gaussian_data, poison)
+        path = tmp_path / "model.json"
+        save_model(path, model)
+        loaded = load_model(path, validate=False)
+        assert np.isnan(loaded.groups[0].first_order[0])
+        np.testing.assert_array_equal(
+            loaded.groups[0].first_order[1:],
+            model.groups[0].first_order[1:],
+        )
+
+    def test_inf_sums_round_trip_unvalidated(self, tmp_path,
+                                             gaussian_data):
+        def poison(group):
+            group.second_order[0, 0] = np.inf
+            group.first_order[1] = -np.inf
+
+        model = self._pathological_model(gaussian_data, poison)
+        path = tmp_path / "model.json"
+        save_model(path, model)
+        loaded = load_model(path, validate=False)
+        assert loaded.groups[0].second_order[0, 0] == np.inf
+        assert loaded.groups[0].first_order[1] == -np.inf
+
+    def test_nan_sums_rejected_by_validation(self, tmp_path,
+                                             gaussian_data):
+        def poison(group):
+            group.first_order[0] = np.nan
+
+        model = self._pathological_model(gaussian_data, poison)
+        path = tmp_path / "model.json"
+        save_model(path, model)
+        with pytest.raises(ValueError, match="non-finite first-order"):
+            load_model(path)
+
+    def test_inf_sums_rejected_by_validation(self, tmp_path,
+                                             gaussian_data):
+        def poison(group):
+            group.second_order[2, 2] = np.inf
+
+        model = self._pathological_model(gaussian_data, poison)
+        path = tmp_path / "model.json"
+        save_model(path, model)
+        with pytest.raises(ValueError, match="non-finite second-order"):
+            load_model(path)
+
+    def test_zero_count_group_round_trips_unvalidated(self, tmp_path,
+                                                      gaussian_data):
+        def empty_out(group):
+            group.count = 0
+            group.first_order[:] = 0.0
+            group.second_order[:] = 0.0
+
+        model = self._pathological_model(gaussian_data, empty_out)
+        path = tmp_path / "model.json"
+        save_model(path, model)
+        loaded = load_model(path, validate=False)
+        assert loaded.groups[0].count == 0
+        np.testing.assert_array_equal(loaded.groups[0].first_order,
+                                      np.zeros_like(
+                                          model.groups[0].first_order))
+
+    def test_zero_count_group_rejected_by_validation(self, tmp_path,
+                                                     gaussian_data):
+        def empty_out(group):
+            group.count = 0
+
+        model = self._pathological_model(gaussian_data, empty_out)
+        path = tmp_path / "model.json"
+        save_model(path, model)
+        with pytest.raises(ValueError, match="non-positive count"):
+            load_model(path)
+
+    def test_extreme_magnitudes_survive_exactly(self, tmp_path,
+                                                gaussian_data):
+        """The JSON float round trip is shortest-repr exact."""
+        def stretch(group):
+            group.first_order[0] = 1.7976931348623157e308
+            group.first_order[1] = 5e-324
+            group.second_order[0, 0] = 2.2250738585072014e-308
+
+        model = self._pathological_model(gaussian_data, stretch)
+        path = tmp_path / "model.json"
+        save_model(path, model)
+        loaded = load_model(path, validate=False)
+        np.testing.assert_array_equal(loaded.groups[0].first_order,
+                                      model.groups[0].first_order)
+        np.testing.assert_array_equal(loaded.groups[0].second_order,
+                                      model.groups[0].second_order)
