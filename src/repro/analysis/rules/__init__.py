@@ -1,14 +1,18 @@
 """Rule modules; importing this package populates the registry."""
 
 from repro.analysis.rules import (
+    concurrency,
     determinism,
     docstrings,
     flow,
+    fs,
     pitfalls,
     privacy,
+    resources,
     rng,
 )
 
 __all__ = [
-    "determinism", "docstrings", "flow", "pitfalls", "privacy", "rng",
+    "concurrency", "determinism", "docstrings", "flow", "fs",
+    "pitfalls", "privacy", "resources", "rng",
 ]

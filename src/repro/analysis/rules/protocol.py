@@ -1,0 +1,414 @@
+"""Shared machinery for the protocol rule families (FS/CONC/RES).
+
+The durability-protocol, concurrency-safety and resource-lifetime rules
+all reason about the same handful of syntactic shapes — ``open()``-style
+acquisitions, ``os.replace`` renames, executor submissions — over the
+same whole-program scopes.  This module centralizes:
+
+* **scope enumeration** — :func:`durability_reachable` walks the call
+  graph outward from every function defined in ``repro.durability``
+  (the same BFS the DET rules run from worker roots), and
+  :func:`submission_sites` finds every ``pool.submit/map/apply_async``
+  hand-off in the parallel package;
+* **acquisition parsing** — classifying a call as an ``open()`` (with
+  its mode string) or as the construction of an owning durability
+  object (``WriteAheadLog``, ``DurabilityManager``);
+* **temp-path provenance** — deciding whether a written path is a
+  scratch location (``*.tmp`` suffix, ``tempfile`` call, temp-ish
+  variable name) destined for an atomic ``os.replace``.
+
+Everything here is deliberately approximate in the same *safe*
+directions as the rest of the project pass (see
+``docs/static_analysis.md``): resolution failures mean "not in scope",
+never a spurious finding.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutils import dotted_name
+
+#: ``open()`` mode first-characters that (re)write the target file.
+WRITE_MODE_CHARS = ("w", "x")
+
+#: ``open()`` mode first-characters of the append protocol (WAL-style
+#: logs legitimately append to their final path; durability there is
+#: the runtime ``fsync_every`` cadence, not the rename dance).
+APPEND_MODE_CHARS = ("a",)
+
+#: Case-insensitive substrings marking a name/path as a scratch file.
+TEMP_MARKERS = ("tmp", "temp")
+
+#: Module-level ``open``-alikes whose *first* argument is the path.
+_MODULE_OPENERS = frozenset({
+    "io.open", "gzip.open", "bz2.open", "lzma.open", "tarfile.open",
+})
+
+#: Executor methods that hand a callable (and its payload) to workers.
+SUBMISSION_METHODS = frozenset({"submit", "map", "apply_async"})
+
+#: Durability classes that own an OS resource until ``close()``.
+OWNING_CLASSES = frozenset({"WriteAheadLog", "DurabilityManager"})
+
+
+def resolve(project, info, expression):
+    """Resolve an AST expression to a qualified name via the index.
+
+    Parameters
+    ----------
+    project:
+        The :class:`repro.analysis.project.ProjectIndex`.
+    info:
+        :class:`ModuleInfo` the expression appears in.
+    expression:
+        Call target / attribute / name node.
+
+    Returns
+    -------
+    str or None
+        The resolved dotted name, or ``None`` when it does not resolve
+        through the module's imports.
+    """
+    dotted = dotted_name(expression)
+    if dotted is None:
+        return None
+    return project.resolve(info, dotted)
+
+
+def is_runtime_module(info) -> bool:
+    """Whether a module is shipped ``repro`` runtime code.
+
+    Test modules, benchmarks and examples opt out of the protocol
+    rules: they deliberately vandalize protocols to prove the runtime
+    survives.
+
+    Parameters
+    ----------
+    info:
+        :class:`ModuleInfo` to classify.
+
+    Returns
+    -------
+    bool
+    """
+    if info.context.is_test_module:
+        return False
+    return info.name == "repro" or info.name.startswith("repro.")
+
+
+def durability_reachable(project):
+    """Enumerate the durability package and its call-graph closure.
+
+    Every function defined under ``repro.durability`` is a root; the
+    walk then follows the approximate call graph outward, so a helper
+    the snapshot writer delegates to is held to the same protocol.
+    Telemetry modules are exempt (observability writes no durable
+    state), as are non-runtime modules.
+
+    Parameters
+    ----------
+    project:
+        The project index.
+
+    Yields
+    ------
+    tuple
+        ``(function, module_info, call_path)`` per in-scope function;
+        ``call_path`` is the shortest durability-root→function
+        qualname list (a bare ``[qualname]`` for the roots themselves).
+    """
+    roots = sorted(
+        qualname for qualname, function in project.functions.items()
+        if function.module.startswith("repro.durability")
+    )
+    if not roots:
+        return
+    for qualname, path in sorted(project.reachable_from(roots).items()):
+        function = project.functions.get(qualname)
+        if function is None:
+            continue
+        info = project.modules[function.module]
+        if not is_runtime_module(info):
+            continue
+        if info.name.startswith("repro.telemetry"):
+            continue
+        yield function, info, path
+
+
+def durability_trace(path) -> tuple:
+    """Render a durability call path as finding trace hops.
+
+    Parameters
+    ----------
+    path:
+        Qualname list, durability root first.
+
+    Returns
+    -------
+    tuple of str
+    """
+    hops = [f"durability {path[0]}()"]
+    hops += [f"→ {qualname}()" for qualname in path[1:]]
+    return tuple(hops)
+
+
+def submission_sites(project):
+    """Enumerate executor hand-offs in the parallel package.
+
+    Matches the same call shape as
+    :meth:`ProjectIndex.worker_roots` — ``pool.submit(f, ...)``,
+    ``pool.map(f, ...)``, ``apply_async(f, ...)`` — but yields the
+    *call sites* with their enclosing functions, which the CONC rules
+    need to inspect the submitted payload.
+
+    Parameters
+    ----------
+    project:
+        The project index.
+
+    Yields
+    ------
+    tuple
+        ``(module_info, enclosing_function, call_node)`` per site.
+    """
+    for name in sorted(project.modules):
+        info = project.modules[name]
+        if ".parallel" not in f".{info.name}":
+            continue
+        if not is_runtime_module(info):
+            continue
+        for local in sorted(info.functions):
+            function = info.functions[local]
+            for node in ast.walk(function.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and node.args
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in SUBMISSION_METHODS
+                ):
+                    yield info, function, node
+
+
+def open_mode(node) -> str | None:
+    """The mode string of an ``open()``-style call.
+
+    Parameters
+    ----------
+    node:
+        The open-like :class:`ast.Call` (see :func:`open_call_shape`).
+
+    Returns
+    -------
+    str or None
+        The literal mode, ``"r"`` when omitted, or ``None`` when the
+        mode is a dynamic expression (unknowable statically).
+    """
+    shape = open_call_shape(node)
+    position = 0 if shape == "method" else 1
+    candidates = node.args[position:position + 1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            candidates = [keyword.value]
+    if not candidates:
+        return "r"
+    value = candidates[0]
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return value.value
+    return None
+
+
+def open_call_shape(node) -> str | None:
+    """Classify a call as an ``open()`` acquisition.
+
+    Parameters
+    ----------
+    node:
+        Any :class:`ast.Call`.
+
+    Returns
+    -------
+    str or None
+        ``"builtin"`` for ``open(path, mode)`` and the module-level
+        openers (path first), ``"method"`` for ``obj.open(mode)``
+        (``pathlib.Path.open`` — the receiver is the path), or ``None``
+        for calls that open nothing.
+    """
+    if isinstance(node.func, ast.Name):
+        return "builtin" if node.func.id == "open" else None
+    if isinstance(node.func, ast.Attribute) and node.func.attr == "open":
+        dotted = dotted_name(node.func)
+        if dotted in _MODULE_OPENERS:
+            return "builtin"
+        return "method"
+    return None
+
+
+def open_path_expression(node):
+    """The path expression an open-like call writes to.
+
+    Parameters
+    ----------
+    node:
+        The open-like call.
+
+    Returns
+    -------
+    ast.AST or None
+        First argument for builtin-shaped opens, the receiver for
+        ``Path.open``-shaped ones.
+    """
+    shape = open_call_shape(node)
+    if shape == "builtin":
+        return node.args[0] if node.args else None
+    if shape == "method":
+        return node.func.value
+    return None
+
+
+def owning_class_name(project, info, node) -> str | None:
+    """Name of the resource-owning durability class a call constructs.
+
+    Parameters
+    ----------
+    project:
+        The project index.
+    info:
+        Module the call appears in.
+    node:
+        The :class:`ast.Call`.
+
+    Returns
+    -------
+    str or None
+        ``"WriteAheadLog"`` / ``"DurabilityManager"`` when the call
+        resolves to one of those constructors, else ``None``.
+    """
+    resolved = resolve(project, info, node.func)
+    if resolved is None or not resolved.startswith("repro."):
+        return None
+    leaf = resolved.rsplit(".", 1)[-1]
+    return leaf if leaf in OWNING_CLASSES else None
+
+
+def single_name_assignments(function_node) -> dict:
+    """Map locally assigned names to their right-hand expressions.
+
+    Only plain single-``Name`` targets are recorded — exactly the
+    shape temp-path and acquisition provenance needs.  Later
+    assignments overwrite earlier ones (last-write-wins is the right
+    approximation for straight-line protocol code).
+
+    Parameters
+    ----------
+    function_node:
+        The ``def`` node to scan.
+
+    Returns
+    -------
+    dict of str to ast.AST
+    """
+    table = {}
+    for node in ast.walk(function_node):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            table[node.targets[0].id] = node.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.value is not None
+        ):
+            table[node.target.id] = node.value
+    return table
+
+
+def _tempish(text: str) -> bool:
+    """Whether a name or path fragment reads as a scratch location."""
+    lowered = text.lower()
+    return any(marker in lowered for marker in TEMP_MARKERS)
+
+
+def is_temp_path(expression, assignments, depth: int = 0) -> bool:
+    """Whether a path expression denotes a scratch/temp location.
+
+    Recognizes temp-ish variable names (``temporary``, ``tmp_path``),
+    string literals and f-strings containing a temp marker,
+    ``with_suffix``/``with_name`` calls whose argument carries one,
+    ``tempfile`` module calls, and (one level of) assignment
+    provenance through :func:`single_name_assignments`.
+
+    Parameters
+    ----------
+    expression:
+        The path expression handed to an open-like call.
+    assignments:
+        Local assignment table of the enclosing function.
+    depth:
+        Recursion guard for provenance chains.
+
+    Returns
+    -------
+    bool
+    """
+    if expression is None or depth > 4:
+        return False
+    if isinstance(expression, ast.Name):
+        if _tempish(expression.id):
+            return True
+        return is_temp_path(
+            assignments.get(expression.id), assignments, depth + 1
+        )
+    if isinstance(expression, ast.Constant):
+        return isinstance(expression.value, str) and _tempish(
+            expression.value
+        )
+    if isinstance(expression, ast.JoinedStr):
+        return any(
+            isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+            and _tempish(value.value)
+            for value in expression.values
+        )
+    if isinstance(expression, ast.Call):
+        dotted = dotted_name(expression.func)
+        if dotted is not None and dotted.startswith("tempfile."):
+            return True
+        if isinstance(expression.func, ast.Attribute):
+            if expression.func.attr in ("with_suffix", "with_name"):
+                return any(
+                    isinstance(argument, ast.Constant)
+                    and isinstance(argument.value, str)
+                    and _tempish(argument.value)
+                    for argument in expression.args
+                )
+        return False
+    if isinstance(expression, ast.BinOp):
+        # ``directory / "state.tmp"`` builds a path by division.
+        return is_temp_path(
+            expression.left, assignments, depth + 1
+        ) or is_temp_path(expression.right, assignments, depth + 1)
+    return False
+
+
+def describe_expression(expression) -> str:
+    """Short display form of an expression for finding messages.
+
+    Parameters
+    ----------
+    expression:
+        Any AST expression.
+
+    Returns
+    -------
+    str
+        Its dotted name, string value, or a generic placeholder.
+    """
+    dotted = dotted_name(expression)
+    if dotted is not None:
+        return dotted
+    if isinstance(expression, ast.Constant):
+        return repr(expression.value)
+    return "<expression>"

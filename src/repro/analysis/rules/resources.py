@@ -1,0 +1,435 @@
+"""RES-001 — must-close analysis over file and durability handles.
+
+A leaked file handle is a correctness bug in this codebase, not a
+style nit: an unclosed WAL segment holds unflushed frames that a crash
+then loses *silently* — the durable frontier ends earlier than the
+caller believes — and an unclosed ``DurabilityManager`` skips the
+final ``fsync`` its ``close()`` guarantees.  On Windows an open handle
+additionally blocks the ``os.replace`` publish of the very file it
+reads.
+
+**RES-001** finds every acquisition — builtin/``Path.open()`` calls,
+``WriteAheadLog(...)``, ``DurabilityManager(...)`` — in runtime
+``repro`` modules and requires one of the ownership disciplines the
+codebase already uses:
+
+* the acquisition is the context expression of a ``with`` block
+  (released on every path by construction);
+* it is assigned to a local that is later closed in a ``try/finally``
+  handler, used as a ``with`` context, returned to the caller, or
+  stored into an object attribute (ownership transfer — e.g. the
+  ``recover()`` classmethods handing their manager to the condenser);
+* it is stored directly on ``self`` in a class that defines
+  ``close()``/``__exit__`` (the ``WriteAheadLog._active_handle``
+  pattern), so the object's own lifecycle releases it.
+
+Anything else — an acquisition whose result is dropped, parsed inline
+(``json.load(open(p))``), or bound to a local that no path provably
+releases — is flagged with a PRIV-003-style provenance trace from the
+acquisition to the missing release.
+
+The analysis is per-function and syntactic ("dominated" means a
+release *shape* exists, not full path sensitivity), which matches how
+the tree actually manages handles; passing a handle onward as a call
+argument is not recognized as a release, so factor such code into a
+``with`` or transfer ownership explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutils import parent_map
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, register
+from repro.analysis.rules.protocol import (
+    describe_expression,
+    is_runtime_module,
+    open_call_shape,
+    open_mode,
+    open_path_expression,
+    owning_class_name,
+    resolve,
+)
+
+#: Methods whose definition makes a class a credible handle owner.
+_LIFECYCLE_METHODS = ("close", "__exit__", "__del__")
+
+_RES001_DROPPED_MESSAGE = (
+    "{described} acquires {kind} whose handle is immediately dropped; "
+    "wrap the acquisition in a with-block"
+)
+_RES001_INLINE_MESSAGE = (
+    "{described} acquires {kind} inside a larger expression, so "
+    "nothing can ever close it; bind it in a with-block instead"
+)
+_RES001_LOCAL_MESSAGE = (
+    "{described} binds {kind} to {name!r} but no with-block, "
+    "try/finally close, return, or ownership transfer releases it in "
+    "{function}(); a crash here silently loses buffered durable state"
+)
+_RES001_SELF_MESSAGE = (
+    "{described} stores {kind} on {class_name}, which defines none of "
+    "close()/__exit__/__del__; the handle outlives every scope that "
+    "could release it"
+)
+
+
+def _acquisition_kind(project, info, node) -> str | None:
+    """Classify a call as a must-close acquisition.
+
+    Parameters
+    ----------
+    project:
+        The project index.
+    info:
+        Module the call appears in.
+    node:
+        Any :class:`ast.Call`.
+
+    Returns
+    -------
+    str or None
+        Human description of the acquired resource, or ``None``.
+    """
+    shape = open_call_shape(node)
+    if shape is not None:
+        mode = open_mode(node)
+        flavor = "a file handle"
+        if mode is not None and mode[:1] in ("w", "a", "x", "+"):
+            flavor = "a writable file handle"
+        target = describe_expression(open_path_expression(node))
+        return f"{flavor} on {target}"
+    owner = owning_class_name(project, info, node)
+    if owner is not None:
+        return f"a {owner} (owns an open WAL segment until close())"
+    return None
+
+
+def _with_context_nodes(function_node) -> set:
+    """Every node nested inside a ``with``-item context expression.
+
+    Parameters
+    ----------
+    function_node:
+        The ``def`` node to scan.
+
+    Returns
+    -------
+    set of int
+        ``id()`` of each covered node — an acquisition there is
+        released by the ``with`` protocol (directly or through a
+        wrapper such as ``contextlib.closing``).
+    """
+    covered = set()
+    for node in ast.walk(function_node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                for nested in ast.walk(item.context_expr):
+                    covered.add(id(nested))
+    return covered
+
+
+def _released_locals(function_node) -> set:
+    """Local names the function provably releases or hands off.
+
+    Parameters
+    ----------
+    function_node:
+        The ``def`` node to scan.
+
+    Returns
+    -------
+    set of str
+        Names that are closed in a ``try/finally``, used as a ``with``
+        context, returned, or stored into an object attribute.
+    """
+    released = set()
+    for node in ast.walk(function_node):
+        if isinstance(node, ast.Try):
+            for statement in node.finalbody:
+                for call in ast.walk(statement):
+                    if (
+                        isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr == "close"
+                        and isinstance(call.func.value, ast.Name)
+                    ):
+                        released.add(call.func.value.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                for nested in ast.walk(item.context_expr):
+                    if isinstance(nested, ast.Name):
+                        released.add(nested.id)
+        elif isinstance(node, ast.Return) and isinstance(
+            node.value, ast.Name
+        ):
+            released.add(node.value.id)
+        elif isinstance(node, ast.Assign):
+            # ``condenser._manager = manager`` — ownership transfer to
+            # an object whose lifecycle now covers the handle.
+            if isinstance(node.value, ast.Name) and any(
+                isinstance(target, ast.Attribute)
+                for target in node.targets
+            ):
+                released.add(node.value.id)
+    return released
+
+
+def _class_owns_lifecycle(info, class_name) -> bool:
+    """Whether a class defines a handle-releasing lifecycle method.
+
+    Parameters
+    ----------
+    info:
+        :class:`ModuleInfo` defining the class.
+    class_name:
+        Name of the class to check.
+
+    Returns
+    -------
+    bool
+    """
+    return any(
+        f"{class_name}.{method}" in info.functions
+        for method in _LIFECYCLE_METHODS
+    )
+
+
+@register
+class MustCloseRule(ProjectRule):
+    """Every handle acquisition is dominated by a release discipline."""
+
+    rule_id = "RES-001"
+    summary = (
+        "file/WAL/manager acquisitions must be released via with, "
+        "try/finally close, or ownership transfer to a closeable object"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Scan runtime functions for unreleased acquisitions.
+
+        Parameters
+        ----------
+        project:
+            The project index.
+
+        Yields
+        ------
+        Finding
+        """
+        for name in sorted(project.modules):
+            info = project.modules[name]
+            if not is_runtime_module(info):
+                continue
+            for local in sorted(info.functions):
+                yield from self._check_function(
+                    project, info, info.functions[local]
+                )
+
+    def _check_function(self, project, info, function) -> Iterator[Finding]:
+        """Emit findings for one function's acquisitions.
+
+        Parameters
+        ----------
+        project:
+            The project index.
+        info:
+            The enclosing :class:`ModuleInfo`.
+        function:
+            The :class:`FunctionInfo` to scan.
+
+        Yields
+        ------
+        Finding
+        """
+        covered = _with_context_nodes(function.node)
+        released = _released_locals(function.node)
+        parents = parent_map(function.node)
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.Call) or id(node) in covered:
+                continue
+            kind = _acquisition_kind(project, info, node)
+            if kind is None:
+                continue
+            described = f"{describe_expression(node.func)}()"
+            yield from self._classify(
+                info, function, node, parents, released,
+                described, kind,
+            )
+
+    def _classify(
+        self, info, function, node, parents, released, described, kind
+    ) -> Iterator[Finding]:
+        """Judge one uncovered acquisition against the disciplines.
+
+        Parameters
+        ----------
+        info:
+            The enclosing :class:`ModuleInfo`.
+        function:
+            The enclosing :class:`FunctionInfo`.
+        node:
+            The acquisition call.
+        parents:
+            Child → parent map of the function body.
+        released:
+            Names from :func:`_released_locals`.
+        described:
+            Display form of the acquisition call.
+        kind:
+            Resource description from :func:`_acquisition_kind`.
+
+        Yields
+        ------
+        Finding
+        """
+        statement, direct = self._enclosing_statement(node, parents)
+        if isinstance(statement, ast.Return) and direct:
+            return  # ownership passes to the caller
+        if isinstance(statement, (ast.Assign, ast.AnnAssign)) and direct:
+            targets = (
+                statement.targets if isinstance(statement, ast.Assign)
+                else [statement.target]
+            )
+            if len(targets) == 1 and isinstance(targets[0], ast.Name):
+                name = targets[0].id
+                if name in released:
+                    return
+                yield self._finding(
+                    info, node,
+                    _RES001_LOCAL_MESSAGE.format(
+                        described=described, kind=kind, name=name,
+                        function=function.qualname,
+                    ),
+                    described, kind, f"bound to local {name!r}",
+                )
+                return
+            if len(targets) == 1 and isinstance(targets[0], ast.Attribute):
+                yield from self._check_attribute_store(
+                    info, function, node, targets[0], described, kind
+                )
+                return
+        if isinstance(statement, ast.Expr) and direct:
+            yield self._finding(
+                info, node,
+                _RES001_DROPPED_MESSAGE.format(
+                    described=described, kind=kind
+                ),
+                described, kind, "result discarded",
+            )
+            return
+        yield self._finding(
+            info, node,
+            _RES001_INLINE_MESSAGE.format(described=described, kind=kind),
+            described, kind, "consumed inline, never bound",
+        )
+
+    def _check_attribute_store(
+        self, info, function, node, target, described, kind
+    ) -> Iterator[Finding]:
+        """Judge an acquisition stored straight into an attribute.
+
+        A ``self.x = open(...)`` store is the lazy-handle pattern and
+        is safe exactly when the class runs a lifecycle method; a
+        store into any *other* object is an ownership transfer the
+        per-function analysis accepts.
+
+        Parameters
+        ----------
+        info:
+            The enclosing :class:`ModuleInfo`.
+        function:
+            The enclosing :class:`FunctionInfo`.
+        node:
+            The acquisition call.
+        target:
+            The attribute target node.
+        described, kind:
+            Display strings for the finding.
+
+        Yields
+        ------
+        Finding
+        """
+        receiver = target.value
+        if not (
+            isinstance(receiver, ast.Name)
+            and receiver.id in ("self", "cls")
+        ):
+            return
+        class_name = function.class_name
+        if class_name and _class_owns_lifecycle(info, class_name):
+            return
+        yield self._finding(
+            info, node,
+            _RES001_SELF_MESSAGE.format(
+                described=described, kind=kind,
+                class_name=class_name or "<module scope>",
+            ),
+            described, kind,
+            f"stored on {class_name or 'self'} without a lifecycle",
+        )
+
+    @staticmethod
+    def _enclosing_statement(node, parents):
+        """The statement owning ``node`` and whether it owns it directly.
+
+        Parameters
+        ----------
+        node:
+            The acquisition call.
+        parents:
+            Child → parent map.
+
+        Returns
+        -------
+        (ast.stmt or None, bool)
+            The nearest enclosing statement, and ``True`` when the
+            call is that statement's immediate value (not nested in a
+            larger expression).
+        """
+        current = node
+        hops = 0
+        while True:
+            parent = parents.get(current)
+            if parent is None or isinstance(parent, ast.stmt):
+                return parent, hops == 0
+            current = parent
+            hops += 1
+
+    def _finding(self, info, node, message, described, kind, fate) -> Finding:
+        """Build a finding with an acquisition→leak provenance trace.
+
+        Parameters
+        ----------
+        info:
+            :class:`ModuleInfo` of the offending module.
+        node:
+            The acquisition call.
+        message:
+            Violation message.
+        described:
+            Display form of the acquisition.
+        kind:
+            Resource description.
+        fate:
+            What happened to the handle instead of a release.
+
+        Returns
+        -------
+        Finding
+        """
+        return Finding(
+            path=info.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+            trace=(
+                f"acquire: {described} → {kind}",
+                f"→ {fate}",
+                "→ no release on any path",
+            ),
+        )

@@ -8,6 +8,8 @@ model::
     repro anonymize data.csv release.csv --k 20     # both steps at once
     repro report    data.csv release.csv            # utility check
     repro recover   waldir/ model.json              # crash recovery
+    repro recover   waldir/ --dry-run               # preview, read-only
+    repro wal-inspect waldir/                       # frame-by-frame dump
     repro lint      src/ tests/                     # static analysis
     repro telemetry trace.jsonl                     # summarize a trace
 
@@ -24,7 +26,11 @@ through a write-ahead-logged dynamic condenser that snapshots every
 ``--checkpoint-every`` operations; with ``--shards`` each completed
 shard is checkpointed so an identical re-run resumes instead of
 recomputing.  ``repro recover`` rebuilds the condensed model from a
-durability directory after a crash.
+durability directory after a crash; ``repro recover --dry-run``
+previews the same rebuild without writing anything (not even the WAL
+tail repair), and ``repro wal-inspect`` dumps the log frame by frame
+with CRC status.  ``condense --fsync-every N`` batches WAL fsyncs
+(group commit) for ingest throughput.
 
 Every subcommand also accepts ``--metrics-out`` / ``--trace-out`` to
 capture the run's telemetry (Prometheus text and JSON-lines span
@@ -139,6 +145,13 @@ def _add_durability_arguments(parser):
                         metavar="N",
                         help="snapshot cadence for the durable ingest "
                              "path, in WAL entries (default: 256)")
+    parser.add_argument("--fsync-every", type=int, default=1,
+                        metavar="N",
+                        help="group-commit batch: fsync the WAL every "
+                             "N appends (default: 1 = every append; "
+                             "larger values trade the newest N-1 "
+                             "operations after a crash for ingest "
+                             "throughput)")
 
 
 def _condense_durable(arguments, data) -> int:
@@ -148,6 +161,7 @@ def _condense_durable(arguments, data) -> int:
         random_state=arguments.seed,
         wal_dir=arguments.checkpoint_dir,
         checkpoint_every=arguments.checkpoint_every,
+        fsync_every=arguments.fsync_every,
     )
     condenser.fit()
     condenser.partial_fit(data)
@@ -186,6 +200,31 @@ def _command_condense(arguments) -> int:
     return 0
 
 
+def _recover_dry_run(directory):
+    """Read-only equivalent of ``DurabilityManager.recover()``.
+
+    Builds the same :class:`~repro.durability.RecoveredState` from the
+    newest valid snapshot plus the WAL tail, but never opens the WAL
+    for append — so a torn tail is *observed*, not repaired, and the
+    directory stays byte-identical.
+    """
+    from repro.durability import (
+        RecoveredState,
+        latest_snapshot,
+        replay_directory,
+    )
+
+    info = latest_snapshot(directory)
+    base_seq = info.seq if info is not None else 0
+    entries = list(replay_directory(directory, after_seq=base_seq))
+    last_seq = entries[-1][0] if entries else base_seq
+    return RecoveredState(
+        snapshot_state=info.state if info is not None else None,
+        entries=entries,
+        last_seq=last_seq,
+    )
+
+
 def _command_recover(arguments) -> int:
     from repro.durability import (
         DurabilityManager,
@@ -194,20 +233,29 @@ def _command_recover(arguments) -> int:
         recovered_window,
     )
 
-    manager = DurabilityManager(arguments.directory)
+    if arguments.output is None and not arguments.dry_run:
+        print("error: an output model path is required unless "
+              "--dry-run is given", file=sys.stderr)
+        return 2
     try:
-        recovered = manager.recover()
-        maintainer, position = rebuild_maintainer(recovered)
+        if arguments.dry_run:
+            recovered = _recover_dry_run(arguments.directory)
+            maintainer, position = rebuild_maintainer(recovered)
+        else:
+            manager = DurabilityManager(arguments.directory)
+            try:
+                recovered = manager.recover()
+                maintainer, position = rebuild_maintainer(recovered)
+            finally:
+                manager.close()
     except RecoveryError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    finally:
-        manager.close()
     model = maintainer.to_model()
-    save_model(arguments.output, model)
     source = ("snapshot + WAL tail"
               if recovered.snapshot_state is not None else "WAL only")
-    print(f"recovered {model.n_groups} groups from {source} "
+    mode = "dry run: would recover" if arguments.dry_run else "recovered"
+    print(f"{mode} {model.n_groups} groups from {source} "
           f"(last WAL seq {recovered.last_seq}, "
           f"{len(recovered.entries)} tail entries)")
     print(f"resume the upstream feed from position {position}")
@@ -216,7 +264,48 @@ def _command_recover(arguments) -> int:
         print(f"sliding-window state: window={window}; re-feed the "
               f"last {min(position, window)} records via "
               "restore_window() before pushing")
+    if arguments.dry_run:
+        print("dry run: no model written, directory left untouched")
+        return 0
+    save_model(arguments.output, model)
     print(f"wrote model to {arguments.output}")
+    return 0
+
+
+def _command_wal_inspect(arguments) -> int:
+    import json
+
+    from repro.durability import inspect_frames, list_segments
+
+    if not list_segments(arguments.directory):
+        print(f"error: no WAL segments in {arguments.directory}",
+              file=sys.stderr)
+        return 1
+    frames = list(inspect_frames(arguments.directory))
+    if arguments.json:
+        print(json.dumps(frames, indent=2))
+        return 0
+    rows = [
+        [
+            "-" if frame["seq"] is None else str(frame["seq"]),
+            frame["status"],
+            frame["kind"] or "-",
+            frame["segment"],
+            str(frame["offset"]),
+            str(frame["length"]),
+        ]
+        for frame in frames
+    ]
+    print(format_table(
+        ["seq", "status", "kind", "segment", "offset", "bytes"],
+        rows,
+        title=f"WAL frames in {arguments.directory}",
+    ))
+    unreplayable = sum(
+        1 for frame in frames if frame["status"] != "ok"
+    )
+    print(f"{len(frames)} frames, {unreplayable} beyond the durable "
+          "frontier")
     return 0
 
 
@@ -426,8 +515,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="durability directory written by a "
                               "wal_dir= condenser or "
                               "'condense --checkpoint-dir'")
-    recover.add_argument("output", help="output model JSON")
+    recover.add_argument("output", nargs="?", default=None,
+                         help="output model JSON (optional with "
+                              "--dry-run)")
+    recover.add_argument("--dry-run", action="store_true",
+                         help="report what recovery would rebuild "
+                              "without writing a model or repairing "
+                              "the WAL tail (fully read-only)")
     recover.set_defaults(handler=_command_recover)
+
+    wal_inspect = subparsers.add_parser(
+        "wal-inspect", help="dump a write-ahead log frame by frame "
+                            "(seq, CRC status, entry kind, offsets)",
+        parents=[common],
+    )
+    wal_inspect.add_argument(
+        "directory", help="WAL directory (same layout as 'recover')"
+    )
+    wal_inspect.add_argument(
+        "--json", action="store_true",
+        help="emit the frame descriptors as a JSON array"
+    )
+    wal_inspect.set_defaults(handler=_command_wal_inspect)
 
     coarsen = subparsers.add_parser(
         "coarsen", help="raise a model's privacy level (merge groups)",

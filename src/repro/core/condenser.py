@@ -139,6 +139,13 @@ class DynamicCondenser:
     checkpoint_every:
         Automatic checkpoint cadence in WAL entries; ``0`` (default)
         checkpoints only on explicit :meth:`checkpoint` calls.
+    fsync_every:
+        Group-commit batch size for the write-ahead log: ``fsync`` the
+        active segment every this many appends.  The default ``1``
+        makes every operation durable before it returns; larger values
+        trade the durability of at most the newest ``fsync_every - 1``
+        operations for ingest throughput (the at-least-once re-feed
+        replays anything lost).  See ``docs/durability.md``.
 
     Examples
     --------
@@ -155,7 +162,7 @@ class DynamicCondenser:
 
     def __init__(self, k: int, strategy="random", sampler="uniform",
                  random_state=None, wal_dir=None,
-                 checkpoint_every: int = 0):
+                 checkpoint_every: int = 0, fsync_every: int = 1):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = int(k)
@@ -163,6 +170,7 @@ class DynamicCondenser:
         self.sampler = sampler
         self.wal_dir = wal_dir
         self.checkpoint_every = int(checkpoint_every)
+        self.fsync_every = int(fsync_every)
         self._rng = check_random_state(random_state)
         self._maintainer: DynamicGroupMaintainer | None = None
         self._position = 0
@@ -174,7 +182,8 @@ class DynamicCondenser:
             from repro.durability import DurabilityManager
 
             self._manager = DurabilityManager(
-                wal_dir, checkpoint_every=self.checkpoint_every
+                wal_dir, checkpoint_every=self.checkpoint_every,
+                fsync_every=self.fsync_every,
             )
 
     def fit(self, data: np.ndarray | None = None) -> "DynamicCondenser":
@@ -302,7 +311,8 @@ class DynamicCondenser:
 
     @classmethod
     def recover(cls, wal_dir, strategy="random", sampler="uniform",
-                checkpoint_every: int = 0) -> "DynamicCondenser":
+                checkpoint_every: int = 0,
+                fsync_every: int = 1) -> "DynamicCondenser":
         """Rebuild a durable condenser from its durability directory.
 
         Loads the newest valid snapshot, replays the WAL tail, and
@@ -319,8 +329,9 @@ class DynamicCondenser:
             Estimator settings for the recovered instance (they are
             not persisted; the strategy only matters for a future
             re-``fit``).
-        checkpoint_every:
-            Checkpoint cadence for the recovered instance.
+        checkpoint_every, fsync_every:
+            Durability knobs for the recovered instance (cadence and
+            WAL group-commit batch, as in the constructor).
 
         Returns
         -------
@@ -334,7 +345,8 @@ class DynamicCondenser:
         from repro.durability import DurabilityManager, rebuild_maintainer
 
         manager = DurabilityManager(
-            wal_dir, checkpoint_every=int(checkpoint_every)
+            wal_dir, checkpoint_every=int(checkpoint_every),
+            fsync_every=int(fsync_every),
         )
         maintainer, position = rebuild_maintainer(manager.recover())
         condenser = cls(
@@ -343,6 +355,7 @@ class DynamicCondenser:
         )
         condenser.wal_dir = wal_dir
         condenser.checkpoint_every = int(checkpoint_every)
+        condenser.fsync_every = int(fsync_every)
         condenser._manager = manager
         condenser._maintainer = maintainer
         condenser._position = position

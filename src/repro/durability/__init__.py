@@ -50,6 +50,9 @@ from repro.durability.wal import (
     WriteAheadLog,
     decode_line,
     encode_entry,
+    inspect_frames,
+    list_segments,
+    replay_directory,
 )
 
 __all__ = [
@@ -64,13 +67,16 @@ __all__ = [
     "WriteAheadLog",
     "decode_line",
     "encode_entry",
+    "inspect_frames",
     "latest_snapshot",
+    "list_segments",
     "list_snapshots",
     "prune_snapshots",
     "read_snapshot",
     "rebuild_maintainer",
     "recovered_position",
     "recovered_window",
+    "replay_directory",
     "shard_fingerprint",
     "write_snapshot",
 ]

@@ -176,6 +176,7 @@ class DurabilityManager:
             # snapshot, so only segments it covers are prunable.
             self.wal.prune(oldest)
         self._appends_since_checkpoint = 0
+        self._publish_disk_gauges()
         return path
 
     # ------------------------------------------------------------------
@@ -203,6 +204,7 @@ class DurabilityManager:
             "durability.replay_entries", len(entries),
             buckets=DEFAULT_SIZE_BUCKETS,
         )
+        self._publish_disk_gauges()
         return RecoveredState(
             snapshot_state=info.state if info is not None else None,
             entries=entries,
@@ -216,6 +218,40 @@ class DurabilityManager:
     def close(self) -> None:
         """Flush and close the underlying WAL."""
         self.wal.close()
+        self._publish_disk_gauges()
+
+    def disk_usage(self) -> dict:
+        """On-disk footprint of the durability directory.
+
+        Returns
+        -------
+        dict
+            ``{"wal_bytes": ..., "snapshot_bytes": ...}`` — total bytes
+            across WAL segments and across retained snapshot files.
+        """
+        wal_bytes = sum(
+            path.stat().st_size for path in self.wal.segments()
+        )
+        snapshot_bytes = sum(
+            path.stat().st_size
+            for path in list_snapshots(self.directory)
+        )
+        return {"wal_bytes": wal_bytes, "snapshot_bytes": snapshot_bytes}
+
+    def _publish_disk_gauges(self) -> None:
+        """Export the directory footprint through the telemetry registry.
+
+        Refreshed at every checkpoint, recovery, and close — the
+        moments the footprint changes step-wise (segment prune,
+        snapshot rotation) and the moments an operator watching
+        ``durability.wal_bytes`` most needs a fresh value (see
+        ``docs/operations.md``).
+        """
+        usage = self.disk_usage()
+        telemetry.gauge_set("durability.wal_bytes", usage["wal_bytes"])
+        telemetry.gauge_set(
+            "durability.snapshot_bytes", usage["snapshot_bytes"]
+        )
 
     def _oldest_snapshot_seq(self) -> int | None:
         """Sequence number of the oldest retained snapshot file."""

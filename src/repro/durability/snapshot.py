@@ -128,7 +128,7 @@ def write_snapshot(directory, state: dict, seq: int) -> Path:
         buckets=DEFAULT_SECONDS_BUCKETS,
     )
     telemetry.histogram_observe(
-        "durability.snapshot_bytes", len(document),
+        "durability.snapshot_write_bytes", len(document),
         buckets=DEFAULT_SIZE_BUCKETS,
     )
     return final

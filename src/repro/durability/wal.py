@@ -104,6 +104,124 @@ def decode_line(line: str) -> dict | None:
     return entry
 
 
+def list_segments(directory) -> list:
+    """Segment paths of a WAL directory, in log order, read-only.
+
+    Parameters
+    ----------
+    directory:
+        WAL directory (missing or empty directories yield ``[]``).
+
+    Returns
+    -------
+    list of pathlib.Path
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        path for path in directory.iterdir()
+        if _SEGMENT_PATTERN.match(path.name)
+    )
+
+
+def inspect_frames(directory):
+    """Describe every physical WAL frame without modifying the log.
+
+    Unlike opening a :class:`WriteAheadLog` (which repairs torn tails
+    in place), this walks the segment files read-only — the right tool
+    for ``repro wal-inspect`` and recovery dry-runs.  Frames *after*
+    the durable frontier are still reported (with a non-``ok``
+    status), so an operator can see exactly what a repair would
+    discard.
+
+    Parameters
+    ----------
+    directory:
+        WAL directory.
+
+    Yields
+    ------
+    dict
+        One descriptor per physical line: ``segment`` (file name),
+        ``offset``/``length`` (byte position and size within the
+        segment), ``crc_ok`` (frame validates), ``seq``/``kind`` (from
+        the decoded entry, ``None`` when invalid), and ``status`` —
+        ``"ok"`` for frames inside the durable prefix, ``"torn"`` for
+        CRC/framing failures, ``"gap"`` for sequence discontinuities,
+        and ``"orphaned"`` for structurally valid frames stranded
+        beyond an earlier invalid one.
+    """
+    previous_seq = None
+    broken = False
+    for segment in list_segments(directory):
+        offset = 0
+        with open(segment, "rb") as handle:
+            for raw in handle:
+                entry = decode_line(raw.decode("utf-8", "replace"))
+                seq = entry.get("seq") if entry else None
+                frame = {
+                    "segment": segment.name,
+                    "offset": offset,
+                    "length": len(raw),
+                    "crc_ok": entry is not None,
+                    "seq": seq if isinstance(seq, int) else None,
+                    "kind": entry.get("kind") if entry else None,
+                }
+                if broken:
+                    frame["status"] = "orphaned"
+                elif entry is None or not isinstance(seq, int):
+                    frame["status"] = "torn"
+                    broken = True
+                elif previous_seq is not None and seq != previous_seq + 1:
+                    frame["status"] = "gap"
+                    broken = True
+                else:
+                    frame["status"] = "ok"
+                    previous_seq = seq
+                yield frame
+                offset += len(raw)
+
+
+def replay_directory(directory, after_seq: int = 0):
+    """Read-only replay: valid entries past the durable frontier check.
+
+    The generator equivalent of :meth:`WriteAheadLog.replay`, but
+    without constructing a log object — so nothing is repaired,
+    truncated, or opened for append.  Used by ``repro recover
+    --dry-run`` to prove what a recovery *would* rebuild while leaving
+    the directory byte-identical.
+
+    Parameters
+    ----------
+    directory:
+        WAL directory.
+    after_seq:
+        Only entries strictly after this sequence number are yielded.
+
+    Yields
+    ------
+    (int, dict)
+        ``(seq, entry)`` pairs in increasing ``seq`` order, ending at
+        the durable frontier.
+    """
+    previous_seq = None
+    for segment in list_segments(directory):
+        with open(segment, "r", newline="") as handle:
+            for line in handle:
+                entry = decode_line(line)
+                if entry is None:
+                    return
+                seq = entry.get("seq")
+                if not isinstance(seq, int):
+                    return
+                if previous_seq is not None and seq != previous_seq + 1:
+                    return
+                previous_seq = seq
+                if seq > after_seq:
+                    yield seq, entry
+
+
 class WriteAheadLog:
     """Size-rotated, CRC-framed append log of statistics deltas.
 

@@ -52,11 +52,17 @@ class SlidingWindowCondenser:
         With ``wal_dir`` set, write a full snapshot every this many WAL
         entries (0 disables automatic snapshots; :meth:`checkpoint`
         still works).
+    fsync_every:
+        Group-commit batch size for the WAL: ``fsync`` every this many
+        appends.  ``1`` (default) makes each push durable before it
+        returns; larger values batch pushes per fsync, trading the
+        newest ``fsync_every - 1`` pushes after a crash (which the
+        at-least-once re-feed replays) for ingest throughput.
     """
 
     def __init__(self, k: int, window: int, sampler="uniform",
                  random_state=None, wal_dir=None,
-                 checkpoint_every: int = 0):
+                 checkpoint_every: int = 0, fsync_every: int = 1):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         if window < 2 * k:
@@ -68,6 +74,7 @@ class SlidingWindowCondenser:
         self.sampler = sampler
         self.wal_dir = wal_dir
         self.checkpoint_every = int(checkpoint_every)
+        self.fsync_every = int(fsync_every)
         self._rng = check_random_state(random_state)
         self._buffer: deque = deque()
         self._maintainer: DynamicGroupMaintainer | None = None
@@ -79,7 +86,8 @@ class SlidingWindowCondenser:
             from repro.durability import DurabilityManager
 
             self._manager = DurabilityManager(
-                wal_dir, checkpoint_every=self.checkpoint_every
+                wal_dir, checkpoint_every=self.checkpoint_every,
+                fsync_every=self.fsync_every,
             )
             self._manager.bind(self._durable_state)
 
@@ -210,7 +218,8 @@ class SlidingWindowCondenser:
 
     @classmethod
     def recover(cls, wal_dir, sampler="uniform",
-                checkpoint_every: int = 0) -> "SlidingWindowCondenser":
+                checkpoint_every: int = 0,
+                fsync_every: int = 1) -> "SlidingWindowCondenser":
         """Rebuild a durable windowed condenser from its directory.
 
         The condensed statistics, counters, and RNG position come back
@@ -234,7 +243,8 @@ class SlidingWindowCondenser:
         )
 
         manager = DurabilityManager(
-            wal_dir, checkpoint_every=int(checkpoint_every)
+            wal_dir, checkpoint_every=int(checkpoint_every),
+            fsync_every=int(fsync_every),
         )
         recovered = manager.recover()
         window = recovered_window(recovered)
@@ -250,6 +260,7 @@ class SlidingWindowCondenser:
         )
         condenser.wal_dir = wal_dir
         condenser.checkpoint_every = int(checkpoint_every)
+        condenser.fsync_every = int(fsync_every)
         condenser._manager = manager
         condenser._manager.bind(condenser._durable_state)
         condenser._maintainer = maintainer

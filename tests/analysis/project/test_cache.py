@@ -1,9 +1,13 @@
 """Incremental cache: warm replay, transitive invalidation, safety valves."""
 
 import time
+from pathlib import Path
 
+from repro.analysis import get_rules
 from repro.analysis.project import AnalysisCache, content_hash, run_project
 from repro.analysis.project.cache import CACHE_VERSION
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
 
 
 def _write_tree(root, n_modules=12):
@@ -64,6 +68,24 @@ class TestWarmReplay:
             report.stats["cached_files"]
             == report.stats["total_files"] - 1
         )
+
+    def test_real_tree_warm_replay_holds_its_budget(self, tmp_path):
+        # The commit-hook contract: with every rule family enabled
+        # (including the FS/CONC/RES protocol rules), an unchanged tree
+        # replays entirely from cache and stays interactive.  The bound
+        # is deliberately loose for shared CI machines — the local
+        # replay is ~10ms against a ~4s cold pass.
+        cache_file = tmp_path / "cache.json"
+        paths = [REPO_ROOT / "src", REPO_ROOT / "tests"]
+        run_project(paths, rules=get_rules(), cache_path=cache_file)
+        started = time.perf_counter()
+        warm = run_project(
+            paths, rules=get_rules(), cache_path=cache_file
+        )
+        warm_elapsed = time.perf_counter() - started
+        assert warm.stats["cache_hit"] is True
+        assert warm.stats["analyzed_files"] == 0
+        assert warm_elapsed < 1.0
 
     def test_no_cache_flag_never_reads_or_writes(self, tmp_path):
         package = _write_tree(tmp_path, n_modules=3)

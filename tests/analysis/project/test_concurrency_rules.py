@@ -1,0 +1,216 @@
+"""CONC-001/002 canaries: share-safety of the parallel boundary."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ModuleContext, get_rules
+from repro.analysis.project import build_index
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+_POOL = "from concurrent.futures import ProcessPoolExecutor\n"
+
+
+def _engine_module(body, name="eng"):
+    return ModuleContext.from_source(
+        body, f"src/repro/parallel/{name}.py"
+    )
+
+
+def _findings(contexts, rule_id):
+    index = build_index(contexts)
+    [rule] = get_rules(select=[rule_id])
+    return list(rule.check_project(index))
+
+
+@pytest.fixture(scope="module")
+def repro_index():
+    contexts = [
+        ModuleContext.from_source(path.read_text(encoding="utf-8"), str(path))
+        for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py"))
+    ]
+    return build_index(contexts)
+
+
+class TestCleanTree:
+    @pytest.mark.parametrize("rule_id", ["CONC-001", "CONC-002"])
+    def test_real_tree_has_no_conc_findings(self, repro_index, rule_id):
+        [rule] = get_rules(select=[rule_id])
+        assert list(rule.check_project(repro_index)) == []
+
+
+class TestWorkerPayloadMutation:
+    def test_direct_mutation_of_unpacked_payload_fires(self):
+        contexts = [_engine_module(
+            _POOL +
+            "def _work(task):\n"
+            "    records, k = task\n"
+            "    records[0] = 0\n"
+            "    records.sort()\n"
+            "    return records\n"
+            "def run(tasks):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(_work, tasks))\n"
+        )]
+        findings = _findings(contexts, "CONC-001")
+        assert len(findings) == 2  # the store and the mutator call
+        for finding in findings:
+            assert "'records'" in finding.message
+            assert "_work()" in finding.message
+            assert finding.trace[0].startswith("worker ")
+
+    def test_augmented_assignment_through_payload_fires(self):
+        contexts = [_engine_module(
+            _POOL +
+            "def _work(task):\n"
+            "    task['count'] += 1\n"
+            "    return task\n"
+            "def run(tasks):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(_work, tasks))\n"
+        )]
+        assert len(_findings(contexts, "CONC-001")) == 1
+
+    def test_callee_mutating_its_parameter_is_caught(self):
+        helper = ModuleContext.from_source(
+            "def scribble(payload):\n"
+            "    payload.append(1)\n",
+            "src/repro/parallel/helper.py",
+        )
+        engine = _engine_module(
+            _POOL +
+            "from repro.parallel.helper import scribble\n"
+            "def _work(task):\n"
+            "    scribble(task)\n"
+            "    return task\n"
+            "def run(tasks):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(_work, tasks))\n"
+        )
+        [finding] = _findings([engine, helper], "CONC-001")
+        assert "scribble" in finding.message
+        trace = "\n".join(finding.trace)
+        assert "worker repro.parallel.eng._work()" in trace
+        assert "mutates parameter 'payload'" in trace
+
+    def test_mutating_a_local_copy_is_clean(self):
+        contexts = [_engine_module(
+            _POOL +
+            "def _work(task):\n"
+            "    records, k = task\n"
+            "    out = list(records)\n"
+            "    out.append(k)\n"
+            "    out.sort()\n"
+            "    return out\n"
+            "def run(tasks):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(_work, tasks))\n"
+        )]
+        assert _findings(contexts, "CONC-001") == []
+
+    def test_unsubmitted_functions_are_out_of_scope(self):
+        # Mutating an argument is only a CONC violation for functions
+        # that actually cross the pool boundary.
+        contexts = [_engine_module(
+            "def helper(records):\n"
+            "    records.append(1)\n"
+        )]
+        assert _findings(contexts, "CONC-001") == []
+
+
+class TestWorkerCapturedResource:
+    def test_captured_rng_fires(self):
+        contexts = [_engine_module(
+            _POOL +
+            "import numpy as np\n"
+            "def _work(task, rng):\n"
+            "    return rng.random()\n"
+            "def run(tasks):\n"
+            "    rng = np.random.default_rng(0)\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(_work, task, rng)\n"
+            "                for task in tasks]\n"
+        )]
+        [finding] = _findings(contexts, "CONC-002")
+        assert "live RNG state" in finding.message
+        assert finding.trace[0].startswith("submission in ")
+
+    def test_captured_file_handle_fires(self):
+        contexts = [_engine_module(
+            _POOL +
+            "def _work(task, handle):\n"
+            "    return handle.read()\n"
+            "def run(tasks, path):\n"
+            "    handle = open(path)\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(_work, task, handle)\n"
+            "                for task in tasks]\n"
+        )]
+        [finding] = _findings(contexts, "CONC-002")
+        assert "an open file handle" in finding.message
+        assert "'handle'" in "\n".join(finding.trace)
+
+    def test_captured_wal_writer_fires(self):
+        contexts = [_engine_module(
+            _POOL +
+            "from repro.durability.wal import WriteAheadLog\n"
+            "def run(tasks, directory):\n"
+            "    wal = WriteAheadLog(directory)\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(_work, task, wal)\n"
+            "                for task in tasks]\n"
+        )]
+        [finding] = _findings(contexts, "CONC-002")
+        assert "a live WriteAheadLog" in finding.message
+
+    def test_inline_acquisition_in_payload_fires(self):
+        contexts = [_engine_module(
+            _POOL +
+            "def run(tasks, path):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(_work, task, open(path))\n"
+            "                for task in tasks]\n"
+        )]
+        [finding] = _findings(contexts, "CONC-002")
+        assert "acquired inline" in "\n".join(finding.trace)
+
+    def test_seed_sequences_are_the_sanctioned_boundary_object(self):
+        contexts = [_engine_module(
+            _POOL +
+            "from repro.linalg.rng import spawn_seed_sequences\n"
+            "def run(tasks):\n"
+            "    sequences = spawn_seed_sequences(0, len(tasks))\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(_work, task, sequence)\n"
+            "                for task, sequence in zip(tasks, sequences)]\n"
+        )]
+        assert _findings(contexts, "CONC-002") == []
+
+    def test_rebinding_to_a_benign_value_clears_the_taint(self):
+        contexts = [_engine_module(
+            _POOL +
+            "def run(tasks, path):\n"
+            "    handle = open(path)\n"
+            "    handle.close()\n"
+            "    handle = str(path)\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(_work, task, handle)\n"
+            "                for task in tasks]\n"
+        )]
+        assert _findings(contexts, "CONC-002") == []
+
+    def test_submissions_outside_the_parallel_package_are_out_of_scope(
+        self,
+    ):
+        contexts = [ModuleContext.from_source(
+            _POOL +
+            "import numpy as np\n"
+            "def run(tasks):\n"
+            "    rng = np.random.default_rng(0)\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(_work, task, rng)\n"
+            "                for task in tasks]\n",
+            "src/repro/quality/offside.py",
+        )]
+        assert _findings(contexts, "CONC-002") == []

@@ -1,9 +1,10 @@
 """Tier-1 gate for the whole-program pass: the real tree is clean.
 
 Mirrors ``tests/analysis/test_self_clean.py`` one layer up: the project
-rules (PRIV-003, DET-001/002/003) must report zero un-baselined
-findings on ``src/repro`` and ``tests`` with the shipped baseline, and
-an injected cross-module leak must be caught with its full path.
+rules (PRIV-003, DET-001/002/003, FS-001/002/003, CONC-001/002,
+RES-001) must report zero un-baselined findings on ``src/repro`` and
+``tests`` with the shipped baseline, and an injected cross-module leak
+must be caught with its full path.
 """
 
 import json
@@ -17,7 +18,13 @@ from repro.analysis.reporters import render_text
 REPO_ROOT = Path(__file__).resolve().parents[3]
 BASELINE = REPO_ROOT / ".repro-lint-baseline.json"
 
-_PROJECT_RULES = ["DET-001", "DET-002", "DET-003", "PRIV-003"]
+_PROJECT_RULES = [
+    "CONC-001", "CONC-002",
+    "DET-001", "DET-002", "DET-003",
+    "FS-001", "FS-002", "FS-003",
+    "PRIV-003",
+    "RES-001",
+]
 
 
 def _run(paths, tmp_path, baseline=None):

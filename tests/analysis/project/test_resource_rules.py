@@ -1,0 +1,175 @@
+"""RES-001 canaries: must-close over file and durability handles."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ModuleContext, get_rules
+from repro.analysis.project import build_index
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def _module(body, path="src/repro/io/leaky.py"):
+    return ModuleContext.from_source(body, path)
+
+
+def _findings(contexts, rule_id="RES-001"):
+    index = build_index(contexts)
+    [rule] = get_rules(select=[rule_id])
+    return list(rule.check_project(index))
+
+
+@pytest.fixture(scope="module")
+def repro_index():
+    contexts = [
+        ModuleContext.from_source(path.read_text(encoding="utf-8"), str(path))
+        for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py"))
+    ]
+    return build_index(contexts)
+
+
+class TestCleanTree:
+    def test_real_tree_has_no_res_findings(self, repro_index):
+        [rule] = get_rules(select=["RES-001"])
+        assert list(rule.check_project(repro_index)) == []
+
+
+class TestLeaks:
+    def test_dropped_handle_fires(self):
+        contexts = [_module(
+            "def touch(path):\n"
+            "    open(path, 'w')\n"
+        )]
+        [finding] = _findings(contexts)
+        assert "immediately dropped" in finding.message
+        assert "a writable file handle" in finding.message
+
+    def test_inline_acquisition_fires(self):
+        contexts = [_module(
+            "import json\n"
+            "def load(path):\n"
+            "    return json.load(open(path))\n"
+        )]
+        [finding] = _findings(contexts)
+        assert "inside a larger expression" in finding.message
+
+    def test_unreleased_local_fires(self):
+        contexts = [_module(
+            "def load(path):\n"
+            "    handle = open(path)\n"
+            "    return handle.read()\n"
+        )]
+        [finding] = _findings(contexts)
+        assert "'handle'" in finding.message
+        assert "no with-block" in finding.message
+
+    def test_leaked_wal_writer_fires(self):
+        contexts = [_module(
+            "from repro.durability.wal import WriteAheadLog\n"
+            "def journal(directory, entry):\n"
+            "    wal = WriteAheadLog(directory)\n"
+            "    wal.append(entry)\n"
+        )]
+        [finding] = _findings(contexts)
+        assert "WriteAheadLog" in finding.message
+        assert "owns an open WAL segment" in finding.message
+
+    def test_self_store_without_lifecycle_fires(self):
+        contexts = [_module(
+            "class Keeper:\n"
+            "    def __init__(self, path):\n"
+            "        self._handle = open(path, 'a')\n"
+        )]
+        [finding] = _findings(contexts)
+        assert "defines none of close()/__exit__/__del__" in (
+            finding.message
+        )
+
+    def test_findings_carry_acquisition_traces(self):
+        contexts = [_module(
+            "def load(path):\n"
+            "    handle = open(path)\n"
+            "    return handle.read()\n"
+        )]
+        [finding] = _findings(contexts)
+        assert finding.trace[0].startswith("acquire: open()")
+        assert finding.trace[-1] == "→ no release on any path"
+
+
+class TestDisciplines:
+    def test_with_block_is_clean(self):
+        contexts = [_module(
+            "def load(path):\n"
+            "    with open(path) as handle:\n"
+            "        return handle.read()\n"
+        )]
+        assert _findings(contexts) == []
+
+    def test_contextlib_closing_is_clean(self):
+        contexts = [_module(
+            "from contextlib import closing\n"
+            "from repro.durability.wal import WriteAheadLog\n"
+            "def journal(directory, entry):\n"
+            "    with closing(WriteAheadLog(directory)) as wal:\n"
+            "        wal.append(entry)\n"
+        )]
+        assert _findings(contexts) == []
+
+    def test_try_finally_close_is_clean(self):
+        contexts = [_module(
+            "def load(path):\n"
+            "    handle = open(path)\n"
+            "    try:\n"
+            "        return handle.read()\n"
+            "    finally:\n"
+            "        handle.close()\n"
+        )]
+        assert _findings(contexts) == []
+
+    def test_returning_the_handle_transfers_ownership(self):
+        contexts = [_module(
+            "def acquire(path):\n"
+            "    return open(path)\n"
+        )]
+        assert _findings(contexts) == []
+
+    def test_returning_a_bound_handle_transfers_ownership(self):
+        contexts = [_module(
+            "def acquire(path):\n"
+            "    handle = open(path)\n"
+            "    handle.seek(8)\n"
+            "    return handle\n"
+        )]
+        assert _findings(contexts) == []
+
+    def test_attribute_store_transfers_ownership(self):
+        # The recover() classmethod pattern: the manager is handed to
+        # an object whose lifecycle now covers it.
+        contexts = [_module(
+            "from repro.durability.manager import DurabilityManager\n"
+            "def rebuild(condenser, directory):\n"
+            "    manager = DurabilityManager(directory)\n"
+            "    condenser._manager = manager\n"
+            "    return condenser\n"
+        )]
+        assert _findings(contexts) == []
+
+    def test_self_store_with_close_is_clean(self):
+        contexts = [_module(
+            "class Keeper:\n"
+            "    def __init__(self, path):\n"
+            "        self._handle = open(path, 'a')\n"
+            "    def close(self):\n"
+            "        self._handle.close()\n"
+        )]
+        assert _findings(contexts) == []
+
+    def test_test_modules_are_out_of_scope(self):
+        contexts = [_module(
+            "def helper(path):\n"
+            "    handle = open(path)\n"
+            "    return handle.read()\n",
+            path="tests/io/test_leaky.py",
+        )]
+        assert _findings(contexts) == []

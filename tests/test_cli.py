@@ -180,6 +180,105 @@ class TestCoarsen:
         assert "below" in capsys.readouterr().err
 
 
+class TestDurableCli:
+    @pytest.fixture
+    def wal_dir(self, tmp_path, data_csv):
+        directory = tmp_path / "wal"
+        exit_code = main([
+            "condense", str(data_csv), str(tmp_path / "model.json"),
+            "--k", "10", "--checkpoint-dir", str(directory),
+            "--fsync-every", "8", "--checkpoint-every", "64",
+        ])
+        assert exit_code == 0
+        return directory
+
+    def test_recover_writes_model(self, tmp_path, wal_dir, capsys):
+        out_path = tmp_path / "recovered.json"
+        exit_code = main(["recover", str(wal_dir), str(out_path)])
+        assert exit_code == 0
+        assert json.loads(out_path.read_text())["k"] == 10
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "position 150" in out
+
+    def test_recover_dry_run_writes_nothing(self, wal_dir, capsys):
+        before = {
+            path.name: path.read_bytes()
+            for path in sorted(wal_dir.iterdir())
+        }
+        exit_code = main(["recover", str(wal_dir), "--dry-run"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "dry run: would recover" in out
+        assert "no model written" in out
+        after = {
+            path.name: path.read_bytes()
+            for path in sorted(wal_dir.iterdir())
+        }
+        assert after == before
+
+    def test_recover_dry_run_matches_real_recovery(
+        self, tmp_path, wal_dir, capsys
+    ):
+        main(["recover", str(wal_dir), "--dry-run"])
+        preview = capsys.readouterr().out
+        out_path = tmp_path / "recovered.json"
+        main(["recover", str(wal_dir), str(out_path)])
+        actual = capsys.readouterr().out
+        # Identical summary lines modulo the dry-run prefix.
+        assert preview.splitlines()[0].replace(
+            "dry run: would recover", "recovered"
+        ) == actual.splitlines()[0]
+
+    def test_recover_dry_run_survives_torn_tail(self, wal_dir, capsys):
+        segments = sorted(wal_dir.glob("wal-*.log"))
+        tail = segments[-1]
+        torn = tail.read_bytes()[:-9]
+        tail.write_bytes(torn)
+        exit_code = main(["recover", str(wal_dir), "--dry-run"])
+        assert exit_code == 0
+        assert tail.read_bytes() == torn  # observed, not repaired
+
+    def test_recover_without_output_or_dry_run_errors(
+        self, wal_dir, capsys
+    ):
+        exit_code = main(["recover", str(wal_dir)])
+        assert exit_code == 2
+        assert "output model path" in capsys.readouterr().err
+
+    def test_wal_inspect_text_table(self, wal_dir, capsys):
+        exit_code = main(["wal-inspect", str(wal_dir)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "seq" in out and "status" in out
+        assert "bootstrap" in out
+        assert "beyond the durable frontier" in out
+
+    def test_wal_inspect_json_frames(self, wal_dir, capsys):
+        exit_code = main(["wal-inspect", str(wal_dir), "--json"])
+        assert exit_code == 0
+        frames = json.loads(capsys.readouterr().out)
+        assert frames[0]["seq"] == 1
+        assert frames[0]["status"] == "ok"
+        assert frames[0]["offset"] == 0
+        assert {"segment", "length", "crc_ok", "kind"} <= set(frames[0])
+
+    def test_wal_inspect_reports_torn_frames(self, wal_dir, capsys):
+        tail = sorted(wal_dir.glob("wal-*.log"))[-1]
+        tail.write_bytes(tail.read_bytes()[:-5])
+        main(["wal-inspect", str(wal_dir), "--json"])
+        frames = json.loads(capsys.readouterr().out)
+        assert frames[-1]["status"] == "torn"
+        assert frames[-1]["crc_ok"] is False
+
+    def test_wal_inspect_missing_directory_errors(
+        self, tmp_path, capsys
+    ):
+        exit_code = main(["wal-inspect", str(tmp_path / "absent")])
+        assert exit_code == 1
+        assert "no WAL segments" in capsys.readouterr().err
+
+
 class TestAttack:
     def test_attack_output(self, data_csv, capsys):
         exit_code = main(["attack", str(data_csv), "--k", "10"])
