@@ -2,7 +2,7 @@
 
 The context bundles the parsed AST with repo-aware facts the rules need:
 whether the module is test code, whether it lives in a privacy-critical
-package (``core``/``stream``/``parallel``/``durability``), and whether it is the one
+package (``core``/``stream``/``parallel``/``durability``/``serve``), and whether it is the one
 module allowed to construct generators (``linalg/rng.py``).  Deriving those facts once,
 from the path, keeps the rules themselves small and uniform.
 """
@@ -129,10 +129,12 @@ class ModuleContext:
 
         The condensation invariant (paper §2: groups retain only
         ``(Fs, Sc, n)``) is enforced in ``repro/core``,
-        ``repro/stream``, ``repro/parallel`` and ``repro/durability``
-        — the sharded engine handles raw records in flight exactly
-        like the serial algorithm, and the durability layer persists
-        condenser state to disk, so both are held to the same
+        ``repro/stream``, ``repro/parallel``, ``repro/durability``
+        and ``repro/serve`` — the sharded engine handles raw records
+        in flight exactly like the serial algorithm, the durability
+        layer persists condenser state to disk, and the serving layer
+        receives raw records over HTTP and must answer every read
+        endpoint from statistics only, so all are held to the same
         retention and serialization rules.
 
         Returns
@@ -144,4 +146,5 @@ class ModuleContext:
             or self.in_repro_package("stream")
             or self.in_repro_package("parallel")
             or self.in_repro_package("durability")
+            or self.in_repro_package("serve")
         )

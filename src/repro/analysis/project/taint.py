@@ -169,8 +169,12 @@ class TaintConfig:
     """
 
     #: Module prefixes whose sinks legitimately handle raw records
-    #: (the trusted side of the paper's deployment model).
-    sanctioned_prefixes = ("repro.datasets", "repro.io", "tests",
+    #: (the trusted side of the paper's deployment model).  The serve
+    #: load generator is the trusted *client* of the HTTP service: it
+    #: synthesizes records and ships them raw to ``/ingest``, upstream
+    #: of condensation, exactly like a benchmark driver.
+    sanctioned_prefixes = ("repro.datasets", "repro.io",
+                          "repro.serve.loadgen", "tests",
                           "benchmarks", "examples", "conftest")
 
     def is_source_function(self, qualname: str) -> bool:

@@ -162,9 +162,9 @@ class StatisticsOnlyRule(Rule):
 
     rule_id = "PRIV-001"
     summary = (
-        "repro/core, repro/stream, repro/parallel and repro/durability "
-        "must not retain or serialize raw record batches — groups keep "
-        "only (Fs, Sc, n)"
+        "repro/core, repro/stream, repro/parallel, repro/durability "
+        "and repro/serve must not retain or serialize raw record "
+        "batches — groups keep only (Fs, Sc, n)"
     )
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
@@ -183,7 +183,7 @@ class StatisticsOnlyRule(Rule):
             return
         package = next(
             (name for name in ("core", "stream", "parallel",
-                          "durability")
+                          "durability", "serve")
              if module.in_repro_package(name)),
             "core",
         )
@@ -349,9 +349,9 @@ class TelemetryPayloadRule(Rule):
     rule_id = "PRIV-002"
     summary = (
         "telemetry call sites in repro/core, repro/stream, "
-        "repro/parallel and repro/durability must pass only scalar "
-        "aggregates — never record arrays — as values, labels, or span "
-        "attributes"
+        "repro/parallel, repro/durability and repro/serve must pass "
+        "only scalar aggregates — never record arrays — as values, "
+        "labels, or span attributes"
     )
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:

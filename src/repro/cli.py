@@ -10,6 +10,8 @@ model::
     repro recover   waldir/ model.json              # crash recovery
     repro recover   waldir/ --dry-run               # preview, read-only
     repro wal-inspect waldir/                       # frame-by-frame dump
+    repro serve     --port 8000 --shards 4 --k 10   # HTTP service
+    repro loadgen   http://127.0.0.1:8000           # serving benchmark
     repro lint      src/ tests/                     # static analysis
     repro telemetry trace.jsonl                     # summarize a trace
 
@@ -31,6 +33,14 @@ previews the same rebuild without writing anything (not even the WAL
 tail repair), and ``repro wal-inspect`` dumps the log frame by frame
 with CRC status.  ``condense --fsync-every N`` batches WAL fsyncs
 (group commit) for ingest throughput.
+
+``repro serve`` runs the long-lived anonymization service (see
+``docs/serving.md``): a threading HTTP server over ``--shards``
+durable condenser shards, each journaling to its own WAL under
+``--checkpoint-dir`` so a restart recovers the exact pre-shutdown
+model.  ``repro loadgen`` replays a UCI-twin stream against a running
+server at ``--qps`` and writes per-endpoint latency percentiles to
+``BENCH_serve.json``.
 
 Every subcommand also accepts ``--metrics-out`` / ``--trace-out`` to
 capture the run's telemetry (Prometheus text and JSON-lines span
@@ -430,6 +440,94 @@ def _command_attack(arguments) -> int:
     return 0
 
 
+def _command_serve(arguments) -> int:
+    from repro.serve import (
+        AnonymizationHTTPServer,
+        ShardedCondensationService,
+        install_signal_handlers,
+    )
+
+    # /metrics needs a live registry even when no --metrics-out capture
+    # was requested, so serving always runs on a real pipeline.
+    if not telemetry.enabled():
+        telemetry.configure()
+    if arguments.checkpoint_dir is not None:
+        service = ShardedCondensationService.open(
+            arguments.checkpoint_dir, arguments.shards, arguments.k,
+            strategy=arguments.strategy, sampler=arguments.sampler,
+            bootstrap_size=arguments.bootstrap_size,
+            checkpoint_every=arguments.checkpoint_every,
+            fsync_every=arguments.fsync_every,
+            random_state=arguments.seed,
+        )
+        if service.recovered_shards:
+            _logger.info(
+                "recovered %d/%d shards from %s (position %d)",
+                service.recovered_shards, service.n_shards,
+                arguments.checkpoint_dir, service.position,
+            )
+    else:
+        service = ShardedCondensationService(
+            arguments.shards, arguments.k,
+            strategy=arguments.strategy, sampler=arguments.sampler,
+            bootstrap_size=arguments.bootstrap_size,
+            random_state=arguments.seed,
+        )
+    server = AnonymizationHTTPServer(
+        (arguments.host, arguments.port), service,
+        max_body_bytes=arguments.max_body_bytes,
+    )
+    install_signal_handlers(server, service)
+    if arguments.port_file is not None:
+        # Ephemeral-port coordination for tests/CI: publish the bound
+        # port so callers using --port 0 can find the server.
+        with open(arguments.port_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{server.server_port}\n")
+    print(
+        f"serving {service.n_shards} shard(s) at k={service.k} on "
+        f"http://{server.server_address[0]}:{server.server_port} "
+        f"(durable: {service.root is not None})"
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+def _command_loadgen(arguments) -> int:
+    from repro.serve import run_loadgen, write_report
+
+    try:
+        report = run_loadgen(
+            arguments.url, dataset=arguments.dataset,
+            duration_seconds=arguments.duration, qps=arguments.qps,
+            batch_size=arguments.batch_size,
+            generate_n=arguments.generate_n,
+            random_state=arguments.seed, timeout=arguments.timeout,
+        )
+    except (RuntimeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    path = write_report(report, arguments.out)
+    print(f"achieved {report['achieved_qps']} req/s "
+          f"(target {report['target_qps']}) over "
+          f"{report['duration_seconds']}s, "
+          f"{report['n_failures']} failures")
+    rows = [
+        [endpoint, str(stats["n"]), f"{stats['p50_ms']:.2f}",
+         f"{stats['p95_ms']:.2f}", f"{stats['p99_ms']:.2f}"]
+        for endpoint, stats in report["endpoints"].items()
+    ]
+    print(format_table(
+        ["endpoint", "requests", "p50 ms", "p95 ms", "p99 ms"],
+        rows, title="latency per endpoint",
+    ))
+    print(f"wrote {path}")
+    return 0
+
+
 def _command_telemetry(arguments) -> int:
     try:
         summary = summarize_trace(arguments.trace)
@@ -558,6 +656,81 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--seed", type=int, default=0,
                         help="random seed (default: 0)")
     attack.set_defaults(handler=_command_attack)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the anonymization HTTP service over durable "
+                      "condenser shards",
+        parents=[common],
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default: 8000)")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="condenser shard count (default: 4)")
+    serve.add_argument("--k", type=int, default=10,
+                       help="indistinguishability level per shard "
+                            "(default: 10)")
+    serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="durability root: one WAL directory per "
+                            "shard; restarting against the same DIR "
+                            "recovers the exact pre-shutdown model")
+    serve.add_argument("--checkpoint-every", type=int, default=256,
+                       help="per-shard snapshot cadence in operations "
+                            "(default: 256)")
+    serve.add_argument("--fsync-every", type=int, default=1,
+                       help="per-shard WAL group-commit batch "
+                            "(default: 1, fsync every entry)")
+    serve.add_argument("--bootstrap-size", type=int, default=None,
+                       help="records buffered before the shard router "
+                            "is fitted (default: max(2*k*shards, "
+                            "8*shards))")
+    serve.add_argument("--strategy", default="random",
+                       choices=["random", "mdav", "kmeans"],
+                       help="group seeding strategy (default: random)")
+    serve.add_argument("--sampler", default="uniform",
+                       choices=["uniform", "gaussian"],
+                       help="generation sampler (default: uniform)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="root seed for per-shard RNG streams "
+                            "(default: 0)")
+    serve.add_argument("--max-body-bytes", type=int,
+                       default=8 * 1024 * 1024,
+                       help="largest accepted /ingest body "
+                            "(default: 8 MiB)")
+    serve.add_argument("--port-file", default=None, metavar="PATH",
+                       help="write the bound port to PATH after "
+                            "binding (for --port 0 coordination)")
+    serve.set_defaults(handler=_command_serve)
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="replay a UCI-twin stream against a running "
+                        "server and write BENCH_serve.json",
+        parents=[common],
+    )
+    loadgen.add_argument("url", help="server root URL, e.g. "
+                                     "http://127.0.0.1:8000")
+    loadgen.add_argument("--dataset", default="ionosphere",
+                         help="twin dataset replayed as the stream "
+                              "(default: ionosphere)")
+    loadgen.add_argument("--duration", type=float, default=10.0,
+                         help="run length in seconds (default: 10)")
+    loadgen.add_argument("--qps", type=float, default=50.0,
+                         help="target request rate (default: 50)")
+    loadgen.add_argument("--batch-size", type=int, default=1,
+                         help="records per /ingest request "
+                              "(default: 1)")
+    loadgen.add_argument("--generate-n", type=int, default=32,
+                         help="n for /generate probes (default: 32)")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="dataset twin seed (default: 0)")
+    loadgen.add_argument("--timeout", type=float, default=10.0,
+                         help="per-request socket timeout in seconds "
+                              "(default: 10)")
+    loadgen.add_argument("--out", default="BENCH_serve.json",
+                         help="report path (default: BENCH_serve.json)")
+    loadgen.set_defaults(handler=_command_loadgen)
 
     lint = subparsers.add_parser(
         "lint", help="static analysis: RNG discipline, privacy "

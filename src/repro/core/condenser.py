@@ -269,6 +269,20 @@ class DynamicCondenser:
             })
         return generated
 
+    def journal_rng(self) -> None:
+        """Journal the current RNG position (no-op when not durable).
+
+        :meth:`generate` does this automatically; callers that advance
+        this condenser's generator outside of it — e.g. the serving
+        layer drawing from a model combined across shards — use this
+        hook so recovered draw positions stay exact.
+        """
+        if self._manager is not None:
+            self._manager.append({
+                "kind": "rng", "pos": self._position,
+                "state": rng_state(self._rng),
+            })
+
     # ------------------------------------------------------------------
     # Durability
     # ------------------------------------------------------------------

@@ -1,0 +1,34 @@
+"""Anonymization as a service over durable sharded condensers.
+
+The serving subsystem puts live traffic on the reproduction: a
+dependency-free HTTP server (stdlib ``http.server``) fronts a fleet of
+durable :class:`~repro.core.condenser.DynamicCondenser` shards, routes
+each ingested record along frozen principal-axis bisection cuts, and
+answers every read endpoint from group statistics only — the paper's
+privacy contract as a deployment boundary.  See ``docs/serving.md``.
+"""
+
+from repro.serve.http import (
+    AnonymizationHTTPServer,
+    AnonymizationRequestHandler,
+    RequestError,
+    install_signal_handlers,
+)
+from repro.serve.loadgen import run_loadgen, write_report
+from repro.serve.router import PrincipalAxisRouter
+from repro.serve.service import (
+    NotReadyError,
+    ShardedCondensationService,
+)
+
+__all__ = [
+    "AnonymizationHTTPServer",
+    "AnonymizationRequestHandler",
+    "NotReadyError",
+    "PrincipalAxisRouter",
+    "RequestError",
+    "ShardedCondensationService",
+    "install_signal_handlers",
+    "run_loadgen",
+    "write_report",
+]

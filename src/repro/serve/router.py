@@ -1,0 +1,305 @@
+"""Record-to-shard routing by a fitted principal-axis bisection tree.
+
+The sharded parallel engine partitions a *static* data set with
+:func:`repro.parallel.principal_axis_shards`; a long-running service
+must make the same decision one record at a time, for records it has
+never seen.  The router here freezes the bisection into a decision
+tree: fitting replays the exact partition loop of the batch
+partitioner on a bootstrap sample (always splitting the currently
+largest part at its principal-axis median), but records each cut as a
+hyperplane — the part's mean, its leading eigenvector, and the median
+projection threshold.  Routing a new record descends the tree by
+projecting onto each cut's axis, so every record lands in the shard
+whose bootstrap slab it falls into, preserving the locality argument
+of ``docs/parallel.md`` for streamed traffic.
+
+The fitted tree is pure aggregate state (means, axes, thresholds —
+never records), so it may be persisted next to the shard checkpoints
+and reloaded on restart; see :meth:`PrincipalAxisRouter.to_state`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.symmetric import sorted_eigh, symmetrize
+
+
+def _split_plane(records: np.ndarray):
+    """Compute one bisection cut over ``records``.
+
+    Parameters
+    ----------
+    records:
+        Part members of shape ``(m, d)`` with ``m >= 2``.
+
+    Returns
+    -------
+    tuple
+        ``(center, axis, threshold, left_mask)`` — the part mean, the
+        leading eigenvector, the boundary projection value (maximum of
+        the lower half, matching the batch partitioner's stable-argsort
+        median split), and the boolean membership mask of the lower
+        half.
+    """
+    center = records.mean(axis=0)
+    centered = records - center
+    covariance = symmetrize(centered.T @ centered / records.shape[0])
+    __, eigenvectors = sorted_eigh(covariance, clip=False)
+    axis = eigenvectors[:, 0]
+    projections = centered @ axis
+    order = np.argsort(projections, kind="stable")
+    half = (records.shape[0] + 1) // 2
+    threshold = float(projections[order[half - 1]])
+    left_mask = np.zeros(records.shape[0], dtype=bool)
+    left_mask[order[:half]] = True
+    return center, axis, threshold, left_mask
+
+
+class PrincipalAxisRouter:
+    """Route records to shards along frozen principal-axis cuts.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards to route across.  The fitted tree holds at
+        most ``n_shards`` leaves (fewer when the bootstrap sample is
+        too small to split further); :meth:`route` returns shard ids in
+        ``range(n_leaves)``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.serve import PrincipalAxisRouter
+    >>> rng = np.random.default_rng(0)
+    >>> sample = rng.normal(size=(64, 3))
+    >>> router = PrincipalAxisRouter(4).fit(sample)
+    >>> shard_ids = router.route(rng.normal(size=(10, 3)))
+    >>> bool((shard_ids >= 0).all() and (shard_ids < 4).all())
+    True
+    """
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = int(n_shards)
+        self._tree: dict | None = None
+        self._n_features: int | None = None
+
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` (or :meth:`from_state`) has run.
+
+        Returns
+        -------
+        bool
+        """
+        return self._tree is not None
+
+    @property
+    def n_features(self) -> int | None:
+        """Dimensionality the router was fitted on (``None`` before).
+
+        Returns
+        -------
+        int or None
+        """
+        return self._n_features
+
+    def fit(self, data: np.ndarray) -> "PrincipalAxisRouter":
+        """Freeze the bisection tree from a bootstrap sample.
+
+        Mirrors :func:`repro.parallel.principal_axis_shards` exactly:
+        the currently largest part is repeatedly bisected at its
+        principal-axis median until ``n_shards`` parts exist, and leaf
+        ids are assigned in the same part order — so routing the
+        bootstrap sample itself reproduces the batch partition.
+
+        Parameters
+        ----------
+        data:
+            Bootstrap records of shape ``(m, d)``, ``m >= 1``.
+
+        Returns
+        -------
+        PrincipalAxisRouter
+            ``self``, fitted.
+
+        Raises
+        ------
+        ValueError
+            If ``data`` is not a non-empty 2-D array.
+        """
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2 or not data.shape[0]:
+            raise ValueError(
+                f"bootstrap data must be non-empty 2-D, got shape "
+                f"{data.shape}"
+            )
+        # Splits rewrite list entries in place, so the dict created
+        # here stays the tree root no matter how many cuts land.
+        root: dict = {}
+        parts: list = [np.arange(data.shape[0], dtype=np.int64)]
+        nodes: list = [root]
+        while len(parts) < self.n_shards:
+            sizes = [part.shape[0] for part in parts]
+            largest = int(np.argmax(sizes))
+            if sizes[largest] < 2:
+                break
+            part = parts.pop(largest)
+            node = nodes.pop(largest)
+            center, axis, threshold, left_mask = _split_plane(data[part])
+            left: dict = {}
+            right: dict = {}
+            node.update({
+                "center": center.tolist(),
+                "axis": axis.tolist(),
+                "threshold": threshold,
+                "left": left,
+                "right": right,
+            })
+            parts.insert(largest, part[~left_mask])
+            parts.insert(largest, part[left_mask])
+            nodes.insert(largest, right)
+            nodes.insert(largest, left)
+        for shard_id, node in enumerate(nodes):
+            node["leaf"] = shard_id
+        self._tree = root
+        self._n_features = int(data.shape[1])
+        return self
+
+    def route(self, records: np.ndarray) -> np.ndarray:
+        """Assign each record to its shard.
+
+        Parameters
+        ----------
+        records:
+            One record (shape ``(d,)``) or a batch (shape ``(m, d)``).
+
+        Returns
+        -------
+        numpy.ndarray
+            Int64 shard ids, one per record (shape ``(m,)``; a single
+            record yields shape ``(1,)``).
+
+        Raises
+        ------
+        RuntimeError
+            If the router is not fitted.
+        ValueError
+            If the dimensionality does not match the fitted tree.
+        """
+        if self._tree is None:
+            raise RuntimeError("router is not fitted; call fit() first")
+        records = np.asarray(records, dtype=float)
+        if records.ndim == 1:
+            records = records[None, :]
+        if records.ndim != 2 or records.shape[1] != self._n_features:
+            raise ValueError(
+                f"records must have shape (m, {self._n_features}), "
+                f"got {records.shape}"
+            )
+        out = np.empty(records.shape[0], dtype=np.int64)
+        self._route_mask(
+            self._tree, records, np.arange(records.shape[0]), out
+        )
+        return out
+
+    def _route_mask(self, node, records, indices, out) -> None:
+        """Descend one subtree for the records selected by ``indices``."""
+        if not indices.shape[0]:
+            return
+        if "leaf" in node:
+            out[indices] = node["leaf"]
+            return
+        center = np.asarray(node["center"], dtype=float)
+        axis = np.asarray(node["axis"], dtype=float)
+        projections = (records[indices] - center) @ axis
+        below = projections <= node["threshold"]
+        self._route_mask(node["left"], records, indices[below], out)
+        self._route_mask(node["right"], records, indices[~below], out)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaves (reachable shard ids) in the fitted tree.
+
+        Returns
+        -------
+        int
+
+        Raises
+        ------
+        RuntimeError
+            If the router is not fitted.
+        """
+        if self._tree is None:
+            raise RuntimeError("router is not fitted; call fit() first")
+        count = 0
+        stack = [self._tree]
+        while stack:
+            node = stack.pop()
+            if "leaf" in node:
+                count += 1
+            else:
+                stack.extend((node["left"], node["right"]))
+        return count
+
+    def to_state(self) -> dict:
+        """Serialize the fitted tree as a JSON-able aggregate document.
+
+        The document holds only hyperplane aggregates (means, axes,
+        thresholds) — never records — so persisting it next to shard
+        checkpoints keeps the statistics-only invariant.
+
+        Returns
+        -------
+        dict
+            ``{"n_shards", "n_features", "tree"}``.
+
+        Raises
+        ------
+        RuntimeError
+            If the router is not fitted.
+        """
+        if self._tree is None:
+            raise RuntimeError("router is not fitted; call fit() first")
+        return {
+            "n_shards": self.n_shards,
+            "n_features": self._n_features,
+            "tree": self._tree,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PrincipalAxisRouter":
+        """Rebuild a fitted router from :meth:`to_state` output.
+
+        Parameters
+        ----------
+        state:
+            Document produced by :meth:`to_state`.
+
+        Returns
+        -------
+        PrincipalAxisRouter
+
+        Raises
+        ------
+        ValueError
+            If the document is structurally invalid.
+        """
+        try:
+            router = cls(int(state["n_shards"]))
+            router._n_features = int(state["n_features"])
+            tree = state["tree"]
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"invalid router state: {error}") from None
+        if not isinstance(tree, dict):
+            raise ValueError("invalid router state: tree is not a dict")
+        router._tree = tree
+        return router
+
+    def __repr__(self) -> str:
+        status = "fitted" if self.fitted else "unfitted"
+        return (
+            f"PrincipalAxisRouter(n_shards={self.n_shards}, {status})"
+        )

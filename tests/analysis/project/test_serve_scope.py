@@ -1,0 +1,128 @@
+"""The serving layer is inside the analyzer's privacy-critical scope.
+
+Satellite of the serving PR: PRIV-001/002/003 must cover
+``repro/serve``, and a vandalized HTTP handler that echoes ingested
+records back to a client must be flagged by the whole-program taint
+rule — raw records may flow *into* the service, never out of it.
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ModuleContext, analyze_source, get_rules
+from repro.analysis.project import build_index
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+HANDLER_LINE = "    return service.ingest(records)"
+
+
+def _contexts_for_tree(root):
+    return [
+        ModuleContext.from_source(
+            path.read_text(encoding="utf-8"), str(path)
+        )
+        for path in sorted(Path(root).rglob("*.py"))
+    ]
+
+
+def _findings(contexts, rule_id):
+    index = build_index(contexts)
+    [rule] = get_rules(select=[rule_id])
+    return list(rule.check_project(index))
+
+
+class TestServeIsPrivacyCritical:
+    @pytest.mark.parametrize("module", [
+        "service.py", "http.py", "router.py", "loadgen.py",
+    ])
+    def test_modules_in_scope(self, module):
+        path = REPO_ROOT / "src" / "repro" / "serve" / module
+        context = ModuleContext.from_source(
+            path.read_text(encoding="utf-8"),
+            f"src/repro/serve/{module}",
+        )
+        assert context.is_privacy_critical
+
+    def test_priv_001_summary_names_serve(self):
+        [rule] = get_rules(select=["PRIV-001"])
+        assert "serve" in rule.summary
+
+    def test_injected_record_attribute_trips_priv_001(self):
+        source = (
+            REPO_ROOT / "src" / "repro" / "serve" / "service.py"
+        ).read_text(encoding="utf-8")
+        injected = source + (
+            "\n\ndef _stash(service, records):\n"
+            "    service._records = records\n"
+        )
+        findings = analyze_source(
+            injected, path="src/repro/serve/service.py"
+        )
+        assert "PRIV-001" in {finding.rule_id for finding in findings}
+
+    def test_injected_record_telemetry_trips_priv_002(self):
+        source = (
+            REPO_ROOT / "src" / "repro" / "serve" / "http.py"
+        ).read_text(encoding="utf-8")
+        injected = source + (
+            "\n\ndef _debug(records):\n"
+            "    telemetry.gauge_set('serve.debug', records)\n"
+        )
+        findings = analyze_source(
+            injected, path="src/repro/serve/http.py"
+        )
+        assert "PRIV-002" in {finding.rule_id for finding in findings}
+
+
+class TestVandalizedHandlerCanary:
+    @pytest.fixture(scope="class")
+    def repro_copy(self, tmp_path_factory):
+        destination = tmp_path_factory.mktemp("serve-tree") / "repro"
+        shutil.copytree(REPO_ROOT / "src" / "repro", destination)
+        return destination
+
+    def test_clean_tree_has_no_serve_leaks(self):
+        # PRIV-003 needs the whole tree for cross-module resolution;
+        # scope the check by filtering findings to serve files.
+        contexts = _contexts_for_tree(REPO_ROOT / "src" / "repro")
+        leaks = [
+            finding for finding in _findings(contexts, "PRIV-003")
+            if "serve" in finding.path
+        ]
+        assert leaks == []
+
+    def test_handler_echoing_records_is_flagged(self, repro_copy):
+        handler = repro_copy / "serve" / "http.py"
+        source = handler.read_text(encoding="utf-8")
+        assert HANDLER_LINE in source
+        handler.write_text(
+            source.replace(
+                HANDLER_LINE,
+                "    service.ingest(records)\n"
+                "    return records.tolist()",
+            ),
+            encoding="utf-8",
+        )
+        findings = _findings(_contexts_for_tree(repro_copy), "PRIV-003")
+        serve_leaks = [
+            finding for finding in findings if "serve" in finding.path
+        ]
+        assert serve_leaks, "vandalized handler was not flagged"
+        message = serve_leaks[0].message
+        assert "ingest_records" in message
+        assert "serialization" in message
+
+
+class TestLoadgenSanction:
+    def test_loadgen_client_is_sanctioned(self):
+        # The load generator ships raw synthetic records to /ingest —
+        # the trusted client side of the paper's deployment — so its
+        # sinks must not count as leaks.
+        contexts = _contexts_for_tree(REPO_ROOT / "src" / "repro")
+        leaks = [
+            finding for finding in _findings(contexts, "PRIV-003")
+            if "loadgen" in finding.path
+        ]
+        assert leaks == []

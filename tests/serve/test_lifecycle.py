@@ -1,0 +1,123 @@
+"""End-to-end service lifecycle: ingest over HTTP, die, recover.
+
+The serving twin of the durability fault-injection suite: a real
+``repro serve`` subprocess takes traffic, is killed (SIGKILL — no
+graceful shutdown runs), and a restart against the same checkpoint
+directory must answer ``/model`` byte-identically to the pre-crash
+response at the durable frontier.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+from repro.linalg.rng import check_random_state
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)
+    ))),
+    "src",
+)
+
+
+def _spawn_server(tmp_path, label, extra=()):
+    """Start ``repro serve`` on an ephemeral port; return (proc, url)."""
+    port_file = tmp_path / f"port-{label}.txt"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--port-file", str(port_file),
+            "--shards", "3", "--k", "4", "--bootstrap-size", "30",
+            "--checkpoint-dir", str(tmp_path / "state"),
+            "--checkpoint-every", "16", "--seed", "11",
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if port_file.is_file() and port_file.read_text().strip():
+            port = int(port_file.read_text().strip())
+            return process, f"http://127.0.0.1:{port}"
+        if process.poll() is not None:
+            raise AssertionError(
+                f"server died at startup: {process.stderr.read()}"
+            )
+        time.sleep(0.05)
+    process.kill()
+    raise AssertionError("server did not publish its port in time")
+
+
+def _post_json(url, document):
+    request = urllib.request.Request(
+        url, data=json.dumps(document).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as reply:
+        return json.loads(reply.read())
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as reply:
+        return reply.read()
+
+
+class TestCrashRecoveryOverHTTP:
+    def test_model_identical_after_kill_and_restart(self, tmp_path):
+        records = check_random_state(5).normal(size=(150, 3)).tolist()
+        process, url = _spawn_server(tmp_path, "first")
+        try:
+            result = _post_json(f"{url}/ingest", {"records": records})
+            assert result["accepted"] == 150
+            assert result["bootstrapped"]
+            before = _get(f"{url}/model")
+        finally:
+            # SIGKILL: no signal handler, no checkpoint-on-exit — only
+            # the WAL carries the state across the crash.
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=10)
+
+        process, url = _spawn_server(tmp_path, "second")
+        try:
+            after = _get(f"{url}/model")
+            assert after == before
+            health = json.loads(_get(f"{url}/healthz"))
+            assert health["recovered_shards"] == 3
+            assert health["position"] == 150
+            # The recovered service keeps taking traffic.
+            more = _post_json(
+                f"{url}/ingest",
+                {"records": check_random_state(6)
+                    .normal(size=(20, 3)).tolist()},
+            )
+            assert more["position"] == 170
+        finally:
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=10) == 0
+
+    def test_sigterm_checkpoint_equals_crash_recovery(self, tmp_path):
+        records = check_random_state(8).normal(size=(100, 3)).tolist()
+        process, url = _spawn_server(tmp_path, "graceful")
+        try:
+            _post_json(f"{url}/ingest", {"records": records})
+            before = _get(f"{url}/model")
+        finally:
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=10) == 0
+
+        process, url = _spawn_server(tmp_path, "restarted")
+        try:
+            assert _get(f"{url}/model") == before
+        finally:
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=10) == 0

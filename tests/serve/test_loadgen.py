@@ -1,0 +1,91 @@
+"""Load generator: pacing, endpoint mix, percentile report, artifact."""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve import (
+    AnonymizationHTTPServer,
+    ShardedCondensationService,
+    run_loadgen,
+    write_report,
+)
+from repro.serve.loadgen import _summarize
+
+
+@pytest.fixture()
+def server():
+    service = ShardedCondensationService(
+        n_shards=2, k=3, bootstrap_size=12, random_state=0
+    )
+    instance = AnonymizationHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    thread.join(timeout=5)
+    instance.server_close()
+    service.close()
+
+
+class TestRunLoadgen:
+    def test_report_shape_and_mix(self, server):
+        report = run_loadgen(
+            f"http://127.0.0.1:{server.server_port}",
+            duration_seconds=2.0, qps=60.0,
+        )
+        assert report["n_failures"] == 0
+        assert report["achieved_qps"] > 0
+        assert report["n_requests"] >= 60
+        assert "/ingest" in report["endpoints"]
+        assert "/generate" in report["endpoints"]
+        for stats in report["endpoints"].values():
+            assert set(stats) == {
+                "n", "p50_ms", "p95_ms", "p99_ms", "mean_ms"
+            }
+            assert stats["p50_ms"] <= stats["p95_ms"] <= stats["p99_ms"]
+
+    def test_batched_ingest(self, server):
+        report = run_loadgen(
+            f"http://127.0.0.1:{server.server_port}",
+            duration_seconds=1.0, qps=40.0, batch_size=8,
+        )
+        assert report["batch_size"] == 8
+        assert report["n_failures"] == 0
+
+    def test_unreachable_server_raises(self):
+        with pytest.raises(RuntimeError, match="no request"):
+            run_loadgen(
+                "http://127.0.0.1:9", duration_seconds=0.3, qps=10.0,
+                timeout=0.2,
+            )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="qps"):
+            run_loadgen("http://x", qps=0)
+        with pytest.raises(ValueError, match="duration"):
+            run_loadgen("http://x", duration_seconds=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            run_loadgen("http://x", batch_size=0)
+
+
+class TestSummarize:
+    def test_percentiles_ordered(self):
+        stats = _summarize([0.001 * value for value in range(1, 101)])
+        assert stats["n"] == 100
+        assert stats["p50_ms"] <= stats["p95_ms"] <= stats["p99_ms"]
+        assert stats["p50_ms"] == pytest.approx(50.5, abs=1.0)
+
+
+class TestWriteReport:
+    def test_atomic_artifact(self, tmp_path):
+        path = write_report(
+            {"achieved_qps": 1.0}, tmp_path / "BENCH_serve.json"
+        )
+        assert json.loads(path.read_text()) == {"achieved_qps": 1.0}
+        assert not path.with_suffix(".json.tmp").exists()
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_report({}, tmp_path / "deep" / "bench.json")
+        assert path.is_file()

@@ -1,0 +1,106 @@
+"""PrincipalAxisRouter: frozen bisection cuts vs the batch partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.rng import check_random_state
+from repro.parallel import principal_axis_shards
+from repro.serve import PrincipalAxisRouter
+
+
+def _sample(n=96, d=4, seed=0):
+    return check_random_state(seed).normal(size=(n, d))
+
+
+class TestFit:
+    def test_requires_2d_nonempty(self):
+        router = PrincipalAxisRouter(2)
+        with pytest.raises(ValueError, match="non-empty 2-D"):
+            router.fit(np.empty((0, 3)))
+        with pytest.raises(ValueError, match="non-empty 2-D"):
+            router.fit(np.ones(5))
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            PrincipalAxisRouter(0)
+
+    def test_fitted_flag_and_features(self):
+        router = PrincipalAxisRouter(4)
+        assert not router.fitted
+        router.fit(_sample())
+        assert router.fitted
+        assert router.n_features == 4
+        assert router.n_leaves == 4
+
+    def test_single_shard_routes_everything_to_zero(self):
+        router = PrincipalAxisRouter(1).fit(_sample())
+        assert set(router.route(_sample(seed=1)).tolist()) == {0}
+
+    def test_tiny_sample_caps_leaves(self):
+        # One record cannot be split: the tree stays a single leaf.
+        router = PrincipalAxisRouter(4).fit(_sample(n=1))
+        assert router.n_leaves == 1
+        assert set(router.route(_sample(seed=2)).tolist()) == {0}
+
+
+class TestRoutingMatchesBatchPartition:
+    @pytest.mark.parametrize("n_shards", [2, 3, 4, 7])
+    def test_bootstrap_sample_reproduces_batch_shards(self, n_shards):
+        data = _sample(n=128, d=5, seed=3)
+        batch = principal_axis_shards(data, n_shards)
+        router = PrincipalAxisRouter(n_shards).fit(data)
+        routed = router.route(data)
+        for shard_id, indices in enumerate(batch):
+            assert set(routed[indices].tolist()) == {shard_id}
+
+    def test_new_records_land_in_valid_shards(self):
+        router = PrincipalAxisRouter(4).fit(_sample(seed=4))
+        routed = router.route(_sample(n=50, seed=5))
+        assert routed.shape == (50,)
+        assert routed.min() >= 0 and routed.max() < 4
+
+    def test_single_record_shape(self):
+        router = PrincipalAxisRouter(3).fit(_sample())
+        assert router.route(np.zeros(4)).shape == (1,)
+
+
+class TestRouteValidation:
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            PrincipalAxisRouter(2).route(np.zeros(3))
+
+    def test_dimension_mismatch_raises(self):
+        router = PrincipalAxisRouter(2).fit(_sample(d=4))
+        with pytest.raises(ValueError, match=r"\(m, 4\)"):
+            router.route(np.zeros((2, 3)))
+
+
+class TestStateRoundTrip:
+    def test_round_trip_routes_identically(self):
+        router = PrincipalAxisRouter(4).fit(_sample(seed=6))
+        clone = PrincipalAxisRouter.from_state(router.to_state())
+        probes = _sample(n=200, seed=7)
+        np.testing.assert_array_equal(
+            router.route(probes), clone.route(probes)
+        )
+
+    def test_state_is_json_able_aggregates(self):
+        import json
+
+        state = PrincipalAxisRouter(3).fit(_sample()).to_state()
+        document = json.loads(json.dumps(state))
+        assert document["n_shards"] == 3
+        assert document["n_features"] == 4
+        assert "tree" in document
+
+    def test_unfitted_to_state_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            PrincipalAxisRouter(2).to_state()
+
+    def test_invalid_state_raises(self):
+        with pytest.raises(ValueError, match="invalid router state"):
+            PrincipalAxisRouter.from_state({"n_shards": 2})
+        with pytest.raises(ValueError, match="tree"):
+            PrincipalAxisRouter.from_state(
+                {"n_shards": 2, "n_features": 3, "tree": []}
+            )
