@@ -32,7 +32,9 @@ durability directory after a crash; ``repro recover --dry-run``
 previews the same rebuild without writing anything (not even the WAL
 tail repair), and ``repro wal-inspect`` dumps the log frame by frame
 with CRC status.  ``condense --fsync-every N`` batches WAL fsyncs
-(group commit) for ingest throughput.
+(group commit) for ingest throughput, and ``condense --batch-size N``
+ingests the durable stream in vectorized blocks (one ``batch`` WAL
+entry per block — see ``docs/api.md``).
 
 ``repro serve`` runs the long-lived anonymization service (see
 ``docs/serving.md``): a threading HTTP server over ``--shards``
@@ -162,6 +164,13 @@ def _add_durability_arguments(parser):
                              "larger values trade the newest N-1 "
                              "operations after a crash for ingest "
                              "throughput)")
+    parser.add_argument("--batch-size", type=int, default=1,
+                        metavar="N",
+                        help="vectorized ingest block size for the "
+                             "durable serial path: absorb N records "
+                             "per distance matrix and journal one "
+                             "'batch' WAL entry per block (default: "
+                             "1 = record-at-a-time)")
 
 
 def _condense_durable(arguments, data) -> int:
@@ -172,6 +181,7 @@ def _condense_durable(arguments, data) -> int:
         wal_dir=arguments.checkpoint_dir,
         checkpoint_every=arguments.checkpoint_every,
         fsync_every=arguments.fsync_every,
+        batch_size=arguments.batch_size,
     )
     condenser.fit()
     condenser.partial_fit(data)
@@ -189,11 +199,20 @@ def _condense_durable(arguments, data) -> int:
 
 
 def _command_condense(arguments) -> int:
+    durable_serial = (
+        arguments.checkpoint_dir is not None
+        and arguments.shards is None and arguments.workers is None
+    )
+    if arguments.batch_size > 1 and not durable_serial:
+        print("error: --batch-size applies to the durable serial path "
+              "(--checkpoint-dir without --shards/--workers); static "
+              "condensation already sees the whole database at once",
+              file=sys.stderr)
+        return 2
     data, __ = read_records(arguments.input)
     _logger.info("read %d records from %s", data.shape[0],
                  arguments.input)
-    if (arguments.checkpoint_dir is not None
-            and arguments.shards is None and arguments.workers is None):
+    if durable_serial:
         return _condense_durable(arguments, data)
     condenser = StaticCondenser(
         arguments.k, strategy=arguments.strategy,
@@ -458,6 +477,7 @@ def _command_serve(arguments) -> int:
             bootstrap_size=arguments.bootstrap_size,
             checkpoint_every=arguments.checkpoint_every,
             fsync_every=arguments.fsync_every,
+            batch_size=arguments.batch_size,
             random_state=arguments.seed,
         )
         if service.recovered_shards:
@@ -471,6 +491,7 @@ def _command_serve(arguments) -> int:
             arguments.shards, arguments.k,
             strategy=arguments.strategy, sampler=arguments.sampler,
             bootstrap_size=arguments.bootstrap_size,
+            batch_size=arguments.batch_size,
             random_state=arguments.seed,
         )
     server = AnonymizationHTTPServer(
@@ -682,6 +703,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--fsync-every", type=int, default=1,
                        help="per-shard WAL group-commit batch "
                             "(default: 1, fsync every entry)")
+    serve.add_argument("--batch-size", type=int, default=1,
+                       help="per-shard vectorized ingest block size "
+                            "(default: 1, record-at-a-time)")
     serve.add_argument("--bootstrap-size", type=int, default=None,
                        help="records buffered before the shard router "
                             "is fitted (default: max(2*k*shards, "

@@ -146,6 +146,16 @@ class DynamicCondenser:
         trade the durability of at most the newest ``fsync_every - 1``
         operations for ingest throughput (the at-least-once re-feed
         replays anything lost).  See ``docs/durability.md``.
+    batch_size:
+        Ingest block size for :meth:`partial_fit`.  The default ``1``
+        streams record-at-a-time — bit-identical to every prior
+        release.  Larger values route each block through
+        :meth:`~repro.core.dynamic.DynamicGroupMaintainer.ingest_block`
+        (one vectorized distance matrix per block, batched absorbs)
+        and, on a durable condenser, journal one ``batch`` WAL entry
+        per block.  Exact moment conservation holds for any block
+        size; the produced grouping may differ from the sequential one
+        (assignment happens against a per-block centroid snapshot).
 
     Examples
     --------
@@ -162,10 +172,14 @@ class DynamicCondenser:
 
     def __init__(self, k: int, strategy="random", sampler="uniform",
                  random_state=None, wal_dir=None,
-                 checkpoint_every: int = 0, fsync_every: int = 1):
+                 checkpoint_every: int = 0, fsync_every: int = 1,
+                 batch_size: int = 1):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.k = int(k)
+        self.batch_size = int(batch_size)
         self.strategy = strategy
         self.sampler = sampler
         self.wal_dir = wal_dir
@@ -220,7 +234,13 @@ class DynamicCondenser:
             raise ValueError(
                 f"records must be 1-D or 2-D, got shape {records.shape}"
             )
-        if self._manager is None:
+        if self.batch_size > 1:
+            for start in range(0, records.shape[0], self.batch_size):
+                block = records[start:start + self.batch_size]
+                maintainer.ingest_block(block)
+                self._position += block.shape[0]
+                self._flush_ops(kind="batch")
+        elif self._manager is None:
             maintainer.add_stream(records)
             self._position += records.shape[0]
         else:
@@ -325,8 +345,8 @@ class DynamicCondenser:
 
     @classmethod
     def recover(cls, wal_dir, strategy="random", sampler="uniform",
-                checkpoint_every: int = 0,
-                fsync_every: int = 1) -> "DynamicCondenser":
+                checkpoint_every: int = 0, fsync_every: int = 1,
+                batch_size: int = 1) -> "DynamicCondenser":
         """Rebuild a durable condenser from its durability directory.
 
         Loads the newest valid snapshot, replays the WAL tail, and
@@ -346,6 +366,9 @@ class DynamicCondenser:
         checkpoint_every, fsync_every:
             Durability knobs for the recovered instance (cadence and
             WAL group-commit batch, as in the constructor).
+        batch_size:
+            Ingest block size for the recovered instance, as in the
+            constructor (not persisted; replay is kind-agnostic).
 
         Returns
         -------
@@ -365,7 +388,7 @@ class DynamicCondenser:
         maintainer, position = rebuild_maintainer(manager.recover())
         condenser = cls(
             maintainer.k, strategy=strategy, sampler=sampler,
-            random_state=maintainer._rng,
+            random_state=maintainer._rng, batch_size=batch_size,
         )
         condenser.wal_dir = wal_dir
         condenser.checkpoint_every = int(checkpoint_every)
@@ -389,17 +412,19 @@ class DynamicCondenser:
             "position": self._position,
         }
 
-    def _flush_ops(self) -> None:
+    def _flush_ops(self, kind: str = "op") -> None:
         """Write the journal of one completed source op as a WAL entry.
 
         Memory is mutated first, then logged: a crash in between loses
         only the latest operation, which the at-least-once re-feed
         replays.  Operations that emitted nothing (warm-up buffering)
-        leave no entry — raw records are never durable.
+        leave no entry — raw records are never durable.  Batched
+        ingestion passes ``kind="batch"`` so a whole block travels as
+        one entry and the resume position stays on a block edge.
         """
         if self._manager is None or not self._ops:
             return
-        entry = {"kind": "op", "pos": self._position,
+        entry = {"kind": kind, "pos": self._position,
                  "ops": list(self._ops)}
         self._ops.clear()
         self._manager.append(entry)
@@ -454,13 +479,22 @@ class ClasswiseCondenser:
         As for :class:`StaticCondenser`; applied to every per-class
         static condensation (ignored in dynamic mode, whose streaming
         maintenance is inherently serial).
+    batch_size:
+        Ingest block size for dynamic mode: each class's stream phase
+        runs through
+        :meth:`~repro.core.dynamic.DynamicGroupMaintainer.ingest_many`
+        with this block size.  The default ``1`` keeps the sequential
+        path; ignored in static mode.
     """
 
     def __init__(self, k: int, mode: str = "static", strategy="random",
                  sampler="uniform", small_class_policy: str = "error",
-                 random_state=None, n_shards=None, n_workers=None):
+                 random_state=None, n_shards=None, n_workers=None,
+                 batch_size: int = 1):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if mode not in ("static", "dynamic"):
             raise ValueError(
                 f"mode must be 'static' or 'dynamic', got {mode!r}"
@@ -477,6 +511,7 @@ class ClasswiseCondenser:
         self.small_class_policy = small_class_policy
         self.n_shards = n_shards
         self.n_workers = n_workers
+        self.batch_size = int(batch_size)
         self._rng = check_random_state(random_state)
         self.classes_ = None
         self.models_: dict = {}
@@ -537,7 +572,9 @@ class ClasswiseCondenser:
             strategy=self.strategy,
             random_state=self._rng,
         )
-        maintainer.add_stream(members[bootstrap_size:])
+        maintainer.ingest_many(
+            members[bootstrap_size:], batch_size=self.batch_size
+        )
         return maintainer.to_model()
 
     def generate(self):

@@ -29,12 +29,23 @@ from repro import telemetry
 from repro.core.condensation import create_condensed_groups
 from repro.core.statistics import CondensedModel, GroupStatistics
 from repro.linalg.rng import check_random_state, rng_from_state, rng_state
+from repro.linalg.updates import EigenUpdateError, absorbed_record_eigh_update
 from repro.neighbors.brute import pairwise_distances
+from repro.neighbors.centroids import CentroidIndex
 from repro.telemetry import DEFAULT_SIZE_BUCKETS
+
+#: Dimensionality floor for the rank-one eigen-update fast path: below
+#: it a dense ``sorted_eigh`` is cheaper than the secular solve chain,
+#: so the shortcut only engages on wide data.
+EIGEN_UPDATE_MIN_DIM = 16
+
+#: Relative tolerance on the trace drift accumulated by a chain of
+#: rank-one eigen updates before the split falls back to the exact path.
+EIGEN_UPDATE_TRACE_RTOL = 1e-6
 
 
 def split_group_statistics(
-    group: GroupStatistics, k: int | None = None
+    group: GroupStatistics, k: int | None = None, eigen=None
 ) -> tuple[GroupStatistics, GroupStatistics]:
     """Split one group's statistics into two children (Fig. 3).
 
@@ -48,13 +59,24 @@ def split_group_statistics(
     k:
         When given, asserts the paper's invariant ``n(M) == 2k`` and
         produces two children of exactly ``k`` records.
+    eigen:
+        Optional precomputed ``(eigenvalues, eigenvectors)`` of the
+        group covariance (decreasing order, eigenvalues non-negative),
+        e.g. advanced through
+        :func:`repro.linalg.updates.absorbed_record_eigh_update` by the
+        batch ingest path.  When omitted the exact
+        :meth:`~repro.core.statistics.GroupStatistics.eigen_system` is
+        computed.
 
     Returns
     -------
     (GroupStatistics, GroupStatistics)
         Children with identical covariance matrices (leading eigenvalue
         divided by 4) and centroids displaced by ``± sqrt(12 λ₁)/4``
-        along the leading eigenvector.
+        along the leading eigenvector.  Both children carry an eigen
+        hint (their covariance differs from the parent's only in the
+        quartered leading eigenvalue), which the batch ingest path can
+        advance across later absorbs instead of redecomposing.
     """
     if group.count < 2:
         raise ValueError(
@@ -72,7 +94,10 @@ def split_group_statistics(
         first_count = (group.count + 1) // 2
         second_count = group.count - first_count
 
-    eigenvalues, eigenvectors = group.eigen_system()
+    if eigen is None:
+        eigenvalues, eigenvectors = group.eigen_system()
+    else:
+        eigenvalues, eigenvectors = eigen
     leading_eigenvalue = float(eigenvalues[0])
     leading_vector = eigenvectors[:, 0]
 
@@ -95,6 +120,13 @@ def split_group_statistics(
     second = GroupStatistics.from_moments(
         second_centroid, child_covariance, second_count
     )
+    # The children's eigensystem is known in closed form: the parent's
+    # vectors with the leading eigenvalue quartered (re-sorted, since
+    # λ₁/4 may drop below later eigenvalues).
+    order = np.argsort(child_eigenvalues, kind="stable")[::-1]
+    hint = (child_eigenvalues[order], eigenvectors[:, order])
+    first._eigen_hint = hint
+    second._eigen_hint = hint
     return first, second
 
 
@@ -126,7 +158,10 @@ class DynamicGroupMaintainer:
     **Journaling.**  When :attr:`journal` is set to a callable, every
     completed mutation emits one sub-operation dict describing its
     *post-state* — the updated group aggregates, never the triggering
-    record.  The durable condensers collect these into WAL entries;
+    record.  The batch path adds an ``absorb`` sub-operation (one per
+    touched group, carrying the absorbed count) and annotates batch
+    splits with theirs.  The durable condensers collect these into WAL
+    entries;
     :meth:`apply_op` replays them, and because each sub-operation
     carries exact (JSON-round-trippable) float aggregates, replay
     reconstructs the maintainer bit for bit.  Warm-up buffering emits
@@ -148,6 +183,11 @@ class DynamicGroupMaintainer:
         self._rng = check_random_state(random_state)
         self._groups: list[GroupStatistics] = []
         self._centroids: np.ndarray | None = None
+        self._index = CentroidIndex()
+        #: Dimensionality floor for the batch split's rank-one eigen
+        #: shortcut; raise or lower to tune when the secular chain is
+        #: attempted before falling back to ``sorted_eigh``.
+        self.eigen_update_min_dim = EIGEN_UPDATE_MIN_DIM
         self._warmup: list[np.ndarray] = []
         self.n_splits = 0
         self.n_merges = 0
@@ -205,10 +245,7 @@ class DynamicGroupMaintainer:
                 f"expected {self._groups[0].n_features} attributes, "
                 f"got {record.shape[0]}"
             )
-        distances = pairwise_distances(
-            record[None, :], self._centroids, squared=True
-        )[0]
-        target = int(np.argmin(distances))
+        target = self._index.nearest(record, self._centroids)
         group = self._groups[target]
         group.add(record)
         self.n_absorbed += 1
@@ -221,6 +258,7 @@ class DynamicGroupMaintainer:
                 self._groups.append(second)
                 self.n_splits += 1
                 self._refresh_centroids()
+                self._index.mark_dirty(target)
                 split_span.set_attribute("n_groups", len(self._groups))
             telemetry.counter_inc("dynamic.splits")
             telemetry.gauge_set("dynamic.groups", len(self._groups))
@@ -229,6 +267,7 @@ class DynamicGroupMaintainer:
                         "second": second.to_dict()})
         else:
             self._centroids[target] = group.centroid
+            self._index.mark_dirty(target)
             self._emit({"op": "ingest", "target": target,
                         "group": group.to_dict()})
 
@@ -241,6 +280,204 @@ class DynamicGroupMaintainer:
                 ingested += 1
             ingest_span.set_attribute("n_records", ingested)
             ingest_span.set_attribute("n_groups", len(self._groups))
+
+    def ingest_many(self, records, batch_size: int = 256) -> None:
+        """Ingest a record array through the vectorized batch path.
+
+        Records are processed in blocks of ``batch_size`` via
+        :meth:`ingest_block`.  ``batch_size=1`` is contractually
+        *bit-identical* to the sequential :meth:`add` loop — groups,
+        centroids, generator position, and journal output all match
+        byte for byte (mirroring the ``n_shards=1`` determinism
+        contract of ``repro.parallel``).  Any fixed ``batch_size`` is
+        deterministic across runs and conserves the absorbed moment
+        mass exactly (per-group sums are single
+        :meth:`~repro.core.statistics.GroupStatistics.add_batch`
+        reductions).
+
+        Parameters
+        ----------
+        records:
+            Record array of shape ``(m, d)``.
+        batch_size:
+            Block size for the vectorized assignment; ``1`` delegates
+            to the sequential loop.
+        """
+        records = np.asarray(records, dtype=float)
+        if records.ndim != 2:
+            raise ValueError(
+                f"records must be 2-D, got shape {records.shape}"
+            )
+        if batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        if batch_size == 1:
+            self.add_stream(records)
+            return
+        with telemetry.span("dynamic.ingest_many") as ingest_span:
+            for start in range(0, records.shape[0], batch_size):
+                self.ingest_block(records[start:start + batch_size])
+            ingest_span.set_attribute("n_records", records.shape[0])
+            ingest_span.set_attribute("n_groups", len(self._groups))
+
+    def ingest_block(self, block) -> None:
+        """Absorb one block of records with a single distance matrix.
+
+        The block is assigned to nearest groups against a *frozen*
+        centroid snapshot, each targeted group absorbs its rows with
+        one batch-sum update (capped at the ``2k`` band ceiling), and
+        groups that reach ``2k`` split.  Rows beyond a group's capacity
+        are re-dispatched in a further round against the refreshed
+        centroids — every round absorbs at least one record per
+        targeted group (the ``[k, 2k)`` invariant guarantees capacity),
+        so the loop terminates.  Within a round, rows are grouped by
+        target in arrival order; assignment is deterministic (ties
+        break toward the lower group id).
+
+        Journaling emits one ``absorb`` sub-operation per touched group
+        (carrying the post-state aggregates and the absorbed count) and
+        the usual ``split`` sub-operations, so durable condensers can
+        log a whole block as one WAL entry.
+        """
+        block = np.asarray(block, dtype=float)
+        if block.ndim != 2:
+            raise ValueError(
+                f"block must be 2-D, got shape {block.shape}"
+            )
+        if block.shape[0] == 0:
+            return
+        if not np.isfinite(block).all():
+            raise ValueError("records contain NaN or infinite values")
+        consumed = 0
+        # Warm-up routes record-at-a-time until a founding group exists.
+        while consumed < block.shape[0] and not self._groups:
+            self.add(block[consumed])
+            consumed += 1
+        pending = block[consumed:]
+        if not pending.shape[0]:
+            return
+        if pending.shape[1] != self._groups[0].n_features:
+            raise ValueError(
+                f"expected {self._groups[0].n_features} attributes, "
+                f"got {pending.shape[1]}"
+            )
+        telemetry.counter_inc("ingest.batches")
+        telemetry.counter_inc("ingest.batch_records", pending.shape[0])
+        rounds = 0
+        while pending.shape[0]:
+            rounds += 1
+            if rounds > 1:
+                telemetry.counter_inc(
+                    "ingest.redispatched", pending.shape[0]
+                )
+            distances = pairwise_distances(
+                pending, self._centroids, squared=True
+            )
+            targets = np.argmin(distances, axis=1)
+            order = np.argsort(targets, kind="stable")
+            rows = pending[order]
+            targets = targets[order]
+            cuts = np.flatnonzero(np.diff(targets)) + 1
+            starts = np.concatenate(([0], cuts))
+            ends = np.concatenate((cuts, [targets.shape[0]]))
+            leftover: list[np.ndarray] = []
+            appended: list[np.ndarray] = []
+            for lo, hi in zip(starts, ends):
+                target = int(targets[lo])
+                group = self._groups[target]
+                capacity = 2 * self.k - group.count
+                take = rows[lo:lo + min(hi - lo, capacity)]
+                if hi - lo > capacity:
+                    leftover.append(rows[lo + capacity:hi])
+                hint = group._eigen_hint
+                pre_first = (
+                    group.first_order.copy() if hint is not None else None
+                )
+                pre_count = group.count
+                group.add_batch(take)
+                self.n_absorbed += take.shape[0]
+                if group.count >= 2 * self.k:
+                    eigen = self._advance_eigen_hint(
+                        hint, pre_first, pre_count, take, group
+                    )
+                    first, second = split_group_statistics(
+                        group, k=self.k, eigen=eigen
+                    )
+                    self._groups[target] = first
+                    self._groups.append(second)
+                    self.n_splits += 1
+                    self._centroids[target] = first.centroid
+                    appended.append(second.centroid)
+                    self._index.mark_dirty(target)
+                    telemetry.counter_inc("dynamic.splits")
+                    self._emit({"op": "split", "target": target,
+                                "first": first.to_dict(),
+                                "second": second.to_dict(),
+                                "absorbed": int(take.shape[0])})
+                else:
+                    # Keep the eigen hint alive across absorbs so the
+                    # eventual split can take the rank-one fast path.
+                    advanced = self._advance_eigen_hint(
+                        hint, pre_first, pre_count, take, group
+                    )
+                    if advanced is not None:
+                        group._eigen_hint = advanced
+                    self._centroids[target] = group.centroid
+                    self._index.mark_dirty(target)
+                    self._emit({"op": "absorb", "target": target,
+                                "group": group.to_dict(),
+                                "n": int(take.shape[0])})
+            if appended:
+                self._centroids = np.vstack([self._centroids] + appended)
+            remainder = (
+                np.vstack(leftover) if leftover else pending[:0]
+            )
+            telemetry.counter_inc(
+                "dynamic.absorbed",
+                pending.shape[0] - remainder.shape[0],
+            )
+            pending = remainder
+        telemetry.gauge_set("dynamic.groups", len(self._groups))
+        telemetry.histogram_observe(
+            "ingest.rounds", rounds, buckets=DEFAULT_SIZE_BUCKETS
+        )
+
+    def _advance_eigen_hint(self, hint, pre_first, pre_count, take,
+                            group):
+        """Advance a pre-absorb eigen hint across absorbed rows.
+
+        Returns the post-absorb covariance eigensystem when the
+        rank-one chain is worthwhile (wide data, update rank below the
+        dimension) and stays within tolerance — otherwise ``None``, and
+        the caller's :func:`split_group_statistics` takes the exact
+        ``sorted_eigh`` path.
+        """
+        if hint is None:
+            return None
+        d = int(pre_first.shape[0])
+        if d < self.eigen_update_min_dim or take.shape[0] >= d:
+            return None
+        eigenvalues, eigenvectors = hint
+        mean = pre_first / pre_count
+        count = pre_count
+        try:
+            for row in take:
+                eigenvalues, eigenvectors = absorbed_record_eigh_update(
+                    eigenvalues, eigenvectors, mean, count, row
+                )
+                mean = (mean * count + row) / (count + 1)
+                count += 1
+        except EigenUpdateError:
+            telemetry.counter_inc("ingest.eigen_fallbacks")
+            return None
+        trace = float(np.trace(group.covariance))
+        drift = abs(float(eigenvalues.sum()) - trace)
+        if drift > EIGEN_UPDATE_TRACE_RTOL * max(abs(trace), 1.0):
+            telemetry.counter_inc("ingest.eigen_fallbacks")
+            return None
+        telemetry.counter_inc("ingest.eigen_updates")
+        return np.clip(eigenvalues, 0.0, None), eigenvectors
 
     def remove(self, record: np.ndarray) -> None:
         """Process a deletion request (an extension of the paper's §3).
@@ -271,10 +508,7 @@ class DynamicGroupMaintainer:
                 f"expected {self._groups[0].n_features} attributes, "
                 f"got {record.shape[0]}"
             )
-        distances = pairwise_distances(
-            record[None, :], self._centroids, squared=True
-        )[0]
-        target = int(np.argmin(distances))
+        target = self._index.nearest(record, self._centroids)
         group = self._groups[target]
         if len(self._groups) == 1 and group.count <= 1:
             raise ValueError(
@@ -289,6 +523,7 @@ class DynamicGroupMaintainer:
         if group.count >= self.k or len(self._groups) == 1:
             if group.count > 0:
                 self._centroids[target] = group.centroid
+                self._index.mark_dirty(target)
                 self._emit({"op": "remove", "target": target,
                             "group": group.to_dict()})
                 return
@@ -298,6 +533,9 @@ class DynamicGroupMaintainer:
         """Merge group ``target`` into its nearest neighbour group."""
         group = self._groups.pop(target)
         self._refresh_centroids()
+        # Popping renumbers every later group id; the snapshot cannot
+        # be patched, so the centroid index starts over.
+        self._index.invalidate()
         if group.count == 0:
             self.n_merges += 1
             telemetry.counter_inc("dynamic.merges")
@@ -367,12 +605,20 @@ class DynamicGroupMaintainer:
                 sub["group"]
             )
             self.n_absorbed += 1
+        elif op == "absorb":
+            self._groups[sub["target"]] = GroupStatistics.from_dict(
+                sub["group"]
+            )
+            self.n_absorbed += int(sub["n"])
         elif op == "split":
             self._groups[sub["target"]] = GroupStatistics.from_dict(
                 sub["first"]
             )
             self._groups.append(GroupStatistics.from_dict(sub["second"]))
-            self.n_absorbed += 1
+            # Sequential splits fold the triggering record's absorb into
+            # the split op; batch splits carry their own absorbed count
+            # (possibly zero when the batch absorb was journaled apart).
+            self.n_absorbed += int(sub.get("absorbed", 1))
             self.n_splits += 1
         elif op == "remove":
             self._groups[sub["target"]] = GroupStatistics.from_dict(
@@ -400,6 +646,9 @@ class DynamicGroupMaintainer:
             raise ValueError(f"unknown journal operation {op!r}")
         if self._groups:
             self._refresh_centroids()
+        # Replay is not a hot path: rebuild the lookup index lazily on
+        # the next query rather than tracking per-op dirtiness.
+        self._index.invalidate()
 
     def state_dict(self) -> dict:
         """Full durable state as a JSON-serializable document.

@@ -19,6 +19,12 @@ Entry vocabulary
     :meth:`~repro.core.dynamic.DynamicGroupMaintainer.apply_op`.
     A sliding-window push that both adds and expires is one atomic
     ``op`` entry, so recovery can never observe a half-applied push.
+``{"kind": "batch", "pos": p, "ops": [...]}``
+    One vectorized ingest block (``ingest_block``) and every
+    sub-operation it produced (``absorb`` / ``split``).  Replayed
+    exactly like an ``op`` entry; the distinct kind records the block
+    boundary, so the position always advances a whole block at a time
+    and the at-least-once re-feed resumes on a block edge.
 ``{"kind": "rng", "pos": p, "state": {...}}``
     The generator position after an anonymized-data generation, so
     post-recovery draws continue the original sequence bit for bit.
@@ -131,7 +137,7 @@ def rebuild_maintainer(recovered: RecoveredState):
         kind = entry.get("kind")
         if kind == "bootstrap":
             maintainer = DynamicGroupMaintainer.from_state(entry["state"])
-        elif kind == "op":
+        elif kind in ("op", "batch"):
             if maintainer is None:
                 raise RecoveryError(
                     f"WAL entry {seq} applies an operation before any "

@@ -1,0 +1,250 @@
+"""Rank-one updates of symmetric eigendecompositions.
+
+The dynamic maintainer's split (Fig. 3) needs the eigensystem of one
+group's covariance.  When that group's decomposition is already known
+from an earlier split, absorbing a record changes the covariance by a
+*scaling plus a rank-one term*:
+
+    C' = n/(n+1) · C  +  n/(n+1)² · (x − μ)(x − μ)ᵀ
+
+so the new eigensystem is reachable without a fresh ``sorted_eigh``:
+scale the eigenvalues (eigenvectors unchanged), then solve the classic
+diagonal-plus-rank-one problem
+
+    D + ρ zzᵀ,   z = Pᵀ v
+
+whose eigenvalues are the roots of the secular equation
+``f(μ) = 1 + ρ Σ zᵢ² / (dᵢ − μ)`` — one root strictly interlacing each
+pair of old eigenvalues — and whose eigenvectors are
+``(D − μⱼ I)⁻¹ z`` up to normalization (Bunch, Nielsen & Sorensen,
+1978).  Each update costs ``O(d²)`` against the ``O(d³)`` of a dense
+decomposition.
+
+The secular formulation is only well conditioned when the old spectrum
+is well separated and every component of ``z`` genuinely couples.  This
+module does not deflate: near-degenerate spectra, decoupled components,
+and any solution whose residual or orthogonality drifts past tolerance
+raise :class:`EigenUpdateError`, and callers fall back to the exact
+``sorted_eigh`` path.  The update is a shortcut, never a replacement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Relative tolerance on the updated system's residual and the
+#: orthogonality of the updated eigenvectors; exceeding it raises
+#: :class:`EigenUpdateError` so callers take the exact path.
+EIGEN_UPDATE_RTOL = 1e-8
+
+#: Relative spectral-gap floor below which the secular formulation is
+#: declared ill conditioned (near-degenerate spectrum).
+EIGEN_UPDATE_GAP_RTOL = 1e-8
+
+#: Relative coupling floor: a ``z`` component whose contribution to the
+#: perturbation falls below this is effectively decoupled, which the
+#: undeflated secular solve cannot represent accurately.
+EIGEN_UPDATE_COUPLING_RTOL = 1e-10
+
+_BISECTION_STEPS = 100
+
+
+class EigenUpdateError(RuntimeError):
+    """The rank-one shortcut is unsafe; use the exact decomposition."""
+
+
+def _validate_system(eigenvalues, eigenvectors, vector):
+    eigenvalues = np.asarray(eigenvalues, dtype=float)
+    eigenvectors = np.asarray(eigenvectors, dtype=float)
+    vector = np.asarray(vector, dtype=float)
+    if eigenvalues.ndim != 1:
+        raise ValueError("eigenvalues must be a vector")
+    d = eigenvalues.shape[0]
+    if eigenvectors.shape != (d, d):
+        raise ValueError(
+            f"eigenvectors must have shape {(d, d)}, "
+            f"got {eigenvectors.shape}"
+        )
+    if vector.shape != (d,):
+        raise ValueError(
+            f"vector must have shape ({d},), got {vector.shape}"
+        )
+    if np.any(np.diff(eigenvalues) > 0):
+        raise ValueError("eigenvalues must be in decreasing order")
+    return eigenvalues, eigenvectors, vector
+
+
+def rank_one_eigh_update(
+    eigenvalues: np.ndarray,
+    eigenvectors: np.ndarray,
+    rho: float,
+    vector: np.ndarray,
+    tol: float = EIGEN_UPDATE_RTOL,
+):
+    """Eigendecomposition of ``P diag(Λ) Pᵀ + ρ vvᵀ`` from that of ``A``.
+
+    Parameters
+    ----------
+    eigenvalues:
+        Eigenvalues of the base matrix, decreasing (the library-wide
+        :func:`repro.linalg.symmetric.sorted_eigh` convention).
+    eigenvectors:
+        Matching orthonormal eigenvectors, one per column.
+    rho:
+        Scalar weight of the rank-one term.
+    vector:
+        The update direction ``v``, shape ``(d,)``.
+    tol:
+        Relative tolerance on the updated system's residual and the
+        orthogonality of the updated eigenvectors.
+
+    Returns
+    -------
+    (eigenvalues, eigenvectors)
+        Updated decomposition, eigenvalues decreasing.
+
+    Raises
+    ------
+    EigenUpdateError
+        If the base spectrum is near-degenerate, a component of the
+        update decouples, or the solved system misses the tolerance —
+        every case in which the caller must fall back to
+        :func:`repro.linalg.symmetric.sorted_eigh`.
+    ValueError
+        On malformed shapes or a non-decreasing eigenvalue order.
+    """
+    eigenvalues, eigenvectors, vector = _validate_system(
+        eigenvalues, eigenvectors, vector
+    )
+    rho = float(rho)
+    d = eigenvalues.shape[0]
+    perturbation = abs(rho) * float(vector @ vector)
+    scale = max(float(np.abs(eigenvalues).max()), perturbation, 1e-300)
+    if perturbation == 0.0:
+        return eigenvalues.copy(), eigenvectors.copy()
+    if d == 1:
+        updated = eigenvalues[0] + rho * vector[0] * vector[0] * (
+            eigenvectors[0, 0] * eigenvectors[0, 0]
+        )
+        return np.array([updated]), eigenvectors.copy()
+
+    # Work on the increasing-order diagonal problem D + rho z z^T.
+    base = eigenvalues[::-1].copy()
+    basis = eigenvectors[:, ::-1]
+    z = basis.T @ vector
+    z_squared = z * z
+
+    gaps = np.diff(base)
+    if float(gaps.min(initial=np.inf)) <= EIGEN_UPDATE_GAP_RTOL * scale:
+        raise EigenUpdateError(
+            "near-degenerate spectrum: secular solve ill conditioned"
+        )
+    if float((abs(rho) * z_squared).min()) <= (
+        EIGEN_UPDATE_COUPLING_RTOL * scale
+    ):
+        raise EigenUpdateError(
+            "decoupled update component: deflation required"
+        )
+
+    # Interlacing brackets for the secular roots.
+    norm = float(z_squared.sum())
+    if rho > 0.0:
+        lo = base.copy()
+        hi = np.concatenate((base[1:], [base[-1] + rho * norm]))
+    else:
+        lo = np.concatenate(([base[0] + rho * norm], base[:-1]))
+        hi = base.copy()
+
+    # f is monotone on each open bracket, with sign(rho) fixing the
+    # direction; plain bisection converges unconditionally.
+    sign = 1.0 if rho > 0.0 else -1.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for _ in range(_BISECTION_STEPS):
+            mid = 0.5 * (lo + hi)
+            secular = 1.0 + rho * np.sum(
+                z_squared[:, None] / (base[:, None] - mid[None, :]),
+                axis=0,
+            )
+            below = sign * secular < 0.0
+            lo = np.where(below, mid, lo)
+            hi = np.where(below, hi, mid)
+    roots = 0.5 * (lo + hi)
+
+    spread = base[:, None] - roots[None, :]
+    if np.any(spread == 0.0):
+        raise EigenUpdateError("secular root collided with an old "
+                               "eigenvalue")
+    vectors = z[:, None] / spread
+    norms = np.sqrt(np.sum(vectors * vectors, axis=0))
+    if not np.isfinite(vectors).all() or np.any(norms == 0.0):
+        raise EigenUpdateError("non-finite secular eigenvector")
+    vectors /= norms
+
+    # Residual and orthogonality gates — the fallback contract.
+    residual = (
+        base[:, None] * vectors
+        - vectors * roots[None, :]
+        + rho * np.outer(z, z @ vectors)
+    )
+    if float(np.abs(residual).max()) > tol * scale:
+        raise EigenUpdateError("update residual exceeds tolerance")
+    gram = vectors.T @ vectors
+    np.fill_diagonal(gram, gram.diagonal() - 1.0)
+    if float(np.abs(gram).max()) > tol:
+        raise EigenUpdateError("updated eigenvectors lost orthogonality")
+
+    updated = basis @ vectors
+    return roots[::-1].copy(), updated[:, ::-1].copy()
+
+
+def absorbed_record_eigh_update(
+    eigenvalues: np.ndarray,
+    eigenvectors: np.ndarray,
+    mean: np.ndarray,
+    count: int,
+    record: np.ndarray,
+    tol: float = EIGEN_UPDATE_RTOL,
+):
+    """Advance a group covariance eigensystem across one absorbed record.
+
+    Given the eigensystem of a group's covariance *before* a record is
+    folded into its sums, return the eigensystem *after*: the exact
+    identity ``C' = n/(n+1)·C + n/(n+1)²·(x − μ)(x − μ)ᵀ`` scales the
+    eigenvalues in place and reduces the rest to
+    :func:`rank_one_eigh_update`.
+
+    Parameters
+    ----------
+    eigenvalues, eigenvectors:
+        Pre-absorb covariance eigensystem, decreasing order.
+    mean:
+        Pre-absorb group centroid ``μ``.
+    count:
+        Pre-absorb group size ``n`` (at least 1).
+    record:
+        The absorbed record ``x``.
+    tol:
+        Passed through to :func:`rank_one_eigh_update`.
+
+    Returns
+    -------
+    (eigenvalues, eigenvectors)
+        Post-absorb covariance eigensystem, decreasing order.
+
+    Raises
+    ------
+    EigenUpdateError
+        When the rank-one shortcut is unsafe (see
+        :func:`rank_one_eigh_update`).
+    """
+    count = int(count)
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    eigenvalues = np.asarray(eigenvalues, dtype=float)
+    mean = np.asarray(mean, dtype=float)
+    record = np.asarray(record, dtype=float)
+    shrink = count / (count + 1.0)
+    rho = count / float((count + 1) ** 2)
+    return rank_one_eigh_update(
+        shrink * eigenvalues, eigenvectors, rho, record - mean, tol=tol
+    )

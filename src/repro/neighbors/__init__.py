@@ -10,18 +10,22 @@ algorithm in its own right.
 * :class:`BruteForceIndex` — exact search by full distance computation.
 * :class:`KDTreeIndex` — exact search via a from-scratch k-d tree,
   asymptotically faster in low-to-moderate dimension.
+* :class:`CentroidIndex` — a lazily rebuilt k-d tree over the *mutating*
+  centroid set of the dynamic maintainer (snapshot plus dirty overlay).
 * :class:`KNeighborsClassifier` / :class:`KNeighborsRegressor` — the
   estimators used in the paper's evaluation (simple NN classification and
   the Abalone within-one-year age prediction).
 """
 
 from repro.neighbors.brute import BruteForceIndex, pairwise_distances
+from repro.neighbors.centroids import CentroidIndex
 from repro.neighbors.kdtree import KDTreeIndex
 from repro.neighbors.knn import KNeighborsClassifier, KNeighborsRegressor
 from repro.neighbors.lsh import LSHIndex
 
 __all__ = [
     "BruteForceIndex",
+    "CentroidIndex",
     "KDTreeIndex",
     "LSHIndex",
     "KNeighborsClassifier",

@@ -1,0 +1,171 @@
+"""Maintained nearest-centroid index for streaming condensation.
+
+The dynamic maintainer (Fig. 2) routes every arriving record to the
+group with the nearest centroid.  A brute scan is ``O(G)`` per record;
+once the group population grows, a k-d tree answers the same query in
+``O(log G)`` — but the centroid set *churns*: ingestion nudges one
+centroid per absorb, splits append groups, and merges renumber them.
+
+:class:`CentroidIndex` resolves the tension with a snapshot-plus-overlay
+scheme:
+
+* the k-d tree indexes a *snapshot* of the centroids;
+* centroids that moved since the snapshot are tracked in a dirty set
+  and excluded from tree queries via the index's ``mask`` support;
+* groups appended after the snapshot are not in the tree at all;
+* a query combines the tree's best *clean* candidate with a brute scan
+  over the dirty and appended centroids, comparing all finalists with
+  :func:`repro.neighbors.brute.pairwise_distances` and breaking ties
+  toward the lowest group id — the same contract as the brute scan;
+* once the overlay outgrows the staleness threshold the tree is rebuilt
+  lazily, on the next query.  Structural renumbering (a merge popping a
+  group) invalidates the snapshot outright, since every later group id
+  shifts.
+
+Below ``min_index_size`` groups the tree is not worth its bookkeeping
+and the index degrades to the plain brute scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import telemetry
+from repro.neighbors.brute import pairwise_distances
+from repro.neighbors.kdtree import KDTreeIndex
+
+
+class CentroidIndex:
+    """Lazily rebuilt k-d tree over a mutating set of group centroids.
+
+    Parameters
+    ----------
+    min_index_size:
+        Centroid count below which queries use the brute scan and no
+        tree is kept.
+    staleness:
+        Fraction of the centroid population the dirty-plus-appended
+        overlay may reach before the next query rebuilds the tree
+        (floored at ``min_stale`` absolute entries).
+    min_stale:
+        Absolute overlay floor under which a rebuild is never forced.
+    leaf_size:
+        Passed through to :class:`repro.neighbors.kdtree.KDTreeIndex`.
+    """
+
+    def __init__(self, min_index_size: int = 64, staleness: float = 0.25,
+                 min_stale: int = 8, leaf_size: int = 16):
+        if min_index_size < 2:
+            raise ValueError(
+                f"min_index_size must be >= 2, got {min_index_size}"
+            )
+        if not 0.0 < staleness <= 1.0:
+            raise ValueError(
+                f"staleness must be in (0, 1], got {staleness}"
+            )
+        self._min_index_size = int(min_index_size)
+        self._staleness = float(staleness)
+        self._min_stale = int(min_stale)
+        self._leaf_size = int(leaf_size)
+        self._tree: KDTreeIndex | None = None
+        self._snapshot_size = 0
+        self._dirty: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Maintenance hooks
+    # ------------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop the snapshot: group ids were renumbered (merge/pop)."""
+        self._tree = None
+        self._snapshot_size = 0
+        self._dirty.clear()
+
+    def mark_dirty(self, target: int) -> None:
+        """Record that centroid ``target`` moved since the snapshot."""
+        if self._tree is not None and target < self._snapshot_size:
+            self._dirty.add(int(target))
+
+    @property
+    def indexed(self) -> bool:
+        """Whether a tree snapshot currently backs queries."""
+        return self._tree is not None
+
+    @property
+    def overlay_size(self) -> int:
+        """Dirty centroids tracked against the current snapshot."""
+        return len(self._dirty)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def nearest(self, record: np.ndarray, centroids: np.ndarray) -> int:
+        """Index of the centroid nearest to ``record``.
+
+        Exactly the brute contract: the argmin of squared Euclidean
+        distance over ``centroids``, lowest index on ties.
+
+        Parameters
+        ----------
+        record:
+            Query vector, shape ``(d,)``.
+        centroids:
+            The *current* centroid matrix, shape ``(G, d)``; rows with
+            ids at or past the snapshot size are treated as appended.
+        """
+        n = centroids.shape[0]
+        if n < self._min_index_size:
+            if self._tree is not None:
+                self.invalidate()
+            return self._brute(record, centroids)
+        if self._tree is None or self._stale(n):
+            self._rebuild(centroids)
+        overlay = len(self._dirty) + (n - self._snapshot_size)
+        if overlay == 0:
+            __, indices = self._tree.query(record, k=1)
+            return int(indices[0])
+        clean = np.ones(self._snapshot_size, dtype=bool)
+        if self._dirty:
+            clean[np.fromiter(self._dirty, dtype=np.int64)] = False
+        candidates = sorted(self._dirty)
+        candidates.extend(range(self._snapshot_size, n))
+        if clean.any():
+            __, indices = self._tree.query(record, k=1, mask=clean)
+            candidates.append(int(indices[0]))
+            candidates.sort()
+        finalists = np.asarray(candidates, dtype=np.int64)
+        distances = pairwise_distances(
+            record[None, :], centroids[finalists], squared=True
+        )[0]
+        return int(finalists[int(np.argmin(distances))])
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _stale(self, n: int) -> bool:
+        if n < self._snapshot_size:
+            # Centroids disappeared without an invalidate() — ids are
+            # unreliable; force a rebuild.
+            return True
+        overlay = len(self._dirty) + (n - self._snapshot_size)
+        threshold = max(self._min_stale, int(self._staleness * n))
+        if overlay > threshold:
+            return True
+        # Every snapshot entry dirty: the tree answers nothing.
+        return len(self._dirty) >= self._snapshot_size
+
+    def _rebuild(self, centroids: np.ndarray) -> None:
+        self._tree = KDTreeIndex(centroids, leaf_size=self._leaf_size)
+        self._snapshot_size = centroids.shape[0]
+        self._dirty.clear()
+        telemetry.counter_inc("ingest.index_rebuilds")
+        telemetry.gauge_set("ingest.index_size", self._snapshot_size)
+
+    @staticmethod
+    def _brute(record: np.ndarray, centroids: np.ndarray) -> int:
+        distances = pairwise_distances(
+            record[None, :], centroids, squared=True
+        )[0]
+        return int(np.argmin(distances))

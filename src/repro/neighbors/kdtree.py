@@ -100,7 +100,7 @@ class KDTreeIndex:
         above = np.clip(query - node.hi, 0.0, None)
         return float(below @ below + above @ above)
 
-    def _query_single(self, query: np.ndarray, k: int):
+    def _query_single(self, query: np.ndarray, k: int, mask=None):
         # Max-heap of the current k best as (-squared_distance, index).
         best: list[tuple[float, int]] = []
         # Candidate accounting for telemetry: leaf points actually
@@ -114,10 +114,15 @@ class KDTreeIndex:
             if len(best) == k and box_distance >= -best[0][0]:
                 break
             if node.axis == _LEAF:
-                scanned += node.indices.shape[0]
-                diffs = self._points[node.indices] - query
+                indices = node.indices
+                if mask is not None:
+                    indices = indices[mask[indices]]
+                    if not indices.shape[0]:
+                        continue
+                scanned += indices.shape[0]
+                diffs = self._points[indices] - query
                 squared = np.einsum("ij,ij->i", diffs, diffs)
-                for distance, index in zip(squared, node.indices):
+                for distance, index in zip(squared, indices):
                     if len(best) < k:
                         heapq.heappush(best, (-distance, -int(index)))
                     elif distance < -best[0][0]:
@@ -133,13 +138,25 @@ class KDTreeIndex:
         indices = np.array([i for __, i in ordered], dtype=np.int64)
         return distances, indices, scanned
 
-    def query(self, queries: np.ndarray, k: int = 1):
+    def query(self, queries: np.ndarray, k: int = 1, mask=None):
         """Find the ``k`` nearest indexed records for each query.
 
         Same contract as :meth:`BruteForceIndex.query`: returns
         ``(distances, indices)`` with ascending distances per row.  Ties
         are broken by preferring the lower index, so results are
         deterministic.
+
+        Parameters
+        ----------
+        queries:
+            One query (shape ``(d,)``) or many (shape ``(m, d)``).
+        k:
+            Number of neighbours per query.
+        mask:
+            Optional boolean array of shape ``(n_points,)`` restricting
+            the search to records where it is true.  Box pruning stays
+            valid (masking only removes candidates), so results match a
+            brute-force scan over the masked subset.
         """
         queries = np.asarray(queries, dtype=float)
         single = queries.ndim == 1
@@ -149,15 +166,26 @@ class KDTreeIndex:
                 "dimensionality mismatch: "
                 f"{queries.shape[1]} vs {self.n_features}"
             )
-        if not 1 <= k <= self.n_points:
-            raise ValueError(f"k must be in [1, {self.n_points}], got {k}")
+        eligible = self.n_points
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != (self.n_points,):
+                raise ValueError(
+                    f"mask must have shape ({self.n_points},), "
+                    f"got {mask.shape}"
+                )
+            eligible = int(mask.sum())
+        if not 1 <= k <= eligible:
+            raise ValueError(f"k must be in [1, {eligible}], got {k}")
         telemetry.counter_inc(
             "neighbors.kdtree.queries", queries.shape[0]
         )
         all_distances = np.empty((queries.shape[0], k))
         all_indices = np.empty((queries.shape[0], k), dtype=np.int64)
         for row, query in enumerate(queries):
-            distances, indices, scanned = self._query_single(query, k)
+            distances, indices, scanned = self._query_single(
+                query, k, mask=mask
+            )
             all_distances[row] = distances
             all_indices[row] = indices
             telemetry.histogram_observe(

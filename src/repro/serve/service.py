@@ -97,6 +97,12 @@ class ShardedCondensationService:
         found a group immediately after the flush.
     checkpoint_every, fsync_every:
         Per-shard durability knobs (see ``docs/durability.md``).
+    batch_size:
+        Per-shard ingest block size (see
+        :class:`~repro.core.condenser.DynamicCondenser`).  The default
+        ``1`` keeps the sequential record-at-a-time path; larger
+        values vectorize each shard's slice of every ingest request
+        and journal one ``batch`` WAL entry per block.
     random_state:
         Integer seed; per-shard RNG streams are spawned from it so
         shard behavior is independent of traffic interleaving across
@@ -120,11 +126,13 @@ class ShardedCondensationService:
                  strategy="random", sampler="uniform",
                  bootstrap_size: int | None = None,
                  checkpoint_every: int = 256, fsync_every: int = 1,
-                 random_state: int = 0):
+                 batch_size: int = 1, random_state: int = 0):
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.n_shards = int(n_shards)
         self.k = int(k)
         self.root = None if root is None else Path(root)
@@ -141,6 +149,7 @@ class ShardedCondensationService:
         self.bootstrap_size = int(bootstrap_size)
         self.checkpoint_every = int(checkpoint_every)
         self.fsync_every = int(fsync_every)
+        self.batch_size = int(batch_size)
         self.random_state = random_state
         self._lock = threading.RLock()
         self._router = PrincipalAxisRouter(self.n_shards)
@@ -184,6 +193,7 @@ class ShardedCondensationService:
                     sampler=self.sampler,
                     checkpoint_every=self.checkpoint_every,
                     fsync_every=self.fsync_every,
+                    batch_size=self.batch_size,
                 )
             except RecoveryError:
                 # The directory holds nothing reconstructible (e.g. a
@@ -198,7 +208,7 @@ class ShardedCondensationService:
                 self._sequences[shard_id]
             ),
             wal_dir=wal_dir, checkpoint_every=self.checkpoint_every,
-            fsync_every=self.fsync_every,
+            fsync_every=self.fsync_every, batch_size=self.batch_size,
         )
         shard.fit()
         return shard

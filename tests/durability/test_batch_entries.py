@@ -1,0 +1,166 @@
+"""Fault injection for the ``batch`` WAL entry kind.
+
+Batched ingest journals one entry per absorbed block, so the durable
+frontier only ever advances a whole block at a time.  The contract
+under test: after a crash at any byte — including mid-way through a
+``batch`` entry — recovery rebuilds group statistics bit-identical to
+a completed block boundary, and re-feeding the stream from that
+position with the same block size reproduces the uninterrupted final
+state exactly.  ``repro wal-inspect`` must render the new kind.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.condenser import DynamicCondenser
+from repro.durability import inspect_frames
+
+K = 4
+DIMS = 3
+BATCH = 16
+N_BLOCKS = 25
+
+
+def fingerprint(model):
+    """Byte-exact signature of a model's group statistics, in order."""
+    return [
+        (group.count, group.first_order.tobytes(),
+         group.second_order.tobytes())
+        for group in model.groups
+    ]
+
+
+@pytest.fixture(scope="module")
+def batch_reference(tmp_path_factory):
+    """One durable batched run, crashed without close().
+
+    ``states[p]`` is the fingerprint after ``p`` streamed records;
+    every key is a block boundary (positions advance ``BATCH`` at a
+    time), which is exactly where recovery is allowed to land.
+    """
+    directory = tmp_path_factory.mktemp("batch-ref")
+    rng = np.random.default_rng(17)
+    initial = rng.normal(size=(6 * K, DIMS))
+    stream = rng.normal(size=(N_BLOCKS * BATCH, DIMS))
+    condenser = DynamicCondenser(
+        K, random_state=7, wal_dir=directory, checkpoint_every=10,
+        batch_size=BATCH,
+    )
+    condenser.fit(initial)
+    states = {0: fingerprint(condenser.model_)}
+    for start in range(0, stream.shape[0], BATCH):
+        condenser.partial_fit(stream[start:start + BATCH])
+        states[condenser.position] = fingerprint(condenser.model_)
+    return {
+        "directory": directory,
+        "stream": stream,
+        "states": states,
+        "final": states[stream.shape[0]],
+    }
+
+
+def recover_and_verify(reference, work):
+    """Recover a corrupted copy, check the block-edge oracle, re-feed."""
+    recovered = DynamicCondenser.recover(work, batch_size=BATCH)
+    position = recovered.position
+    assert position % BATCH == 0, (
+        f"recovered position {position} is not a block boundary"
+    )
+    assert position in reference["states"]
+    assert fingerprint(recovered.model_) == reference["states"][position]
+    stream = reference["stream"]
+    for start in range(position, stream.shape[0], BATCH):
+        recovered.partial_fit(stream[start:start + BATCH])
+    assert fingerprint(recovered.model_) == reference["final"]
+    recovered.close()
+
+
+class TestBatchEntryKillPoints:
+    @pytest.mark.parametrize("trial", range(25))
+    def test_truncated_wal(self, batch_reference, tmp_path, trial):
+        work = tmp_path / "copy"
+        shutil.copytree(batch_reference["directory"], work)
+        rng = np.random.default_rng(5000 + trial)
+        segments = sorted(work.glob("wal-*.log"))
+        target = segments[int(rng.integers(len(segments)))]
+        raw = target.read_bytes()
+        target.write_bytes(raw[: int(rng.integers(0, len(raw) + 1))])
+        recover_and_verify(batch_reference, work)
+
+    @pytest.mark.parametrize("trial", range(15))
+    def test_flipped_byte(self, batch_reference, tmp_path, trial):
+        work = tmp_path / "copy"
+        shutil.copytree(batch_reference["directory"], work)
+        rng = np.random.default_rng(6000 + trial)
+        segments = sorted(work.glob("wal-*.log"))
+        target = segments[int(rng.integers(len(segments)))]
+        raw = bytearray(target.read_bytes())
+        raw[int(rng.integers(len(raw)))] ^= 0xFF
+        target.write_bytes(bytes(raw))
+        recover_and_verify(batch_reference, work)
+
+    def test_torn_mid_block_entry(self, batch_reference, tmp_path):
+        """Cut inside a ``batch`` entry's absorb sub-operations.
+
+        The half-written block must be discarded wholesale: recovery
+        lands on the previous block boundary, never on a partially
+        absorbed block.
+        """
+        work = tmp_path / "copy"
+        shutil.copytree(batch_reference["directory"], work)
+        torn = False
+        for segment in reversed(sorted(work.glob("wal-*.log"))):
+            raw = segment.read_bytes()
+            marker = raw.rfind(b'"op":"absorb"')
+            if marker == -1:
+                continue
+            segment.write_bytes(raw[: marker + 8])
+            torn = True
+            break
+        assert torn, "reference run produced no absorb sub-operation"
+        recover_and_verify(batch_reference, work)
+
+    def test_lost_last_block_entry(self, batch_reference, tmp_path):
+        """Losing the newest complete entry rewinds exactly one block."""
+        work = tmp_path / "copy"
+        shutil.copytree(batch_reference["directory"], work)
+        segment = sorted(work.glob("wal-*.log"))[-1]
+        lines = segment.read_text().splitlines(keepends=True)
+        segment.write_text("".join(lines[:-1]))
+        recovered = DynamicCondenser.recover(work, batch_size=BATCH)
+        stream_length = batch_reference["stream"].shape[0]
+        assert recovered.position == stream_length - BATCH
+        recovered.close()
+        recover_and_verify(batch_reference, work)
+
+
+class TestBatchEntryInspection:
+    def test_frames_carry_the_batch_kind(self, batch_reference):
+        frames = list(inspect_frames(batch_reference["directory"]))
+        kinds = {frame["kind"] for frame in frames}
+        assert "batch" in kinds
+        batch_frames = [
+            frame for frame in frames if frame["kind"] == "batch"
+        ]
+        assert all(frame["status"] == "ok" for frame in batch_frames)
+
+    def test_wal_inspect_cli_renders_batch(self, batch_reference, capsys):
+        exit_code = main(
+            ["wal-inspect", str(batch_reference["directory"])]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "batch" in output
+
+    def test_recover_cli_handles_batch_entries(
+        self, batch_reference, tmp_path, capsys
+    ):
+        work = tmp_path / "copy"
+        shutil.copytree(batch_reference["directory"], work)
+        exit_code = main(["recover", str(work), "--dry-run"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "resume the upstream feed from position" in output

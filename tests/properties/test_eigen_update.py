@@ -1,0 +1,189 @@
+"""Property tests for the rank-one eigensystem update (``repro.linalg``).
+
+The secular-equation update underpins the batch ingest fast path: a
+group's covariance after absorbing a record is a scale-plus-rank-one
+modification of the old one, so its eigensystem can be advanced without
+a fresh ``sorted_eigh``.  The properties held here:
+
+* the updated eigensystem agrees with a dense re-decomposition of the
+  explicitly modified matrix (eigenvalues and reconstruction);
+* updated eigenvalues interlace the originals (Weyl) and remain
+  decreasing; a positive-semidefinite start stays PSD under absorbs;
+* adversarial spectra — near-degenerate gaps, decoupled components —
+  refuse via :class:`EigenUpdateError` instead of returning garbage,
+  which is what lets the caller fall back to ``sorted_eigh``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.statistics import GroupStatistics
+from repro.linalg.symmetric import sorted_eigh
+from repro.linalg.updates import (
+    EigenUpdateError,
+    absorbed_record_eigh_update,
+    rank_one_eigh_update,
+)
+
+
+def random_spectrum(seed, d):
+    """A well-separated decreasing spectrum and orthonormal basis."""
+    rng = np.random.default_rng(seed)
+    gaps = rng.uniform(0.3, 2.0, size=d)
+    eigenvalues = np.sort(np.cumsum(gaps))[::-1]
+    basis, __ = np.linalg.qr(rng.normal(size=(d, d)))
+    return eigenvalues, basis
+
+
+def reconstruct(eigenvalues, eigenvectors):
+    return (eigenvectors * eigenvalues) @ eigenvectors.T
+
+
+case = st.fixed_dictionaries({
+    "seed": st.integers(0, 10_000),
+    "d": st.integers(2, 12),
+    "rho": st.floats(-2.0, 2.0).filter(lambda r: abs(r) > 1e-3),
+})
+
+
+class TestAgreementWithDenseEigh:
+    @given(case=case)
+    def test_matches_fresh_decomposition(self, case):
+        eigenvalues, basis = random_spectrum(case["seed"], case["d"])
+        rng = np.random.default_rng(case["seed"] + 1)
+        vector = rng.normal(size=case["d"])
+        matrix = reconstruct(eigenvalues, basis)
+        updated = matrix + case["rho"] * np.outer(vector, vector)
+        try:
+            new_values, new_vectors = rank_one_eigh_update(
+                eigenvalues, basis, case["rho"], vector
+            )
+        except EigenUpdateError:
+            # The update may legitimately refuse (tiny coupling after
+            # rotation into the eigenbasis); correctness is then the
+            # caller's dense fallback, exercised below.
+            new_values, new_vectors = sorted_eigh(updated, clip=False)
+        scale = max(np.abs(new_values).max(), 1.0)
+        reference = np.linalg.eigvalsh(updated)[::-1]
+        assert np.abs(new_values - reference).max() <= 1e-7 * scale
+        rebuilt = reconstruct(new_values, new_vectors)
+        assert np.abs(rebuilt - updated).max() <= 1e-6 * scale
+        # Decreasing order and orthonormal columns.
+        assert (np.diff(new_values) <= 1e-9 * scale).all()
+        gram = new_vectors.T @ new_vectors
+        assert np.abs(gram - np.eye(case["d"])).max() <= 1e-8
+
+    @given(case=case)
+    def test_eigenvalues_interlace(self, case):
+        eigenvalues, basis = random_spectrum(case["seed"], case["d"])
+        rng = np.random.default_rng(case["seed"] + 2)
+        vector = rng.normal(size=case["d"])
+        try:
+            new_values, __ = rank_one_eigh_update(
+                eigenvalues, basis, case["rho"], vector
+            )
+        except EigenUpdateError:
+            return
+        scale = max(np.abs(eigenvalues).max(), 1.0)
+        slack = 1e-9 * scale
+        if case["rho"] > 0:
+            # mu_1 >= d_1 >= mu_2 >= d_2 >= ...
+            assert (new_values >= eigenvalues - slack).all()
+            assert (new_values[1:] <= eigenvalues[:-1] + slack).all()
+        else:
+            assert (new_values <= eigenvalues + slack).all()
+            assert (new_values[:-1] >= eigenvalues[1:] - slack).all()
+
+
+class TestAbsorbedRecordUpdate:
+    @given(
+        seed=st.integers(0, 10_000),
+        d=st.integers(2, 10),
+        n=st.integers(5, 60),
+    )
+    def test_matches_the_true_post_absorb_covariance(self, seed, d, n):
+        rng = np.random.default_rng(seed)
+        records = rng.normal(size=(n, d)) * rng.uniform(0.5, 3.0, size=d)
+        group = GroupStatistics.from_records(records)
+        eigenvalues, eigenvectors = group.eigen_system()
+        record = rng.normal(size=d)
+        try:
+            new_values, new_vectors = absorbed_record_eigh_update(
+                eigenvalues, eigenvectors, group.centroid, group.count,
+                record,
+            )
+        except EigenUpdateError:
+            return
+        group.add(record)
+        true_cov = group.covariance
+        scale = max(np.abs(true_cov).max(), 1.0)
+        rebuilt = reconstruct(new_values, new_vectors)
+        assert np.abs(rebuilt - true_cov).max() <= 1e-6 * scale
+        reference = np.linalg.eigvalsh(true_cov)[::-1]
+        assert np.abs(new_values - reference).max() <= 1e-7 * scale
+
+    @given(
+        seed=st.integers(0, 10_000),
+        d=st.integers(2, 10),
+        n=st.integers(5, 40),
+        chain=st.integers(1, 5),
+    )
+    def test_psd_is_preserved_across_absorb_chains(
+        self, seed, d, n, chain
+    ):
+        # A covariance stays PSD under absorbs in exact arithmetic; the
+        # update must not manufacture meaningful negative curvature.
+        rng = np.random.default_rng(seed)
+        records = rng.normal(size=(n, d))
+        group = GroupStatistics.from_records(records)
+        eigenvalues, eigenvectors = group.eigen_system()
+        mean, count = group.centroid, group.count
+        for __ in range(chain):
+            record = rng.normal(size=d)
+            try:
+                eigenvalues, eigenvectors = absorbed_record_eigh_update(
+                    eigenvalues, eigenvectors, mean, count, record
+                )
+            except EigenUpdateError:
+                return
+            mean = (mean * count + record) / (count + 1)
+            count += 1
+            scale = max(np.abs(eigenvalues).max(), 1.0)
+            assert eigenvalues.min() >= -1e-9 * scale
+
+
+class TestAdversarialFallback:
+    @given(seed=st.integers(0, 10_000), d=st.integers(3, 10))
+    def test_near_degenerate_spectrum_refuses(self, seed, d):
+        rng = np.random.default_rng(seed)
+        eigenvalues = np.sort(rng.uniform(1.0, 5.0, size=d))[::-1]
+        # Collapse one interior gap to the noise floor.
+        collapse = int(rng.integers(1, d))
+        eigenvalues[collapse] = eigenvalues[collapse - 1] - 1e-14
+        basis, __ = np.linalg.qr(rng.normal(size=(d, d)))
+        vector = rng.normal(size=d)
+        with pytest.raises(EigenUpdateError):
+            rank_one_eigh_update(eigenvalues, basis, 0.5, vector)
+
+    @given(seed=st.integers(0, 10_000), d=st.integers(3, 10))
+    def test_decoupled_component_refuses(self, seed, d):
+        # A vector orthogonal to one eigenvector decouples that root:
+        # the secular solver cannot bracket it and must refuse rather
+        # than silently misplace it.
+        rng = np.random.default_rng(seed)
+        eigenvalues, basis = random_spectrum(seed, d)
+        dropped = int(rng.integers(0, d))
+        coefficients = rng.normal(size=d)
+        coefficients[dropped] = 0.0
+        vector = basis @ coefficients
+        with pytest.raises(EigenUpdateError):
+            rank_one_eigh_update(eigenvalues, basis, 1.0, vector)
+
+    def test_rejects_increasing_eigenvalue_order(self):
+        basis = np.eye(3)
+        with pytest.raises(ValueError, match="decreasing"):
+            rank_one_eigh_update(
+                np.array([1.0, 2.0, 3.0]), basis, 1.0, np.ones(3)
+            )
