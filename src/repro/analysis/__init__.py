@@ -25,7 +25,9 @@ from repro.analysis.project import ProjectIndex, ProjectReport, run_project
 from repro.analysis.registry import ProjectRule, Rule, get_rules, register
 from repro.analysis.reporters import (
     JSON_SCHEMA_VERSION,
+    SARIF_VERSION,
     render_json,
+    render_sarif,
     render_text,
 )
 from repro.analysis.walker import (
@@ -43,6 +45,7 @@ __all__ = [
     "ProjectReport",
     "ProjectRule",
     "Rule",
+    "SARIF_VERSION",
     "analyze_module",
     "analyze_paths",
     "analyze_source",
@@ -50,6 +53,7 @@ __all__ = [
     "iter_python_files",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_project",
 ]

@@ -10,9 +10,11 @@ unparsable file) remains::
     repro lint --project --baseline .repro-lint-baseline.json src tests
     repro lint --project --update-baseline --baseline .repro-lint-baseline.json
 
-``--project`` enables the whole-program pass (PRIV-003, DET-001/002/003)
-with the incremental cache; ``--baseline`` turns findings into a
-ratchet — only findings beyond the baseline fail the run.
+``--project`` enables the whole-program pass (PRIV-003, DET-001/002/003,
+THR-001..004) with the incremental cache; ``--baseline`` turns findings
+into a ratchet — only findings beyond the baseline fail the run.
+``--format sarif`` renders SARIF v2.1.0 for GitHub code scanning, and
+``--stats`` adds per-rule timings to the report.
 """
 
 from __future__ import annotations
@@ -23,7 +25,11 @@ import sys
 from repro.analysis.project.cache import DEFAULT_CACHE_PATH
 from repro.analysis.project.runner import run_project
 from repro.analysis.registry import get_rules
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import (
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.analysis.walker import analyze_paths
 
 
@@ -45,8 +51,11 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("paths", nargs="*", default=["src", "tests"],
                         help="files or directories to analyze "
                              "(default: src tests)")
-    parser.add_argument("--format", choices=["text", "json"], default="text",
-                        help="report format (default: text)")
+    parser.add_argument("--format", choices=["text", "json", "sarif"],
+                        default="text",
+                        help="report format (default: text); sarif "
+                             "emits SARIF v2.1.0 for code-scanning "
+                             "upload")
     parser.add_argument("--select", type=_rule_list, default=None,
                         metavar="RULES",
                         help="comma-separated rule ids to run exclusively")
@@ -68,6 +77,9 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                              "current findings and exit clean")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the incremental result cache")
+    parser.add_argument("--stats", action="store_true",
+                        help="collect and print per-rule timings and "
+                             "cache hit counts (project runs)")
     parser.add_argument("--cache-file", default=DEFAULT_CACHE_PATH,
                         metavar="PATH",
                         help="incremental cache location (default: "
@@ -102,7 +114,10 @@ def run_lint(arguments) -> int:
         print("error: --update-baseline requires --baseline PATH",
               file=sys.stderr)
         return 2
-    renderer = render_json if arguments.format == "json" else render_text
+    renderer = {
+        "json": render_json,
+        "sarif": render_sarif,
+    }.get(arguments.format, render_text)
     project = arguments.project or arguments.baseline is not None
     if project:
         try:
@@ -113,6 +128,7 @@ def run_lint(arguments) -> int:
                 use_cache=not arguments.no_cache,
                 baseline_path=arguments.baseline,
                 update_baseline=arguments.update_baseline,
+                with_timings=getattr(arguments, "stats", False),
             )
         except (FileNotFoundError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)

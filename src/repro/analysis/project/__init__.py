@@ -2,8 +2,8 @@
 
 Everything the per-module analyzer cannot see lives here: the project
 index (symbols, imports, call graph), the raw-record taint engine, the
-incremental result cache, the baseline ratchet, and the driver that
-``repro lint --project`` runs.
+interprocedural lock-set engine, the incremental result cache, the
+baseline ratchet, and the driver that ``repro lint --project`` runs.
 """
 
 from repro.analysis.project.baseline import Baseline, fingerprint
@@ -29,23 +29,41 @@ from repro.analysis.project.taint import (
     analyze_taint,
     taint_summary,
 )
+from repro.analysis.project.locks import (
+    AttributeAccess,
+    BlockingSite,
+    LockInfo,
+    LockOrderEdge,
+    LockRegion,
+    LockSetEngine,
+    ThreadRoot,
+    lock_sets,
+)
 
 __all__ = [
     "AnalysisCache",
+    "AttributeAccess",
     "Baseline",
+    "BlockingSite",
     "DEFAULT_CACHE_PATH",
     "FunctionInfo",
     "Leak",
+    "LockInfo",
+    "LockOrderEdge",
+    "LockRegion",
+    "LockSetEngine",
     "ModuleInfo",
     "Origin",
     "ProjectIndex",
     "ProjectReport",
     "TaintConfig",
     "TaintEngine",
+    "ThreadRoot",
     "analyze_taint",
     "build_index",
     "content_hash",
     "fingerprint",
+    "lock_sets",
     "module_name_for_path",
     "rules_fingerprint",
     "run_project",

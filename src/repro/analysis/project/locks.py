@@ -1,0 +1,1037 @@
+"""Interprocedural lock-set inference for the THR rule family.
+
+The serving plane (PR 7) put a ``ThreadingHTTPServer`` in front of
+shared condenser state; none of the per-module rules can see whether
+that state is actually accessed under its lock, whether two locks are
+ever taken in opposite orders, or whether the hot path performs
+blocking I/O while holding one.  :class:`LockSetEngine` restores that
+visibility on top of the existing :class:`~repro.analysis.project.index.ProjectIndex`:
+
+* **lock discovery** — ``self._lock = threading.RLock()`` attribute
+  locks, module-level locks, and *collection* locks
+  (``self._shard_locks = [threading.RLock() for ...]``), which are
+  modeled as one composite identity: acquiring any element acquires
+  the composite (a deliberate, documented approximation);
+* **thread roots** — ``do_*`` methods of HTTP handler classes,
+  resolved ``threading.Thread(target=...)`` callables, pool-submitted
+  worker roots (the CONC discovery), and ``serve_forever`` loops.
+  Serve-loop roots participate in reachability (for the deadlock and
+  blocking rules) but are excluded from shared-attribute recording, so
+  single-threaded construction code does not pollute the race
+  analysis;
+* **a must/may fixpoint** over an *augmented* call graph — the base
+  graph plus duck-typed resolution of ``receiver.method()`` calls
+  (unique method name across runtime classes, with a serve-class
+  tiebreak for call sites inside ``repro.serve``) and ``self.method``
+  *references* (bound methods stashed in dispatch tables) — yielding,
+  for every reachable function, the locks certainly held on entry
+  (intersection over call sites) and possibly held (union);
+* **guard inference** — each tracked attribute's guarding lock is
+  learned from the majority of its concurrent-reachable accesses, so
+  the discipline is read off the code instead of demanded up front.
+
+The intraprocedural walker understands ``with lock:`` regions
+(including re-entrant re-acquisition, which adds nothing),
+``lock.acquire()``/``lock.release()`` pairs (the ``try/finally``
+idiom), ``stack.enter_context(lock)``, and lock aliasing through local
+assignment and ``for lock in self._shard_locks:`` loops.  Acquisitions
+inside a branch deliberately leak to the rest of the enclosing body
+(an over-approximation that favors the deadlock/blocking rules).
+
+Shared-attribute tracking is restricted to classes defined in
+``repro.serve``: the engine is object-insensitive, and extending it to
+core statistics classes would conflate worker-local condensers with
+the serve-shared ones.  Telemetry modules are exempt end to end — they
+hold their own short internal locks by design and are never traversed.
+"""
+
+from __future__ import annotations
+
+import ast
+import weakref
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.analysis.astutils import dotted_name
+from repro.analysis.rules.determinism import _MUTATOR_METHODS
+from repro.analysis.rules.protocol import is_runtime_module
+
+#: Resolved constructors whose result is a lock object.
+_LOCK_TYPES = frozenset({
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+    "multiprocessing.Lock",
+    "multiprocessing.RLock",
+})
+
+#: Resolved call targets that block the calling thread on I/O or time.
+_BLOCKING_CALLS = {
+    "os.fsync": "os.fsync()",
+    "os.fdatasync": "os.fdatasync()",
+    "time.sleep": "time.sleep()",
+    "socket.create_connection": "socket.create_connection()",
+    "urllib.request.urlopen": "urllib.request.urlopen()",
+    "subprocess.run": "subprocess.run()",
+    "subprocess.check_call": "subprocess.check_call()",
+    "subprocess.check_output": "subprocess.check_output()",
+    "subprocess.Popen": "subprocess.Popen()",
+}
+
+#: Receiver-method names treated as blocking wherever they appear:
+#: a checkpoint is snapshot I/O no matter which object performs it.
+#: Plain WAL appends are deliberately absent — synchronous append
+#: durability is the product contract, not a latency bug.
+_BLOCKING_METHODS = frozenset({"checkpoint"})
+
+#: Method names never duck-resolved: collection/ndarray vocabulary and
+#: boundary methods whose cross-layer edges would drag the whole core
+#: ingest path into the serve lock analysis.
+_DUCK_SKIP = frozenset(_MUTATOR_METHODS) | frozenset({
+    "get", "put", "items", "keys", "values", "copy", "read", "write",
+    "flush", "fileno", "join", "split", "strip", "format", "mean",
+    "sum", "std", "min", "max", "any", "all", "start", "shutdown",
+    "tolist", "astype", "reshape", "fit", "partial_fit", "journal_rng",
+    "route", "to_dict", "to_state", "set_attribute",
+})
+
+#: Root kinds that denote genuinely concurrent entry points.
+_CONCURRENT_KINDS = frozenset({"handler", "thread", "pool"})
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """One discovered lock identity.
+
+    Attributes
+    ----------
+    lock_id:
+        Stable qualified identity, e.g.
+        ``"repro.serve.service.ShardedCondensationService._lock"``.
+    display:
+        Short human form used in findings, e.g.
+        ``"ShardedCondensationService._lock"``.
+    module:
+        Defining module name.
+    collection:
+        ``True`` for a list/collection of locks modeled as one
+        composite identity.
+    line:
+        Definition line (for traces).
+    """
+
+    lock_id: str
+    display: str
+    module: str
+    collection: bool = False
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ThreadRoot:
+    """One inferred thread entry point.
+
+    Attributes
+    ----------
+    qualname:
+        Root function qualname.
+    kind:
+        ``"handler"``, ``"thread"``, ``"pool"`` or ``"serve-loop"``.
+    """
+
+    qualname: str
+    kind: str
+
+
+@dataclass(frozen=True)
+class AttributeAccess:
+    """One concurrent-reachable access to a tracked shared attribute.
+
+    Attributes
+    ----------
+    attr_id:
+        Qualified attribute identity (``module.Class.attr``).
+    function:
+        Qualname of the accessing function.
+    node:
+        The access AST node (location carrier).
+    write:
+        Whether the access stores, deletes, augments or mutates.
+    must_held / may_held:
+        Lock ids certainly / possibly held at the access.
+    path:
+        Shortest discovered root→function call path.
+    """
+
+    attr_id: str
+    function: str
+    node: ast.AST
+    write: bool
+    must_held: frozenset
+    may_held: frozenset
+    path: tuple
+
+
+@dataclass(frozen=True)
+class BlockingSite:
+    """One blocking operation on a root-reachable path.
+
+    Attributes
+    ----------
+    function:
+        Enclosing function qualname.
+    node:
+        The blocking call node.
+    description:
+        Human description, e.g. ``"os.fsync()"``.
+    held:
+        Lock ids possibly held at the call.
+    path:
+        Root→function call path.
+    """
+
+    function: str
+    node: ast.AST
+    description: str
+    held: frozenset
+    path: tuple
+
+
+@dataclass(frozen=True)
+class LockOrderEdge:
+    """One ``holding A, acquires B`` acquisition-order edge.
+
+    Attributes
+    ----------
+    first / second:
+        Lock ids: ``first`` is held while ``second`` is acquired.
+    function:
+        Function containing the acquisition.
+    node:
+        The acquisition site.
+    """
+
+    first: str
+    second: str
+    function: str
+    node: ast.AST
+
+
+@dataclass(frozen=True)
+class LockRegion:
+    """One ``with lock:`` region and the tracked attributes it touches.
+
+    Attributes
+    ----------
+    function:
+        Enclosing function qualname.
+    lock_id:
+        The region's lock.
+    node:
+        The ``with`` statement (location carrier).
+    reads / writes:
+        Tracked attribute ids read / written inside the region.
+    """
+
+    function: str
+    lock_id: str
+    node: ast.AST
+    reads: frozenset
+    writes: frozenset
+
+
+@dataclass
+class _Summary:
+    """Per-function walker output, combined with entry sets later."""
+
+    calls: list = field(default_factory=list)
+    accesses: list = field(default_factory=list)
+    acquires: list = field(default_factory=list)
+    blocking: list = field(default_factory=list)
+    regions: list = field(default_factory=list)
+
+
+_ENGINE_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def lock_sets(project) -> "LockSetEngine":
+    """Build (or reuse) the lock-set engine for a project index.
+
+    The four THR rules all ride the same analysis; memoizing per index
+    keeps ``repro lint --project`` from paying the fixpoint four times.
+
+    Parameters
+    ----------
+    project:
+        The :class:`~repro.analysis.project.index.ProjectIndex`.
+
+    Returns
+    -------
+    LockSetEngine
+        The (possibly cached) engine, fully analyzed.
+    """
+    engine = _ENGINE_CACHE.get(project)
+    if engine is None:
+        engine = LockSetEngine.build(project)
+        _ENGINE_CACHE[project] = engine
+    return engine
+
+
+class LockSetEngine:
+    """Whole-program lock-set analysis over one project index.
+
+    Build with :meth:`build` (or the memoized :func:`lock_sets`); the
+    public attributes then hold everything the THR rules consume.
+
+    Attributes
+    ----------
+    locks:
+        Lock id → :class:`LockInfo`.
+    roots:
+        Root qualname → :class:`ThreadRoot`.
+    accesses:
+        Ordered :class:`AttributeAccess` list (concurrent-reachable,
+        ``__init__``/``__new__`` excluded).
+    blocking_sites:
+        Ordered :class:`BlockingSite` list (any-root-reachable).
+    order_edges:
+        Deduplicated :class:`LockOrderEdge` list.
+    regions:
+        Function qualname → :class:`LockRegion` list
+        (concurrent-reachable functions only).
+    attr_roots:
+        Tracked attribute id → set of concurrent roots reaching any of
+        its accessors.
+    """
+
+    def __init__(self, project):
+        self.project = project
+        self.locks: dict = {}
+        self.roots: dict = {}
+        self.tracked_attrs: set = set()
+        self.accesses: list = []
+        self.blocking_sites: list = []
+        self.order_edges: list = []
+        self.regions: dict = {}
+        self.attr_roots: dict = {}
+        self._summaries: dict = {}
+        self._entry_must: dict = {}
+        self._entry_may: dict = {}
+        self._reach_roots: dict = {}
+        self._parent: dict = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, project) -> "LockSetEngine":
+        """Run the full analysis over ``project``.
+
+        Parameters
+        ----------
+        project:
+            The project index.
+
+        Returns
+        -------
+        LockSetEngine
+        """
+        engine = cls(project)
+        engine._collect_locks()
+        engine._collect_tracked_attributes()
+        engine._discover_roots()
+        engine._fixpoint()
+        engine._assemble()
+        return engine
+
+    def _scoped_modules(self):
+        """Runtime, non-telemetry modules, in deterministic order."""
+        for name in sorted(self.project.modules):
+            info = self.project.modules[name]
+            if not is_runtime_module(info):
+                continue
+            if info.context.in_repro_package("telemetry"):
+                continue
+            yield info
+
+    def _in_scope(self, qualname: str) -> bool:
+        """Whether a function may be traversed by the fixpoint."""
+        function = self.project.functions.get(qualname)
+        if function is None:
+            return False
+        info = self.project.modules.get(function.module)
+        if info is None or not is_runtime_module(info):
+            return False
+        return not info.context.in_repro_package("telemetry")
+
+    # -- lock table -----------------------------------------------------
+
+    def _is_lock_constructor(self, info, expression) -> bool:
+        """Whether an expression constructs a lock object."""
+        if not isinstance(expression, ast.Call):
+            return False
+        dotted = dotted_name(expression.func)
+        if dotted is None:
+            return False
+        resolved = self.project.resolve(info, dotted) or dotted
+        return resolved in _LOCK_TYPES
+
+    def _is_lock_collection(self, info, expression) -> bool:
+        """Whether an expression builds a list/tuple of lock objects."""
+        if isinstance(expression, (ast.List, ast.Tuple)):
+            return bool(expression.elts) and all(
+                self._is_lock_constructor(info, element)
+                for element in expression.elts
+            )
+        if isinstance(expression, (ast.ListComp, ast.GeneratorExp)):
+            return self._is_lock_constructor(info, expression.elt)
+        return False
+
+    def _collect_locks(self) -> None:
+        """Discover module-level, attribute, and collection locks."""
+        for info in self._scoped_modules():
+            for node in info.context.tree.body:
+                if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                        and isinstance(node.targets[0], ast.Name):
+                    name = node.targets[0].id
+                    if self._is_lock_constructor(info, node.value):
+                        self._add_lock(f"{info.name}.{name}", name,
+                                       info.name, False, node.lineno)
+                    elif self._is_lock_collection(info, node.value):
+                        self._add_lock(f"{info.name}.{name}", name,
+                                       info.name, True, node.lineno)
+            for class_node in info.context.tree.body:
+                if not isinstance(class_node, ast.ClassDef):
+                    continue
+                for node in ast.walk(class_node):
+                    if not (isinstance(node, ast.Assign)
+                            and len(node.targets) == 1):
+                        continue
+                    target = node.targets[0]
+                    if not (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        continue
+                    lock_id = f"{info.name}.{class_node.name}.{target.attr}"
+                    display = f"{class_node.name}.{target.attr}"
+                    if self._is_lock_constructor(info, node.value):
+                        self._add_lock(lock_id, display, info.name,
+                                       False, node.lineno)
+                    elif self._is_lock_collection(info, node.value):
+                        self._add_lock(lock_id, display, info.name,
+                                       True, node.lineno)
+
+    def _add_lock(self, lock_id, display, module, collection, line):
+        """Register one lock identity."""
+        self.locks[lock_id] = LockInfo(
+            lock_id=lock_id, display=display, module=module,
+            collection=collection, line=line,
+        )
+
+    # -- tracked attributes --------------------------------------------
+
+    def _collect_tracked_attributes(self) -> None:
+        """Shared mutable attributes of classes defined in ``repro.serve``.
+
+        An attribute is tracked when it is assigned somewhere in the
+        class *and* either rebound outside ``__init__`` or mutated in
+        place (mutator method call) anywhere — read-only configuration
+        set once in the constructor is free to read without a lock.
+        """
+        for info in self._scoped_modules():
+            if not info.name.startswith("repro.serve"):
+                continue
+            for class_node in info.context.tree.body:
+                if not isinstance(class_node, ast.ClassDef):
+                    continue
+                assigned: set = set()
+                written_hot: set = set()
+                for method in class_node.body:
+                    if not isinstance(
+                        method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    in_init = method.name in ("__init__", "__new__")
+                    for node in ast.walk(method):
+                        attr = _self_attribute(node)
+                        if attr is not None and isinstance(
+                            node.ctx, (ast.Store, ast.Del)
+                        ):
+                            assigned.add(attr)
+                            if not in_init:
+                                written_hot.add(attr)
+                        elif isinstance(node, ast.Call) and isinstance(
+                            node.func, ast.Attribute
+                        ) and node.func.attr in _MUTATOR_METHODS:
+                            receiver = _self_attribute(node.func.value)
+                            if receiver is not None:
+                                written_hot.add(receiver)
+                for attr in assigned & written_hot:
+                    attr_id = f"{info.name}.{class_node.name}.{attr}"
+                    if attr_id not in self.locks:
+                        self.tracked_attrs.add(attr_id)
+
+    # -- thread roots ---------------------------------------------------
+
+    def _discover_roots(self) -> None:
+        """Find handler methods, thread targets, pools, serve loops."""
+        for info in self._scoped_modules():
+            for class_node in info.context.tree.body:
+                if isinstance(class_node, ast.ClassDef) \
+                        and self._is_handler_class(info, class_node):
+                    for method in class_node.body:
+                        if isinstance(
+                            method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        ) and method.name.startswith("do_"):
+                            qualname = (f"{info.name}.{class_node.name}"
+                                        f".{method.name}")
+                            self._add_root(qualname, "handler")
+            for function in info.functions.values():
+                for node in ast.walk(function.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    dotted = dotted_name(node.func)
+                    resolved = (
+                        self.project.resolve(info, dotted) or dotted
+                        if dotted else None
+                    )
+                    if resolved == "threading.Thread":
+                        target = self._thread_target(info, function, node)
+                        if target is not None:
+                            self._add_root(target, "thread")
+                    elif isinstance(node.func, ast.Attribute) \
+                            and node.func.attr == "serve_forever":
+                        self._add_root(function.qualname, "serve-loop")
+        for qualname in self.project.worker_roots():
+            self._add_root(qualname, "pool")
+
+    def _is_handler_class(self, info, class_node) -> bool:
+        """Whether a class subclasses an HTTP request handler."""
+        for base in class_node.bases:
+            dotted = dotted_name(base)
+            if dotted is None:
+                continue
+            resolved = self.project.resolve(info, dotted) or dotted
+            if resolved.endswith("BaseHTTPRequestHandler") \
+                    or resolved.endswith("RequestHandler"):
+                return True
+        return False
+
+    def _thread_target(self, info, function, call) -> str | None:
+        """Resolve a ``threading.Thread(target=...)`` callable."""
+        for keyword in call.keywords:
+            if keyword.arg != "target":
+                continue
+            dotted = dotted_name(keyword.value)
+            if dotted is None:
+                return None
+            resolved = self.project.resolve_function(
+                info, dotted, class_name=function.class_name
+            )
+            if resolved is None:
+                resolved = self._duck_candidates(
+                    dotted.rsplit(".", 1)[-1], function, info
+                )
+            return resolved.qualname if resolved is not None else None
+        return None
+
+    def _add_root(self, qualname, kind) -> None:
+        """Register a root, preferring concurrent over serve-loop."""
+        existing = self.roots.get(qualname)
+        if existing is not None and existing.kind in _CONCURRENT_KINDS:
+            return
+        self.roots[qualname] = ThreadRoot(qualname=qualname, kind=kind)
+
+    # ------------------------------------------------------------------
+    # Duck-typed call resolution
+    # ------------------------------------------------------------------
+
+    def _duck_table(self) -> dict:
+        """Method name → candidate FunctionInfos across runtime classes."""
+        table = getattr(self, "_duck", None)
+        if table is None:
+            table = {}
+            for info in self._scoped_modules():
+                for function in info.functions.values():
+                    if function.class_name is None:
+                        continue
+                    table.setdefault(function.name, []).append(function)
+            self._duck = table
+        return table
+
+    def _duck_candidates(self, method, caller, info):
+        """Resolve ``receiver.method()`` by method-name uniqueness.
+
+        A unique runtime definition resolves anywhere; with several
+        candidates, call sites inside ``repro.serve`` prefer the (then
+        unique) serve-plane class.  Candidates on the caller's own
+        class are dropped first — an unqualified same-class method
+        reached through a foreign receiver almost always means a
+        *different* type (``shard.checkpoint()`` inside the service is
+        the condenser's checkpoint, not the service's).
+        """
+        if method.startswith("__") or method in _DUCK_SKIP:
+            return None
+        candidates = [
+            candidate
+            for candidate in self._duck_table().get(method, ())
+            if not (caller.class_name is not None
+                    and candidate.class_name == caller.class_name
+                    and candidate.module == caller.module)
+        ]
+        if len(candidates) == 1:
+            return candidates[0]
+        if len(candidates) > 1 and info.name.startswith("repro.serve"):
+            serve = [candidate for candidate in candidates
+                     if candidate.module.startswith("repro.serve")]
+            if len(serve) == 1:
+                return serve[0]
+        return None
+
+    # ------------------------------------------------------------------
+    # Intraprocedural walker
+    # ------------------------------------------------------------------
+
+    def _summary(self, qualname) -> _Summary | None:
+        """Compute (memoized) the walker summary of one function."""
+        if qualname in self._summaries:
+            return self._summaries[qualname]
+        summary = None
+        if self._in_scope(qualname):
+            function = self.project.functions[qualname]
+            info = self.project.modules[function.module]
+            summary = _Summary()
+            self._walk_body(
+                function.node.body, set(), {}, function, info, summary
+            )
+        self._summaries[qualname] = summary
+        return summary
+
+    def _walk_body(self, statements, held, aliases,
+                   function, info, summary) -> None:
+        """Walk one statement list, threading the mutable held set."""
+        for statement in statements:
+            self._walk_statement(
+                statement, held, aliases, function, info, summary
+            )
+
+    def _walk_statement(self, statement, held, aliases,
+                        function, info, summary) -> None:
+        """Dispatch one statement; compound bodies recurse."""
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+            return
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            self._walk_with(
+                statement, held, aliases, function, info, summary
+            )
+            return
+        if isinstance(statement, ast.Assign):
+            self._walk_expression(
+                statement.value, held, aliases, function, info, summary
+            )
+            lock_id = self._lock_expression(
+                statement.value, info, function, aliases
+            )
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    if lock_id is not None:
+                        aliases[target.id] = lock_id
+                    else:
+                        aliases.pop(target.id, None)
+                else:
+                    self._walk_expression(
+                        target, held, aliases, function, info, summary
+                    )
+            return
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            self._walk_expression(
+                statement.iter, held, aliases, function, info, summary
+            )
+            iter_lock = self._lock_expression(
+                statement.iter, info, function, aliases
+            )
+            if iter_lock is not None \
+                    and self.locks[iter_lock].collection \
+                    and isinstance(statement.target, ast.Name):
+                # ``for shard_lock in self._shard_locks:`` — the loop
+                # variable aliases the composite lock identity.
+                aliases[statement.target.id] = iter_lock
+            self._walk_body(
+                statement.body, held, aliases, function, info, summary
+            )
+            self._walk_body(
+                statement.orelse, held, aliases, function, info, summary
+            )
+            return
+        if isinstance(statement, (ast.If, ast.While)):
+            self._walk_expression(
+                statement.test, held, aliases, function, info, summary
+            )
+            self._walk_body(
+                statement.body, held, aliases, function, info, summary
+            )
+            self._walk_body(
+                statement.orelse, held, aliases, function, info, summary
+            )
+            return
+        if isinstance(statement, ast.Try):
+            self._walk_body(
+                statement.body, held, aliases, function, info, summary
+            )
+            for handler in statement.handlers:
+                self._walk_body(
+                    handler.body, held, aliases, function, info, summary
+                )
+            self._walk_body(
+                statement.orelse, held, aliases, function, info, summary
+            )
+            self._walk_body(
+                statement.finalbody, held, aliases, function, info, summary
+            )
+            return
+        # Simple statements (Expr, Return, Raise, AugAssign, ...) carry
+        # only expressions; walk the whole node.
+        self._walk_expression(
+            statement, held, aliases, function, info, summary
+        )
+
+    def _walk_with(self, statement, held, aliases,
+                   function, info, summary) -> None:
+        """Handle a ``with`` statement: acquisitions, region capture."""
+        acquired = []
+        for item in statement.items:
+            self._walk_expression(
+                item.context_expr, held, aliases, function, info, summary
+            )
+            lock_id = self._lock_expression(
+                item.context_expr, info, function, aliases
+            )
+            if lock_id is not None:
+                if lock_id not in held:
+                    # Re-acquiring a held RLock is a no-op: no
+                    # acquisition edge, no new region boundary.
+                    summary.acquires.append(
+                        (item.context_expr, lock_id, frozenset(held))
+                    )
+                    acquired.append(lock_id)
+                if isinstance(item.optional_vars, ast.Name):
+                    aliases[item.optional_vars.id] = lock_id
+        inner = set(held) | set(acquired)
+        start = len(summary.accesses)
+        self._walk_body(
+            statement.body, inner, aliases, function, info, summary
+        )
+        span = summary.accesses[start:]
+        for lock_id in acquired:
+            reads = frozenset(
+                attr for _node, attr, write, _held in span if not write
+            )
+            writes = frozenset(
+                attr for _node, attr, write, _held in span if write
+            )
+            summary.regions.append((statement, lock_id, reads, writes))
+
+    def _walk_expression(self, node, held, aliases,
+                         function, info, summary) -> None:
+        """Record calls, accesses and acquisitions inside one expression."""
+        mutated: set = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self._handle_call(
+                    sub, held, aliases, function, info, summary, mutated
+                )
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute):
+                self._handle_attribute(
+                    sub, sub in mutated, held, function, info, summary
+                )
+
+    def _handle_call(self, call, held, aliases,
+                     function, info, summary, mutated) -> None:
+        """Classify one call: lock op, blocking op, call edge."""
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "acquire":
+                lock_id = self._lock_expression(
+                    func.value, info, function, aliases
+                )
+                if lock_id is not None:
+                    if lock_id not in held:
+                        summary.acquires.append(
+                            (call, lock_id, frozenset(held))
+                        )
+                        held.add(lock_id)
+                    return
+            elif func.attr == "release":
+                lock_id = self._lock_expression(
+                    func.value, info, function, aliases
+                )
+                if lock_id is not None:
+                    held.discard(lock_id)
+                    return
+            elif func.attr == "enter_context" and len(call.args) == 1:
+                lock_id = self._lock_expression(
+                    call.args[0], info, function, aliases
+                )
+                if lock_id is not None:
+                    if lock_id not in held:
+                        summary.acquires.append(
+                            (call, lock_id, frozenset(held))
+                        )
+                        held.add(lock_id)
+                    return
+            if func.attr in _MUTATOR_METHODS:
+                receiver = func.value
+                if isinstance(receiver, ast.Attribute):
+                    mutated.add(receiver)
+        dotted = dotted_name(func)
+        resolved_name = (
+            self.project.resolve(info, dotted) or dotted
+            if dotted else None
+        )
+        if resolved_name in _BLOCKING_CALLS:
+            summary.blocking.append(
+                (call, _BLOCKING_CALLS[resolved_name], frozenset(held))
+            )
+        elif isinstance(func, ast.Attribute) \
+                and func.attr in _BLOCKING_METHODS:
+            summary.blocking.append(
+                (call, f"{dotted or func.attr}()", frozenset(held))
+            )
+        callee = self.project.resolve_function(
+            info, dotted, class_name=function.class_name
+        )
+        if callee is None and isinstance(func, ast.Attribute):
+            callee = self._duck_candidates(func.attr, function, info)
+        if callee is not None:
+            summary.calls.append((call, callee.qualname, frozenset(held)))
+
+    def _handle_attribute(self, node, is_mutated, held,
+                          function, info, summary) -> None:
+        """Record tracked-attribute accesses and method references."""
+        attr = _self_attribute(node)
+        if attr is None or function.class_name is None:
+            return
+        qualified = f"{info.name}.{function.class_name}.{attr}"
+        referenced = self.project.functions.get(qualified)
+        if referenced is not None:
+            # A ``self.method`` reference (dispatch table, bound
+            # callable, property read) executes the method eventually;
+            # model it as a call with the locks held here.
+            summary.calls.append((node, qualified, frozenset(held)))
+            return
+        if qualified in self.tracked_attrs:
+            write = isinstance(node.ctx, (ast.Store, ast.Del)) or is_mutated
+            summary.accesses.append(
+                (node, qualified, write, frozenset(held))
+            )
+
+    def _lock_expression(self, expression, info, function,
+                         aliases) -> str | None:
+        """Map an expression to a known lock id, or ``None``."""
+        if isinstance(expression, ast.Subscript):
+            base = self._lock_expression(
+                expression.value, info, function, aliases
+            )
+            if base is not None and self.locks[base].collection:
+                return base
+            return None
+        if isinstance(expression, ast.Name):
+            if expression.id in aliases:
+                return aliases[expression.id]
+            same_module = f"{info.name}.{expression.id}"
+            if same_module in self.locks:
+                return same_module
+            resolved = self.project.resolve(info, expression.id)
+            if resolved in self.locks:
+                return resolved
+            return None
+        if isinstance(expression, ast.Attribute):
+            attr = _self_attribute(expression)
+            if attr is not None and function.class_name is not None:
+                candidate = (
+                    f"{info.name}.{function.class_name}.{attr}"
+                )
+                if candidate in self.locks:
+                    return candidate
+                return None
+            dotted = dotted_name(expression)
+            if dotted is not None:
+                resolved = self.project.resolve(info, dotted)
+                if resolved in self.locks:
+                    return resolved
+        return None
+
+    # ------------------------------------------------------------------
+    # Interprocedural fixpoint
+    # ------------------------------------------------------------------
+
+    def _fixpoint(self) -> None:
+        """Propagate entry lock-sets and reaching roots from the roots."""
+        queue: deque = deque()
+        for qualname in sorted(self.roots):
+            if qualname not in self.project.functions:
+                continue
+            root = self.roots[qualname]
+            self._entry_must[qualname] = frozenset()
+            self._entry_may[qualname] = frozenset()
+            self._reach_roots[qualname] = (
+                frozenset({qualname})
+                if root.kind in _CONCURRENT_KINDS else frozenset()
+            )
+            queue.append(qualname)
+        while queue:
+            caller = queue.popleft()
+            summary = self._summary(caller)
+            if summary is None:
+                continue
+            for node, callee, local in summary.calls:
+                if callee not in self.project.functions:
+                    continue
+                must = self._entry_must[caller] | local
+                may = self._entry_may[caller] | local
+                roots = self._reach_roots[caller]
+                changed = False
+                if callee not in self._entry_must:
+                    self._entry_must[callee] = must
+                    self._entry_may[callee] = may
+                    self._reach_roots[callee] = roots
+                    self._parent[callee] = caller
+                    changed = True
+                else:
+                    narrowed = self._entry_must[callee] & must
+                    widened = self._entry_may[callee] | may
+                    merged = self._reach_roots[callee] | roots
+                    if narrowed != self._entry_must[callee]:
+                        self._entry_must[callee] = narrowed
+                        changed = True
+                    if widened != self._entry_may[callee]:
+                        self._entry_may[callee] = widened
+                        changed = True
+                    if merged != self._reach_roots[callee]:
+                        self._reach_roots[callee] = merged
+                        changed = True
+                if changed:
+                    queue.append(callee)
+
+    def _path(self, qualname) -> tuple:
+        """First-discovery call path from a root to ``qualname``."""
+        chain = [qualname]
+        seen = {qualname}
+        while chain[-1] in self._parent:
+            nxt = self._parent[chain[-1]]
+            if nxt in seen:
+                break
+            chain.append(nxt)
+            seen.add(nxt)
+        return tuple(reversed(chain))
+
+    def _assemble(self) -> None:
+        """Combine walker summaries with the fixpoint entry sets."""
+        edge_seen: dict = {}
+        for qualname in sorted(self._entry_must):
+            summary = self._summary(qualname)
+            if summary is None:
+                continue
+            function = self.project.functions[qualname]
+            entry_must = self._entry_must[qualname]
+            entry_may = self._entry_may[qualname]
+            roots = self._reach_roots.get(qualname, frozenset())
+            path = self._path(qualname)
+            racy = roots and function.name not in ("__init__", "__new__")
+            if racy:
+                for node, attr_id, write, local in summary.accesses:
+                    self.accesses.append(AttributeAccess(
+                        attr_id=attr_id, function=qualname, node=node,
+                        write=write, must_held=entry_must | local,
+                        may_held=entry_may | local, path=path,
+                    ))
+                    merged = self.attr_roots.setdefault(attr_id, set())
+                    merged.update(roots)
+                for node, lock_id, reads, writes in summary.regions:
+                    self.regions.setdefault(qualname, []).append(
+                        LockRegion(
+                            function=qualname, lock_id=lock_id,
+                            node=node, reads=reads, writes=writes,
+                        )
+                    )
+            for node, description, local in summary.blocking:
+                self.blocking_sites.append(BlockingSite(
+                    function=qualname, node=node,
+                    description=description,
+                    held=entry_may | local, path=path,
+                ))
+            for node, lock_id, local_before in summary.acquires:
+                for source in sorted(entry_may | local_before):
+                    if source == lock_id:
+                        continue
+                    key = (source, lock_id)
+                    if key not in edge_seen:
+                        edge_seen[key] = LockOrderEdge(
+                            first=source, second=lock_id,
+                            function=qualname, node=node,
+                        )
+        self.order_edges = [
+            edge_seen[key] for key in sorted(edge_seen)
+        ]
+
+    # ------------------------------------------------------------------
+    # Derived facts
+    # ------------------------------------------------------------------
+
+    def guards(self) -> dict:
+        """Majority-inferred guarding lock of every tracked attribute.
+
+        A lock guards an attribute when it is certainly held on a
+        strict majority of the attribute's concurrent-reachable
+        accesses, with at least two guarded accesses — one guarded
+        access is coincidence, not discipline.
+
+        Returns
+        -------
+        dict of str to tuple
+            Attribute id → ``(lock_id, guarded_count, total_count)``
+            for attributes with an inferred guard.
+        """
+        per_attr: dict = {}
+        for access in self.accesses:
+            per_attr.setdefault(access.attr_id, []).append(access)
+        inferred = {}
+        for attr_id in sorted(per_attr):
+            attr_accesses = per_attr[attr_id]
+            counts: dict = {}
+            for access in attr_accesses:
+                for lock_id in access.must_held:
+                    counts[lock_id] = counts.get(lock_id, 0) + 1
+            best = None
+            for lock_id in sorted(counts):
+                count = counts[lock_id]
+                if count < 2 or 2 * count <= len(attr_accesses):
+                    continue
+                if best is None or count > counts[best]:
+                    best = lock_id
+            if best is not None:
+                inferred[attr_id] = (
+                    best, counts[best], len(attr_accesses)
+                )
+        return inferred
+
+    def display(self, lock_id: str) -> str:
+        """Short human name of a lock id (``Class.attr`` form)."""
+        lock = self.locks.get(lock_id)
+        if lock is None:
+            return lock_id
+        return lock.display + ("[*]" if lock.collection else "")
+
+
+def _self_attribute(node) -> str | None:
+    """Attribute name for ``self.X`` / ``cls.X`` nodes, else ``None``."""
+    if isinstance(node, ast.Attribute) and isinstance(
+        node.value, ast.Name
+    ) and node.value.id in ("self", "cls"):
+        return node.attr
+    return None

@@ -11,6 +11,7 @@ stays untouched; this module composes it with the project layer.
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -47,7 +48,11 @@ class ProjectReport:
     stats:
         Run statistics: ``total_files``, ``analyzed_files`` (module
         passes executed), ``cached_files`` (module passes replayed)
-        and ``cache_hit`` (whole run replayed without parsing).
+        and ``cache_hit`` (whole run replayed without parsing).  When
+        the run was made with ``with_timings=True`` (the CLI's
+        ``--stats``), a ``rule_timings`` mapping of rule id → seconds
+        spent is included for cold passes; warm replays omit it, since
+        no rule ran.
     rules_run:
         Ids of the rules that ran, sorted.
     """
@@ -110,6 +115,7 @@ def run_project(
     use_cache: bool = True,
     baseline_path=None,
     update_baseline: bool = False,
+    with_timings: bool = False,
 ) -> ProjectReport:
     """Run the whole-program analysis over ``paths``.
 
@@ -130,6 +136,10 @@ def run_project(
     update_baseline:
         Rewrite ``baseline_path`` from the current findings instead of
         ratcheting against it.
+    with_timings:
+        Collect per-rule wall-clock totals into
+        ``report.stats["rule_timings"]`` on cold passes.  Off by
+        default so CI JSON artifacts stay byte-diffable run to run.
 
     Returns
     -------
@@ -186,7 +196,8 @@ def run_project(
         }
     else:
         all_findings = _analyze_cold(
-            report, module_rules, project_rules, sources, hashes, cache
+            report, module_rules, project_rules, sources, hashes, cache,
+            with_timings=with_timings,
         )
         if use_cache:
             cache.prune(hashes)
@@ -214,6 +225,7 @@ def _analyze_cold(
     sources: dict,
     hashes: dict,
     cache: AnalysisCache,
+    with_timings: bool = False,
 ) -> list:
     """Parse, index and analyze; replay unchanged module results.
 
@@ -228,12 +240,26 @@ def _analyze_cold(
         file.
     cache:
         Cache to replay from and refresh in place.
+    with_timings:
+        Accumulate per-rule wall-clock totals into
+        ``report.stats["rule_timings"]``.
 
     Returns
     -------
     list of Finding
         All unsuppressed findings across the analyzed set.
     """
+    timings: dict | None = {} if with_timings else None
+
+    def _timed(rule, produce):
+        if timings is None:
+            return produce()
+        started = time.perf_counter()
+        found = produce()
+        elapsed = time.perf_counter() - started
+        timings[rule.rule_id] = timings.get(rule.rule_id, 0.0) + elapsed
+        return found
+
     contexts: dict = {}
     suppressions: dict = {}
     for key, text in sources.items():
@@ -257,11 +283,11 @@ def _analyze_cold(
             silenced_by_file[key] = dict(cached_silenced)
             replayed += 1
         else:
-            raw = [
-                finding
-                for rule in module_rules
-                for finding in rule.check(context)
-            ]
+            raw = []
+            for rule in module_rules:
+                raw.extend(
+                    _timed(rule, lambda: list(rule.check(context)))
+                )
             kept, silenced = _split_suppressed(raw, suppressions[key])
             module_results[key] = sorted(kept)
             silenced_by_file[key] = silenced
@@ -269,7 +295,8 @@ def _analyze_cold(
 
     project_results: dict = {key: [] for key in contexts}
     for rule in project_rules:
-        for finding in rule.check_project(index):
+        found = _timed(rule, lambda: list(rule.check_project(index)))
+        for finding in found:
             file_suppressions = suppressions.get(finding.path)
             if file_suppressions is not None and is_suppressed(
                 file_suppressions, finding.line, finding.rule_id
@@ -295,4 +322,9 @@ def _analyze_cold(
         "cached_files": replayed,
         "cache_hit": False,
     }
+    if timings is not None:
+        report.stats["rule_timings"] = {
+            rule_id: round(seconds, 6)
+            for rule_id, seconds in sorted(timings.items())
+        }
     return all_findings

@@ -23,6 +23,13 @@ cleanly even when a rule goes quiet::
 
 ``stats`` appears only for project runs; ``suppressed`` counts only
 findings silenced by ``# repro-lint: disable`` comments.
+
+:func:`render_sarif` emits the same information as SARIF v2.1.0 for
+GitHub code scanning (``repro lint --project --format sarif``): one
+run, driver ``repro-lint``, one result per finding with the trace
+folded into the message, and the baseline fingerprint carried as
+``partialFingerprints`` so code-scanning alert identity matches the
+ratchet's.
 """
 
 from __future__ import annotations
@@ -32,8 +39,14 @@ from collections import Counter
 from typing import Mapping, Sequence
 
 from repro.analysis.findings import Finding
+from repro.analysis.project.baseline import fingerprint
 
 JSON_SCHEMA_VERSION = 2
+
+#: SARIF format version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def _summary_extras(baselined: int, suppressed: Mapping | None) -> str:
@@ -103,6 +116,13 @@ def render_text(
             )
             + (" [warm cache]" if stats.get("cache_hit") else "")
         )
+        timings = stats.get("rule_timings")
+        if timings:
+            lines.append("per-rule timings:")
+            lines += [
+                f"  {rule_id}: {seconds:.3f}s"
+                for rule_id, seconds in sorted(timings.items())
+            ]
     return "\n".join(lines)
 
 
@@ -160,4 +180,121 @@ def render_json(
     }
     if stats is not None:
         document["stats"] = dict(stats)
+    return json.dumps(document, indent=2)
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    errors: Sequence[str] = (),
+    suppressed: Mapping | None = None,
+    baselined: int = 0,
+    rules_run: Sequence[str] | None = None,
+    stats: Mapping | None = None,
+) -> str:
+    """Render findings as a SARIF v2.1.0 document.
+
+    One ``run`` of driver ``repro-lint``: each finding becomes a
+    ``result`` at level ``error`` whose message text folds in the
+    source→sink trace, located by repo-relative URI and 1-based
+    line/column, and fingerprinted with the baseline ratchet's
+    fingerprint (``partialFingerprints["reproLint/v1"]``) so GitHub
+    code-scanning alerts keep their identity across line drift exactly
+    like the local baseline does.  File-level read/parse errors are
+    reported as tool execution notifications.
+
+    Parameters
+    ----------
+    findings:
+        Findings to render, already sorted.
+    errors:
+        File-level read/parse errors.
+    suppressed:
+        Rule id → count of comment-suppressed findings (carried in the
+        run's ``properties``).
+    baselined:
+        Findings grandfathered by the baseline ratchet (ditto).
+    rules_run:
+        Ids of the rules that ran; when given, the driver's ``rules``
+        metadata array is emitted and results carry ``ruleIndex``.
+    stats:
+        Project-run statistics, carried in the run's ``properties``.
+
+    Returns
+    -------
+    str
+        Pretty-printed SARIF JSON.
+    """
+    import repro
+
+    rules_metadata: list = []
+    rule_positions: dict = {}
+    if rules_run:
+        try:
+            from repro.analysis.registry import get_rules
+
+            instances = get_rules(select=list(rules_run))
+        except ValueError:
+            instances = []
+        for position, rule in enumerate(instances):
+            rule_positions[rule.rule_id] = position
+            rules_metadata.append({
+                "id": rule.rule_id,
+                "shortDescription": {"text": rule.summary},
+                "defaultConfiguration": {"level": "error"},
+            })
+    results = []
+    for finding in findings:
+        text = finding.message
+        if finding.trace:
+            text += "\n" + "\n".join(finding.trace)
+        result = {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": text},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(int(finding.line), 1),
+                        "startColumn": int(finding.column) + 1,
+                    },
+                },
+            }],
+            "partialFingerprints": {
+                "reproLint/v1": fingerprint(finding),
+            },
+        }
+        if finding.rule_id in rule_positions:
+            result["ruleIndex"] = rule_positions[finding.rule_id]
+        results.append(result)
+    invocation: dict = {"executionSuccessful": not errors}
+    if errors:
+        invocation["toolExecutionNotifications"] = [
+            {"level": "error", "message": {"text": error}}
+            for error in errors
+        ]
+    properties: dict = {
+        "suppressed": dict(sorted((suppressed or {}).items())),
+        "baselined": int(baselined),
+    }
+    if stats is not None:
+        properties["stats"] = dict(stats)
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "version": repro.__version__,
+                    "rules": rules_metadata,
+                },
+            },
+            "results": results,
+            "invocations": [invocation],
+            "properties": properties,
+        }],
+    }
     return json.dumps(document, indent=2)

@@ -10,9 +10,10 @@ from repro.analysis.rules import (
     privacy,
     resources,
     rng,
+    threading,
 )
 
 __all__ = [
     "concurrency", "determinism", "docstrings", "flow", "fs",
-    "pitfalls", "privacy", "resources", "rng",
+    "pitfalls", "privacy", "resources", "rng", "threading",
 ]

@@ -1,0 +1,409 @@
+"""THR-001..004 — lock discipline of the serving plane.
+
+The condensation groups of Aggarwal & Yu are indivisible multi-field
+statistics (count, sum, co-moments, eigenstructure): a thread that
+observes half an update reads a group that never existed, and the
+corruption propagates silently into anonymized output.  The serving
+plane (``repro.serve``) therefore runs every public entry point under
+locks — and this family checks, statically, that the discipline holds:
+
+* **THR-001** — a shared mutable attribute reachable from two or more
+  thread roots is accessed without the lock that guards its other
+  accesses.  The guard is *inferred* (majority of must-held lock sets),
+  so the rule flags the odd one out instead of demanding annotations.
+* **THR-002** — the acquisition-order graph contains a cycle: two
+  threads can each hold one lock of the cycle while waiting for the
+  next, and the service deadlocks.
+* **THR-003** — a blocking operation (``fsync``, ``checkpoint()``,
+  sockets/HTTP, ``time.sleep``) executes while a lock is possibly held
+  on a root-reachable path; every thread contending for that lock
+  stalls behind the I/O.  This is the static form of the latency
+  hazard behind the back-pressure roadmap item.
+* **THR-004** — a check-then-act split: one ``with lock:`` region
+  reads an attribute, a *later* region of the same function writes it,
+  and the lock is the attribute's inferred guard.  The value checked
+  can change between the regions, so the pair must be one critical
+  section.
+
+All four ride :mod:`repro.analysis.project.locks`; see that module for
+the engine's scope and approximations.  Findings carry the shortest
+discovered call path from a thread root so the report reads as a
+repro recipe, and every rule supports the standard suppression
+comments (``# repro-lint: disable-next=THR-003 -- justification``) for
+sites where blocking under a narrow lock is the documented contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, register
+
+
+def lock_sets(project):
+    """Memoized engine accessor (late import: the engine pulls rule
+    helpers, so a module-level import would be circular).
+
+    Parameters
+    ----------
+    project:
+        The project index.
+
+    Returns
+    -------
+    repro.analysis.project.locks.LockSetEngine
+    """
+    from repro.analysis.project.locks import lock_sets as _lock_sets
+
+    return _lock_sets(project)
+
+_THR001_MESSAGE = (
+    "{kind} of shared attribute {attr!r} without {lock}, which guards "
+    "{guarded} of its {total} concurrent accesses; a torn view of "
+    "condensation statistics silently corrupts anonymized output — "
+    "take {lock} around this access or suppress with the alternate "
+    "discipline spelled out"
+)
+_THR002_MESSAGE = (
+    "lock-order cycle {cycle}: threads acquiring these locks in "
+    "different orders can each hold one side and wait forever on the "
+    "other — pick one global acquisition order"
+)
+_THR003_MESSAGE = (
+    "{operation} runs while holding {locks}; every thread contending "
+    "for the lock stalls behind this blocking call — move the I/O "
+    "outside the critical section or hand it to a background task"
+)
+_THR004_MESSAGE = (
+    "check-then-act on {attr!r}: read under {lock} at line {read_line}, "
+    "dependent write in a separate {lock} region; the value can change "
+    "between the two critical sections — merge them into one"
+)
+
+
+class _ThreadingRule(ProjectRule):
+    """Shared scaffolding for the THR family."""
+
+    def _finding(self, project, function, node, message,
+                 trace) -> Finding:
+        """Build a finding located in ``function``'s module.
+
+        Parameters
+        ----------
+        project:
+            The project index.
+        function:
+            Qualname of the function containing ``node``.
+        node:
+            Offending AST node.
+        message:
+            Violation message.
+        trace:
+            Root-to-site hop descriptions.
+
+        Returns
+        -------
+        Finding
+        """
+        info = project.modules[project.functions[function].module]
+        return Finding(
+            path=info.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+            trace=tuple(trace),
+        )
+
+    @staticmethod
+    def _path_trace(engine, path) -> list:
+        """Render a root→site call path as trace hops."""
+        if not path:
+            return []
+        root = engine.roots.get(path[0])
+        kind = root.kind if root is not None else "thread"
+        hops = [f"{kind} root {path[0]}()"]
+        hops += [f"→ {qualname}()" for qualname in path[1:]]
+        return hops
+
+
+@register
+class UnguardedSharedAccessRule(_ThreadingRule):
+    """Shared attributes must be accessed under their inferred guard."""
+
+    rule_id = "THR-001"
+    summary = (
+        "shared serve-plane attributes reachable from multiple thread "
+        "roots must be accessed under their guarding lock"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Flag accesses missing the majority-inferred guard.
+
+        Parameters
+        ----------
+        project:
+            The project index.
+
+        Yields
+        ------
+        Finding
+        """
+        engine = lock_sets(project)
+        guards = engine.guards()
+        for access in engine.accesses:
+            inferred = guards.get(access.attr_id)
+            if inferred is None:
+                continue
+            lock_id, guarded, total = inferred
+            if lock_id in access.must_held:
+                continue
+            roots = engine.attr_roots.get(access.attr_id, ())
+            if len(roots) < 2:
+                continue
+            attr = access.attr_id.rsplit(".", 1)[-1]
+            display = engine.display(lock_id)
+            trace = self._path_trace(engine, access.path)
+            trace.append(
+                f"guard: {display} held on {guarded}/{total} "
+                f"accesses of {attr!r}"
+            )
+            yield self._finding(
+                project, access.function, access.node,
+                _THR001_MESSAGE.format(
+                    kind="write" if access.write else "read",
+                    attr=attr, lock=display,
+                    guarded=guarded, total=total,
+                ),
+                trace,
+            )
+
+
+@register
+class LockOrderCycleRule(_ThreadingRule):
+    """The acquisition graph must stay acyclic."""
+
+    rule_id = "THR-002"
+    summary = (
+        "locks must be acquired in one global order (no cycles in the "
+        "holds-while-acquiring graph)"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Report one finding per strongly-connected lock cycle.
+
+        Parameters
+        ----------
+        project:
+            The project index.
+
+        Yields
+        ------
+        Finding
+        """
+        engine = lock_sets(project)
+        graph: dict = {}
+        for edge in engine.order_edges:
+            graph.setdefault(edge.first, set()).add(edge.second)
+            graph.setdefault(edge.second, set())
+        for component in _cycle_components(graph):
+            members = sorted(component)
+            edges = [
+                edge for edge in engine.order_edges
+                if edge.first in component and edge.second in component
+            ]
+            if not edges:
+                continue
+            cycle = " → ".join(
+                engine.display(lock_id) for lock_id in members
+            )
+            cycle += f" → {engine.display(members[0])}"
+            trace = [
+                f"holding {engine.display(edge.first)}, acquires "
+                f"{engine.display(edge.second)} in {edge.function}() "
+                f"(line {getattr(edge.node, 'lineno', '?')})"
+                for edge in edges
+            ]
+            yield self._finding(
+                project, edges[0].function, edges[0].node,
+                _THR002_MESSAGE.format(cycle=cycle),
+                trace,
+            )
+
+
+@register
+class BlockingUnderLockRule(_ThreadingRule):
+    """No blocking I/O while holding a lock on a reachable path."""
+
+    rule_id = "THR-003"
+    summary = (
+        "blocking operations (fsync, checkpoint, sockets, sleep) must "
+        "not run while a lock is held on a serve-reachable path"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Flag blocking calls whose may-held lock set is non-empty.
+
+        Parameters
+        ----------
+        project:
+            The project index.
+
+        Yields
+        ------
+        Finding
+        """
+        engine = lock_sets(project)
+        for site in engine.blocking_sites:
+            if not site.held:
+                continue
+            locks = ", ".join(
+                engine.display(lock_id) for lock_id in sorted(site.held)
+            )
+            trace = self._path_trace(engine, site.path)
+            trace.append(f"held here: {locks}")
+            yield self._finding(
+                project, site.function, site.node,
+                _THR003_MESSAGE.format(
+                    operation=site.description, locks=locks,
+                ),
+                trace,
+            )
+
+
+@register
+class CheckThenActRule(_ThreadingRule):
+    """A guarded read and its dependent write must share one region."""
+
+    rule_id = "THR-004"
+    summary = (
+        "a guarded read and the write that depends on it must not "
+        "straddle a lock release (check-then-act atomicity)"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Flag read/write pairs split across same-lock regions.
+
+        Parameters
+        ----------
+        project:
+            The project index.
+
+        Yields
+        ------
+        Finding
+        """
+        engine = lock_sets(project)
+        guards = engine.guards()
+        for qualname in sorted(engine.regions):
+            regions = engine.regions[qualname]
+            by_lock: dict = {}
+            for region in regions:
+                by_lock.setdefault(region.lock_id, []).append(region)
+            for lock_id in sorted(by_lock):
+                chain = by_lock[lock_id]
+                if len(chain) < 2:
+                    continue
+                for index, earlier in enumerate(chain[:-1]):
+                    for later in chain[index + 1:]:
+                        for attr_id in sorted(
+                            earlier.reads & later.writes
+                        ):
+                            inferred = guards.get(attr_id)
+                            if inferred is None \
+                                    or inferred[0] != lock_id:
+                                continue
+                            attr = attr_id.rsplit(".", 1)[-1]
+                            display = engine.display(lock_id)
+                            yield self._finding(
+                                project, qualname, later.node,
+                                _THR004_MESSAGE.format(
+                                    attr=attr, lock=display,
+                                    read_line=getattr(
+                                        earlier.node, "lineno", "?"
+                                    ),
+                                ),
+                                (
+                                    f"in {qualname}()",
+                                    f"→ read region at line "
+                                    f"{getattr(earlier.node, 'lineno', '?')}",
+                                    f"→ write region at line "
+                                    f"{getattr(later.node, 'lineno', '?')}",
+                                ),
+                            )
+
+
+def _cycle_components(graph) -> list:
+    """Strongly-connected components that contain a cycle.
+
+    Iterative Tarjan over the lock graph; returns components with more
+    than one node, plus single nodes with a self-edge (the engine never
+    emits self-edges, so in practice only true multi-lock cycles).
+
+    Parameters
+    ----------
+    graph:
+        Lock id → set of successor lock ids.
+
+    Returns
+    -------
+    list of frozenset
+        Cyclic components in deterministic (sorted-member) order.
+    """
+    index_counter = [0]
+    indices: dict = {}
+    lowlinks: dict = {}
+    on_stack: set = set()
+    stack: list = []
+    components: list = []
+
+    for start in sorted(graph):
+        if start in indices:
+            continue
+        work = [(start, iter(sorted(graph[start])))]
+        indices[start] = lowlinks[start] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in indices:
+                    indices[successor] = lowlinks[successor] = \
+                        index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append(
+                        (successor, iter(sorted(graph[successor])))
+                    )
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlinks[node] = min(
+                        lowlinks[node], indices[successor]
+                    )
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(
+                    lowlinks[parent], lowlinks[node]
+                )
+            if lowlinks[node] == indices[node]:
+                component = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or any(
+                    member in graph.get(member, ())
+                    for member in component
+                ):
+                    components.append(frozenset(component))
+    return sorted(components, key=lambda c: sorted(c))

@@ -190,6 +190,7 @@ class DynamicCondenser:
         self._position = 0
         self._ops: list = []
         self._manager = None
+        self._closed = False
         if wal_dir is not None:
             # Deferred import: repro.durability pulls in telemetry while
             # this module may still be mid-import via repro/__init__.
@@ -339,9 +340,24 @@ class DynamicCondenser:
         return self._manager.checkpoint()
 
     def close(self) -> None:
-        """Flush and close the write-ahead log, if durable."""
+        """Flush and close the write-ahead log, if durable.
+
+        Idempotent; :attr:`closed` reports the state so multi-shard
+        owners (the serve plane) can coordinate shutdown per shard.
+        """
         if self._manager is not None:
             self._manager.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run.
+
+        Returns
+        -------
+        bool
+        """
+        return self._closed
 
     @classmethod
     def recover(cls, wal_dir, strategy="random", sampler="uniform",

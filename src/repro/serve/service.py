@@ -24,8 +24,24 @@ synchronously.  :meth:`close` checkpoints and closes every shard, and
 WAL/checkpoints — so a restart *is* failover: the recovered
 :meth:`model` is bit-identical to the pre-shutdown statistics.
 
-Thread safety: all public methods serialize on one internal lock, so
-the service can sit directly behind a threading HTTP server.
+Thread safety
+-------------
+The service uses a two-level lock hierarchy, checked statically by the
+THR rule family (``docs/static_analysis.md``):
+
+* one service ``RLock`` guards the shared scalars and the routing
+  state (``_router``, ``_pending``, ``_closed``, ``_n_features``) —
+  every public method takes it first, briefly;
+* one ``RLock`` *per shard* guards that shard's condenser, so slow
+  per-shard work (durable ``partial_fit``, checkpoint snapshots) never
+  blocks routing or traffic bound for the other shards.
+
+The acquisition order is always service lock → shard lock (and shard
+locks are never nested), so the hierarchy is deadlock-free.  Ingest
+validates and routes under the service lock, then applies each shard's
+slice under that shard's lock only; checkpointing holds no service
+lock while snapshotting, which is the regression behind
+``tests/serve/test_concurrency.py``.
 """
 
 from __future__ import annotations
@@ -33,6 +49,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+from contextlib import ExitStack
 from pathlib import Path
 
 import numpy as np
@@ -152,6 +169,9 @@ class ShardedCondensationService:
         self.batch_size = int(batch_size)
         self.random_state = random_state
         self._lock = threading.RLock()
+        self._shard_locks = [
+            threading.RLock() for _ in range(self.n_shards)
+        ]
         self._router = PrincipalAxisRouter(self.n_shards)
         self._pending: list = []
         self._closed = False
@@ -285,6 +305,7 @@ class ShardedCondensationService:
         with open(temporary, "w", encoding="utf-8") as handle:
             handle.write(document)
             handle.flush()
+            # repro-lint: disable-next=THR-003 -- one-shot router publication at bootstrap; durable before any traffic is routed
             os.fsync(handle.fileno())
         os.replace(temporary, path)
 
@@ -300,6 +321,15 @@ class ShardedCondensationService:
         the threshold fits the router and flushes the whole buffer
         through it.  Afterwards every record goes straight to its
         shard's durable ingest path.
+
+        Locking: validation and routing run under the service lock
+        only; the condensation work is then applied shard by shard
+        under each shard's own lock, so a slow shard (or a concurrent
+        checkpoint snapshot) delays only the records bound for it.
+        When :meth:`close` wins the race against an in-flight batch,
+        the unapplied remainder raises ``RuntimeError`` — the
+        at-least-once re-feed contract covers the replay, exactly as
+        after a crash.
 
         Parameters
         ----------
@@ -321,27 +351,39 @@ class ShardedCondensationService:
         RuntimeError
             If the service is closed.
         """
-        records = self._validated(records)
         with self._lock, telemetry.span("serve.ingest") as ingest_span:
             self._require_open()
+            records = self._validated(records)
             accepted = int(records.shape[0])
             ingest_span.set_attribute("n_records", accepted)
-            if not self._router.fitted:
-                self._bootstrap_ingest(records)
+            if self._router.fitted:
+                batch = records
             else:
-                self._route_ingest(records)
-            telemetry.counter_inc("serve.ingested", accepted)
-            telemetry.gauge_set("serve.position", self.position)
-            telemetry.gauge_set("serve.groups", self.n_groups)
-            return {
-                "accepted": accepted,
-                "buffered": len(self._pending),
-                "bootstrapped": self._router.fitted,
-                "position": self.position,
-            }
+                batch = self._bootstrap_ingest(records)
+            shard_ids = (
+                None if batch is None else self._router.route(batch)
+            )
+            buffered = len(self._pending)
+            bootstrapped = self._router.fitted
+        if batch is not None:
+            self._apply_routed(batch, shard_ids)
+        telemetry.counter_inc("serve.ingested", accepted)
+        telemetry.gauge_set("serve.position", self.position)
+        telemetry.gauge_set("serve.groups", self.n_groups)
+        return {
+            "accepted": accepted,
+            "buffered": buffered,
+            "bootstrapped": bootstrapped,
+            "position": self.position,
+        }
 
-    def _bootstrap_ingest(self, records: np.ndarray) -> None:
-        """Buffer warm-up records; fit + flush once the threshold hits."""
+    def _bootstrap_ingest(self, records: np.ndarray):
+        """Buffer warm-up records; fit the router once the threshold hits.
+
+        Returns the flushed bootstrap sample when this batch crossed
+        the threshold (the caller routes and applies it), else ``None``
+        while the buffer is still filling.
+        """
         for record in records:
             # The bootstrap buffer is the documented trusted-side input
             # feed: records wait here only until the routing tree can be
@@ -349,21 +391,31 @@ class ShardedCondensationService:
             # repro-lint: disable-next=PRIV-001 -- transient bootstrap buffer, flushed and cleared below
             self._pending.append(np.array(record, dtype=float))
         if len(self._pending) < self.bootstrap_size:
-            return
+            return None
         sample = np.vstack(self._pending)
         self._pending.clear()
         self._router.fit(sample)
         self._persist_router()
         telemetry.counter_inc("serve.bootstraps")
-        self._route_ingest(sample)
+        return sample
 
-    def _route_ingest(self, records: np.ndarray) -> None:
-        """Send each record to the shard owning its region."""
-        shard_ids = self._router.route(records)
+    def _apply_routed(self, records: np.ndarray, shard_ids) -> None:
+        """Condense each shard's slice of a routed batch, per shard lock.
+
+        Runs *without* the service lock: only the target shard's lock
+        is held while its slice is condensed (and, when durable,
+        journaled), so ingest for one shard never stalls behind another
+        shard's I/O or a checkpoint snapshot.
+        """
         for shard_id in range(self.n_shards):
             member = shard_ids == shard_id
-            if member.any():
-                self._shards[shard_id].partial_fit(records[member])
+            if not member.any():
+                continue
+            with self._shard_locks[shard_id]:
+                shard = self._shards[shard_id]
+                if shard.closed:
+                    raise RuntimeError("service is closed")
+                shard.partial_fit(records[member])
 
     def generate(self, n_records: int) -> np.ndarray:
         """Draw anonymized records from the fleet's group statistics.
@@ -394,18 +446,24 @@ class ShardedCondensationService:
             )
         with self._lock, telemetry.span("serve.generate") as draw_span:
             self._require_open()
-            model = self._combined_model()
-            sizes = _proportional_sizes(
-                model.group_sizes, int(n_records)
-            )
-            # Generation draws ride shard 0's RNG stream; journaling
-            # its post-draw position keeps recovered draws exact even
-            # after a crash without a clean close.
-            generated = generate_anonymized_data(
-                model, sampler=self.sampler,
-                random_state=self._shards[0]._rng, sizes=sizes,
-            )
-            self._shards[0].journal_rng()
+            # Generation needs one consistent cross-shard model, so it
+            # is the only path that holds every shard lock at once —
+            # always acquired after the service lock, in shard order.
+            with ExitStack() as stack:
+                for shard_lock in self._shard_locks:
+                    stack.enter_context(shard_lock)
+                model = self._combined_model()
+                sizes = _proportional_sizes(
+                    model.group_sizes, int(n_records)
+                )
+                # Generation draws ride shard 0's RNG stream;
+                # journaling its post-draw position keeps recovered
+                # draws exact even after a crash without a clean close.
+                generated = generate_anonymized_data(
+                    model, sampler=self.sampler,
+                    random_state=self._shards[0]._rng, sizes=sizes,
+                )
+                self._shards[0].journal_rng()
             draw_span.set_attribute("n_records", int(n_records))
             telemetry.counter_inc("serve.generated", int(n_records))
             return generated
@@ -422,11 +480,17 @@ class ShardedCondensationService:
             :meth:`~repro.core.statistics.CondensedModel.to_dict`
             groups plus its stream position).  Deterministically
             ordered, so two services with identical durable state
-            render byte-identical JSON.
+            render byte-identical JSON.  Each shard document is an
+            internally consistent snapshot (taken under that shard's
+            lock); under concurrent ingest the documents may reflect
+            slightly different stream moments across shards.
         """
         with self._lock:
-            shards = []
-            for shard_id, shard in enumerate(self._shards):
+            bootstrapped = self._router.fitted
+        shards = []
+        for shard_id in range(self.n_shards):
+            with self._shard_locks[shard_id]:
+                shard = self._shards[shard_id]
                 if shard.n_groups:
                     groups = [
                         group.to_dict()
@@ -444,17 +508,17 @@ class ShardedCondensationService:
                     ),
                     "groups": groups,
                 })
-            return {
-                "k": self.k,
-                "n_shards": self.n_shards,
-                "bootstrapped": self._router.fitted,
-                "position": self.position,
-                "n_groups": self.n_groups,
-                "total_count": sum(
-                    entry["total_count"] for entry in shards
-                ),
-                "shards": shards,
-            }
+        return {
+            "k": self.k,
+            "n_shards": self.n_shards,
+            "bootstrapped": bootstrapped,
+            "position": sum(entry["position"] for entry in shards),
+            "n_groups": sum(entry["n_groups"] for entry in shards),
+            "total_count": sum(
+                entry["total_count"] for entry in shards
+            ),
+            "shards": shards,
+        }
 
     def status(self) -> dict:
         """Liveness / readiness summary for ``/healthz``.
@@ -518,13 +582,23 @@ class ShardedCondensationService:
     # ------------------------------------------------------------------
 
     def checkpoint(self) -> None:
-        """Snapshot every durable shard's full state now."""
+        """Snapshot every durable shard's full state now.
+
+        Snapshot I/O runs under each shard's own lock, never the
+        service lock, so routed ingest for the other shards proceeds
+        while one shard writes its checkpoint.
+        """
         with self._lock:
             self._require_open()
             if self.root is None:
                 return
-            with telemetry.span("serve.checkpoint"):
-                for shard in self._shards:
+        with telemetry.span("serve.checkpoint"):
+            for shard_id in range(self.n_shards):
+                with self._shard_locks[shard_id]:
+                    shard = self._shards[shard_id]
+                    if shard.closed:
+                        raise RuntimeError("service is closed")
+                    # repro-lint: disable-next=THR-003 -- snapshot I/O blocks only this shard's lock by design
                     shard.checkpoint()
 
     def close(self) -> None:
@@ -534,17 +608,26 @@ class ShardedCondensationService:
         still buffered for bootstrap are dropped — raw records are
         never durable, and the response's ``buffered`` field told the
         client they were not yet condensed (the at-least-once re-feed
-        contract of ``docs/durability.md``).
+        contract of ``docs/durability.md``).  The closed flag flips
+        under the service lock first, then each shard drains and
+        closes under its own lock; an in-flight batch that loses the
+        race to a now-closed shard raises and is re-fed by the client.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-            for shard in self._shards:
-                if self.root is not None:
+            durable = self.root is not None
+            self._pending.clear()
+        for shard_id in range(self.n_shards):
+            with self._shard_locks[shard_id]:
+                shard = self._shards[shard_id]
+                if shard.closed:
+                    continue
+                if durable:
+                    # repro-lint: disable-next=THR-003 -- final checkpoint blocks only this shard while draining
                     shard.checkpoint()
                 shard.close()
-            self._pending.clear()
 
     @property
     def closed(self) -> bool:

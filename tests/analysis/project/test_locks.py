@@ -1,0 +1,269 @@
+"""Unit coverage for the interprocedural lock-set engine.
+
+Synthetic serve-plane fixtures exercise each engine capability in
+isolation: lock discovery (attribute, module-level, collection),
+thread-root discovery (handlers, ``threading.Thread`` targets, serve
+loops), helper-call lock propagation, RLock re-entrancy,
+``try/finally`` acquire/release, lock aliasing, and the must/may
+split.  The THR rule behavior on these fixtures lives in
+``test_threading_rules.py``.
+"""
+
+import textwrap
+
+from repro.analysis import ModuleContext
+from repro.analysis.project import LockSetEngine, build_index, lock_sets
+
+
+def _index(sources):
+    contexts = [
+        ModuleContext.from_source(textwrap.dedent(text), path)
+        for path, text in sources.items()
+    ]
+    return build_index(contexts)
+
+
+def _engine(sources):
+    return LockSetEngine.build(_index(sources))
+
+
+COUNTER = {
+    "src/repro/serve/counter.py": """
+    import threading
+
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._total = 0
+
+        def deposit(self, value):
+            with self._lock:
+                self._total = self._total + value
+
+        def snapshot(self):
+            with self._lock:
+                return self._total
+
+        def racy_read(self):
+            return self._total
+
+
+    def start(counter):
+        threading.Thread(target=counter.deposit).start()
+        threading.Thread(target=counter.snapshot).start()
+        threading.Thread(target=counter.racy_read).start()
+    """,
+}
+
+
+class TestLockDiscovery:
+    def test_attribute_lock(self):
+        engine = _engine(COUNTER)
+        assert "repro.serve.counter.Counter._lock" in engine.locks
+
+    def test_module_level_and_collection_locks(self):
+        engine = _engine({
+            "src/repro/serve/pool.py": """
+            import threading
+
+            GLOBAL_LOCK = threading.Lock()
+
+
+            class Pool:
+                def __init__(self, n):
+                    self._shard_locks = [
+                        threading.RLock() for _ in range(n)
+                    ]
+            """,
+        })
+        assert "repro.serve.pool.GLOBAL_LOCK" in engine.locks
+        collection = engine.locks[
+            "repro.serve.pool.Pool._shard_locks"
+        ]
+        assert collection.collection
+        assert engine.display(collection.lock_id).endswith("[*]")
+
+    def test_lock_attributes_are_not_tracked_as_shared_state(self):
+        engine = _engine(COUNTER)
+        assert "repro.serve.counter.Counter._lock" \
+            not in engine.tracked_attrs
+        assert "repro.serve.counter.Counter._total" \
+            in engine.tracked_attrs
+
+
+class TestRootDiscovery:
+    def test_thread_targets_resolve_through_receivers(self):
+        engine = _engine(COUNTER)
+        kinds = {
+            name: root.kind for name, root in engine.roots.items()
+        }
+        assert kinds.get("repro.serve.counter.Counter.deposit") \
+            == "thread"
+        assert kinds.get("repro.serve.counter.Counter.racy_read") \
+            == "thread"
+
+    def test_handler_do_methods_and_serve_loops(self):
+        engine = _engine({
+            "src/repro/serve/web.py": """
+            from http.server import BaseHTTPRequestHandler
+
+
+            class Handler(BaseHTTPRequestHandler):
+                def do_GET(self):
+                    self.send_response(200)
+
+
+            def run(server):
+                server.serve_forever()
+            """,
+        })
+        assert engine.roots["repro.serve.web.Handler.do_GET"].kind \
+            == "handler"
+        assert engine.roots["repro.serve.web.run"].kind == "serve-loop"
+
+
+class TestLockSetPropagation:
+    HELPER = {
+        "src/repro/serve/register.py": """
+        import threading
+
+
+        class Register:
+            def __init__(self):
+                self._lock = threading.RLock()
+                self._entries = []
+
+            def record(self, item):
+                with self._lock:
+                    self._store(item)
+
+            def audit(self):
+                with self._lock:
+                    return len(self._entries)
+
+            def _store(self, item):
+                self._entries.append(item)
+
+
+        def start(register):
+            threading.Thread(target=register.record).start()
+            threading.Thread(target=register.audit).start()
+        """,
+    }
+
+    def test_helper_inherits_callers_lock_set(self):
+        engine = _engine(self.HELPER)
+        lock = "repro.serve.register.Register._lock"
+        store_accesses = [
+            access for access in engine.accesses
+            if access.function.endswith("._store")
+        ]
+        assert store_accesses, "helper access not reached"
+        assert all(
+            lock in access.must_held for access in store_accesses
+        )
+
+    def test_guard_inferred_from_majority(self):
+        engine = _engine(self.HELPER)
+        guards = engine.guards()
+        attr = "repro.serve.register.Register._entries"
+        lock, guarded, total = guards[attr]
+        assert lock == "repro.serve.register.Register._lock"
+        assert guarded == total
+
+    def test_call_path_traces_back_to_the_root(self):
+        engine = _engine(self.HELPER)
+        [access] = [
+            access for access in engine.accesses
+            if access.function.endswith("._store")
+        ]
+        assert access.path[0].endswith(".record") \
+            or access.path[0].endswith(".audit")
+        assert access.path[-1].endswith("._store")
+
+
+class TestReentrancyAndManualAcquire:
+    SOURCE = {
+        "src/repro/serve/manual.py": """
+        import threading
+
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.RLock()
+                self._items = []
+
+            def nested(self):
+                with self._lock:
+                    with self._lock:
+                        self._items.append(1)
+
+            def manual(self):
+                self._lock.acquire()
+                try:
+                    self._items.append(2)
+                finally:
+                    self._lock.release()
+
+
+        def start(box):
+            threading.Thread(target=box.nested).start()
+            threading.Thread(target=box.manual).start()
+        """,
+    }
+
+    def test_reacquiring_a_held_rlock_adds_no_acquisition(self):
+        engine = _engine(self.SOURCE)
+        summary = engine._summary("repro.serve.manual.Box.nested")
+        assert len(summary.acquires) == 1
+        assert engine.order_edges == []
+
+    def test_try_finally_acquire_release_is_tracked(self):
+        engine = _engine(self.SOURCE)
+        lock = "repro.serve.manual.Box._lock"
+        [access] = [
+            access for access in engine.accesses
+            if access.function.endswith(".manual")
+        ]
+        assert lock in access.must_held
+
+
+class TestAliasesAndCollections:
+    def test_loop_variable_aliases_the_collection_lock(self):
+        engine = _engine({
+            "src/repro/serve/fleet.py": """
+            import threading
+
+
+            class Fleet:
+                def __init__(self, n):
+                    self._shard_locks = [
+                        threading.RLock() for _ in range(n)
+                    ]
+                    self._sizes = [0] * n
+
+                def resize(self, n):
+                    for shard_lock in self._shard_locks:
+                        with shard_lock:
+                            self._sizes.append(n)
+
+                def indexed(self, i):
+                    with self._shard_locks[i]:
+                        self._sizes.append(i)
+
+
+            def start(fleet):
+                threading.Thread(target=fleet.resize).start()
+                threading.Thread(target=fleet.indexed).start()
+            """,
+        })
+        composite = "repro.serve.fleet.Fleet._shard_locks"
+        for access in engine.accesses:
+            assert composite in access.must_held, access.function
+
+
+class TestEngineMemoization:
+    def test_lock_sets_reuses_the_engine_per_index(self):
+        index = _index(COUNTER)
+        assert lock_sets(index) is lock_sets(index)

@@ -2,9 +2,9 @@
 
 Mirrors ``tests/analysis/test_self_clean.py`` one layer up: the project
 rules (PRIV-003, DET-001/002/003, FS-001/002/003, CONC-001/002,
-RES-001) must report zero un-baselined findings on ``src/repro`` and
-``tests`` with the shipped baseline, and an injected cross-module leak
-must be caught with its full path.
+RES-001, THR-001..004) must report zero un-baselined findings on
+``src/repro`` and ``tests`` with the shipped baseline, and an injected
+cross-module leak must be caught with its full path.
 """
 
 import json
@@ -24,6 +24,7 @@ _PROJECT_RULES = [
     "FS-001", "FS-002", "FS-003",
     "PRIV-003",
     "RES-001",
+    "THR-001", "THR-002", "THR-003", "THR-004",
 ]
 
 

@@ -1,0 +1,356 @@
+"""THR-001..004 behavior: synthetic fixtures, real tree, canary.
+
+The canary mirrors the vandalized-handler pattern of
+``test_serve_scope.py``: a copy of the real tree with one
+``with self._lock:`` deleted from ``ShardedCondensationService.status``
+must trip THR-001 — proof the gate actually protects the serving
+plane's lock discipline, not just the fixtures.
+"""
+
+import shutil
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ModuleContext, get_rules
+from repro.analysis.project import build_index
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+STATUS_LOCK_SNIPPET = (
+    "        with self._lock:\n"
+    "            return {\n"
+    '                "status":'
+)
+
+
+def _contexts_for_tree(root):
+    return [
+        ModuleContext.from_source(
+            path.read_text(encoding="utf-8"), str(path)
+        )
+        for path in sorted(Path(root).rglob("*.py"))
+    ]
+
+
+def _findings(contexts, rule_id):
+    index = build_index(contexts)
+    [rule] = get_rules(select=[rule_id])
+    return list(rule.check_project(index))
+
+
+def _fixture_findings(sources, rule_id):
+    contexts = [
+        ModuleContext.from_source(textwrap.dedent(text), path)
+        for path, text in sources.items()
+    ]
+    return _findings(contexts, rule_id)
+
+
+class TestTHR001UnguardedAccess:
+    SOURCES = {
+        "src/repro/serve/counter.py": """
+        import threading
+
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._total = 0
+
+            def deposit(self, value):
+                with self._lock:
+                    self._total = self._total + value
+
+            def snapshot(self):
+                with self._lock:
+                    return self._total
+
+            def racy_read(self):
+                return self._total
+
+
+        def start(counter):
+            threading.Thread(target=counter.deposit).start()
+            threading.Thread(target=counter.snapshot).start()
+            threading.Thread(target=counter.racy_read).start()
+        """,
+    }
+
+    def test_unguarded_read_is_flagged_with_root_trace(self):
+        findings = _fixture_findings(self.SOURCES, "THR-001")
+        assert [f.rule_id for f in findings] == ["THR-001"]
+        [finding] = findings
+        assert "_total" in finding.message
+        assert "Counter._lock" in finding.message
+        trace = "\n".join(finding.trace)
+        assert "thread root" in trace
+        assert "racy_read" in trace
+
+    def test_guarded_tree_is_clean(self):
+        original = self.SOURCES["src/repro/serve/counter.py"]
+        patched = original.replace(
+            "def racy_read(self):\n"
+            "                return self._total",
+            "def racy_read(self):\n"
+            "                with self._lock:\n"
+            "                    return self._total",
+        )
+        assert patched != original
+        sources = {"src/repro/serve/counter.py": patched}
+        assert _fixture_findings(sources, "THR-001") == []
+
+    def test_single_root_attribute_is_not_flagged(self):
+        sources = {
+            "src/repro/serve/solo.py": """
+            import threading
+
+
+            class Solo:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._total = 0
+
+                def deposit(self, value):
+                    with self._lock:
+                        self._total = self._total + value
+
+                def tally(self):
+                    with self._lock:
+                        self._total = self._total + 1
+                    return self._total
+
+
+            def start(solo):
+                threading.Thread(target=solo.tally).start()
+            """,
+        }
+        assert _fixture_findings(sources, "THR-001") == []
+
+
+class TestTHR002LockOrderCycle:
+    SOURCES = {
+        "src/repro/serve/ledger.py": """
+        import threading
+
+        LOCK_A = threading.Lock()
+        LOCK_B = threading.Lock()
+
+
+        def transfer():
+            with LOCK_A:
+                with LOCK_B:
+                    pass
+
+
+        def refund():
+            with LOCK_B:
+                with LOCK_A:
+                    pass
+
+
+        def start():
+            threading.Thread(target=transfer).start()
+            threading.Thread(target=refund).start()
+        """,
+    }
+
+    def test_two_lock_cycle_is_flagged_once(self):
+        findings = _fixture_findings(self.SOURCES, "THR-002")
+        assert [f.rule_id for f in findings] == ["THR-002"]
+        [finding] = findings
+        assert "LOCK_A" in finding.message
+        assert "LOCK_B" in finding.message
+        trace = "\n".join(finding.trace)
+        assert "transfer" in trace
+        assert "refund" in trace
+
+    def test_consistent_order_is_clean(self):
+        original = self.SOURCES["src/repro/serve/ledger.py"]
+        patched = original.replace(
+            "with LOCK_B:\n"
+            "                with LOCK_A:",
+            "with LOCK_A:\n"
+            "                with LOCK_B:",
+        )
+        assert patched != original
+        sources = {"src/repro/serve/ledger.py": patched}
+        assert _fixture_findings(sources, "THR-002") == []
+
+
+class TestTHR003BlockingUnderLock:
+    def test_fsync_under_lock_is_flagged(self):
+        sources = {
+            "src/repro/serve/journal.py": """
+            import os
+            import threading
+
+
+            class Journal:
+                def __init__(self, handle):
+                    self._lock = threading.Lock()
+                    self._handle = handle
+
+                def persist(self, data):
+                    with self._lock:
+                        self._handle.write(data)
+                        os.fsync(self._handle.fileno())
+
+
+            def start(journal):
+                threading.Thread(target=journal.persist).start()
+            """,
+        }
+        findings = _fixture_findings(sources, "THR-003")
+        assert [f.rule_id for f in findings] == ["THR-003"]
+        [finding] = findings
+        assert "os.fsync()" in finding.message
+        assert "Journal._lock" in finding.message
+
+    def test_fsync_outside_lock_is_clean(self):
+        sources = {
+            "src/repro/serve/journal.py": """
+            import os
+            import threading
+
+
+            class Journal:
+                def __init__(self, handle):
+                    self._lock = threading.Lock()
+                    self._handle = handle
+
+                def persist(self, data):
+                    with self._lock:
+                        self._handle.write(data)
+                    os.fsync(self._handle.fileno())
+
+
+            def start(journal):
+                threading.Thread(target=journal.persist).start()
+            """,
+        }
+        assert _fixture_findings(sources, "THR-003") == []
+
+
+class TestTHR004CheckThenAct:
+    def test_split_read_write_regions_are_flagged(self):
+        sources = {
+            "src/repro/serve/gate.py": """
+            import threading
+
+
+            class Gate:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        current = self._count
+                    with self._lock:
+                        self._count = current + 1
+
+                def peek(self):
+                    with self._lock:
+                        return self._count
+
+
+            def start(gate):
+                threading.Thread(target=gate.bump).start()
+                threading.Thread(target=gate.peek).start()
+            """,
+        }
+        findings = _fixture_findings(sources, "THR-004")
+        assert [f.rule_id for f in findings] == ["THR-004"]
+        [finding] = findings
+        assert "_count" in finding.message
+        assert "check-then-act" in finding.message
+
+    def test_single_region_is_clean(self):
+        sources = {
+            "src/repro/serve/gate.py": """
+            import threading
+
+
+            class Gate:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        current = self._count
+                        self._count = current + 1
+
+                def peek(self):
+                    with self._lock:
+                        return self._count
+
+
+            def start(gate):
+                threading.Thread(target=gate.bump).start()
+                threading.Thread(target=gate.peek).start()
+            """,
+        }
+        assert _fixture_findings(sources, "THR-004") == []
+
+
+class TestRealTree:
+    def test_real_tree_raw_thr_findings_are_only_suppressed_sites(self):
+        # check_project sees raw findings; the runner filters the two
+        # justified THR-003 suppressions (router publication fsync and
+        # the close-path drain checkpoint).  Nothing else may surface.
+        contexts = _contexts_for_tree(REPO_ROOT / "src" / "repro")
+        index = build_index(contexts)
+        for rule_id in ("THR-001", "THR-002", "THR-004"):
+            [rule] = get_rules(select=[rule_id])
+            assert list(rule.check_project(index)) == [], rule_id
+        [rule] = get_rules(select=["THR-003"])
+        sites = sorted(
+            finding.line for finding in rule.check_project(index)
+        )
+        assert len(sites) == 2
+
+    def test_service_lock_guards_are_inferred(self):
+        from repro.analysis.project import lock_sets
+
+        contexts = _contexts_for_tree(REPO_ROOT / "src" / "repro")
+        index = build_index(contexts)
+        guards = lock_sets(index).guards()
+        service = "repro.serve.service.ShardedCondensationService"
+        for attribute in ("_router", "_pending", "_closed"):
+            lock, guarded, total = guards[f"{service}.{attribute}"]
+            assert lock == f"{service}._lock"
+            assert guarded == total
+
+
+class TestVandalizedServiceCanary:
+    @pytest.fixture(scope="class")
+    def repro_copy(self, tmp_path_factory):
+        destination = tmp_path_factory.mktemp("thr-tree") / "repro"
+        shutil.copytree(REPO_ROOT / "src" / "repro", destination)
+        return destination
+
+    def test_deleting_the_status_lock_trips_thr_001(self, repro_copy):
+        service = repro_copy / "serve" / "service.py"
+        source = service.read_text(encoding="utf-8")
+        assert STATUS_LOCK_SNIPPET in source
+        service.write_text(
+            source.replace(
+                STATUS_LOCK_SNIPPET,
+                STATUS_LOCK_SNIPPET.replace(
+                    "with self._lock:", "if True:"
+                ),
+            ),
+            encoding="utf-8",
+        )
+        findings = _findings(_contexts_for_tree(repro_copy), "THR-001")
+        assert findings, "vandalized service was not flagged"
+        attrs = {
+            finding.message.split("'")[1] for finding in findings
+        }
+        assert attrs & {"_router", "_pending", "_closed"}
+        assert all(
+            finding.path.endswith("service.py") for finding in findings
+        )

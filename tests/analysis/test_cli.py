@@ -83,6 +83,56 @@ class TestOptions:
         assert "unknown rule id" in capsys.readouterr().err
 
 
+class TestSarifFormat:
+    def test_sarif_output_parses_and_carries_the_finding(
+        self, violating_file, capsys
+    ):
+        assert analysis_main(
+            [str(violating_file), "--format", "sarif"]
+        ) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        [run] = document["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert {result["ruleId"] for result in run["results"]} \
+            == {"RNG-001"}
+
+    def test_project_sarif_clean_run(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(_CLEAN)
+        assert analysis_main([
+            str(tmp_path), "--project", "--format", "sarif",
+            "--cache-file", str(tmp_path / "cache.json"),
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        [run] = document["runs"]
+        assert run["results"] == []
+        assert run["invocations"][0]["executionSuccessful"] is True
+
+
+class TestStats:
+    def test_project_stats_prints_per_rule_timings(
+        self, tmp_path, capsys
+    ):
+        (tmp_path / "ok.py").write_text(_CLEAN)
+        assert analysis_main([
+            str(tmp_path), "--project", "--stats",
+            "--cache-file", str(tmp_path / "cache.json"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "per-rule timings:" in out
+
+    def test_timings_stay_out_of_json_without_stats(
+        self, tmp_path, capsys
+    ):
+        (tmp_path / "ok.py").write_text(_CLEAN)
+        assert analysis_main([
+            str(tmp_path), "--project", "--format", "json",
+            "--cache-file", str(tmp_path / "cache.json"),
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "rule_timings" not in document.get("stats", {})
+
+
 class TestReproLintSubcommand:
     def test_lint_is_wired_into_the_main_cli(self, violating_file, capsys):
         assert repro_main(["lint", str(violating_file)]) == 1

@@ -1,13 +1,17 @@
-"""Text and JSON report rendering."""
+"""Text, JSON, and SARIF report rendering."""
 
 import json
 
+import repro
 from repro.analysis import (
     JSON_SCHEMA_VERSION,
+    SARIF_VERSION,
     Finding,
     render_json,
+    render_sarif,
     render_text,
 )
+from repro.analysis.project.baseline import fingerprint
 
 
 def _sample_findings():
@@ -99,3 +103,88 @@ class TestJson:
         assert document["summary"]["total"] == 0
         assert document["findings"] == []
         assert document["errors"] == []
+
+
+class TestSarif:
+    def test_envelope_is_valid_sarif_2_1_0(self):
+        document = json.loads(render_sarif(_sample_findings()))
+        assert document["version"] == SARIF_VERSION == "2.1.0"
+        assert document["$schema"].endswith("sarif-2.1.0.json")
+        [run] = document["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert driver["version"] == repro.__version__
+
+    def test_results_carry_locations_and_fingerprints(self):
+        findings = _sample_findings()
+        document = json.loads(render_sarif(findings))
+        [run] = document["runs"]
+        results = run["results"]
+        assert len(results) == len(findings)
+        first, finding = results[0], findings[0]
+        assert first["ruleId"] == finding.rule_id
+        assert first["level"] == "error"
+        assert first["message"]["text"] == finding.message
+        [location] = first["locations"]
+        region = location["physicalLocation"]["region"]
+        assert region["startLine"] == finding.line
+        # SARIF columns are 1-based; Finding columns are 0-based.
+        assert region["startColumn"] == finding.column + 1
+        assert first["partialFingerprints"]["reproLint/v1"] \
+            == fingerprint(finding)
+
+    def test_rule_metadata_indexes_results(self):
+        findings = _sample_findings()
+        document = json.loads(render_sarif(
+            findings, rules_run=["RNG-001", "PRIV-001"],
+        ))
+        [run] = document["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        ids = [rule["id"] for rule in rules]
+        assert set(ids) == {"RNG-001", "PRIV-001"}
+        for result in run["results"]:
+            assert ids[result["ruleIndex"]] == result["ruleId"]
+
+    def test_trace_folds_into_the_message(self):
+        finding = Finding(
+            path="src/repro/cli.py", line=5, column=0,
+            rule_id="PRIV-003", message="leak",
+            trace=("from a", "to b"),
+        )
+        document = json.loads(render_sarif([finding]))
+        text = document["runs"][0]["results"][0]["message"]["text"]
+        assert "leak" in text
+        assert "from a" in text and "to b" in text
+
+    def test_errors_become_tool_notifications(self):
+        document = json.loads(
+            render_sarif([], errors=["bad.py: invalid syntax"])
+        )
+        [invocation] = document["runs"][0]["invocations"]
+        assert invocation["executionSuccessful"] is False
+        [note] = invocation["toolExecutionNotifications"]
+        assert note["message"]["text"] == "bad.py: invalid syntax"
+
+    def test_clean_run_is_successful_with_properties(self):
+        document = json.loads(render_sarif(
+            [], suppressed={"THR-003": 2}, baselined=1,
+            stats={"cache_hit": True},
+        ))
+        [run] = document["runs"]
+        assert run["results"] == []
+        [invocation] = run["invocations"]
+        assert invocation["executionSuccessful"] is True
+        assert run["properties"]["suppressed"] == {"THR-003": 2}
+        assert run["properties"]["baselined"] == 1
+        assert run["properties"]["stats"] == {"cache_hit": True}
+
+    def test_windows_paths_normalize_to_uri_slashes(self):
+        finding = Finding(
+            path="src\\repro\\core\\x.py", line=1, column=0,
+            rule_id="RNG-001", message="global state",
+        )
+        document = json.loads(render_sarif([finding]))
+        [result] = document["runs"][0]["results"]
+        uri = result["locations"][0]["physicalLocation"][
+            "artifactLocation"]["uri"]
+        assert "\\" not in uri
