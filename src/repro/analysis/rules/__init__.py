@@ -3,6 +3,7 @@
 from repro.analysis.rules import (
     concurrency,
     determinism,
+    doccoverage,
     docstrings,
     flow,
     fs,
@@ -14,6 +15,6 @@ from repro.analysis.rules import (
 )
 
 __all__ = [
-    "concurrency", "determinism", "docstrings", "flow", "fs",
-    "pitfalls", "privacy", "resources", "rng", "threading",
+    "concurrency", "determinism", "doccoverage", "docstrings", "flow",
+    "fs", "pitfalls", "privacy", "resources", "rng", "threading",
 ]

@@ -15,30 +15,64 @@ Entry points
   CLI's ``--shards`` / ``--workers`` flags.
 * :func:`principal_axis_shards` — the recursive principal-axis
   bisection partitioner.
+* :class:`WorkerPool` / :func:`get_shared_pool` — the persistent warm
+  worker pool the process backend runs on (:mod:`repro.parallel.pool`).
+* :func:`publish_payload` / :func:`attach_payload` — the zero-copy
+  shared-memory shard payloads (:mod:`repro.parallel.shm`).
 
 Determinism: shard seeds are spawned from ``random_state`` with
 :func:`repro.linalg.rng.spawn_seed_sequences`, so for a fixed shard
-count the result never depends on the worker count or backend.  See
-``docs/parallel.md`` for the design and the differential-testing
-harness that proves shard-merge equals serial.
+count the result never depends on the worker count or backend.  A
+backend that degrades mid-run announces it with
+:class:`ParallelDegradationWarning` without changing the result.  See
+``docs/parallel.md`` for the design and ``docs/performance.md`` for
+the measured serial/process crossover.
 """
 
 from repro.parallel.engine import (
     BACKENDS,
     REPAIR_POLICIES,
+    ParallelDegradationWarning,
     condense_sharded,
+)
+from repro.parallel.pool import (
+    SubmitError,
+    TaskResult,
+    WorkerCrashError,
+    WorkerPool,
+    get_shared_pool,
+    shutdown_shared_pool,
 )
 from repro.parallel.sharding import (
     principal_axis_bisect,
     principal_axis_shards,
     shard_size_summary,
 )
+from repro.parallel.shm import (
+    PAYLOAD_BACKENDS,
+    PayloadDescriptor,
+    ShardPayload,
+    attach_payload,
+    publish_payload,
+)
 
 __all__ = [
     "BACKENDS",
+    "PAYLOAD_BACKENDS",
+    "ParallelDegradationWarning",
+    "PayloadDescriptor",
     "REPAIR_POLICIES",
+    "ShardPayload",
+    "SubmitError",
+    "TaskResult",
+    "WorkerCrashError",
+    "WorkerPool",
+    "attach_payload",
     "condense_sharded",
+    "get_shared_pool",
     "principal_axis_bisect",
     "principal_axis_shards",
+    "publish_payload",
     "shard_size_summary",
+    "shutdown_shared_pool",
 ]

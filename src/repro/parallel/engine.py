@@ -30,12 +30,8 @@ from __future__ import annotations
 import logging
 import os
 import time
-from concurrent.futures import (
-    BrokenExecutor,
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-    as_completed,
-)
+import warnings
+from concurrent.futures import ThreadPoolExecutor, as_completed
 
 import numpy as np
 
@@ -46,8 +42,14 @@ from repro.core.dynamic import split_group_statistics
 from repro.core.statistics import CondensedModel, GroupStatistics
 from repro.core.strategies import resolve_strategy
 from repro.linalg.rng import rng_from_seed_sequence, spawn_seed_sequences
+from repro.parallel.pool import (
+    SubmitError,
+    WorkerCrashError,
+    get_shared_pool,
+)
 from repro.parallel.sharding import principal_axis_shards, shard_size_summary
-from repro.telemetry import DEFAULT_SIZE_BUCKETS
+from repro.parallel.shm import attach_payload, publish_payload
+from repro.telemetry import DEFAULT_SECONDS_BUCKETS, DEFAULT_SIZE_BUCKETS
 
 _logger = logging.getLogger("repro")
 
@@ -61,12 +63,60 @@ REPAIR_POLICIES = ("merge", "merge_resplit")
 RETRY_BASE_DELAY = 0.05
 
 
+class ParallelDegradationWarning(UserWarning):
+    """The engine degraded to a slower backend mid-run.
+
+    The result is unchanged — the determinism contract holds on every
+    backend — but throughput is not what the caller asked for, which a
+    deployment should notice.  The warning carries structured fields
+    so operators can alert on it without parsing the message.
+
+    Attributes
+    ----------
+    from_backend:
+        Backend that could not finish (``"process"`` or ``"thread"``).
+    to_backend:
+        Backend the pending shards moved to.
+    n_pending:
+        Shards still unfinished at the moment of degradation.
+    reason:
+        Human-readable cause (exception type and message).
+    """
+
+    def __init__(self, from_backend: str, to_backend: str,
+                 n_pending: int, reason: str):
+        self.from_backend = from_backend
+        self.to_backend = to_backend
+        self.n_pending = int(n_pending)
+        self.reason = reason
+        super().__init__(
+            f"parallel backend degraded {from_backend} -> {to_backend} "
+            f"with {n_pending} shard(s) pending: {reason}"
+        )
+
+
 class _PoolFailure(Exception):
     """A pool could not finish its shards; try the next backend."""
 
     def __init__(self, cause):
         super().__init__(str(cause))
         self.cause = cause
+
+
+def _warn_degraded(from_backend: str, to_backend: str,
+                   n_pending: int, cause) -> None:
+    """Emit the structured degradation warning and matching log line."""
+    reason = f"{type(cause).__name__}: {cause}"
+    warnings.warn(
+        ParallelDegradationWarning(
+            from_backend, to_backend, n_pending, reason
+        ),
+        stacklevel=3,
+    )
+    _logger.warning(
+        "%s pool could not finish %d shard(s) (%s); falling back to %s",
+        from_backend, n_pending, reason, to_backend,
+    )
 
 
 def _condense_shard(task):
@@ -90,27 +140,160 @@ def _condense_shard(task):
         return [group], [np.arange(records.shape[0], dtype=np.int64)]
 
 
-def _drain_pool(executor_cls, n_workers, tasks, pending, record,
-                max_retries):
-    """Run the pending shard indices on one executor class.
+def _condense_shard_payload(descriptor, shard_index, k, strategy,
+                            sequence):
+    """Condense one shard read from a published zero-copy payload.
 
-    Shards are submitted individually so a transient worker failure
-    costs one shard, not the whole run: each failed shard is retried up
-    to ``max_retries`` times with exponential backoff before the pool
-    is declared unusable.  ``ValueError`` is a deterministic input
-    error and propagates immediately — retrying cannot fix it.
+    The process-backend worker entry point: attaches to the shared
+    payload (cached across this run's tasks), materializes only its
+    own shard, and delegates to :func:`_condense_shard`.  Returns the
+    shard result plus the attach latency (``0.0`` for cache hits) so
+    the coordinator can observe it.
+    """
+    attachment = attach_payload(descriptor)
+    attach_seconds = attachment.attach_seconds
+    attachment.attach_seconds = 0.0
+    records = attachment.shard_records(shard_index)
+    return (
+        _condense_shard((records, k, strategy, sequence)),
+        attach_seconds,
+    )
+
+
+class _ShardMerger:
+    """Streaming shard-order merge of per-shard condensation results.
+
+    Results may *arrive* in completion order; they are merged the
+    moment the shard-order prefix is complete, so membership mapping
+    and group accumulation overlap with still-running shards instead
+    of waiting for a full barrier.  The final group order is byte-for-
+    byte the shard order — the determinism contract is untouched.
+    """
+
+    def __init__(self, shards):
+        self._shards = shards
+        self._arrived = [None] * len(shards)
+        self._next = 0
+        self.groups: list = []
+        self.memberships: list = []
+
+    def offer(self, index: int, result) -> None:
+        """Accept one shard result; merge any completed prefix."""
+        self._arrived[index] = result
+        while (self._next < len(self._arrived)
+               and self._arrived[self._next] is not None):
+            shard = self._shards[self._next]
+            shard_groups, shard_memberships = self._arrived[self._next]
+            for group, local_members in zip(
+                shard_groups, shard_memberships
+            ):
+                self.groups.append(group)
+                self.memberships.append(
+                    shard[np.asarray(local_members, dtype=np.int64)]
+                )
+            self._arrived[self._next] = None
+            self._next += 1
+
+    @property
+    def complete(self) -> bool:
+        """Whether every shard has been merged."""
+        return self._next == len(self._arrived)
+
+
+def _drain_warm_pool(pool, data, shards, tasks, pending, record,
+                     max_retries):
+    """Run the pending shards on the persistent process pool.
+
+    The shard payload is published once (shared memory, or mmap files
+    where unavailable); per-task pipe traffic is the descriptor plus
+    scalars.  Worker deaths are respawned and retried *inside* the
+    pool; task-level exceptions are retried here with exponential
+    backoff, ``ValueError`` excepted (deterministic input error).
 
     Raises
     ------
     _PoolFailure
-        When the pool breaks or a shard exhausts its retries; the
-        caller moves on to the next backend.
+        When a shard exhausts its retries or the pool cannot take
+        work; the caller moves on to the next backend.
     """
     attempts = dict.fromkeys(pending, 0)
+    with publish_payload(data, shards) as payload, pool.run_lock:
+        try:
+            for index in pending:
+                pool.submit(
+                    _condense_shard_payload, payload.descriptor, index,
+                    tasks[index][0], tasks[index][1], tasks[index][2],
+                    key=index,
+                )
+            outstanding = len(pending)
+            while outstanding:
+                completed = pool.next_result()
+                index = completed.key
+                error = completed.error
+                if error is None:
+                    result, attach_seconds = completed.value
+                    if attach_seconds:
+                        telemetry.histogram_observe(
+                            "parallel.shm.attach_seconds",
+                            float(attach_seconds),
+                            buckets=DEFAULT_SECONDS_BUCKETS,
+                        )
+                    record(index, result)
+                    outstanding -= 1
+                    continue
+                if isinstance(error, ValueError):
+                    raise error
+                if isinstance(error, (WorkerCrashError, SubmitError)):
+                    raise _PoolFailure(error) from error
+                attempts[index] += 1
+                if attempts[index] > max_retries:
+                    raise _PoolFailure(error) from error
+                telemetry.counter_inc("parallel.retries")
+                _logger.warning(
+                    "shard %d failed (%s: %s); retry %d/%d",
+                    index, type(error).__name__, error,
+                    attempts[index], max_retries,
+                )
+                time.sleep(
+                    RETRY_BASE_DELAY * 2 ** (attempts[index] - 1)
+                )
+                pool.submit(
+                    _condense_shard_payload, payload.descriptor, index,
+                    tasks[index][0], tasks[index][1], tasks[index][2],
+                    key=index,
+                )
+        except (ValueError, _PoolFailure):
+            raise
+        except Exception as error:
+            # Structural failures (pool closed underneath us, pipe
+            # plumbing): hand the shards to the next backend.
+            raise _PoolFailure(error) from error
+
+
+def _drain_thread_pool(data, shards, tasks, n_workers, pending, record,
+                       max_retries):
+    """Run the pending shards on a per-call thread pool.
+
+    Threads share the address space, so shards are passed as direct
+    array slices — no payload publication.  Retry semantics match the
+    process path.
+
+    Raises
+    ------
+    _PoolFailure
+        When the pool breaks or a shard exhausts its retries.
+    """
+    attempts = dict.fromkeys(pending, 0)
+
+    def shard_task(index):
+        k, strategy, sequence = tasks[index]
+        return (data[shards[index]], k, strategy, sequence)
+
     try:
-        with executor_cls(max_workers=n_workers) as pool:
+        with ThreadPoolExecutor(max_workers=n_workers) as executor:
             futures = {
-                pool.submit(_condense_shard, tasks[index]): index
+                executor.submit(_condense_shard, shard_task(index)):
+                    index
                 for index in pending
             }
             while futures:
@@ -120,8 +303,6 @@ def _drain_pool(executor_cls, n_workers, tasks, pending, record,
                         result = future.result()
                     except ValueError:
                         raise
-                    except BrokenExecutor as error:
-                        raise _PoolFailure(error) from error
                     except Exception as error:
                         attempts[index] += 1
                         if attempts[index] > max_retries:
@@ -136,82 +317,101 @@ def _drain_pool(executor_cls, n_workers, tasks, pending, record,
                             RETRY_BASE_DELAY * 2 ** (attempts[index] - 1)
                         )
                         futures[
-                            pool.submit(_condense_shard, tasks[index])
+                            executor.submit(
+                                _condense_shard, shard_task(index)
+                            )
                         ] = index
                         continue
                     record(index, result)
     except (ValueError, _PoolFailure):
         raise
     except Exception as error:
-        # Pool construction failed outright (sandboxed interpreters
-        # without process support, pickling failures at submit time).
         raise _PoolFailure(error) from error
 
 
-def _run_shard_tasks(tasks, n_workers: int, backend: str, store=None,
-                     max_retries: int = 2):
-    """Execute shard tasks on the selected backend, in shard order.
+def _run_shard_tasks(data, shards, tasks, n_workers: int, backend: str,
+                     record, store=None, max_retries: int = 2,
+                     pool=None) -> tuple:
+    """Execute shard tasks on the selected backend.
 
-    With a :class:`~repro.durability.shards.ShardCheckpointStore`,
-    already-completed shards are preloaded instead of recomputed and
-    each freshly computed shard is persisted by the coordinator as it
-    lands.  Failed shards are retried with exponential backoff; a pool
-    that cannot finish falls back process → thread → serial, because
-    the result is backend-independent by construction.
+    Every completed shard is delivered through ``record(index,
+    result)`` *as it lands* — the caller merges and checkpoints
+    incrementally.  With a
+    :class:`~repro.durability.shards.ShardCheckpointStore`,
+    already-completed shards are preloaded instead of recomputed.
+    Failed shards are retried with exponential backoff; a pool that
+    cannot finish falls back process → thread → serial (each
+    degradation announced by a :class:`ParallelDegradationWarning`),
+    because the result is backend-independent by construction.
+
+    Returns
+    -------
+    tuple
+        ``(effective_backend, degraded)`` — the backend that finished
+        the pending shards and whether that required degrading below
+        the requested backend.
     """
-    results = [None] * len(tasks)
     pending = []
     for index in range(len(tasks)):
         if store is not None:
             cached = store.load(index)
             if cached is not None:
-                results[index] = cached
+                record(index, cached, checkpointed=True)
                 telemetry.counter_inc("parallel.checkpoint_hits")
                 continue
         pending.append(index)
     if not pending:
-        return results
+        return "checkpoint", False
 
-    def record(index, result):
-        results[index] = result
-        if store is not None:
-            store.store(index, result)
-        if index in pending:
-            pending.remove(index)
+    done = set()
 
+    def record_pending(index, result):
+        done.add(index)
+        record(index, result)
+
+    degraded = False
     if not (backend == "serial" or n_workers <= 1 or len(pending) <= 1):
-        pool_backends = (
-            ("process", "thread") if backend in ("auto", "process")
-            else ("thread",)
-        )
-        for pool_backend in pool_backends:
-            executor_cls = (
-                ProcessPoolExecutor if pool_backend == "process"
-                else ThreadPoolExecutor
-            )
+        if backend in ("auto", "process"):
             try:
-                _drain_pool(
-                    executor_cls, n_workers, tasks, list(pending),
-                    record, max_retries,
+                warm_pool = (
+                    pool if pool is not None
+                    else get_shared_pool(n_workers)
+                )
+                _drain_warm_pool(
+                    warm_pool, data, shards, tasks, list(pending),
+                    record_pending, max_retries,
                 )
             except _PoolFailure as failure:
-                _logger.warning(
-                    "%s pool could not finish %d shard(s) (%s: %s); "
-                    "falling back", pool_backend, len(pending),
-                    type(failure.cause).__name__, failure.cause,
+                pending = [i for i in pending if i not in done]
+                degraded = True
+                _warn_degraded(
+                    "process", "thread", len(pending), failure.cause
                 )
-                continue
-            return results
-        # Degraded mode: every pool backend failed; the serial path
-        # computes the identical result, just without parallelism.
-        telemetry.counter_inc("parallel.serial_fallbacks")
-        _logger.warning(
-            "running %d shard(s) serially after pool failure",
-            len(pending),
+            else:
+                return "process", False
+        try:
+            _drain_thread_pool(
+                data, shards, tasks, n_workers, list(pending),
+                record_pending, max_retries,
+            )
+        except _PoolFailure as failure:
+            pending = [i for i in pending if i not in done]
+            degraded = True
+            telemetry.counter_inc("parallel.serial_fallbacks")
+            _warn_degraded(
+                "thread", "serial", len(pending), failure.cause
+            )
+        else:
+            return "thread", degraded
+    for index in pending:
+        if index in done:
+            continue
+        k, strategy, sequence = tasks[index]
+        record_pending(
+            index,
+            _condense_shard((data[shards[index]], k, strategy, sequence)),
         )
-    for index in list(pending):
-        record(index, _condense_shard(tasks[index]))
-    return results
+    return "serial", degraded
 
 
 def _resolve_workers(n_workers, n_shards: int) -> int:
@@ -282,6 +482,7 @@ def condense_sharded(
     repair: str = "merge",
     checkpoint_dir=None,
     max_retries: int = 2,
+    pool=None,
 ) -> CondensedModel:
     """Condense a database in locality-preserving shards.
 
@@ -339,7 +540,16 @@ def condense_sharded(
         Per-shard retry budget for transient worker failures, with
         exponential backoff (``RETRY_BASE_DELAY * 2**(attempt - 1)``).
         ``ValueError`` from a shard is treated as a deterministic
-        input error and never retried.
+        input error and never retried.  Worker *death* (e.g. an
+        OOM kill) is respawned and retried inside the warm pool
+        independently of this budget.
+    pool:
+        A :class:`repro.parallel.pool.WorkerPool` to run process-
+        backend shards on.  ``None`` (default) uses the module-shared
+        warm pool (:func:`repro.parallel.pool.get_shared_pool`), which
+        persists across calls so repeated condensations skip worker
+        spawn entirely.  Pass an explicitly owned pool to control its
+        lifetime (e.g. a service embedding the engine).
 
     Returns
     -------
@@ -426,29 +636,27 @@ def condense_sharded(
 
         sequences = spawn_seed_sequences(random_state, len(shards))
         tasks = [
-            (data[shard], k, strategy, sequence)
-            for shard, sequence in zip(shards, sequences)
+            (k, strategy, sequence) for sequence in sequences
         ]
-        results = _run_shard_tasks(
-            tasks, n_workers, backend, store=store,
-            max_retries=max_retries,
+        merger = _ShardMerger(shards)
+
+        def record(index, result, checkpointed=False):
+            # Checkpoint first (durability), then merge the completed
+            # prefix — overlapping merge work with in-flight shards.
+            if store is not None and not checkpointed:
+                store.store(index, result)
+            merger.offer(index, result)
+
+        effective_backend, degraded = _run_shard_tasks(
+            data, shards, tasks, n_workers, backend, record,
+            store=store, max_retries=max_retries, pool=pool,
         )
+        if not merger.complete:  # pragma: no cover - defensive
+            raise RuntimeError("shard results incomplete after run")
 
         with telemetry.span("parallel.merge") as merge_span:
-            groups: list[GroupStatistics] = []
-            memberships: list[np.ndarray] = []
-            for shard, (shard_groups, shard_memberships) in zip(
-                shards, results
-            ):
-                for group, local_members in zip(
-                    shard_groups, shard_memberships
-                ):
-                    groups.append(group)
-                    memberships.append(
-                        shard[np.asarray(local_members, dtype=np.int64)]
-                    )
-            model = CondensedModel(groups=groups, k=k)
-            model.metadata["memberships"] = memberships
+            model = CondensedModel(groups=merger.groups, k=k)
+            model.metadata["memberships"] = merger.memberships
 
             undersized = model.group_sizes[model.group_sizes < k]
             for size in undersized:
@@ -478,6 +686,8 @@ def condense_sharded(
             "n_resplits": n_resplits,
             "max_retries": max_retries,
             "checkpointed": store is not None,
+            "effective_backend": effective_backend,
+            "degraded": degraded,
         }
         parallel_span.set_attribute("n_groups", model.n_groups)
         return model

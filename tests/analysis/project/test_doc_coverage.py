@@ -1,0 +1,123 @@
+"""DOC-002 canaries: parallel export surface vs the docs corpus."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ModuleContext, get_rules
+from repro.analysis.project import build_index
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def findings_for(contexts):
+    index = build_index(contexts)
+    [rule] = get_rules(select=["DOC-002"])
+    return list(rule.check_project(index))
+
+
+def fake_repo(tmp_path, exports, parallel_md=None, api_md=None):
+    """Lay out a minimal repo and return its parsed module contexts."""
+    package = tmp_path / "src" / "repro" / "parallel"
+    package.mkdir(parents=True)
+    source = "__all__ = [\n" + "".join(
+        f"    {name!r},\n" for name in exports
+    ) + "]\n"
+    init = package / "__init__.py"
+    init.write_text(source, encoding="utf-8")
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    if parallel_md is not None:
+        (docs / "parallel.md").write_text(parallel_md, encoding="utf-8")
+    if api_md is not None:
+        (docs / "api.md").write_text(api_md, encoding="utf-8")
+    return [ModuleContext.from_source(source, str(init))]
+
+
+@pytest.fixture(scope="module")
+def repro_index():
+    contexts = [
+        ModuleContext.from_source(
+            path.read_text(encoding="utf-8"), str(path)
+        )
+        for path in sorted(
+            (REPO_ROOT / "src" / "repro").rglob("*.py")
+        )
+    ]
+    return build_index(contexts)
+
+
+class TestSeededClean:
+    def test_real_tree_has_no_doc_coverage_findings(self, repro_index):
+        [rule] = get_rules(select=["DOC-002"])
+        assert list(rule.check_project(repro_index)) == []
+
+
+class TestViolations:
+    def test_undocumented_export_fires(self, tmp_path):
+        contexts = fake_repo(
+            tmp_path, ["condense_sharded", "WorkerPool"],
+            parallel_md="`condense_sharded` is the engine.\n",
+        )
+        [finding] = findings_for(contexts)
+        assert finding.rule_id == "DOC-002"
+        assert "'WorkerPool'" in finding.message
+        assert "docs/parallel.md" in finding.message
+
+    def test_mention_in_api_md_satisfies(self, tmp_path):
+        contexts = fake_repo(
+            tmp_path, ["WorkerPool"],
+            parallel_md="nothing here\n",
+            api_md="### `WorkerPool`\n",
+        )
+        assert findings_for(contexts) == []
+
+    def test_substring_mention_does_not_satisfy(self, tmp_path):
+        contexts = fake_repo(
+            tmp_path, ["WorkerPool"],
+            parallel_md="the WorkerPools concept (plural) only\n",
+        )
+        [finding] = findings_for(contexts)
+        assert "'WorkerPool'" in finding.message
+
+    def test_finding_anchors_to_the_all_entry(self, tmp_path):
+        contexts = fake_repo(
+            tmp_path, ["documented", "missing"],
+            parallel_md="documented\n",
+        )
+        [finding] = findings_for(contexts)
+        # __all__ opens on line 1; 'missing' is its second element.
+        assert finding.line == 3
+
+
+class TestQuietPaths:
+    def test_no_docs_directory_yields_nothing(self, tmp_path):
+        package = tmp_path / "src" / "repro" / "parallel"
+        package.mkdir(parents=True)
+        source = "__all__ = ['WorkerPool']\n"
+        init = package / "__init__.py"
+        init.write_text(source, encoding="utf-8")
+        contexts = [ModuleContext.from_source(source, str(init))]
+        assert findings_for(contexts) == []
+
+    def test_no_all_literal_yields_nothing(self, tmp_path):
+        package = tmp_path / "src" / "repro" / "parallel"
+        package.mkdir(parents=True)
+        source = "WorkerPool = object()\n"
+        init = package / "__init__.py"
+        init.write_text(source, encoding="utf-8")
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "parallel.md").write_text(
+            "docs\n", encoding="utf-8"
+        )
+        contexts = [ModuleContext.from_source(source, str(init))]
+        assert findings_for(contexts) == []
+
+    def test_other_packages_are_out_of_scope(self, tmp_path):
+        package = tmp_path / "src" / "repro" / "core"
+        package.mkdir(parents=True)
+        source = "__all__ = ['undocumented_thing']\n"
+        init = package / "__init__.py"
+        init.write_text(source, encoding="utf-8")
+        contexts = [ModuleContext.from_source(source, str(init))]
+        assert findings_for(contexts) == []

@@ -85,11 +85,13 @@ class TestVandalizedHandlerCanary:
 
     def test_clean_tree_has_no_serve_leaks(self):
         # PRIV-003 needs the whole tree for cross-module resolution;
-        # scope the check by filtering findings to serve files.
+        # scope the check by filtering findings to files in the serve
+        # package (matching path *components*, not substrings — the
+        # tree may live under a directory whose name contains "serve").
         contexts = _contexts_for_tree(REPO_ROOT / "src" / "repro")
         leaks = [
             finding for finding in _findings(contexts, "PRIV-003")
-            if "serve" in finding.path
+            if "serve" in Path(finding.path).parts
         ]
         assert leaks == []
 
@@ -107,7 +109,8 @@ class TestVandalizedHandlerCanary:
         )
         findings = _findings(_contexts_for_tree(repro_copy), "PRIV-003")
         serve_leaks = [
-            finding for finding in findings if "serve" in finding.path
+            finding for finding in findings
+            if "serve" in Path(finding.path).parts
         ]
         assert serve_leaks, "vandalized handler was not flagged"
         message = serve_leaks[0].message

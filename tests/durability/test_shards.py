@@ -33,6 +33,39 @@ def make_tasks(data, k=8, n_shards=4, seed=5):
     ]
 
 
+def make_run(data, k=8, n_shards=4, seed=5):
+    """Shard index arrays plus per-shard task descriptors.
+
+    This is the ``(shards, tasks)`` shape ``_run_shard_tasks`` takes:
+    tasks carry only ``(k, strategy, sequence)``; the records travel
+    separately (zero-copy payloads on the process path, direct slices
+    on the thread path).
+    """
+    strategy = resolve_strategy("random")
+    sequences = spawn_seed_sequences(seed, n_shards)
+    size = data.shape[0] // n_shards
+    shards = [
+        np.arange(index * size, (index + 1) * size)
+        for index in range(n_shards)
+    ]
+    tasks = [(k, strategy, sequence) for sequence in sequences]
+    return shards, tasks
+
+
+def run_tasks(data, shards, tasks, **kwargs):
+    """Drive ``_run_shard_tasks`` on the thread backend, collecting
+    delivered shard results keyed by index."""
+    results = {}
+
+    def record(index, result, checkpointed=False):
+        results[index] = result
+
+    outcome = engine._run_shard_tasks(
+        data, shards, tasks, 4, "thread", record, **kwargs
+    )
+    return results, outcome
+
+
 class TestFingerprint:
     def test_sensitive_to_every_input(self, data):
         base = shard_fingerprint(data, 8, "random", 4, 5)
@@ -139,7 +172,7 @@ class TestCheckpointedRuns:
 
 class TestRetries:
     def test_transient_failures_are_retried(self, data, monkeypatch):
-        tasks = make_tasks(data)
+        shards, tasks = make_run(data)
         original = engine._condense_shard
         calls = {"n": 0}
 
@@ -151,13 +184,16 @@ class TestRetries:
 
         monkeypatch.setattr(engine, "_condense_shard", flaky)
         monkeypatch.setattr(engine, "RETRY_BASE_DELAY", 0.001)
-        results = engine._run_shard_tasks(tasks, 4, "thread",
-                                          max_retries=2)
-        assert all(result is not None for result in results)
+        results, (effective, degraded) = run_tasks(
+            data, shards, tasks, max_retries=2
+        )
+        assert sorted(results) == list(range(len(shards)))
+        assert all(result is not None for result in results.values())
+        assert (effective, degraded) == ("thread", False)
 
     def test_persistent_failure_falls_back_to_serial(self, data,
                                                      monkeypatch):
-        tasks = make_tasks(data)
+        shards, tasks = make_run(data)
         original = engine._condense_shard
         from threading import current_thread, main_thread
 
@@ -168,12 +204,16 @@ class TestRetries:
 
         monkeypatch.setattr(engine, "_condense_shard", fails_in_workers)
         monkeypatch.setattr(engine, "RETRY_BASE_DELAY", 0.001)
-        results = engine._run_shard_tasks(tasks, 4, "thread",
-                                          max_retries=1)
-        assert all(result is not None for result in results)
+        with pytest.warns(engine.ParallelDegradationWarning):
+            results, (effective, degraded) = run_tasks(
+                data, shards, tasks, max_retries=1
+            )
+        assert sorted(results) == list(range(len(shards)))
+        assert all(result is not None for result in results.values())
+        assert (effective, degraded) == ("serial", True)
 
     def test_value_error_is_fatal_not_retried(self, data, monkeypatch):
-        tasks = make_tasks(data)
+        shards, tasks = make_run(data)
         calls = {"n": 0}
 
         def broken_input(task):
@@ -182,8 +222,8 @@ class TestRetries:
 
         monkeypatch.setattr(engine, "_condense_shard", broken_input)
         with pytest.raises(ValueError, match="k larger"):
-            engine._run_shard_tasks(tasks, 4, "thread", max_retries=5)
-        assert calls["n"] <= len(tasks)
+            run_tasks(data, shards, tasks, max_retries=5)
+        assert calls["n"] <= len(shards)
 
     def test_negative_max_retries_rejected(self, data):
         with pytest.raises(ValueError, match="max_retries"):

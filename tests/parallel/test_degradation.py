@@ -1,0 +1,100 @@
+"""Backend degradation is loud, counted, and result-preserving.
+
+Before this warning existed, a broken process pool silently handed
+the whole run to the serial path — same answer, a fraction of the
+throughput, and nothing in the logs.  Now every rung down the
+process → thread → serial ladder emits a structured
+:class:`ParallelDegradationWarning` (operator-matchable fields, not
+just prose), landing on serial bumps ``parallel.serial_fallbacks``,
+and the model is bit-identical to the undegraded run throughout.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.parallel import ParallelDegradationWarning, condense_sharded
+from repro.parallel import engine
+
+
+@pytest.fixture()
+def dataset():
+    rng = np.random.default_rng(11)
+    return rng.normal(size=(400, 3))
+
+
+def force_pool_failure(monkeypatch, name):
+    def refuse(*_args, **_kwargs):
+        raise engine._PoolFailure(RuntimeError("forced by test"))
+
+    monkeypatch.setattr(engine, name, refuse)
+
+
+def run(data, **overrides):
+    options = dict(
+        k=8, n_shards=4, n_workers=2, strategy="mdav",
+        random_state=5, backend="process",
+    )
+    options.update(overrides)
+    return condense_sharded(data, **options)
+
+
+def fingerprint(model):
+    return [
+        (group.count, group.first_order.tobytes(),
+         group.second_order.tobytes())
+        for group in model.groups
+    ]
+
+
+def test_process_failure_warns_and_lands_on_thread(monkeypatch, dataset):
+    force_pool_failure(monkeypatch, "_drain_warm_pool")
+    with pytest.warns(ParallelDegradationWarning) as captured:
+        model = run(dataset)
+    warning = captured[0].message
+    assert warning.from_backend == "process"
+    assert warning.to_backend == "thread"
+    assert warning.n_pending == 4
+    assert "forced by test" in warning.reason
+    assert model.metadata["parallel"]["effective_backend"] == "thread"
+    assert model.metadata["parallel"]["degraded"] is True
+
+
+def test_double_failure_lands_on_serial_and_counts(monkeypatch, dataset):
+    force_pool_failure(monkeypatch, "_drain_warm_pool")
+    force_pool_failure(monkeypatch, "_drain_thread_pool")
+    pipeline = telemetry.configure()
+    try:
+        with pytest.warns(ParallelDegradationWarning) as captured:
+            model = run(dataset)
+        ladder = [
+            (w.message.from_backend, w.message.to_backend)
+            for w in captured
+        ]
+        assert ladder == [("process", "thread"), ("thread", "serial")]
+        assert pipeline.registry.counter(
+            "parallel.serial_fallbacks"
+        ).value() >= 1
+    finally:
+        telemetry.disable()
+    assert model.metadata["parallel"]["effective_backend"] == "serial"
+    assert model.metadata["parallel"]["degraded"] is True
+
+
+def test_degraded_model_is_bit_identical(monkeypatch, dataset):
+    baseline = run(dataset)
+    assert baseline.metadata["parallel"]["degraded"] is False
+    force_pool_failure(monkeypatch, "_drain_warm_pool")
+    force_pool_failure(monkeypatch, "_drain_thread_pool")
+    with pytest.warns(ParallelDegradationWarning):
+        degraded = run(dataset)
+    assert fingerprint(degraded) == fingerprint(baseline)
+
+
+def test_undegraded_run_emits_no_warning(dataset, recwarn):
+    model = run(dataset)
+    assert model.metadata["parallel"]["effective_backend"] == "process"
+    assert not [
+        w for w in recwarn.list
+        if isinstance(w.message, ParallelDegradationWarning)
+    ]

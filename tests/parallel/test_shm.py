@@ -1,0 +1,196 @@
+"""Zero-copy payload lifecycle: round-trips, fallback, and no leaks.
+
+The RES-001 promise for shared memory is absolute: a published payload
+is unlinked on success, on failure, and at interpreter exit — nothing
+this test file runs may leave a segment behind in ``/dev/shm``.  The
+interpreter-exit case necessarily runs in a subprocess (the ``atexit``
+hook only fires when the publisher dies), and the mmap fallback is
+forced by monkeypatching shared memory away.
+"""
+
+import glob
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.parallel import shm
+from repro.parallel.shm import (
+    PayloadDescriptor,
+    attach_payload,
+    detach_worker_payloads,
+    publish_payload,
+)
+
+
+def shm_segments():
+    """Names of repro-visible POSIX shared-memory segments."""
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+@pytest.fixture()
+def payload_fixture():
+    """A published 3-shard payload, unconditionally closed afterwards."""
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(30, 4))
+    shards = [
+        np.arange(0, 10), np.arange(10, 25), np.arange(25, 30),
+    ]
+    payload = publish_payload(data, shards)
+    yield data, shards, payload
+    payload.close()
+    detach_worker_payloads()
+
+
+class TestRoundTrip:
+    def test_shard_records_match_fancy_indexing(self, payload_fixture):
+        data, shards, payload = payload_fixture
+        attachment = attach_payload(payload.descriptor)
+        for index, shard in enumerate(shards):
+            np.testing.assert_array_equal(
+                attachment.shard_records(index), data[shard]
+            )
+
+    def test_descriptor_is_picklable_scalars(self, payload_fixture):
+        _data, _shards, payload = payload_fixture
+        descriptor = payload.descriptor
+        assert isinstance(descriptor, PayloadDescriptor)
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(descriptor))
+        assert clone == descriptor
+
+    def test_attachment_is_cached_per_token(self, payload_fixture):
+        _data, _shards, payload = payload_fixture
+        first = attach_payload(payload.descriptor)
+        second = attach_payload(payload.descriptor)
+        assert second is first
+
+    def test_view_is_read_only(self, payload_fixture):
+        _data, _shards, payload = payload_fixture
+        attachment = attach_payload(payload.descriptor)
+        with pytest.raises(ValueError):
+            attachment._view[0, 0] = 99.0
+
+    def test_empty_shard_list_round_trips(self):
+        payload = publish_payload(np.zeros((4, 2)), [])
+        try:
+            assert payload.descriptor.shard_offsets == (0,)
+        finally:
+            payload.close()
+
+
+class TestUnlinkDiscipline:
+    def test_close_unlinks_and_is_idempotent(self):
+        before = shm_segments()
+        payload = publish_payload(np.zeros((8, 2)), [np.arange(8)])
+        payload.close()
+        payload.close()
+        assert payload.closed
+        assert shm_segments() == before
+
+    def test_context_manager_unlinks_on_failure(self):
+        before = shm_segments()
+        with pytest.raises(RuntimeError, match="boom"):
+            with publish_payload(np.zeros((8, 2)), [np.arange(8)]):
+                raise RuntimeError("boom")
+        assert shm_segments() == before
+
+    def test_interpreter_exit_unlinks_live_payloads(self, tmp_path):
+        """Publish and *don't* close; the atexit hook must unlink."""
+        script = tmp_path / "leaker.py"
+        script.write_text(
+            "import numpy as np\n"
+            "from repro.parallel.shm import publish_payload\n"
+            "payload = publish_payload(\n"
+            "    np.zeros((64, 8)), [np.arange(64)]\n"
+            ")\n"
+            "print(payload.descriptor.backend)\n"
+        )
+        before = shm_segments()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.getcwd(), "src"),
+             env.get("PYTHONPATH", "")]
+        )
+        completed = subprocess.run(
+            [sys.executable, str(script)], env=env,
+            capture_output=True, text=True, timeout=60,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert shm_segments() == before
+
+    def test_engine_run_leaves_no_segments(self):
+        from repro.parallel import condense_sharded
+
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(400, 3))
+        before = shm_segments()
+        condense_sharded(
+            data, k=8, n_shards=2, n_workers=2,
+            strategy="mdav", random_state=0, backend="process",
+        )
+        assert shm_segments() == before
+
+
+class TestMmapFallback:
+    def test_forced_mmap_round_trips(self, monkeypatch, payload_fixture):
+        data, shards, _payload = payload_fixture
+        monkeypatch.setattr(shm, "_shared_memory", None)
+        fallback = publish_payload(data, shards)
+        try:
+            assert fallback.descriptor.backend == "mmap"
+            assert os.path.isdir(fallback.descriptor.token)
+            attachment = attach_payload(fallback.descriptor)
+            for index, shard in enumerate(shards):
+                np.testing.assert_array_equal(
+                    attachment.shard_records(index), data[shard]
+                )
+        finally:
+            attachment.detach()
+            token = fallback.descriptor.token
+            fallback.close()
+            assert not os.path.exists(token)
+
+    def test_oserror_publish_falls_back_to_mmap(self, monkeypatch):
+        def refuse(*_args, **_kwargs):
+            raise OSError("no /dev/shm")
+
+        monkeypatch.setattr(shm, "_publish_shm", refuse)
+        payload = publish_payload(np.zeros((8, 2)), [np.arange(8)])
+        try:
+            assert payload.descriptor.backend == "mmap"
+        finally:
+            payload.close()
+
+    def test_engine_runs_on_mmap_backend(self, monkeypatch):
+        """The whole sharded run works with shared memory gone —
+        subprocess so the forked workers inherit the monkeypatch."""
+        script = (
+            "import numpy as np\n"
+            "from repro.parallel import shm\n"
+            "shm._shared_memory = None\n"
+            "from repro.parallel import condense_sharded\n"
+            "rng = np.random.default_rng(2)\n"
+            "data = rng.normal(size=(300, 3))\n"
+            "model = condense_sharded(\n"
+            "    data, k=8, n_shards=2, n_workers=2,\n"
+            "    strategy='mdav', random_state=0, backend='process',\n"
+            ")\n"
+            "assert model.metadata['parallel']['effective_backend'] \\\n"
+            "    == 'process'\n"
+            "print('OK')\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.getcwd(), "src"),
+             env.get("PYTHONPATH", "")]
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script], env=env,
+            capture_output=True, text=True, timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "OK" in completed.stdout
