@@ -27,6 +27,7 @@ serial model bit for bit.
 
 from __future__ import annotations
 
+import itertools
 import logging
 import os
 import time
@@ -61,6 +62,12 @@ REPAIR_POLICIES = ("merge", "merge_resplit")
 
 #: First retry delay; doubles per attempt (``base * 2**(attempt-1)``).
 RETRY_BASE_DELAY = 0.05
+
+#: Per-run submission tokens for the shared warm pool.  An aborted run
+#: leaves its in-flight tasks outstanding on the pool; their late
+#: results carry the aborted run's token and are discarded by the next
+#: run instead of being mistaken for its shards.
+_RUN_TOKENS = itertools.count()
 
 
 class ParallelDegradationWarning(UserWarning):
@@ -210,6 +217,14 @@ def _drain_warm_pool(pool, data, shards, tasks, pending, record,
     pool; task-level exceptions are retried here with exponential
     backoff, ``ValueError`` excepted (deterministic input error).
 
+    Every submission is keyed ``(run_token, shard_index)``.  When a
+    run aborts (input error, crashed worker, exhausted retries) its
+    unfinished tasks stay outstanding on the shared pool; they finish
+    — or fail against the by-then-closed payload — after the next run
+    has started.  The token check below drops those stale deliveries
+    so they can never be merged into another run's model or pollute
+    its retry accounting.
+
     Raises
     ------
     _PoolFailure
@@ -217,18 +232,25 @@ def _drain_warm_pool(pool, data, shards, tasks, pending, record,
         work; the caller moves on to the next backend.
     """
     attempts = dict.fromkeys(pending, 0)
+    token = next(_RUN_TOKENS)
     with publish_payload(data, shards) as payload, pool.run_lock:
         try:
             for index in pending:
                 pool.submit(
                     _condense_shard_payload, payload.descriptor, index,
                     tasks[index][0], tasks[index][1], tasks[index][2],
-                    key=index,
+                    key=(token, index),
                 )
             outstanding = len(pending)
             while outstanding:
                 completed = pool.next_result()
-                index = completed.key
+                key = completed.key
+                if not (isinstance(key, tuple) and len(key) == 2
+                        and key[0] == token):
+                    # Stale delivery from a previous aborted run.
+                    telemetry.counter_inc("parallel.stale_results")
+                    continue
+                index = key[1]
                 error = completed.error
                 if error is None:
                     result, attach_seconds = completed.value
@@ -260,7 +282,7 @@ def _drain_warm_pool(pool, data, shards, tasks, pending, record,
                 pool.submit(
                     _condense_shard_payload, payload.descriptor, index,
                     tasks[index][0], tasks[index][1], tasks[index][2],
-                    key=index,
+                    key=(token, index),
                 )
         except (ValueError, _PoolFailure):
             raise

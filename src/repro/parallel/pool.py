@@ -60,7 +60,13 @@ class WorkerCrashError(RuntimeError):
 
 
 class SubmitError(RuntimeError):
-    """A task could not be shipped to any worker (e.g. unpicklable)."""
+    """A task or its result could not cross the worker pipe.
+
+    Raised on the submit side when no worker can ever take the task
+    (unpicklable function or arguments) and shipped back from the
+    worker when the task's *return value* cannot be serialized — both
+    are deterministic serialization faults, so neither is retried.
+    """
 
 
 class TaskResult(NamedTuple):
@@ -106,11 +112,27 @@ def _worker_main(conn) -> None:
                 try:
                     conn.send(("error", task_id, error))
                 except Exception:
-                    conn.send(
-                        ("error", task_id, RuntimeError(repr(error)))
-                    )
+                    try:
+                        conn.send(
+                            ("error", task_id, RuntimeError(repr(error)))
+                        )
+                    except Exception:
+                        break  # torn pipe: let the parent see a death
             else:
-                conn.send(("ok", task_id, value))
+                try:
+                    conn.send(("ok", task_id, value))
+                except Exception as error:
+                    # An unpicklable (or pipe-breaking) return value
+                    # must fail the *task*, not the worker — otherwise
+                    # the pool respawns and resubmits the same task
+                    # until restart_limit for a deterministic error.
+                    try:
+                        conn.send(("error", task_id, SubmitError(
+                            f"task result could not be shipped back: "
+                            f"{type(error).__name__}: {error}"
+                        )))
+                    except Exception:
+                        break  # torn pipe: let the parent see a death
     finally:
         detach_worker_payloads()
         conn.close()

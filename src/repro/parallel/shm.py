@@ -22,7 +22,10 @@ payload owns it.  ``close()`` both detaches and unlinks, is
 idempotent, runs on success *and* failure via context-manager use in
 the engine, and every live payload is additionally unlinked at
 interpreter exit through an ``atexit`` hook — no leaked ``/dev/shm``
-segments, ever.  Workers only ever attach; their cached attachments
+segments, ever.  An mmap-fallback directory whose removal fails (a
+worker still holds the mapping) is logged and retried at the next
+publish and at interpreter exit instead of silently leaking record
+data.  Workers only ever attach; their cached attachments
 are dropped when a new payload supersedes the old one and when the
 worker loop exits.
 """
@@ -30,6 +33,7 @@ worker loop exits.
 from __future__ import annotations
 
 import atexit
+import logging
 import os
 import shutil
 import sys
@@ -46,6 +50,8 @@ try:  # pragma: no cover - import failure exercised via monkeypatch
     from multiprocessing import shared_memory as _shared_memory
 except ImportError:  # pragma: no cover
     _shared_memory = None
+
+_logger = logging.getLogger("repro")
 
 #: Payload backends, in preference order.
 PAYLOAD_BACKENDS = ("shm", "mmap")
@@ -84,11 +90,48 @@ class PayloadDescriptor(NamedTuple):
 #: Payloads published by this process and not yet closed.
 _LIVE_PAYLOADS: dict = {}
 
+#: Mmap payload directories whose removal failed at close time (a
+#: worker still held the mapping); removal is retried at the next
+#: publish and at interpreter exit rather than silently leaking the
+#: raw record data on disk.
+_STALE_MMAP_DIRS: set = set()
+
+
+def _publish_bytes_gauge() -> None:
+    """Set ``parallel.shm.bytes`` to the total of live payload sizes."""
+    telemetry.gauge_set(
+        "parallel.shm.bytes",
+        sum(payload.nbytes for payload in _LIVE_PAYLOADS.values()),
+    )
+
+
+def _remove_mmap_dir(directory: str) -> None:
+    """Remove one payload directory, remembering it for retry on failure."""
+    shutil.rmtree(directory, ignore_errors=True)
+    if os.path.isdir(directory):
+        _logger.warning(
+            "payload directory %s could not be removed (a worker may "
+            "still hold the mapping); removal will be retried at the "
+            "next publish and at interpreter exit", directory,
+        )
+        # repro-lint: disable-next=DET-003 -- coordinator-only retry registry: reached from publish/close/atexit, never from worker-side attach code
+        _STALE_MMAP_DIRS.add(directory)
+    else:
+        # repro-lint: disable-next=DET-003 -- coordinator-only retry registry: reached from publish/close/atexit, never from worker-side attach code
+        _STALE_MMAP_DIRS.discard(directory)
+
+
+def _sweep_stale_mmap_dirs() -> None:
+    """Retry removal of payload directories that outlived their close."""
+    for directory in list(_STALE_MMAP_DIRS):
+        _remove_mmap_dir(directory)
+
 
 def _unlink_live_payloads() -> None:
     """Interpreter-exit backstop: unlink every still-open payload."""
     for payload in list(_LIVE_PAYLOADS.values()):
         payload.close()
+    _sweep_stale_mmap_dirs()
 
 
 atexit.register(_unlink_live_payloads)
@@ -160,9 +203,9 @@ class ShardPayload:
                 pass
             self._segment = None
         if self._mmap_dir is not None:
-            shutil.rmtree(self._mmap_dir, ignore_errors=True)
+            _remove_mmap_dir(self._mmap_dir)
             self._mmap_dir = None
-        telemetry.gauge_set("parallel.shm.bytes", 0)
+        _publish_bytes_gauge()
 
     @property
     def closed(self) -> bool:
@@ -238,6 +281,7 @@ def publish_payload(data: np.ndarray, shards) -> ShardPayload:
         Owned payload whose :attr:`~ShardPayload.descriptor` crosses
         the worker pipe instead of the records.
     """
+    _sweep_stale_mmap_dirs()
     data = np.ascontiguousarray(data)
     indices = (
         np.concatenate(shards) if shards
@@ -255,7 +299,7 @@ def publish_payload(data: np.ndarray, shards) -> ShardPayload:
             payload = None
     if payload is None:
         payload = _publish_mmap(data, indices, shard_offsets)
-    telemetry.gauge_set("parallel.shm.bytes", payload.nbytes)
+    _publish_bytes_gauge()
     return payload
 
 

@@ -18,6 +18,7 @@ import time
 import numpy as np
 import pytest
 
+from repro import telemetry
 from repro.parallel import (
     SubmitError,
     WorkerCrashError,
@@ -49,6 +50,11 @@ def _sleep_then_echo(seconds, value):
     """Slow worker task (lets the coordinator act mid-flight)."""
     time.sleep(seconds)
     return value
+
+
+def _return_unpicklable(_index):
+    """Worker task whose return value cannot cross the pipe."""
+    return lambda: None
 
 
 def drain(pool, n):
@@ -139,6 +145,19 @@ class TestFailureDelivery:
             _value, error = drain(pool, 1)["lam"]
             assert isinstance(error, SubmitError)
 
+    def test_unpicklable_result_fails_task_not_worker(self):
+        with WorkerPool(1) as pool:
+            pool.submit(_return_unpicklable, 0, key="bad")
+            _value, error = drain(pool, 1)["bad"]
+            assert isinstance(error, SubmitError)
+            assert "result" in str(error)
+            pids = pool.worker_pids()
+            # The worker survived the serialization fault and keeps
+            # serving from the same process.
+            pool.submit(_echo, 7, key="ok")
+            assert drain(pool, 1) == {"ok": (7, None)}
+            assert pool.worker_pids() == pids
+
     def test_next_result_with_nothing_outstanding_raises(self):
         with WorkerPool(1) as pool:
             with pytest.raises(RuntimeError, match="outstanding"):
@@ -205,6 +224,105 @@ class TestRespawn:
                 theirs.first_order.tobytes()
             assert ours.second_order.tobytes() == \
                 theirs.second_order.tobytes()
+
+
+#: Marker value a :class:`_PoisonedStrategy` shard refuses to condense.
+_POISON = 1.0e9
+
+
+class _PoisonedStrategy:
+    """MDAV lookalike that refuses shards holding the poison marker.
+
+    Clean shards condense slowly (a sleep in ``plan``), so the
+    deterministic input error aborts the run while other shards are
+    still in flight on the pool — the stale-result scenario.
+    """
+
+    name = "mdav"
+
+    def plan(self, data, k, rng):
+        if np.any(data >= _POISON):
+            raise ValueError("poisoned shard")
+        time.sleep(0.3)
+        return None
+
+    def pick_seed(self, data, remaining, rng):
+        records = data[remaining]
+        deltas = records - records.mean(axis=0)
+        return int(np.argmax((deltas * deltas).sum(axis=1)))
+
+
+class TestStaleRunIsolation:
+    """An aborted run's in-flight tasks stay outstanding on the warm
+    pool; their late results carry the aborted run's token and must be
+    discarded by the next run instead of merged into its model."""
+
+    @staticmethod
+    def _fingerprint(model):
+        return [
+            (group.count, group.first_order.tobytes(),
+             group.second_order.tobytes())
+            for group in model.groups
+        ]
+
+    def test_simulated_stale_results_are_discarded(self):
+        rng = np.random.default_rng(11)
+        data = rng.normal(size=(400, 3))
+        baseline = condense_sharded(
+            data, k=8, n_shards=4, n_workers=2,
+            strategy="mdav", random_state=5, backend="process",
+        )
+        pipeline = telemetry.configure()
+        try:
+            with WorkerPool(2) as pool:
+                # Four slow tasks keyed like another run's shard
+                # submissions, all outstanding when the run starts.
+                for index in range(4):
+                    pool.submit(
+                        _sleep_then_echo, 0.2, ("stale", index),
+                        key=(-1, index),
+                    )
+                model = condense_sharded(
+                    data, k=8, n_shards=4, n_workers=2,
+                    strategy="mdav", random_state=5,
+                    backend="process", pool=pool,
+                )
+            assert pipeline.registry.counter(
+                "parallel.stale_results"
+            ).value() == 4
+        finally:
+            telemetry.disable()
+        assert model.metadata["parallel"]["effective_backend"] \
+            == "process"
+        assert self._fingerprint(model) == self._fingerprint(baseline)
+
+    def test_aborted_run_does_not_corrupt_next_run(self):
+        rng = np.random.default_rng(12)
+        data = rng.normal(size=(400, 3))
+        poisoned = data.copy()
+        poisoned[:5] = _POISON
+        baseline = condense_sharded(
+            data, k=8, n_shards=4, n_workers=2,
+            strategy="mdav", random_state=5, backend="process",
+        )
+        with WorkerPool(2) as pool:
+            with pytest.raises(ValueError, match="poisoned"):
+                condense_sharded(
+                    poisoned, k=8, n_shards=4, n_workers=2,
+                    strategy=_PoisonedStrategy(), random_state=5,
+                    backend="process", pool=pool,
+                )
+            # The aborted run's shards are still in flight (or queued
+            # against its now-closed payload); the next run on the
+            # same pool must produce the undisturbed model anyway.
+            model = condense_sharded(
+                data, k=8, n_shards=4, n_workers=2,
+                strategy="mdav", random_state=5, backend="process",
+                pool=pool,
+            )
+        assert model.metadata["parallel"]["effective_backend"] \
+            == "process"
+        assert self._fingerprint(model) == self._fingerprint(baseline)
 
 
 class TestSharedPool:

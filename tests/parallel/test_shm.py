@@ -9,6 +9,7 @@ forced by monkeypatching shared memory away.
 """
 
 import glob
+import logging
 import os
 import subprocess
 import sys
@@ -16,6 +17,7 @@ import sys
 import numpy as np
 import pytest
 
+from repro import telemetry
 from repro.parallel import shm
 from repro.parallel.shm import (
     PayloadDescriptor,
@@ -133,6 +135,54 @@ class TestUnlinkDiscipline:
             strategy="mdav", random_state=0, backend="process",
         )
         assert shm_segments() == before
+
+
+class TestBytesGauge:
+    def test_gauge_tracks_total_of_live_payloads(self):
+        pipeline = telemetry.configure()
+        try:
+            base = sum(
+                payload.nbytes
+                for payload in shm._LIVE_PAYLOADS.values()
+            )
+            gauge = pipeline.registry.gauge("parallel.shm.bytes")
+            first = publish_payload(np.zeros((8, 2)), [np.arange(8)])
+            second = publish_payload(np.zeros((16, 2)), [np.arange(16)])
+            assert gauge.value() == base + first.nbytes + second.nbytes
+            first.close()
+            assert gauge.value() == base + second.nbytes
+            second.close()
+            assert gauge.value() == base
+        finally:
+            telemetry.disable()
+
+
+class TestStaleMmapDirRetry:
+    def test_failed_removal_warns_and_retries_on_next_publish(
+        self, monkeypatch, caplog
+    ):
+        monkeypatch.setattr(shm, "_shared_memory", None)
+        payload = publish_payload(np.zeros((8, 2)), [np.arange(8)])
+        directory = payload.descriptor.token
+        real_rmtree = shm.shutil.rmtree
+        # Simulate a worker still holding the mapping: removal no-ops.
+        monkeypatch.setattr(shm.shutil, "rmtree",
+                            lambda *_args, **_kwargs: None)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            payload.close()
+        assert directory in shm._STALE_MMAP_DIRS
+        assert os.path.isdir(directory)
+        assert any(
+            "could not be removed" in record.getMessage()
+            for record in caplog.records
+        )
+        monkeypatch.setattr(shm.shutil, "rmtree", real_rmtree)
+        follow_up = publish_payload(np.zeros((4, 2)), [np.arange(4)])
+        try:
+            assert not os.path.exists(directory)
+            assert directory not in shm._STALE_MMAP_DIRS
+        finally:
+            follow_up.close()
 
 
 class TestMmapFallback:
